@@ -1,0 +1,123 @@
+// via_call_client — command-line client for a running via_controller.
+//
+//   via_call_client --port N decide --call ID --time T --src AS --dst AS \
+//                   --options 0,1,2,...
+//   via_call_client --port N report --call ID --time T --src AS --dst AS \
+//                   --option OPT [--ingress R] --rtt MS --loss PCT --jitter MS
+//   via_call_client --port N refresh --time T
+//
+// Exposes the full wire protocol from the shell — handy for smoke-testing
+// a deployment or scripting synthetic traffic against a live controller.
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rpc/client.h"
+
+namespace {
+
+std::vector<via::OptionId> parse_options(const std::string& csv) {
+  std::vector<via::OptionId> out;
+  std::istringstream ss(csv);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) {
+    if (!cell.empty()) out.push_back(static_cast<via::OptionId>(std::stoi(cell)));
+  }
+  return out;
+}
+
+void usage() {
+  std::cout
+      << "usage:\n"
+         "  via_call_client --port N decide --call ID --time T --src AS --dst AS"
+         " --options 0,3,7\n"
+         "  via_call_client --port N report --call ID --time T --src AS --dst AS"
+         " --option OPT [--ingress R] --rtt MS --loss PCT --jitter MS\n"
+         "  via_call_client --port N refresh --time T\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace via;
+
+  std::uint16_t port = 7401;
+  std::string command;
+  DecisionRequest request;
+  Observation obs;
+  TimeSec refresh_time = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--port") {
+        port = static_cast<std::uint16_t>(std::stoi(next()));
+      } else if (arg == "decide" || arg == "report" || arg == "refresh") {
+        command = arg;
+      } else if (arg == "--call") {
+        request.call_id = obs.id = std::stoll(next());
+      } else if (arg == "--time") {
+        request.time = obs.time = refresh_time = std::stoll(next());
+      } else if (arg == "--src") {
+        request.src_as = obs.src_as = static_cast<AsId>(std::stoi(next()));
+      } else if (arg == "--dst") {
+        request.dst_as = obs.dst_as = static_cast<AsId>(std::stoi(next()));
+      } else if (arg == "--options") {
+        request.options = parse_options(next());
+      } else if (arg == "--option") {
+        obs.option = static_cast<OptionId>(std::stoi(next()));
+      } else if (arg == "--ingress") {
+        obs.ingress = static_cast<RelayId>(std::stoi(next()));
+      } else if (arg == "--rtt") {
+        obs.perf.rtt_ms = std::stod(next());
+      } else if (arg == "--loss") {
+        obs.perf.loss_pct = std::stod(next());
+      } else if (arg == "--jitter") {
+        obs.perf.jitter_ms = std::stod(next());
+      } else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  if (command.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    ControllerClient client(port);
+    if (command == "decide") {
+      if (request.options.empty()) {
+        std::cerr << "decide requires --options\n";
+        return 2;
+      }
+      const OptionId choice = client.request_decision(request);
+      std::cout << choice << "\n";
+    } else if (command == "report") {
+      client.report(obs);
+      std::cout << "ok\n";
+    } else {
+      client.refresh(refresh_time);
+      std::cout << "ok\n";
+    }
+    client.shutdown();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

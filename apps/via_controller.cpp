@@ -1,0 +1,164 @@
+// via_controller — standalone Via controller daemon.
+//
+// Serves the prediction-guided-exploration relay selector over the TCP
+// protocol in src/rpc/.  Clients request per-call decisions and push
+// measurements; a timer thread refreshes the predictor every T hours of
+// *reported call time* (the controller is driven by the clocks in the
+// measurements, so replayed traces work too).
+//
+//   via_controller [--port N] [--metric rtt|loss|jitter] [--epsilon E]
+//                  [--budget B] [--refresh-hours T] [--backbone FILE]
+//
+// --backbone FILE: CSV "relay_a,relay_b,rtt_ms,loss_pct,jitter_ms" giving
+// the managed backbone matrix (the operator knows this).  Without it the
+// backbone is assumed free, which disables transit-path stitching but
+// keeps everything else working.
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "core/via_policy.h"
+#include "rpc/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+via::Metric parse_metric(const std::string& s) {
+  if (s == "loss") return via::Metric::Loss;
+  if (s == "jitter") return via::Metric::Jitter;
+  return via::Metric::Rtt;
+}
+
+/// Backbone matrix loaded from CSV; symmetric, zero if absent.
+class BackboneTable {
+ public:
+  void load(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open backbone file: " + path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ss(line);
+      std::string cell;
+      via::PathPerformance perf;
+      int a = 0, b = 0;
+      if (!std::getline(ss, cell, ',')) continue;
+      a = std::stoi(cell);
+      if (!std::getline(ss, cell, ',')) continue;
+      b = std::stoi(cell);
+      if (std::getline(ss, cell, ',')) perf.rtt_ms = std::stod(cell);
+      if (std::getline(ss, cell, ',')) perf.loss_pct = std::stod(cell);
+      if (std::getline(ss, cell, ',')) perf.jitter_ms = std::stod(cell);
+      table_[key(static_cast<via::RelayId>(a), static_cast<via::RelayId>(b))] = perf;
+      ++entries_;
+    }
+  }
+
+  [[nodiscard]] via::PathPerformance get(via::RelayId a, via::RelayId b) const {
+    const auto it = table_.find(key(a, b));
+    return it != table_.end() ? it->second : via::PathPerformance{};
+  }
+
+  [[nodiscard]] int entries() const noexcept { return entries_; }
+
+ private:
+  static std::uint64_t key(via::RelayId a, via::RelayId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(a)) << 16) |
+           static_cast<std::uint64_t>(static_cast<std::uint16_t>(b));
+  }
+  std::unordered_map<std::uint64_t, via::PathPerformance> table_;
+  int entries_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace via;
+
+  std::uint16_t port = 7401;
+  ViaConfig config;
+  BackboneTable backbone;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--port") {
+        port = static_cast<std::uint16_t>(std::stoi(next()));
+      } else if (arg == "--metric") {
+        config.target = parse_metric(next());
+      } else if (arg == "--epsilon") {
+        config.epsilon = std::stod(next());
+      } else if (arg == "--budget") {
+        config.budget.fraction = std::stod(next());
+      } else if (arg == "--refresh-hours") {
+        config.refresh_period = static_cast<TimeSec>(std::stod(next()) * 3600.0);
+      } else if (arg == "--backbone") {
+        backbone.load(next());
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << "usage: via_controller [--port N] [--metric rtt|loss|jitter]\n"
+                     "                      [--epsilon E] [--budget B]\n"
+                     "                      [--refresh-hours T] [--backbone FILE]\n";
+        return 0;
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  // The option table is populated on demand from client requests: clients
+  // name options by id, so intern a generous bounce/transit space lazily.
+  // For the daemon we pre-intern bounces for relays 0..255 and let transit
+  // ids arrive via requests' option lists (already interned by peers that
+  // share the same enumeration convention).
+  RelayOptionTable options;
+  for (RelayId r = 0; r < 256; ++r) (void)options.intern_bounce(r);
+  for (RelayId a = 0; a < 64; ++a) {
+    for (RelayId b = static_cast<RelayId>(a + 1); b < 64; ++b) {
+      (void)options.intern_transit(a, b);
+    }
+  }
+
+  ViaPolicy policy(
+      options, [&backbone](RelayId a, RelayId b) { return backbone.get(a, b); }, config);
+
+  try {
+    ControllerServer server(policy, port);
+    server.start();
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::cout << "via_controller listening on 127.0.0.1:" << server.port() << " (metric "
+              << metric_name(config.target) << ", epsilon " << config.epsilon << ", budget "
+              << config.budget.fraction << ", refresh "
+              << config.refresh_period / 3600 << "h, backbone entries "
+              << backbone.entries() << ")\n"
+              << "clients drive refresh via the Refresh message; Ctrl-C stops.\n";
+    while (!g_stop.load()) {
+      // The server runs its own threads; the main thread just waits.
+      ::pause();
+    }
+    std::cout << "\nshutting down: " << server.decisions_served() << " decisions, "
+              << server.reports_received() << " reports served.\n";
+    server.stop();
+  } catch (const std::exception& e) {
+    std::cerr << "fatal: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared infrastructure for the figure/table reproduction benches.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation as a text table on stdout, annotated with the paper's headline
+// numbers for comparison.  Scale is selectable with VIA_BENCH_SCALE=
+// small|medium|large (default medium) so the full suite stays minutes, not
+// hours; shapes, not absolute counts, are the reproduction target.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.h"
+#include "util/table.h"
+
+namespace via::bench {
+
+inline Experiment::Scale scale_from_env() {
+  const char* env = std::getenv("VIA_BENCH_SCALE");
+  if (env == nullptr) return Experiment::Scale::Medium;
+  const std::string s(env);
+  if (s == "small") return Experiment::Scale::Small;
+  if (s == "large") return Experiment::Scale::Large;
+  return Experiment::Scale::Medium;
+}
+
+inline Experiment::Setup default_setup() {
+  return Experiment::default_setup(scale_from_env());
+}
+
+/// Prints the standard bench header with workload parameters.
+inline void print_header(const std::string& title, const Experiment::Setup& setup) {
+  std::cout << "=====================================================================\n"
+            << title << "\n"
+            << "workload: " << setup.trace.total_calls << " calls, "
+            << setup.world.num_ases << " ASes, " << setup.world.num_relays << " relays, "
+            << setup.trace.days << " days, " << setup.trace.active_pairs << " active pairs\n"
+            << "=====================================================================\n";
+}
+
+inline void print_paper_note(const std::string& note) {
+  std::cout << "\npaper: " << note << "\n";
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_elapsed(const Stopwatch& sw) {
+  std::cout << "\n[bench completed in " << format_double(sw.seconds(), 1) << "s]\n";
+}
+
+}  // namespace via::bench

@@ -1,0 +1,47 @@
+// Extension (paper §7): active measurements.  The controller requests mock
+// calls to fill coverage holes (candidate options with no prediction);
+// the engine executes up to N probes per refresh.  Measures how probing
+// spends affect prediction coverage and PNR.
+#include "bench_common.h"
+
+int main() {
+  using namespace via;
+  using namespace via::bench;
+  const Stopwatch sw;
+
+  auto setup = default_setup();
+  Experiment exp(setup);
+  print_header("Extension — active measurements to fill coverage holes", setup);
+
+  const Metric target = Metric::Rtt;
+  RunConfig run_config;
+  run_config.min_pair_calls_for_eval =
+      setup.trace.total_calls / std::max(1, setup.trace.active_pairs) / 4;
+
+  auto baseline = exp.make_default();
+  const RunResult base = exp.run(*baseline, run_config);
+
+  TextTable table({"probes per refresh", "probes executed", "PNR(RTT)",
+                   "reduction vs default", "cold-start direct calls"});
+  for (const int probes : {0, 50, 200, 1000}) {
+    RunConfig config = run_config;
+    config.probes_per_refresh = probes;
+    auto policy = exp.make_via(target);
+    const RunResult r = exp.run(*policy, config);
+    table.row()
+        .cell_int(probes)
+        .cell_int(r.probes_executed)
+        .cell_pct(r.pnr.pnr(target))
+        .cell(format_double(relative_improvement_pct(base.pnr.pnr(target), r.pnr.pnr(target)),
+                            1) +
+              "%")
+        .cell_int(policy->stats().cold_start_direct);
+  }
+  table.print(std::cout);
+
+  print_paper_note(
+      "probing 'fills holes in the passively obtained measurements' — the "
+      "gain concentrates where passive coverage is thin (sparse pairs).");
+  print_elapsed(sw);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 3: pairwise correlation between the three metrics — the 10th /
+// 50th / 90th percentile of one metric conditioned on bins of another.
+// The paper's point: substantial spread means improving one metric could
+// worsen another, so Via must also control the collective "at least one
+// bad" PNR.
+#include "bench_common.h"
+
+#include "analysis/section2.h"
+
+int main() {
+  using namespace via;
+  using namespace via::bench;
+  const Stopwatch sw;
+
+  auto setup = default_setup();
+  Experiment exp(setup);
+  print_header("Figure 3 — pairwise metric correlations (default-routed calls)", setup);
+
+  const auto records = exp.generator().generate_default_routed();
+
+  struct Panel {
+    Metric x, y;
+    double lo, hi;
+    std::size_t bins;
+  };
+  const Panel panels[] = {{Metric::Rtt, Metric::Loss, 0, 640, 8},
+                          {Metric::Rtt, Metric::Jitter, 0, 640, 8},
+                          {Metric::Loss, Metric::Jitter, 0, 4, 8}};
+  const std::int64_t min_samples = 200;
+
+  for (const auto& panel : panels) {
+    print_banner(std::cout, std::string(metric_name(panel.y)) + " conditioned on " +
+                                std::string(metric_name(panel.x)));
+    const auto rows = conditional_percentiles(records, panel.x, panel.y, panel.lo, panel.hi,
+                                              panel.bins, min_samples);
+    TextTable table({std::string(metric_name(panel.x)) + " bin center", "calls",
+                     "p10 of " + std::string(metric_name(panel.y)),
+                     "p50", "p90"});
+    for (const auto& row : rows) {
+      table.row()
+          .cell(row.x_center, 1)
+          .cell_int(row.calls)
+          .cell(row.p10, 2)
+          .cell(row.p50, 2)
+          .cell(row.p90, 2);
+    }
+    table.print(std::cout);
+  }
+
+  print_paper_note(
+      "metrics correlate positively but with a large p10-p90 spread: "
+      "optimizing one metric does not automatically control the others.");
+  print_elapsed(sw);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 5: cumulative share of poor calls contributed by the worst-n AS
+// pairs.  Paper: even the worst 1000 AS pairs account for under 15% of the
+// overall PNR — localized fixes cannot solve the problem.
+#include "bench_common.h"
+
+#include "analysis/section2.h"
+
+int main() {
+  using namespace via;
+  using namespace via::bench;
+  const Stopwatch sw;
+
+  auto setup = default_setup();
+  Experiment exp(setup);
+  print_header("Figure 5 — contribution of the worst AS pairs to poor calls", setup);
+
+  const auto records = exp.generator().generate_default_routed();
+  const PairContributionCurve curve = aspair_contribution(records);
+
+  std::cout << "total AS pairs with poor calls: " << curve.total_pairs
+            << ", total poor calls: " << curve.total_poor_calls << "\n\n";
+
+  TextTable table({"worst n AS pairs", "share of all poor calls", "share of pairs"});
+  for (const double frac : {0.005, 0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 1.0}) {
+    const auto n = std::max<std::size_t>(
+        1, static_cast<std::size_t>(frac * static_cast<double>(curve.total_pairs)));
+    if (n > curve.cumulative_share.size()) continue;
+    table.row()
+        .cell_int(static_cast<long long>(n))
+        .cell_pct(curve.cumulative_share[n - 1])
+        .cell_pct(frac);
+  }
+  table.print(std::cout);
+
+  // The paper's specific data point: the worst 1000 of ~hundreds of
+  // thousands of pairs contribute < 15%.  At our scale we report the
+  // equivalent: the worst ~0.5% of pairs.
+  const auto n_head = std::max<std::size_t>(
+      1, static_cast<std::size_t>(0.005 * static_cast<double>(curve.total_pairs)));
+  std::cout << "\nworst 0.5% of pairs contribute "
+            << format_double(100.0 * curve.cumulative_share[n_head - 1], 1)
+            << "% of poor calls   (paper: worst 1000 pairs < 15%)\n";
+
+  print_paper_note(
+      "no small set of source-destination pairs dominates: fixing a few bad "
+      "ASes or pairs cannot repair overall call quality.");
+  print_elapsed(sw);
+  return 0;
+}

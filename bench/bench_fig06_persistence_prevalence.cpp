@@ -1,0 +1,68 @@
+// Figure 6: persistence and prevalence of high-PNR AS pairs.  An AS pair is
+// "high PNR" on a day when its PNR is >= 1.5x the overall PNR that day.
+// Paper: 10-20% of AS pairs are always high-PNR, while 60-70% are high for
+// less than 30% of days and no more than one day at a stretch — so relay
+// decisions must be dynamic.
+#include "bench_common.h"
+
+#include <algorithm>
+
+#include "analysis/section2.h"
+#include "util/percentile.h"
+
+int main() {
+  using namespace via;
+  using namespace via::bench;
+  const Stopwatch sw;
+
+  auto setup = default_setup();
+  Experiment exp(setup);
+  print_header("Figure 6 — persistence & prevalence of high-PNR AS pairs", setup);
+
+  const auto records = exp.generator().generate_default_routed();
+
+  for (const Metric m : kAllMetrics) {
+    const PersistencePrevalence pp =
+        persistence_prevalence(records, m, /*ratio=*/1.5, /*min_calls_per_day=*/20,
+                               /*min_active_days=*/5);
+    print_banner(std::cout, std::string("metric: ") + std::string(metric_name(m)) + " (" +
+                                std::to_string(pp.prevalence.size()) +
+                                " qualifying AS pairs)");
+    if (pp.prevalence.empty()) {
+      std::cout << "not enough data density at this scale; rerun with "
+                   "VIA_BENCH_SCALE=large\n";
+      continue;
+    }
+
+    TextTable table({"distribution over AS pairs", "p10", "p25", "p50", "p75", "p90"});
+    auto add = [&](const char* label, std::vector<double> values) {
+      std::sort(values.begin(), values.end());
+      table.row()
+          .cell(label)
+          .cell(percentile_sorted(values, 10), 2)
+          .cell(percentile_sorted(values, 25), 2)
+          .cell(percentile_sorted(values, 50), 2)
+          .cell(percentile_sorted(values, 75), 2)
+          .cell(percentile_sorted(values, 90), 2);
+    };
+    add("persistence (median run, days)", pp.persistence_days);
+    add("prevalence (fraction of days)", pp.prevalence);
+    table.print(std::cout);
+
+    const auto always = static_cast<double>(std::count_if(
+        pp.prevalence.begin(), pp.prevalence.end(), [](double p) { return p >= 0.95; }));
+    const auto rarely = static_cast<double>(std::count_if(
+        pp.prevalence.begin(), pp.prevalence.end(), [](double p) { return p < 0.30; }));
+    const double n = static_cast<double>(pp.prevalence.size());
+    std::cout << "always high (prevalence >= 95%): " << format_double(100.0 * always / n, 1)
+              << "%   (paper: 10-20%)\n"
+              << "high < 30% of days:              " << format_double(100.0 * rarely / n, 1)
+              << "%   (paper: 60-70%)\n";
+  }
+
+  print_paper_note(
+      "a skewed mix of chronic and transient problem pairs: static "
+      "configuration would miss most of the transient ones.");
+  print_elapsed(sw);
+  return 0;
+}

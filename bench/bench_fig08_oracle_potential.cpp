@@ -1,0 +1,72 @@
+// Figure 8: the potential of relaying, measured with an oracle that knows
+// every option's daily-average performance.  Paper: 30-60% reduction of
+// the metrics at the median, ~40-65% at the tail, PNR cut by up to 53% per
+// metric and >30% on the "at least one bad" criterion.
+#include "bench_common.h"
+
+int main() {
+  using namespace via;
+  using namespace via::bench;
+  const Stopwatch sw;
+
+  auto setup = default_setup();
+  Experiment exp(setup);
+  print_header("Figure 8 — oracle potential of relaying", setup);
+
+  // Per-metric oracle runs against the default baseline; per §5.1 we
+  // evaluate data-dense pairs.
+  RunConfig run_config;
+  run_config.min_pair_calls_for_eval =
+      setup.trace.total_calls / std::max(1, setup.trace.active_pairs) / 4;
+
+  auto baseline_policy = exp.make_default();
+  const RunResult base = exp.run(*baseline_policy, run_config);
+
+  print_banner(std::cout, "8a: improvement of metric percentiles (oracle vs default)");
+  std::array<RunResult, kNumMetrics> oracle_runs;
+  for (const Metric m : kAllMetrics) {
+    auto oracle = exp.make_oracle(m);
+    oracle_runs[metric_index(m)] = exp.run(*oracle, run_config);
+  }
+
+  TextTable pct_table({"metric", "p25", "p50", "p75", "p90", "p99", "paper (median)"});
+  for (const Metric m : kAllMetrics) {
+    const auto cmp = compare_percentiles(base, oracle_runs[metric_index(m)], m,
+                                         {25.0, 50.0, 75.0, 90.0, 99.0});
+    TextTable& row = pct_table.row();
+    row.cell(std::string(metric_name(m)));
+    for (const double imp : cmp.improvement_pct) row.cell(format_double(imp, 1) + "%");
+    row.cell("30-60%");
+  }
+  pct_table.print(std::cout);
+
+  print_banner(std::cout, "8b: PNR reduction (oracle vs default)");
+  TextTable pnr_table({"criterion", "default PNR", "oracle PNR", "reduction", "paper"});
+  for (const Metric m : kAllMetrics) {
+    const RunResult& treated = oracle_runs[metric_index(m)];
+    pnr_table.row()
+        .cell(std::string(metric_name(m)))
+        .cell_pct(base.pnr.pnr(m))
+        .cell_pct(treated.pnr.pnr(m))
+        .cell(format_double(relative_improvement_pct(base.pnr.pnr(m), treated.pnr.pnr(m)), 1) +
+              "%")
+        .cell("up to 53%");
+  }
+  // "At least one bad", conservatively the worst over the three
+  // per-metric-optimized runs (paper's rule).
+  double worst_any = 0.0;
+  for (const auto& run : oracle_runs) worst_any = std::max(worst_any, run.pnr.pnr_any());
+  pnr_table.row()
+      .cell("at least one bad")
+      .cell_pct(base.pnr.pnr_any())
+      .cell_pct(worst_any)
+      .cell(format_double(relative_improvement_pct(base.pnr.pnr_any(), worst_any), 1) + "%")
+      .cell(">30%");
+  pnr_table.print(std::cout);
+
+  print_paper_note(
+      "an oracle-driven managed overlay can fix a large share of poor-network "
+      "calls; the residue is dominated by bad last hops no relay can avoid.");
+  print_elapsed(sw);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 15: ablation of Via's two modifications to off-the-shelf bandit
+// selection — (1) dynamic confidence-interval top-k instead of a fixed
+// top-2, and (2) normalizing rewards by the mean top-k upper bound instead
+// of the observed range.  Paper: on the "at least one bad" metric the full
+// design cuts PNR 24% vs 15% for fixed top-2 (and loss PNR 44% vs 26%).
+#include "bench_common.h"
+
+int main() {
+  using namespace via;
+  using namespace via::bench;
+  const Stopwatch sw;
+
+  auto setup = default_setup();
+  Experiment exp(setup);
+  print_header("Figure 15 — prediction-guided exploration design ablation", setup);
+
+  RunConfig run_config;
+  run_config.min_pair_calls_for_eval =
+      setup.trace.total_calls / std::max(1, setup.trace.active_pairs) / 4;
+
+  auto baseline = exp.make_default();
+  const RunResult base = exp.run(*baseline, run_config);
+
+  struct Variant {
+    std::string label;
+    ViaConfig config;
+  };
+  std::vector<Variant> variants;
+  {
+    Variant full{"dynamic top-k + UCB-bound normalization (Via)", {}};
+    variants.push_back(full);
+
+    Variant fixed2{"fixed top-2 + UCB-bound normalization", {}};
+    fixed2.config.topk = {.dynamic = false, .fixed_k = 2};
+    variants.push_back(fixed2);
+
+    Variant naive_norm{"dynamic top-k + max-observed normalization", {}};
+    naive_norm.config.bandit.normalization = BanditNormalization::MaxObserved;
+    variants.push_back(naive_norm);
+
+    Variant both_off{"fixed top-2 + max-observed normalization", {}};
+    both_off.config.topk = {.dynamic = false, .fixed_k = 2};
+    both_off.config.bandit.normalization = BanditNormalization::MaxObserved;
+    variants.push_back(both_off);
+
+    Variant no_eps{"no general exploration (epsilon = 0)", {}};
+    no_eps.config.epsilon = 0.0;
+    variants.push_back(no_eps);
+  }
+
+  TextTable table({"variant", "RTT", "loss", "jitter", "at least one bad"});
+  for (const auto& variant : variants) {
+    std::array<RunResult, kNumMetrics> runs;
+    for (const Metric m : kAllMetrics) {
+      auto policy = exp.make_via(m, variant.config);
+      runs[metric_index(m)] = exp.run(*policy, run_config);
+    }
+    TextTable& row = table.row();
+    row.cell(variant.label);
+    for (const Metric m : kAllMetrics) {
+      row.cell(format_double(relative_improvement_pct(base.pnr.pnr(m),
+                                                      runs[metric_index(m)].pnr.pnr(m)),
+                             1) +
+               "%");
+    }
+    double worst_any = 0.0;
+    for (const auto& run : runs) worst_any = std::max(worst_any, run.pnr.pnr_any());
+    row.cell(format_double(relative_improvement_pct(base.pnr.pnr_any(), worst_any), 1) + "%");
+  }
+  table.print(std::cout);
+
+  print_paper_note(
+      "each modification contributes: full design cuts the collective PNR "
+      "24% vs 15% with a fixed top-2 (loss: 44% vs 26%).");
+  print_elapsed(sw);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 16: impact of the relaying budget.  Compares the oracle, budget-
+// aware Via (§4.6: relay only calls whose predicted benefit clears the
+// trailing top-B percentile) and budget-unaware Via (greedy) across budget
+// levels.  Paper: budget-aware Via reaches about half of the unlimited
+// benefit with a budget of only 30% of calls.
+#include "bench_common.h"
+
+int main() {
+  using namespace via;
+  using namespace via::bench;
+  const Stopwatch sw;
+
+  auto setup = default_setup();
+  Experiment exp(setup);
+  print_header("Figure 16 — relaying under a budget (PNR of 'at least one bad')", setup);
+
+  const Metric target = Metric::Rtt;
+  RunConfig run_config;
+  run_config.min_pair_calls_for_eval =
+      setup.trace.total_calls / std::max(1, setup.trace.active_pairs) / 4;
+
+  auto baseline = exp.make_default();
+  const RunResult base = exp.run(*baseline, run_config);
+
+  TextTable table({"budget", "oracle PNR", "aware PNR", "unaware PNR", "aware relayed",
+                   "unaware relayed"});
+  double unlimited_cut = 0.0;
+  double cut_at_30 = 0.0;
+  for (const double budget : {0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0}) {
+    auto oracle = exp.make_oracle(target, {.fraction = budget, .aware = true});
+    ViaConfig aware_config;
+    aware_config.budget = {.fraction = budget, .aware = true};
+    ViaConfig unaware_config;
+    unaware_config.budget = {.fraction = budget, .aware = false};
+    auto aware = exp.make_via(target, aware_config);
+    auto unaware = exp.make_via(target, unaware_config);
+
+    const RunResult ro = exp.run(*oracle, run_config);
+    const RunResult ra = exp.run(*aware, run_config);
+    const RunResult ru = exp.run(*unaware, run_config);
+
+    table.row()
+        .cell_pct(budget, 0)
+        .cell_pct(ro.pnr.pnr_any())
+        .cell_pct(ra.pnr.pnr_any())
+        .cell_pct(ru.pnr.pnr_any())
+        .cell_pct(ra.relayed_fraction())
+        .cell_pct(ru.relayed_fraction());
+
+    const double cut = base.pnr.pnr_any() - ra.pnr.pnr_any();
+    if (budget == 1.0) unlimited_cut = cut;
+    if (budget == 0.3) cut_at_30 = cut;
+  }
+  table.print(std::cout);
+
+  std::cout << "\ndefault PNR(any): " << format_double(100.0 * base.pnr.pnr_any(), 1)
+            << "%\nbudget-aware at B=30% achieves "
+            << format_double(unlimited_cut > 0 ? 100.0 * cut_at_30 / unlimited_cut : 0.0, 0)
+            << "% of the unlimited-budget benefit   (paper: ~half)\n";
+
+  print_paper_note(
+      "budget-aware selection spends the budget on the highest-benefit "
+      "calls; budget-unaware burns it on marginal ones.  (Above B~50% our "
+      "aware variant goes conservative: it vetoes relays whose *predicted* "
+      "benefit is negative even where the bandit's fresher same-day "
+      "evidence disagrees — see EXPERIMENTS.md.)");
+  print_elapsed(sw);
+  return 0;
+}

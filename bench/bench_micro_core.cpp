@@ -1,0 +1,189 @@
+// Micro-benchmarks (google-benchmark) for Via's hot paths: history ingest,
+// tomography solve, prediction, top-k selection, bandit pick, and the
+// end-to-end per-call controller decision.
+#include <benchmark/benchmark.h>
+
+#include "core/predictor.h"
+#include "core/topk.h"
+#include "core/via_policy.h"
+#include "netsim/groundtruth.h"
+#include "netsim/world.h"
+#include "util/rng.h"
+
+namespace via {
+namespace {
+
+const World& bench_world() {
+  static const World world({.num_ases = 100, .num_relays = 20, .seed = 99});
+  return world;
+}
+
+GroundTruth& bench_gt() {
+  static GroundTruth gt(bench_world());
+  return gt;
+}
+
+/// A window of realistic observations covering many pairs and options.
+HistoryWindow make_window(int observations) {
+  auto& gt = bench_gt();
+  HistoryWindow window(&gt.option_table());
+  Rng rng(3);
+  for (int i = 0; i < observations; ++i) {
+    const auto s = static_cast<AsId>(rng.uniform_index(100));
+    auto d = static_cast<AsId>(rng.uniform_index(100));
+    if (d == s) d = (d + 1) % 100;
+    const auto opts = gt.candidate_options(s, d);
+    const OptionId opt = opts[rng.uniform_index(opts.size())];
+    Observation o;
+    o.id = i;
+    o.time = 1000 + i;
+    o.src_as = s;
+    o.dst_as = d;
+    o.option = opt;
+    o.ingress = gt.transit_ingress(s, opt);
+    o.perf = gt.sample_call(i, s, d, opt, o.time);
+    window.add(o);
+  }
+  return window;
+}
+
+void BM_HistoryIngest(benchmark::State& state) {
+  auto& gt = bench_gt();
+  Observation o;
+  o.src_as = 1;
+  o.dst_as = 2;
+  o.option = 3;
+  o.perf = {120.0, 0.8, 5.0};
+  HistoryWindow window(&gt.option_table());
+  for (auto _ : state) {
+    window.add(o);
+    benchmark::DoNotOptimize(window.observations());
+  }
+}
+BENCHMARK(BM_HistoryIngest);
+
+void BM_TomographySolve(benchmark::State& state) {
+  auto& gt = bench_gt();
+  const HistoryWindow window = make_window(static_cast<int>(state.range(0)));
+  TomographySolver solver(gt.option_table(),
+                          [&](RelayId a, RelayId b) { return gt.backbone(a, b); });
+  for (auto _ : state) {
+    solver.solve(window);
+    benchmark::DoNotOptimize(solver.segment_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TomographySolve)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_PredictorTrainAndPredict(benchmark::State& state) {
+  auto& gt = bench_gt();
+  const HistoryWindow window = make_window(20000);
+  Predictor predictor(gt.option_table(),
+                      [&](RelayId a, RelayId b) { return gt.backbone(a, b); });
+  predictor.train(window);
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto s = static_cast<AsId>(rng.uniform_index(100));
+    const auto d = static_cast<AsId>((s + 1 + rng.uniform_index(99)) % 100);
+    const auto opts = gt.candidate_options(s, d);
+    const Prediction p =
+        predictor.predict(s, d, opts[rng.uniform_index(opts.size())], Metric::Rtt);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PredictorTrainAndPredict);
+
+void BM_TopKSelection(benchmark::State& state) {
+  auto& gt = bench_gt();
+  const HistoryWindow window = make_window(20000);
+  Predictor predictor(gt.option_table(),
+                      [&](RelayId a, RelayId b) { return gt.backbone(a, b); });
+  predictor.train(window);
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto s = static_cast<AsId>(rng.uniform_index(100));
+    const auto d = static_cast<AsId>((s + 1 + rng.uniform_index(99)) % 100);
+    const auto top = select_top_k(predictor, s, d, gt.candidate_options(s, d), Metric::Rtt);
+    benchmark::DoNotOptimize(top.size());
+  }
+}
+BENCHMARK(BM_TopKSelection);
+
+void BM_BanditPick(benchmark::State& state) {
+  std::vector<RankedOption> arms;
+  for (int i = 0; i < 8; ++i) {
+    RankedOption r;
+    r.option = i;
+    r.pred.valid = true;
+    r.pred.mean = 100.0 + i;
+    r.pred.upper = 120.0 + i;
+    r.pred.lower = 90.0 + i;
+    arms.push_back(r);
+  }
+  UcbBandit bandit;
+  bandit.set_arms(arms, {});
+  Rng rng(9);
+  for (auto _ : state) {
+    const OptionId pick = bandit.pick();
+    bandit.observe(pick, 100.0 + rng.uniform(0, 20));
+    benchmark::DoNotOptimize(pick);
+  }
+}
+BENCHMARK(BM_BanditPick);
+
+void BM_ViaChoosePerCall(benchmark::State& state) {
+  auto& gt = bench_gt();
+  ViaPolicy policy(gt.option_table(),
+                   [&](RelayId a, RelayId b) { return gt.backbone(a, b); });
+  // Warm up with a day of observations + refresh.
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const auto s = static_cast<AsId>(rng.uniform_index(100));
+    auto d = static_cast<AsId>(rng.uniform_index(100));
+    if (d == s) d = (d + 1) % 100;
+    const auto opts = gt.candidate_options(s, d);
+    Observation o;
+    o.id = i;
+    o.time = 1000 + i;
+    o.src_as = s;
+    o.dst_as = d;
+    o.option = opts[rng.uniform_index(opts.size())];
+    o.ingress = gt.transit_ingress(s, o.option);
+    o.perf = gt.sample_call(i, s, d, o.option, o.time);
+    policy.observe(o);
+  }
+  policy.refresh(kSecondsPerDay);
+
+  CallId next = 1'000'000;
+  for (auto _ : state) {
+    const auto s = static_cast<AsId>(rng.uniform_index(100));
+    const auto d = static_cast<AsId>((s + 1 + rng.uniform_index(99)) % 100);
+    CallContext ctx;
+    ctx.id = next++;
+    ctx.time = kSecondsPerDay + 100;
+    ctx.src_as = s;
+    ctx.dst_as = d;
+    ctx.key_src = s;
+    ctx.key_dst = d;
+    ctx.options = gt.candidate_options(s, d);
+    benchmark::DoNotOptimize(policy.choose(ctx));
+  }
+}
+BENCHMARK(BM_ViaChoosePerCall);
+
+void BM_GroundTruthSample(benchmark::State& state) {
+  auto& gt = bench_gt();
+  Rng rng(13);
+  CallId id = 0;
+  for (auto _ : state) {
+    const auto s = static_cast<AsId>(rng.uniform_index(100));
+    const auto d = static_cast<AsId>((s + 1 + rng.uniform_index(99)) % 100);
+    benchmark::DoNotOptimize(gt.sample_call(++id, s, d, 0, 5000));
+  }
+}
+BENCHMARK(BM_GroundTruthSample);
+
+}  // namespace
+}  // namespace via
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Section 5.2 (text): transit vs bounce relaying.  Paper: having transit
+// relays available (in addition to bounce) cuts PNR substantially on pairs
+// that can use both, and Via's decision mix lands around 54% bounce / 38%
+// transit / 8% direct.
+#include "bench_common.h"
+
+int main() {
+  using namespace via;
+  using namespace via::bench;
+  const Stopwatch sw;
+
+  auto setup = default_setup();
+  Experiment exp(setup);
+  print_header("Section 5.2 — transit vs bouncing relays", setup);
+
+  const Metric target = Metric::Rtt;
+  RunConfig with_transit;
+  with_transit.min_pair_calls_for_eval =
+      setup.trace.total_calls / std::max(1, setup.trace.active_pairs) / 4;
+  RunConfig bounce_only = with_transit;
+  bounce_only.exclude_transit = true;
+
+  auto baseline = exp.make_default();
+  const RunResult base = exp.run(*baseline, with_transit);
+
+  auto via_full = exp.make_via(target);
+  const RunResult full = exp.run(*via_full, with_transit);
+
+  auto via_bounce = exp.make_via(target);
+  const RunResult bounce = exp.run(*via_bounce, bounce_only);
+
+  print_banner(std::cout, "PNR with and without transit options");
+  TextTable table({"candidate set", "PNR(RTT)", "PNR(any bad)", "reduction vs default"});
+  table.row()
+      .cell("direct + bounce + transit")
+      .cell_pct(full.pnr.pnr(target))
+      .cell_pct(full.pnr.pnr_any())
+      .cell(format_double(relative_improvement_pct(base.pnr.pnr(target), full.pnr.pnr(target)),
+                          1) +
+            "%");
+  table.row()
+      .cell("direct + bounce only")
+      .cell_pct(bounce.pnr.pnr(target))
+      .cell_pct(bounce.pnr.pnr_any())
+      .cell(format_double(
+                relative_improvement_pct(base.pnr.pnr(target), bounce.pnr.pnr(target)), 1) +
+            "%");
+  table.print(std::cout);
+  std::cout << "paper: ~50% lower PNR when transit relays are available too.\n";
+
+  print_banner(std::cout, "Via's decision mix (full candidate set)");
+  const double total = static_cast<double>(full.used_direct + full.used_bounce +
+                                           full.used_transit);
+  TextTable mix({"option kind", "share of calls", "paper"});
+  mix.row().cell("bounce").cell_pct(full.used_bounce / total).cell("~54%");
+  mix.row().cell("transit").cell_pct(full.used_transit / total).cell("~38%");
+  mix.row().cell("direct").cell_pct(full.used_direct / total).cell("~8%");
+  mix.print(std::cout);
+
+  print_elapsed(sw);
+  return 0;
+}

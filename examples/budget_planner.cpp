@@ -1,0 +1,60 @@
+// Budget planner: how much managed-backbone capacity does a Via rollout
+// need?  Sweeps the relaying budget and reports quality gained per unit of
+// relayed traffic, recommending the knee of the curve (the paper's §4.6 /
+// Figure 16 analysis turned into a planning tool).
+//
+//   $ ./example_budget_planner
+#include <iostream>
+
+#include "sim/experiment.h"
+#include "util/table.h"
+
+int main() {
+  using namespace via;
+
+  Experiment::Setup setup = Experiment::default_setup(Experiment::Scale::Small);
+  setup.trace.total_calls = 80'000;
+  Experiment exp(setup);
+
+  auto baseline = exp.make_default();
+  const RunResult base = exp.run(*baseline);
+  const double base_pnr = base.pnr.pnr_any();
+  std::cout << "Default routing: " << format_double(100.0 * base_pnr, 1)
+            << "% of calls see at least one poor metric.\n\n";
+
+  TextTable table({"budget", "relayed traffic", "PNR(any bad)", "PNR reduction",
+                   "reduction per 10% relayed"});
+  double best_efficiency = 0.0;
+  double recommended = 0.0;
+  double unlimited_cut = 0.0;
+
+  for (const double budget : {0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0}) {
+    ViaConfig config;
+    config.budget = {.fraction = budget, .aware = true};
+    auto policy = exp.make_via(Metric::Rtt, config);
+    const RunResult r = exp.run(*policy);
+    const double cut = relative_improvement_pct(base_pnr, r.pnr.pnr_any());
+    const double relayed = r.relayed_fraction();
+    const double efficiency = relayed > 0.0 ? cut / (10.0 * relayed) : 0.0;
+    table.row()
+        .cell_pct(budget, 0)
+        .cell_pct(relayed)
+        .cell_pct(r.pnr.pnr_any())
+        .cell(format_double(cut, 1) + "%")
+        .cell(format_double(efficiency, 2) + "%");
+    if (budget == 1.0) unlimited_cut = cut;
+    if (efficiency > best_efficiency) {
+      best_efficiency = efficiency;
+      recommended = budget;
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nMost efficient budget: " << format_double(100.0 * recommended, 0)
+            << "% of calls (diminishing returns beyond; unlimited relaying "
+               "yields "
+            << format_double(unlimited_cut, 1)
+            << "% PNR reduction).\nThe paper finds ~half of the maximum "
+               "benefit at a 30% budget when selection is budget-aware.\n";
+  return 0;
+}

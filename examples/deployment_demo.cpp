@@ -1,0 +1,46 @@
+// Deployment demo: runs a real Via controller behind a TCP server on
+// localhost and a fleet of instrumented client pairs against it — the
+// Section 5.5 experiment as a library user would run it.
+//
+//   $ ./example_deployment_demo [client_pairs] [eval_calls_per_pair]
+//
+// Shows the two-phase protocol (orchestrated measurement calls, then
+// controller-driven evaluation calls) and the resulting sub-optimality CDF.
+#include <cstdlib>
+#include <iostream>
+
+#include "rpc/testbed.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace via;
+
+  TestbedConfig config;
+  if (argc > 1) config.client_pairs = std::max(2, std::atoi(argv[1]));
+  if (argc > 2) config.eval_calls_per_pair = std::max(5, std::atoi(argv[2]));
+
+  std::cout << "Starting a Via controller on localhost and " << config.client_pairs
+            << " instrumented client pairs...\n";
+  std::cout << "Phase 1: back-to-back measurement calls over every relaying option\n";
+  std::cout << "Phase 2: " << config.eval_calls_per_pair
+            << " controller-routed calls per pair\n\n";
+
+  const TestbedResult result = run_testbed(config);
+
+  std::cout << "measurement calls: " << result.measurement_calls << "\n";
+  std::cout << "evaluation calls:  " << result.eval_calls << "\n\n";
+
+  TextTable table({"sub-optimality vs oracle", "fraction of calls"});
+  for (const double x : {0.0, 0.05, 0.1, 0.2, 0.5}) {
+    table.row()
+        .cell("within " + format_double(100.0 * x, 0) + "%")
+        .cell_pct(result.fraction_within(x));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nVia picked the oracle's exact option on "
+            << format_double(100.0 * result.fraction_best(), 1)
+            << "% of calls; when it misses, it lands close (the paper's "
+               "Figure 18 shape: ~70% of calls within 20%).\n";
+  return 0;
+}

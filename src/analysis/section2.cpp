@@ -1,0 +1,200 @@
+#include "analysis/section2.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/histogram.h"
+#include "util/stats.h"
+
+namespace via {
+
+BinnedPcrCurve binned_pcr(std::span<const CallRecord> records, Metric metric, double lo,
+                          double hi, std::size_t bins, std::int64_t min_samples) {
+  BinnedRate rate(lo, hi, bins);
+  for (const auto& r : records) {
+    if (!r.rated()) continue;
+    rate.add(r.perf.get(metric), r.rated_poor());
+  }
+
+  BinnedPcrCurve curve;
+  curve.metric = metric;
+  const double max_pcr = rate.max_rate(min_samples);
+  Correlation corr;
+  for (std::size_t i = 0; i < rate.bins(); ++i) {
+    if (rate.bin_count(i) < min_samples) continue;
+    PcrBin bin;
+    bin.metric_lo = rate.bin_lo(i);
+    bin.metric_center = rate.bin_center(i);
+    bin.calls = rate.bin_count(i);
+    bin.pcr = rate.bin_rate(i);
+    bin.normalized_pcr = max_pcr > 0.0 ? bin.pcr / max_pcr : 0.0;
+    curve.bins.push_back(bin);
+    corr.add(bin.metric_center, bin.pcr);
+  }
+  curve.correlation = corr.coefficient();
+  return curve;
+}
+
+std::array<std::vector<CdfPoint>, kNumMetrics> metric_cdfs(std::span<const CallRecord> records,
+                                                           std::size_t max_points) {
+  std::array<std::vector<CdfPoint>, kNumMetrics> out;
+  for (const Metric m : kAllMetrics) {
+    std::vector<double> values;
+    values.reserve(records.size());
+    for (const auto& r : records) values.push_back(r.perf.get(m));
+    out[metric_index(m)] = build_cdf(std::move(values), max_points);
+  }
+  return out;
+}
+
+std::vector<ConditionalPercentileRow> conditional_percentiles(
+    std::span<const CallRecord> records, Metric x, Metric y, double lo, double hi,
+    std::size_t bins, std::int64_t min_samples) {
+  const double width = (hi - lo) / static_cast<double>(bins);
+  std::vector<std::vector<double>> buckets(bins);
+  for (const auto& r : records) {
+    const double xv = r.perf.get(x);
+    if (xv < lo || xv >= hi) continue;
+    const auto i = std::min(static_cast<std::size_t>((xv - lo) / width), bins - 1);
+    buckets[i].push_back(r.perf.get(y));
+  }
+
+  std::vector<ConditionalPercentileRow> rows;
+  for (std::size_t i = 0; i < bins; ++i) {
+    auto& b = buckets[i];
+    if (static_cast<std::int64_t>(b.size()) < min_samples) continue;
+    std::sort(b.begin(), b.end());
+    ConditionalPercentileRow row;
+    row.x_center = lo + (static_cast<double>(i) + 0.5) * width;
+    row.calls = static_cast<std::int64_t>(b.size());
+    row.p10 = percentile_sorted(b, 10.0);
+    row.p50 = percentile_sorted(b, 50.0);
+    row.p90 = percentile_sorted(b, 90.0);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+PnrBreakdown pnr_breakdown(std::span<const CallRecord> records, PoorThresholds thresholds) {
+  PnrBreakdown b{PnrAccumulator(thresholds), PnrAccumulator(thresholds),
+                 PnrAccumulator(thresholds), PnrAccumulator(thresholds),
+                 PnrAccumulator(thresholds)};
+  for (const auto& r : records) {
+    b.all.add(r.perf);
+    (r.international() ? b.international : b.domestic).add(r.perf);
+    (r.inter_as() ? b.inter_as : b.intra_as).add(r.perf);
+  }
+  return b;
+}
+
+std::vector<CountryPnr> pnr_by_country(std::span<const CallRecord> records,
+                                       bool international_only, std::int64_t min_calls,
+                                       PoorThresholds thresholds) {
+  std::unordered_map<CountryId, PnrAccumulator> by_country;
+  for (const auto& r : records) {
+    if (international_only && !r.international()) continue;
+    by_country.try_emplace(r.src_country, thresholds).first->second.add(r.perf);
+    if (r.dst_country != r.src_country) {
+      by_country.try_emplace(r.dst_country, thresholds).first->second.add(r.perf);
+    }
+  }
+
+  std::vector<CountryPnr> out;
+  for (const auto& [country, acc] : by_country) {
+    if (acc.total() >= min_calls) out.push_back({country, acc});
+  }
+  std::sort(out.begin(), out.end(), [](const CountryPnr& a, const CountryPnr& b) {
+    return a.acc.pnr_any() > b.acc.pnr_any();
+  });
+  return out;
+}
+
+PairContributionCurve aspair_contribution(std::span<const CallRecord> records,
+                                          PoorThresholds thresholds) {
+  std::unordered_map<std::uint64_t, std::int64_t> poor_by_pair;
+  std::int64_t total_poor = 0;
+  for (const auto& r : records) {
+    if (thresholds.any_poor(r.perf)) {
+      ++poor_by_pair[r.pair_key()];
+      ++total_poor;
+    }
+  }
+
+  std::vector<std::int64_t> counts;
+  counts.reserve(poor_by_pair.size());
+  for (const auto& [key, n] : poor_by_pair) counts.push_back(n);
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+
+  PairContributionCurve curve;
+  curve.total_pairs = static_cast<std::int64_t>(counts.size());
+  curve.total_poor_calls = total_poor;
+  curve.cumulative_share.reserve(counts.size());
+  double acc = 0.0;
+  for (const auto n : counts) {
+    acc += static_cast<double>(n);
+    curve.cumulative_share.push_back(total_poor > 0 ? acc / static_cast<double>(total_poor)
+                                                    : 0.0);
+  }
+  return curve;
+}
+
+PersistencePrevalence persistence_prevalence(std::span<const CallRecord> records, Metric metric,
+                                             double ratio, std::int64_t min_calls_per_day,
+                                             int min_active_days, PoorThresholds thresholds) {
+  // Per-day overall PNR and per-(pair, day) PNR.
+  std::map<int, RateCounter> overall_by_day;
+  std::unordered_map<std::uint64_t, std::map<int, RateCounter>> pair_days;
+  for (const auto& r : records) {
+    const bool poor = thresholds.poor(metric, r.perf);
+    overall_by_day[r.day()].add(poor);
+    pair_days[r.pair_key()][r.day()].add(poor);
+  }
+
+  PersistencePrevalence out;
+  for (const auto& [pair, days] : pair_days) {
+    // Qualifying days (enough data) and whether each was "high PNR".
+    std::vector<std::pair<int, bool>> labeled;
+    for (const auto& [day, counter] : days) {
+      if (counter.total() < min_calls_per_day) continue;
+      const double base = overall_by_day[day].rate();
+      labeled.emplace_back(day, base > 0.0 && counter.rate() >= ratio * base);
+    }
+    if (static_cast<int>(labeled.size()) < min_active_days) continue;
+
+    // Prevalence: fraction of qualifying days that are high.
+    std::int64_t high_days = 0;
+    for (const auto& [day, high] : labeled) {
+      if (high) ++high_days;
+    }
+    if (high_days == 0) continue;  // the paper studies pairs that do go high
+
+    // Persistence: median length of consecutive-day high runs.  A gap in
+    // qualifying days breaks a run, as does a non-high qualifying day.
+    std::vector<double> runs;
+    int run = 0;
+    int prev_high_day = -2;
+    for (const auto& [day, high] : labeled) {
+      if (high) {
+        if (run > 0 && day == prev_high_day + 1) {
+          ++run;
+        } else {
+          if (run > 0) runs.push_back(static_cast<double>(run));
+          run = 1;
+        }
+        prev_high_day = day;
+      } else if (run > 0) {
+        runs.push_back(static_cast<double>(run));
+        run = 0;
+      }
+    }
+    if (run > 0) runs.push_back(static_cast<double>(run));
+
+    out.persistence_days.push_back(percentile(runs, 50.0));
+    out.prevalence.push_back(static_cast<double>(high_days) /
+                             static_cast<double>(labeled.size()));
+  }
+  return out;
+}
+
+}  // namespace via

@@ -1,0 +1,129 @@
+// Section-2 analyses: everything the paper measures about call quality and
+// poor-network patterns in the default-routed trace.
+//
+//   Figure 1  — binned PCR as a function of each network metric
+//   Figure 2  — CDFs of RTT / loss / jitter and the poor thresholds
+//   Figure 3  — pairwise metric correlation (conditional percentiles)
+//   Figure 4  — international vs domestic PNR; per-country PNR
+//   Figure 5  — cumulative PNR contribution of the worst AS pairs
+//   Figure 6  — persistence and prevalence of high-PNR AS pairs
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/call.h"
+#include "quality/pnr.h"
+#include "util/percentile.h"
+
+namespace via {
+
+// ---------------------------------------------------------------- Figure 1
+
+struct PcrBin {
+  double metric_lo = 0.0;      ///< lower edge of the bin
+  double metric_center = 0.0;
+  std::int64_t calls = 0;      ///< rated calls in the bin
+  double pcr = 0.0;            ///< fraction rated 1-2 stars
+  double normalized_pcr = 0.0; ///< pcr / max-bin pcr (the paper's y-axis)
+};
+
+struct BinnedPcrCurve {
+  Metric metric{};
+  std::vector<PcrBin> bins;       ///< only bins with >= min_samples rated calls
+  double correlation = 0.0;       ///< Pearson r of (bin center, PCR)
+};
+
+/// Bins rated calls by one metric and computes per-bin PCR.  Bins with
+/// fewer than `min_samples` rated calls are dropped (statistical
+/// significance rule from the paper: >= 1000 samples per bin).
+[[nodiscard]] BinnedPcrCurve binned_pcr(std::span<const CallRecord> records, Metric metric,
+                                        double lo, double hi, std::size_t bins,
+                                        std::int64_t min_samples);
+
+// ---------------------------------------------------------------- Figure 2
+
+/// Empirical CDF of each metric over all calls.
+[[nodiscard]] std::array<std::vector<CdfPoint>, kNumMetrics> metric_cdfs(
+    std::span<const CallRecord> records, std::size_t max_points = 100);
+
+// ---------------------------------------------------------------- Figure 3
+
+struct ConditionalPercentileRow {
+  double x_center = 0.0;
+  std::int64_t calls = 0;
+  double p10 = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+};
+
+/// Distribution (10th/50th/90th percentile) of metric `y` conditioned on
+/// binned values of metric `x` over the same calls.
+[[nodiscard]] std::vector<ConditionalPercentileRow> conditional_percentiles(
+    std::span<const CallRecord> records, Metric x, Metric y, double lo, double hi,
+    std::size_t bins, std::int64_t min_samples);
+
+// ---------------------------------------------------------------- Figure 4
+
+struct PnrBreakdown {
+  PnrAccumulator all;
+  PnrAccumulator international;
+  PnrAccumulator domestic;
+  PnrAccumulator inter_as;
+  PnrAccumulator intra_as;
+};
+
+[[nodiscard]] PnrBreakdown pnr_breakdown(std::span<const CallRecord> records,
+                                         PoorThresholds thresholds = {});
+
+struct CountryPnr {
+  CountryId country = -1;
+  PnrAccumulator acc;
+};
+
+/// PNR per country, attributing an international call to both endpoints'
+/// countries (the paper's "country of one side of a call").  Sorted by
+/// descending "at least one bad" PNR; countries with fewer than
+/// `min_calls` calls are dropped.
+[[nodiscard]] std::vector<CountryPnr> pnr_by_country(std::span<const CallRecord> records,
+                                                     bool international_only,
+                                                     std::int64_t min_calls,
+                                                     PoorThresholds thresholds = {});
+
+// ---------------------------------------------------------------- Figure 5
+
+struct PairContributionCurve {
+  /// cumulative_share[i]: fraction of all poor calls contributed by the
+  /// worst (i+1) AS pairs, pairs ranked by their poor-call count.
+  std::vector<double> cumulative_share;
+  std::int64_t total_pairs = 0;
+  std::int64_t total_poor_calls = 0;
+};
+
+/// Contribution of the worst AS pairs to the overall pool of poor calls,
+/// for the "at least one bad" criterion.
+[[nodiscard]] PairContributionCurve aspair_contribution(std::span<const CallRecord> records,
+                                                        PoorThresholds thresholds = {});
+
+// ---------------------------------------------------------------- Figure 6
+
+struct PersistencePrevalence {
+  /// One entry per qualifying AS pair.
+  std::vector<double> persistence_days;  ///< median consecutive high-PNR run length
+  std::vector<double> prevalence;        ///< fraction of active days with high PNR
+};
+
+/// Labels an AS pair "high PNR" on a day when its PNR (on the given metric)
+/// is at least `ratio` times the overall PNR of that day (paper: 1.5x), and
+/// summarizes how persistent and prevalent high-PNR status is per pair.
+/// Pairs need >= `min_calls_per_day` calls on a day for that day to count,
+/// and >= `min_active_days` qualifying days overall.
+[[nodiscard]] PersistencePrevalence persistence_prevalence(std::span<const CallRecord> records,
+                                                           Metric metric, double ratio = 1.5,
+                                                           std::int64_t min_calls_per_day = 20,
+                                                           int min_active_days = 5,
+                                                           PoorThresholds thresholds = {});
+
+}  // namespace via

@@ -1,0 +1,64 @@
+// Call records and call contexts.  A CallRecord is the unit of the trace —
+// the per-call tuple the Skype clients report (Section 2.1); a CallContext
+// is what a routing policy sees when asked for a decision.
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+
+namespace via {
+
+/// One completed call as recorded in the trace.
+struct CallRecord {
+  CallId id = 0;
+  TimeSec start = 0;
+  AsId src_as = kInvalidAs;
+  AsId dst_as = kInvalidAs;
+  CountryId src_country = -1;
+  CountryId dst_country = -1;
+  PrefixId src_prefix = -1;
+  PrefixId dst_prefix = -1;
+  OptionId option = 0;  ///< relaying option the call actually used
+  PathPerformance perf;
+  float duration_min = 0.0F;
+  std::int8_t rating = -1;  ///< 1..5 user star rating; -1 if the user was not asked
+
+  [[nodiscard]] bool international() const noexcept { return src_country != dst_country; }
+  [[nodiscard]] bool inter_as() const noexcept { return src_as != dst_as; }
+  [[nodiscard]] bool rated() const noexcept { return rating >= 1; }
+  /// "Poor" user rating per the paper's operational practice: 1 or 2 stars.
+  [[nodiscard]] bool rated_poor() const noexcept { return rating >= 1 && rating <= 2; }
+  [[nodiscard]] int day() const noexcept { return day_of(start); }
+  [[nodiscard]] std::uint64_t pair_key() const noexcept { return as_pair_key(src_as, dst_as); }
+};
+
+/// What a policy knows when choosing a relaying option for a new call:
+/// endpoints, time, and the candidate option set for this AS pair.
+///
+/// `key_src` / `key_dst` are the endpoint *grouping* ids a policy keys its
+/// state by.  They default to the AS ids; the simulation engine substitutes
+/// country or prefix ids when studying spatial decision granularity
+/// (the paper's Figure 17a).
+struct CallContext {
+  CallId id = 0;
+  TimeSec time = 0;
+  AsId src_as = kInvalidAs;
+  AsId dst_as = kInvalidAs;
+  AsId key_src = kInvalidAs;
+  AsId key_dst = kInvalidAs;
+  CountryId src_country = -1;
+  CountryId dst_country = -1;
+  PrefixId src_prefix = -1;
+  PrefixId dst_prefix = -1;
+  /// Candidate relaying options for this AS pair, always including the
+  /// direct path (id 0) first.
+  std::span<const OptionId> options;
+
+  [[nodiscard]] std::uint64_t pair_key() const noexcept {
+    return as_pair_key(key_src, key_dst);
+  }
+  [[nodiscard]] int day() const noexcept { return day_of(time); }
+};
+
+}  // namespace via

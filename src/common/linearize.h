@@ -1,0 +1,66 @@
+// Linearization of the three metrics so that per-segment values compose
+// additively along a path (paper Section 4.4):
+//   - RTT adds directly.
+//   - Loss: with independent segment losses, 1-p = prod(1-p_i), so
+//     -ln(1-p) is additive.
+//   - Jitter: treating per-segment delay variation as independent, variances
+//     add, so jitter^2 is additive.
+// Both the ground-truth path composer (netsim) and the tomography solver
+// (core) must use the same transform, which is why it lives in common/.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/types.h"
+
+namespace via {
+
+/// Largest loss percentage we linearize; beyond this the call is unusable
+/// anyway and log(0) must be avoided.
+inline constexpr double kMaxLossPct = 99.0;
+
+[[nodiscard]] inline double linearize(Metric m, double value) noexcept {
+  switch (m) {
+    case Metric::Rtt:
+      return value;
+    case Metric::Loss: {
+      const double p = std::clamp(value, 0.0, kMaxLossPct) / 100.0;
+      return -std::log1p(-p);
+    }
+    case Metric::Jitter:
+      return value * value;
+  }
+  return value;
+}
+
+[[nodiscard]] inline double delinearize(Metric m, double value) noexcept {
+  switch (m) {
+    case Metric::Rtt:
+      return std::max(0.0, value);
+    case Metric::Loss:
+      return std::clamp(100.0 * (-std::expm1(-std::max(0.0, value))), 0.0, kMaxLossPct);
+    case Metric::Jitter:
+      return std::sqrt(std::max(0.0, value));
+  }
+  return value;
+}
+
+/// Composes two path segments into one end-to-end performance value, using
+/// the linearization above for each metric.
+[[nodiscard]] inline PathPerformance compose_segments(const PathPerformance& a,
+                                                      const PathPerformance& b) noexcept {
+  PathPerformance out;
+  for (const Metric m : kAllMetrics) {
+    out.set(m, delinearize(m, linearize(m, a.get(m)) + linearize(m, b.get(m))));
+  }
+  return out;
+}
+
+[[nodiscard]] inline PathPerformance compose_segments(const PathPerformance& a,
+                                                      const PathPerformance& b,
+                                                      const PathPerformance& c) noexcept {
+  return compose_segments(compose_segments(a, b), c);
+}
+
+}  // namespace via

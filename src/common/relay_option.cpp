@@ -1,0 +1,66 @@
+#include "common/relay_option.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace via {
+
+RelayOptionTable::RelayOptionTable() {
+  const RelayOption direct{};  // kind == Direct
+  options_.push_back(direct);
+  index_.emplace(key_of(direct), 0);
+}
+
+std::uint64_t RelayOptionTable::key_of(const RelayOption& o) noexcept {
+  return (static_cast<std::uint64_t>(o.kind) << 32) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(o.a)) << 16) |
+         static_cast<std::uint64_t>(static_cast<std::uint16_t>(o.b));
+}
+
+OptionId RelayOptionTable::intern(const RelayOption& o) {
+  const auto key = key_of(o);
+  if (const auto it = index_.find(key); it != index_.end()) return it->second;
+  const auto id = static_cast<OptionId>(options_.size());
+  options_.push_back(o);
+  index_.emplace(key, id);
+  return id;
+}
+
+OptionId RelayOptionTable::intern_bounce(RelayId r) {
+  assert(r >= 0);
+  return intern(RelayOption{RelayKind::Bounce, r, -1});
+}
+
+OptionId RelayOptionTable::intern_transit(RelayId r1, RelayId r2) {
+  assert(r1 >= 0 && r2 >= 0);
+  if (r1 == r2) throw std::invalid_argument("transit requires two distinct relays");
+  if (r1 > r2) std::swap(r1, r2);
+  return intern(RelayOption{RelayKind::Transit, r1, r2});
+}
+
+const RelayOption& RelayOptionTable::get(OptionId id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < options_.size());
+  return options_[static_cast<std::size_t>(id)];
+}
+
+std::string RelayOptionTable::label(OptionId id) const {
+  const RelayOption& o = get(id);
+  switch (o.kind) {
+    case RelayKind::Direct:
+      return "direct";
+    case RelayKind::Bounce:
+      return "bounce(" + std::to_string(o.a) + ")";
+    case RelayKind::Transit:
+      return "transit(" + std::to_string(o.a) + "," + std::to_string(o.b) + ")";
+  }
+  return "?";
+}
+
+std::vector<OptionId> RelayOptionTable::all_ids() const {
+  std::vector<OptionId> ids(options_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<OptionId>(i);
+  return ids;
+}
+
+}  // namespace via

@@ -1,0 +1,74 @@
+// Relaying options (Section 3.1 of the paper): a call either takes the
+// default Internet path, bounces off one relay, or transits through a pair
+// of relays connected by the managed backbone.  Options are interned in a
+// global table so that the rest of the system can refer to them by a dense
+// OptionId.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace via {
+
+enum class RelayKind : std::uint8_t { Direct = 0, Bounce = 1, Transit = 2 };
+
+[[nodiscard]] constexpr std::string_view relay_kind_name(RelayKind k) noexcept {
+  switch (k) {
+    case RelayKind::Direct:
+      return "direct";
+    case RelayKind::Bounce:
+      return "bounce";
+    case RelayKind::Transit:
+      return "transit";
+  }
+  return "?";
+}
+
+/// One relaying option.  For Bounce, `a` is the relay and `b` is unused.
+/// For Transit, {a, b} is an unordered relay pair, stored with a <= b.
+struct RelayOption {
+  RelayKind kind = RelayKind::Direct;
+  RelayId a = -1;
+  RelayId b = -1;
+
+  friend constexpr bool operator==(const RelayOption&, const RelayOption&) = default;
+};
+
+/// Interning table for relaying options.  OptionId 0 is always the direct
+/// path.  Thread-compatible (callers synchronize if shared across threads).
+class RelayOptionTable {
+ public:
+  RelayOptionTable();
+
+  /// The direct path's id (always 0).
+  [[nodiscard]] static constexpr OptionId direct_id() noexcept { return 0; }
+
+  /// Interns a bounce option off relay r.
+  OptionId intern_bounce(RelayId r);
+
+  /// Interns a transit option through the unordered pair {r1, r2}.
+  /// r1 != r2 is required; a transit through one relay is a bounce.
+  OptionId intern_transit(RelayId r1, RelayId r2);
+
+  [[nodiscard]] const RelayOption& get(OptionId id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return options_.size(); }
+
+  /// Human-readable label, e.g. "direct", "bounce(7)", "transit(3,12)".
+  [[nodiscard]] std::string label(OptionId id) const;
+
+  /// All interned option ids (0 .. size-1); handy for "Random(R)" draws.
+  [[nodiscard]] std::vector<OptionId> all_ids() const;
+
+ private:
+  [[nodiscard]] static std::uint64_t key_of(const RelayOption& o) noexcept;
+  OptionId intern(const RelayOption& o);
+
+  std::vector<RelayOption> options_;
+  std::unordered_map<std::uint64_t, OptionId> index_;
+};
+
+}  // namespace via

@@ -1,0 +1,143 @@
+// Core domain vocabulary shared by every Via module: entity identifiers,
+// the three network metrics the paper studies, and per-call performance.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace via {
+
+using AsId = std::int32_t;       ///< index into the world's AS table
+using CountryId = std::int16_t;  ///< index into the world's country table
+using RelayId = std::int16_t;    ///< index into the world's relay-site table
+using OptionId = std::int32_t;   ///< index into the RelayOptionTable
+using PrefixId = std::int32_t;   ///< finer-than-AS client grouping (/24-like)
+using CallId = std::int64_t;
+using TimeSec = std::int64_t;    ///< seconds since trace epoch
+
+inline constexpr AsId kInvalidAs = -1;
+inline constexpr OptionId kInvalidOption = -1;
+inline constexpr std::int64_t kSecondsPerDay = 86400;
+
+/// The three network performance metrics the paper analyzes.  Lower is
+/// better for all of them.
+enum class Metric : std::uint8_t { Rtt = 0, Loss = 1, Jitter = 2 };
+
+inline constexpr std::array<Metric, 3> kAllMetrics{Metric::Rtt, Metric::Loss, Metric::Jitter};
+inline constexpr std::size_t kNumMetrics = 3;
+
+[[nodiscard]] constexpr std::size_t metric_index(Metric m) noexcept {
+  return static_cast<std::size_t>(m);
+}
+
+[[nodiscard]] constexpr std::string_view metric_name(Metric m) noexcept {
+  switch (m) {
+    case Metric::Rtt:
+      return "RTT";
+    case Metric::Loss:
+      return "loss";
+    case Metric::Jitter:
+      return "jitter";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view metric_unit(Metric m) noexcept {
+  switch (m) {
+    case Metric::Rtt:
+      return "ms";
+    case Metric::Loss:
+      return "%";
+    case Metric::Jitter:
+      return "ms";
+  }
+  return "?";
+}
+
+/// Average network performance of one call, as reported by the clients in
+/// accordance with RTP (paper Section 2.1): RTT in ms, loss rate in percent,
+/// jitter in ms.
+struct PathPerformance {
+  double rtt_ms = 0.0;
+  double loss_pct = 0.0;
+  double jitter_ms = 0.0;
+
+  [[nodiscard]] constexpr double get(Metric m) const noexcept {
+    switch (m) {
+      case Metric::Rtt:
+        return rtt_ms;
+      case Metric::Loss:
+        return loss_pct;
+      case Metric::Jitter:
+        return jitter_ms;
+    }
+    return 0.0;
+  }
+
+  constexpr void set(Metric m, double v) noexcept {
+    switch (m) {
+      case Metric::Rtt:
+        rtt_ms = v;
+        break;
+      case Metric::Loss:
+        loss_pct = v;
+        break;
+      case Metric::Jitter:
+        jitter_ms = v;
+        break;
+    }
+  }
+
+  friend constexpr bool operator==(const PathPerformance&, const PathPerformance&) = default;
+};
+
+/// Poor-network thresholds chosen in Section 2.2 of the paper: a call's
+/// metric is "poor" when it is at or beyond the ~85th percentile values
+/// RTT >= 320 ms, loss >= 1.2 %, jitter >= 12 ms.
+struct PoorThresholds {
+  double rtt_ms = 320.0;
+  double loss_pct = 1.2;
+  double jitter_ms = 12.0;
+
+  [[nodiscard]] constexpr double get(Metric m) const noexcept {
+    switch (m) {
+      case Metric::Rtt:
+        return rtt_ms;
+      case Metric::Loss:
+        return loss_pct;
+      case Metric::Jitter:
+        return jitter_ms;
+    }
+    return 0.0;
+  }
+
+  [[nodiscard]] constexpr bool poor(Metric m, const PathPerformance& p) const noexcept {
+    return p.get(m) >= get(m);
+  }
+
+  /// True when at least one of the three metrics is poor ("at least one
+  /// bad", the collective PNR of Section 2.2).
+  [[nodiscard]] constexpr bool any_poor(const PathPerformance& p) const noexcept {
+    return poor(Metric::Rtt, p) || poor(Metric::Loss, p) || poor(Metric::Jitter, p);
+  }
+};
+
+/// Canonical undirected AS-pair key (order-independent).
+[[nodiscard]] constexpr std::uint64_t as_pair_key(AsId a, AsId b) noexcept {
+  const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+  const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+  return (hi << 32) | lo;
+}
+
+/// Day index (0-based) of a timestamp.
+[[nodiscard]] constexpr int day_of(TimeSec t) noexcept {
+  return static_cast<int>(t / kSecondsPerDay);
+}
+
+/// Hour of day in [0, 24).
+[[nodiscard]] constexpr int hour_of(TimeSec t) noexcept {
+  return static_cast<int>((t % kSecondsPerDay) / 3600);
+}
+
+}  // namespace via

@@ -1,0 +1,78 @@
+// Modified UCB1 bandit over the top-k candidates (Algorithm 3).
+//
+// Standard UCB1 normalizes rewards into [0,1] by the full value range; with
+// heavy-tailed network metrics that squashes the common case, so the paper
+// instead normalizes by w = the mean of the top-k candidates' upper
+// confidence bounds.  Because the metric is a cost (lower is better) the
+// index *subtracts* the exploration bonus and the arm with the minimum
+// index is played:
+//     index(r) = mean(Q_r) / w  -  sqrt(0.1 * ln(T) / n_r)
+// Arms never played are tried first (index -inf).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "core/topk.h"
+
+namespace via {
+
+enum class BanditNormalization : std::uint8_t {
+  MeanUpperBound,  ///< the paper's scheme: w = avg Pred_upper over top-k
+  MaxObserved,     ///< naive scheme for the Figure 15 ablation
+};
+
+struct BanditConfig {
+  double exploration_coefficient = 0.1;  ///< the 0.1 in sqrt(0.1 ln T / n)
+  BanditNormalization normalization = BanditNormalization::MeanUpperBound;
+  /// Seed each arm with one pseudo-observation at its predicted mean, so
+  /// the bandit starts from the predictor's ranking instead of playing
+  /// every arm round-robin (costly at realistic per-pair call volumes).
+  bool seed_with_prediction = true;
+  /// When re-arming at a refresh, carry over this fraction of each
+  /// surviving arm's play count (0 = full reset, as in stateless UCB1).
+  double carry_over = 0.5;
+};
+
+/// Bandit state for one (AS pair, metric) within one refresh period.
+class UcbBandit {
+ public:
+  UcbBandit() = default;
+
+  /// Installs the period's arms (top-k options with predictions).  `w` is
+  /// computed from the predictions per the config.  When `carry_from` is
+  /// given, arms surviving from the previous period keep a decayed version
+  /// of their statistics (non-stationarity adaptation without total
+  /// amnesia); fresh arms are optionally seeded with their prediction.
+  void set_arms(const std::vector<RankedOption>& top_k, const BanditConfig& config,
+                const UcbBandit* carry_from = nullptr);
+
+  /// Picks the arm with the minimum UCB index; kInvalidOption if armless.
+  [[nodiscard]] OptionId pick() const;
+
+  /// Records an observed cost for an arm (no-op for unknown arms, which can
+  /// happen for ε-exploration picks outside the top-k).
+  void observe(OptionId option, double cost);
+
+  [[nodiscard]] bool has_arms() const noexcept { return !arms_.empty(); }
+  [[nodiscard]] std::size_t arm_count() const noexcept { return arms_.size(); }
+  [[nodiscard]] std::int64_t total_plays() const noexcept { return total_plays_; }
+  [[nodiscard]] double normalizer() const noexcept { return w_; }
+
+ private:
+  struct Arm {
+    OptionId option = kInvalidOption;
+    std::int64_t plays = 0;
+    double cost_sum = 0.0;
+  };
+  std::vector<Arm> arms_;
+  double w_ = 1.0;
+  double max_observed_ = 0.0;
+  std::int64_t total_plays_ = 0;
+  BanditConfig config_;
+};
+
+}  // namespace via

@@ -1,0 +1,55 @@
+#include "core/budget.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace via {
+
+namespace {
+// The P² estimator needs a quantile strictly inside (0,1).
+double benefit_quantile_for(double fraction) {
+  return std::clamp(1.0 - fraction, 0.001, 0.999);
+}
+}  // namespace
+
+BudgetFilter::BudgetFilter(BudgetConfig config)
+    : config_(config), benefit_quantile_(benefit_quantile_for(config.fraction)) {}
+
+void BudgetFilter::on_call(double predicted_benefit) {
+  ++calls_;
+  // Token cap of 1 call: unused allowance does not accumulate without
+  // bound, keeping the relayed fraction near B at all times rather than
+  // only in aggregate.
+  tokens_ = std::min(tokens_ + config_.fraction, std::max(1.0, config_.fraction * 100.0));
+  benefit_quantile_.add(predicted_benefit);
+}
+
+double BudgetFilter::benefit_threshold() const {
+  if (config_.fraction >= 1.0) return -std::numeric_limits<double>::infinity();
+  return benefit_quantile_.value();
+}
+
+bool BudgetFilter::allow_relay(double predicted_benefit) {
+  if (config_.fraction >= 1.0) {
+    ++granted_;
+    return true;
+  }
+  if (tokens_ < 1.0) return false;
+  if (config_.aware) {
+    // Only relay calls whose benefit clears the trailing (1-B) percentile
+    // (the paper's §4.6 rule); small-benefit calls save their token for
+    // someone who needs it more.  As B grows the threshold slides down the
+    // benefit distribution and the filter converges to unconstrained.
+    if (predicted_benefit < benefit_threshold()) return false;
+  } else {
+    // Budget-unaware: greedy — any non-negative (including unknown = 0)
+    // predicted benefit spends a token.  This is what burns the budget on
+    // marginal calls (the paper's Figure 16 contrast).
+    if (predicted_benefit < 0.0) return false;
+  }
+  tokens_ -= 1.0;
+  ++granted_;
+  return true;
+}
+
+}  // namespace via

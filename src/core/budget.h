@@ -1,0 +1,49 @@
+// Budgeted relaying (Section 4.6).
+//
+// The operator caps the fraction of calls that may be relayed at B.  The
+// budget-aware filter relays a call only when its *predicted benefit*
+// (predicted cost of the direct path minus predicted cost of the best
+// relayed candidate) lands in the top-B percentile of the trailing benefit
+// distribution — tracked streamingly with a P² quantile estimator — AND a
+// token bucket confirms capacity remains.  The budget-unaware variant
+// (Figure 16's strawman) relays greedily whenever any benefit is predicted,
+// until the bucket runs dry.
+#pragma once
+
+#include <cstdint>
+
+#include "util/percentile.h"
+
+namespace via {
+
+struct BudgetConfig {
+  double fraction = 1.0;  ///< B: max fraction of calls relayed (1.0 = no cap)
+  bool aware = true;      ///< false => greedy (budget-unaware) usage
+};
+
+class BudgetFilter {
+ public:
+  explicit BudgetFilter(BudgetConfig config);
+
+  /// Must be called once per call (relayed or not) *before* allow_relay;
+  /// accrues relay tokens and records the call's predicted benefit.
+  void on_call(double predicted_benefit);
+
+  /// Decides whether a call with this predicted benefit may be relayed,
+  /// consuming a token when it is.
+  [[nodiscard]] bool allow_relay(double predicted_benefit);
+
+  [[nodiscard]] double tokens() const noexcept { return tokens_; }
+  [[nodiscard]] std::int64_t calls_seen() const noexcept { return calls_; }
+  [[nodiscard]] std::int64_t relays_granted() const noexcept { return granted_; }
+  [[nodiscard]] double benefit_threshold() const;
+
+ private:
+  BudgetConfig config_;
+  P2Quantile benefit_quantile_;
+  double tokens_ = 0.0;
+  std::int64_t calls_ = 0;
+  std::int64_t granted_ = 0;
+};
+
+}  // namespace via

@@ -1,0 +1,47 @@
+#include "core/extensions.h"
+
+#include <algorithm>
+
+namespace via {
+
+CachingClient::CachingClient(RoutingPolicy& controller, TimeSec ttl)
+    : controller_(&controller), ttl_(ttl) {}
+
+OptionId CachingClient::choose(const CallContext& call) {
+  Entry& entry = cache_[call.pair_key()];
+  if (entry.fetched_at >= 0 && call.time - entry.fetched_at < ttl_) {
+    ++hits_;
+    return entry.option;
+  }
+  ++misses_;
+  entry.option = controller_->choose(call);
+  entry.fetched_at = call.time;
+  return entry.option;
+}
+
+void CachingClient::refresh(TimeSec now) {
+  controller_->refresh(now);
+  // Controller state changed; cached decisions may be stale, but clients
+  // only notice at TTL expiry — that latency is exactly the tradeoff this
+  // wrapper exists to study.  (We keep entries; TTL governs staleness.)
+}
+
+HybridRacer::HybridRacer(ViaPolicy& inner, int race_width)
+    : inner_(&inner), race_width_(std::max(1, race_width)) {}
+
+std::vector<OptionId> HybridRacer::choose_candidates(const CallContext& call) {
+  std::vector<OptionId> race;
+  const OptionId primary = inner_->choose(call);
+  race.push_back(primary);
+
+  // Add the best-predicted remaining top-k candidates.
+  for (const RankedOption& r : inner_->top_k_for(call)) {
+    if (static_cast<int>(race.size()) >= race_width_) break;
+    if (std::find(race.begin(), race.end(), r.option) == race.end()) {
+      race.push_back(r.option);
+    }
+  }
+  return race;
+}
+
+}  // namespace via

@@ -1,0 +1,76 @@
+// Extensions the paper discusses but leaves to future work (§3.1 / §7):
+//
+//   - CachingClient: clients cache the controller's relaying decision per
+//     AS pair with a TTL, collapsing the per-call control round trips that
+//     worry §7's scalability discussion — at the cost of reacting slower.
+//
+//   - HybridRacer: the "hybrid reactive" idea — at call setup the client
+//     briefly races the controller's top-k candidates in parallel and
+//     keeps the best, using prediction-guided pruning to keep the race
+//     small instead of trying the full option space.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/via_policy.h"
+
+namespace via {
+
+/// Wraps any controller policy with a client-side decision cache.
+class CachingClient final : public RoutingPolicy {
+ public:
+  /// The inner policy must outlive this wrapper.
+  CachingClient(RoutingPolicy& controller, TimeSec ttl);
+
+  [[nodiscard]] OptionId choose(const CallContext& call) override;
+  void observe(const Observation& obs) override { controller_->observe(obs); }
+  void refresh(TimeSec now) override;
+  [[nodiscard]] std::vector<ProbeRequest> plan_probes(std::size_t max_probes) override {
+    return controller_->plan_probes(max_probes);
+  }
+  [[nodiscard]] std::string_view name() const override { return "via+client-cache"; }
+
+  [[nodiscard]] std::int64_t cache_hits() const noexcept { return hits_; }
+  [[nodiscard]] std::int64_t cache_misses() const noexcept { return misses_; }
+  /// Fraction of calls answered without contacting the controller.
+  [[nodiscard]] double hit_rate() const noexcept {
+    const auto total = hits_ + misses_;
+    return total > 0 ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+  }
+
+ private:
+  struct Entry {
+    OptionId option = kInvalidOption;
+    TimeSec fetched_at = -1;
+  };
+  RoutingPolicy* controller_;
+  TimeSec ttl_;
+  std::unordered_map<std::uint64_t, Entry> cache_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+/// Wraps a ViaPolicy so call setup races the top few candidates.
+class HybridRacer final : public RoutingPolicy {
+ public:
+  /// Races up to `race_width` options per call (including the bandit's
+  /// pick).  The inner policy must outlive this wrapper.
+  HybridRacer(ViaPolicy& inner, int race_width = 3);
+
+  /// Fallback single choice (the inner bandit's pick).
+  [[nodiscard]] OptionId choose(const CallContext& call) override {
+    return inner_->choose(call);
+  }
+  /// The racing set: the bandit pick plus the next-best predicted options.
+  [[nodiscard]] std::vector<OptionId> choose_candidates(const CallContext& call) override;
+  void observe(const Observation& obs) override { inner_->observe(obs); }
+  void refresh(TimeSec now) override { inner_->refresh(now); }
+  [[nodiscard]] std::string_view name() const override { return "via+racing"; }
+
+ private:
+  ViaPolicy* inner_;
+  int race_width_;
+};
+
+}  // namespace via

@@ -1,0 +1,48 @@
+#include "core/history.h"
+
+namespace via {
+
+void HistoryWindow::add(const Observation& obs) {
+  const std::uint64_t pk = as_pair_key(obs.src_as, obs.dst_as);
+  const std::uint64_t key = path_key(pk, obs.option);
+  auto& entry = paths_[key];
+  if (entry.agg.count() == 0) {
+    entry.pair_key = pk;
+    entry.option = obs.option;
+  }
+  for (const Metric m : kAllMetrics) {
+    const double v = obs.perf.get(m);
+    entry.agg.raw[metric_index(m)].add(v);
+    entry.agg.lin[metric_index(m)].add(linearize(m, v));
+  }
+  if (obs.ingress >= 0) {
+    // Normalize the ingress relay to the pair's lower-numbered endpoint: if
+    // the source was the higher endpoint, the lo side talks to the *other*
+    // relay of the transit pair.
+    const AsId lo = obs.src_as < obs.dst_as ? obs.src_as : obs.dst_as;
+    if (obs.src_as == lo || options_ == nullptr) {
+      entry.agg.ingress_lo = obs.ingress;
+    } else {
+      const RelayOption& o = options_->get(obs.option);
+      entry.agg.ingress_lo = (obs.ingress == o.a) ? o.b : o.a;
+    }
+  }
+  ++observations_;
+}
+
+const PathAggregate* HistoryWindow::find(std::uint64_t pair_key, OptionId option) const {
+  const auto it = paths_.find(path_key(pair_key, option));
+  return it != paths_.end() ? &it->second.agg : nullptr;
+}
+
+void HistoryWindow::for_each(
+    const std::function<void(std::uint64_t, OptionId, const PathAggregate&)>& fn) const {
+  for (const auto& [key, entry] : paths_) fn(entry.pair_key, entry.option, entry.agg);
+}
+
+void HistoryWindow::clear() {
+  paths_.clear();
+  observations_ = 0;
+}
+
+}  // namespace via

@@ -1,0 +1,76 @@
+// Call-history aggregation (stage 1 of the paper's pipeline).
+//
+// The controller aggregates client measurements per (AS pair, relaying
+// option) over a time window of T hours.  Aggregates are kept both in raw
+// metric units (for empirical prediction and bandit rewards) and in
+// linearized form (for the tomography solver; see common/linearize.h).
+//
+// AS pairs are undirected: a call s->d and a call d->s traverse the same
+// network path.  Transit observations additionally remember which relay
+// was adjacent to the pair's lower-numbered endpoint so tomography can
+// attribute segments consistently.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/linearize.h"
+#include "common/relay_option.h"
+#include "common/types.h"
+#include "core/policy.h"
+#include "util/stats.h"
+
+namespace via {
+
+/// Aggregated measurements of one (AS pair, option) path within a window.
+struct PathAggregate {
+  std::array<OnlineStats, kNumMetrics> raw;  ///< per-metric raw statistics
+  std::array<OnlineStats, kNumMetrics> lin;  ///< per-metric linearized statistics
+  /// For transit options: the relay adjacent to the pair's lower endpoint.
+  RelayId ingress_lo = -1;
+
+  [[nodiscard]] std::int64_t count() const noexcept { return raw[0].count(); }
+};
+
+/// One window's worth of (pair, option) aggregates.
+class HistoryWindow {
+ public:
+  /// `options` resolves transit relay pairs so the ingress relay can be
+  /// normalized to the pair's lower endpoint; it must outlive the window.
+  explicit HistoryWindow(const RelayOptionTable* options = nullptr) : options_(options) {}
+
+  void add(const Observation& obs);
+
+  [[nodiscard]] const PathAggregate* find(std::uint64_t pair_key, OptionId option) const;
+
+  /// Visits every aggregate: fn(pair_key, option, aggregate).
+  void for_each(
+      const std::function<void(std::uint64_t, OptionId, const PathAggregate&)>& fn) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return paths_.size(); }
+  [[nodiscard]] std::int64_t observations() const noexcept { return observations_; }
+  void clear();
+
+  /// Composite map key for (pair, option).  Collision-free for endpoint
+  /// group ids below 2^24 (AS, country, or prefix granularity all fit) and
+  /// option ids below 2^14.
+  [[nodiscard]] static std::uint64_t path_key(std::uint64_t pair_key, OptionId option) noexcept {
+    const std::uint64_t folded = ((pair_key >> 32) << 24) | (pair_key & 0xFFFFFF);
+    return (folded << 14) | (static_cast<std::uint64_t>(static_cast<std::uint32_t>(option)) &
+                             0x3FFF);
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t pair_key = 0;
+    OptionId option = 0;
+    PathAggregate agg;
+  };
+  const RelayOptionTable* options_ = nullptr;
+  std::unordered_map<std::uint64_t, Entry> paths_;
+  std::int64_t observations_ = 0;
+};
+
+}  // namespace via

@@ -1,0 +1,82 @@
+#include "core/policies.h"
+
+#include <algorithm>
+
+namespace via {
+
+// ---------------------------------------------------------- Strawman I
+
+PredictionOnlyPolicy::PredictionOnlyPolicy(const RelayOptionTable& options, BackboneFn backbone,
+                                           Metric target, PredictorConfig config)
+    : target_(target),
+      current_window_(&options),
+      trained_window_(&options),
+      predictor_(options, std::move(backbone), config) {}
+
+void PredictionOnlyPolicy::refresh(TimeSec /*now*/) {
+  std::swap(trained_window_, current_window_);
+  current_window_.clear();
+  predictor_.train(trained_window_);
+}
+
+OptionId PredictionOnlyPolicy::choose(const CallContext& call) {
+  OptionId best = RelayOptionTable::direct_id();
+  double best_mean = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const OptionId opt : call.options) {
+    const Prediction p = predictor_.predict(call.key_src, call.key_dst, opt, target_);
+    if (!p.valid) continue;
+    any = true;
+    if (p.mean < best_mean) {
+      best_mean = p.mean;
+      best = opt;
+    }
+  }
+  return any ? best : RelayOptionTable::direct_id();
+}
+
+void PredictionOnlyPolicy::observe(const Observation& obs) { current_window_.add(obs); }
+
+// ---------------------------------------------------------- Strawman II
+
+ExplorationOnlyPolicy::ExplorationOnlyPolicy(Metric target, double explore_fraction,
+                                             std::uint64_t seed)
+    : target_(target),
+      explore_fraction_(explore_fraction),
+      rng_(hash_mix(seed, 0x5717)) {}
+
+void ExplorationOnlyPolicy::refresh(TimeSec /*now*/) {
+  // A fresh window: previously measured Q values are considered stale.
+  pairs_.clear();
+}
+
+OptionId ExplorationOnlyPolicy::choose(const CallContext& call) {
+  if (call.options.empty()) return RelayOptionTable::direct_id();
+  PairState& state = pairs_[call.pair_key()];
+
+  // Measurement calls: walk the full option space round-robin.
+  if (rng_.uniform() < explore_fraction_) {
+    const OptionId pick = call.options[state.round_robin % call.options.size()];
+    ++state.round_robin;
+    return pick;
+  }
+
+  // Exploit: best empirical mean among measured options this window.
+  OptionId best = RelayOptionTable::direct_id();
+  double best_mean = std::numeric_limits<double>::infinity();
+  for (const OptionId opt : call.options) {
+    const auto it = state.stats.find(opt);
+    if (it == state.stats.end() || it->second.count() == 0) continue;
+    if (it->second.mean() < best_mean) {
+      best_mean = it->second.mean();
+      best = opt;
+    }
+  }
+  return best;
+}
+
+void ExplorationOnlyPolicy::observe(const Observation& obs) {
+  pairs_[as_pair_key(obs.src_as, obs.dst_as)].stats[obs.option].add(obs.perf.get(target_));
+}
+
+}  // namespace via

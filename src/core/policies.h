@@ -1,0 +1,77 @@
+// Baseline policies the paper evaluates Via against:
+//   - DefaultPolicy:          always the direct (BGP-derived) path.
+//   - PredictionOnlyPolicy:   Strawman I — trust the predictor's single
+//                             best option (k = 1), no exploration.
+//   - ExplorationOnlyPolicy:  Strawman II — bandit over *all* candidate
+//                             options with no prediction-based pruning and
+//                             naive normalization.
+// (The oracle lives in sim/, since it needs ground-truth access.)
+#pragma once
+
+#include <limits>
+#include <unordered_map>
+
+#include "common/relay_option.h"
+#include "core/bandit.h"
+#include "core/history.h"
+#include "core/policy.h"
+#include "core/predictor.h"
+#include "util/rng.h"
+
+namespace via {
+
+class DefaultPolicy final : public RoutingPolicy {
+ public:
+  [[nodiscard]] OptionId choose(const CallContext& /*call*/) override {
+    return RelayOptionTable::direct_id();
+  }
+  [[nodiscard]] std::string_view name() const override { return "default"; }
+};
+
+/// Strawman I: purely prediction-based selection from call history.
+class PredictionOnlyPolicy final : public RoutingPolicy {
+ public:
+  PredictionOnlyPolicy(const RelayOptionTable& options, BackboneFn backbone,
+                       Metric target = Metric::Rtt, PredictorConfig config = {});
+
+  [[nodiscard]] OptionId choose(const CallContext& call) override;
+  void observe(const Observation& obs) override;
+  void refresh(TimeSec now) override;
+  [[nodiscard]] std::string_view name() const override { return "prediction-only"; }
+
+ private:
+  Metric target_;
+  HistoryWindow current_window_;
+  HistoryWindow trained_window_;
+  Predictor predictor_;
+};
+
+/// Strawman II: purely exploration-based selection, as described in the
+/// paper's Section 4.2 — a fraction of calls is set aside to measure every
+/// possible relaying option per AS pair (round-robin), the rest exploit
+/// the best empirical mean within the current window.  State resets every
+/// window: with no pruning, the large option space must be re-measured
+/// continually, which is exactly what makes this strawman expensive/slow.
+class ExplorationOnlyPolicy final : public RoutingPolicy {
+ public:
+  explicit ExplorationOnlyPolicy(Metric target = Metric::Rtt, double explore_fraction = 0.1,
+                                 std::uint64_t seed = 17);
+
+  [[nodiscard]] OptionId choose(const CallContext& call) override;
+  void observe(const Observation& obs) override;
+  void refresh(TimeSec now) override;
+  [[nodiscard]] std::string_view name() const override { return "exploration-only"; }
+
+ private:
+  struct PairState {
+    std::unordered_map<OptionId, OnlineStats> stats;
+    std::size_t round_robin = 0;
+  };
+
+  Metric target_;
+  double explore_fraction_;
+  Rng rng_;
+  std::unordered_map<std::uint64_t, PairState> pairs_;
+};
+
+}  // namespace via

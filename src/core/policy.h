@@ -1,0 +1,78 @@
+// The routing-policy interface: what the Via controller (and every baseline
+// the paper compares against) implements.
+//
+// Life cycle, mirroring Figure 10 of the paper:
+//   - choose()  — per call (stages 1 & 4: history feedback + bandit pick)
+//   - observe() — per call completion; the client pushes its measurements
+//   - refresh() — every T hours (stages 2 & 3: tomography + top-k pruning)
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/call.h"
+#include "common/types.h"
+
+namespace via {
+
+/// An active-measurement request (paper §7, "Active Measurements"): the
+/// controller asks for a mock call between two endpoints over a specific
+/// option to fill a coverage hole in its passive history.
+struct ProbeRequest {
+  AsId src_as = kInvalidAs;
+  AsId dst_as = kInvalidAs;
+  OptionId option = kInvalidOption;
+};
+
+/// A completed-call measurement as pushed to the controller by the clients.
+/// `ingress` is the relay the *source* client connected to (clients know
+/// their ingress; -1 for direct and bounce options, where no orientation
+/// ambiguity exists).
+struct Observation {
+  CallId id = 0;
+  TimeSec time = 0;
+  /// Endpoint grouping ids, matching CallContext::key_src/key_dst (AS ids
+  /// by default; country/prefix ids under coarser/finer granularity).
+  AsId src_as = kInvalidAs;
+  AsId dst_as = kInvalidAs;
+  OptionId option = 0;
+  RelayId ingress = -1;
+  PathPerformance perf;
+};
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  RoutingPolicy() = default;
+  RoutingPolicy(const RoutingPolicy&) = delete;
+  RoutingPolicy& operator=(const RoutingPolicy&) = delete;
+
+  /// Picks a relaying option for a call about to be placed.
+  [[nodiscard]] virtual OptionId choose(const CallContext& call) = 0;
+
+  /// Ingests a completed call's measurements.
+  virtual void observe(const Observation& obs) { (void)obs; }
+
+  /// Periodic controller refresh (paper stages 2-3, period T).
+  virtual void refresh(TimeSec now) { (void)now; }
+
+  /// Optional (paper §7, hybrid reactive selection): a prioritized set of
+  /// options to *race* at call setup; the client briefly tries all of them
+  /// and keeps the best.  Default: just the single choice.
+  [[nodiscard]] virtual std::vector<OptionId> choose_candidates(const CallContext& call) {
+    return {choose(call)};
+  }
+
+  /// Optional (paper §7, active measurements): mock calls the controller
+  /// would like executed to fill coverage holes.  Called after refresh();
+  /// default: none.
+  [[nodiscard]] virtual std::vector<ProbeRequest> plan_probes(std::size_t max_probes) {
+    (void)max_probes;
+    return {};
+  }
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace via

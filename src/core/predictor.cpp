@@ -1,0 +1,64 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/linearize.h"
+
+namespace via {
+
+namespace {
+constexpr double kZ95 = 1.96;
+}
+
+Predictor::Predictor(const RelayOptionTable& options, BackboneFn backbone,
+                     PredictorConfig config)
+    : options_(&options),
+      config_(config),
+      tomography_(options, std::move(backbone), config.tomography) {}
+
+void Predictor::train(const HistoryWindow& window) {
+  window_ = &window;
+  if (config_.use_tomography) {
+    tomography_.solve(window);
+  }
+}
+
+Prediction Predictor::predict(AsId s, AsId d, OptionId option, Metric metric) const {
+  Prediction out;
+  if (window_ == nullptr) return out;
+
+  // 1. Empirical path history.
+  if (const PathAggregate* agg = window_->find(as_pair_key(s, d), option);
+      agg != nullptr && agg->count() >= config_.min_empirical_samples) {
+    const OnlineStats& st = agg->raw[metric_index(metric)];
+    out.valid = true;
+    out.source = Prediction::Source::Empirical;
+    out.mean = st.mean();
+    out.sem = st.sem();
+    out.lower = std::max(0.0, out.mean - kZ95 * out.sem);
+    out.upper = out.mean + kZ95 * out.sem;
+    return out;
+  }
+
+  // 2. Tomography stitching for relayed paths.
+  if (config_.use_tomography && options_->get(option).kind != RelayKind::Direct) {
+    std::array<double, kNumMetrics> lin_mean{};
+    std::array<double, kNumMetrics> lin_sem{};
+    if (tomography_.predict_lin(s, d, option, lin_mean, lin_sem)) {
+      const std::size_t i = metric_index(metric);
+      out.valid = true;
+      out.source = Prediction::Source::Tomography;
+      out.mean = delinearize(metric, lin_mean[i]);
+      out.lower = delinearize(metric, std::max(0.0, lin_mean[i] - kZ95 * lin_sem[i]));
+      out.upper = delinearize(metric, lin_mean[i] + kZ95 * lin_sem[i]);
+      // Back out an approximate raw-space SEM from the CI width.
+      out.sem = (out.upper - out.lower) / (2.0 * kZ95);
+      return out;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace via

@@ -1,0 +1,62 @@
+// Performance predictor (Pred of Algorithm 1): for a (source, destination,
+// relaying option) triple it produces the predicted mean, standard error,
+// and 95% confidence bounds of each metric.
+//
+// Two sources, in preference order:
+//   1. Empirical: the path itself carried calls in the last window — use
+//      its sample mean and SEM directly.
+//   2. Tomography: stitch client<->relay segment estimates (Section 4.4),
+//      covering paths with no direct history.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "common/relay_option.h"
+#include "common/types.h"
+#include "core/history.h"
+#include "core/tomography.h"
+
+namespace via {
+
+struct PredictorConfig {
+  /// Minimum calls on a path before its own history is trusted.
+  std::int64_t min_empirical_samples = 3;
+  bool use_tomography = true;  ///< ablation switch (Section 5.3)
+  TomographyConfig tomography;
+};
+
+/// One metric's prediction with confidence bounds (paper Section 4.4):
+/// lower/upper are the 95% CI, mean ± 1.96 SEM.
+struct Prediction {
+  bool valid = false;
+  double mean = 0.0;
+  double sem = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  enum class Source : std::uint8_t { None, Empirical, Tomography } source = Source::None;
+};
+
+class Predictor {
+ public:
+  Predictor(const RelayOptionTable& options, BackboneFn backbone, PredictorConfig config = {});
+
+  /// Rebuilds the predictor from a completed history window (refresh step).
+  void train(const HistoryWindow& window);
+
+  /// Prediction for (s, d) over `option` on `metric`.
+  [[nodiscard]] Prediction predict(AsId s, AsId d, OptionId option, Metric metric) const;
+
+  [[nodiscard]] const TomographySolver& tomography() const noexcept { return tomography_; }
+  [[nodiscard]] bool trained() const noexcept { return window_ != nullptr; }
+
+ private:
+  const RelayOptionTable* options_;
+  PredictorConfig config_;
+  TomographySolver tomography_;
+  /// Aggregates of the window the predictor was trained on (owned copy is
+  /// unnecessary: the ViaPolicy keeps the window alive across the period).
+  const HistoryWindow* window_ = nullptr;
+};
+
+}  // namespace via

@@ -1,0 +1,193 @@
+#include "core/tomography.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/linearize.h"
+
+namespace via {
+
+TomographySolver::TomographySolver(const RelayOptionTable& options, BackboneFn backbone,
+                                   TomographyConfig config)
+    : options_(&options), backbone_(std::move(backbone)), config_(config) {}
+
+std::pair<RelayId, RelayId> TomographySolver::transit_sides(const PathAggregate& agg,
+                                                            const RelayOption& o) const {
+  // agg.ingress_lo is the relay adjacent to the pair's lower endpoint, as
+  // reported by the clients; default to option order if it was never set.
+  if (agg.ingress_lo == o.a || agg.ingress_lo == o.b) {
+    return agg.ingress_lo == o.a ? std::pair{o.a, o.b} : std::pair{o.b, o.a};
+  }
+  return {o.a, o.b};
+}
+
+void TomographySolver::solve(const HistoryWindow& window) {
+  equations_.clear();
+  segments_.clear();
+
+  // 1. Harvest equations from relayed-path aggregates.
+  window.for_each([&](std::uint64_t pair_key, OptionId option, const PathAggregate& agg) {
+    if (agg.count() < config_.min_samples_per_path) return;
+    const RelayOption& o = options_->get(option);
+    if (o.kind == RelayKind::Direct) return;
+
+    const auto lo = static_cast<AsId>(pair_key & 0xFFFFFFFF);
+    const auto hi = static_cast<AsId>(pair_key >> 32);
+
+    Equation eq;
+    eq.weight = static_cast<double>(agg.count());
+    if (o.kind == RelayKind::Bounce) {
+      eq.seg1 = segment_key(lo, o.a);
+      eq.seg2 = segment_key(hi, o.a);
+      for (const Metric m : kAllMetrics) {
+        eq.rhs[metric_index(m)] = agg.lin[metric_index(m)].mean();
+      }
+    } else {
+      const auto [r_lo, r_hi] = transit_sides(agg, o);
+      eq.seg1 = segment_key(lo, r_lo);
+      eq.seg2 = segment_key(hi, r_hi);
+      const PathPerformance bb = backbone_(o.a, o.b);
+      for (const Metric m : kAllMetrics) {
+        eq.rhs[metric_index(m)] =
+            agg.lin[metric_index(m)].mean() - linearize(m, bb.get(m));
+      }
+    }
+    equations_.push_back(eq);
+  });
+
+  if (equations_.empty()) return;
+
+  // 2. Initialize unknowns to half of the average RHS of their equations.
+  struct Work {
+    std::array<double, kNumMetrics> x{};
+    std::array<double, kNumMetrics> rhs_sum{};
+    double weight_sum = 0.0;
+    std::int64_t evidence = 0;
+  };
+  std::unordered_map<std::uint64_t, Work> work;
+  for (const auto& eq : equations_) {
+    for (const auto seg : {eq.seg1, eq.seg2}) {
+      auto& w = work[seg];
+      for (std::size_t m = 0; m < kNumMetrics; ++m) w.rhs_sum[m] += eq.weight * eq.rhs[m];
+      w.weight_sum += eq.weight;
+      w.evidence += static_cast<std::int64_t>(eq.weight);
+    }
+  }
+  for (auto& [seg, w] : work) {
+    for (std::size_t m = 0; m < kNumMetrics; ++m) {
+      w.x[m] = std::max(0.0, 0.5 * w.rhs_sum[m] / w.weight_sum);
+    }
+  }
+
+  // 3. Weighted Gauss-Seidel sweeps: each unknown moves to the weighted
+  // average of (rhs - other side) over its equations.
+  for (int sweep = 0; sweep < config_.gauss_seidel_sweeps; ++sweep) {
+    std::unordered_map<std::uint64_t, Work> next;
+    for (const auto& eq : equations_) {
+      const Work& w1 = work[eq.seg1];
+      const Work& w2 = work[eq.seg2];
+      for (const auto& [self, other] :
+           {std::pair{eq.seg1, &w2}, std::pair{eq.seg2, &w1}}) {
+        auto& acc = next[self];
+        for (std::size_t m = 0; m < kNumMetrics; ++m) {
+          acc.rhs_sum[m] += eq.weight * (eq.rhs[m] - other->x[m]);
+        }
+        acc.weight_sum += eq.weight;
+      }
+    }
+    for (auto& [seg, acc] : next) {
+      auto& w = work[seg];
+      for (std::size_t m = 0; m < kNumMetrics; ++m) {
+        // Segment metrics cannot be negative in linearized space.
+        w.x[m] = std::max(0.0, acc.rhs_sum[m] / acc.weight_sum);
+      }
+    }
+  }
+
+  // 4. Residual-based uncertainty: the SEM of a segment reflects how well
+  // its equations agree, shrunk by the evidence behind it.
+  std::unordered_map<std::uint64_t, std::array<double, kNumMetrics>> resid2;
+  for (const auto& eq : equations_) {
+    const Work& w1 = work[eq.seg1];
+    const Work& w2 = work[eq.seg2];
+    for (std::size_t m = 0; m < kNumMetrics; ++m) {
+      const double r = eq.rhs[m] - (w1.x[m] + w2.x[m]);
+      resid2[eq.seg1][m] += eq.weight * r * r;
+      resid2[eq.seg2][m] += eq.weight * r * r;
+    }
+  }
+
+  for (const auto& [seg, w] : work) {
+    SegmentEstimate est;
+    est.evidence = w.evidence;
+    const auto& r2 = resid2[seg];
+    for (std::size_t m = 0; m < kNumMetrics; ++m) {
+      est.lin_mean[m] = w.x[m];
+      const double var = r2[m] / std::max(1.0, w.weight_sum);
+      // Effective-sample shrinkage, with a floor so single-path segments
+      // keep a non-trivial confidence interval.
+      est.lin_sem[m] = std::sqrt(var / std::max(1.0, w.weight_sum)) +
+                       0.05 * w.x[m] / std::sqrt(std::max(1.0, w.weight_sum));
+    }
+    segments_.emplace(seg, est);
+  }
+}
+
+const SegmentEstimate* TomographySolver::segment(AsId as, RelayId relay) const {
+  const auto it = segments_.find(segment_key(as, relay));
+  return it != segments_.end() ? &it->second : nullptr;
+}
+
+bool TomographySolver::predict_lin(AsId s, AsId d, OptionId option,
+                                   std::array<double, kNumMetrics>& lin_mean,
+                                   std::array<double, kNumMetrics>& lin_sem) const {
+  const RelayOption& o = options_->get(option);
+  if (o.kind == RelayKind::Direct) return false;
+
+  const SegmentEstimate* seg_s = nullptr;
+  const SegmentEstimate* seg_d = nullptr;
+  PathPerformance bb{};
+
+  if (o.kind == RelayKind::Bounce) {
+    seg_s = segment(s, o.a);
+    seg_d = segment(d, o.a);
+  } else {
+    // Try both orientations; prefer the one with evidence on both sides,
+    // then the lower predicted RTT (clients pick the near ingress).
+    const SegmentEstimate* sa = segment(s, o.a);
+    const SegmentEstimate* db = segment(d, o.b);
+    const SegmentEstimate* sb = segment(s, o.b);
+    const SegmentEstimate* da = segment(d, o.a);
+    const bool fwd = sa && db;
+    const bool rev = sb && da;
+    if (fwd && rev) {
+      const double rtt_fwd = sa->lin_mean[0] + db->lin_mean[0];
+      const double rtt_rev = sb->lin_mean[0] + da->lin_mean[0];
+      if (rtt_fwd <= rtt_rev) {
+        seg_s = sa;
+        seg_d = db;
+      } else {
+        seg_s = sb;
+        seg_d = da;
+      }
+    } else if (fwd) {
+      seg_s = sa;
+      seg_d = db;
+    } else if (rev) {
+      seg_s = sb;
+      seg_d = da;
+    }
+    bb = backbone_(o.a, o.b);
+  }
+
+  if (seg_s == nullptr || seg_d == nullptr) return false;
+  for (const Metric m : kAllMetrics) {
+    const std::size_t i = metric_index(m);
+    lin_mean[i] = seg_s->lin_mean[i] + seg_d->lin_mean[i] + linearize(m, bb.get(m));
+    lin_sem[i] = std::sqrt(seg_s->lin_sem[i] * seg_s->lin_sem[i] +
+                           seg_d->lin_sem[i] * seg_d->lin_sem[i]);
+  }
+  return true;
+}
+
+}  // namespace via

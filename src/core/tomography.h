@@ -1,0 +1,90 @@
+// Network tomography (stage 2, Section 4.4 of the paper).
+//
+// Relayed paths decompose into client<->relay segments:
+//   bounce(r):        path(s,d) = seg(s,r) + seg(d,r)
+//   transit(r1,r2):   path(s,d) = seg(s,r1) + backbone(r1,r2) + seg(d,r2)
+// with "+" taken in linearized metric space (common/linearize.h) and the
+// backbone matrix known to the operator.  Every observed relayed path thus
+// yields one linear equation over the unknown segment values; solving the
+// (overdetermined, sparse) system by weighted Gauss-Seidel recovers
+// per-segment estimates, which can then be stitched to predict paths that
+// have never carried a call — exactly the paper's Figure 11 construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/relay_option.h"
+#include "common/types.h"
+#include "core/history.h"
+
+namespace via {
+
+/// Supplies the managed backbone's known performance.
+using BackboneFn = std::function<PathPerformance(RelayId, RelayId)>;
+
+struct TomographyConfig {
+  int gauss_seidel_sweeps = 20;
+  /// Minimum number of calls on a path for its equation to be used.  Even
+  /// single-call paths carry signal (they get proportionally low weight);
+  /// raising this trades coverage for per-equation confidence.
+  std::int64_t min_samples_per_path = 1;
+};
+
+/// Per-segment estimate in linearized space, with uncertainty.
+struct SegmentEstimate {
+  std::array<double, kNumMetrics> lin_mean{};  ///< linearized metric estimate
+  std::array<double, kNumMetrics> lin_sem{};   ///< standard error (linearized)
+  std::int64_t evidence = 0;                   ///< total calls behind the estimate
+};
+
+/// Solves for client<->relay segment estimates from one history window.
+class TomographySolver {
+ public:
+  TomographySolver(const RelayOptionTable& options, BackboneFn backbone,
+                   TomographyConfig config = {});
+
+  /// Builds segment estimates from the window's relayed-path aggregates.
+  void solve(const HistoryWindow& window);
+
+  /// Segment estimate for (AS, relay); nullptr when the segment was not
+  /// covered by any observed path.
+  [[nodiscard]] const SegmentEstimate* segment(AsId as, RelayId relay) const;
+
+  [[nodiscard]] std::size_t segment_count() const noexcept { return segments_.size(); }
+  [[nodiscard]] std::size_t equation_count() const noexcept { return equations_.size(); }
+
+  /// Predicted linearized mean/SEM for a relayed path between s and d over
+  /// `option`, stitched from segment estimates.  Returns false when any
+  /// needed segment is unknown.
+  [[nodiscard]] bool predict_lin(AsId s, AsId d, OptionId option,
+                                 std::array<double, kNumMetrics>& lin_mean,
+                                 std::array<double, kNumMetrics>& lin_sem) const;
+
+  [[nodiscard]] static std::uint64_t segment_key(AsId as, RelayId relay) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(as)) << 16) |
+           static_cast<std::uint64_t>(static_cast<std::uint16_t>(relay));
+  }
+
+ private:
+  struct Equation {
+    std::uint64_t seg1 = 0;
+    std::uint64_t seg2 = 0;
+    std::array<double, kNumMetrics> rhs{};  ///< linearized path value minus backbone
+    double weight = 1.0;                    ///< call count
+  };
+
+  /// Picks the relay each endpoint of a transit observation talks to.
+  [[nodiscard]] std::pair<RelayId, RelayId> transit_sides(const PathAggregate& agg,
+                                                          const RelayOption& o) const;
+
+  const RelayOptionTable* options_;
+  BackboneFn backbone_;
+  TomographyConfig config_;
+  std::vector<Equation> equations_;
+  std::unordered_map<std::uint64_t, SegmentEstimate> segments_;
+};
+
+}  // namespace via

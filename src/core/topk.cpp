@@ -1,0 +1,72 @@
+#include "core/topk.h"
+
+#include <algorithm>
+
+namespace via {
+
+std::vector<RankedOption> select_top_k(const Predictor& predictor, AsId s, AsId d,
+                                       std::span<const OptionId> candidates, Metric metric,
+                                       const TopKConfig& config) {
+  std::vector<RankedOption> ranked;
+  ranked.reserve(candidates.size());
+  for (const OptionId opt : candidates) {
+    RankedOption r;
+    r.option = opt;
+    r.pred = predictor.predict(s, d, opt, metric);
+    if (r.pred.valid) ranked.push_back(r);
+  }
+  if (ranked.empty()) return ranked;
+
+  if (!config.dynamic) {
+    // Fixed-k ablation: simply the k best predicted means.
+    std::sort(ranked.begin(), ranked.end(), [](const RankedOption& a, const RankedOption& b) {
+      return a.pred.mean < b.pred.mean;
+    });
+    if (static_cast<int>(ranked.size()) > config.fixed_k) {
+      ranked.resize(static_cast<std::size_t>(config.fixed_k));
+    }
+    return ranked;
+  }
+
+  // Dynamic top-k: grow from the option with the smallest upper bound; any
+  // option whose lower bound does not exceed the current included maximum
+  // upper bound cannot be ruled out and must be included.
+  std::sort(ranked.begin(), ranked.end(), [](const RankedOption& a, const RankedOption& b) {
+    return a.pred.lower < b.pred.lower;
+  });
+
+  const auto seed = std::min_element(
+      ranked.begin(), ranked.end(), [](const RankedOption& a, const RankedOption& b) {
+        return a.pred.upper < b.pred.upper;
+      });
+  double threshold = seed->pred.upper;
+
+  std::vector<RankedOption> top;
+  std::vector<bool> taken(ranked.size(), false);
+  taken[static_cast<std::size_t>(seed - ranked.begin())] = true;
+  top.push_back(*seed);
+
+  // Fixpoint growth.  ranked is sorted by lower bound, so a single forward
+  // scan per round suffices; rounds repeat while the threshold grows.
+  bool grew = true;
+  while (grew && static_cast<int>(top.size()) < config.max_k) {
+    grew = false;
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      if (taken[i]) continue;
+      if (ranked[i].pred.lower <= threshold) {
+        taken[i] = true;
+        top.push_back(ranked[i]);
+        threshold = std::max(threshold, ranked[i].pred.upper);
+        grew = true;
+        if (static_cast<int>(top.size()) >= config.max_k) break;
+      }
+    }
+  }
+
+  std::sort(top.begin(), top.end(), [](const RankedOption& a, const RankedOption& b) {
+    return a.pred.mean < b.pred.mean;
+  });
+  return top;
+}
+
+}  // namespace via

@@ -1,0 +1,39 @@
+// Confidence-bound top-k pruning (Algorithm 2 of the paper).
+//
+// The top-k set is the *minimal* set of relaying options such that the 95%
+// lower confidence bound of every excluded option exceeds the 95% upper
+// confidence bound of every included option — i.e., everything excluded is
+// statistically surely worse than everything kept.  k is therefore dynamic:
+// tight, well-separated predictions give a small k; noisy ones keep more
+// candidates for the bandit stage to sort out.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "core/predictor.h"
+
+namespace via {
+
+struct TopKConfig {
+  bool dynamic = true;  ///< false => fixed k (the Figure 15 ablation)
+  int fixed_k = 2;
+  int max_k = 10;  ///< safety cap on the dynamic set size
+};
+
+/// One candidate option with its prediction on the target metric.
+struct RankedOption {
+  OptionId option = kInvalidOption;
+  Prediction pred;
+};
+
+/// Selects the top-k options among `candidates` for calls between (s, d)
+/// optimizing `metric`.  Options without a valid prediction are ignored
+/// (they remain reachable through the ε general-exploration arm).  Returns
+/// an empty vector when nothing is predictable.
+[[nodiscard]] std::vector<RankedOption> select_top_k(const Predictor& predictor, AsId s, AsId d,
+                                                     std::span<const OptionId> candidates,
+                                                     Metric metric, const TopKConfig& config = {});
+
+}  // namespace via

@@ -1,0 +1,169 @@
+#include "core/via_policy.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace via {
+
+ViaPolicy::ViaPolicy(const RelayOptionTable& options, BackboneFn backbone, ViaConfig config)
+    : options_(&options),
+      config_(config),
+      current_window_(&options),
+      trained_window_(&options),
+      predictor_(options, std::move(backbone), config.predictor),
+      budget_(config.budget),
+      rng_(hash_mix(config.seed, 0x1a)) {}
+
+void ViaPolicy::refresh(TimeSec /*now*/) {
+  // The window that just completed becomes the training window; per-pair
+  // states are invalidated lazily by bumping the period counter.
+  std::swap(trained_window_, current_window_);
+  current_window_.clear();
+  predictor_.train(trained_window_);
+  ++period_;
+}
+
+ViaPolicy::PairState& ViaPolicy::pair_state(const CallContext& call) {
+  PairState& state = pairs_[call.pair_key()];
+  if (state.period == period_) return state;
+
+  const bool adjacent_period = (state.period + 1 == period_);
+  state.period = period_;
+  state.top_k = select_top_k(predictor_, call.key_src, call.key_dst, call.options,
+                             config_.target, config_.topk);
+  // Surviving arms keep decayed statistics from the previous period.
+  state.bandit.set_arms(state.top_k, config_.bandit,
+                        adjacent_period ? &state.bandit : nullptr);
+
+  // Predicted benefit of relaying: direct prediction minus the best
+  // candidate's prediction (0 when either side is unknown).
+  state.predicted_benefit = 0.0;
+  const Prediction direct = predictor_.predict(call.key_src, call.key_dst,
+                                               RelayOptionTable::direct_id(), config_.target);
+  if (direct.valid && !state.top_k.empty()) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& r : state.top_k) best = std::min(best, r.pred.mean);
+    state.predicted_benefit = direct.mean - best;
+  }
+
+  // Active-measurement wishlist (§7): candidate options this pair cannot
+  // predict are coverage holes worth probing.
+  if (probe_wishlist_.size() < config_.probe_wishlist_capacity) {
+    for (const OptionId opt : call.options) {
+      if (opt == RelayOptionTable::direct_id()) continue;
+      const bool in_top_k =
+          std::any_of(state.top_k.begin(), state.top_k.end(),
+                      [opt](const RankedOption& r) { return r.option == opt; });
+      if (in_top_k) continue;
+      if (!predictor_.predict(call.key_src, call.key_dst, opt, config_.target).valid) {
+        probe_wishlist_.push_back({call.src_as, call.dst_as, opt});
+        if (probe_wishlist_.size() >= config_.probe_wishlist_capacity) break;
+      }
+    }
+  }
+  return state;
+}
+
+std::vector<ProbeRequest> ViaPolicy::plan_probes(std::size_t max_probes) {
+  std::vector<ProbeRequest> out;
+  const std::size_t n = std::min(max_probes, probe_wishlist_.size());
+  out.assign(probe_wishlist_.end() - static_cast<std::ptrdiff_t>(n), probe_wishlist_.end());
+  probe_wishlist_.clear();
+  return out;
+}
+
+bool ViaPolicy::relay_cap_allows(OptionId option) {
+  if (config_.relay_share_cap >= 1.0) return true;
+  const RelayOption& o = options_->get(option);
+  if (o.kind == RelayKind::Direct) return true;
+  // A short warm-up so the first few calls are not all rejected.
+  if (relayed_total_ >= 20) {
+    const double cap = config_.relay_share_cap * static_cast<double>(relayed_total_);
+    if (static_cast<double>(relay_load_[o.a]) >= cap) return false;
+    if (o.kind == RelayKind::Transit &&
+        static_cast<double>(relay_load_[o.b]) >= cap) {
+      return false;
+    }
+  }
+  ++relay_load_[o.a];
+  if (o.kind == RelayKind::Transit) ++relay_load_[o.b];
+  ++relayed_total_;
+  return true;
+}
+
+std::vector<RankedOption> ViaPolicy::top_k_for(const CallContext& call) {
+  return pair_state(call).top_k;
+}
+
+void ViaPolicy::count_choice(OptionId option) {
+  switch (options_->get(option).kind) {
+    case RelayKind::Direct:
+      ++stats_.chose_direct;
+      break;
+    case RelayKind::Bounce:
+      ++stats_.chose_bounce;
+      break;
+    case RelayKind::Transit:
+      ++stats_.chose_transit;
+      break;
+  }
+}
+
+OptionId ViaPolicy::choose(const CallContext& call) {
+  ++stats_.calls;
+  PairState& state = pair_state(call);
+  budget_.on_call(state.predicted_benefit);
+
+  const OptionId direct = RelayOptionTable::direct_id();
+
+  // Stage 4b: ε general exploration over *all* candidate options, keeping
+  // the pruning honest under non-stationary performance.  Exploration
+  // calls bypass the benefit threshold but still consume budget tokens.
+  if (!call.options.empty() && rng_.uniform() < config_.epsilon) {
+    const OptionId pick =
+        call.options[static_cast<std::size_t>(rng_.uniform_index(call.options.size()))];
+    if (pick == direct || (budget_.allow_relay(std::numeric_limits<double>::infinity()) &&
+                           relay_cap_allows(pick))) {
+      ++stats_.epsilon_explored;
+      count_choice(pick);
+      return pick;
+    }
+    ++stats_.budget_denied;
+    ++stats_.chose_direct;
+    return direct;
+  }
+
+  // Stage 4a: modified-UCB1 over the top-k candidates.
+  const OptionId pick = state.bandit.pick();
+  if (pick == kInvalidOption) {
+    // Cold start: no predictable candidate yet.
+    ++stats_.cold_start_direct;
+    ++stats_.chose_direct;
+    return direct;
+  }
+  if (pick != direct) {
+    if (!budget_.allow_relay(state.predicted_benefit)) {
+      ++stats_.budget_denied;
+      ++stats_.chose_direct;
+      return direct;
+    }
+    if (!relay_cap_allows(pick)) {
+      ++stats_.relay_cap_denied;
+      ++stats_.chose_direct;
+      return direct;
+    }
+  }
+  ++stats_.bandit_served;
+  count_choice(pick);
+  return pick;
+}
+
+void ViaPolicy::observe(const Observation& obs) {
+  current_window_.add(obs);
+  const auto it = pairs_.find(as_pair_key(obs.src_as, obs.dst_as));
+  if (it != pairs_.end() && it->second.period == period_) {
+    it->second.bandit.observe(obs.option, obs.perf.get(config_.target));
+  }
+}
+
+}  // namespace via

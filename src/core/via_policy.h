@@ -1,0 +1,112 @@
+// The Via controller policy: prediction-guided exploration (Algorithm 1).
+//
+// Per refresh period (every T hours, stages 2-3): train the predictor
+// (history + tomography) on the window that just completed, and lazily
+// compute per-AS-pair top-k candidate sets from it.
+//
+// Per call (stages 1 & 4): with probability ε route to a uniformly random
+// candidate (general exploration, guarding against non-stationary rewards);
+// otherwise play the modified-UCB1 bandit over the pair's top-k set.  A
+// budget filter (Section 4.6) can veto relaying when the predicted benefit
+// is too small for the configured relay budget.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/relay_option.h"
+#include "core/bandit.h"
+#include "core/budget.h"
+#include "core/history.h"
+#include "core/policy.h"
+#include "core/predictor.h"
+#include "core/topk.h"
+#include "util/rng.h"
+
+namespace via {
+
+struct ViaConfig {
+  Metric target = Metric::Rtt;       ///< the metric this instance optimizes
+  double epsilon = 0.03;             ///< general-exploration fraction
+  TimeSec refresh_period = 24 * 3600;  ///< T (paper default: 24 hours)
+  std::uint64_t seed = 99;
+  PredictorConfig predictor;
+  TopKConfig topk;
+  BanditConfig bandit;
+  BudgetConfig budget;  ///< fraction = 1 => unconstrained
+
+  /// Per-relay load cap (paper §4.6 mentions per-relay budget models): no
+  /// single relay may carry more than this fraction of the relayed calls.
+  /// 1.0 disables the cap.
+  double relay_share_cap = 1.0;
+
+  /// Active-measurement planning (paper §7): remember up to this many
+  /// coverage holes (candidate options with no prediction) per refresh
+  /// period, to be offered via plan_probes().  0 disables.
+  std::size_t probe_wishlist_capacity = 256;
+};
+
+class ViaPolicy : public RoutingPolicy {
+ public:
+  ViaPolicy(const RelayOptionTable& options, BackboneFn backbone, ViaConfig config = {});
+
+  [[nodiscard]] OptionId choose(const CallContext& call) override;
+  void observe(const Observation& obs) override;
+  void refresh(TimeSec now) override;
+  /// Coverage holes collected while building per-pair candidate sets, for
+  /// the active-measurement extension (§7).  Drains the wishlist.
+  [[nodiscard]] std::vector<ProbeRequest> plan_probes(std::size_t max_probes) override;
+  [[nodiscard]] std::string_view name() const override { return "via"; }
+
+  /// Decision accounting, for the Section 5.2 relaying-mix analysis.
+  struct Stats {
+    std::int64_t calls = 0;
+    std::int64_t epsilon_explored = 0;
+    std::int64_t bandit_served = 0;     ///< calls decided by the top-k bandit
+    std::int64_t cold_start_direct = 0; ///< no prediction available yet
+    std::int64_t budget_denied = 0;
+    std::int64_t relay_cap_denied = 0;
+    std::int64_t chose_direct = 0;
+    std::int64_t chose_bounce = 0;
+    std::int64_t chose_transit = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Predictor& predictor() const noexcept { return predictor_; }
+  [[nodiscard]] const ViaConfig& config() const noexcept { return config_; }
+
+  /// The pair's current top-k set (empty if not yet built this period);
+  /// exposed for the deployment prototype and tests.
+  [[nodiscard]] std::vector<RankedOption> top_k_for(const CallContext& call);
+
+ private:
+  struct PairState {
+    std::uint64_t period = ~0ULL;  ///< refresh period the state was built in
+    std::vector<RankedOption> top_k;
+    UcbBandit bandit;
+    double predicted_benefit = 0.0;  ///< direct mean - best candidate mean
+  };
+
+  PairState& pair_state(const CallContext& call);
+  void count_choice(OptionId option);
+  /// Whether the relay-share cap permits routing another call via `option`;
+  /// updates the per-relay load accounting when it does.
+  [[nodiscard]] bool relay_cap_allows(OptionId option);
+
+  const RelayOptionTable* options_;
+  ViaConfig config_;
+  HistoryWindow current_window_;
+  HistoryWindow trained_window_;  ///< the completed window the predictor uses
+  Predictor predictor_;
+  std::unordered_map<std::uint64_t, PairState> pairs_;
+  BudgetFilter budget_;
+  Rng rng_;
+  std::uint64_t period_ = 0;
+  Stats stats_;
+  std::vector<ProbeRequest> probe_wishlist_;
+  std::unordered_map<RelayId, std::int64_t> relay_load_;
+  std::int64_t relayed_total_ = 0;
+};
+
+}  // namespace via

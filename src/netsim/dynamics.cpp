@@ -1,0 +1,93 @@
+#include "netsim/dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace via {
+
+Dynamics::Dynamics(std::uint64_t seed, DynamicsParams params)
+    : seed_(hash_mix(seed, 0xd14a)), params_(params) {}
+
+Dynamics::LinkTraits Dynamics::traits(std::uint64_t link_key) const {
+  const std::uint64_t k = hash_mix(seed_, link_key);
+  LinkTraits t;
+  t.sigma = params_.sigma_min +
+            (params_.sigma_max - params_.sigma_min) * hashed_uniform(hash_mix(k, 1));
+  // Strongly skewed proneness: u^6 keeps most links calm while a small
+  // fraction are chronically bad (Figure 6's always-high-PNR tail).
+  const double u = hashed_uniform(hash_mix(k, 2));
+  t.proneness = params_.event_proneness_base + params_.event_proneness_spread * std::pow(u, 6.0);
+  t.diurnal_amplitude =
+      params_.diurnal_amplitude_min +
+      (params_.diurnal_amplitude_max - params_.diurnal_amplitude_min) *
+          hashed_uniform(hash_mix(k, 3));
+  t.w_rtt = 0.5 + hashed_uniform(hash_mix(k, 4));
+  t.w_loss = 0.5 + hashed_uniform(hash_mix(k, 5));
+  t.w_jitter = 0.5 + hashed_uniform(hash_mix(k, 6));
+  return t;
+}
+
+double Dynamics::ar1_level(std::uint64_t link_key, int day) const {
+  if (day < 0) return 0.0;
+  auto& series = series_[link_key];
+  if (static_cast<int>(series.size()) <= day) {
+    const std::uint64_t k = hash_mix(seed_, link_key, 0xa41);
+    double prev = series.empty() ? hashed_gaussian(hash_mix(k, 0xFFFF))
+                                 : static_cast<double>(series.back());
+    const double rho = params_.ar1_rho;
+    const double innov = std::sqrt(1.0 - rho * rho);
+    for (int d = static_cast<int>(series.size()); d <= day; ++d) {
+      prev = rho * prev + innov * hashed_gaussian(hash_mix(k, static_cast<std::uint64_t>(d)));
+      series.push_back(static_cast<float>(prev));
+    }
+  }
+  return static_cast<double>(series[static_cast<std::size_t>(day)]);
+}
+
+double Dynamics::event_severity(std::uint64_t link_key, int day) const {
+  const LinkTraits t = traits(link_key);
+  const std::uint64_t k = hash_mix(seed_, link_key, 0xE7E);
+  const int max_dur = static_cast<int>(params_.event_max_duration_days);
+  double severity = 0.0;
+  // An event starting on day d0 with duration L covers [d0, d0+L).  Scan the
+  // possible start days that could cover `day`.
+  for (int back = 0; back < max_dur; ++back) {
+    const int d0 = day - back;
+    if (d0 < 0) break;
+    const std::uint64_t ek = hash_mix(k, static_cast<std::uint64_t>(d0));
+    if (hashed_uniform(hash_mix(ek, 1)) >= t.proneness) continue;
+    // Geometric-ish duration with a hard cap.
+    const double u = std::max(1e-12, hashed_uniform(hash_mix(ek, 2)));
+    const int duration = std::min(
+        max_dur, 1 + static_cast<int>(-std::log(u) * (params_.event_mean_duration_days - 1.0)));
+    if (back < duration) {
+      // Severity: exponential around the mean; overlapping events take max.
+      const double sev = params_.event_severity_mean *
+                         (0.4 + 1.2 * hashed_uniform(hash_mix(ek, 3)));
+      severity = std::max(severity, sev);
+    }
+  }
+  return severity;
+}
+
+bool Dynamics::in_event(std::uint64_t link_key, int day) const {
+  return event_severity(link_key, day) > 0.0;
+}
+
+double Dynamics::congestion(std::uint64_t link_key, int day) const {
+  const LinkTraits t = traits(link_key);
+  const double ordinary = std::max(0.0, t.sigma * ar1_level(link_key, day));
+  return ordinary + event_severity(link_key, day);
+}
+
+double Dynamics::diurnal_factor(std::uint64_t link_key, TimeSec t) const {
+  const LinkTraits tr = traits(link_key);
+  const double hour = static_cast<double>(t % kSecondsPerDay) / 3600.0;
+  const double phase = 2.0 * std::numbers::pi * (hour - params_.peak_hour) / 24.0;
+  return 1.0 + tr.diurnal_amplitude * std::cos(phase);
+}
+
+}  // namespace via

@@ -1,0 +1,79 @@
+// Temporal dynamics of WAN congestion.
+//
+// Each link (direct AS pair, or AS<->relay segment) carries a daily
+// congestion level >= 0 composed of:
+//   - an AR(1) day-to-day noise series (smooth ordinary variation),
+//   - sporadic multi-day "bad events" whose per-link proneness is strongly
+//     skewed (a few links are nearly always bad, most are rarely bad) —
+//     this is what reproduces the persistence/prevalence distributions of
+//     the paper's Figure 6,
+//   - a within-day diurnal factor peaking in the local evening.
+//
+// The series is a pure function of (link key, day), so the ground truth is
+// reproducible and can be queried lazily; computed series are memoized.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace via {
+
+struct DynamicsParams {
+  double ar1_rho = 0.45;          ///< day-to-day correlation of ordinary noise
+  double sigma_min = 0.25;        ///< per-link congestion volatility range
+  double sigma_max = 0.90;
+  double event_proneness_base = 0.015;  ///< per-day event start probability, calm links
+  double event_proneness_spread = 0.30; ///< added as spread * u^6 (rare chronic links)
+  double event_mean_duration_days = 2.5;
+  double event_max_duration_days = 30.0;
+  double event_severity_mean = 1.6;     ///< congestion units added during an event
+  double diurnal_amplitude_min = 0.10;
+  double diurnal_amplitude_max = 0.45;
+  int peak_hour = 20;                   ///< local evening busy hour
+};
+
+/// Per-link congestion level as a function of day, plus the intra-day
+/// diurnal multiplier.  Thread-compatible (memoization is not locked).
+class Dynamics {
+ public:
+  explicit Dynamics(std::uint64_t seed, DynamicsParams params = {});
+
+  /// Congestion level (>= 0) of the link on the given day; ~0 most days,
+  /// around `event_severity_mean` during a bad event.
+  [[nodiscard]] double congestion(std::uint64_t link_key, int day) const;
+
+  /// Multiplier (mean ~1 across the day) applied to the congestion-driven
+  /// component of the metrics within a day.
+  [[nodiscard]] double diurnal_factor(std::uint64_t link_key, TimeSec t) const;
+
+  /// True when the link is inside a bad event on `day` (exposed for tests
+  /// and for the persistence/prevalence calibration bench).
+  [[nodiscard]] bool in_event(std::uint64_t link_key, int day) const;
+
+  [[nodiscard]] const DynamicsParams& params() const noexcept { return params_; }
+
+ private:
+  struct LinkTraits {
+    double sigma;
+    double proneness;
+    double diurnal_amplitude;
+    // Per-metric congestion weights so RTT/loss/jitter aren't perfectly
+    // correlated (used by GroundTruth, exposed via traits()).
+    double w_rtt, w_loss, w_jitter;
+  };
+  friend class GroundTruth;
+
+  [[nodiscard]] LinkTraits traits(std::uint64_t link_key) const;
+  [[nodiscard]] double ar1_level(std::uint64_t link_key, int day) const;
+  [[nodiscard]] double event_severity(std::uint64_t link_key, int day) const;
+
+  std::uint64_t seed_;
+  DynamicsParams params_;
+  /// Memoized AR(1) series per link (grown on demand).
+  mutable std::unordered_map<std::uint64_t, std::vector<float>> series_;
+};
+
+}  // namespace via

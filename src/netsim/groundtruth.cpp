@@ -1,0 +1,279 @@
+#include "netsim/groundtruth.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/linearize.h"
+#include "util/rng.h"
+
+namespace via {
+
+namespace {
+constexpr std::uint64_t kTagCallNoise = 0xCA11;
+constexpr std::uint64_t kTagLastHop = 0x1A57;
+constexpr std::uint64_t kTagQuirk = 0x4B1C;
+constexpr std::uint64_t kTagWobble = 0x30BB;
+
+/// Unit-mean log-normal factor keyed by a hash.
+double hashed_lognormal(std::uint64_t key, double cv) noexcept {
+  if (cv <= 0.0) return 1.0;
+  const double sigma2 = std::log(1.0 + cv * cv);
+  return std::exp(-0.5 * sigma2 + std::sqrt(sigma2) * hashed_gaussian(key));
+}
+}  // namespace
+
+GroundTruth::GroundTruth(const World& world, GroundTruthConfig config)
+    : world_(&world),
+      config_(config),
+      path_model_(world, config.path_model),
+      dynamics_(world.config().seed, config.dynamics),
+      seed_(hash_mix(world.config().seed, 0x67f)),
+      allowed_relays_(static_cast<std::size_t>(world.num_relays()), true) {
+  assert(world.num_ases() < (1 << 17));
+  assert(world.num_relays() > 0);
+}
+
+std::uint64_t GroundTruth::memo_key(AsId s, AsId d, OptionId o, int day) noexcept {
+  // 17 + 17 + 16 + 11 bits = 61.
+  return (static_cast<std::uint64_t>(s) << 44) | (static_cast<std::uint64_t>(d) << 27) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(o)) << 11) |
+         static_cast<std::uint64_t>(day & 0x7FF);
+}
+
+PathPerformance GroundTruth::segment_day_mean(AsId a, RelayId r, int day) const {
+  PathPerformance p = path_model_.segment_base(a, r);
+  const std::uint64_t link = path_model_.segment_link_key(a, r);
+  const double c =
+      dynamics_.congestion(link, day) * path_model_.segment_congestion_exposure(a, r);
+  if (c > 0.0) {
+    const auto t = dynamics_.traits(link);
+    p.rtt_ms += c * config_.congestion_rtt_ms * t.w_rtt;
+    p.loss_pct += c * config_.congestion_loss_pct * t.w_loss;
+    p.jitter_ms += c * config_.congestion_jitter_ms * t.w_jitter;
+  }
+  return p;
+}
+
+PathPerformance GroundTruth::direct_day_mean(AsId s, AsId d, int day) const {
+  PathPerformance p = path_model_.direct_base(s, d);
+  const std::uint64_t link = path_model_.direct_link_key(s, d);
+  const double c =
+      dynamics_.congestion(link, day) * path_model_.direct_congestion_exposure(s, d);
+  if (c > 0.0) {
+    const auto t = dynamics_.traits(link);
+    p.rtt_ms += c * config_.congestion_rtt_ms * t.w_rtt;
+    p.loss_pct += c * config_.congestion_loss_pct * t.w_loss;
+    p.jitter_ms += c * config_.congestion_jitter_ms * t.w_jitter;
+  }
+  return p;
+}
+
+std::pair<RelayId, RelayId> GroundTruth::orient_transit(AsId s, const RelayOption& o) const {
+  const double rtt_a = path_model_.segment_base(s, o.a).rtt_ms;
+  const double rtt_b = path_model_.segment_base(s, o.b).rtt_ms;
+  return rtt_a <= rtt_b ? std::pair{o.a, o.b} : std::pair{o.b, o.a};
+}
+
+PathPerformance GroundTruth::day_mean(AsId s, AsId d, OptionId option, int day) {
+  const std::uint64_t key = memo_key(s, d, option, day);
+  if (const auto it = day_mean_cache_.find(key); it != day_mean_cache_.end()) {
+    return it->second;
+  }
+  const RelayOption& o = options_.get(option);
+  PathPerformance p;
+  switch (o.kind) {
+    case RelayKind::Direct:
+      p = direct_day_mean(s, d, day);
+      break;
+    case RelayKind::Bounce:
+      p = compose_segments(segment_day_mean(s, o.a, day), segment_day_mean(d, o.a, day));
+      break;
+    case RelayKind::Transit: {
+      const auto [ra, rb] = orient_transit(s, o);
+      p = compose_segments(segment_day_mean(s, ra, day), path_model_.backbone(ra, rb),
+                           segment_day_mean(d, rb, day));
+      break;
+    }
+  }
+
+  // Stable model-violation quirk on relayed paths: real relay paths do not
+  // decompose exactly into their segments.
+  const std::uint64_t pair = as_pair_key(s, d);
+  const std::uint64_t opt_key =
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(option));
+  if (o.kind != RelayKind::Direct) {
+    const std::uint64_t q = hash_mix(seed_, kTagQuirk, pair, opt_key);
+    p.rtt_ms *= hashed_lognormal(hash_mix(q, 1), config_.quirk_cv_rtt);
+    p.loss_pct *= hashed_lognormal(hash_mix(q, 2), config_.quirk_cv_loss);
+    p.jitter_ms *= hashed_lognormal(hash_mix(q, 3), config_.quirk_cv_jitter);
+    if (hashed_uniform(hash_mix(q, 4)) < config_.quirk_outlier_prob) {
+      const double sev = std::abs(hashed_gaussian(hash_mix(q, 5)));
+      p.rtt_ms *= 1.0 + config_.quirk_outlier_scale_rtt * sev;
+      p.loss_pct *= 1.0 + config_.quirk_outlier_scale_loss * sev;
+      p.jitter_ms *= 1.0 + config_.quirk_outlier_scale_jitter * sev;
+    }
+  }
+
+  // Day-level wobble on every option: unpredictable from prior windows but
+  // persistent across adjacent days (AR(1)), so the best option does not
+  // reshuffle every midnight.
+  const double level = wobble_level(hash_mix(seed_, kTagWobble, pair, opt_key), day);
+  auto wobble = [&](double cv) {
+    if (cv <= 0.0) return 1.0;
+    const double sigma = std::sqrt(std::log(1.0 + cv * cv));
+    return std::exp(sigma * level - 0.5 * sigma * sigma);
+  };
+  p.rtt_ms *= wobble(config_.wobble_cv_rtt);
+  p.loss_pct *= wobble(config_.wobble_cv_loss);
+  p.jitter_ms *= wobble(config_.wobble_cv_jitter);
+
+  day_mean_cache_.emplace(key, p);
+  return p;
+}
+
+PathPerformance GroundTruth::sample_call(CallId id, AsId s, AsId d, OptionId option,
+                                         TimeSec t) {
+  const PathPerformance mean = day_mean(s, d, option, day_of(t));
+
+  // The congestion-driven part of the metric breathes with the hour of day;
+  // approximate by mildly scaling the whole daily mean.
+  const std::uint64_t link = options_.get(option).kind == RelayKind::Direct
+                                 ? path_model_.direct_link_key(s, d)
+                                 : path_model_.segment_link_key(s, options_.get(option).a);
+  const double diurnal = 1.0 + 0.5 * (dynamics_.diurnal_factor(link, t) - 1.0);
+
+  const std::uint64_t call_key =
+      hash_mix(seed_, kTagCallNoise, static_cast<std::uint64_t>(id),
+               static_cast<std::uint64_t>(static_cast<std::uint32_t>(option)));
+
+  auto noisy = [&](double value, double cv, std::uint64_t salt) {
+    if (value <= 0.0) return 0.0;
+    // Log-normal multiplicative noise with unit mean, hashed per metric.
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double g = hashed_gaussian(hash_mix(call_key, salt));
+    return value * std::exp(-0.5 * sigma2 + std::sqrt(sigma2) * g);
+  };
+
+  PathPerformance p;
+  p.rtt_ms = noisy(mean.rtt_ms * diurnal, config_.call_cv_rtt, 1);
+  p.loss_pct = noisy(mean.loss_pct * diurnal, config_.call_cv_loss, 2);
+  p.jitter_ms = noisy(mean.jitter_ms * diurnal, config_.call_cv_jitter, 3);
+
+  // Option-independent last-hop impairment (wireless access): keyed on the
+  // call alone, so it is identical whichever relay option carries the call.
+  const std::uint64_t lh = hash_mix(seed_, kTagLastHop, static_cast<std::uint64_t>(id));
+  if (call_is_wireless(id)) {
+    p.rtt_ms += config_.wireless_extra_rtt_ms * hashed_uniform(hash_mix(lh, 2));
+    p.jitter_ms += config_.wireless_extra_jitter_ms *
+                   -std::log(std::max(1e-12, hashed_uniform(hash_mix(lh, 3))));
+    if (hashed_uniform(hash_mix(lh, 4)) < config_.wireless_loss_prob) {
+      p.loss_pct += config_.wireless_extra_loss_pct *
+                    -std::log(std::max(1e-12, hashed_uniform(hash_mix(lh, 5))));
+    }
+  }
+
+  if (hashed_uniform(hash_mix(lh, 6)) < config_.bad_lasthop_prob) {
+    auto expo = [&](double mean, std::uint64_t salt) {
+      return -mean * std::log(std::max(1e-12, hashed_uniform(hash_mix(lh, salt))));
+    };
+    p.rtt_ms += expo(config_.bad_lasthop_rtt_ms, 7);
+    p.loss_pct += expo(config_.bad_lasthop_loss_pct, 8);
+    p.jitter_ms += expo(config_.bad_lasthop_jitter_ms, 9);
+  }
+
+  p.rtt_ms = std::min(p.rtt_ms, 2000.0);
+  p.loss_pct = std::min(p.loss_pct, 50.0);
+  p.jitter_ms = std::min(p.jitter_ms, 300.0);
+  return p;
+}
+
+double GroundTruth::wobble_level(std::uint64_t path_key, int day) {
+  if (day < 0) return 0.0;
+  auto& series = wobble_series_[path_key];
+  if (static_cast<int>(series.size()) <= day) {
+    const double rho = config_.wobble_rho;
+    const double innov = std::sqrt(1.0 - rho * rho);
+    double prev = series.empty() ? hashed_gaussian(hash_mix(path_key, 0xFFFF))
+                                 : static_cast<double>(series.back());
+    for (int d = static_cast<int>(series.size()); d <= day; ++d) {
+      prev = rho * prev +
+             innov * hashed_gaussian(hash_mix(path_key, static_cast<std::uint64_t>(d)));
+      series.push_back(static_cast<float>(prev));
+    }
+  }
+  return static_cast<double>(series[static_cast<std::size_t>(day)]);
+}
+
+RelayId GroundTruth::transit_ingress(AsId src, OptionId option) const {
+  const RelayOption& o = options_.get(option);
+  if (o.kind != RelayKind::Transit) return -1;
+  return orient_transit(src, o).first;
+}
+
+bool GroundTruth::call_is_wireless(CallId id) const {
+  const std::uint64_t lh = hash_mix(seed_, kTagLastHop, static_cast<std::uint64_t>(id));
+  return hashed_uniform(hash_mix(lh, 1)) < config_.wireless_fraction;
+}
+
+std::span<const RelayId> GroundTruth::nearest_relays(AsId a) {
+  if (const auto it = nearest_.find(a); it != nearest_.end()) return it->second;
+  std::vector<RelayId> order;
+  order.reserve(static_cast<std::size_t>(world_->num_relays()));
+  for (RelayId r = 0; r < world_->num_relays(); ++r) {
+    if (allowed_relays_[static_cast<std::size_t>(r)]) order.push_back(r);
+  }
+  std::sort(order.begin(), order.end(), [&](RelayId x, RelayId y) {
+    return path_model_.segment_base(a, x).rtt_ms < path_model_.segment_base(a, y).rtt_ms;
+  });
+  return nearest_.emplace(a, std::move(order)).first->second;
+}
+
+std::span<const OptionId> GroundTruth::candidate_options(AsId s, AsId d) {
+  const std::uint64_t key = as_pair_key(s, d);
+  if (const auto it = candidates_.find(key); it != candidates_.end()) return it->second;
+
+  // Canonicalize so both directions of the pair see the same option set.
+  const AsId lo = std::min(s, d);
+  const AsId hi = std::max(s, d);
+
+  std::vector<OptionId> opts;
+  opts.push_back(RelayOptionTable::direct_id());
+
+  const auto near_lo = nearest_relays(lo);
+  const auto near_hi = nearest_relays(hi);
+
+  auto take = [](std::span<const RelayId> v, int k) {
+    return v.subspan(0, std::min<std::size_t>(v.size(), static_cast<std::size_t>(k)));
+  };
+
+  // Bounce candidates: relays near either endpoint.
+  for (const RelayId r : take(near_lo, config_.bounce_candidates_per_side)) {
+    const OptionId id = options_.intern_bounce(r);
+    if (std::find(opts.begin(), opts.end(), id) == opts.end()) opts.push_back(id);
+  }
+  for (const RelayId r : take(near_hi, config_.bounce_candidates_per_side)) {
+    const OptionId id = options_.intern_bounce(r);
+    if (std::find(opts.begin(), opts.end(), id) == opts.end()) opts.push_back(id);
+  }
+
+  // Transit candidates: ingress near one endpoint, egress near the other.
+  for (const RelayId r1 : take(near_lo, config_.transit_candidates_per_side)) {
+    for (const RelayId r2 : take(near_hi, config_.transit_candidates_per_side)) {
+      if (r1 == r2) continue;
+      const OptionId id = options_.intern_transit(r1, r2);
+      if (std::find(opts.begin(), opts.end(), id) == opts.end()) opts.push_back(id);
+    }
+  }
+
+  return candidates_.emplace(key, std::move(opts)).first->second;
+}
+
+void GroundTruth::set_allowed_relays(std::vector<bool> allowed) {
+  assert(allowed.size() == static_cast<std::size_t>(world_->num_relays()));
+  allowed_relays_ = std::move(allowed);
+  candidates_.clear();
+  nearest_.clear();
+}
+
+}  // namespace via

@@ -1,0 +1,160 @@
+// GroundTruth: the queryable "real Internet" of the simulation.
+//
+// For any (source AS, destination AS, relaying option, day) it yields the
+// option's daily-average performance — which is what the paper's oracle
+// knows — and it samples per-call performance around that daily average,
+// which is how the paper's trace-driven replay assigns performance to a
+// call routed over an option (Section 5.1).
+//
+// Per-call draws are keyed on (call id, option), so different policies that
+// route the same call the same way observe identical performance: policy
+// comparisons are paired.  Last-hop (wireless) impairments are keyed on the
+// call id alone — they hit every relaying option equally, reproducing the
+// paper's observation that no relay choice can fix a bad last hop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/call.h"
+#include "common/relay_option.h"
+#include "common/types.h"
+#include "netsim/dynamics.h"
+#include "netsim/pathmodel.h"
+#include "netsim/world.h"
+
+namespace via {
+
+struct GroundTruthConfig {
+  int bounce_candidates_per_side = 4;   ///< nearest relays per endpoint for bounces
+  int transit_candidates_per_side = 3;  ///< nearest relays per endpoint for transits
+
+  // Congestion-to-metric conversion scales (per congestion unit).
+  double congestion_rtt_ms = 55.0;
+  double congestion_loss_pct = 0.9;
+  double congestion_jitter_ms = 6.0;
+
+  // Within-day per-call noise (coefficient of variation per metric).
+  double call_cv_rtt = 0.10;
+  double call_cv_loss = 0.55;
+  double call_cv_jitter = 0.30;
+
+  // Relay paths deviate from the clean segment-composition model (routing
+  // asymmetries, relay processing, queueing at the DC edge): a *stable*
+  // per-(pair, option) multiplicative quirk.  This is the tomography model
+  // error that makes pure prediction fallible (paper §5.3: 14% of
+  // predictions are >= 50% off).
+  double quirk_cv_rtt = 0.08;
+  double quirk_cv_loss = 0.25;
+  double quirk_cv_jitter = 0.15;
+  /// Some relay paths are *badly* mismodeled (tunnelled routing, overloaded
+  /// DC edge): with this probability a path gets a large one-sided
+  /// inflation, producing the paper's fat tail of >=50% prediction errors.
+  double quirk_outlier_prob = 0.10;
+  double quirk_outlier_scale_rtt = 0.6;
+  double quirk_outlier_scale_loss = 1.5;
+  double quirk_outlier_scale_jitter = 0.8;
+
+  // Day-level wobble no history can predict (applies to every option,
+  // including direct): yesterday's window mispredicts today by this much,
+  // which is what makes within-day exploration (the bandit) worthwhile.
+  // The wobble follows a per-(pair, option) AR(1) in log space, so the
+  // oracle's best option persists for a realistic number of days
+  // (Figure 9) instead of reshuffling every midnight.
+  double wobble_cv_rtt = 0.06;
+  double wobble_cv_loss = 0.25;
+  double wobble_cv_jitter = 0.15;
+  double wobble_rho = 0.55;  ///< day-to-day correlation of the wobble
+
+  // Last-hop (access network) per-call impairments, option-independent.
+  double wireless_fraction = 0.83;
+  double wireless_extra_rtt_ms = 8.0;
+  double wireless_extra_jitter_ms = 2.5;
+  double wireless_loss_prob = 0.15;
+  double wireless_extra_loss_pct = 0.8;
+
+  // A fraction of calls has a badly degraded access link (congested Wi-Fi,
+  // cellular edge).  No relaying option can help these calls — this is the
+  // unfixable residue that caps the oracle's improvement (paper §2.2/§3).
+  double bad_lasthop_prob = 0.07;
+  double bad_lasthop_rtt_ms = 110.0;    ///< mean of exponential extra RTT
+  double bad_lasthop_loss_pct = 1.3;    ///< mean of exponential extra loss
+  double bad_lasthop_jitter_ms = 8.0;   ///< mean of exponential extra jitter
+
+  DynamicsParams dynamics;
+  PathModelParams path_model;
+};
+
+class GroundTruth {
+ public:
+  GroundTruth(const World& world, GroundTruthConfig config = {});
+
+  /// Daily-average performance of an option between two ASes.  This is the
+  /// quantity the oracle optimizes and the replay samples around.
+  [[nodiscard]] PathPerformance day_mean(AsId s, AsId d, OptionId option, int day);
+
+  /// Samples the performance one specific call would observe on an option.
+  [[nodiscard]] PathPerformance sample_call(CallId id, AsId s, AsId d, OptionId option,
+                                            TimeSec t);
+
+  /// Candidate relaying options for an AS pair: the direct path plus
+  /// bounce/transit options off relays near either endpoint.  Cached; the
+  /// returned span stays valid for the lifetime of this object.
+  [[nodiscard]] std::span<const OptionId> candidate_options(AsId s, AsId d);
+
+  /// Daily-average performance of the public AS<->relay segment (used for
+  /// validating tomography against truth).
+  [[nodiscard]] PathPerformance segment_day_mean(AsId a, RelayId r, int day) const;
+
+  /// Private backbone performance (known to the overlay operator).
+  [[nodiscard]] PathPerformance backbone(RelayId r1, RelayId r2) const {
+    return path_model_.backbone(r1, r2);
+  }
+
+  /// Whether this call's access network is wireless (per-call property,
+  /// independent of the relaying option; ~83% of calls in the paper).
+  [[nodiscard]] bool call_is_wireless(CallId id) const;
+
+  /// The relay the *source* client connects to for a transit option (the
+  /// nearer of the pair); -1 for direct/bounce options.
+  [[nodiscard]] RelayId transit_ingress(AsId src, OptionId option) const;
+
+  /// Relays sorted by proximity (base segment RTT) to an AS.
+  [[nodiscard]] std::span<const RelayId> nearest_relays(AsId a);
+
+  /// Restricts the relay fleet (Figure 17c's deployment sensitivity);
+  /// clears candidate caches.
+  void set_allowed_relays(std::vector<bool> allowed);
+
+  [[nodiscard]] const World& world() const noexcept { return *world_; }
+  [[nodiscard]] const PathModel& path_model() const noexcept { return path_model_; }
+  [[nodiscard]] const Dynamics& dynamics() const noexcept { return dynamics_; }
+  [[nodiscard]] const RelayOptionTable& option_table() const noexcept { return options_; }
+  [[nodiscard]] const GroundTruthConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] PathPerformance direct_day_mean(AsId s, AsId d, int day) const;
+  /// Orders a transit pair so the first relay is nearest the source.
+  [[nodiscard]] std::pair<RelayId, RelayId> orient_transit(AsId s, const RelayOption& o) const;
+  [[nodiscard]] static std::uint64_t memo_key(AsId s, AsId d, OptionId o, int day) noexcept;
+
+  const World* world_;
+  GroundTruthConfig config_;
+  PathModel path_model_;
+  Dynamics dynamics_;
+  RelayOptionTable options_;
+  std::uint64_t seed_;
+  std::vector<bool> allowed_relays_;
+
+  /// AR(1) wobble level for a (pair, option) path on a day; memoized.
+  [[nodiscard]] double wobble_level(std::uint64_t path_key, int day);
+
+  std::unordered_map<std::uint64_t, PathPerformance> day_mean_cache_;
+  std::unordered_map<std::uint64_t, std::vector<float>> wobble_series_;
+  std::unordered_map<std::uint64_t, std::vector<OptionId>> candidates_;
+  std::unordered_map<AsId, std::vector<RelayId>> nearest_;
+};
+
+}  // namespace via

@@ -1,0 +1,103 @@
+#include "netsim/pathmodel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/geo.h"
+#include "util/rng.h"
+
+namespace via {
+
+namespace {
+// Domain-separation tags for hashed draws.
+constexpr std::uint64_t kTagDirect = 0xD1EC7;
+constexpr std::uint64_t kTagSegment = 0x5E63E;
+}  // namespace
+
+PathModel::PathModel(const World& world, PathModelParams params)
+    : world_(&world), params_(params), seed_(hash_mix(world.config().seed, 0x9a7405)) {}
+
+std::uint64_t PathModel::direct_link_key(AsId a, AsId b) const noexcept {
+  return hash_mix(seed_, kTagDirect, as_pair_key(a, b));
+}
+
+std::uint64_t PathModel::segment_link_key(AsId a, RelayId r) const noexcept {
+  return hash_mix(seed_, kTagSegment, static_cast<std::uint64_t>(a),
+                  static_cast<std::uint64_t>(static_cast<std::uint16_t>(r)));
+}
+
+PathPerformance PathModel::direct_base(AsId a, AsId b) const {
+  const AsNode& na = world_->as_node(a);
+  const AsNode& nb = world_->as_node(b);
+  const std::uint64_t key = direct_link_key(a, b);
+
+  const double u_circ = hashed_uniform(hash_mix(key, 1));
+  const double u_loss = hashed_uniform(hash_mix(key, 2));
+  const double u_jit = hashed_uniform(hash_mix(key, 3));
+
+  const double worst_peering = 1.0 - std::min(na.peering_quality, nb.peering_quality);
+  const bool intl = na.country != nb.country;
+
+  double circ = params_.direct_circuitousness_min +
+                params_.direct_circuitousness_spread * u_circ * u_circ +
+                params_.poor_peering_penalty * worst_peering * u_circ;
+  if (intl) circ += params_.direct_intl_penalty;
+
+  const double km = haversine_km(na.pos, nb.pos);
+  // Long paths traverse more interconnects: WAN loss/jitter scale with
+  // distance up to a saturation point.
+  const double dist_factor = 0.35 + 0.65 * std::min(1.0, km / params_.wan_full_scale_km);
+  PathPerformance p;
+  p.rtt_ms = na.lastmile_rtt_ms + nb.lastmile_rtt_ms + 2.0 * fiber_delay_ms(km) * circ;
+  p.loss_pct = na.lastmile_loss_pct + nb.lastmile_loss_pct +
+               params_.direct_wan_loss_pct * worst_peering * u_loss * dist_factor *
+                   (intl ? 1.4 : 1.0);
+  p.jitter_ms = na.lastmile_jitter_ms + nb.lastmile_jitter_ms +
+                params_.direct_wan_jitter_ms * (0.25 + worst_peering) * u_jit * dist_factor;
+  return p;
+}
+
+PathPerformance PathModel::segment_base(AsId a, RelayId r) const {
+  const AsNode& na = world_->as_node(a);
+  const RelaySite& site = world_->relay(r);
+  const std::uint64_t key = segment_link_key(a, r);
+
+  const double u_circ = hashed_uniform(hash_mix(key, 1));
+  const double u_loss = hashed_uniform(hash_mix(key, 2));
+  const double u_jit = hashed_uniform(hash_mix(key, 3));
+
+  const double poor = 1.0 - na.peering_quality;
+  const double circ = params_.segment_circuitousness_min +
+                      params_.segment_circuitousness_spread * u_circ +
+                      params_.segment_poor_peering_penalty * poor * u_circ;
+
+  const double km = haversine_km(na.pos, site.pos);
+  PathPerformance p;
+  p.rtt_ms = na.lastmile_rtt_ms + 2.0 * fiber_delay_ms(km) * circ;
+  p.loss_pct = na.lastmile_loss_pct + params_.segment_wan_loss_pct * poor * u_loss;
+  p.jitter_ms = na.lastmile_jitter_ms + params_.segment_wan_jitter_ms * (0.15 + poor) * u_jit;
+  return p;
+}
+
+double PathModel::direct_congestion_exposure(AsId a, AsId b) const {
+  const double km = haversine_km(world_->as_node(a).pos, world_->as_node(b).pos);
+  return 0.25 + 0.75 * std::min(1.0, km / params_.wan_full_scale_km);
+}
+
+double PathModel::segment_congestion_exposure(AsId a, RelayId r) const {
+  const double km = haversine_km(world_->as_node(a).pos, world_->relay(r).pos);
+  return 0.25 + 0.75 * std::min(1.0, km / params_.wan_full_scale_km);
+}
+
+PathPerformance PathModel::backbone(RelayId r1, RelayId r2) const {
+  if (r1 == r2) return PathPerformance{};
+  const double km = haversine_km(world_->relay(r1).pos, world_->relay(r2).pos);
+  PathPerformance p;
+  p.rtt_ms = params_.backbone_fixed_rtt_ms +
+             2.0 * fiber_delay_ms(km) * params_.backbone_circuitousness;
+  p.loss_pct = params_.backbone_loss_pct;
+  p.jitter_ms = params_.backbone_jitter_ms;
+  return p;
+}
+
+}  // namespace via

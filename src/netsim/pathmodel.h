@@ -1,0 +1,87 @@
+// Static (time-invariant) path performance model.
+//
+// Three kinds of network segments exist in the world:
+//   - direct AS<->AS paths over the public Internet (BGP-derived),
+//   - AS<->relay segments over the public Internet (client to datacenter),
+//   - relay<->relay links over the provider's private backbone.
+//
+// Each segment's *base* performance is a deterministic function of geometry
+// (great-circle distance), endpoint last-mile characteristics, and a stable
+// per-pair random draw modelling route circuitousness and peering quality.
+// Public paths between poorly-peered networks are circuitous and lossy —
+// which is exactly the headroom a managed overlay exploits; the private
+// backbone runs near the fibre limit.  Time-varying congestion is layered
+// on top by Dynamics (dynamics.h).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "netsim/world.h"
+
+namespace via {
+
+struct PathModelParams {
+  // Direct AS<->AS public paths.
+  double direct_circuitousness_min = 1.25;
+  double direct_circuitousness_spread = 1.6;  ///< added as spread * u^2 (heavy tail)
+  double direct_intl_penalty = 0.35;          ///< extra circuitousness across borders
+  double poor_peering_penalty = 1.0;          ///< extra circuitousness for poor networks
+  double direct_wan_loss_pct = 0.8;           ///< scale of WAN loss on poor public paths
+  double direct_wan_jitter_ms = 6.0;          ///< scale of WAN jitter on public paths
+  /// Distance at which WAN loss/jitter reach full scale (longer paths cross
+  /// more congested interconnects).
+  double wan_full_scale_km = 8000.0;
+
+  // AS<->relay public segments: cloud providers peer widely, so these
+  // are straighter and cleaner than arbitrary AS<->AS paths.
+  double segment_circuitousness_min = 1.1;
+  double segment_circuitousness_spread = 0.5;
+  double segment_poor_peering_penalty = 0.45;
+  double segment_wan_loss_pct = 0.25;
+  double segment_wan_jitter_ms = 2.0;
+
+  // Private backbone relay<->relay links.
+  double backbone_circuitousness = 1.05;
+  double backbone_fixed_rtt_ms = 1.0;
+  double backbone_loss_pct = 0.01;
+  double backbone_jitter_ms = 0.3;
+};
+
+/// Computes base (uncongested daily-average) performance for every segment
+/// kind.  Stateless and thread-safe; all randomness is hashed from
+/// (seed, endpoint ids) so the same world always yields the same paths.
+class PathModel {
+ public:
+  PathModel(const World& world, PathModelParams params = {});
+
+  /// Base performance of the direct public path between two ASes.
+  [[nodiscard]] PathPerformance direct_base(AsId a, AsId b) const;
+
+  /// Base performance of the public segment between an AS and a relay.
+  /// Includes the AS-side last mile; the relay side contributes none.
+  [[nodiscard]] PathPerformance segment_base(AsId a, RelayId r) const;
+
+  /// Performance of the private backbone link between two relays
+  /// (deterministic; the overlay operator knows this matrix).
+  [[nodiscard]] PathPerformance backbone(RelayId r1, RelayId r2) const;
+
+  [[nodiscard]] const World& world() const noexcept { return *world_; }
+  [[nodiscard]] const PathModelParams& params() const noexcept { return params_; }
+
+  /// Stable link keys for the dynamics layer.
+  [[nodiscard]] std::uint64_t direct_link_key(AsId a, AsId b) const noexcept;
+  [[nodiscard]] std::uint64_t segment_link_key(AsId a, RelayId r) const noexcept;
+
+  /// How exposed a link is to WAN congestion (0..1): longer paths traverse
+  /// more shared interconnects; scales the dynamics layer's contribution.
+  [[nodiscard]] double direct_congestion_exposure(AsId a, AsId b) const;
+  [[nodiscard]] double segment_congestion_exposure(AsId a, RelayId r) const;
+
+ private:
+  const World* world_;
+  PathModelParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace via

@@ -1,0 +1,152 @@
+#include "netsim/world.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace via {
+
+namespace {
+
+// Country catalog: rough geographic centroids, relative VoIP call activity
+// weights, and an infrastructure-quality score (0..1) controlling last-mile
+// and peering characteristics.  Weights skew towards countries with heavy
+// international calling, mirroring the paper's observation that 46.6% of
+// calls are international.
+const std::vector<CountryInfo>& country_table() {
+  static const std::vector<CountryInfo> table = {
+      {"United States", "US", {38.0, -97.0}, 10.0, 0.90},
+      {"India", "IN", {21.0, 78.0}, 9.0, 0.45},
+      {"China", "CN", {35.0, 104.0}, 6.0, 0.60},
+      {"Brazil", "BR", {-10.0, -55.0}, 5.0, 0.55},
+      {"Russia", "RU", {60.0, 100.0}, 4.0, 0.60},
+      {"United Kingdom", "GB", {54.0, -2.0}, 5.0, 0.92},
+      {"Germany", "DE", {51.0, 10.0}, 5.0, 0.92},
+      {"France", "FR", {46.0, 2.0}, 4.0, 0.90},
+      {"Philippines", "PH", {13.0, 122.0}, 4.0, 0.40},
+      {"Indonesia", "ID", {-5.0, 120.0}, 4.0, 0.40},
+      {"Nigeria", "NG", {9.0, 8.0}, 3.0, 0.30},
+      {"Mexico", "MX", {23.0, -102.0}, 3.0, 0.55},
+      {"Pakistan", "PK", {30.0, 70.0}, 3.0, 0.35},
+      {"Bangladesh", "BD", {24.0, 90.0}, 3.0, 0.35},
+      {"Vietnam", "VN", {16.0, 108.0}, 3.0, 0.50},
+      {"Egypt", "EG", {26.0, 30.0}, 2.5, 0.40},
+      {"Turkey", "TR", {39.0, 35.0}, 2.5, 0.55},
+      {"Iran", "IR", {32.0, 53.0}, 2.0, 0.40},
+      {"Thailand", "TH", {15.0, 101.0}, 2.0, 0.55},
+      {"Italy", "IT", {42.0, 12.0}, 3.0, 0.80},
+      {"Spain", "ES", {40.0, -4.0}, 3.0, 0.85},
+      {"Poland", "PL", {52.0, 20.0}, 2.5, 0.80},
+      {"Ukraine", "UA", {49.0, 32.0}, 2.0, 0.60},
+      {"Canada", "CA", {56.0, -106.0}, 3.0, 0.90},
+      {"Australia", "AU", {-25.0, 134.0}, 2.5, 0.85},
+      {"Japan", "JP", {36.0, 138.0}, 3.0, 0.95},
+      {"South Korea", "KR", {36.0, 128.0}, 2.0, 0.97},
+      {"Saudi Arabia", "SA", {24.0, 45.0}, 2.0, 0.60},
+      {"United Arab Emirates", "AE", {24.0, 54.0}, 2.0, 0.75},
+      {"Singapore", "SG", {1.3, 103.8}, 1.5, 0.97},
+      {"Malaysia", "MY", {4.0, 102.0}, 1.5, 0.60},
+      {"South Africa", "ZA", {-29.0, 24.0}, 2.0, 0.50},
+      {"Kenya", "KE", {0.0, 38.0}, 1.5, 0.35},
+      {"Ghana", "GH", {8.0, -1.0}, 1.0, 0.30},
+      {"Morocco", "MA", {32.0, -6.0}, 1.0, 0.45},
+      {"Algeria", "DZ", {28.0, 2.0}, 1.0, 0.40},
+      {"Colombia", "CO", {4.0, -72.0}, 1.5, 0.50},
+      {"Argentina", "AR", {-34.0, -64.0}, 1.5, 0.60},
+      {"Peru", "PE", {-10.0, -76.0}, 1.0, 0.45},
+      {"Chile", "CL", {-30.0, -71.0}, 1.0, 0.65},
+      {"Venezuela", "VE", {7.0, -66.0}, 1.0, 0.35},
+      {"Netherlands", "NL", {52.5, 5.75}, 2.0, 0.95},
+      {"Sweden", "SE", {62.0, 15.0}, 1.5, 0.95},
+      {"Norway", "NO", {61.0, 8.0}, 1.0, 0.95},
+      {"Romania", "RO", {46.0, 25.0}, 1.5, 0.75},
+      {"Greece", "GR", {39.0, 22.0}, 1.0, 0.70},
+      {"Portugal", "PT", {39.5, -8.0}, 1.0, 0.80},
+      {"Israel", "IL", {31.0, 35.0}, 1.5, 0.80},
+      {"Sri Lanka", "LK", {7.0, 81.0}, 1.0, 0.40},
+      {"Nepal", "NP", {28.0, 84.0}, 1.0, 0.30},
+  };
+  return table;
+}
+
+// Relay site catalog: cloud-datacenter metros of the big public clouds.
+const std::vector<RelaySite>& relay_table() {
+  static const std::vector<RelaySite> table = {
+      {"Virginia", {39.0, -78.0}},      {"Oregon", {44.0, -121.0}},
+      {"California", {37.4, -122.1}},   {"Texas", {30.3, -98.0}},
+      {"Chicago", {41.9, -87.6}},       {"Miami", {25.8, -80.2}},
+      {"Montreal", {45.5, -73.6}},      {"Sao Paulo", {-23.5, -46.6}},
+      {"Rio de Janeiro", {-22.9, -43.2}}, {"Santiago", {-33.4, -70.6}},
+      {"Dublin", {53.3, -6.3}},         {"London", {51.5, -0.1}},
+      {"Amsterdam", {52.4, 4.9}},       {"Frankfurt", {50.1, 8.7}},
+      {"Paris", {48.9, 2.3}},           {"Madrid", {40.4, -3.7}},
+      {"Milan", {45.5, 9.2}},           {"Stockholm", {59.3, 18.1}},
+      {"Warsaw", {52.2, 21.0}},         {"Moscow", {55.8, 37.6}},
+      {"Istanbul", {41.0, 29.0}},       {"Dubai", {25.2, 55.3}},
+      {"Tel Aviv", {32.1, 34.8}},       {"Johannesburg", {-26.2, 28.0}},
+      {"Lagos", {6.5, 3.4}},            {"Nairobi", {-1.3, 36.8}},
+      {"Mumbai", {19.1, 72.9}},         {"Delhi", {28.6, 77.2}},
+      {"Chennai", {13.1, 80.3}},        {"Singapore", {1.35, 103.8}},
+      {"Jakarta", {-6.2, 106.8}},       {"Hong Kong", {22.3, 114.2}},
+      {"Tokyo", {35.7, 139.7}},         {"Osaka", {34.7, 135.5}},
+      {"Seoul", {37.6, 127.0}},         {"Sydney", {-33.9, 151.2}},
+      {"Melbourne", {-37.8, 145.0}},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::span<const CountryInfo> World::country_catalog() { return country_table(); }
+std::span<const RelaySite> World::relay_site_catalog() { return relay_table(); }
+
+World::World(const WorldConfig& config) : config_(config) {
+  assert(config.num_ases > 0);
+  countries_ = country_table();
+
+  // Pick relay sites: take every site if we can, otherwise a spread-out
+  // subset (stride over the catalog keeps geographic diversity).
+  const auto& sites = relay_table();
+  const int n_relays = std::clamp(config.num_relays, 1, static_cast<int>(sites.size()));
+  relays_.reserve(static_cast<std::size_t>(n_relays));
+  const double stride = static_cast<double>(sites.size()) / n_relays;
+  for (int i = 0; i < n_relays; ++i) {
+    relays_.push_back(sites[static_cast<std::size_t>(i * stride)]);
+  }
+
+  // Generate ASes: country by call weight; position jittered around the
+  // centroid; last-mile characteristics driven by the country's
+  // infrastructure quality plus per-AS heterogeneity.
+  Rng rng(hash_mix(config.seed, 0xa51d));
+  std::vector<double> weights;
+  weights.reserve(countries_.size());
+  for (const auto& c : countries_) weights.push_back(c.call_weight);
+
+  ases_.reserve(static_cast<std::size_t>(config.num_ases));
+  activity_.reserve(static_cast<std::size_t>(config.num_ases));
+  for (int i = 0; i < config.num_ases; ++i) {
+    const auto ci = static_cast<CountryId>(rng.weighted_index(weights));
+    const auto& country = countries_[static_cast<std::size_t>(ci)];
+
+    AsNode node;
+    node.country = ci;
+    node.pos = offset_point(country.centroid, rng.uniform(-6.0, 6.0), rng.uniform(-8.0, 8.0));
+
+    // Per-AS quality: country infra quality with substantial spread, so even
+    // good countries contain some poor eyeball networks and vice versa.
+    const double q =
+        std::clamp(country.infra_quality + rng.gaussian(0.0, 0.15), 0.05, 0.99);
+    node.peering_quality = q;
+    node.lastmile_rtt_ms = 4.0 + (1.0 - q) * 30.0 * rng.uniform(0.5, 1.5);
+    node.lastmile_loss_pct = std::max(0.0, (1.0 - q) * 0.15 * rng.uniform(0.2, 1.8));
+    node.lastmile_jitter_ms = 0.5 + (1.0 - q) * 2.5 * rng.uniform(0.4, 1.6);
+
+    // Heavy-tailed activity: a few large consumer ISPs carry most calls.
+    node.activity = rng.pareto(1.0, 1.1);
+
+    ases_.push_back(node);
+    activity_.push_back(node.activity);
+  }
+}
+
+}  // namespace via

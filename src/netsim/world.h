@@ -1,0 +1,93 @@
+// Synthetic Internet world: countries at real coordinates, ASes scattered
+// around their country with heterogeneous last-mile quality, and relay
+// sites at real cloud-datacenter cities joined by a private backbone.
+//
+// This is the substitute for the proprietary Skype client population (see
+// DESIGN.md Section 3): Via's algorithms only ever observe (AS, country,
+// option, metrics) tuples, so a world with realistic geography, skewed
+// activity, and heterogeneous infrastructure exercises the same code paths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "util/geo.h"
+#include "util/rng.h"
+
+namespace via {
+
+/// Static country catalog entry.
+struct CountryInfo {
+  std::string name;
+  std::string iso;      ///< two-letter code
+  GeoPoint centroid;
+  double call_weight;   ///< relative share of global call activity
+  double infra_quality; ///< 0 (poor) .. 1 (excellent) last-mile / peering
+};
+
+/// One autonomous system (eyeball network) in the synthetic world.
+struct AsNode {
+  CountryId country = -1;
+  GeoPoint pos;
+  double activity = 1.0;         ///< relative call volume weight
+  double lastmile_rtt_ms = 10.0; ///< access RTT contribution
+  double lastmile_loss_pct = 0.1;
+  double lastmile_jitter_ms = 2.0;
+  double peering_quality = 0.8;  ///< 0..1; poor peering => circuitous WAN paths
+};
+
+/// One relay site (datacenter) of the managed overlay.
+struct RelaySite {
+  std::string city;
+  GeoPoint pos;
+};
+
+struct WorldConfig {
+  int num_ases = 200;
+  int num_relays = 30;  ///< capped at the site catalog size
+  std::uint64_t seed = 42;
+};
+
+/// The generated world.  Immutable after construction.
+class World {
+ public:
+  explicit World(const WorldConfig& config);
+
+  [[nodiscard]] const WorldConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::span<const CountryInfo> countries() const noexcept { return countries_; }
+  [[nodiscard]] std::span<const AsNode> ases() const noexcept { return ases_; }
+  [[nodiscard]] std::span<const RelaySite> relays() const noexcept { return relays_; }
+
+  [[nodiscard]] const CountryInfo& country_of(AsId as) const {
+    return countries_[static_cast<std::size_t>(ases_[static_cast<std::size_t>(as)].country)];
+  }
+  [[nodiscard]] const AsNode& as_node(AsId as) const {
+    return ases_[static_cast<std::size_t>(as)];
+  }
+  [[nodiscard]] const RelaySite& relay(RelayId r) const {
+    return relays_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] int num_ases() const noexcept { return static_cast<int>(ases_.size()); }
+  [[nodiscard]] int num_relays() const noexcept { return static_cast<int>(relays_.size()); }
+  [[nodiscard]] int num_countries() const noexcept { return static_cast<int>(countries_.size()); }
+
+  /// Per-AS activity weights (relative call volume), for workload sampling.
+  [[nodiscard]] std::span<const double> as_activity() const noexcept { return activity_; }
+
+  /// The full built-in country catalog (also used by tests).
+  [[nodiscard]] static std::span<const CountryInfo> country_catalog();
+  /// The full built-in relay site catalog.
+  [[nodiscard]] static std::span<const RelaySite> relay_site_catalog();
+
+ private:
+  WorldConfig config_;
+  std::vector<CountryInfo> countries_;
+  std::vector<AsNode> ases_;
+  std::vector<RelaySite> relays_;
+  std::vector<double> activity_;
+};
+
+}  // namespace via

@@ -1,0 +1,37 @@
+#include "quality/emodel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace via {
+
+double emodel_r_factor(const PathPerformance& perf, const EModelParams& params) noexcept {
+  // One-way delay: half the RTT, plus codec and de-jitter buffering.
+  const double jitter_buffer_ms = params.jitter_buffer_factor * perf.jitter_ms;
+  const double d = perf.rtt_ms / 2.0 + params.codec_delay_ms + jitter_buffer_ms;
+
+  double id = 0.024 * d;
+  if (d > 177.3) id += 0.11 * (d - 177.3);
+
+  // Effective loss: network loss plus packets that miss the playout deadline.
+  const double network_loss = std::clamp(perf.loss_pct / 100.0, 0.0, 1.0);
+  const double late_loss =
+      std::clamp(params.late_loss_per_ms * perf.jitter_ms, 0.0, 0.5);
+  const double e = std::clamp(network_loss + late_loss * (1.0 - network_loss), 0.0, 1.0);
+
+  const double ie = params.gamma1 + params.gamma2 * std::log(1.0 + params.gamma3 * e);
+  return 94.2 - id - ie;
+}
+
+double r_to_mos(double r) noexcept {
+  if (r <= 0.0) return 1.0;
+  if (r >= 100.0) return 4.5;
+  const double mos = 1.0 + 0.035 * r + 7e-6 * r * (r - 60.0) * (100.0 - r);
+  return std::clamp(mos, 1.0, 4.5);
+}
+
+double emodel_mos(const PathPerformance& perf, const EModelParams& params) noexcept {
+  return r_to_mos(emodel_r_factor(perf, params));
+}
+
+}  // namespace via

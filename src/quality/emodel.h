@@ -1,0 +1,44 @@
+// ITU-T E-model (G.107) as simplified by Cole & Rosenbluth, "Voice over IP
+// Performance Monitoring" (CCR 2001) — the model the paper cites ([17]) for
+// translating network metrics into a Mean Opinion Score (MOS).
+//
+//   R   = 94.2 - Id - Ie
+//   Id  = 0.024 d + 0.11 (d - 177.3) H(d - 177.3)
+//   Ie  = gamma1 + gamma2 * ln(1 + gamma3 * e)
+//   MOS = 1 + 0.035 R + 7e-6 R (R - 60)(100 - R),  clamped to [1, 4.5]
+//
+// where d is the one-way mouth-to-ear delay (ms) and e is the end-to-end
+// (network + playout-late) loss probability.
+#pragma once
+
+#include "common/types.h"
+
+namespace via {
+
+/// Codec-dependent loss-impairment parameters.  Defaults are the G.711 +
+/// packet-loss-concealment values from Cole-Rosenbluth.
+struct EModelParams {
+  double gamma1 = 0.0;   ///< Ie at zero loss
+  double gamma2 = 30.0;  ///< loss impairment scale
+  double gamma3 = 15.0;  ///< loss impairment steepness
+  /// Fixed encoding + packetization delay added to the network delay (ms).
+  double codec_delay_ms = 25.0;
+  /// Playout (de-jitter) buffer delay as a multiple of measured jitter.
+  double jitter_buffer_factor = 2.0;
+  /// Fraction of packets arriving later than the playout deadline, per ms of
+  /// jitter beyond what the buffer absorbs; models jitter-induced loss.
+  double late_loss_per_ms = 0.0005;
+};
+
+/// Transmission rating factor R for a call with the given average metrics.
+[[nodiscard]] double emodel_r_factor(const PathPerformance& perf,
+                                     const EModelParams& params = {}) noexcept;
+
+/// Maps an R factor to MOS in [1, 4.5].
+[[nodiscard]] double r_to_mos(double r) noexcept;
+
+/// Convenience: MOS straight from per-call average network metrics.
+[[nodiscard]] double emodel_mos(const PathPerformance& perf,
+                                const EModelParams& params = {}) noexcept;
+
+}  // namespace via

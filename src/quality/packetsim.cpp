@@ -1,0 +1,83 @@
+#include "quality/packetsim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace via {
+
+PacketTraceResult simulate_call_packets(const PathPerformance& avg, Rng& rng,
+                                        const PacketSimParams& params) {
+  PacketTraceResult out;
+  const auto n_packets =
+      static_cast<std::int64_t>(params.duration_s * 1000.0 / params.packet_interval_ms);
+  out.packets_sent = n_packets;
+  if (n_packets <= 0) return out;
+
+  // Gilbert-Elliott two-state loss channel calibrated to the target average
+  // loss rate: stationary P(bad) = p_target; transitions chosen so the mean
+  // bad-state sojourn is params.mean_loss_burst packets.
+  const double p_target = std::clamp(avg.loss_pct / 100.0, 0.0, 0.95);
+  const double p_bad_to_good = 1.0 / std::max(1.0, params.mean_loss_burst);
+  // Stationarity: p_good_to_bad * P(good) = p_bad_to_good * P(bad).
+  const double p_good_to_bad =
+      p_target >= 1.0 ? 1.0
+                      : std::min(1.0, p_bad_to_good * p_target / std::max(1e-12, 1.0 - p_target));
+
+  const double base_delay = avg.rtt_ms / 2.0;
+  const double jitter = std::max(0.05, avg.jitter_ms);
+  const double playout_deadline =
+      base_delay + params.playout_jitter_factor * jitter;
+
+  bool bad_state = rng.bernoulli(p_target);
+  double delay_sum = 0.0;
+  std::int64_t delivered = 0;
+
+  for (std::int64_t i = 0; i < n_packets; ++i) {
+    // Advance the loss channel.
+    if (bad_state) {
+      if (rng.bernoulli(p_bad_to_good)) bad_state = false;
+    } else {
+      if (rng.bernoulli(p_good_to_bad)) bad_state = true;
+    }
+    if (bad_state && p_target > 0.0) {
+      ++out.packets_lost;
+      continue;
+    }
+
+    // One-way network delay: base + jitter noise; occasional heavy spike.
+    double noise;
+    if (rng.bernoulli(params.spike_prob)) {
+      noise = rng.exponential(params.spike_scale * jitter);
+    } else {
+      // Laplace-like: difference of two exponentials has stddev sqrt(2)*scale.
+      noise = rng.exponential(jitter / std::numbers::sqrt2) -
+              rng.exponential(jitter / std::numbers::sqrt2);
+    }
+    const double delay = std::max(0.0, base_delay + noise);
+    if (delay > playout_deadline) {
+      ++out.packets_late;
+      continue;
+    }
+    delay_sum += delay;
+    ++delivered;
+  }
+
+  const double eff_loss =
+      static_cast<double>(out.packets_lost + out.packets_late) / static_cast<double>(n_packets);
+  out.effective_loss_pct = 100.0 * eff_loss;
+  out.mean_delay_ms = delivered > 0 ? delay_sum / static_cast<double>(delivered) : base_delay;
+  out.playout_delay_ms = playout_deadline;
+
+  // MOS from the observed packet trace: true mouth-to-ear delay is the
+  // playout deadline (receiver plays at the deadline), and the loss term is
+  // the effective loss.  Feed the E-model directly in its native units.
+  double d = out.playout_delay_ms + params.emodel.codec_delay_ms;
+  double id = 0.024 * d;
+  if (d > 177.3) id += 0.11 * (d - 177.3);
+  const double ie =
+      params.emodel.gamma1 + params.emodel.gamma2 * std::log(1.0 + params.emodel.gamma3 * eff_loss);
+  out.mos = r_to_mos(94.2 - id - ie);
+  return out;
+}
+
+}  // namespace via

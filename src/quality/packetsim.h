@@ -1,0 +1,48 @@
+// Packet-level call simulator used to validate that thresholds on per-call
+// *average* metrics are a reasonable approximation of packet-trace-derived
+// quality (paper Section 2.2: 80% of calls rated non-poor by the averages
+// have a packet-trace MOS above 75% of the calls rated poor).
+//
+// The simulator plays out a stream of 20 ms voice packets through a
+// Gilbert-Elliott loss channel and a jittered delay process, emulates a
+// playout buffer, and computes a MOS from the *observed packet trace*
+// (effective loss including late packets, and true mouth-to-ear delay).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "quality/emodel.h"
+#include "util/rng.h"
+
+namespace via {
+
+struct PacketSimParams {
+  double packet_interval_ms = 20.0;  ///< one voice frame per packet
+  double duration_s = 60.0;          ///< simulated talk time
+  /// Mean burst length of the Gilbert-Elliott bad state, in packets.
+  double mean_loss_burst = 3.0;
+  /// Playout deadline above the median delay, as a multiple of jitter.
+  double playout_jitter_factor = 3.0;
+  /// Probability that a packet's delay is drawn from the heavy "spike" tail.
+  double spike_prob = 0.01;
+  double spike_scale = 6.0;  ///< spike delay inflation over normal jitter
+  EModelParams emodel;
+};
+
+struct PacketTraceResult {
+  std::int64_t packets_sent = 0;
+  std::int64_t packets_lost = 0;  ///< dropped by the network
+  std::int64_t packets_late = 0;  ///< arrived after the playout deadline
+  double effective_loss_pct = 0.0;
+  double mean_delay_ms = 0.0;     ///< network one-way delay of delivered packets
+  double playout_delay_ms = 0.0;  ///< mouth-to-ear delay after buffering
+  double mos = 1.0;               ///< packet-trace MOS
+};
+
+/// Simulates one call whose *average* network metrics are `avg` and returns
+/// the packet-trace quality.  Deterministic for a given rng state.
+[[nodiscard]] PacketTraceResult simulate_call_packets(const PathPerformance& avg, Rng& rng,
+                                                      const PacketSimParams& params = {});
+
+}  // namespace via

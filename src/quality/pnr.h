@@ -1,0 +1,50 @@
+// Poor Network Rate (PNR) accounting — the paper's primary evaluation
+// metric: the fraction of calls whose average RTT / loss / jitter exceeds
+// the poor-performance thresholds, individually and collectively ("at
+// least one bad", Section 2.2).
+#pragma once
+
+#include <array>
+
+#include "common/call.h"
+#include "common/types.h"
+#include "util/stats.h"
+
+namespace via {
+
+/// Accumulates PNR over a set of calls.
+class PnrAccumulator {
+ public:
+  explicit PnrAccumulator(PoorThresholds thresholds = {}) : thresholds_(thresholds) {}
+
+  void add(const PathPerformance& perf) noexcept {
+    for (const Metric m : kAllMetrics) {
+      per_metric_[metric_index(m)].add(thresholds_.poor(m, perf));
+    }
+    any_.add(thresholds_.any_poor(perf));
+  }
+
+  void merge(const PnrAccumulator& o) noexcept {
+    for (std::size_t i = 0; i < kNumMetrics; ++i) per_metric_[i].merge(o.per_metric_[i]);
+    any_.merge(o.any_);
+  }
+
+  [[nodiscard]] double pnr(Metric m) const noexcept {
+    return per_metric_[metric_index(m)].rate();
+  }
+  [[nodiscard]] double pnr_sem(Metric m) const noexcept {
+    return per_metric_[metric_index(m)].sem();
+  }
+  /// PNR of the "at least one bad" collective metric.
+  [[nodiscard]] double pnr_any() const noexcept { return any_.rate(); }
+  [[nodiscard]] double pnr_any_sem() const noexcept { return any_.sem(); }
+  [[nodiscard]] std::int64_t total() const noexcept { return any_.total(); }
+  [[nodiscard]] const PoorThresholds& thresholds() const noexcept { return thresholds_; }
+
+ private:
+  PoorThresholds thresholds_;
+  std::array<RateCounter, kNumMetrics> per_metric_{};
+  RateCounter any_{};
+};
+
+}  // namespace via

@@ -1,0 +1,23 @@
+#include "quality/rating.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace via {
+
+double RatingModel::opinion_score(CallId id, const PathPerformance& perf) const {
+  const double mos = emodel_mos(perf, params_.emodel);
+  const double noise =
+      hashed_gaussian(hash_mix(seed_, static_cast<std::uint64_t>(id), 0x5a71u));
+  return mos + params_.user_noise_stddev * noise;
+}
+
+std::int8_t RatingModel::sample_rating(CallId id, const PathPerformance& perf) const {
+  const double u = hashed_uniform(hash_mix(seed_, static_cast<std::uint64_t>(id), 0x10cdu));
+  if (u >= params_.sample_fraction) return -1;
+  const double score = opinion_score(id, perf);
+  const double rounded = std::round(score);
+  return static_cast<std::int8_t>(std::clamp(rounded, 1.0, 5.0));
+}
+
+}  // namespace via

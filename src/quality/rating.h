@@ -1,0 +1,43 @@
+// User star-rating model.  In the real dataset a small random fraction of
+// calls receive a 1..5 rating; the paper deems ratings of 1-2 "poor" and
+// studies the Poor Call Rate (PCR).  We model the rating as the E-model MOS
+// plus user noise, which reproduces the monotone PCR-vs-metric relationship
+// of the paper's Figure 1 (correlation coefficients ~0.9+).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "quality/emodel.h"
+#include "util/rng.h"
+
+namespace via {
+
+struct RatingModelParams {
+  double user_noise_stddev = 0.85;  ///< idiosyncratic user disagreement (MOS points)
+  double sample_fraction = 0.05;    ///< fraction of calls asked for a rating
+  EModelParams emodel;
+};
+
+/// Samples ratings for calls.  Deterministic given (params, call id, seed):
+/// the draw is keyed on the call id so re-generating a trace reproduces the
+/// same ratings.
+class RatingModel {
+ public:
+  explicit RatingModel(RatingModelParams params = {}, std::uint64_t seed = 0x9a7e5ULL)
+      : params_(params), seed_(seed) {}
+
+  /// Returns 1..5, or -1 if this call is not selected for rating.
+  [[nodiscard]] std::int8_t sample_rating(CallId id, const PathPerformance& perf) const;
+
+  /// The underlying continuous opinion score before discretization.
+  [[nodiscard]] double opinion_score(CallId id, const PathPerformance& perf) const;
+
+  [[nodiscard]] const RatingModelParams& params() const noexcept { return params_; }
+
+ private:
+  RatingModelParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace via

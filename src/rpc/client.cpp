@@ -1,0 +1,53 @@
+#include "rpc/client.h"
+
+#include <stdexcept>
+
+namespace via {
+
+namespace {
+
+Frame expect_frame(TcpConnection& conn, MsgType expected) {
+  Frame frame;
+  if (!recv_frame(conn, frame)) throw std::runtime_error("controller closed connection");
+  if (frame.type != static_cast<std::uint8_t>(expected)) {
+    throw std::runtime_error("unexpected response type");
+  }
+  return frame;
+}
+
+}  // namespace
+
+ControllerClient::ControllerClient(std::uint16_t port)
+    : conn_(TcpConnection::connect_local(port)) {}
+
+OptionId ControllerClient::request_decision(const DecisionRequest& request) {
+  WireWriter w;
+  request.encode(w);
+  send_frame(conn_, static_cast<std::uint8_t>(MsgType::DecisionRequest), w.bytes());
+  Frame frame = expect_frame(conn_, MsgType::DecisionResponse);
+  WireReader r(frame.payload);
+  const DecisionResponse resp = DecisionResponse::decode(r);
+  if (resp.call_id != request.call_id) throw std::runtime_error("response call-id mismatch");
+  return resp.option;
+}
+
+void ControllerClient::report(const Observation& obs) {
+  WireWriter w;
+  ReportMsg{obs}.encode(w);
+  send_frame(conn_, static_cast<std::uint8_t>(MsgType::Report), w.bytes());
+  (void)expect_frame(conn_, MsgType::ReportAck);
+}
+
+void ControllerClient::refresh(TimeSec now) {
+  WireWriter w;
+  RefreshMsg{now}.encode(w);
+  send_frame(conn_, static_cast<std::uint8_t>(MsgType::Refresh), w.bytes());
+  (void)expect_frame(conn_, MsgType::RefreshAck);
+}
+
+void ControllerClient::shutdown() {
+  send_frame(conn_, static_cast<std::uint8_t>(MsgType::Shutdown), {});
+  conn_.close();
+}
+
+}  // namespace via

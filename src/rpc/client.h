@@ -1,0 +1,35 @@
+// Instrumented-client stub: the piece that lives inside the (modified)
+// VoIP client.  Before a call it asks the controller which relaying option
+// to use; after the call it pushes its network measurements.
+#pragma once
+
+#include <cstdint>
+
+#include "core/policy.h"
+#include "rpc/messages.h"
+#include "rpc/socket.h"
+
+namespace via {
+
+class ControllerClient {
+ public:
+  /// Connects to a local controller.  Throws on failure.
+  explicit ControllerClient(std::uint16_t port);
+
+  /// Round trip: returns the relaying option to use for this call.
+  [[nodiscard]] OptionId request_decision(const DecisionRequest& request);
+
+  /// Pushes a completed call's measurements (waits for the ack).
+  void report(const Observation& obs);
+
+  /// Asks the controller to run its periodic refresh (testbed-driven time).
+  void refresh(TimeSec now);
+
+  /// Politely ends the session.
+  void shutdown();
+
+ private:
+  TcpConnection conn_;
+};
+
+}  // namespace via

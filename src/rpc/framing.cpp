@@ -1,0 +1,33 @@
+#include "rpc/framing.h"
+
+namespace via {
+
+void send_frame(TcpConnection& conn, std::uint8_t type, std::span<const std::byte> payload) {
+  if (payload.size() > kMaxPayload) throw std::runtime_error("payload too large");
+  std::vector<std::byte> header(5);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (std::size_t i = 0; i < 4; ++i) {
+    header[i] = static_cast<std::byte>((len >> (8 * i)) & 0xFF);
+  }
+  header[4] = static_cast<std::byte>(type);
+  conn.send_all(header);
+  if (!payload.empty()) conn.send_all(payload);
+}
+
+bool recv_frame(TcpConnection& conn, Frame& out) {
+  std::byte header[5];
+  if (!conn.recv_all(header)) return false;
+  std::uint32_t len = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  }
+  if (len > kMaxPayload) throw std::runtime_error("frame too large");
+  out.type = static_cast<std::uint8_t>(header[4]);
+  out.payload.resize(len);
+  if (len > 0 && !conn.recv_all(out.payload)) {
+    throw std::runtime_error("connection closed mid-frame");
+  }
+  return true;
+}
+
+}  // namespace via

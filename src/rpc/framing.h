@@ -1,0 +1,111 @@
+// Wire framing and serialization for the controller protocol.
+//
+// Frame layout:  [u32 payload_len][u8 msg_type][payload bytes]
+// All integers little-endian; doubles as IEEE-754 bit patterns.  Payloads
+// are bounded (kMaxPayload) so a corrupt peer cannot force huge
+// allocations.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rpc/socket.h"
+
+namespace via {
+
+inline constexpr std::size_t kMaxPayload = 1 << 20;
+
+/// Appends primitive values to a byte buffer (little-endian).
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i32(std::int32_t v) { append_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    append_le(bits);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
+  }
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept { return buf_; }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+    }
+  }
+  std::vector<std::byte> buf_;
+};
+
+/// Reads primitive values from a byte buffer; throws on underrun.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::byte> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)[0]); }
+  [[nodiscard]] std::uint16_t u16() { return read_le<std::uint16_t>(); }
+  [[nodiscard]] std::uint32_t u32() { return read_le<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return read_le<std::uint64_t>(); }
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(read_le<std::uint32_t>()); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(read_le<std::uint64_t>()); }
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = read_le<std::uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] std::string str() {
+    const std::uint32_t n = u32();
+    if (n > kMaxPayload) throw std::runtime_error("string too large");
+    const auto bytes = take(n);
+    return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return data_.empty(); }
+
+ private:
+  std::span<const std::byte> take(std::size_t n) {
+    if (data_.size() < n) throw std::runtime_error("message underrun");
+    const auto out = data_.first(n);
+    data_ = data_.subspan(n);
+    return out;
+  }
+  template <typename T>
+  [[nodiscard]] T read_le() {
+    const auto bytes = take(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(bytes[i]) << (8 * i)));
+    }
+    return v;
+  }
+  std::span<const std::byte> data_;
+};
+
+/// A decoded frame.
+struct Frame {
+  std::uint8_t type = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Sends one frame.  Throws on I/O error.
+void send_frame(TcpConnection& conn, std::uint8_t type, std::span<const std::byte> payload);
+
+/// Receives one frame.  Returns false on clean EOF before a frame starts;
+/// throws on protocol violation or I/O error.
+[[nodiscard]] bool recv_frame(TcpConnection& conn, Frame& out);
+
+}  // namespace via

@@ -1,0 +1,73 @@
+#include "rpc/messages.h"
+
+namespace via {
+
+void DecisionRequest::encode(WireWriter& w) const {
+  w.i64(call_id);
+  w.i64(time);
+  w.i32(src_as);
+  w.i32(dst_as);
+  w.u32(static_cast<std::uint32_t>(options.size()));
+  for (const OptionId o : options) w.i32(o);
+}
+
+DecisionRequest DecisionRequest::decode(WireReader& r) {
+  DecisionRequest m;
+  m.call_id = r.i64();
+  m.time = r.i64();
+  m.src_as = r.i32();
+  m.dst_as = r.i32();
+  const std::uint32_t n = r.u32();
+  if (n > 100'000) throw std::runtime_error("too many options");
+  m.options.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) m.options.push_back(r.i32());
+  return m;
+}
+
+void DecisionResponse::encode(WireWriter& w) const {
+  w.i64(call_id);
+  w.i32(option);
+}
+
+DecisionResponse DecisionResponse::decode(WireReader& r) {
+  DecisionResponse m;
+  m.call_id = r.i64();
+  m.option = r.i32();
+  return m;
+}
+
+void ReportMsg::encode(WireWriter& w) const {
+  w.i64(obs.id);
+  w.i64(obs.time);
+  w.i32(obs.src_as);
+  w.i32(obs.dst_as);
+  w.i32(obs.option);
+  w.i32(obs.ingress);
+  w.f64(obs.perf.rtt_ms);
+  w.f64(obs.perf.loss_pct);
+  w.f64(obs.perf.jitter_ms);
+}
+
+ReportMsg ReportMsg::decode(WireReader& r) {
+  ReportMsg m;
+  m.obs.id = r.i64();
+  m.obs.time = r.i64();
+  m.obs.src_as = r.i32();
+  m.obs.dst_as = r.i32();
+  m.obs.option = r.i32();
+  m.obs.ingress = static_cast<RelayId>(r.i32());
+  m.obs.perf.rtt_ms = r.f64();
+  m.obs.perf.loss_pct = r.f64();
+  m.obs.perf.jitter_ms = r.f64();
+  return m;
+}
+
+void RefreshMsg::encode(WireWriter& w) const { w.i64(now); }
+
+RefreshMsg RefreshMsg::decode(WireReader& r) {
+  RefreshMsg m;
+  m.now = r.i64();
+  return m;
+}
+
+}  // namespace via

@@ -1,0 +1,63 @@
+// Controller protocol messages.  One round trip per call: the client asks
+// for a relaying decision before dialing and pushes its measurements after
+// hanging up — exactly the per-call controller exchange the paper
+// describes in Section 7 ("one measurement update and one control message
+// exchange per call").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "core/policy.h"
+#include "rpc/framing.h"
+
+namespace via {
+
+enum class MsgType : std::uint8_t {
+  DecisionRequest = 1,
+  DecisionResponse = 2,
+  Report = 3,
+  ReportAck = 4,
+  Refresh = 5,      ///< testbed drives controller refresh explicitly
+  RefreshAck = 6,
+  Shutdown = 7,
+};
+
+struct DecisionRequest {
+  CallId call_id = 0;
+  TimeSec time = 0;
+  AsId src_as = kInvalidAs;
+  AsId dst_as = kInvalidAs;
+  /// Candidate options the client pair can use (the testbed registers
+  /// these; empty means "controller decides from its own option table").
+  std::vector<OptionId> options;
+
+  void encode(WireWriter& w) const;
+  [[nodiscard]] static DecisionRequest decode(WireReader& r);
+};
+
+struct DecisionResponse {
+  CallId call_id = 0;
+  OptionId option = 0;
+
+  void encode(WireWriter& w) const;
+  [[nodiscard]] static DecisionResponse decode(WireReader& r);
+};
+
+struct ReportMsg {
+  Observation obs;
+
+  void encode(WireWriter& w) const;
+  [[nodiscard]] static ReportMsg decode(WireReader& r);
+};
+
+struct RefreshMsg {
+  TimeSec now = 0;
+
+  void encode(WireWriter& w) const;
+  [[nodiscard]] static RefreshMsg decode(WireReader& r);
+};
+
+}  // namespace via

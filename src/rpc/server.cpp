@@ -1,0 +1,109 @@
+#include "rpc/server.h"
+
+#include <sys/socket.h>
+
+#include <stdexcept>
+
+namespace via {
+
+ControllerServer::ControllerServer(RoutingPolicy& policy, std::uint16_t port)
+    : policy_(&policy), listener_(port) {}
+
+ControllerServer::~ControllerServer() { stop(); }
+
+void ControllerServer::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ControllerServer::stop() {
+  if (!running_.exchange(false)) return;
+  // Unblock accept() by shutting the listening socket down.
+  ::shutdown(listener_.fd(), SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> handlers;
+  {
+    const std::lock_guard lock(handlers_mutex_);
+    handlers.swap(handlers_);
+  }
+  for (auto& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ControllerServer::accept_loop() {
+  while (running_.load()) {
+    TcpConnection conn;
+    try {
+      conn = listener_.accept();
+    } catch (const std::exception&) {
+      break;  // listener shut down
+    }
+    if (!running_.load()) break;
+    const std::lock_guard lock(handlers_mutex_);
+    handlers_.emplace_back(
+        [this, c = std::move(conn)]() mutable { handle_connection(std::move(c)); });
+  }
+}
+
+void ControllerServer::handle_connection(TcpConnection conn) {
+  Frame frame;
+  try {
+    while (recv_frame(conn, frame)) {
+      WireReader reader(frame.payload);
+      WireWriter writer;
+      switch (static_cast<MsgType>(frame.type)) {
+        case MsgType::DecisionRequest: {
+          const DecisionRequest req = DecisionRequest::decode(reader);
+          CallContext ctx;
+          ctx.id = req.call_id;
+          ctx.time = req.time;
+          ctx.src_as = req.src_as;
+          ctx.dst_as = req.dst_as;
+          ctx.key_src = req.src_as;
+          ctx.key_dst = req.dst_as;
+          ctx.options = req.options;
+          DecisionResponse resp;
+          resp.call_id = req.call_id;
+          {
+            const std::lock_guard lock(policy_mutex_);
+            resp.option = policy_->choose(ctx);
+          }
+          ++decisions_;
+          resp.encode(writer);
+          send_frame(conn, static_cast<std::uint8_t>(MsgType::DecisionResponse),
+                     writer.bytes());
+          break;
+        }
+        case MsgType::Report: {
+          const ReportMsg msg = ReportMsg::decode(reader);
+          {
+            const std::lock_guard lock(policy_mutex_);
+            policy_->observe(msg.obs);
+          }
+          ++reports_;
+          send_frame(conn, static_cast<std::uint8_t>(MsgType::ReportAck), {});
+          break;
+        }
+        case MsgType::Refresh: {
+          const RefreshMsg msg = RefreshMsg::decode(reader);
+          {
+            const std::lock_guard lock(policy_mutex_);
+            policy_->refresh(msg.now);
+          }
+          send_frame(conn, static_cast<std::uint8_t>(MsgType::RefreshAck), {});
+          break;
+        }
+        case MsgType::Shutdown:
+          return;
+        default:
+          throw std::runtime_error("unexpected message type");
+      }
+    }
+  } catch (const std::exception&) {
+    // A broken client connection only terminates its own handler.
+  }
+}
+
+}  // namespace via

@@ -1,0 +1,55 @@
+// Controller server: hosts a RoutingPolicy behind the TCP protocol.  One
+// handler thread per client connection (the testbed has tens of clients),
+// with the policy guarded by a mutex — the same logical architecture as
+// the paper's cloud controller, scaled to a prototype.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/policy.h"
+#include "rpc/messages.h"
+#include "rpc/socket.h"
+
+namespace via {
+
+class ControllerServer {
+ public:
+  /// Binds to 127.0.0.1:`port` (0 = ephemeral).  The policy must outlive
+  /// the server.
+  ControllerServer(RoutingPolicy& policy, std::uint16_t port = 0);
+  ~ControllerServer();
+
+  ControllerServer(const ControllerServer&) = delete;
+  ControllerServer& operator=(const ControllerServer&) = delete;
+
+  /// Starts the accept loop in a background thread.
+  void start();
+
+  /// Stops accepting, closes connections, and joins all threads.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
+  [[nodiscard]] std::int64_t decisions_served() const noexcept { return decisions_.load(); }
+  [[nodiscard]] std::int64_t reports_received() const noexcept { return reports_.load(); }
+
+ private:
+  void accept_loop();
+  void handle_connection(TcpConnection conn);
+
+  RoutingPolicy* policy_;
+  std::mutex policy_mutex_;
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::mutex handlers_mutex_;
+  std::vector<std::thread> handlers_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::int64_t> decisions_{0};
+  std::atomic<std::int64_t> reports_{0};
+};
+
+}  // namespace via

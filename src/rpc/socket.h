@@ -1,0 +1,83 @@
+// Thin RAII wrappers over POSIX TCP sockets for the deployment prototype
+// (Section 5.5): a controller server on localhost and instrumented-client
+// connections.  Blocking I/O with full-message send/recv helpers; the
+// server multiplexes connections with poll(2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+namespace via {
+
+/// Owning file descriptor.  Move-only; closes on destruction.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) noexcept : fd_(fd) {}
+  ~FdHandle() { reset(); }
+
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+  FdHandle(FdHandle&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  FdHandle& operator=(FdHandle&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int release() noexcept { return std::exchange(fd_, -1); }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream.
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  explicit TcpConnection(FdHandle fd) noexcept : fd_(std::move(fd)) {}
+
+  /// Connects to 127.0.0.1:port.  Throws std::system_error on failure.
+  static TcpConnection connect_local(std::uint16_t port);
+
+  /// Sends the whole buffer (loops over partial writes).  Throws on error.
+  void send_all(std::span<const std::byte> data);
+
+  /// Receives exactly data.size() bytes.  Returns false on clean EOF at a
+  /// message boundary (nothing read); throws on mid-message EOF or error.
+  [[nodiscard]] bool recv_all(std::span<std::byte> data);
+
+  [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+  [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
+  void close() noexcept { fd_.reset(); }
+
+ private:
+  FdHandle fd_;
+};
+
+/// A listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds and listens; port 0 picks an ephemeral port.  Throws on failure.
+  explicit TcpListener(std::uint16_t port);
+
+  /// Accepts one connection (blocking).  Throws on error.
+  [[nodiscard]] TcpConnection accept();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+
+ private:
+  FdHandle fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace via

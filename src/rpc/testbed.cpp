@@ -1,0 +1,185 @@
+#include "rpc/testbed.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "rpc/client.h"
+#include "rpc/server.h"
+#include "util/rng.h"
+
+namespace via {
+
+double TestbedResult::fraction_within(double x) const noexcept {
+  if (suboptimality.empty()) return 0.0;
+  const auto n = static_cast<double>(
+      std::count_if(suboptimality.begin(), suboptimality.end(),
+                    [x](double v) { return v <= x; }));
+  return n / static_cast<double>(suboptimality.size());
+}
+
+TestbedResult run_testbed(const TestbedConfig& config) {
+  World world(config.world);
+  GroundTruth gt(world, {});
+  Rng rng(hash_mix(config.seed, 0xbed));
+
+  // Pick distinct caller/callee AS pairs.
+  struct Pair {
+    AsId src, dst;
+    std::vector<OptionId> options;  ///< relayed candidates (direct omitted)
+  };
+  std::vector<Pair> pairs;
+  while (static_cast<int>(pairs.size()) < config.client_pairs) {
+    const auto s = static_cast<AsId>(rng.uniform_index(
+        static_cast<std::uint64_t>(world.num_ases())));
+    const auto d = static_cast<AsId>(rng.uniform_index(
+        static_cast<std::uint64_t>(world.num_ases())));
+    if (s == d) continue;
+    if (std::any_of(pairs.begin(), pairs.end(), [&](const Pair& p) {
+          return as_pair_key(p.src, p.dst) == as_pair_key(s, d);
+        })) {
+      continue;
+    }
+    Pair p{s, d, {}};
+    for (const OptionId opt : gt.candidate_options(s, d)) {
+      if (opt != RelayOptionTable::direct_id()) p.options.push_back(opt);
+    }
+    if (p.options.size() >= 5) pairs.push_back(std::move(p));
+  }
+
+  // Controller: a real ViaPolicy behind a real TCP server.
+  ViaConfig via_config = config.via;
+  via_config.target = config.target;
+  ViaPolicy policy(gt.option_table(), [&gt](RelayId a, RelayId b) { return gt.backbone(a, b); },
+                   via_config);
+  ControllerServer server(policy);
+  server.start();
+
+  TestbedResult result;
+  std::mutex result_mutex;
+  std::atomic<CallId> next_call{1};
+
+  // GroundTruth memoizes lazily and is not thread-safe; the "network" is
+  // shared by all client threads, so serialize access to it.
+  std::mutex gt_mutex;
+  auto sample = [&](CallId id, AsId s, AsId d, OptionId opt, TimeSec t) {
+    const std::lock_guard lock(gt_mutex);
+    return gt.sample_call(id, s, d, opt, t);
+  };
+  auto mean_of = [&](AsId s, AsId d, OptionId opt, int day) {
+    const std::lock_guard lock(gt_mutex);
+    return gt.day_mean(s, d, opt, day);
+  };
+  auto ingress_of = [&](AsId s, OptionId opt) {
+    const std::lock_guard lock(gt_mutex);
+    return gt.transit_ingress(s, opt);
+  };
+
+  // ---- Phase 1: orchestrated back-to-back measurement calls (day 0).
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(pairs.size());
+    for (const auto& pair : pairs) {
+      clients.emplace_back([&, pair] {
+        ControllerClient client(server.port());
+        std::int64_t made = 0;
+        for (int round = 0; round < config.measurement_rounds; ++round) {
+          for (const OptionId opt : pair.options) {
+            const CallId id = next_call.fetch_add(1);
+            const TimeSec t = 1000 + id;  // within day 0
+            Observation obs;
+            obs.id = id;
+            obs.time = t;
+            obs.src_as = pair.src;
+            obs.dst_as = pair.dst;
+            obs.option = opt;
+            obs.ingress = ingress_of(pair.src, opt);
+            obs.perf = sample(id, pair.src, pair.dst, opt, t);
+            client.report(obs);
+            ++made;
+          }
+        }
+        client.shutdown();
+        const std::lock_guard lock(result_mutex);
+        result.measurement_calls += made;
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+
+  // Controller refresh: the measurement window becomes the training window.
+  {
+    ControllerClient admin(server.port());
+    admin.refresh(kSecondsPerDay);
+    admin.shutdown();
+  }
+
+  // ---- Phase 2: evaluation calls (day 1), controller decides.
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(pairs.size());
+    for (const auto& pair : pairs) {
+      clients.emplace_back([&, pair] {
+        ControllerClient client(server.port());
+        std::vector<double> subopt;
+        std::int64_t best_hits = 0;
+        for (int i = 0; i < config.eval_calls_per_pair; ++i) {
+          const CallId id = next_call.fetch_add(1);
+          const TimeSec t = kSecondsPerDay + 1000 + id;
+
+          DecisionRequest req;
+          req.call_id = id;
+          req.time = t;
+          req.src_as = pair.src;
+          req.dst_as = pair.dst;
+          req.options = pair.options;
+          const OptionId chosen = client.request_decision(req);
+
+          // Oracle choice on this call's day, over the same candidates.
+          OptionId best = pair.options.front();
+          double best_mean = std::numeric_limits<double>::infinity();
+          for (const OptionId opt : pair.options) {
+            const double v = mean_of(pair.src, pair.dst, opt, day_of(t)).get(config.target);
+            if (v < best_mean) {
+              best_mean = v;
+              best = opt;
+            }
+          }
+
+          const PathPerformance perf_via = sample(id, pair.src, pair.dst, chosen, t);
+          const PathPerformance perf_best = sample(id, pair.src, pair.dst, best, t);
+
+          const double oracle_value = perf_best.get(config.target);
+          const double via_value = perf_via.get(config.target);
+          subopt.push_back(oracle_value > 0.0
+                               ? std::max(0.0, (via_value - oracle_value) / oracle_value)
+                               : 0.0);
+          if (chosen == best) ++best_hits;
+
+          Observation obs;
+          obs.id = id;
+          obs.time = t;
+          obs.src_as = pair.src;
+          obs.dst_as = pair.dst;
+          obs.option = chosen;
+          obs.ingress = ingress_of(pair.src, chosen);
+          obs.perf = perf_via;
+          client.report(obs);
+        }
+        client.shutdown();
+        const std::lock_guard lock(result_mutex);
+        result.suboptimality.insert(result.suboptimality.end(), subopt.begin(), subopt.end());
+        result.eval_calls += static_cast<std::int64_t>(subopt.size());
+        result.picked_best += best_hits;
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+
+  server.stop();
+  return result;
+}
+
+}  // namespace via

@@ -1,0 +1,54 @@
+// The Section 5.5 controlled-deployment experiment, reproduced on
+// localhost: a cloud controller (ControllerServer + ViaPolicy) and a fleet
+// of instrumented client pairs talking to it over TCP.
+//
+// Phase 1 (orchestrated measurement): each client pair makes short
+// back-to-back calls over each of its candidate relaying options several
+// times, pushing measurements to the controller — the paper's "9-20
+// relaying options, 4-5 times each" regime.  The direct path is omitted,
+// as in the paper.
+//
+// Phase 2 (evaluation): after a controller refresh, each pair places
+// evaluation calls, letting the controller choose the relay.  Per call we
+// record the sub-optimality (Perf_VIA - Perf_oracle) / Perf_oracle against
+// the oracle's choice on the same call (paired sampling).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/via_policy.h"
+#include "netsim/groundtruth.h"
+#include "netsim/world.h"
+
+namespace via {
+
+struct TestbedConfig {
+  int client_pairs = 18;
+  int measurement_rounds = 4;  ///< back-to-back calls per option in phase 1
+  int eval_calls_per_pair = 30;
+  Metric target = Metric::Rtt;
+  WorldConfig world{.num_ases = 20, .num_relays = 10, .seed = 2016};
+  std::uint64_t seed = 55;
+  ViaConfig via;  ///< epsilon/top-k settings for the controller under test
+};
+
+struct TestbedResult {
+  std::vector<double> suboptimality;  ///< one entry per evaluation call
+  std::int64_t eval_calls = 0;
+  std::int64_t measurement_calls = 0;
+  std::int64_t picked_best = 0;  ///< evaluation calls where Via picked the oracle option
+
+  [[nodiscard]] double fraction_best() const noexcept {
+    return eval_calls > 0 ? static_cast<double>(picked_best) / static_cast<double>(eval_calls)
+                          : 0.0;
+  }
+  /// Fraction of calls with sub-optimality <= x.
+  [[nodiscard]] double fraction_within(double x) const noexcept;
+};
+
+/// Runs the full experiment (starts a real TCP server on an ephemeral
+/// port, one client thread per pair).
+[[nodiscard]] TestbedResult run_testbed(const TestbedConfig& config);
+
+}  // namespace via

@@ -1,0 +1,208 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace via {
+
+SimulationEngine::SimulationEngine(GroundTruth& ground_truth,
+                                   std::span<const CallArrival> arrivals, RunConfig config)
+    : gt_(&ground_truth), arrivals_(arrivals), config_(config) {
+  assert(std::is_sorted(arrivals.begin(), arrivals.end(),
+                        [](const CallArrival& a, const CallArrival& b) {
+                          return a.time < b.time;
+                        }));
+  if (config_.min_pair_calls_for_eval > 0) {
+    for (const auto& a : arrivals_) ++pair_call_counts_[a.pair_key()];
+  }
+}
+
+std::span<const OptionId> SimulationEngine::options_for(AsId src, AsId dst) {
+  const auto full = gt_->candidate_options(src, dst);
+  if (!config_.exclude_transit) return full;
+
+  const std::uint64_t key = as_pair_key(src, dst);
+  if (const auto it = filtered_options_.find(key); it != filtered_options_.end()) {
+    return it->second;
+  }
+  std::vector<OptionId> kept;
+  kept.reserve(full.size());
+  for (const OptionId opt : full) {
+    if (gt_->option_table().get(opt).kind != RelayKind::Transit) kept.push_back(opt);
+  }
+  return filtered_options_.emplace(key, std::move(kept)).first->second;
+}
+
+void SimulationEngine::map_keys(const CallArrival& a, AsId& key_src, AsId& key_dst) const {
+  switch (config_.granularity) {
+    case Granularity::Country:
+      key_src = static_cast<AsId>(a.src_country);
+      key_dst = static_cast<AsId>(a.dst_country);
+      break;
+    case Granularity::AsPair:
+      key_src = a.src_as;
+      key_dst = a.dst_as;
+      break;
+    case Granularity::Prefix:
+      key_src = static_cast<AsId>(a.src_prefix);
+      key_dst = static_cast<AsId>(a.dst_prefix);
+      break;
+  }
+}
+
+RunResult SimulationEngine::run(RoutingPolicy& policy) {
+  RunResult result;
+  result.policy_name = std::string(policy.name());
+  result.pnr = PnrAccumulator(config_.thresholds);
+  result.pnr_international = PnrAccumulator(config_.thresholds);
+  result.pnr_domestic = PnrAccumulator(config_.thresholds);
+
+  TimeSec next_refresh = config_.refresh_period;
+
+  CallId probe_id = 1'000'000'000'000LL;  // distinct id space for mock calls
+
+  for (const auto& arrival : arrivals_) {
+    // Fire refresh boundaries that this call has crossed.
+    while (arrival.time >= next_refresh) {
+      policy.refresh(next_refresh);
+
+      // Active measurements: execute the controller's requested probes as
+      // mock calls right after the refresh (§7).
+      if (config_.probes_per_refresh > 0) {
+        for (const ProbeRequest& probe :
+             policy.plan_probes(static_cast<std::size_t>(config_.probes_per_refresh))) {
+          if (probe.src_as == kInvalidAs || probe.option == kInvalidOption) continue;
+          Observation obs;
+          obs.id = ++probe_id;
+          obs.time = next_refresh;
+          obs.src_as = probe.src_as;
+          obs.dst_as = probe.dst_as;
+          obs.option = probe.option;
+          obs.ingress = gt_->transit_ingress(probe.src_as, probe.option);
+          obs.perf = gt_->sample_call(obs.id, probe.src_as, probe.dst_as, probe.option,
+                                      next_refresh);
+          policy.observe(obs);
+          ++result.probes_executed;
+        }
+      }
+
+      next_refresh += config_.refresh_period;
+    }
+
+    CallContext ctx;
+    ctx.id = arrival.id;
+    ctx.time = arrival.time;
+    ctx.src_as = arrival.src_as;
+    ctx.dst_as = arrival.dst_as;
+    map_keys(arrival, ctx.key_src, ctx.key_dst);
+    ctx.src_country = arrival.src_country;
+    ctx.dst_country = arrival.dst_country;
+    ctx.src_prefix = arrival.src_prefix;
+    ctx.dst_prefix = arrival.dst_prefix;
+    ctx.options = options_for(arrival.src_as, arrival.dst_as);
+
+    // Connectivity-relayed background traffic: forced onto a (hashed-
+    // deterministic) relay option, observed by the policy, not evaluated.
+    if (config_.background_relay_fraction > 0.0 && !ctx.options.empty() &&
+        hashed_uniform(hash_mix(0xB6, static_cast<std::uint64_t>(arrival.id))) <
+            config_.background_relay_fraction) {
+      const auto pick_index = static_cast<std::size_t>(
+          hashed_uniform(hash_mix(0xB7, static_cast<std::uint64_t>(arrival.id))) *
+          static_cast<double>(ctx.options.size()));
+      const OptionId forced = ctx.options[std::min(pick_index, ctx.options.size() - 1)];
+      Observation obs;
+      obs.id = arrival.id;
+      obs.time = arrival.time;
+      obs.src_as = ctx.key_src;
+      obs.dst_as = ctx.key_dst;
+      obs.option = forced;
+      obs.ingress = gt_->transit_ingress(arrival.src_as, forced);
+      obs.perf = gt_->sample_call(arrival.id, arrival.src_as, arrival.dst_as, forced,
+                                  arrival.time);
+      policy.observe(obs);
+      continue;
+    }
+
+    OptionId option;
+    PathPerformance perf;
+    if (config_.enable_racing) {
+      // Hybrid racing: sample every raced option, keep the best, and feed
+      // all measurements back (racing is free information, paid in setup
+      // traffic).
+      const auto raced = policy.choose_candidates(ctx);
+      option = raced.front();
+      perf = gt_->sample_call(arrival.id, arrival.src_as, arrival.dst_as, option,
+                              arrival.time);
+      for (const OptionId candidate : raced) {
+        const PathPerformance candidate_perf = gt_->sample_call(
+            arrival.id, arrival.src_as, arrival.dst_as, candidate, arrival.time);
+        Observation obs;
+        obs.id = arrival.id;
+        obs.time = arrival.time;
+        obs.src_as = ctx.key_src;
+        obs.dst_as = ctx.key_dst;
+        obs.option = candidate;
+        obs.ingress = gt_->transit_ingress(arrival.src_as, candidate);
+        obs.perf = candidate_perf;
+        policy.observe(obs);
+        if (candidate != option &&
+            candidate_perf.get(config_.race_metric) < perf.get(config_.race_metric)) {
+          option = candidate;
+          perf = candidate_perf;
+        }
+      }
+      result.raced_extra_samples += static_cast<std::int64_t>(raced.size()) - 1;
+    } else {
+      option = policy.choose(ctx);
+      perf = gt_->sample_call(arrival.id, arrival.src_as, arrival.dst_as, option,
+                              arrival.time);
+      Observation obs;
+      obs.id = arrival.id;
+      obs.time = arrival.time;
+      obs.src_as = ctx.key_src;
+      obs.dst_as = ctx.key_dst;
+      obs.option = option;
+      obs.ingress = gt_->transit_ingress(arrival.src_as, option);
+      obs.perf = perf;
+      policy.observe(obs);
+    }
+
+    ++result.calls;
+    switch (gt_->option_table().get(option).kind) {
+      case RelayKind::Direct:
+        ++result.used_direct;
+        break;
+      case RelayKind::Bounce:
+        ++result.used_bounce;
+        break;
+      case RelayKind::Transit:
+        ++result.used_transit;
+        break;
+    }
+
+    if (config_.min_pair_calls_for_eval > 0 &&
+        pair_call_counts_[arrival.pair_key()] < config_.min_pair_calls_for_eval) {
+      continue;
+    }
+
+    ++result.evaluated_calls;
+    result.pnr.add(perf);
+    (arrival.international() ? result.pnr_international : result.pnr_domestic).add(perf);
+    if (config_.collect_by_country && arrival.international()) {
+      result.by_country.try_emplace(arrival.src_country, config_.thresholds)
+          .first->second.add(perf);
+      result.by_country.try_emplace(arrival.dst_country, config_.thresholds)
+          .first->second.add(perf);
+    }
+    if (config_.collect_values) {
+      for (const Metric m : kAllMetrics) {
+        result.values[metric_index(m)].push_back(perf.get(m));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace via

@@ -1,0 +1,103 @@
+// Chronological trace-replay engine (the paper's Section 5.1 methodology).
+//
+// Calls are replayed in trace order.  For each call the engine asks the
+// policy for a relaying option, samples the resulting performance from
+// ground truth (a draw from the same (AS pair, option, 24h window)
+// distribution, as in the paper), feeds the measurement back to the
+// policy, and accumulates evaluation statistics.  Policies are refreshed
+// at fixed period boundaries (stages 2-3 cadence, default 24 h).
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/relay_option.h"
+#include "core/policy.h"
+#include "netsim/groundtruth.h"
+#include "quality/pnr.h"
+#include "trace/arrival.h"
+
+namespace via {
+
+/// Spatial granularity of policy decision state (Figure 17a).
+enum class Granularity : std::uint8_t { Country, AsPair, Prefix };
+
+struct RunConfig {
+  TimeSec refresh_period = 24 * 3600;  ///< T: controller refresh cadence
+  Granularity granularity = Granularity::AsPair;
+  bool exclude_transit = false;  ///< restrict candidates to direct+bounce (§5.2)
+  /// Fraction of calls relayed for *connectivity* (NAT/firewall traversal),
+  /// independent of the policy — the Skype dataset contains such calls and
+  /// they are what seeds every strategy's history with relayed-path
+  /// samples.  These calls bypass the policy's choice (it still observes
+  /// them) and are excluded from evaluation.
+  double background_relay_fraction = 0.05;
+  /// Active measurements (§7): after each refresh, execute up to this many
+  /// of the policy's requested probe calls (0 disables).
+  int probes_per_refresh = 0;
+  /// Hybrid racing (§7): let the policy race several options per call and
+  /// keep the best on `race_metric`; every raced option produces a
+  /// measurement the policy observes.
+  bool enable_racing = false;
+  Metric race_metric = Metric::Rtt;
+  /// Evaluate only calls whose AS pair has at least this many calls in the
+  /// whole trace (the paper's data-density eligibility filter).
+  std::int64_t min_pair_calls_for_eval = 0;
+  bool collect_values = true;       ///< keep per-call metric values (percentiles)
+  bool collect_by_country = false;  ///< per-country PNR (Figure 14)
+  PoorThresholds thresholds;
+};
+
+struct RunResult {
+  std::string policy_name;
+  std::int64_t calls = 0;
+  std::int64_t evaluated_calls = 0;
+  PnrAccumulator pnr;
+  PnrAccumulator pnr_international;
+  PnrAccumulator pnr_domestic;
+  std::unordered_map<CountryId, PnrAccumulator> by_country;  ///< international calls
+  /// Per-call metric values of evaluated calls (for percentile analysis).
+  std::array<std::vector<double>, kNumMetrics> values;
+  /// Option-kind mix of the policy's decisions.
+  std::int64_t used_direct = 0;
+  std::int64_t used_bounce = 0;
+  std::int64_t used_transit = 0;
+  /// Extension accounting.
+  std::int64_t probes_executed = 0;
+  std::int64_t raced_extra_samples = 0;  ///< raced options beyond the one kept
+
+  [[nodiscard]] double relayed_fraction() const noexcept {
+    const auto total = used_direct + used_bounce + used_transit;
+    return total > 0 ? static_cast<double>(used_bounce + used_transit) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+class SimulationEngine {
+ public:
+  /// `arrivals` must be sorted by time (TraceGenerator guarantees this).
+  SimulationEngine(GroundTruth& ground_truth, std::span<const CallArrival> arrivals,
+                   RunConfig config = {});
+
+  /// Replays the whole trace through one policy.
+  [[nodiscard]] RunResult run(RoutingPolicy& policy);
+
+  [[nodiscard]] const RunConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] std::span<const OptionId> options_for(AsId src, AsId dst);
+  void map_keys(const CallArrival& a, AsId& key_src, AsId& key_dst) const;
+
+  GroundTruth* gt_;
+  std::span<const CallArrival> arrivals_;
+  RunConfig config_;
+  std::unordered_map<std::uint64_t, std::int64_t> pair_call_counts_;
+  /// Transit-free candidate cache (when exclude_transit is set).
+  std::unordered_map<std::uint64_t, std::vector<OptionId>> filtered_options_;
+};
+
+}  // namespace via

@@ -1,0 +1,141 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/percentile.h"
+
+namespace via {
+
+Experiment::Setup Experiment::default_setup(Scale scale) {
+  Setup s;
+  switch (scale) {
+    case Scale::Small:
+      s.world.num_ases = 60;
+      s.world.num_relays = 12;
+      s.trace.days = 12;
+      s.trace.total_calls = 30'000;
+      s.trace.active_pairs = 150;
+      break;
+    case Scale::Medium:
+      s.world.num_ases = 150;
+      s.world.num_relays = 24;
+      s.trace.days = 30;
+      s.trace.total_calls = 400'000;
+      s.trace.active_pairs = 900;
+      break;
+    case Scale::Large:
+      s.world.num_ases = 300;
+      s.world.num_relays = 37;
+      s.trace.days = 60;
+      s.trace.total_calls = 2'000'000;
+      s.trace.active_pairs = 3000;
+      break;
+  }
+  return s;
+}
+
+Experiment::Experiment(const Setup& setup)
+    : setup_(setup),
+      world_(setup.world),
+      gt_(world_, setup.ground_truth),
+      gen_(gt_, setup.trace, setup.rating),
+      arrivals_(gen_.generate_arrivals()) {}
+
+std::unique_ptr<ViaPolicy> Experiment::make_via(Metric target, ViaConfig config) {
+  config.target = target;
+  return std::make_unique<ViaPolicy>(gt_.option_table(), backbone_fn(), config);
+}
+
+std::unique_ptr<OraclePolicy> Experiment::make_oracle(Metric target, BudgetConfig budget) {
+  return std::make_unique<OraclePolicy>(gt_, target, budget);
+}
+
+std::unique_ptr<DefaultPolicy> Experiment::make_default() {
+  return std::make_unique<DefaultPolicy>();
+}
+
+std::unique_ptr<PredictionOnlyPolicy> Experiment::make_prediction_only(Metric target) {
+  return std::make_unique<PredictionOnlyPolicy>(gt_.option_table(), backbone_fn(), target);
+}
+
+std::unique_ptr<ExplorationOnlyPolicy> Experiment::make_exploration_only(Metric target) {
+  return std::make_unique<ExplorationOnlyPolicy>(target);
+}
+
+RunResult Experiment::run(RoutingPolicy& policy, RunConfig config) {
+  SimulationEngine engine(gt_, arrivals_, config);
+  return engine.run(policy);
+}
+
+PnrComparison compare_pnr(const RunResult& baseline, const RunResult& treated) {
+  PnrComparison out;
+  for (const Metric m : kAllMetrics) {
+    out.reduction_pct[metric_index(m)] =
+        relative_improvement_pct(baseline.pnr.pnr(m), treated.pnr.pnr(m));
+  }
+  out.reduction_any_pct =
+      relative_improvement_pct(baseline.pnr.pnr_any(), treated.pnr.pnr_any());
+  return out;
+}
+
+PercentileImprovement compare_percentiles(const RunResult& baseline, const RunResult& treated,
+                                          Metric metric, std::vector<double> percentiles) {
+  PercentileImprovement out;
+  out.metric = metric;
+  out.percentiles = std::move(percentiles);
+
+  std::vector<double> base = baseline.values[metric_index(metric)];
+  std::vector<double> treat = treated.values[metric_index(metric)];
+  std::sort(base.begin(), base.end());
+  std::sort(treat.begin(), treat.end());
+
+  for (const double p : out.percentiles) {
+    const double b = percentile_sorted(base, p);
+    const double t = percentile_sorted(treat, p);
+    out.baseline_values.push_back(b);
+    out.treated_values.push_back(t);
+    out.improvement_pct.push_back(relative_improvement_pct(b, t));
+  }
+  return out;
+}
+
+std::vector<double> best_option_durations(GroundTruth& gt,
+                                          std::span<const TrafficMatrix::Pair> pairs, int days,
+                                          Metric metric) {
+  std::vector<double> medians;
+  medians.reserve(pairs.size());
+
+  for (const auto& pair : pairs) {
+    if (pair.src == pair.dst) continue;
+    const auto options = gt.candidate_options(pair.src, pair.dst);
+    if (options.size() < 2) continue;
+
+    std::vector<double> runs;
+    OptionId prev_best = kInvalidOption;
+    int run = 0;
+    for (int day = 0; day < days; ++day) {
+      OptionId best = kInvalidOption;
+      double best_value = std::numeric_limits<double>::infinity();
+      for (const OptionId opt : options) {
+        const double v = gt.day_mean(pair.src, pair.dst, opt, day).get(metric);
+        if (v < best_value) {
+          best_value = v;
+          best = opt;
+        }
+      }
+      if (best == prev_best) {
+        ++run;
+      } else {
+        if (run > 0) runs.push_back(static_cast<double>(run));
+        prev_best = best;
+        run = 1;
+      }
+    }
+    if (run > 0) runs.push_back(static_cast<double>(run));
+    if (!runs.empty()) medians.push_back(percentile(runs, 50.0));
+  }
+  return medians;
+}
+
+}  // namespace via

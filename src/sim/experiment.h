@@ -1,0 +1,98 @@
+// Experiment harness shared by the bench binaries: world + ground truth +
+// workload bundles, policy factories, and the improvement calculators the
+// paper's evaluation section reports.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/policies.h"
+#include "core/via_policy.h"
+#include "netsim/groundtruth.h"
+#include "netsim/world.h"
+#include "sim/engine.h"
+#include "sim/oracle.h"
+#include "trace/generator.h"
+
+namespace via {
+
+/// Everything a trace-driven experiment needs, built once per bench.
+class Experiment {
+ public:
+  struct Setup {
+    WorldConfig world;
+    GroundTruthConfig ground_truth;
+    TraceConfig trace;
+    RatingModelParams rating;
+  };
+
+  /// Scale presets: Small for unit tests, Medium for default benches,
+  /// Large for the high-fidelity reruns.
+  enum class Scale { Small, Medium, Large };
+  [[nodiscard]] static Setup default_setup(Scale scale);
+
+  explicit Experiment(const Setup& setup);
+
+  [[nodiscard]] World& world() noexcept { return world_; }
+  [[nodiscard]] GroundTruth& ground_truth() noexcept { return gt_; }
+  [[nodiscard]] TraceGenerator& generator() noexcept { return gen_; }
+  [[nodiscard]] std::span<const CallArrival> arrivals() const noexcept { return arrivals_; }
+  [[nodiscard]] const Setup& setup() const noexcept { return setup_; }
+
+  /// The controller's knowledge of the managed backbone.
+  [[nodiscard]] BackboneFn backbone_fn() {
+    return [gt = &gt_](RelayId a, RelayId b) { return gt->backbone(a, b); };
+  }
+
+  // Policy factories (fresh instance per run).
+  [[nodiscard]] std::unique_ptr<ViaPolicy> make_via(Metric target, ViaConfig config = {});
+  [[nodiscard]] std::unique_ptr<OraclePolicy> make_oracle(Metric target,
+                                                          BudgetConfig budget = {});
+  [[nodiscard]] std::unique_ptr<DefaultPolicy> make_default();
+  [[nodiscard]] std::unique_ptr<PredictionOnlyPolicy> make_prediction_only(Metric target);
+  [[nodiscard]] std::unique_ptr<ExplorationOnlyPolicy> make_exploration_only(Metric target);
+
+  /// Runs one policy over the full trace.
+  [[nodiscard]] RunResult run(RoutingPolicy& policy, RunConfig config = {});
+
+ private:
+  Setup setup_;
+  World world_;
+  GroundTruth gt_;
+  TraceGenerator gen_;
+  std::vector<CallArrival> arrivals_;
+};
+
+// ------------------------------------------------------------ reporting
+
+/// 100*(b-a)/b reduction of PNR between runs, per metric and "any bad".
+struct PnrComparison {
+  std::array<double, kNumMetrics> reduction_pct{};
+  double reduction_any_pct = 0.0;
+};
+[[nodiscard]] PnrComparison compare_pnr(const RunResult& baseline, const RunResult& treated);
+
+/// Improvement of metric percentiles between two runs (Figure 8a / 12b):
+/// improvement[i] = 100*(base_pct - treated_pct)/base_pct at percentiles[i].
+struct PercentileImprovement {
+  Metric metric{};
+  std::vector<double> percentiles;
+  std::vector<double> baseline_values;
+  std::vector<double> treated_values;
+  std::vector<double> improvement_pct;
+};
+[[nodiscard]] PercentileImprovement compare_percentiles(const RunResult& baseline,
+                                                        const RunResult& treated, Metric metric,
+                                                        std::vector<double> percentiles = {
+                                                            10, 25, 50, 75, 90, 95, 99});
+
+/// Figure 9: for each communicating AS pair, the median number of
+/// consecutive days the oracle keeps picking the same best option.
+[[nodiscard]] std::vector<double> best_option_durations(GroundTruth& gt,
+                                                        std::span<const TrafficMatrix::Pair> pairs,
+                                                        int days, Metric metric);
+
+}  // namespace via

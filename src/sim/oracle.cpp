@@ -1,0 +1,28 @@
+#include "sim/oracle.h"
+
+#include <limits>
+
+namespace via {
+
+OptionId OraclePolicy::choose(const CallContext& call) {
+  const OptionId direct = RelayOptionTable::direct_id();
+  OptionId best = direct;
+  double best_value = std::numeric_limits<double>::infinity();
+  double direct_value = std::numeric_limits<double>::infinity();
+
+  for (const OptionId opt : call.options) {
+    const double v = gt_->day_mean(call.src_as, call.dst_as, opt, call.day()).get(target_);
+    if (opt == direct) direct_value = v;
+    if (v < best_value) {
+      best_value = v;
+      best = opt;
+    }
+  }
+
+  const double benefit = direct_value - best_value;
+  budget_.on_call(benefit);
+  if (best != direct && !budget_.allow_relay(benefit)) return direct;
+  return best;
+}
+
+}  // namespace via

@@ -1,0 +1,30 @@
+// Oracle policy (Section 3.2): foresight-endowed relay selection.  For each
+// call it inspects the ground-truth *daily average* performance of every
+// candidate option and picks the best — exactly the paper's oracle, which
+// knows "the average performance of each relaying option on a given day".
+// An optional budget makes it the budget-constrained oracle of Figure 16,
+// using the *true* benefit for its percentile filter.
+#pragma once
+
+#include "core/budget.h"
+#include "core/policy.h"
+#include "netsim/groundtruth.h"
+
+namespace via {
+
+class OraclePolicy final : public RoutingPolicy {
+ public:
+  OraclePolicy(GroundTruth& ground_truth, Metric target = Metric::Rtt,
+               BudgetConfig budget = {})
+      : gt_(&ground_truth), target_(target), budget_(budget) {}
+
+  [[nodiscard]] OptionId choose(const CallContext& call) override;
+  [[nodiscard]] std::string_view name() const override { return "oracle"; }
+
+ private:
+  GroundTruth* gt_;
+  Metric target_;
+  BudgetFilter budget_;
+};
+
+}  // namespace via

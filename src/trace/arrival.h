@@ -1,0 +1,31 @@
+// Call arrivals: the workload stream before any routing decision is made.
+// The simulation engine feeds arrivals to a policy, the policy picks an
+// option, and GroundTruth samples the resulting performance.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace via {
+
+struct CallArrival {
+  CallId id = 0;
+  TimeSec time = 0;
+  AsId src_as = kInvalidAs;
+  AsId dst_as = kInvalidAs;
+  CountryId src_country = -1;
+  CountryId dst_country = -1;
+  PrefixId src_prefix = -1;
+  PrefixId dst_prefix = -1;
+  std::int32_t src_user = -1;  ///< globally unique synthetic user id
+  std::int32_t dst_user = -1;
+  float duration_min = 0.0F;
+
+  [[nodiscard]] bool international() const noexcept { return src_country != dst_country; }
+  [[nodiscard]] bool inter_as() const noexcept { return src_as != dst_as; }
+  [[nodiscard]] std::uint64_t pair_key() const noexcept { return as_pair_key(src_as, dst_as); }
+  [[nodiscard]] int day() const noexcept { return day_of(time); }
+};
+
+}  // namespace via

@@ -1,0 +1,81 @@
+#include "trace/dataset.h"
+
+#include <unordered_set>
+
+namespace via {
+
+namespace {
+
+template <typename T, typename SrcAs, typename DstAs, typename SrcCountry, typename DstCountry,
+          typename Id, typename Time>
+TraceStats summarize_impl(std::span<const T> items, const GroundTruth& gt, SrcAs src_as,
+                          DstAs dst_as, SrcCountry src_country, DstCountry dst_country, Id id,
+                          Time time) {
+  TraceStats s;
+  std::unordered_set<AsId> ases;
+  std::unordered_set<CountryId> countries;
+  std::unordered_set<std::uint64_t> pairs;
+  std::int64_t intl = 0, inter_as = 0, wireless = 0;
+  int max_day = -1;
+
+  for (const auto& item : items) {
+    ++s.calls;
+    ases.insert(src_as(item));
+    ases.insert(dst_as(item));
+    countries.insert(src_country(item));
+    countries.insert(dst_country(item));
+    pairs.insert(as_pair_key(src_as(item), dst_as(item)));
+    if (src_country(item) != dst_country(item)) ++intl;
+    if (src_as(item) != dst_as(item)) ++inter_as;
+    if (gt.call_is_wireless(id(item))) ++wireless;
+    max_day = std::max(max_day, day_of(time(item)));
+  }
+
+  s.ases = static_cast<std::int64_t>(ases.size());
+  s.countries = static_cast<std::int64_t>(countries.size());
+  s.as_pairs = static_cast<std::int64_t>(pairs.size());
+  s.days = max_day + 1;
+  if (s.calls > 0) {
+    s.international_fraction = static_cast<double>(intl) / static_cast<double>(s.calls);
+    s.inter_as_fraction = static_cast<double>(inter_as) / static_cast<double>(s.calls);
+    s.wireless_fraction = static_cast<double>(wireless) / static_cast<double>(s.calls);
+  }
+  return s;
+}
+
+}  // namespace
+
+TraceStats summarize_arrivals(std::span<const CallArrival> arrivals,
+                              const GroundTruth& ground_truth) {
+  TraceStats s = summarize_impl(
+      arrivals, ground_truth, [](const auto& a) { return a.src_as; },
+      [](const auto& a) { return a.dst_as; }, [](const auto& a) { return a.src_country; },
+      [](const auto& a) { return a.dst_country; }, [](const auto& a) { return a.id; },
+      [](const auto& a) { return a.time; });
+
+  std::unordered_set<std::int32_t> users;
+  for (const auto& a : arrivals) {
+    users.insert(a.src_user);
+    users.insert(a.dst_user);
+  }
+  s.users = static_cast<std::int64_t>(users.size());
+  return s;
+}
+
+TraceStats summarize_records(std::span<const CallRecord> records,
+                             const GroundTruth& ground_truth) {
+  TraceStats s = summarize_impl(
+      records, ground_truth, [](const auto& r) { return r.src_as; },
+      [](const auto& r) { return r.dst_as; }, [](const auto& r) { return r.src_country; },
+      [](const auto& r) { return r.dst_country; }, [](const auto& r) { return r.id; },
+      [](const auto& r) { return r.start; });
+
+  std::int64_t rated = 0;
+  for (const auto& r : records) {
+    if (r.rated()) ++rated;
+  }
+  if (s.calls > 0) s.rated_fraction = static_cast<double>(rated) / static_cast<double>(s.calls);
+  return s;
+}
+
+}  // namespace via

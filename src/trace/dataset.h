@@ -1,0 +1,36 @@
+// Dataset summary statistics (the paper's Table 1 plus the §2.1 headline
+// characteristics: international / inter-AS / wireless call fractions).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/call.h"
+#include "netsim/groundtruth.h"
+#include "trace/arrival.h"
+
+namespace via {
+
+struct TraceStats {
+  std::int64_t calls = 0;
+  std::int64_t users = 0;
+  std::int64_t ases = 0;
+  std::int64_t countries = 0;
+  std::int64_t as_pairs = 0;
+  int days = 0;
+  double international_fraction = 0.0;
+  double inter_as_fraction = 0.0;
+  double wireless_fraction = 0.0;
+  double rated_fraction = 0.0;  ///< only meaningful when computed from records
+};
+
+/// Summarizes an arrival stream (pre-routing workload).
+[[nodiscard]] TraceStats summarize_arrivals(std::span<const CallArrival> arrivals,
+                                            const GroundTruth& ground_truth);
+
+/// Summarizes a realized trace (post-routing records; no user info).
+[[nodiscard]] TraceStats summarize_records(std::span<const CallRecord> records,
+                                           const GroundTruth& ground_truth);
+
+}  // namespace via

@@ -1,0 +1,184 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <unordered_map>
+
+namespace via {
+
+TraceGenerator::TraceGenerator(GroundTruth& ground_truth, TraceConfig config,
+                               RatingModelParams rating)
+    : ground_truth_(&ground_truth),
+      config_(config),
+      rating_(rating, hash_mix(config.seed, 0x4a7e)) {
+  assert(config_.days > 0 && config_.total_calls > 0 && config_.active_pairs > 0);
+  build_traffic_matrix();
+}
+
+void TraceGenerator::build_traffic_matrix() {
+  const World& world = ground_truth_->world();
+  Rng rng(hash_mix(config_.seed, 0x7a14));
+  const auto activity = world.as_activity();
+
+  // Probability that an inter-AS pair is international, chosen so the
+  // overall call mix hits the configured international fraction.
+  const double p_intl =
+      std::clamp(config_.international_fraction / std::max(1e-9, 1.0 - config_.intra_as_fraction),
+                 0.0, 1.0);
+
+  std::unordered_map<std::uint64_t, std::size_t> seen;
+  const ZipfSampler zipf(static_cast<std::size_t>(config_.active_pairs),
+                         config_.pair_zipf_exponent);
+
+  for (int i = 0; i < config_.active_pairs; ++i) {
+    const auto src = static_cast<AsId>(rng.weighted_index(activity));
+    AsId dst = src;
+    if (!rng.bernoulli(config_.intra_as_fraction)) {
+      const bool want_intl = rng.bernoulli(p_intl);
+      const CountryId src_country = world.as_node(src).country;
+      dst = kInvalidAs;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const auto cand = static_cast<AsId>(rng.weighted_index(activity));
+        if (cand == src) continue;
+        const bool intl = world.as_node(cand).country != src_country;
+        if (intl == want_intl) {
+          dst = cand;
+          break;
+        }
+      }
+      if (dst == kInvalidAs) {
+        // Small worlds may lack a matching candidate; accept any other AS.
+        do {
+          dst = static_cast<AsId>(rng.weighted_index(activity));
+        } while (dst == src && world.num_ases() > 1);
+      }
+    }
+
+    const double w = zipf.pmf(static_cast<std::size_t>(i));
+    const std::uint64_t key = as_pair_key(src, dst);
+    if (const auto it = seen.find(key); it != seen.end()) {
+      matrix_.pairs[it->second].weight += w;
+    } else {
+      seen.emplace(key, matrix_.pairs.size());
+      matrix_.pairs.push_back({src, dst, w});
+    }
+  }
+
+  // Rescale class weights so the *call volume* mix matches the configured
+  // targets exactly in expectation (Zipf skew and pair-merging would
+  // otherwise let a few heavy pairs distort the class shares).
+  const double intl_target = config_.international_fraction;
+  const double intra_target = config_.intra_as_fraction;
+  const double dom_inter_target = std::max(0.0, 1.0 - intl_target - intra_target);
+  double intra_sum = 0.0, intl_sum = 0.0, dom_sum = 0.0;
+  for (const auto& p : matrix_.pairs) {
+    if (p.src == p.dst) {
+      intra_sum += p.weight;
+    } else if (world.as_node(p.src).country != world.as_node(p.dst).country) {
+      intl_sum += p.weight;
+    } else {
+      dom_sum += p.weight;
+    }
+  }
+  for (auto& p : matrix_.pairs) {
+    if (p.src == p.dst) {
+      if (intra_sum > 0.0) p.weight *= intra_target / intra_sum;
+    } else if (world.as_node(p.src).country != world.as_node(p.dst).country) {
+      if (intl_sum > 0.0) p.weight *= intl_target / intl_sum;
+    } else {
+      if (dom_sum > 0.0) p.weight *= dom_inter_target / dom_sum;
+    }
+  }
+
+  pair_weights_.clear();
+  pair_weights_.reserve(matrix_.pairs.size());
+  for (const auto& p : matrix_.pairs) pair_weights_.push_back(p.weight);
+}
+
+std::int32_t TraceGenerator::sample_user(AsId as, Rng& rng) const {
+  const double activity = ground_truth_->world().as_node(as).activity;
+  const auto pool = static_cast<std::int32_t>(
+      std::min(4000.0, 30.0 + 60.0 * activity));
+  // Skew towards low indices: heavy users make most calls.
+  const double u = rng.uniform();
+  const auto idx = static_cast<std::int32_t>(static_cast<double>(pool) * u * u);
+  return (static_cast<std::int32_t>(as) << 12) | (std::min(idx, pool - 1) & 0xFFF);
+}
+
+std::vector<CallArrival> TraceGenerator::generate_arrivals() {
+  const World& world = ground_truth_->world();
+  Rng rng(hash_mix(config_.seed, 0xca11));
+
+  // Diurnal arrival intensity, peaking in the evening.
+  std::array<double, 24> hour_weight{};
+  for (int h = 0; h < 24; ++h) {
+    hour_weight[static_cast<std::size_t>(h)] =
+        1.0 + 0.6 * std::cos(2.0 * std::numbers::pi * (h - 20) / 24.0);
+  }
+
+  std::vector<CallArrival> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(config_.total_calls));
+
+  for (CallId id = 1; id <= config_.total_calls; ++id) {
+    const auto& pair = matrix_.pairs[rng.weighted_index(pair_weights_)];
+
+    CallArrival a;
+    a.id = id;
+    a.src_as = pair.src;
+    a.dst_as = pair.dst;
+    a.src_country = world.as_node(pair.src).country;
+    a.dst_country = world.as_node(pair.dst).country;
+    a.src_user = sample_user(pair.src, rng);
+    a.dst_user = sample_user(pair.dst, rng);
+    // A handful of /24-like prefixes per AS, correlated with the user.
+    a.src_prefix = (static_cast<PrefixId>(pair.src) << 3) | (a.src_user & 0x7);
+    a.dst_prefix = (static_cast<PrefixId>(pair.dst) << 3) | (a.dst_user & 0x7);
+
+    const auto day = static_cast<TimeSec>(rng.uniform_index(static_cast<std::uint64_t>(config_.days)));
+    const auto hour = static_cast<TimeSec>(rng.weighted_index(hour_weight));
+    const auto sec = static_cast<TimeSec>(rng.uniform_index(3600));
+    a.time = day * kSecondsPerDay + hour * 3600 + sec;
+
+    a.duration_min =
+        static_cast<float>(rng.lognormal_mean_cv(config_.mean_duration_min, config_.duration_cv));
+    arrivals.push_back(a);
+  }
+
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const CallArrival& x, const CallArrival& y) {
+              return x.time != y.time ? x.time < y.time : x.id < y.id;
+            });
+  return arrivals;
+}
+
+CallRecord TraceGenerator::realize(const CallArrival& arrival, OptionId option) {
+  CallRecord rec;
+  rec.id = arrival.id;
+  rec.start = arrival.time;
+  rec.src_as = arrival.src_as;
+  rec.dst_as = arrival.dst_as;
+  rec.src_country = arrival.src_country;
+  rec.dst_country = arrival.dst_country;
+  rec.src_prefix = arrival.src_prefix;
+  rec.dst_prefix = arrival.dst_prefix;
+  rec.option = option;
+  rec.duration_min = arrival.duration_min;
+  rec.perf = ground_truth_->sample_call(arrival.id, arrival.src_as, arrival.dst_as, option,
+                                        arrival.time);
+  rec.rating = rating_.sample_rating(arrival.id, rec.perf);
+  return rec;
+}
+
+std::vector<CallRecord> TraceGenerator::generate_default_routed() {
+  const auto arrivals = generate_arrivals();
+  std::vector<CallRecord> records;
+  records.reserve(arrivals.size());
+  for (const auto& a : arrivals) {
+    records.push_back(realize(a, RelayOptionTable::direct_id()));
+  }
+  return records;
+}
+
+}  // namespace via

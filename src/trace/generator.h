@@ -1,0 +1,76 @@
+// Synthetic workload generator — the stand-in for the Skype trace.
+//
+// Structure matched to the paper's dataset description (Section 2.1):
+//   - heavily skewed call volume across AS pairs (Zipf),
+//   - 46.6% international calls, 80.7% inter-AS calls,
+//   - diurnal arrival pattern, heavy-tailed call durations,
+//   - a small random fraction of calls receives a 1..5 user rating.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/call.h"
+#include "netsim/groundtruth.h"
+#include "quality/rating.h"
+#include "trace/arrival.h"
+
+namespace via {
+
+struct TraceConfig {
+  int days = 60;
+  std::int64_t total_calls = 500'000;
+  int active_pairs = 2000;          ///< distinct AS pairs that generate traffic
+  double pair_zipf_exponent = 0.9;  ///< skew of call volume across pairs
+  double international_fraction = 0.466;
+  double intra_as_fraction = 0.193;  ///< paper: 80.7% of calls are inter-AS
+  double mean_duration_min = 4.5;
+  double duration_cv = 1.2;
+  std::uint64_t seed = 7;
+};
+
+/// The communicating AS pairs and their traffic shares.
+struct TrafficMatrix {
+  struct Pair {
+    AsId src = kInvalidAs;
+    AsId dst = kInvalidAs;
+    double weight = 0.0;
+  };
+  std::vector<Pair> pairs;
+};
+
+class TraceGenerator {
+ public:
+  /// `ground_truth` supplies the world and per-call performance sampling.
+  TraceGenerator(GroundTruth& ground_truth, TraceConfig config, RatingModelParams rating = {});
+
+  /// The traffic matrix is fixed at construction; exposed for analysis.
+  [[nodiscard]] const TrafficMatrix& traffic_matrix() const noexcept { return matrix_; }
+
+  /// Generates `total_calls` arrivals sorted by time.
+  [[nodiscard]] std::vector<CallArrival> generate_arrivals();
+
+  /// Generates a full default-routed trace: every call takes the direct
+  /// path; performance and ratings are attached.  This is the dataset the
+  /// Section 2 analyses consume.
+  [[nodiscard]] std::vector<CallRecord> generate_default_routed();
+
+  /// Turns one arrival plus a routing decision into a trace record.
+  [[nodiscard]] CallRecord realize(const CallArrival& arrival, OptionId option);
+
+  [[nodiscard]] const TraceConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const RatingModel& rating_model() const noexcept { return rating_; }
+
+ private:
+  void build_traffic_matrix();
+  /// Samples a user index on an AS (Zipf within the AS's user pool).
+  [[nodiscard]] std::int32_t sample_user(AsId as, Rng& rng) const;
+
+  GroundTruth* ground_truth_;
+  TraceConfig config_;
+  RatingModel rating_;
+  TrafficMatrix matrix_;
+  std::vector<double> pair_weights_;  ///< cached for weighted sampling
+};
+
+}  // namespace via

@@ -1,0 +1,37 @@
+#include "util/geo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace via {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kFiberKmPerMs = 200.0;  // ~2/3 of c
+
+double deg2rad(double d) noexcept { return d * std::numbers::pi / 180.0; }
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double s = std::sin(dlat / 2);
+  const double t = std::sin(dlon / 2);
+  const double h = s * s + std::cos(lat1) * std::cos(lat2) * t * t;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double fiber_delay_ms(double km) noexcept { return km / kFiberKmPerMs; }
+
+GeoPoint offset_point(const GeoPoint& p, double dlat_deg, double dlon_deg) noexcept {
+  GeoPoint out{p.lat_deg + dlat_deg, p.lon_deg + dlon_deg};
+  out.lat_deg = std::clamp(out.lat_deg, -85.0, 85.0);
+  if (out.lon_deg > 180.0) out.lon_deg -= 360.0;
+  if (out.lon_deg < -180.0) out.lon_deg += 360.0;
+  return out;
+}
+
+}  // namespace via

@@ -1,0 +1,24 @@
+// Geodesic helpers for the synthetic world model.  Distances feed the
+// propagation-delay component of the path performance model.
+#pragma once
+
+namespace via {
+
+/// A point on the globe, degrees.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Great-circle distance in kilometres (haversine, mean Earth radius).
+[[nodiscard]] double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// One-way propagation delay in milliseconds over `km` of fibre, assuming
+/// light travels at ~2/3 c in glass (~200 km/ms).
+[[nodiscard]] double fiber_delay_ms(double km) noexcept;
+
+/// Jitters a point by up to `max_offset_deg` degrees in both axes, keeping
+/// latitude in [-85, 85]; used to scatter ASes around their country centroid.
+[[nodiscard]] GeoPoint offset_point(const GeoPoint& p, double dlat_deg, double dlon_deg) noexcept;
+
+}  // namespace via

@@ -1,0 +1,75 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace via {
+
+BinnedRate::BinnedRate(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counters_(bins) {
+  assert(hi > lo && bins > 0);
+}
+
+std::size_t BinnedRate::bin_of(double x) const noexcept {
+  if (x < lo_) return 0;
+  if (x >= hi_) return counters_.size() - 1;
+  auto i = static_cast<std::size_t>((x - lo_) / width_);
+  return std::min(i, counters_.size() - 1);
+}
+
+void BinnedRate::add(double x, bool outcome) noexcept { counters_[bin_of(x)].add(outcome); }
+
+double BinnedRate::bin_center(std::size_t i) const noexcept {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double BinnedRate::bin_lo(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+std::int64_t BinnedRate::bin_count(std::size_t i) const noexcept {
+  return counters_[i].total();
+}
+
+double BinnedRate::bin_rate(std::size_t i) const noexcept { return counters_[i].rate(); }
+
+double BinnedRate::max_rate(std::int64_t min_samples) const noexcept {
+  double best = 0.0;
+  for (const auto& c : counters_) {
+    if (c.total() >= min_samples) best = std::max(best, c.rate());
+  }
+  return best;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  std::size_t i;
+  if (x < lo_) {
+    i = 0;
+  } else if (x >= hi_) {
+    i = counts_.size() - 1;
+  } else {
+    i = std::min(static_cast<std::size_t>((x - lo_) / width_), counts_.size() - 1);
+  }
+  ++counts_[i];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t i) const noexcept {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+std::int64_t Histogram::bin_count(std::size_t i) const noexcept { return counts_[i]; }
+
+double Histogram::cumulative_fraction(std::size_t i) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::int64_t acc = 0;
+  for (std::size_t j = 0; j <= i && j < counts_.size(); ++j) acc += counts_[j];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+}  // namespace via

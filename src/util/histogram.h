@@ -1,0 +1,58 @@
+// Fixed-bin histogram used for binned "metric vs outcome" curves such as the
+// paper's Figure 1 (PCR as a function of RTT / loss / jitter).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace via {
+
+/// Histogram over [lo, hi) with uniformly sized bins; values outside the
+/// range are clamped into the first/last bin.  Each bin accumulates both a
+/// count and an outcome rate, which is what the binned PCR plots need.
+class BinnedRate {
+ public:
+  BinnedRate(double lo, double hi, std::size_t bins);
+
+  void add(double x, bool outcome) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counters_.size(); }
+  [[nodiscard]] double bin_center(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] std::int64_t bin_count(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_rate(std::size_t i) const noexcept;
+
+  /// Maximum rate across bins with at least `min_samples` (used for the
+  /// paper's "y-axis normalized to the maximum PCR" presentation).
+  [[nodiscard]] double max_rate(std::int64_t min_samples) const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t bin_of(double x) const noexcept;
+  double lo_, hi_, width_;
+  std::vector<RateCounter> counters_;
+};
+
+/// Plain counting histogram over [lo, hi) with uniform bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_center(std::size_t i) const noexcept;
+  [[nodiscard]] std::int64_t bin_count(std::size_t i) const noexcept;
+  [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+  /// Fraction of samples with value <= upper edge of bin i.
+  [[nodiscard]] double cumulative_fraction(std::size_t i) const noexcept;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace via

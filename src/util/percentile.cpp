@@ -1,0 +1,146 @@
+#include "util/percentile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace via {
+
+double percentile_sorted(std::span<const double> sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  if (pct <= 0.0) return sorted.front();
+  if (pct >= 100.0) return sorted.back();
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double percentile(std::span<const double> values, double pct) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return percentile_sorted(copy, pct);
+}
+
+std::vector<CdfPoint> build_cdf(std::vector<double> values, std::size_t max_points) {
+  std::vector<CdfPoint> cdf;
+  if (values.empty()) return cdf;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  const std::size_t points = std::min(max_points, n);
+  cdf.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Sample evenly in rank space, always including the final sample.
+    const std::size_t rank = (points == 1) ? n - 1 : (i * (n - 1)) / (points - 1);
+    cdf.push_back({values[rank], static_cast<double>(rank + 1) / static_cast<double>(n)});
+  }
+  return cdf;
+}
+
+double cdf_fraction_at(std::span<const CdfPoint> cdf, double x) {
+  if (cdf.empty()) return 0.0;
+  if (x < cdf.front().value) return 0.0;
+  if (x >= cdf.back().value) return 1.0;
+  // Binary search for last point with value <= x.
+  std::size_t lo = 0, hi = cdf.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    if (cdf[mid].value <= x) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return cdf[lo].cum_fraction;
+}
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  assert(q > 0.0 && q < 1.0);
+  warmup_.reserve(5);
+}
+
+void P2Quantile::reset() {
+  count_ = 0;
+  warmup_.clear();
+}
+
+void P2Quantile::add(double x) {
+  ++count_;
+  if (count_ <= 5) {
+    warmup_.push_back(x);
+    if (count_ == 5) {
+      std::sort(warmup_.begin(), warmup_.end());
+      for (int i = 0; i < 5; ++i) {
+        heights_[i] = warmup_[static_cast<std::size_t>(i)];
+        positions_[i] = i + 1;
+      }
+      desired_[0] = 1;
+      desired_[1] = 1 + 2 * q_;
+      desired_[2] = 1 + 4 * q_;
+      desired_[3] = 3 + 2 * q_;
+      desired_[4] = 5;
+      increments_[0] = 0;
+      increments_[1] = q_ / 2;
+      increments_[2] = q_;
+      increments_[3] = (1 + q_) / 2;
+      increments_[4] = 1;
+    }
+    return;
+  }
+
+  // Find cell k containing x and update extreme heights.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust interior markers with parabolic (or linear) interpolation.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double right_gap = positions_[i + 1] - positions_[i];
+    const double left_gap = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      // Parabolic prediction (P² formula).
+      const double hp =
+          heights_[i] +
+          sign / (positions_[i + 1] - positions_[i - 1]) *
+              ((positions_[i] - positions_[i - 1] + sign) * (heights_[i + 1] - heights_[i]) /
+                   right_gap +
+               (positions_[i + 1] - positions_[i] - sign) * (heights_[i] - heights_[i - 1]) /
+                   (positions_[i] - positions_[i - 1]));
+      if (heights_[i - 1] < hp && hp < heights_[i + 1]) {
+        heights_[i] = hp;
+      } else {
+        // Linear fallback.
+        const int j = i + static_cast<int>(sign);
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    std::vector<double> copy = warmup_;
+    std::sort(copy.begin(), copy.end());
+    return percentile_sorted(copy, q_ * 100.0);
+  }
+  return heights_[2];
+}
+
+}  // namespace via

@@ -1,0 +1,58 @@
+// Percentile and CDF helpers, plus the P-squared streaming quantile estimator
+// used by the budget filter (Section 4.6 of the paper) to track the trailing
+// distribution of predicted relaying benefit without storing all samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace via {
+
+/// Percentile (0..100) of an *unsorted* sample; copies and sorts.
+/// Uses linear interpolation between closest ranks.
+[[nodiscard]] double percentile(std::span<const double> values, double pct);
+
+/// Percentile of an already-sorted sample (ascending); no copy.
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double pct);
+
+/// A point on an empirical CDF.
+struct CdfPoint {
+  double value;
+  double cum_fraction;  ///< fraction of samples <= value, in (0, 1]
+};
+
+/// Builds an empirical CDF downsampled to at most `max_points` points.
+[[nodiscard]] std::vector<CdfPoint> build_cdf(std::vector<double> values,
+                                              std::size_t max_points = 200);
+
+/// Fraction of samples that are <= x under an empirical CDF.
+[[nodiscard]] double cdf_fraction_at(std::span<const CdfPoint> cdf, double x);
+
+/// P-squared (P²) single-quantile streaming estimator (Jain & Chlamtac 1985).
+/// Tracks one quantile q in (0,1) with five markers, O(1) memory.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  /// Current estimate; exact while fewer than 5 samples have been seen.
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  void reset();
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  // marker heights and positions
+  double heights_[5] = {};
+  double positions_[5] = {};
+  double desired_[5] = {};
+  double increments_[5] = {};
+  std::vector<double> warmup_;
+};
+
+}  // namespace via

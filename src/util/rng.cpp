@@ -1,0 +1,109 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace via {
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  assert(n > 0);
+  // Lemire's nearly-divisionless bounded sampling.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = -n % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::gaussian() noexcept {
+  // Box-Muller; guards against log(0).
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::exponential(double mean) noexcept {
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+double Rng::lognormal_mean_cv(double mean, double cv) noexcept {
+  if (mean <= 0.0) return 0.0;
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return std::exp(mu + std::sqrt(sigma2) * gaussian());
+}
+
+double Rng::pareto(double xm, double alpha) noexcept {
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+double hashed_gaussian(std::uint64_t key) noexcept {
+  // Two independent uniforms from consecutive hash steps feed Box-Muller.
+  const std::uint64_t h1 = splitmix64(key);
+  const std::uint64_t h2 = splitmix64(h1 ^ 0x9e3779b97f4a7c15ULL);
+  double u1 = static_cast<double>(h1 >> 11) * 0x1.0p-53;
+  const double u2 = static_cast<double>(h2 >> 11) * 0x1.0p-53;
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double hashed_uniform(std::uint64_t key) noexcept {
+  return static_cast<double>(splitmix64(key) >> 11) * 0x1.0p-53;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  // Binary search for the first cdf entry >= u.
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double ZipfSampler::pmf(std::size_t i) const {
+  assert(i < cdf_.size());
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace via

@@ -1,0 +1,141 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// All stochastic components of the simulator derive their randomness from
+// either (a) a sequential Xoshiro256++ stream, or (b) stateless hash-based
+// draws keyed on domain identifiers (call id, link id, day index).  The
+// hash-based form is what makes paired policy comparison possible: two
+// policies that route the same call over the same relay option observe the
+// exact same sampled performance.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace via {
+
+/// SplitMix64 step; used for seeding and stateless hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Mixes an arbitrary number of 64-bit keys into one hash value.
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t a) noexcept {
+  return splitmix64(a);
+}
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b) noexcept {
+  return splitmix64(splitmix64(a) ^ (b + 0x632be59bd9b4e019ULL));
+}
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b,
+                                               std::uint64_t c) noexcept {
+  return hash_mix(hash_mix(a, b), c);
+}
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b,
+                                               std::uint64_t c, std::uint64_t d) noexcept {
+  return hash_mix(hash_mix(a, b, c), d);
+}
+
+/// Xoshiro256++ generator.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from a single seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& w : state_) {
+      seed = splitmix64(seed);
+      w = seed;
+    }
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+      state_[0] = 1;  // all-zero state is the one forbidden state
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box-Muller (no cached spare; keeps the generator
+  /// state a pure function of the number of draws).
+  [[nodiscard]] double gaussian() noexcept;
+
+  [[nodiscard]] double gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * gaussian();
+  }
+
+  /// Exponential with the given mean (= 1/lambda).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Log-normal parameterized by the mean and coefficient of variation of the
+  /// *resulting* distribution (not of the underlying normal).
+  [[nodiscard]] double lognormal_mean_cv(double mean, double cv) noexcept;
+
+  /// Pareto (Lomax-style heavy tail) with scale xm > 0 and shape alpha > 0.
+  [[nodiscard]] double pareto(double xm, double alpha) noexcept;
+
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Picks an index with probability proportional to weights[i].
+  [[nodiscard]] std::size_t weighted_index(std::span<const double> weights) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Stateless standard-normal draw keyed on a hash value (for reproducible
+/// per-(entity, day) noise without storing generator state).
+[[nodiscard]] double hashed_gaussian(std::uint64_t key) noexcept;
+
+/// Stateless uniform [0,1) draw keyed on a hash value.
+[[nodiscard]] double hashed_uniform(std::uint64_t key) noexcept;
+
+/// Zipf sampler over ranks 0..n-1 with exponent s (probability of rank i
+/// proportional to 1/(i+1)^s).  Precomputes the CDF; O(log n) per sample.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  /// Probability mass of rank i.
+  [[nodiscard]] double pmf(std::size_t i) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace via

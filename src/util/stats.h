@@ -1,0 +1,134 @@
+// Streaming statistics: Welford mean/variance, standard error of the mean,
+// and simple summaries used throughout the predictor and the analysis code.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace via {
+
+/// Numerically stable running mean / variance (Welford).
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const OnlineStats& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double total = static_cast<double>(n_ + o.n_);
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) * static_cast<double>(o.n_) / total;
+    mean_ += delta * static_cast<double>(o.n_) / total;
+    n_ += o.n_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  [[nodiscard]] std::int64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 if fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// Standard error of the mean.  For a single sample the SEM is undefined;
+  /// we return `single_sample_sem` scaled by the value so that confidence
+  /// intervals stay wide until real evidence accumulates.
+  [[nodiscard]] double sem() const noexcept {
+    if (n_ > 1) return stddev() / std::sqrt(static_cast<double>(n_));
+    if (n_ == 1) return std::abs(mean_) * kSingleSampleRelSem;
+    return std::numeric_limits<double>::infinity();
+  }
+
+  void reset() noexcept { *this = OnlineStats{}; }
+
+  /// Relative SEM assumed when only one sample exists.
+  static constexpr double kSingleSampleRelSem = 0.5;
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// A ratio counter for rates such as PNR / PCR.
+class RateCounter {
+ public:
+  void add(bool hit) noexcept {
+    ++total_;
+    if (hit) ++hits_;
+  }
+  void merge(const RateCounter& o) noexcept {
+    total_ += o.total_;
+    hits_ += o.hits_;
+  }
+  [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::int64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] double rate() const noexcept {
+    return total_ > 0 ? static_cast<double>(hits_) / static_cast<double>(total_) : 0.0;
+  }
+  /// Standard error of a binomial proportion.
+  [[nodiscard]] double sem() const noexcept {
+    if (total_ == 0) return 0.0;
+    const double p = rate();
+    return std::sqrt(p * (1.0 - p) / static_cast<double>(total_));
+  }
+
+ private:
+  std::int64_t total_ = 0;
+  std::int64_t hits_ = 0;
+};
+
+/// Relative improvement 100*(b-a)/b as defined in the paper (Section 3.2).
+/// Returns 0 when the baseline is 0.
+[[nodiscard]] inline double relative_improvement_pct(double baseline, double treated) noexcept {
+  return baseline != 0.0 ? 100.0 * (baseline - treated) / baseline : 0.0;
+}
+
+/// Pearson correlation coefficient accumulator (bivariate Welford).
+class Correlation {
+ public:
+  void add(double x, double y) noexcept {
+    ++n_;
+    const double dx = x - mx_;
+    mx_ += dx / static_cast<double>(n_);
+    const double dy = y - my_;
+    my_ += dy / static_cast<double>(n_);
+    sxx_ += dx * (x - mx_);
+    syy_ += dy * (y - my_);
+    sxy_ += dx * (y - my_);
+  }
+
+  [[nodiscard]] double coefficient() const noexcept {
+    if (n_ < 2 || sxx_ <= 0.0 || syy_ <= 0.0) return 0.0;
+    return sxy_ / std::sqrt(sxx_ * syy_);
+  }
+
+  [[nodiscard]] std::int64_t count() const noexcept { return n_; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mx_ = 0.0, my_ = 0.0;
+  double sxx_ = 0.0, syy_ = 0.0, sxy_ = 0.0;
+};
+
+}  // namespace via

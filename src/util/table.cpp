@@ -1,0 +1,80 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace via {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string text) {
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+TextTable& TextTable::cell(const char* text) { return cell(std::string(text)); }
+
+TextTable& TextTable::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+TextTable& TextTable::cell_int(long long value) { return cell(std::to_string(value)); }
+
+TextTable& TextTable::cell_pct(double fraction, int precision) {
+  return cell(format_double(fraction * 100.0, precision) + "%");
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& text = i < r.size() ? r[i] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[i])) << text;
+      if (i + 1 < widths.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w;
+  total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) print_row(r);
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i) os << ',';
+      os << r[i];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (const auto& r : rows_) print_row(r);
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << '\n' << "== " << title << " ==\n";
+}
+
+}  // namespace via

@@ -1,0 +1,47 @@
+// Console table / CSV output for the bench harnesses: every figure and table
+// in the paper is regenerated as an aligned text table on stdout (and
+// optionally as CSV for external plotting).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace via {
+
+/// A simple column-aligned text table.  Cells are strings; numeric helpers
+/// format with fixed precision.  Rendering pads each column to its widest
+/// cell and prints an underline under the header.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add_cell calls fill it.
+  TextTable& row();
+  TextTable& cell(std::string text);
+  TextTable& cell(const char* text);
+  TextTable& cell(double value, int precision = 2);
+  TextTable& cell_int(long long value);
+  TextTable& cell_pct(double fraction, int precision = 1);  ///< 0.42 -> "42.0%"
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders to the stream with 2-space column gaps.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (no quoting of separators; callers control cell content).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+[[nodiscard]] std::string format_double(double value, int precision = 2);
+
+/// Prints a section banner for bench output, e.g. "== Figure 12a: ... ==".
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace via

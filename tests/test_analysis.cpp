@@ -1,0 +1,251 @@
+#include "analysis/section2.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/groundtruth.h"
+#include "trace/generator.h"
+
+namespace via {
+namespace {
+
+CallRecord make_record(CallId id, double rtt, double loss, double jitter, int rating = -1,
+                       AsId src = 1, AsId dst = 2, CountryId src_c = 0, CountryId dst_c = 1,
+                       TimeSec t = 0) {
+  CallRecord r;
+  r.id = id;
+  r.start = t;
+  r.src_as = src;
+  r.dst_as = dst;
+  r.src_country = src_c;
+  r.dst_country = dst_c;
+  r.perf = {rtt, loss, jitter};
+  r.rating = static_cast<std::int8_t>(rating);
+  return r;
+}
+
+TEST(BinnedPcr, ComputesPerBinRates) {
+  std::vector<CallRecord> records;
+  // Bin [0,100): 4 rated calls, 1 poor.  Bin [100,200): 4 rated, 3 poor.
+  for (int i = 0; i < 4; ++i) records.push_back(make_record(i, 50, 0, 0, i == 0 ? 1 : 4));
+  for (int i = 0; i < 4; ++i) records.push_back(make_record(10 + i, 150, 0, 0, i < 3 ? 2 : 5));
+  records.push_back(make_record(99, 50, 0, 0, -1));  // unrated: ignored
+
+  const auto curve = binned_pcr(records, Metric::Rtt, 0, 200, 2, 1);
+  ASSERT_EQ(curve.bins.size(), 2u);
+  EXPECT_EQ(curve.bins[0].calls, 4);
+  EXPECT_DOUBLE_EQ(curve.bins[0].pcr, 0.25);
+  EXPECT_DOUBLE_EQ(curve.bins[1].pcr, 0.75);
+  EXPECT_DOUBLE_EQ(curve.bins[1].normalized_pcr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.bins[0].normalized_pcr, 1.0 / 3.0);
+}
+
+TEST(BinnedPcr, MinSamplesFiltersBins) {
+  std::vector<CallRecord> records;
+  for (int i = 0; i < 10; ++i) records.push_back(make_record(i, 50, 0, 0, 3));
+  records.push_back(make_record(50, 150, 0, 0, 1));
+  const auto curve = binned_pcr(records, Metric::Rtt, 0, 200, 2, 5);
+  ASSERT_EQ(curve.bins.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve.bins[0].metric_lo, 0.0);
+}
+
+TEST(BinnedPcr, CorrelationPositiveForMonotoneData) {
+  std::vector<CallRecord> records;
+  CallId id = 0;
+  for (int bin = 0; bin < 10; ++bin) {
+    for (int i = 0; i < 100; ++i) {
+      // PCR rises with the bin index.
+      const int rating = (i < bin * 10) ? 1 : 5;
+      records.push_back(make_record(id++, bin * 10.0 + 5.0, 0, 0, rating));
+    }
+  }
+  const auto curve = binned_pcr(records, Metric::Rtt, 0, 100, 10, 50);
+  EXPECT_GT(curve.correlation, 0.98);
+}
+
+TEST(MetricCdfs, MonotoneAndComplete) {
+  std::vector<CallRecord> records;
+  for (int i = 0; i < 1000; ++i) {
+    records.push_back(make_record(i, 100.0 + i, 0.001 * i, 0.01 * i));
+  }
+  const auto cdfs = metric_cdfs(records, 50);
+  for (const Metric m : kAllMetrics) {
+    const auto& cdf = cdfs[metric_index(m)];
+    ASSERT_FALSE(cdf.empty());
+    EXPECT_DOUBLE_EQ(cdf.back().cum_fraction, 1.0);
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+      EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    }
+  }
+}
+
+TEST(ConditionalPercentiles, RecoversLinearRelation) {
+  std::vector<CallRecord> records;
+  CallId id = 0;
+  for (int x = 0; x < 100; ++x) {
+    for (int rep = 0; rep < 20; ++rep) {
+      // Jitter exactly 0.1 * RTT.
+      records.push_back(make_record(id++, x, 0, 0.1 * x));
+    }
+  }
+  const auto rows =
+      conditional_percentiles(records, Metric::Rtt, Metric::Jitter, 0, 100, 10, 10);
+  ASSERT_EQ(rows.size(), 10u);
+  for (const auto& row : rows) {
+    EXPECT_NEAR(row.p50, 0.1 * row.x_center, 0.06);
+    EXPECT_LE(row.p10, row.p50);
+    EXPECT_LE(row.p50, row.p90);
+  }
+}
+
+TEST(PnrBreakdownTest, SplitsByClass) {
+  std::vector<CallRecord> records;
+  // International poor call, domestic clean call.
+  records.push_back(make_record(1, 400, 0, 0, -1, 1, 2, 0, 1));
+  records.push_back(make_record(2, 50, 0, 0, -1, 3, 4, 2, 2));
+  // Intra-AS call.
+  records.push_back(make_record(3, 50, 0, 0, -1, 5, 5, 3, 3));
+  const auto b = pnr_breakdown(records);
+  EXPECT_EQ(b.all.total(), 3);
+  EXPECT_EQ(b.international.total(), 1);
+  EXPECT_EQ(b.domestic.total(), 2);
+  EXPECT_EQ(b.intra_as.total(), 1);
+  EXPECT_EQ(b.inter_as.total(), 2);
+  EXPECT_DOUBLE_EQ(b.international.pnr(Metric::Rtt), 1.0);
+  EXPECT_DOUBLE_EQ(b.domestic.pnr(Metric::Rtt), 0.0);
+}
+
+TEST(PnrByCountry, AttributesBothSidesAndSorts) {
+  std::vector<CallRecord> records;
+  // Country 0 <-> 1: always poor.  Country 2 <-> 3: never poor.
+  for (int i = 0; i < 20; ++i) records.push_back(make_record(i, 500, 0, 0, -1, 1, 2, 0, 1));
+  for (int i = 0; i < 20; ++i)
+    records.push_back(make_record(100 + i, 50, 0, 0, -1, 3, 4, 2, 3));
+  const auto by_country = pnr_by_country(records, /*international_only=*/true, 10);
+  ASSERT_EQ(by_country.size(), 4u);
+  // Worst first.
+  EXPECT_TRUE(by_country[0].country == 0 || by_country[0].country == 1);
+  EXPECT_DOUBLE_EQ(by_country[0].acc.pnr_any(), 1.0);
+  EXPECT_DOUBLE_EQ(by_country[3].acc.pnr_any(), 0.0);
+}
+
+TEST(PnrByCountry, MinCallsFilter) {
+  std::vector<CallRecord> records;
+  for (int i = 0; i < 5; ++i) records.push_back(make_record(i, 500, 0, 0, -1, 1, 2, 0, 1));
+  EXPECT_TRUE(pnr_by_country(records, true, 10).empty());
+  EXPECT_EQ(pnr_by_country(records, true, 5).size(), 2u);
+}
+
+TEST(AsPairContribution, SinglePairDominates) {
+  std::vector<CallRecord> records;
+  for (int i = 0; i < 50; ++i) records.push_back(make_record(i, 500, 0, 0, -1, 1, 2));
+  for (int i = 0; i < 5; ++i) records.push_back(make_record(100 + i, 500, 0, 0, -1, 3, 4));
+  records.push_back(make_record(999, 50, 0, 0, -1, 5, 6));  // clean pair, no contribution
+  const auto curve = aspair_contribution(records);
+  EXPECT_EQ(curve.total_poor_calls, 55);
+  ASSERT_EQ(curve.total_pairs, 2);
+  EXPECT_NEAR(curve.cumulative_share[0], 50.0 / 55.0, 1e-9);
+  EXPECT_DOUBLE_EQ(curve.cumulative_share[1], 1.0);
+}
+
+TEST(AsPairContribution, EmptyWhenNoPoorCalls) {
+  std::vector<CallRecord> records{make_record(1, 50, 0, 0)};
+  const auto curve = aspair_contribution(records);
+  EXPECT_EQ(curve.total_poor_calls, 0);
+  EXPECT_TRUE(curve.cumulative_share.empty());
+}
+
+TEST(PersistencePrevalence, ChronicPairDetected) {
+  std::vector<CallRecord> records;
+  CallId id = 0;
+  // Pair (1,2): poor every day for 10 days.  Pair (3,4): never poor.
+  // 30 calls per pair per day for data density.
+  for (int day = 0; day < 10; ++day) {
+    for (int i = 0; i < 30; ++i) {
+      records.push_back(
+          make_record(id++, 500, 0, 0, -1, 1, 2, 0, 1, day * kSecondsPerDay + i));
+      records.push_back(
+          make_record(id++, 50, 0, 0, -1, 3, 4, 2, 3, day * kSecondsPerDay + i));
+    }
+  }
+  const auto pp = persistence_prevalence(records, Metric::Rtt, 1.5, 20, 5);
+  // Only the chronic pair qualifies (the clean pair never goes high).
+  ASSERT_EQ(pp.persistence_days.size(), 1u);
+  EXPECT_DOUBLE_EQ(pp.prevalence[0], 1.0);
+  EXPECT_DOUBLE_EQ(pp.persistence_days[0], 10.0);
+}
+
+TEST(PersistencePrevalence, IntermittentPairHasShortRuns) {
+  std::vector<CallRecord> records;
+  CallId id = 0;
+  for (int day = 0; day < 12; ++day) {
+    const bool bad_day = (day % 3 == 0);  // high every third day
+    for (int i = 0; i < 30; ++i) {
+      records.push_back(make_record(id++, bad_day ? 500 : 50, 0, 0, -1, 1, 2, 0, 1,
+                                    day * kSecondsPerDay + i));
+      // Reference traffic keeping the daily overall PNR moderate.
+      records.push_back(
+          make_record(id++, 50, 0, 0, -1, 3, 4, 2, 3, day * kSecondsPerDay + i));
+      records.push_back(
+          make_record(id++, 500, 0, 0, -1, 5, 6, 4, 5, day * kSecondsPerDay + i));
+    }
+  }
+  const auto pp = persistence_prevalence(records, Metric::Rtt, 1.5, 20, 5);
+  bool found_intermittent = false;
+  for (std::size_t i = 0; i < pp.persistence_days.size(); ++i) {
+    if (pp.prevalence[i] < 0.5) {
+      EXPECT_LE(pp.persistence_days[i], 2.0);
+      found_intermittent = true;
+    }
+  }
+  EXPECT_TRUE(found_intermittent);
+}
+
+// Integration: the synthetic trace reproduces the paper's Section 2 shapes.
+class Section2Integration : public ::testing::Test {
+ protected:
+  Section2Integration() : world_({.num_ases = 100, .num_relays = 12, .seed = 77}), gt_(world_) {
+    TraceConfig config;
+    config.days = 20;
+    config.total_calls = 120'000;
+    config.active_pairs = 500;
+    TraceGenerator gen(gt_, config);
+    records_ = gen.generate_default_routed();
+  }
+  World world_;
+  GroundTruth gt_;
+  std::vector<CallRecord> records_;
+};
+
+TEST_F(Section2Integration, PerMetricPnrNearFifteenPercent) {
+  const auto b = pnr_breakdown(records_);
+  for (const Metric m : kAllMetrics) {
+    EXPECT_GT(b.all.pnr(m), 0.07) << metric_name(m);
+    EXPECT_LT(b.all.pnr(m), 0.30) << metric_name(m);
+  }
+}
+
+TEST_F(Section2Integration, InternationalWorseThanDomestic) {
+  const auto b = pnr_breakdown(records_);
+  EXPECT_GT(b.international.pnr_any(), 1.5 * b.domestic.pnr_any());
+  EXPECT_GT(b.inter_as.pnr_any(), b.intra_as.pnr_any());
+}
+
+TEST_F(Section2Integration, PcrRisesWithEveryMetric) {
+  const auto rtt = binned_pcr(records_, Metric::Rtt, 0, 800, 16, 100);
+  const auto loss = binned_pcr(records_, Metric::Loss, 0, 6, 12, 100);
+  const auto jitter = binned_pcr(records_, Metric::Jitter, 0, 40, 10, 100);
+  EXPECT_GT(rtt.correlation, 0.7);
+  EXPECT_GT(loss.correlation, 0.7);
+  EXPECT_GT(jitter.correlation, 0.7);
+}
+
+TEST_F(Section2Integration, NoSmallSetOfPairsDominates) {
+  const auto curve = aspair_contribution(records_);
+  ASSERT_GT(curve.total_pairs, 50);
+  // The worst 5% of pairs must not account for most poor calls.
+  const auto idx = static_cast<std::size_t>(curve.total_pairs / 20);
+  EXPECT_LT(curve.cumulative_share[idx], 0.7);
+}
+
+}  // namespace
+}  // namespace via

@@ -1,0 +1,126 @@
+#include "core/budget.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace via {
+namespace {
+
+TEST(BudgetFilter, UnlimitedAlwaysAllows) {
+  BudgetFilter f({.fraction = 1.0, .aware = true});
+  for (int i = 0; i < 100; ++i) {
+    f.on_call(0.0);
+    EXPECT_TRUE(f.allow_relay(0.0));
+  }
+}
+
+TEST(BudgetFilter, TokensGateRelayVolume) {
+  BudgetFilter f({.fraction = 0.25, .aware = false});
+  int granted = 0;
+  const int calls = 10'000;
+  for (int i = 0; i < calls; ++i) {
+    f.on_call(5.0);
+    if (f.allow_relay(5.0)) ++granted;
+  }
+  EXPECT_NEAR(granted / static_cast<double>(calls), 0.25, 0.02);
+}
+
+TEST(BudgetFilter, UnawareRejectsOnlyNegativeBenefit) {
+  BudgetFilter f({.fraction = 0.5, .aware = false});
+  // Two on_calls accrue one full token each time before the decision.
+  f.on_call(-1.0);
+  f.on_call(-1.0);
+  EXPECT_FALSE(f.allow_relay(-1.0));  // negative benefit: refused, token kept
+  EXPECT_TRUE(f.allow_relay(0.0));    // unknown benefit: greedily spends it
+  f.on_call(0.001);
+  f.on_call(0.001);
+  EXPECT_TRUE(f.allow_relay(0.001));
+}
+
+TEST(BudgetFilter, AwareRequiresHighBenefit) {
+  BudgetFilter f({.fraction = 0.2, .aware = true});
+  Rng rng(3);
+  // Benefits uniform in [0, 100): the aware filter should grant mostly to
+  // the top ~20% (benefit > ~80).
+  int low_grants = 0, high_grants = 0, low_calls = 0, high_calls = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const double benefit = rng.uniform(0, 100);
+    f.on_call(benefit);
+    const bool granted = f.allow_relay(benefit);
+    if (benefit < 50) {
+      ++low_calls;
+      low_grants += granted;
+    } else if (benefit > 85) {
+      ++high_calls;
+      high_grants += granted;
+    }
+  }
+  EXPECT_LT(low_grants / static_cast<double>(low_calls), 0.05);
+  EXPECT_GT(high_grants / static_cast<double>(high_calls), 0.6);
+}
+
+TEST(BudgetFilter, AwareThresholdTracksPercentile) {
+  BudgetFilter f({.fraction = 0.3, .aware = true});
+  Rng rng(5);
+  for (int i = 0; i < 50'000; ++i) f.on_call(rng.uniform(0, 10));
+  // 70th percentile of U[0,10) is 7.
+  EXPECT_NEAR(f.benefit_threshold(), 7.0, 0.3);
+}
+
+TEST(BudgetFilter, AwareStaysWithinBudget) {
+  BudgetFilter f({.fraction = 0.3, .aware = true});
+  Rng rng(7);
+  int granted = 0;
+  const int calls = 20'000;
+  for (int i = 0; i < calls; ++i) {
+    const double benefit = rng.uniform(0, 100);
+    f.on_call(benefit);
+    if (f.allow_relay(benefit)) ++granted;
+  }
+  EXPECT_LE(granted / static_cast<double>(calls), 0.31);
+}
+
+TEST(BudgetFilter, CountsAccounting) {
+  BudgetFilter f({.fraction = 0.5, .aware = false});
+  for (int i = 0; i < 10; ++i) {
+    f.on_call(1.0);
+    (void)f.allow_relay(1.0);
+  }
+  EXPECT_EQ(f.calls_seen(), 10);
+  EXPECT_GT(f.relays_granted(), 0);
+}
+
+TEST(BudgetFilter, ThresholdTracksNegativeBenefits) {
+  // A purely negative benefit distribution pushes the threshold negative:
+  // with slack budget, the filter must not block relaying outright (the
+  // bandit may know better than the predictor).
+  BudgetFilter f({.fraction = 0.5, .aware = true});
+  for (int i = 0; i < 100; ++i) f.on_call(-5.0);
+  EXPECT_NEAR(f.benefit_threshold(), -5.0, 0.5);
+}
+
+// Property: granted fraction tracks the configured budget for the aware
+// filter across budget levels.
+class BudgetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BudgetSweep, GrantedFractionNearBudget) {
+  const double budget = GetParam();
+  BudgetFilter f({.fraction = budget, .aware = true});
+  Rng rng(hash_mix(static_cast<std::uint64_t>(budget * 100), 13));
+  int granted = 0;
+  const int calls = 30'000;
+  for (int i = 0; i < calls; ++i) {
+    const double benefit = rng.uniform(0, 100);
+    f.on_call(benefit);
+    if (f.allow_relay(benefit)) ++granted;
+  }
+  const double fraction = granted / static_cast<double>(calls);
+  EXPECT_LE(fraction, budget + 0.02);
+  EXPECT_GE(fraction, budget * 0.5);  // threshold + tokens, so below budget but not starved
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetSweep, ::testing::Values(0.1, 0.2, 0.3, 0.5, 0.8));
+
+}  // namespace
+}  // namespace via

@@ -1,0 +1,136 @@
+#include "netsim/dynamics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace via {
+namespace {
+
+TEST(Dynamics, CongestionNonNegative) {
+  const Dynamics dyn(1);
+  for (std::uint64_t link = 0; link < 50; ++link) {
+    for (int day = 0; day < 30; ++day) {
+      EXPECT_GE(dyn.congestion(hash_mix(link, 0xAB), day), 0.0);
+    }
+  }
+}
+
+TEST(Dynamics, DeterministicAndMemoConsistent) {
+  const Dynamics dyn(2);
+  const std::uint64_t link = hash_mix(7, 0xAB);
+  // Query out of order; memoization must not change values.
+  const double d20 = dyn.congestion(link, 20);
+  const double d5 = dyn.congestion(link, 5);
+  EXPECT_DOUBLE_EQ(dyn.congestion(link, 20), d20);
+  EXPECT_DOUBLE_EQ(dyn.congestion(link, 5), d5);
+
+  const Dynamics dyn2(2);
+  EXPECT_DOUBLE_EQ(dyn2.congestion(link, 5), d5);  // fresh instance agrees
+  EXPECT_DOUBLE_EQ(dyn2.congestion(link, 20), d20);
+}
+
+TEST(Dynamics, SeedsProduceDifferentSeries) {
+  const Dynamics a(1), b(2);
+  const std::uint64_t link = 12345;
+  int diff = 0;
+  for (int day = 0; day < 20; ++day) {
+    if (a.congestion(link, day) != b.congestion(link, day)) ++diff;
+  }
+  EXPECT_GT(diff, 10);
+}
+
+TEST(Dynamics, NegativeDayIsCalm) {
+  const Dynamics dyn(3);
+  EXPECT_GE(dyn.congestion(99, -1), 0.0);
+}
+
+TEST(Dynamics, DiurnalMeanNearOneAndPeaksInEvening) {
+  const Dynamics dyn(4);
+  const std::uint64_t link = 42;
+  double sum = 0.0;
+  double peak_val = 0.0;
+  int peak_hour = -1;
+  for (int h = 0; h < 24; ++h) {
+    const double f = dyn.diurnal_factor(link, h * 3600);
+    sum += f;
+    if (f > peak_val) {
+      peak_val = f;
+      peak_hour = h;
+    }
+  }
+  EXPECT_NEAR(sum / 24.0, 1.0, 0.02);
+  EXPECT_EQ(peak_hour, dyn.params().peak_hour);
+}
+
+TEST(Dynamics, EventsCreateMultiDayEpisodes) {
+  const Dynamics dyn(5);
+  // Find a link with at least one event and verify the episode is contiguous.
+  int episodes_with_length_over_1 = 0;
+  for (std::uint64_t link = 0; link < 400 && episodes_with_length_over_1 == 0; ++link) {
+    int run = 0;
+    for (int day = 0; day < 60; ++day) {
+      if (dyn.in_event(hash_mix(link, 0xCD), day)) {
+        ++run;
+        if (run >= 2) ++episodes_with_length_over_1;
+      } else {
+        run = 0;
+      }
+    }
+  }
+  EXPECT_GT(episodes_with_length_over_1, 0) << "no multi-day events in 400 links";
+}
+
+TEST(Dynamics, PronenessIsSkewedAcrossLinks) {
+  const Dynamics dyn(6);
+  // Measure per-link event prevalence over a long horizon; the distribution
+  // should be strongly skewed (paper Figure 6): most links are rarely in an
+  // event, a few are chronically bad.
+  std::vector<double> prevalence;
+  const int days = 200;
+  for (std::uint64_t link = 0; link < 300; ++link) {
+    int bad = 0;
+    for (int day = 0; day < days; ++day) {
+      if (dyn.in_event(hash_mix(link, 0xEF), day)) ++bad;
+    }
+    prevalence.push_back(static_cast<double>(bad) / days);
+  }
+  int calm = 0, chronic = 0;
+  for (const double p : prevalence) {
+    if (p < 0.15) ++calm;
+    if (p > 0.4) ++chronic;
+  }
+  EXPECT_GT(calm, 200);   // most links are calm
+  EXPECT_GE(chronic, 3);  // a few are chronically bad
+  EXPECT_LT(chronic, 60);
+}
+
+TEST(Dynamics, Ar1SeriesIsAutocorrelated) {
+  const Dynamics dyn(7);
+  // Aggregate lag-1 autocorrelation of congestion across links: ordinary
+  // variation should carry over between adjacent days.
+  Correlation corr;
+  for (std::uint64_t link = 0; link < 100; ++link) {
+    const std::uint64_t k = hash_mix(link, 0x11);
+    for (int day = 1; day < 40; ++day) {
+      corr.add(dyn.congestion(k, day - 1), dyn.congestion(k, day));
+    }
+  }
+  EXPECT_GT(corr.coefficient(), 0.2);
+}
+
+TEST(Dynamics, CongestionLevelsAreBounded) {
+  const Dynamics dyn(8);
+  for (std::uint64_t link = 0; link < 200; ++link) {
+    for (int day = 0; day < 50; ++day) {
+      EXPECT_LT(dyn.congestion(hash_mix(link, 0x22), day), 20.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace via

@@ -1,0 +1,97 @@
+#include "quality/emodel.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+namespace via {
+namespace {
+
+TEST(RToMos, Endpoints) {
+  EXPECT_DOUBLE_EQ(r_to_mos(-10.0), 1.0);
+  EXPECT_DOUBLE_EQ(r_to_mos(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r_to_mos(100.0), 4.5);
+  EXPECT_DOUBLE_EQ(r_to_mos(150.0), 4.5);
+}
+
+TEST(RToMos, KnownMidpoints) {
+  // R=50 -> 1 + 1.75 + 7e-6*50*(-10)*50 = 2.575.
+  EXPECT_NEAR(r_to_mos(50.0), 2.575, 1e-6);
+  // R=80 -> 1 + 2.8 + 7e-6*80*20*20 = 4.024.
+  EXPECT_NEAR(r_to_mos(80.0), 4.024, 1e-6);
+}
+
+TEST(RToMos, MonotoneInR) {
+  double prev = 0.0;
+  for (double r = 0.0; r <= 100.0; r += 5.0) {
+    const double mos = r_to_mos(r);
+    EXPECT_GE(mos, prev);
+    prev = mos;
+  }
+}
+
+TEST(EModel, PerfectNetworkNearCeiling) {
+  const double mos = emodel_mos({0.0, 0.0, 0.0});
+  EXPECT_GT(mos, 4.2);
+}
+
+TEST(EModel, TerribleNetworkNearFloor) {
+  const double mos = emodel_mos({1500.0, 30.0, 100.0});
+  EXPECT_LT(mos, 1.6);
+}
+
+TEST(EModel, DelayKneeAt177ms) {
+  // The Id term steepens past a one-way delay of 177.3 ms; crossing the
+  // knee must cost more R than the same step before it.
+  EModelParams params;
+  params.jitter_buffer_factor = 0.0;
+  params.codec_delay_ms = 0.0;
+  const double r1 = emodel_r_factor({200.0, 0.0, 0.0}, params);   // d = 100
+  const double r2 = emodel_r_factor({300.0, 0.0, 0.0}, params);   // d = 150
+  const double r3 = emodel_r_factor({500.0, 0.0, 0.0}, params);   // d = 250
+  const double r4 = emodel_r_factor({600.0, 0.0, 0.0}, params);   // d = 300
+  const double slope_before = (r1 - r2) / 50.0;
+  const double slope_after = (r3 - r4) / 50.0;
+  EXPECT_GT(slope_after, slope_before * 2.0);
+}
+
+// Property sweeps: MOS is monotone non-increasing in each metric.
+class EModelMonotone : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(EModelMonotone, MosDecreasesAsMetricWorsens) {
+  const Metric m = GetParam();
+  PathPerformance p{120.0, 0.5, 5.0};
+  double prev = 10.0;
+  const double hi = m == Metric::Loss ? 20.0 : (m == Metric::Rtt ? 1000.0 : 80.0);
+  for (int i = 0; i <= 20; ++i) {
+    p.set(m, hi * i / 20.0);
+    const double mos = emodel_mos(p);
+    EXPECT_LE(mos, prev + 1e-12) << metric_name(m) << "=" << p.get(m);
+    prev = mos;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, EModelMonotone,
+                         ::testing::Values(Metric::Rtt, Metric::Loss, Metric::Jitter));
+
+TEST(EModel, LossImpairmentShape) {
+  // Cole-Rosenbluth: Ie = 30 ln(1 + 15 e); at 5% loss Ie ~ 16.8.
+  const double r_clean = emodel_r_factor({0.0, 0.0, 0.0});
+  const double r_lossy = emodel_r_factor({0.0, 5.0, 0.0});
+  EXPECT_NEAR(r_clean - r_lossy, 30.0 * std::log(1.0 + 15.0 * 0.05), 1e-6);
+}
+
+TEST(EModel, JitterActsThroughBufferAndLateLoss) {
+  const double good = emodel_mos({100.0, 0.0, 1.0});
+  const double bad = emodel_mos({100.0, 0.0, 40.0});
+  EXPECT_GT(good - bad, 0.2);
+}
+
+TEST(EModel, PoorThresholdCallsScoreClearlyWorse) {
+  // A call at all three poor thresholds should rate well below a clean one.
+  const double clean = emodel_mos({80.0, 0.1, 3.0});
+  const double at_thresholds = emodel_mos({320.0, 1.2, 12.0});
+  EXPECT_GT(clean - at_thresholds, 0.3);
+}
+
+}  // namespace
+}  // namespace via

@@ -1,0 +1,222 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/policies.h"
+#include "trace/generator.h"
+
+namespace via {
+namespace {
+
+/// Records every interaction for assertions.
+class SpyPolicy final : public RoutingPolicy {
+ public:
+  [[nodiscard]] OptionId choose(const CallContext& call) override {
+    contexts.push_back(call);
+    keys.insert(call.pair_key());
+    return RelayOptionTable::direct_id();
+  }
+  void observe(const Observation& obs) override { observations.push_back(obs); }
+  void refresh(TimeSec now) override { refreshes.push_back(now); }
+  [[nodiscard]] std::string_view name() const override { return "spy"; }
+
+  std::vector<CallContext> contexts;
+  std::vector<Observation> observations;
+  std::vector<TimeSec> refreshes;
+  std::set<std::uint64_t> keys;
+};
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : world_({.num_ases = 40, .num_relays = 8, .seed = 51}), gt_(world_) {
+    TraceConfig config;
+    config.days = 5;
+    config.total_calls = 5'000;
+    config.active_pairs = 60;
+    config.seed = 9;
+    TraceGenerator gen(gt_, config);
+    arrivals_ = gen.generate_arrivals();
+  }
+
+  World world_;
+  GroundTruth gt_;
+  std::vector<CallArrival> arrivals_;
+};
+
+RunConfig no_background() {
+  RunConfig config;
+  config.background_relay_fraction = 0.0;
+  return config;
+}
+
+TEST_F(EngineTest, ProcessesEveryCall) {
+  SpyPolicy spy;
+  SimulationEngine engine(gt_, arrivals_, no_background());
+  const RunResult result = engine.run(spy);
+  EXPECT_EQ(result.calls, 5'000);
+  EXPECT_EQ(result.evaluated_calls, 5'000);
+  EXPECT_EQ(spy.contexts.size(), 5'000u);
+  EXPECT_EQ(spy.observations.size(), 5'000u);
+  EXPECT_EQ(result.pnr.total(), 5'000);
+}
+
+TEST_F(EngineTest, RefreshFiresOncePerPeriod) {
+  SpyPolicy spy;
+  RunConfig config = no_background();
+  config.refresh_period = kSecondsPerDay;
+  SimulationEngine engine(gt_, arrivals_, config);
+  (void)engine.run(spy);
+  // 5 days of trace -> refreshes at day boundaries 1..4 (calls exist on
+  // each day).
+  EXPECT_EQ(spy.refreshes.size(), 4u);
+  for (std::size_t i = 0; i < spy.refreshes.size(); ++i) {
+    EXPECT_EQ(spy.refreshes[i], static_cast<TimeSec>(i + 1) * kSecondsPerDay);
+  }
+}
+
+TEST_F(EngineTest, RefreshPeriodConfigurable) {
+  SpyPolicy spy;
+  RunConfig config = no_background();
+  config.refresh_period = 6 * 3600;
+  SimulationEngine engine(gt_, arrivals_, config);
+  (void)engine.run(spy);
+  EXPECT_GT(spy.refreshes.size(), 12u);
+}
+
+TEST_F(EngineTest, DefaultGranularityKeysAreAsIds) {
+  SpyPolicy spy;
+  SimulationEngine engine(gt_, arrivals_, no_background());
+  (void)engine.run(spy);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(spy.contexts[i].key_src, spy.contexts[i].src_as);
+    EXPECT_EQ(spy.contexts[i].key_dst, spy.contexts[i].dst_as);
+  }
+}
+
+TEST_F(EngineTest, CountryGranularityCoarsensKeys) {
+  SpyPolicy as_spy, country_spy;
+  SimulationEngine as_engine(gt_, arrivals_, no_background());
+  (void)as_engine.run(as_spy);
+  RunConfig config = no_background();
+  config.granularity = Granularity::Country;
+  SimulationEngine country_engine(gt_, arrivals_, config);
+  (void)country_engine.run(country_spy);
+  EXPECT_LT(country_spy.keys.size(), as_spy.keys.size());
+}
+
+TEST_F(EngineTest, PrefixGranularityRefinesKeys) {
+  SpyPolicy as_spy, prefix_spy;
+  SimulationEngine as_engine(gt_, arrivals_, no_background());
+  (void)as_engine.run(as_spy);
+  RunConfig config = no_background();
+  config.granularity = Granularity::Prefix;
+  SimulationEngine prefix_engine(gt_, arrivals_, config);
+  (void)prefix_engine.run(prefix_spy);
+  EXPECT_GT(prefix_spy.keys.size(), as_spy.keys.size());
+}
+
+TEST_F(EngineTest, ExcludeTransitRemovesTransitOptions) {
+  SpyPolicy spy;
+  RunConfig config = no_background();
+  config.exclude_transit = true;
+  SimulationEngine engine(gt_, arrivals_, config);
+  (void)engine.run(spy);
+  for (const auto& c : spy.contexts) {
+    for (const OptionId opt : c.options) {
+      EXPECT_NE(gt_.option_table().get(opt).kind, RelayKind::Transit);
+    }
+  }
+}
+
+TEST_F(EngineTest, EligibilityFilterShrinksEvaluation) {
+  SpyPolicy spy;
+  RunConfig config = no_background();
+  config.min_pair_calls_for_eval = 100;
+  SimulationEngine engine(gt_, arrivals_, config);
+  const RunResult r = engine.run(spy);
+  EXPECT_EQ(r.calls, 5'000);
+  EXPECT_LT(r.evaluated_calls, 5'000);
+  EXPECT_GT(r.evaluated_calls, 0);
+  EXPECT_EQ(r.pnr.total(), r.evaluated_calls);
+}
+
+TEST_F(EngineTest, ValuesCollectedPerMetric) {
+  DefaultPolicy policy;
+  SimulationEngine engine(gt_, arrivals_, no_background());
+  const RunResult r = engine.run(policy);
+  for (const Metric m : kAllMetrics) {
+    EXPECT_EQ(r.values[metric_index(m)].size(), 5'000u);
+  }
+}
+
+TEST_F(EngineTest, ValuesCollectionCanBeDisabled) {
+  DefaultPolicy policy;
+  RunConfig config = no_background();
+  config.collect_values = false;
+  SimulationEngine engine(gt_, arrivals_, config);
+  const RunResult r = engine.run(policy);
+  EXPECT_TRUE(r.values[0].empty());
+}
+
+TEST_F(EngineTest, ByCountryCollection) {
+  DefaultPolicy policy;
+  RunConfig config = no_background();
+  config.collect_by_country = true;
+  SimulationEngine engine(gt_, arrivals_, config);
+  const RunResult r = engine.run(policy);
+  EXPECT_GT(r.by_country.size(), 2u);
+  std::int64_t total = 0;
+  for (const auto& [c, acc] : r.by_country) total += acc.total();
+  // Every international call is attributed to both sides.
+  EXPECT_EQ(total, 2 * r.pnr_international.total());
+}
+
+TEST_F(EngineTest, DefaultPolicyUsesOnlyDirect) {
+  DefaultPolicy policy;
+  SimulationEngine engine(gt_, arrivals_, no_background());
+  const RunResult r = engine.run(policy);
+  EXPECT_EQ(r.used_direct, 5'000);
+  EXPECT_EQ(r.used_bounce, 0);
+  EXPECT_EQ(r.used_transit, 0);
+  EXPECT_DOUBLE_EQ(r.relayed_fraction(), 0.0);
+}
+
+TEST_F(EngineTest, InternationalDomesticSplitConsistent) {
+  DefaultPolicy policy;
+  SimulationEngine engine(gt_, arrivals_, no_background());
+  const RunResult r = engine.run(policy);
+  EXPECT_EQ(r.pnr_international.total() + r.pnr_domestic.total(), r.evaluated_calls);
+}
+
+TEST_F(EngineTest, BackgroundRelayTrafficSeedsHistoryWithoutEvaluation) {
+  SpyPolicy spy;
+  RunConfig config;
+  config.background_relay_fraction = 0.10;
+  SimulationEngine engine(gt_, arrivals_, config);
+  const RunResult r = engine.run(spy);
+  // Roughly 10% of calls bypass the policy but are still observed.
+  EXPECT_NEAR(static_cast<double>(r.calls) / 5000.0, 0.9, 0.03);
+  EXPECT_EQ(spy.observations.size(), 5'000u);
+  EXPECT_EQ(spy.contexts.size(), static_cast<std::size_t>(r.calls));
+  // Some of the forced observations are on relayed options.
+  int relayed_obs = 0;
+  for (const auto& o : spy.observations) {
+    if (o.option != RelayOptionTable::direct_id()) ++relayed_obs;
+  }
+  EXPECT_GT(relayed_obs, 200);
+}
+
+TEST_F(EngineTest, DeterministicAcrossRuns) {
+  DefaultPolicy p1, p2;
+  SimulationEngine e1(gt_, arrivals_, no_background());
+  SimulationEngine e2(gt_, arrivals_, no_background());
+  const RunResult a = e1.run(p1);
+  const RunResult b = e2.run(p2);
+  EXPECT_DOUBLE_EQ(a.pnr.pnr_any(), b.pnr.pnr_any());
+  EXPECT_DOUBLE_EQ(a.values[0][123], b.values[0][123]);
+}
+
+}  // namespace
+}  // namespace via

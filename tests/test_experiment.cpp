@@ -1,0 +1,122 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace via {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  static Experiment& exp() {
+    // Expensive to build; share one instance across tests (read-mostly:
+    // runs create fresh policies and engines each time).
+    static Experiment instance(Experiment::default_setup(Experiment::Scale::Small));
+    return instance;
+  }
+};
+
+TEST_F(ExperimentTest, SetupScalesOrdered) {
+  const auto small = Experiment::default_setup(Experiment::Scale::Small);
+  const auto medium = Experiment::default_setup(Experiment::Scale::Medium);
+  const auto large = Experiment::default_setup(Experiment::Scale::Large);
+  EXPECT_LT(small.trace.total_calls, medium.trace.total_calls);
+  EXPECT_LT(medium.trace.total_calls, large.trace.total_calls);
+  EXPECT_LT(small.world.num_ases, large.world.num_ases);
+}
+
+TEST_F(ExperimentTest, ArrivalsMatchConfig) {
+  EXPECT_EQ(exp().arrivals().size(),
+            static_cast<std::size_t>(exp().setup().trace.total_calls));
+}
+
+TEST_F(ExperimentTest, PolicyOrderingHolds) {
+  auto def = exp().make_default();
+  auto via_policy = exp().make_via(Metric::Rtt);
+  auto oracle = exp().make_oracle(Metric::Rtt);
+
+  const RunResult base = exp().run(*def);
+  const RunResult mine = exp().run(*via_policy);
+  const RunResult best = exp().run(*oracle);
+
+  // The paper's headline ordering: oracle <= via <= default on PNR.
+  EXPECT_LT(best.pnr.pnr(Metric::Rtt), mine.pnr.pnr(Metric::Rtt));
+  EXPECT_LT(mine.pnr.pnr(Metric::Rtt), base.pnr.pnr(Metric::Rtt));
+  EXPECT_LT(mine.pnr.pnr_any(), base.pnr.pnr_any());
+}
+
+TEST_F(ExperimentTest, StrawmenBeatDefaultButTrailViaOnPnr) {
+  auto def = exp().make_default();
+  auto via_policy = exp().make_via(Metric::Rtt);
+  auto strawman1 = exp().make_prediction_only(Metric::Rtt);
+
+  const RunResult base = exp().run(*def);
+  const RunResult mine = exp().run(*via_policy);
+  const RunResult pred = exp().run(*strawman1);
+
+  EXPECT_LT(pred.pnr.pnr(Metric::Rtt), base.pnr.pnr(Metric::Rtt));
+  // Via should not be (meaningfully) worse than the pure predictor.
+  EXPECT_LT(mine.pnr.pnr(Metric::Rtt), pred.pnr.pnr(Metric::Rtt) * 1.15);
+}
+
+TEST_F(ExperimentTest, ComparePnrComputesReductions) {
+  RunResult base, treated;
+  base.pnr = PnrAccumulator();
+  for (int i = 0; i < 100; ++i) base.pnr.add({i < 20 ? 400.0 : 100.0, 0.0, 0.0});
+  for (int i = 0; i < 100; ++i) treated.pnr.add({i < 10 ? 400.0 : 100.0, 0.0, 0.0});
+  const PnrComparison cmp = compare_pnr(base, treated);
+  EXPECT_NEAR(cmp.reduction_pct[metric_index(Metric::Rtt)], 50.0, 1e-9);
+}
+
+TEST_F(ExperimentTest, ComparePercentilesImprovement) {
+  RunResult base, treated;
+  for (int i = 0; i < 1000; ++i) {
+    base.values[0].push_back(200.0 + i * 0.1);
+    treated.values[0].push_back(100.0 + i * 0.1);
+  }
+  const auto cmp = compare_percentiles(base, treated, Metric::Rtt, {50.0});
+  ASSERT_EQ(cmp.improvement_pct.size(), 1u);
+  EXPECT_GT(cmp.improvement_pct[0], 20.0);
+  EXPECT_NEAR(cmp.baseline_values[0], 250.0, 1.0);
+  EXPECT_NEAR(cmp.treated_values[0], 150.0, 1.0);
+}
+
+TEST_F(ExperimentTest, BestOptionDurationsReasonable) {
+  const auto& pairs = exp().generator().traffic_matrix().pairs;
+  const auto durations = best_option_durations(
+      exp().ground_truth(), std::span(pairs.data(), std::min<std::size_t>(pairs.size(), 40)),
+      exp().setup().trace.days, Metric::Rtt);
+  ASSERT_GT(durations.size(), 10u);
+  for (const double d : durations) {
+    EXPECT_GE(d, 1.0);
+    EXPECT_LE(d, exp().setup().trace.days);
+  }
+  // Dynamics must make at least some pairs flip their best option quickly.
+  const int short_lived =
+      static_cast<int>(std::count_if(durations.begin(), durations.end(),
+                                     [](double d) { return d <= 3.0; }));
+  EXPECT_GT(short_lived, 0);
+}
+
+TEST_F(ExperimentTest, ViaRelaysMajorityOfCalls) {
+  auto via_policy = exp().make_via(Metric::Rtt);
+  const RunResult r = exp().run(*via_policy);
+  // Matches the paper's finding that most calls go to relays (~92%) —
+  // loosely: more than half.
+  EXPECT_GT(r.relayed_fraction(), 0.35);
+  EXPECT_GT(r.used_bounce, 0);
+  EXPECT_GT(r.used_transit, 0);
+}
+
+TEST_F(ExperimentTest, BudgetedViaRelaysLess) {
+  auto unbudgeted = exp().make_via(Metric::Rtt);
+  ViaConfig config;
+  config.budget = {.fraction = 0.2, .aware = true};
+  auto budgeted = exp().make_via(Metric::Rtt, config);
+  const RunResult full = exp().run(*unbudgeted);
+  const RunResult capped = exp().run(*budgeted);
+  EXPECT_LT(capped.relayed_fraction(), 0.3);
+  EXPECT_LT(capped.relayed_fraction(), full.relayed_fraction());
+}
+
+}  // namespace
+}  // namespace via

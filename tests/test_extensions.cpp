@@ -1,0 +1,213 @@
+// Tests for the §7 extensions: client-side decision caching, hybrid
+// racing, active-measurement planning, and the per-relay load cap.
+#include "core/extensions.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/experiment.h"
+
+namespace via {
+namespace {
+
+/// Minimal controller double that counts consultations.
+class CountingPolicy final : public RoutingPolicy {
+ public:
+  explicit CountingPolicy(OptionId option) : option_(option) {}
+  [[nodiscard]] OptionId choose(const CallContext&) override {
+    ++consultations;
+    return option_;
+  }
+  void observe(const Observation&) override { ++observations; }
+  void refresh(TimeSec) override { ++refreshes; }
+  [[nodiscard]] std::string_view name() const override { return "counting"; }
+
+  OptionId option_;
+  int consultations = 0;
+  int observations = 0;
+  int refreshes = 0;
+};
+
+CallContext ctx_at(TimeSec t, AsId src = 1, AsId dst = 2,
+                   std::span<const OptionId> options = {}) {
+  CallContext c;
+  c.id = t;
+  c.time = t;
+  c.src_as = src;
+  c.dst_as = dst;
+  c.key_src = src;
+  c.key_dst = dst;
+  c.options = options;
+  return c;
+}
+
+TEST(CachingClient, ServesFromCacheWithinTtl) {
+  CountingPolicy controller(7);
+  CachingClient client(controller, /*ttl=*/3600);
+  EXPECT_EQ(client.choose(ctx_at(1000)), 7);
+  EXPECT_EQ(client.choose(ctx_at(2000)), 7);
+  EXPECT_EQ(client.choose(ctx_at(3000)), 7);
+  EXPECT_EQ(controller.consultations, 1);
+  EXPECT_EQ(client.cache_hits(), 2);
+  EXPECT_EQ(client.cache_misses(), 1);
+  EXPECT_NEAR(client.hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CachingClient, RefetchesAfterTtl) {
+  CountingPolicy controller(7);
+  CachingClient client(controller, /*ttl=*/3600);
+  (void)client.choose(ctx_at(1000));
+  (void)client.choose(ctx_at(1000 + 3600));  // exactly at expiry
+  EXPECT_EQ(controller.consultations, 2);
+}
+
+TEST(CachingClient, SeparateEntriesPerPair) {
+  CountingPolicy controller(7);
+  CachingClient client(controller, /*ttl=*/3600);
+  (void)client.choose(ctx_at(1000, 1, 2));
+  (void)client.choose(ctx_at(1001, 3, 4));
+  EXPECT_EQ(controller.consultations, 2);
+  (void)client.choose(ctx_at(1002, 2, 1));  // same undirected pair as (1,2)
+  EXPECT_EQ(controller.consultations, 2);
+}
+
+TEST(CachingClient, ForwardsObserveAndRefresh) {
+  CountingPolicy controller(7);
+  CachingClient client(controller, 3600);
+  client.observe(Observation{});
+  client.refresh(kSecondsPerDay);
+  EXPECT_EQ(controller.observations, 1);
+  EXPECT_EQ(controller.refreshes, 1);
+}
+
+TEST(CachingClient, ReducesControllerLoadInSimulation) {
+  Experiment exp(Experiment::default_setup(Experiment::Scale::Small));
+  auto inner = exp.make_via(Metric::Rtt);
+  CachingClient cached(*inner, /*ttl=*/6 * 3600);
+  const RunResult r = exp.run(cached);
+  EXPECT_GT(r.calls, 0);
+  EXPECT_GT(cached.hit_rate(), 0.5);  // most calls answered from cache
+}
+
+TEST(CachingClient, StalenessCostsQualityButNotMuch) {
+  Experiment exp(Experiment::default_setup(Experiment::Scale::Small));
+  auto fresh_policy = exp.make_via(Metric::Rtt);
+  const RunResult fresh = exp.run(*fresh_policy);
+
+  auto inner = exp.make_via(Metric::Rtt);
+  CachingClient cached(*inner, /*ttl=*/6 * 3600);
+  const RunResult stale = exp.run(cached);
+
+  // Caching shouldn't catastrophically hurt PNR (same predictions, the
+  // bandit just adapts more slowly).
+  EXPECT_LT(stale.pnr.pnr(Metric::Rtt), fresh.pnr.pnr(Metric::Rtt) * 1.6 + 0.01);
+}
+
+TEST(HybridRacer, RaceSetContainsPrimaryAndIsBounded) {
+  RelayOptionTable options;
+  const OptionId b0 = options.intern_bounce(0);
+  const OptionId b1 = options.intern_bounce(1);
+  const OptionId b2 = options.intern_bounce(2);
+  ViaConfig config;
+  config.epsilon = 0.0;
+  ViaPolicy inner(options, [](RelayId, RelayId) { return PathPerformance{}; }, config);
+
+  // History making all three bounces plausible.
+  for (int i = 0; i < 8; ++i) {
+    for (const OptionId opt : {b0, b1, b2}) {
+      Observation o;
+      o.src_as = 1;
+      o.dst_as = 2;
+      o.option = opt;
+      o.perf = {100.0 + 30.0 * (i % 3), 0.5, 3.0};
+      inner.observe(o);
+    }
+  }
+  inner.refresh(kSecondsPerDay);
+
+  HybridRacer racer(inner, /*race_width=*/2);
+  const std::vector<OptionId> opts{RelayOptionTable::direct_id(), b0, b1, b2};
+  const auto race = racer.choose_candidates(ctx_at(kSecondsPerDay + 10, 1, 2, opts));
+  ASSERT_FALSE(race.empty());
+  EXPECT_LE(race.size(), 2u);
+  const std::set<OptionId> unique(race.begin(), race.end());
+  EXPECT_EQ(unique.size(), race.size());
+}
+
+TEST(HybridRacer, RacingImprovesOverSingleChoice) {
+  Experiment exp(Experiment::default_setup(Experiment::Scale::Small));
+  auto plain = exp.make_via(Metric::Rtt);
+  const RunResult single = exp.run(*plain);
+
+  auto inner = exp.make_via(Metric::Rtt);
+  HybridRacer racer(*inner, 3);
+  RunConfig config;
+  config.enable_racing = true;
+  const RunResult raced = exp.run(racer, config);
+
+  EXPECT_GT(raced.raced_extra_samples, 0);
+  // Picking the best of several raced options cannot be worse on average.
+  EXPECT_LE(raced.pnr.pnr(Metric::Rtt), single.pnr.pnr(Metric::Rtt) * 1.02);
+}
+
+TEST(ActiveProbing, ViaPolicyCollectsCoverageHoles) {
+  RelayOptionTable options;
+  const OptionId known = options.intern_bounce(0);
+  const OptionId unknown = options.intern_bounce(9);
+  ViaConfig config;
+  config.epsilon = 0.0;
+  ViaPolicy policy(options, [](RelayId, RelayId) { return PathPerformance{}; }, config);
+
+  for (int i = 0; i < 8; ++i) {
+    Observation o;
+    o.src_as = 1;
+    o.dst_as = 2;
+    o.option = known;
+    o.perf = {100.0 + i, 0.5, 3.0};
+    policy.observe(o);
+  }
+  policy.refresh(kSecondsPerDay);
+  const std::vector<OptionId> opts{RelayOptionTable::direct_id(), known, unknown};
+  (void)policy.choose(ctx_at(kSecondsPerDay + 5, 1, 2, opts));
+
+  const auto probes = policy.plan_probes(10);
+  ASSERT_FALSE(probes.empty());
+  bool found = false;
+  for (const auto& p : probes) {
+    if (p.option == unknown && p.src_as == 1 && p.dst_as == 2) found = true;
+    EXPECT_NE(p.option, known) << "covered options should not be probed";
+  }
+  EXPECT_TRUE(found);
+  // Wishlist drained.
+  EXPECT_TRUE(policy.plan_probes(10).empty());
+}
+
+TEST(ActiveProbing, EngineExecutesProbes) {
+  Experiment exp(Experiment::default_setup(Experiment::Scale::Small));
+  auto policy = exp.make_via(Metric::Rtt);
+  RunConfig config;
+  config.probes_per_refresh = 50;
+  const RunResult r = exp.run(*policy, config);
+  EXPECT_GT(r.probes_executed, 0);
+}
+
+TEST(RelayShareCap, LimitsSingleRelayLoad) {
+  Experiment exp(Experiment::default_setup(Experiment::Scale::Small));
+  ViaConfig config;
+  config.relay_share_cap = 0.25;
+  auto policy = exp.make_via(Metric::Rtt, config);
+  const RunResult r = exp.run(*policy);
+  EXPECT_GT(policy->stats().relay_cap_denied, 0);
+  EXPECT_GT(r.relayed_fraction(), 0.1);  // still relays, just spreads load
+}
+
+TEST(RelayShareCap, DisabledByDefault) {
+  Experiment exp(Experiment::default_setup(Experiment::Scale::Small));
+  auto policy = exp.make_via(Metric::Rtt);
+  (void)exp.run(*policy);
+  EXPECT_EQ(policy->stats().relay_cap_denied, 0);
+}
+
+}  // namespace
+}  // namespace via

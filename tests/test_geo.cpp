@@ -1,0 +1,72 @@
+#include "util/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace via {
+namespace {
+
+TEST(Haversine, ZeroForSamePoint) {
+  const GeoPoint p{51.5, -0.1};
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Haversine, Symmetric) {
+  const GeoPoint a{51.5, -0.1};
+  const GeoPoint b{40.7, -74.0};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Haversine, LondonToNewYork) {
+  // Great-circle distance is ~5570 km.
+  const GeoPoint london{51.5074, -0.1278};
+  const GeoPoint nyc{40.7128, -74.0060};
+  EXPECT_NEAR(haversine_km(london, nyc), 5570.0, 60.0);
+}
+
+TEST(Haversine, SingaporeToSydney) {
+  const GeoPoint sin{1.3521, 103.8198};
+  const GeoPoint syd{-33.8688, 151.2093};
+  EXPECT_NEAR(haversine_km(sin, syd), 6300.0, 100.0);
+}
+
+TEST(Haversine, Antipodal) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 180.0};
+  // Half the Earth's circumference, ~20015 km.
+  EXPECT_NEAR(haversine_km(a, b), 20015.0, 30.0);
+}
+
+TEST(Haversine, DatelineCrossing) {
+  const GeoPoint a{0.0, 179.5};
+  const GeoPoint b{0.0, -179.5};
+  EXPECT_NEAR(haversine_km(a, b), 111.0, 2.0);  // one degree at the equator
+}
+
+TEST(FiberDelay, TwoHundredKmPerMs) {
+  EXPECT_DOUBLE_EQ(fiber_delay_ms(200.0), 1.0);
+  EXPECT_DOUBLE_EQ(fiber_delay_ms(0.0), 0.0);
+  // Transatlantic one-way: ~5570 km -> ~28 ms.
+  EXPECT_NEAR(fiber_delay_ms(5570.0), 27.85, 0.1);
+}
+
+TEST(OffsetPoint, BasicShift) {
+  const GeoPoint p{10.0, 20.0};
+  const GeoPoint q = offset_point(p, 1.0, -2.0);
+  EXPECT_DOUBLE_EQ(q.lat_deg, 11.0);
+  EXPECT_DOUBLE_EQ(q.lon_deg, 18.0);
+}
+
+TEST(OffsetPoint, ClampsLatitude) {
+  const GeoPoint q = offset_point({84.0, 0.0}, 5.0, 0.0);
+  EXPECT_DOUBLE_EQ(q.lat_deg, 85.0);
+  const GeoPoint r = offset_point({-84.0, 0.0}, -5.0, 0.0);
+  EXPECT_DOUBLE_EQ(r.lat_deg, -85.0);
+}
+
+TEST(OffsetPoint, WrapsLongitude) {
+  EXPECT_DOUBLE_EQ(offset_point({0.0, 179.0}, 0.0, 2.0).lon_deg, -179.0);
+  EXPECT_DOUBLE_EQ(offset_point({0.0, -179.0}, 0.0, -2.0).lon_deg, 179.0);
+}
+
+}  // namespace
+}  // namespace via

@@ -1,0 +1,221 @@
+#include "netsim/groundtruth.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/linearize.h"
+
+namespace via {
+namespace {
+
+class GroundTruthTest : public ::testing::Test {
+ protected:
+  World world_{{.num_ases = 40, .num_relays = 10, .seed = 21}};
+  GroundTruth gt_{world_};
+};
+
+TEST_F(GroundTruthTest, DayMeanMemoized) {
+  const auto opts = gt_.candidate_options(1, 2);
+  for (const OptionId opt : opts) {
+    const PathPerformance a = gt_.day_mean(1, 2, opt, 3);
+    const PathPerformance b = gt_.day_mean(1, 2, opt, 3);
+    EXPECT_EQ(a, b);
+  }
+}
+
+GroundTruthConfig exact_composition_config() {
+  // Disable the model-violation quirk and day wobble so relay paths
+  // compose exactly from their segments.
+  GroundTruthConfig config;
+  config.quirk_cv_rtt = config.quirk_cv_loss = config.quirk_cv_jitter = 0.0;
+  config.wobble_cv_rtt = config.wobble_cv_loss = config.wobble_cv_jitter = 0.0;
+  return config;
+}
+
+TEST_F(GroundTruthTest, BounceComposesSegments) {
+  GroundTruth exact(world_, exact_composition_config());
+  const auto opts = exact.candidate_options(1, 2);
+  for (const OptionId opt : opts) {
+    const RelayOption& o = exact.option_table().get(opt);
+    if (o.kind != RelayKind::Bounce) continue;
+    const PathPerformance expected = compose_segments(exact.segment_day_mean(1, o.a, 4),
+                                                      exact.segment_day_mean(2, o.a, 4));
+    const PathPerformance actual = exact.day_mean(1, 2, opt, 4);
+    for (const Metric m : kAllMetrics) EXPECT_NEAR(actual.get(m), expected.get(m), 1e-9);
+    return;
+  }
+  FAIL() << "no bounce candidate found";
+}
+
+TEST_F(GroundTruthTest, RelayPathsDeviateFromCleanComposition) {
+  // With default config the quirk/wobble must actually perturb relayed
+  // paths relative to the exact composition (this is what caps prediction
+  // accuracy at paper-like levels).
+  const auto opts = gt_.candidate_options(1, 2);
+  int deviating = 0, relayed = 0;
+  for (const OptionId opt : opts) {
+    const RelayOption& o = gt_.option_table().get(opt);
+    if (o.kind != RelayKind::Bounce) continue;
+    ++relayed;
+    const PathPerformance expected = compose_segments(gt_.segment_day_mean(1, o.a, 4),
+                                                      gt_.segment_day_mean(2, o.a, 4));
+    const PathPerformance actual = gt_.day_mean(1, 2, opt, 4);
+    if (std::abs(actual.rtt_ms - expected.rtt_ms) > 0.01 * expected.rtt_ms) ++deviating;
+  }
+  ASSERT_GT(relayed, 0);
+  EXPECT_GT(deviating, 0);
+}
+
+TEST_F(GroundTruthTest, TransitIncludesBackbone) {
+  GroundTruth exact(world_, exact_composition_config());
+  const auto opts = exact.candidate_options(1, 2);
+  for (const OptionId opt : opts) {
+    const RelayOption& o = exact.option_table().get(opt);
+    if (o.kind != RelayKind::Transit) continue;
+    const PathPerformance p = exact.day_mean(1, 2, opt, 0);
+    // RTT must be at least the backbone propagation plus both segments'
+    // last-mile floors; a crude but effective lower bound: backbone alone.
+    EXPECT_GT(p.rtt_ms, exact.backbone(o.a, o.b).rtt_ms);
+    return;
+  }
+  FAIL() << "no transit candidate found";
+}
+
+TEST_F(GroundTruthTest, TransitIngressIsNearerRelay) {
+  const auto opts = gt_.candidate_options(1, 2);
+  for (const OptionId opt : opts) {
+    const RelayOption& o = gt_.option_table().get(opt);
+    if (o.kind != RelayKind::Transit) continue;
+    const RelayId ingress = gt_.transit_ingress(1, opt);
+    EXPECT_TRUE(ingress == o.a || ingress == o.b);
+    const double d_in = gt_.path_model().segment_base(1, ingress).rtt_ms;
+    const RelayId other = ingress == o.a ? o.b : o.a;
+    EXPECT_LE(d_in, gt_.path_model().segment_base(1, other).rtt_ms);
+    return;
+  }
+  FAIL() << "no transit candidate found";
+}
+
+TEST_F(GroundTruthTest, TransitIngressMinusOneForDirectAndBounce) {
+  EXPECT_EQ(gt_.transit_ingress(1, RelayOptionTable::direct_id()), -1);
+}
+
+TEST_F(GroundTruthTest, CandidatesStartWithDirectAndAreUnique) {
+  const auto opts = gt_.candidate_options(3, 7);
+  ASSERT_FALSE(opts.empty());
+  EXPECT_EQ(opts.front(), RelayOptionTable::direct_id());
+  const std::set<OptionId> unique(opts.begin(), opts.end());
+  EXPECT_EQ(unique.size(), opts.size());
+}
+
+TEST_F(GroundTruthTest, CandidatesContainBouncesAndTransits) {
+  const auto opts = gt_.candidate_options(3, 7);
+  int bounce = 0, transit = 0;
+  for (const OptionId opt : opts) {
+    switch (gt_.option_table().get(opt).kind) {
+      case RelayKind::Bounce:
+        ++bounce;
+        break;
+      case RelayKind::Transit:
+        ++transit;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GE(bounce, 4);
+  EXPECT_GE(transit, 4);
+}
+
+TEST_F(GroundTruthTest, CandidatesSymmetricInPairOrder) {
+  const auto ab = gt_.candidate_options(3, 7);
+  const auto ba = gt_.candidate_options(7, 3);
+  ASSERT_EQ(ab.size(), ba.size());
+  for (std::size_t i = 0; i < ab.size(); ++i) EXPECT_EQ(ab[i], ba[i]);
+}
+
+TEST_F(GroundTruthTest, PairedSamplingSameCallSameOption) {
+  const auto opts = gt_.candidate_options(1, 2);
+  for (const OptionId opt : opts) {
+    const PathPerformance a = gt_.sample_call(99, 1, 2, opt, 5000);
+    const PathPerformance b = gt_.sample_call(99, 1, 2, opt, 5000);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_F(GroundTruthTest, DifferentCallsDifferentDraws) {
+  const PathPerformance a = gt_.sample_call(1, 1, 2, 0, 5000);
+  const PathPerformance b = gt_.sample_call(2, 1, 2, 0, 5000);
+  EXPECT_NE(a.rtt_ms, b.rtt_ms);
+}
+
+TEST_F(GroundTruthTest, SampleCentersOnDayMean) {
+  const PathPerformance mean = gt_.day_mean(1, 2, 0, 0);
+  double rtt_sum = 0.0;
+  const int n = 4000;
+  for (CallId id = 0; id < n; ++id) {
+    rtt_sum += gt_.sample_call(id, 1, 2, 0, 40'000).rtt_ms;
+  }
+  // Samples include wireless extras, so the mean is slightly above.
+  EXPECT_NEAR(rtt_sum / n, mean.rtt_ms, mean.rtt_ms * 0.15 + 15.0);
+}
+
+TEST_F(GroundTruthTest, WirelessFractionMatchesConfig) {
+  int wireless = 0;
+  const int n = 20'000;
+  for (CallId id = 0; id < n; ++id) {
+    if (gt_.call_is_wireless(id)) ++wireless;
+  }
+  EXPECT_NEAR(wireless / static_cast<double>(n), gt_.config().wireless_fraction, 0.01);
+}
+
+TEST_F(GroundTruthTest, SamplesClampedToSaneRanges) {
+  for (CallId id = 0; id < 5000; ++id) {
+    const PathPerformance p = gt_.sample_call(id, 1, 2, 0, 1000);
+    EXPECT_GE(p.rtt_ms, 0.0);
+    EXPECT_LE(p.rtt_ms, 2000.0);
+    EXPECT_GE(p.loss_pct, 0.0);
+    EXPECT_LE(p.loss_pct, 50.0);
+    EXPECT_GE(p.jitter_ms, 0.0);
+    EXPECT_LE(p.jitter_ms, 300.0);
+  }
+}
+
+TEST_F(GroundTruthTest, SetAllowedRelaysFiltersCandidates) {
+  std::vector<bool> allowed(static_cast<std::size_t>(world_.num_relays()), false);
+  allowed[0] = true;
+  allowed[1] = true;
+  gt_.set_allowed_relays(allowed);
+  const auto opts = gt_.candidate_options(5, 9);
+  for (const OptionId opt : opts) {
+    const RelayOption& o = gt_.option_table().get(opt);
+    if (o.kind == RelayKind::Direct) continue;
+    EXPECT_TRUE(o.a == 0 || o.a == 1);
+    if (o.kind == RelayKind::Transit) {
+      EXPECT_TRUE(o.b == 0 || o.b == 1);
+    }
+  }
+}
+
+TEST_F(GroundTruthTest, NearestRelaysSortedByProximity) {
+  const auto near = gt_.nearest_relays(4);
+  ASSERT_EQ(static_cast<int>(near.size()), world_.num_relays());
+  for (std::size_t i = 1; i < near.size(); ++i) {
+    EXPECT_LE(gt_.path_model().segment_base(4, near[i - 1]).rtt_ms,
+              gt_.path_model().segment_base(4, near[i]).rtt_ms);
+  }
+}
+
+TEST_F(GroundTruthTest, DayMeansVaryAcrossDays) {
+  // Congestion dynamics must actually move the daily averages.
+  int changed = 0;
+  for (int day = 1; day < 20; ++day) {
+    if (gt_.day_mean(1, 2, 0, day).rtt_ms != gt_.day_mean(1, 2, 0, day - 1).rtt_ms) ++changed;
+  }
+  EXPECT_GT(changed, 10);
+}
+
+}  // namespace
+}  // namespace via

@@ -1,0 +1,83 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace via {
+namespace {
+
+TEST(BinnedRate, BinGeometry) {
+  BinnedRate r(0.0, 10.0, 5);
+  EXPECT_EQ(r.bins(), 5u);
+  EXPECT_DOUBLE_EQ(r.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.bin_center(4), 9.0);
+}
+
+TEST(BinnedRate, AccumulatesPerBin) {
+  BinnedRate r(0.0, 10.0, 5);
+  r.add(1.0, true);
+  r.add(1.5, false);
+  r.add(9.0, true);
+  EXPECT_EQ(r.bin_count(0), 2);
+  EXPECT_DOUBLE_EQ(r.bin_rate(0), 0.5);
+  EXPECT_EQ(r.bin_count(4), 1);
+  EXPECT_DOUBLE_EQ(r.bin_rate(4), 1.0);
+  EXPECT_EQ(r.bin_count(2), 0);
+}
+
+TEST(BinnedRate, ClampsOutOfRange) {
+  BinnedRate r(0.0, 10.0, 5);
+  r.add(-5.0, true);
+  r.add(100.0, true);
+  EXPECT_EQ(r.bin_count(0), 1);
+  EXPECT_EQ(r.bin_count(4), 1);
+}
+
+TEST(BinnedRate, BoundaryFallsInUpperBin) {
+  BinnedRate r(0.0, 10.0, 5);
+  r.add(2.0, true);  // exactly at the edge between bin 0 and 1
+  EXPECT_EQ(r.bin_count(1), 1);
+  EXPECT_EQ(r.bin_count(0), 0);
+}
+
+TEST(BinnedRate, MaxRateRespectsMinSamples) {
+  BinnedRate r(0.0, 10.0, 5);
+  r.add(1.0, true);  // bin 0: rate 1.0 but only 1 sample
+  for (int i = 0; i < 10; ++i) r.add(5.0, i < 5);
+  EXPECT_DOUBLE_EQ(r.max_rate(1), 1.0);
+  EXPECT_DOUBLE_EQ(r.max_rate(5), 0.5);
+  EXPECT_DOUBLE_EQ(r.max_rate(100), 0.0);
+}
+
+TEST(Histogram, CountsAndTotal) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.total(), 100);
+  for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(h.bin_count(b), 10);
+}
+
+TEST(Histogram, CumulativeFraction) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 0.1);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(4), 0.5);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(9), 1.0);
+}
+
+TEST(Histogram, ClampsEdges) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-1.0);
+  h.add(10.0);
+  h.add(11.0);
+  EXPECT_EQ(h.bin_count(0), 1);
+  EXPECT_EQ(h.bin_count(1), 2);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 2);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), 7.5);
+}
+
+}  // namespace
+}  // namespace via

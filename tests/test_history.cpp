@@ -1,0 +1,123 @@
+#include "core/history.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace via {
+namespace {
+
+Observation make_obs(AsId src, AsId dst, OptionId opt, double rtt, double loss = 0.5,
+                     double jitter = 3.0, RelayId ingress = -1, TimeSec t = 0) {
+  Observation o;
+  o.id = 1;
+  o.time = t;
+  o.src_as = src;
+  o.dst_as = dst;
+  o.option = opt;
+  o.ingress = ingress;
+  o.perf = {rtt, loss, jitter};
+  return o;
+}
+
+TEST(HistoryWindow, FindAfterAdd) {
+  HistoryWindow w;
+  w.add(make_obs(1, 2, 0, 100.0));
+  const PathAggregate* agg = w.find(as_pair_key(1, 2), 0);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->count(), 1);
+  EXPECT_DOUBLE_EQ(agg->raw[metric_index(Metric::Rtt)].mean(), 100.0);
+}
+
+TEST(HistoryWindow, MissingPathIsNull) {
+  HistoryWindow w;
+  w.add(make_obs(1, 2, 0, 100.0));
+  EXPECT_EQ(w.find(as_pair_key(1, 3), 0), nullptr);
+  EXPECT_EQ(w.find(as_pair_key(1, 2), 5), nullptr);
+}
+
+TEST(HistoryWindow, UndirectedAggregation) {
+  HistoryWindow w;
+  w.add(make_obs(1, 2, 0, 100.0));
+  w.add(make_obs(2, 1, 0, 200.0));
+  const PathAggregate* agg = w.find(as_pair_key(1, 2), 0);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->count(), 2);
+  EXPECT_DOUBLE_EQ(agg->raw[0].mean(), 150.0);
+}
+
+TEST(HistoryWindow, SeparatesOptions) {
+  HistoryWindow w;
+  w.add(make_obs(1, 2, 0, 100.0));
+  w.add(make_obs(1, 2, 3, 50.0));
+  EXPECT_DOUBLE_EQ(w.find(as_pair_key(1, 2), 0)->raw[0].mean(), 100.0);
+  EXPECT_DOUBLE_EQ(w.find(as_pair_key(1, 2), 3)->raw[0].mean(), 50.0);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(HistoryWindow, LinearizedStatsTracked) {
+  HistoryWindow w;
+  w.add(make_obs(1, 2, 0, 100.0, 10.0, 4.0));
+  const PathAggregate* agg = w.find(as_pair_key(1, 2), 0);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_NEAR(agg->lin[metric_index(Metric::Loss)].mean(), linearize(Metric::Loss, 10.0),
+              1e-12);
+  EXPECT_NEAR(agg->lin[metric_index(Metric::Jitter)].mean(), 16.0, 1e-12);
+}
+
+TEST(HistoryWindow, IngressNormalizedToLowerEndpoint) {
+  RelayOptionTable options;
+  const OptionId transit = options.intern_transit(4, 9);
+  HistoryWindow w(&options);
+
+  // Source is the lower endpoint: ingress stored as-is.
+  w.add(make_obs(1, 2, transit, 100.0, 0.5, 3.0, /*ingress=*/4));
+  EXPECT_EQ(w.find(as_pair_key(1, 2), transit)->ingress_lo, 4);
+
+  // Source is the higher endpoint: the lo side talks to the *other* relay.
+  HistoryWindow w2(&options);
+  w2.add(make_obs(2, 1, transit, 100.0, 0.5, 3.0, /*ingress=*/4));
+  EXPECT_EQ(w2.find(as_pair_key(1, 2), transit)->ingress_lo, 9);
+}
+
+TEST(HistoryWindow, ClearEmpties) {
+  HistoryWindow w;
+  w.add(make_obs(1, 2, 0, 100.0));
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_EQ(w.observations(), 0);
+  EXPECT_EQ(w.find(as_pair_key(1, 2), 0), nullptr);
+}
+
+TEST(HistoryWindow, ForEachVisitsAll) {
+  HistoryWindow w;
+  w.add(make_obs(1, 2, 0, 100.0));
+  w.add(make_obs(1, 3, 1, 100.0));
+  w.add(make_obs(4, 5, 2, 100.0));
+  int visited = 0;
+  w.for_each([&](std::uint64_t, OptionId, const PathAggregate&) { ++visited; });
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(HistoryWindow, PathKeyCollisionFree) {
+  // Exhaustive-ish check over a realistic id range.
+  std::unordered_set<std::uint64_t> keys;
+  for (AsId a = 0; a < 40; ++a) {
+    for (AsId b = a; b < 40; ++b) {
+      for (OptionId o = 0; o < 30; ++o) {
+        keys.insert(HistoryWindow::path_key(as_pair_key(a, b), o));
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), static_cast<std::size_t>(40 * 41 / 2 * 30));
+}
+
+TEST(HistoryWindow, ObservationCountAccumulates) {
+  HistoryWindow w;
+  for (int i = 0; i < 7; ++i) w.add(make_obs(1, 2, 0, 100.0));
+  EXPECT_EQ(w.observations(), 7);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+}  // namespace
+}  // namespace via

@@ -1,0 +1,109 @@
+#include "common/linearize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace via {
+namespace {
+
+TEST(Linearize, RttIsIdentity) {
+  EXPECT_DOUBLE_EQ(linearize(Metric::Rtt, 123.0), 123.0);
+  EXPECT_DOUBLE_EQ(delinearize(Metric::Rtt, 123.0), 123.0);
+}
+
+TEST(Linearize, LossRoundTrip) {
+  for (const double pct : {0.0, 0.1, 1.0, 5.0, 20.0, 80.0}) {
+    EXPECT_NEAR(delinearize(Metric::Loss, linearize(Metric::Loss, pct)), pct, 1e-9)
+        << "loss " << pct;
+  }
+}
+
+TEST(Linearize, JitterRoundTrip) {
+  for (const double j : {0.0, 0.5, 3.0, 12.0, 100.0}) {
+    EXPECT_NEAR(delinearize(Metric::Jitter, linearize(Metric::Jitter, j)), j, 1e-9);
+  }
+}
+
+TEST(Linearize, MonotoneIncreasing) {
+  for (const Metric m : kAllMetrics) {
+    double prev = -1.0;
+    for (const double v : {0.0, 0.5, 1.0, 5.0, 20.0}) {
+      const double lin = linearize(m, v);
+      EXPECT_GT(lin, prev) << metric_name(m) << " at " << v;
+      prev = lin;
+    }
+  }
+}
+
+TEST(Linearize, LossClampsExtremes) {
+  // Values beyond the representable range must not produce inf/NaN.
+  EXPECT_TRUE(std::isfinite(linearize(Metric::Loss, 100.0)));
+  EXPECT_TRUE(std::isfinite(linearize(Metric::Loss, 150.0)));
+  EXPECT_LE(delinearize(Metric::Loss, 1e9), kMaxLossPct);
+}
+
+TEST(Linearize, DelinearizeNegativeClamps) {
+  EXPECT_DOUBLE_EQ(delinearize(Metric::Rtt, -5.0), 0.0);
+  EXPECT_DOUBLE_EQ(delinearize(Metric::Loss, -5.0), 0.0);
+  EXPECT_DOUBLE_EQ(delinearize(Metric::Jitter, -5.0), 0.0);
+}
+
+TEST(Compose, RttAdds) {
+  const PathPerformance a{100.0, 0.0, 0.0};
+  const PathPerformance b{50.0, 0.0, 0.0};
+  EXPECT_NEAR(compose_segments(a, b).rtt_ms, 150.0, 1e-9);
+}
+
+TEST(Compose, LossCombinesIndependently) {
+  // 1 - (1-0.10)(1-0.20) = 0.28.
+  const PathPerformance a{0.0, 10.0, 0.0};
+  const PathPerformance b{0.0, 20.0, 0.0};
+  EXPECT_NEAR(compose_segments(a, b).loss_pct, 28.0, 1e-6);
+}
+
+TEST(Compose, JitterAddsInVariance) {
+  const PathPerformance a{0.0, 0.0, 3.0};
+  const PathPerformance b{0.0, 0.0, 4.0};
+  EXPECT_NEAR(compose_segments(a, b).jitter_ms, 5.0, 1e-9);
+}
+
+TEST(Compose, Commutative) {
+  const PathPerformance a{80.0, 1.0, 2.0};
+  const PathPerformance b{20.0, 3.0, 7.0};
+  const PathPerformance ab = compose_segments(a, b);
+  const PathPerformance ba = compose_segments(b, a);
+  for (const Metric m : kAllMetrics) {
+    EXPECT_NEAR(ab.get(m), ba.get(m), 1e-9);
+  }
+}
+
+TEST(Compose, IdentityWithZero) {
+  const PathPerformance a{80.0, 1.0, 2.0};
+  const PathPerformance zero{};
+  const PathPerformance out = compose_segments(a, zero);
+  for (const Metric m : kAllMetrics) EXPECT_NEAR(out.get(m), a.get(m), 1e-9);
+}
+
+TEST(Compose, ThreeSegmentsAssociative) {
+  const PathPerformance a{10.0, 0.5, 1.0};
+  const PathPerformance b{20.0, 1.0, 2.0};
+  const PathPerformance c{30.0, 2.0, 3.0};
+  const PathPerformance abc = compose_segments(a, b, c);
+  const PathPerformance alt = compose_segments(a, compose_segments(b, c));
+  for (const Metric m : kAllMetrics) EXPECT_NEAR(abc.get(m), alt.get(m), 1e-9);
+}
+
+TEST(Compose, MonotoneInEachSegment) {
+  const PathPerformance base{50.0, 1.0, 3.0};
+  const PathPerformance small{10.0, 0.2, 1.0};
+  const PathPerformance large{40.0, 1.5, 4.0};
+  const PathPerformance with_small = compose_segments(base, small);
+  const PathPerformance with_large = compose_segments(base, large);
+  for (const Metric m : kAllMetrics) {
+    EXPECT_LT(with_small.get(m), with_large.get(m)) << metric_name(m);
+  }
+}
+
+}  // namespace
+}  // namespace via

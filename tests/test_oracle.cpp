@@ -1,0 +1,106 @@
+#include "sim/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace via {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest() : world_({.num_ases = 30, .num_relays = 8, .seed = 41}), gt_(world_) {}
+
+  CallContext ctx(AsId src, AsId dst, TimeSec t, CallId id = 1) {
+    CallContext c;
+    c.id = id;
+    c.time = t;
+    c.src_as = src;
+    c.dst_as = dst;
+    c.key_src = src;
+    c.key_dst = dst;
+    c.options = gt_.candidate_options(src, dst);
+    return c;
+  }
+
+  World world_;
+  GroundTruth gt_;
+};
+
+TEST_F(OracleTest, PicksGroundTruthBest) {
+  OraclePolicy oracle(gt_, Metric::Rtt);
+  for (AsId src = 0; src < 6; ++src) {
+    const AsId dst = src + 6;
+    const CallContext c = ctx(src, dst, 5 * kSecondsPerDay);
+    const OptionId pick = oracle.choose(c);
+    double best = std::numeric_limits<double>::infinity();
+    for (const OptionId opt : c.options) {
+      best = std::min(best, gt_.day_mean(src, dst, opt, 5).rtt_ms);
+    }
+    EXPECT_DOUBLE_EQ(gt_.day_mean(src, dst, pick, 5).rtt_ms, best);
+  }
+}
+
+TEST_F(OracleTest, OptimizesConfiguredMetric) {
+  OraclePolicy rtt_oracle(gt_, Metric::Rtt);
+  OraclePolicy loss_oracle(gt_, Metric::Loss);
+  int diff = 0;
+  for (AsId src = 0; src < 10; ++src) {
+    const AsId dst = src + 10;
+    const CallContext c = ctx(src, dst, 0);
+    if (rtt_oracle.choose(c) != loss_oracle.choose(c)) ++diff;
+  }
+  // Different metrics should disagree at least sometimes.
+  EXPECT_GT(diff, 0);
+}
+
+TEST_F(OracleTest, TracksDayChanges) {
+  OraclePolicy oracle(gt_, Metric::Rtt);
+  int changes = 0;
+  for (int day = 0; day < 25; ++day) {
+    const OptionId pick = oracle.choose(ctx(1, 2, day * kSecondsPerDay));
+    static OptionId prev = kInvalidOption;
+    if (prev != kInvalidOption && pick != prev) ++changes;
+    prev = pick;
+  }
+  // Temporal dynamics should flip the best option at least once.
+  EXPECT_GT(changes, 0);
+}
+
+TEST_F(OracleTest, BudgetLimitsRelayedFraction) {
+  OraclePolicy oracle(gt_, Metric::Rtt, {.fraction = 0.2, .aware = true});
+  int relayed = 0;
+  const int calls = 4000;
+  for (int i = 0; i < calls; ++i) {
+    const AsId src = static_cast<AsId>(i % 15);
+    const AsId dst = static_cast<AsId>(15 + (i % 15));
+    const OptionId pick =
+        oracle.choose(ctx(src, dst, (i % 10) * kSecondsPerDay, static_cast<CallId>(i)));
+    if (pick != RelayOptionTable::direct_id()) ++relayed;
+  }
+  EXPECT_LE(relayed / static_cast<double>(calls), 0.22);
+}
+
+TEST_F(OracleTest, UnlimitedBudgetRelaysMost) {
+  OraclePolicy oracle(gt_, Metric::Rtt);
+  int relayed = 0;
+  const int calls = 500;
+  for (int i = 0; i < calls; ++i) {
+    const AsId src = static_cast<AsId>(i % 15);
+    const AsId dst = static_cast<AsId>(15 + (i % 15));
+    if (oracle.choose(ctx(src, dst, 0, static_cast<CallId>(i))) !=
+        RelayOptionTable::direct_id()) {
+      ++relayed;
+    }
+  }
+  // Relay paths usually beat the public direct path in this world.
+  EXPECT_GT(relayed, calls / 2);
+}
+
+TEST_F(OracleTest, Name) {
+  OraclePolicy oracle(gt_, Metric::Rtt);
+  EXPECT_EQ(oracle.name(), "oracle");
+}
+
+}  // namespace
+}  // namespace via

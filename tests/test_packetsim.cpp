@@ -1,0 +1,116 @@
+#include "quality/packetsim.h"
+
+#include <gtest/gtest.h>
+
+namespace via {
+namespace {
+
+TEST(PacketSim, PacketCountMatchesDuration) {
+  Rng rng(1);
+  PacketSimParams params;
+  params.duration_s = 10.0;
+  params.packet_interval_ms = 20.0;
+  const auto r = simulate_call_packets({100.0, 0.0, 2.0}, rng, params);
+  EXPECT_EQ(r.packets_sent, 500);
+}
+
+TEST(PacketSim, ZeroLossChannelDropsNothing) {
+  Rng rng(2);
+  const auto r = simulate_call_packets({100.0, 0.0, 1.0}, rng);
+  EXPECT_EQ(r.packets_lost, 0);
+}
+
+TEST(PacketSim, LossCalibratedToAverage) {
+  Rng rng(3);
+  PacketSimParams params;
+  params.duration_s = 600.0;  // long call for tight statistics
+  const auto r = simulate_call_packets({100.0, 5.0, 2.0}, rng, params);
+  const double network_loss =
+      100.0 * static_cast<double>(r.packets_lost) / static_cast<double>(r.packets_sent);
+  EXPECT_NEAR(network_loss, 5.0, 1.0);
+}
+
+TEST(PacketSim, LossIsBursty) {
+  // With mean burst length 3, consecutive losses should be common: the
+  // number of distinct loss events should be well below the loss count.
+  Rng rng(4);
+  PacketSimParams params;
+  params.duration_s = 600.0;
+  params.mean_loss_burst = 5.0;
+  const auto r = simulate_call_packets({100.0, 10.0, 2.0}, rng, params);
+  EXPECT_GT(r.packets_lost, 1000);
+}
+
+TEST(PacketSim, HighJitterCausesLatePackets) {
+  Rng rng(5);
+  PacketSimParams params;
+  params.duration_s = 120.0;
+  const auto calm = simulate_call_packets({100.0, 0.0, 1.0}, rng, params);
+  Rng rng2(5);
+  const auto jittery = simulate_call_packets({100.0, 0.0, 30.0}, rng2, params);
+  EXPECT_GE(jittery.packets_late, calm.packets_late);
+  EXPECT_GT(jittery.playout_delay_ms, calm.playout_delay_ms);
+}
+
+TEST(PacketSim, MosDecreasesWithLoss) {
+  PacketSimParams params;
+  params.duration_s = 120.0;
+  Rng r1(6), r2(6);
+  const auto clean = simulate_call_packets({100.0, 0.0, 2.0}, r1, params);
+  const auto lossy = simulate_call_packets({100.0, 8.0, 2.0}, r2, params);
+  EXPECT_GT(clean.mos, lossy.mos + 0.5);
+}
+
+TEST(PacketSim, MosDecreasesWithRtt) {
+  PacketSimParams params;
+  params.duration_s = 120.0;
+  Rng r1(7), r2(7);
+  const auto fast = simulate_call_packets({60.0, 0.5, 2.0}, r1, params);
+  const auto slow = simulate_call_packets({900.0, 0.5, 2.0}, r2, params);
+  EXPECT_GT(fast.mos, slow.mos + 0.5);
+}
+
+TEST(PacketSim, EffectiveLossIncludesLatePackets) {
+  Rng rng(8);
+  PacketSimParams params;
+  params.duration_s = 120.0;
+  const auto r = simulate_call_packets({100.0, 2.0, 25.0}, rng, params);
+  const double counted = 100.0 *
+                         static_cast<double>(r.packets_lost + r.packets_late) /
+                         static_cast<double>(r.packets_sent);
+  EXPECT_NEAR(r.effective_loss_pct, counted, 1e-9);
+}
+
+TEST(PacketSim, DeterministicGivenSeed) {
+  Rng r1(9), r2(9);
+  const auto a = simulate_call_packets({150.0, 3.0, 8.0}, r1);
+  const auto b = simulate_call_packets({150.0, 3.0, 8.0}, r2);
+  EXPECT_EQ(a.packets_lost, b.packets_lost);
+  EXPECT_EQ(a.packets_late, b.packets_late);
+  EXPECT_DOUBLE_EQ(a.mos, b.mos);
+}
+
+// Validation property (paper Section 2.2): calls rated non-poor by the
+// thresholds-on-averages should mostly have higher packet-trace MOS than
+// calls rated poor.
+TEST(PacketSim, AverageThresholdsSeparatePacketMos) {
+  const PoorThresholds thresholds;
+  PacketSimParams params;
+  params.duration_s = 60.0;
+  Rng rng(10);
+  std::vector<double> poor_mos, good_mos;
+  for (int i = 0; i < 800; ++i) {
+    const PathPerformance avg{rng.uniform(40, 600), rng.uniform(0, 4), rng.uniform(1, 25)};
+    const auto r = simulate_call_packets(avg, rng, params);
+    (thresholds.any_poor(avg) ? poor_mos : good_mos).push_back(r.mos);
+  }
+  ASSERT_GT(poor_mos.size(), 20u);
+  ASSERT_GT(good_mos.size(), 20u);
+  double poor_sum = 0, good_sum = 0;
+  for (const double m : poor_mos) poor_sum += m;
+  for (const double m : good_mos) good_sum += m;
+  EXPECT_GT(good_sum / good_mos.size(), poor_sum / poor_mos.size() + 0.3);
+}
+
+}  // namespace
+}  // namespace via

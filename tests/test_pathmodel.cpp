@@ -1,0 +1,144 @@
+#include "netsim/pathmodel.h"
+
+#include <gtest/gtest.h>
+
+#include "util/geo.h"
+
+namespace via {
+namespace {
+
+class PathModelTest : public ::testing::Test {
+ protected:
+  World world_{{.num_ases = 60, .num_relays = 12, .seed = 11}};
+  PathModel model_{world_};
+};
+
+TEST_F(PathModelTest, DirectSymmetric) {
+  const PathPerformance ab = model_.direct_base(3, 9);
+  const PathPerformance ba = model_.direct_base(9, 3);
+  for (const Metric m : kAllMetrics) EXPECT_DOUBLE_EQ(ab.get(m), ba.get(m));
+}
+
+TEST_F(PathModelTest, DirectIncludesBothLastMiles) {
+  const PathPerformance p = model_.direct_base(0, 1);
+  EXPECT_GE(p.rtt_ms, world_.as_node(0).lastmile_rtt_ms + world_.as_node(1).lastmile_rtt_ms);
+  EXPECT_GE(p.loss_pct,
+            world_.as_node(0).lastmile_loss_pct + world_.as_node(1).lastmile_loss_pct);
+}
+
+TEST_F(PathModelTest, SegmentIncludesOnlyClientLastMile) {
+  const PathPerformance p = model_.segment_base(0, 0);
+  EXPECT_GE(p.rtt_ms, world_.as_node(0).lastmile_rtt_ms);
+  const double km = haversine_km(world_.as_node(0).pos, world_.relay(0).pos);
+  // RTT is bounded below by pure propagation at minimum circuitousness.
+  EXPECT_GE(p.rtt_ms, 2.0 * fiber_delay_ms(km) * 1.0);
+}
+
+TEST_F(PathModelTest, DeterministicDraws) {
+  const PathPerformance a = model_.direct_base(5, 17);
+  const PathPerformance b = model_.direct_base(5, 17);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(PathModelTest, BackboneFasterThanPublicSegments) {
+  // Backbone circuitousness (1.05) is below the public minimum (1.1), and
+  // it carries no last-mile cost: for the same relay pair distance the
+  // backbone must be faster than any public path of that length.
+  const PathPerformance bb = model_.backbone(0, 5);
+  const double km = haversine_km(world_.relay(0).pos, world_.relay(5).pos);
+  EXPECT_LT(bb.rtt_ms, 2.0 * fiber_delay_ms(km) * 1.1 + 4.0 + 1.0);
+  EXPECT_LT(bb.loss_pct, 0.05);
+  EXPECT_LT(bb.jitter_ms, 1.0);
+}
+
+TEST_F(PathModelTest, BackboneSameRelayIsFree) {
+  const PathPerformance bb = model_.backbone(3, 3);
+  EXPECT_EQ(bb.rtt_ms, 0.0);
+  EXPECT_EQ(bb.loss_pct, 0.0);
+}
+
+TEST_F(PathModelTest, BackboneSymmetric) {
+  const PathPerformance ab = model_.backbone(2, 7);
+  const PathPerformance ba = model_.backbone(7, 2);
+  EXPECT_DOUBLE_EQ(ab.rtt_ms, ba.rtt_ms);
+}
+
+TEST_F(PathModelTest, RttGrowsWithDistance) {
+  // Find a nearby pair and a far pair relative to AS 0, same quality aside.
+  double near_km = 1e18, far_km = 0;
+  AsId near_as = 1, far_as = 1;
+  for (AsId a = 1; a < world_.num_ases(); ++a) {
+    const double km = haversine_km(world_.as_node(0).pos, world_.as_node(a).pos);
+    if (km < near_km) {
+      near_km = km;
+      near_as = a;
+    }
+    if (km > far_km) {
+      far_km = km;
+      far_as = a;
+    }
+  }
+  ASSERT_GT(far_km, near_km + 2000.0);
+  EXPECT_GT(model_.direct_base(0, far_as).rtt_ms, model_.direct_base(0, near_as).rtt_ms);
+}
+
+TEST_F(PathModelTest, CongestionExposureInRange) {
+  for (AsId a = 0; a < 10; ++a) {
+    for (AsId b = 0; b < 10; ++b) {
+      if (a == b) continue;
+      const double e = model_.direct_congestion_exposure(a, b);
+      EXPECT_GE(e, 0.25);
+      EXPECT_LE(e, 1.0);
+    }
+    const double e = model_.segment_congestion_exposure(a, 0);
+    EXPECT_GE(e, 0.25);
+    EXPECT_LE(e, 1.0);
+  }
+}
+
+TEST_F(PathModelTest, LinkKeysStableAndSymmetric) {
+  EXPECT_EQ(model_.direct_link_key(3, 9), model_.direct_link_key(9, 3));
+  EXPECT_NE(model_.direct_link_key(3, 9), model_.direct_link_key(3, 10));
+  EXPECT_NE(model_.segment_link_key(3, 1), model_.segment_link_key(3, 2));
+  EXPECT_NE(model_.segment_link_key(3, 1), model_.direct_link_key(3, 1));
+}
+
+TEST_F(PathModelTest, SeedChangesPaths) {
+  const World other({.num_ases = 60, .num_relays = 12, .seed = 12});
+  const PathModel other_model(other);
+  int diff = 0;
+  for (AsId a = 0; a < 20; ++a) {
+    if (model_.direct_base(a, (a + 1) % 60).rtt_ms !=
+        other_model.direct_base(a, (a + 1) % 60).rtt_ms) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 15);
+}
+
+// Property: all base performances are positive and finite everywhere.
+class PathModelSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathModelSweep, AllPathsFiniteAndPositive) {
+  const World world({.num_ases = 30, .num_relays = 8, .seed = GetParam()});
+  const PathModel model(world);
+  for (AsId a = 0; a < world.num_ases(); a += 3) {
+    for (AsId b = a + 1; b < world.num_ases(); b += 5) {
+      const PathPerformance p = model.direct_base(a, b);
+      EXPECT_GT(p.rtt_ms, 0.0);
+      EXPECT_GE(p.loss_pct, 0.0);
+      EXPECT_GT(p.jitter_ms, 0.0);
+      EXPECT_LT(p.rtt_ms, 2000.0);
+    }
+    for (RelayId r = 0; r < world.num_relays(); ++r) {
+      const PathPerformance p = model.segment_base(a, r);
+      EXPECT_GT(p.rtt_ms, 0.0);
+      EXPECT_LT(p.rtt_ms, 1500.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathModelSweep, ::testing::Values(1, 2, 3, 42, 99));
+
+}  // namespace
+}  // namespace via

@@ -1,0 +1,64 @@
+#include "quality/pnr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace via {
+namespace {
+
+TEST(PnrAccumulator, EmptyIsZero) {
+  PnrAccumulator acc;
+  EXPECT_EQ(acc.total(), 0);
+  EXPECT_EQ(acc.pnr(Metric::Rtt), 0.0);
+  EXPECT_EQ(acc.pnr_any(), 0.0);
+}
+
+TEST(PnrAccumulator, CountsPerMetric) {
+  PnrAccumulator acc;
+  acc.add({400.0, 0.5, 5.0});   // poor RTT only
+  acc.add({100.0, 2.0, 5.0});   // poor loss only
+  acc.add({100.0, 0.5, 5.0});   // clean
+  acc.add({100.0, 0.5, 20.0});  // poor jitter only
+  EXPECT_EQ(acc.total(), 4);
+  EXPECT_DOUBLE_EQ(acc.pnr(Metric::Rtt), 0.25);
+  EXPECT_DOUBLE_EQ(acc.pnr(Metric::Loss), 0.25);
+  EXPECT_DOUBLE_EQ(acc.pnr(Metric::Jitter), 0.25);
+  EXPECT_DOUBLE_EQ(acc.pnr_any(), 0.75);
+}
+
+TEST(PnrAccumulator, AnyIsNotSumOfIndividuals) {
+  PnrAccumulator acc;
+  acc.add({400.0, 2.0, 20.0});  // poor on all three at once
+  acc.add({100.0, 0.5, 5.0});
+  EXPECT_DOUBLE_EQ(acc.pnr(Metric::Rtt), 0.5);
+  EXPECT_DOUBLE_EQ(acc.pnr_any(), 0.5);  // one bad call, not three
+}
+
+TEST(PnrAccumulator, Merge) {
+  PnrAccumulator a, b;
+  a.add({400.0, 0.5, 5.0});
+  b.add({100.0, 0.5, 5.0});
+  b.add({100.0, 0.5, 5.0});
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3);
+  EXPECT_NEAR(a.pnr(Metric::Rtt), 1.0 / 3.0, 1e-12);
+}
+
+TEST(PnrAccumulator, CustomThresholds) {
+  PoorThresholds strict{100.0, 0.5, 5.0};
+  PnrAccumulator acc(strict);
+  acc.add({150.0, 0.1, 1.0});
+  EXPECT_DOUBLE_EQ(acc.pnr(Metric::Rtt), 1.0);
+  EXPECT_DOUBLE_EQ(acc.pnr(Metric::Loss), 0.0);
+}
+
+TEST(PnrAccumulator, SemMatchesBinomial) {
+  PnrAccumulator acc;
+  for (int i = 0; i < 100; ++i) acc.add({i < 20 ? 400.0 : 100.0, 0.0, 0.0});
+  EXPECT_NEAR(acc.pnr_sem(Metric::Rtt), std::sqrt(0.2 * 0.8 / 100.0), 1e-12);
+  EXPECT_GT(acc.pnr_any_sem(), 0.0);
+}
+
+}  // namespace
+}  // namespace via

@@ -1,0 +1,154 @@
+#include "core/policies.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace via {
+namespace {
+
+CallContext make_ctx(std::span<const OptionId> options, AsId src = 1, AsId dst = 2,
+                     TimeSec t = 0) {
+  CallContext c;
+  c.id = 1;
+  c.time = t;
+  c.src_as = src;
+  c.dst_as = dst;
+  c.key_src = src;
+  c.key_dst = dst;
+  c.options = options;
+  return c;
+}
+
+Observation make_obs(AsId src, AsId dst, OptionId opt, double rtt) {
+  Observation o;
+  o.src_as = src;
+  o.dst_as = dst;
+  o.option = opt;
+  o.perf = {rtt, 0.5, 3.0};
+  return o;
+}
+
+TEST(DefaultPolicy, AlwaysDirect) {
+  DefaultPolicy p;
+  RelayOptionTable options;
+  const OptionId bounce = options.intern_bounce(0);
+  const std::vector<OptionId> candidates{RelayOptionTable::direct_id(), bounce};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(p.choose(make_ctx(candidates)), RelayOptionTable::direct_id());
+  }
+  EXPECT_EQ(p.name(), "default");
+}
+
+class PredictionOnlyTest : public ::testing::Test {
+ protected:
+  PredictionOnlyTest()
+      : bounce0_(options_.intern_bounce(0)),
+        bounce1_(options_.intern_bounce(1)),
+        policy_(options_, [](RelayId, RelayId) { return PathPerformance{}; }, Metric::Rtt) {
+    candidates_ = {RelayOptionTable::direct_id(), bounce0_, bounce1_};
+  }
+
+  RelayOptionTable options_;
+  OptionId bounce0_, bounce1_;
+  PredictionOnlyPolicy policy_;
+  std::vector<OptionId> candidates_;
+};
+
+TEST_F(PredictionOnlyTest, FallsBackToDirectWithoutHistory) {
+  EXPECT_EQ(policy_.choose(make_ctx(candidates_)), RelayOptionTable::direct_id());
+}
+
+TEST_F(PredictionOnlyTest, PicksBestPredictedMean) {
+  for (int i = 0; i < 5; ++i) {
+    policy_.observe(make_obs(1, 2, RelayOptionTable::direct_id(), 300.0));
+    policy_.observe(make_obs(1, 2, bounce0_, 100.0));
+    policy_.observe(make_obs(1, 2, bounce1_, 200.0));
+  }
+  policy_.refresh(kSecondsPerDay);
+  EXPECT_EQ(policy_.choose(make_ctx(candidates_)), bounce0_);
+}
+
+TEST_F(PredictionOnlyTest, TrainingLagsOneWindow) {
+  for (int i = 0; i < 5; ++i) policy_.observe(make_obs(1, 2, bounce0_, 100.0));
+  // Without a refresh, the new observations are not yet in the predictor.
+  EXPECT_EQ(policy_.choose(make_ctx(candidates_)), RelayOptionTable::direct_id());
+  policy_.refresh(kSecondsPerDay);
+  EXPECT_EQ(policy_.choose(make_ctx(candidates_)), bounce0_);
+  // A second refresh replaces the trained window with the (empty) current
+  // one: predictions disappear again.
+  policy_.refresh(2 * kSecondsPerDay);
+  EXPECT_EQ(policy_.choose(make_ctx(candidates_)), RelayOptionTable::direct_id());
+}
+
+TEST(ExplorationOnlyPolicy, MeasurementCallsWalkAllOptions) {
+  // With explore_fraction = 1, every call is a measurement call and the
+  // round-robin covers the full option space.
+  ExplorationOnlyPolicy policy(Metric::Rtt, /*explore_fraction=*/1.0);
+  RelayOptionTable options;
+  const std::vector<OptionId> candidates{RelayOptionTable::direct_id(),
+                                         options.intern_bounce(0), options.intern_bounce(1)};
+  std::set<OptionId> seen;
+  for (int i = 0; i < 3; ++i) {
+    const OptionId pick = policy.choose(make_ctx(candidates));
+    seen.insert(pick);
+    policy.observe(make_obs(1, 2, pick, 100.0));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(ExplorationOnlyPolicy, ExploitsObservedBest) {
+  ExplorationOnlyPolicy policy(Metric::Rtt, /*explore_fraction=*/0.0);
+  RelayOptionTable options;
+  const OptionId good = options.intern_bounce(0);
+  const OptionId bad = options.intern_bounce(1);
+  const std::vector<OptionId> candidates{RelayOptionTable::direct_id(), good, bad};
+  policy.observe(make_obs(1, 2, good, 80.0));
+  policy.observe(make_obs(1, 2, bad, 200.0));
+  policy.observe(make_obs(1, 2, RelayOptionTable::direct_id(), 150.0));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(policy.choose(make_ctx(candidates)), good);
+  }
+}
+
+TEST(ExplorationOnlyPolicy, ConvergesToObservedBest) {
+  ExplorationOnlyPolicy policy(Metric::Rtt, 0.2);
+  RelayOptionTable options;
+  const OptionId good = options.intern_bounce(0);
+  const OptionId bad = options.intern_bounce(1);
+  const std::vector<OptionId> candidates{RelayOptionTable::direct_id(), good, bad};
+  int good_picks = 0;
+  for (int i = 0; i < 400; ++i) {
+    const OptionId pick = policy.choose(make_ctx(candidates));
+    if (pick == good) ++good_picks;
+    const double cost = pick == good ? 80.0 : (pick == bad ? 200.0 : 150.0);
+    policy.observe(make_obs(1, 2, pick, cost));
+  }
+  EXPECT_GT(good_picks, 250);
+}
+
+TEST(ExplorationOnlyPolicy, WindowResetDiscardsKnowledge) {
+  ExplorationOnlyPolicy policy(Metric::Rtt, /*explore_fraction=*/0.0);
+  RelayOptionTable options;
+  const OptionId bounce = options.intern_bounce(0);
+  const std::vector<OptionId> candidates{RelayOptionTable::direct_id(), bounce};
+  policy.observe(make_obs(1, 2, bounce, 50.0));
+  EXPECT_EQ(policy.choose(make_ctx(candidates)), bounce);
+  policy.refresh(kSecondsPerDay);
+  // Knowledge gone: with no data and no measurement call, falls to direct.
+  EXPECT_EQ(policy.choose(make_ctx(candidates)), RelayOptionTable::direct_id());
+}
+
+TEST(ExplorationOnlyPolicy, IndependentStatePerPair) {
+  ExplorationOnlyPolicy policy(Metric::Rtt, /*explore_fraction=*/0.0);
+  RelayOptionTable options;
+  const OptionId bounce = options.intern_bounce(0);
+  const std::vector<OptionId> candidates{RelayOptionTable::direct_id(), bounce};
+  policy.observe(make_obs(1, 2, bounce, 50.0));
+  EXPECT_EQ(policy.choose(make_ctx(candidates, 1, 2)), bounce);
+  // A fresh pair has no data: exploit falls back to direct.
+  EXPECT_EQ(policy.choose(make_ctx(candidates, 5, 6)), RelayOptionTable::direct_id());
+}
+
+}  // namespace
+}  // namespace via

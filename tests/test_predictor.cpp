@@ -1,0 +1,160 @@
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/linearize.h"
+
+namespace via {
+namespace {
+
+class PredictorTest : public ::testing::Test {
+ protected:
+  PredictorTest() {
+    bounce0_ = options_.intern_bounce(0);
+    backbone_ = [](RelayId, RelayId) { return PathPerformance{10.0, 0.01, 0.2}; };
+  }
+
+  void add_obs(HistoryWindow& w, AsId s, AsId d, OptionId opt, double rtt, int copies) {
+    for (int i = 0; i < copies; ++i) {
+      Observation o;
+      o.src_as = s;
+      o.dst_as = d;
+      o.option = opt;
+      o.perf = {rtt + 0.5 * i, 0.5, 3.0};  // slight spread for a finite SEM
+      w.add(o);
+    }
+  }
+
+  RelayOptionTable options_;
+  OptionId bounce0_ = kInvalidOption;
+  BackboneFn backbone_;
+};
+
+TEST_F(PredictorTest, InvalidBeforeTraining) {
+  const Predictor p(options_, backbone_);
+  EXPECT_FALSE(p.trained());
+  EXPECT_FALSE(p.predict(1, 2, 0, Metric::Rtt).valid);
+}
+
+TEST_F(PredictorTest, EmpiricalPredictionFromOwnHistory) {
+  HistoryWindow w(&options_);
+  add_obs(w, 1, 2, RelayOptionTable::direct_id(), 100.0, 10);
+  Predictor p(options_, backbone_);
+  p.train(w);
+  const Prediction pred = p.predict(1, 2, RelayOptionTable::direct_id(), Metric::Rtt);
+  ASSERT_TRUE(pred.valid);
+  EXPECT_EQ(pred.source, Prediction::Source::Empirical);
+  EXPECT_NEAR(pred.mean, 102.25, 1e-9);
+  EXPECT_LT(pred.lower, pred.mean);
+  EXPECT_GT(pred.upper, pred.mean);
+  EXPECT_NEAR(pred.upper - pred.mean, 1.96 * pred.sem, 1e-9);
+}
+
+TEST_F(PredictorTest, TooFewSamplesFallsThrough) {
+  HistoryWindow w(&options_);
+  add_obs(w, 1, 2, RelayOptionTable::direct_id(), 100.0, 2);  // below default min of 3
+  Predictor p(options_, backbone_);
+  p.train(w);
+  EXPECT_FALSE(p.predict(1, 2, RelayOptionTable::direct_id(), Metric::Rtt).valid);
+}
+
+TEST_F(PredictorTest, TomographyFillsHoles) {
+  HistoryWindow w(&options_);
+  // Bounce paths covering segments (1,r0), (2,r0), (3,r0) — but the pair
+  // (2,3) itself never carried a call.
+  add_obs(w, 1, 2, bounce0_, 100.0, 8);
+  add_obs(w, 1, 3, bounce0_, 120.0, 8);
+  add_obs(w, 2, 3, RelayOptionTable::direct_id(), 500.0, 8);  // direct only
+  Predictor p(options_, backbone_);
+  p.train(w);
+
+  const Prediction pred = p.predict(2, 3, bounce0_, Metric::Rtt);
+  ASSERT_TRUE(pred.valid);
+  EXPECT_EQ(pred.source, Prediction::Source::Tomography);
+  EXPECT_GT(pred.mean, 0.0);
+  EXPECT_LE(pred.lower, pred.mean);
+  EXPECT_GE(pred.upper, pred.mean);
+}
+
+TEST_F(PredictorTest, EmpiricalPreferredOverTomography) {
+  HistoryWindow w(&options_);
+  add_obs(w, 1, 2, bounce0_, 100.0, 8);
+  add_obs(w, 1, 3, bounce0_, 120.0, 8);
+  add_obs(w, 2, 3, bounce0_, 777.0, 8);  // direct evidence on the pair itself
+  Predictor p(options_, backbone_);
+  p.train(w);
+  const Prediction pred = p.predict(2, 3, bounce0_, Metric::Rtt);
+  ASSERT_TRUE(pred.valid);
+  EXPECT_EQ(pred.source, Prediction::Source::Empirical);
+  EXPECT_NEAR(pred.mean, 777.0 + 0.5 * 3.5, 1e-9);
+}
+
+TEST_F(PredictorTest, TomographyDisabledByConfig) {
+  HistoryWindow w(&options_);
+  add_obs(w, 1, 2, bounce0_, 100.0, 8);
+  add_obs(w, 1, 3, bounce0_, 120.0, 8);
+  PredictorConfig config;
+  config.use_tomography = false;
+  Predictor p(options_, backbone_, config);
+  p.train(w);
+  EXPECT_FALSE(p.predict(2, 3, bounce0_, Metric::Rtt).valid);
+}
+
+TEST_F(PredictorTest, DirectPathNeverUsesTomography) {
+  HistoryWindow w(&options_);
+  add_obs(w, 1, 2, bounce0_, 100.0, 8);
+  Predictor p(options_, backbone_);
+  p.train(w);
+  EXPECT_FALSE(p.predict(1, 2, RelayOptionTable::direct_id(), Metric::Rtt).valid);
+}
+
+TEST_F(PredictorTest, PredictionsPerMetric) {
+  HistoryWindow w(&options_);
+  for (int i = 0; i < 5; ++i) {
+    Observation o;
+    o.src_as = 1;
+    o.dst_as = 2;
+    o.option = 0;
+    o.perf = {100.0, 2.0, 8.0};
+    w.add(o);
+  }
+  Predictor p(options_, backbone_);
+  p.train(w);
+  EXPECT_NEAR(p.predict(1, 2, 0, Metric::Loss).mean, 2.0, 1e-9);
+  EXPECT_NEAR(p.predict(1, 2, 0, Metric::Jitter).mean, 8.0, 1e-9);
+}
+
+TEST_F(PredictorTest, RetrainReplacesWindow) {
+  HistoryWindow w1(&options_);
+  add_obs(w1, 1, 2, 0, 100.0, 5);
+  HistoryWindow w2(&options_);
+  add_obs(w2, 1, 2, 0, 300.0, 5);
+  Predictor p(options_, backbone_);
+  p.train(w1);
+  EXPECT_NEAR(p.predict(1, 2, 0, Metric::Rtt).mean, 101.0, 1e-9);
+  p.train(w2);
+  EXPECT_NEAR(p.predict(1, 2, 0, Metric::Rtt).mean, 301.0, 1e-9);
+}
+
+TEST_F(PredictorTest, LowerBoundNeverNegative) {
+  HistoryWindow w(&options_);
+  // Two wildly different samples give a huge SEM.
+  Observation o;
+  o.src_as = 1;
+  o.dst_as = 2;
+  o.option = 0;
+  o.perf = {1.0, 0.0, 0.0};
+  w.add(o);
+  o.perf = {500.0, 0.0, 0.0};
+  w.add(o);
+  o.perf = {2.0, 0.0, 0.0};
+  w.add(o);
+  Predictor p(options_, backbone_);
+  p.train(w);
+  const Prediction pred = p.predict(1, 2, 0, Metric::Rtt);
+  ASSERT_TRUE(pred.valid);
+  EXPECT_GE(pred.lower, 0.0);
+}
+
+}  // namespace
+}  // namespace via

@@ -1,0 +1,104 @@
+#include "quality/rating.h"
+
+#include <gtest/gtest.h>
+
+namespace via {
+namespace {
+
+TEST(RatingModel, Deterministic) {
+  const RatingModel model;
+  const PathPerformance p{150.0, 0.5, 5.0};
+  for (CallId id = 0; id < 200; ++id) {
+    EXPECT_EQ(model.sample_rating(id, p), model.sample_rating(id, p));
+  }
+}
+
+TEST(RatingModel, SampleFractionRespected) {
+  RatingModelParams params;
+  params.sample_fraction = 0.10;
+  const RatingModel model(params);
+  const PathPerformance p{150.0, 0.5, 5.0};
+  int rated = 0;
+  const int n = 50'000;
+  for (CallId id = 0; id < n; ++id) {
+    if (model.sample_rating(id, p) > 0) ++rated;
+  }
+  EXPECT_NEAR(rated / static_cast<double>(n), 0.10, 0.01);
+}
+
+TEST(RatingModel, RatingsInValidRange) {
+  const RatingModel model;
+  const PathPerformance p{300.0, 2.0, 15.0};
+  for (CallId id = 0; id < 20'000; ++id) {
+    const auto r = model.sample_rating(id, p);
+    EXPECT_TRUE(r == -1 || (r >= 1 && r <= 5)) << static_cast<int>(r);
+  }
+}
+
+double poor_call_rate(const RatingModel& model, const PathPerformance& p, int n) {
+  int rated = 0, poor = 0;
+  for (CallId id = 0; id < n; ++id) {
+    const auto r = model.sample_rating(id, p);
+    if (r < 0) continue;
+    ++rated;
+    if (r <= 2) ++poor;
+  }
+  return rated > 0 ? static_cast<double>(poor) / rated : 0.0;
+}
+
+TEST(RatingModel, PcrRisesWithRtt) {
+  RatingModelParams params;
+  params.sample_fraction = 1.0;
+  const RatingModel model(params);
+  const double low = poor_call_rate(model, {80.0, 0.2, 3.0}, 20'000);
+  const double mid = poor_call_rate(model, {350.0, 0.2, 3.0}, 20'000);
+  const double high = poor_call_rate(model, {800.0, 0.2, 3.0}, 20'000);
+  EXPECT_LT(low, mid);
+  EXPECT_LT(mid, high);
+}
+
+TEST(RatingModel, PcrRisesWithLoss) {
+  RatingModelParams params;
+  params.sample_fraction = 1.0;
+  const RatingModel model(params);
+  const double low = poor_call_rate(model, {120.0, 0.1, 4.0}, 20'000);
+  const double high = poor_call_rate(model, {120.0, 6.0, 4.0}, 20'000);
+  EXPECT_LT(low + 0.05, high);
+}
+
+TEST(RatingModel, PcrRisesWithJitter) {
+  RatingModelParams params;
+  params.sample_fraction = 1.0;
+  const RatingModel model(params);
+  const double low = poor_call_rate(model, {120.0, 0.1, 2.0}, 20'000);
+  const double high = poor_call_rate(model, {120.0, 0.1, 45.0}, 20'000);
+  EXPECT_LT(low + 0.01, high);
+}
+
+TEST(RatingModel, OpinionScoreCentersOnMos) {
+  RatingModelParams params;
+  params.user_noise_stddev = 0.85;
+  const RatingModel model(params);
+  const PathPerformance p{150.0, 0.8, 6.0};
+  const double mos = emodel_mos(p, params.emodel);
+  double sum = 0.0;
+  const int n = 20'000;
+  for (CallId id = 0; id < n; ++id) sum += model.opinion_score(id, p);
+  EXPECT_NEAR(sum / n, mos, 0.03);
+}
+
+TEST(RatingModel, DifferentSeedsGiveDifferentSelections) {
+  RatingModelParams params;
+  params.sample_fraction = 0.5;
+  const RatingModel a(params, 1);
+  const RatingModel b(params, 2);
+  const PathPerformance p{100.0, 0.5, 5.0};
+  int differs = 0;
+  for (CallId id = 0; id < 1000; ++id) {
+    if ((a.sample_rating(id, p) < 0) != (b.sample_rating(id, p) < 0)) ++differs;
+  }
+  EXPECT_GT(differs, 100);
+}
+
+}  // namespace
+}  // namespace via

@@ -1,0 +1,244 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace via {
+namespace {
+
+TEST(SplitMix, DeterministicAndMixing) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  // Adjacent inputs should map to wildly different outputs.
+  const auto a = splitmix64(100);
+  const auto b = splitmix64(101);
+  EXPECT_GT(std::popcount(a ^ b), 10);
+}
+
+TEST(HashMix, ArityVariantsDistinct) {
+  EXPECT_NE(hash_mix(1, 2), hash_mix(2, 1));
+  EXPECT_NE(hash_mix(1, 2, 3), hash_mix(1, 2));
+  EXPECT_NE(hash_mix(1, 2, 3, 4), hash_mix(1, 2, 3));
+  EXPECT_EQ(hash_mix(7, 8, 9), hash_mix(7, 8, 9));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng a(42);
+  const auto first = a();
+  a.reseed(42);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexBoundsAndCoverage) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIndexOne) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianShifted) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double e = rng.exponential(3.0);
+    EXPECT_GE(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, LognormalMeanAndCv) {
+  Rng rng(19);
+  const double mean = 5.0, cv = 0.5;
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 400'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.lognormal_mean_cv(mean, cv);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double m = sum / n;
+  const double sd = std::sqrt(sum2 / n - m * m);
+  EXPECT_NEAR(m, mean, 0.05);
+  EXPECT_NEAR(sd / m, cv, 0.02);
+}
+
+TEST(Rng, LognormalZeroMeanIsZero) {
+  Rng rng(19);
+  EXPECT_EQ(rng.lognormal_mean_cv(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, ParetoTailHeavierThanExponential) {
+  Rng rng(23);
+  const int n = 100'000;
+  int pareto_big = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.pareto(1.0, 1.1) > 50.0) ++pareto_big;
+  }
+  // A Pareto(1, 1.1) exceeds 50 with probability 50^-1.1 ~ 1.3%.
+  EXPECT_GT(pareto_big, n / 500);
+  EXPECT_LT(pareto_big, n / 20);
+}
+
+TEST(Rng, ParetoAtLeastScale) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexProportional) {
+  Rng rng(37);
+  const std::vector<double> w{1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(HashedDraws, DeterministicAndUniform) {
+  EXPECT_EQ(hashed_uniform(123), hashed_uniform(123));
+  EXPECT_NE(hashed_uniform(123), hashed_uniform(124));
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += hashed_uniform(static_cast<std::uint64_t>(i));
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(HashedDraws, GaussianMoments) {
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double g = hashed_gaussian(static_cast<std::uint64_t>(i) * 2654435761ULL);
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfSampler zipf(100, 1.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < zipf.size(); ++i) total += zipf.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankOrdering) {
+  const ZipfSampler zipf(50, 0.9);
+  for (std::size_t i = 1; i < zipf.size(); ++i) EXPECT_LT(zipf.pmf(i), zipf.pmf(i - 1));
+}
+
+TEST(Zipf, SamplingMatchesPmf) {
+  const ZipfSampler zipf(10, 1.2);
+  Rng rng(41);
+  std::array<int, 10> counts{};
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), zipf.pmf(i), 0.01) << "rank " << i;
+  }
+}
+
+// Property sweep: the bounded sampler is unbiased for many bounds.
+class UniformIndexSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniformIndexSweep, MeanIsCentered) {
+  const std::uint64_t n = GetParam();
+  Rng rng(hash_mix(n, 5));
+  double sum = 0.0;
+  const int draws = 50'000;
+  for (int i = 0; i < draws; ++i) sum += static_cast<double>(rng.uniform_index(n));
+  const double expected = static_cast<double>(n - 1) / 2.0;
+  EXPECT_NEAR(sum / draws, expected, 0.02 * static_cast<double>(n) + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, UniformIndexSweep,
+                         ::testing::Values(2, 3, 7, 10, 100, 1000, 4096));
+
+}  // namespace
+}  // namespace via

@@ -1,0 +1,172 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace via {
+namespace {
+
+TEST(OnlineStats, EmptyDefaults) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.sem()));
+}
+
+TEST(OnlineStats, SingleSample) {
+  OnlineStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  // Single-sample SEM is a wide relative guess, not zero.
+  EXPECT_DOUBLE_EQ(s.sem(), 4.0 * OnlineStats::kSingleSampleRelSem);
+}
+
+TEST(OnlineStats, MatchesReferenceFormulas) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  OnlineStats s;
+  for (const double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.sem(), std::sqrt(32.0 / 7.0 / 8.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeEqualsCombinedStream) {
+  Rng rng(5);
+  OnlineStats a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(3.0, 2.0);
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(OnlineStats, ResetClears) {
+  OnlineStats s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0);
+}
+
+TEST(OnlineStats, SemShrinksWithSamples) {
+  OnlineStats s;
+  Rng rng(9);
+  std::vector<double> sems;
+  for (int i = 0; i < 1000; ++i) {
+    s.add(rng.gaussian(10.0, 1.0));
+    if (i == 9 || i == 99 || i == 999) sems.push_back(s.sem());
+  }
+  EXPECT_GT(sems[0], sems[1]);
+  EXPECT_GT(sems[1], sems[2]);
+}
+
+TEST(RateCounter, Basics) {
+  RateCounter r;
+  EXPECT_EQ(r.rate(), 0.0);
+  r.add(true);
+  r.add(false);
+  r.add(false);
+  r.add(true);
+  EXPECT_EQ(r.total(), 4);
+  EXPECT_EQ(r.hits(), 2);
+  EXPECT_DOUBLE_EQ(r.rate(), 0.5);
+}
+
+TEST(RateCounter, Merge) {
+  RateCounter a, b;
+  a.add(true);
+  b.add(false);
+  b.add(false);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3);
+  EXPECT_NEAR(a.rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(RateCounter, BinomialSem) {
+  RateCounter r;
+  for (int i = 0; i < 100; ++i) r.add(i < 30);
+  EXPECT_NEAR(r.sem(), std::sqrt(0.3 * 0.7 / 100.0), 1e-12);
+}
+
+TEST(RelativeImprovement, Definition) {
+  EXPECT_DOUBLE_EQ(relative_improvement_pct(10.0, 5.0), 50.0);
+  EXPECT_DOUBLE_EQ(relative_improvement_pct(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_improvement_pct(0.0, 5.0), 0.0);  // guarded
+  EXPECT_DOUBLE_EQ(relative_improvement_pct(10.0, 12.0), -20.0);
+}
+
+TEST(Correlation, PerfectPositive) {
+  Correlation c;
+  for (int i = 0; i < 100; ++i) c.add(i, 2.0 * i + 1.0);
+  EXPECT_NEAR(c.coefficient(), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectNegative) {
+  Correlation c;
+  for (int i = 0; i < 100; ++i) c.add(i, -0.5 * i);
+  EXPECT_NEAR(c.coefficient(), -1.0, 1e-12);
+}
+
+TEST(Correlation, IndependentNearZero) {
+  Correlation c;
+  Rng rng(77);
+  for (int i = 0; i < 100'000; ++i) c.add(rng.uniform(), rng.uniform());
+  EXPECT_NEAR(c.coefficient(), 0.0, 0.02);
+}
+
+TEST(Correlation, DegenerateInputs) {
+  Correlation c;
+  EXPECT_EQ(c.coefficient(), 0.0);
+  c.add(1.0, 1.0);
+  EXPECT_EQ(c.coefficient(), 0.0);  // fewer than 2 points
+  c.add(1.0, 2.0);                  // zero x-variance
+  EXPECT_EQ(c.coefficient(), 0.0);
+}
+
+// Property: correlation of noisy linear data rises with signal-to-noise.
+class CorrelationNoise : public ::testing::TestWithParam<double> {};
+
+TEST_P(CorrelationNoise, MonotoneInNoise) {
+  const double noise = GetParam();
+  Correlation c;
+  Rng rng(101);
+  for (int i = 0; i < 20'000; ++i) {
+    const double x = rng.uniform(0, 10);
+    c.add(x, x + rng.gaussian(0.0, noise));
+  }
+  const double expected = 1.0 / std::sqrt(1.0 + noise * noise / (100.0 / 12.0));
+  EXPECT_NEAR(c.coefficient(), expected, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, CorrelationNoise,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 5.0));
+
+}  // namespace
+}  // namespace via

@@ -1,0 +1,77 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace via {
+namespace {
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 1);
+  t.row().cell("b").cell_int(42);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"a", "b"});
+  t.row().cell("longvalue").cell("x");
+  t.row().cell("s").cell("y");
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is(os.str());
+  std::string header, underline, row1, row2;
+  std::getline(is, header);
+  std::getline(is, underline);
+  std::getline(is, row1);
+  std::getline(is, row2);
+  // The second column starts at the same offset in both rows.
+  EXPECT_EQ(row1.find('x'), row2.find('y'));
+}
+
+TEST(TextTable, PercentFormatting) {
+  TextTable t({"p"});
+  t.row().cell_pct(0.4567, 1);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("45.7%"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.row().cell("1").cell("2");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().cell("x");
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Figure 1");
+  EXPECT_NE(os.str().find("== Figure 1 =="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace via

@@ -1,0 +1,249 @@
+#include "core/tomography.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/linearize.h"
+#include "util/rng.h"
+
+namespace via {
+namespace {
+
+// A fixture with a synthetic ground truth of segment values: segments are
+// (AS, relay) RTT/loss/jitter triples; observations are exact sums, so the
+// solver should recover the segments almost perfectly.
+class TomographyFixture : public ::testing::Test {
+ protected:
+  TomographyFixture() {
+    backbone_ = [](RelayId a, RelayId b) {
+      if (a == b) return PathPerformance{};
+      return PathPerformance{20.0, 0.01, 0.3};
+    };
+  }
+
+  [[nodiscard]] PathPerformance true_segment(AsId as, RelayId r) const {
+    // Deterministic pseudo-random but stable segment truth.
+    const double u = hashed_uniform(hash_mix(777, static_cast<std::uint64_t>(as),
+                                             static_cast<std::uint64_t>(r)));
+    return PathPerformance{30.0 + 100.0 * u, 0.1 + 0.8 * u, 1.0 + 4.0 * u};
+  }
+
+  void add_bounce_obs(HistoryWindow& w, AsId s, AsId d, RelayId r, int copies = 5) {
+    const OptionId opt = options_.intern_bounce(r);
+    const PathPerformance path = compose_segments(true_segment(s, r), true_segment(d, r));
+    for (int i = 0; i < copies; ++i) {
+      Observation o;
+      o.src_as = s;
+      o.dst_as = d;
+      o.option = opt;
+      o.perf = path;
+      w.add(o);
+    }
+  }
+
+  void add_transit_obs(HistoryWindow& w, AsId s, AsId d, RelayId r1, RelayId r2,
+                       int copies = 5) {
+    const OptionId opt = options_.intern_transit(r1, r2);
+    const PathPerformance path =
+        compose_segments(true_segment(s, r1), backbone_(r1, r2), true_segment(d, r2));
+    for (int i = 0; i < copies; ++i) {
+      Observation o;
+      o.src_as = s;
+      o.dst_as = d;
+      o.option = opt;
+      o.ingress = r1;
+      o.perf = path;
+      w.add(o);
+    }
+  }
+
+  RelayOptionTable options_;
+  BackboneFn backbone_;
+};
+
+TEST_F(TomographyFixture, RecoversSegmentsFromBounces) {
+  HistoryWindow w(&options_);
+  // Overlapping bounce paths through relay 0 covering ASes 1..4.
+  add_bounce_obs(w, 1, 2, 0);
+  add_bounce_obs(w, 1, 3, 0);
+  add_bounce_obs(w, 2, 3, 0);
+  add_bounce_obs(w, 2, 4, 0);
+  add_bounce_obs(w, 3, 4, 0);
+
+  TomographySolver solver(options_, backbone_, {.gauss_seidel_sweeps = 60});
+  solver.solve(w);
+  EXPECT_GT(solver.equation_count(), 0u);
+
+  for (AsId as = 1; as <= 4; ++as) {
+    const SegmentEstimate* est = solver.segment(as, 0);
+    ASSERT_NE(est, nullptr) << "segment " << as;
+    const PathPerformance truth = true_segment(as, 0);
+    EXPECT_NEAR(delinearize(Metric::Rtt, est->lin_mean[0]), truth.rtt_ms,
+                0.05 * truth.rtt_ms + 2.0)
+        << "AS " << as;
+  }
+}
+
+TEST_F(TomographyFixture, PredictsUnseenPath) {
+  // The Figure 11 scenario: learn (1,r0), (2,r0), (3,r0), (4,r0) from three
+  // observed pairs, then predict the never-observed pair (3,4).
+  HistoryWindow w(&options_);
+  add_bounce_obs(w, 1, 2, 0);
+  add_bounce_obs(w, 1, 3, 0);
+  add_bounce_obs(w, 2, 4, 0);
+  add_bounce_obs(w, 1, 4, 0);
+  add_bounce_obs(w, 2, 3, 0);
+
+  TomographySolver solver(options_, backbone_, {.gauss_seidel_sweeps = 60});
+  solver.solve(w);
+
+  const OptionId bounce0 = options_.intern_bounce(0);
+  std::array<double, kNumMetrics> mean{}, sem{};
+  ASSERT_TRUE(solver.predict_lin(3, 4, bounce0, mean, sem));
+  const PathPerformance truth = compose_segments(true_segment(3, 0), true_segment(4, 0));
+  EXPECT_NEAR(delinearize(Metric::Rtt, mean[0]), truth.rtt_ms, 0.08 * truth.rtt_ms + 3.0);
+  EXPECT_NEAR(delinearize(Metric::Loss, mean[1]), truth.loss_pct, 0.3);
+  EXPECT_NEAR(delinearize(Metric::Jitter, mean[2]), truth.jitter_ms, 1.0);
+}
+
+TEST_F(TomographyFixture, TransitSubtractsBackbone) {
+  HistoryWindow w(&options_);
+  add_transit_obs(w, 1, 2, 0, 1);
+  add_transit_obs(w, 1, 3, 0, 1);
+  add_transit_obs(w, 4, 2, 0, 1);
+  add_transit_obs(w, 4, 3, 0, 1);
+
+  TomographySolver solver(options_, backbone_, {.gauss_seidel_sweeps = 60});
+  solver.solve(w);
+
+  const SegmentEstimate* est = solver.segment(1, 0);
+  ASSERT_NE(est, nullptr);
+  const PathPerformance truth = true_segment(1, 0);
+  // If the backbone were not subtracted, the estimate would be off by
+  // ~10 ms (half the 20 ms backbone RTT).
+  EXPECT_NEAR(delinearize(Metric::Rtt, est->lin_mean[0]), truth.rtt_ms, 5.0);
+}
+
+TEST_F(TomographyFixture, PredictFailsForUncoveredSegment) {
+  HistoryWindow w(&options_);
+  add_bounce_obs(w, 1, 2, 0);
+  TomographySolver solver(options_, backbone_, {});
+  solver.solve(w);
+  const OptionId bounce1 = options_.intern_bounce(1);  // relay 1 never observed
+  std::array<double, kNumMetrics> mean{}, sem{};
+  EXPECT_FALSE(solver.predict_lin(1, 2, bounce1, mean, sem));
+}
+
+TEST_F(TomographyFixture, PredictFailsForDirect) {
+  HistoryWindow w(&options_);
+  add_bounce_obs(w, 1, 2, 0);
+  TomographySolver solver(options_, backbone_, {});
+  solver.solve(w);
+  std::array<double, kNumMetrics> mean{}, sem{};
+  EXPECT_FALSE(solver.predict_lin(1, 2, RelayOptionTable::direct_id(), mean, sem));
+}
+
+TEST_F(TomographyFixture, MinSamplesFilterSkipsThinPaths) {
+  HistoryWindow w(&options_);
+  add_bounce_obs(w, 1, 2, 0, /*copies=*/1);  // below the threshold
+  TomographySolver solver(options_, backbone_, {.min_samples_per_path = 2});
+  solver.solve(w);
+  EXPECT_EQ(solver.equation_count(), 0u);
+  EXPECT_EQ(solver.segment_count(), 0u);
+}
+
+TEST_F(TomographyFixture, SemShrinksWithMoreEvidence) {
+  HistoryWindow thin(&options_);
+  add_bounce_obs(thin, 1, 2, 0, 2);
+  add_bounce_obs(thin, 1, 3, 0, 2);
+  add_bounce_obs(thin, 2, 3, 0, 2);
+  TomographySolver s1(options_, backbone_, {.gauss_seidel_sweeps = 40});
+  s1.solve(thin);
+
+  HistoryWindow dense(&options_);
+  add_bounce_obs(dense, 1, 2, 0, 60);
+  add_bounce_obs(dense, 1, 3, 0, 60);
+  add_bounce_obs(dense, 2, 3, 0, 60);
+  TomographySolver s2(options_, backbone_, {.gauss_seidel_sweeps = 40});
+  s2.solve(dense);
+
+  const auto* thin_est = s1.segment(1, 0);
+  const auto* dense_est = s2.segment(1, 0);
+  ASSERT_NE(thin_est, nullptr);
+  ASSERT_NE(dense_est, nullptr);
+  EXPECT_LT(dense_est->lin_sem[0], thin_est->lin_sem[0]);
+}
+
+TEST_F(TomographyFixture, EmptyWindowIsHarmless) {
+  HistoryWindow w(&options_);
+  TomographySolver solver(options_, backbone_, {});
+  solver.solve(w);
+  EXPECT_EQ(solver.segment_count(), 0u);
+}
+
+TEST_F(TomographyFixture, SolveIsIdempotentPerWindow) {
+  HistoryWindow w(&options_);
+  add_bounce_obs(w, 1, 2, 0);
+  add_bounce_obs(w, 1, 3, 0);
+  add_bounce_obs(w, 2, 3, 0);
+  TomographySolver solver(options_, backbone_, {});
+  solver.solve(w);
+  const double first = solver.segment(1, 0)->lin_mean[0];
+  solver.solve(w);
+  EXPECT_DOUBLE_EQ(solver.segment(1, 0)->lin_mean[0], first);
+}
+
+// Property sweep: with noisy observations the solver's error stays bounded.
+class TomographyNoise : public ::testing::TestWithParam<double> {};
+
+TEST_P(TomographyNoise, BoundedErrorUnderNoise) {
+  const double noise_cv = GetParam();
+  RelayOptionTable options;
+  auto backbone = [](RelayId, RelayId) { return PathPerformance{20.0, 0.01, 0.3}; };
+  HistoryWindow w(&options);
+  Rng rng(hash_mix(static_cast<std::uint64_t>(noise_cv * 100), 3));
+
+  auto true_segment = [](AsId as, RelayId r) {
+    const double u = hashed_uniform(hash_mix(555, static_cast<std::uint64_t>(as),
+                                             static_cast<std::uint64_t>(r)));
+    return PathPerformance{40.0 + 80.0 * u, 0.2 + 0.5 * u, 1.5 + 3.0 * u};
+  };
+
+  // Dense coverage: 6 ASes x 2 relays, all pairs bounced through both.
+  for (AsId s = 0; s < 6; ++s) {
+    for (AsId d = s + 1; d < 6; ++d) {
+      for (RelayId r = 0; r < 2; ++r) {
+        const OptionId opt = options.intern_bounce(r);
+        const PathPerformance clean = compose_segments(true_segment(s, r), true_segment(d, r));
+        for (int i = 0; i < 10; ++i) {
+          Observation o;
+          o.src_as = s;
+          o.dst_as = d;
+          o.option = opt;
+          o.perf = {clean.rtt_ms * rng.lognormal_mean_cv(1.0, noise_cv),
+                    clean.loss_pct * rng.lognormal_mean_cv(1.0, noise_cv),
+                    clean.jitter_ms * rng.lognormal_mean_cv(1.0, noise_cv)};
+          w.add(o);
+        }
+      }
+    }
+  }
+
+  TomographySolver solver(options, backbone, {.gauss_seidel_sweeps = 60});
+  solver.solve(w);
+  double worst_rel_err = 0.0;
+  for (AsId as = 0; as < 6; ++as) {
+    const SegmentEstimate* est = solver.segment(as, 0);
+    ASSERT_NE(est, nullptr);
+    const double truth = true_segment(as, 0).rtt_ms;
+    worst_rel_err = std::max(
+        worst_rel_err, std::abs(delinearize(Metric::Rtt, est->lin_mean[0]) - truth) / truth);
+  }
+  EXPECT_LT(worst_rel_err, 0.12 + noise_cv);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, TomographyNoise, ::testing::Values(0.0, 0.1, 0.3));
+
+}  // namespace
+}  // namespace via

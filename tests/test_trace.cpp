@@ -1,0 +1,176 @@
+#include "trace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/dataset.h"
+
+namespace via {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() : world_({.num_ases = 80, .num_relays = 10, .seed = 31}), gt_(world_) {}
+
+  TraceConfig config(std::int64_t calls = 50'000) {
+    TraceConfig c;
+    c.days = 10;
+    c.total_calls = calls;
+    c.active_pairs = 300;
+    c.seed = 7;
+    return c;
+  }
+
+  World world_;
+  GroundTruth gt_;
+};
+
+TEST_F(TraceTest, ArrivalCountAndSorted) {
+  TraceGenerator gen(gt_, config());
+  const auto arrivals = gen.generate_arrivals();
+  EXPECT_EQ(arrivals.size(), 50'000u);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end(),
+                             [](const CallArrival& a, const CallArrival& b) {
+                               return a.time < b.time;
+                             }));
+}
+
+TEST_F(TraceTest, CallIdsUnique) {
+  TraceGenerator gen(gt_, config(10'000));
+  const auto arrivals = gen.generate_arrivals();
+  std::vector<CallId> ids;
+  ids.reserve(arrivals.size());
+  for (const auto& a : arrivals) ids.push_back(a.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST_F(TraceTest, TimesWithinHorizon) {
+  TraceGenerator gen(gt_, config(20'000));
+  for (const auto& a : gen.generate_arrivals()) {
+    EXPECT_GE(a.time, 0);
+    EXPECT_LT(a.day(), 10);
+  }
+}
+
+TEST_F(TraceTest, InternationalFractionNearTarget) {
+  TraceGenerator gen(gt_, config(100'000));
+  const auto arrivals = gen.generate_arrivals();
+  std::int64_t intl = 0;
+  for (const auto& a : arrivals) intl += a.international() ? 1 : 0;
+  // Pair-level draws add variance; allow a loose band around 46.6%.
+  EXPECT_NEAR(intl / static_cast<double>(arrivals.size()), 0.466, 0.12);
+}
+
+TEST_F(TraceTest, IntraAsFractionNearTarget) {
+  TraceGenerator gen(gt_, config(100'000));
+  const auto arrivals = gen.generate_arrivals();
+  std::int64_t intra = 0;
+  for (const auto& a : arrivals) intra += a.inter_as() ? 0 : 1;
+  EXPECT_NEAR(intra / static_cast<double>(arrivals.size()), 0.193, 0.12);
+}
+
+TEST_F(TraceTest, CountriesMatchWorld) {
+  TraceGenerator gen(gt_, config(5'000));
+  for (const auto& a : gen.generate_arrivals()) {
+    EXPECT_EQ(a.src_country, world_.as_node(a.src_as).country);
+    EXPECT_EQ(a.dst_country, world_.as_node(a.dst_as).country);
+  }
+}
+
+TEST_F(TraceTest, DurationsPositiveWithHeavyTail) {
+  TraceGenerator gen(gt_, config(50'000));
+  const auto arrivals = gen.generate_arrivals();
+  double sum = 0;
+  int long_calls = 0;
+  for (const auto& a : arrivals) {
+    EXPECT_GT(a.duration_min, 0.0F);
+    sum += a.duration_min;
+    if (a.duration_min > 15.0F) ++long_calls;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(arrivals.size()), 4.5, 0.5);
+  EXPECT_GT(long_calls, 100);
+}
+
+TEST_F(TraceTest, VolumeSkewedAcrossPairs) {
+  TraceGenerator gen(gt_, config(100'000));
+  const auto arrivals = gen.generate_arrivals();
+  std::unordered_map<std::uint64_t, int> per_pair;
+  for (const auto& a : arrivals) ++per_pair[a.pair_key()];
+  int max = 0;
+  for (const auto& [k, n] : per_pair) max = std::max(max, n);
+  // The busiest pair should far exceed the mean (Zipf skew).
+  const double mean = 100'000.0 / static_cast<double>(per_pair.size());
+  EXPECT_GT(max, 5.0 * mean);
+}
+
+TEST_F(TraceTest, DeterministicBySeed) {
+  TraceGenerator g1(gt_, config(5'000));
+  TraceGenerator g2(gt_, config(5'000));
+  const auto a = g1.generate_arrivals();
+  const auto b = g2.generate_arrivals();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 100) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].src_as, b[i].src_as);
+    EXPECT_EQ(a[i].time, b[i].time);
+  }
+}
+
+TEST_F(TraceTest, RealizeAttachesPerformanceAndRating) {
+  TraceGenerator gen(gt_, config(2'000));
+  const auto arrivals = gen.generate_arrivals();
+  int rated = 0;
+  for (const auto& a : arrivals) {
+    const CallRecord r = gen.realize(a, RelayOptionTable::direct_id());
+    EXPECT_EQ(r.id, a.id);
+    EXPECT_EQ(r.option, RelayOptionTable::direct_id());
+    EXPECT_GT(r.perf.rtt_ms, 0.0);
+    if (r.rated()) ++rated;
+  }
+  // Default rating sample fraction is 5%.
+  EXPECT_NEAR(rated / 2000.0, 0.05, 0.02);
+}
+
+TEST_F(TraceTest, DefaultRoutedTraceMatchesArrivals) {
+  TraceGenerator gen(gt_, config(3'000));
+  const auto records = gen.generate_default_routed();
+  EXPECT_EQ(records.size(), 3'000u);
+  for (const auto& r : records) EXPECT_EQ(r.option, RelayOptionTable::direct_id());
+}
+
+TEST_F(TraceTest, SummaryStatsSane) {
+  TraceGenerator gen(gt_, config(50'000));
+  const auto arrivals = gen.generate_arrivals();
+  const TraceStats stats = summarize_arrivals(arrivals, gt_);
+  EXPECT_EQ(stats.calls, 50'000);
+  EXPECT_GT(stats.users, 1000);
+  EXPECT_LE(stats.ases, 80);
+  EXPECT_GT(stats.ases, 20);
+  EXPECT_GT(stats.countries, 5);
+  EXPECT_EQ(stats.days, 10);
+  EXPECT_NEAR(stats.wireless_fraction, 0.83, 0.01);
+}
+
+TEST_F(TraceTest, RecordSummaryIncludesRatedFraction) {
+  TraceGenerator gen(gt_, config(20'000));
+  const auto records = gen.generate_default_routed();
+  const TraceStats stats = summarize_records(records, gt_);
+  EXPECT_EQ(stats.calls, 20'000);
+  EXPECT_NEAR(stats.rated_fraction, 0.05, 0.01);
+}
+
+TEST_F(TraceTest, TrafficMatrixWeightsPositive) {
+  TraceGenerator gen(gt_, config(1'000));
+  const auto& matrix = gen.traffic_matrix();
+  EXPECT_GT(matrix.pairs.size(), 100u);
+  for (const auto& p : matrix.pairs) {
+    EXPECT_GE(p.src, 0);
+    EXPECT_GE(p.dst, 0);
+    EXPECT_GT(p.weight, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace via

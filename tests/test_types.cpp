@@ -1,0 +1,158 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+#include "common/call.h"
+#include "common/relay_option.h"
+
+namespace via {
+namespace {
+
+TEST(Metric, NamesAndUnits) {
+  EXPECT_EQ(metric_name(Metric::Rtt), "RTT");
+  EXPECT_EQ(metric_name(Metric::Loss), "loss");
+  EXPECT_EQ(metric_name(Metric::Jitter), "jitter");
+  EXPECT_EQ(metric_unit(Metric::Rtt), "ms");
+  EXPECT_EQ(metric_unit(Metric::Loss), "%");
+}
+
+TEST(PathPerformance, GetSetRoundTrip) {
+  PathPerformance p;
+  p.set(Metric::Rtt, 100.0);
+  p.set(Metric::Loss, 1.5);
+  p.set(Metric::Jitter, 9.0);
+  EXPECT_DOUBLE_EQ(p.get(Metric::Rtt), 100.0);
+  EXPECT_DOUBLE_EQ(p.rtt_ms, 100.0);
+  EXPECT_DOUBLE_EQ(p.get(Metric::Loss), 1.5);
+  EXPECT_DOUBLE_EQ(p.get(Metric::Jitter), 9.0);
+}
+
+TEST(PoorThresholds, PaperValues) {
+  const PoorThresholds t;
+  EXPECT_DOUBLE_EQ(t.rtt_ms, 320.0);
+  EXPECT_DOUBLE_EQ(t.loss_pct, 1.2);
+  EXPECT_DOUBLE_EQ(t.jitter_ms, 12.0);
+}
+
+TEST(PoorThresholds, PoorIsInclusiveAtThreshold) {
+  const PoorThresholds t;
+  PathPerformance p{320.0, 0.0, 0.0};
+  EXPECT_TRUE(t.poor(Metric::Rtt, p));
+  p.rtt_ms = 319.99;
+  EXPECT_FALSE(t.poor(Metric::Rtt, p));
+}
+
+TEST(PoorThresholds, AnyPoorCombinations) {
+  const PoorThresholds t;
+  EXPECT_FALSE(t.any_poor({100.0, 0.5, 5.0}));
+  EXPECT_TRUE(t.any_poor({400.0, 0.5, 5.0}));
+  EXPECT_TRUE(t.any_poor({100.0, 2.0, 5.0}));
+  EXPECT_TRUE(t.any_poor({100.0, 0.5, 20.0}));
+  EXPECT_TRUE(t.any_poor({400.0, 2.0, 20.0}));
+}
+
+TEST(AsPairKey, OrderIndependent) {
+  EXPECT_EQ(as_pair_key(3, 9), as_pair_key(9, 3));
+  EXPECT_NE(as_pair_key(3, 9), as_pair_key(3, 10));
+  EXPECT_EQ(as_pair_key(5, 5), as_pair_key(5, 5));
+}
+
+TEST(TimeHelpers, DayAndHour) {
+  EXPECT_EQ(day_of(0), 0);
+  EXPECT_EQ(day_of(kSecondsPerDay - 1), 0);
+  EXPECT_EQ(day_of(kSecondsPerDay), 1);
+  EXPECT_EQ(hour_of(0), 0);
+  EXPECT_EQ(hour_of(3600 * 5 + 100), 5);
+  EXPECT_EQ(hour_of(kSecondsPerDay + 3600 * 23), 23);
+}
+
+TEST(CallRecord, DerivedPredicates) {
+  CallRecord r;
+  r.src_as = 1;
+  r.dst_as = 2;
+  r.src_country = 10;
+  r.dst_country = 10;
+  EXPECT_TRUE(r.inter_as());
+  EXPECT_FALSE(r.international());
+  r.dst_country = 11;
+  EXPECT_TRUE(r.international());
+  r.dst_as = 1;
+  EXPECT_FALSE(r.inter_as());
+}
+
+TEST(CallRecord, RatingPredicates) {
+  CallRecord r;
+  EXPECT_FALSE(r.rated());
+  r.rating = 2;
+  EXPECT_TRUE(r.rated());
+  EXPECT_TRUE(r.rated_poor());
+  r.rating = 3;
+  EXPECT_FALSE(r.rated_poor());
+  r.rating = 1;
+  EXPECT_TRUE(r.rated_poor());
+  r.rating = 5;
+  EXPECT_FALSE(r.rated_poor());
+}
+
+TEST(RelayOptionTable, DirectAlwaysPresent) {
+  const RelayOptionTable t;
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(RelayOptionTable::direct_id(), 0);
+  EXPECT_EQ(t.get(0).kind, RelayKind::Direct);
+  EXPECT_EQ(t.label(0), "direct");
+}
+
+TEST(RelayOptionTable, InterningDeduplicates) {
+  RelayOptionTable t;
+  const OptionId a = t.intern_bounce(3);
+  const OptionId b = t.intern_bounce(3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.size(), 2u);
+  const OptionId c = t.intern_bounce(4);
+  EXPECT_NE(a, c);
+}
+
+TEST(RelayOptionTable, TransitUnordered) {
+  RelayOptionTable t;
+  const OptionId a = t.intern_transit(5, 9);
+  const OptionId b = t.intern_transit(9, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.get(a).a, 5);
+  EXPECT_EQ(t.get(a).b, 9);
+}
+
+TEST(RelayOptionTable, TransitRequiresDistinctRelays) {
+  RelayOptionTable t;
+  EXPECT_THROW((void)t.intern_transit(4, 4), std::invalid_argument);
+}
+
+TEST(RelayOptionTable, Labels) {
+  RelayOptionTable t;
+  const OptionId b = t.intern_bounce(7);
+  const OptionId tr = t.intern_transit(3, 12);
+  EXPECT_EQ(t.label(b), "bounce(7)");
+  EXPECT_EQ(t.label(tr), "transit(3,12)");
+}
+
+TEST(RelayOptionTable, AllIdsEnumerates) {
+  RelayOptionTable t;
+  (void)t.intern_bounce(1);
+  (void)t.intern_transit(1, 2);
+  const auto ids = t.all_ids();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], 0);
+  EXPECT_EQ(ids[2], 2);
+}
+
+TEST(RelayOptionTable, BounceAndTransitDistinctIds) {
+  RelayOptionTable t;
+  const OptionId b1 = t.intern_bounce(1);
+  const OptionId t12 = t.intern_transit(1, 2);
+  const OptionId b2 = t.intern_bounce(2);
+  EXPECT_NE(b1, t12);
+  EXPECT_NE(b2, t12);
+  EXPECT_EQ(t.size(), 4u);
+}
+
+}  // namespace
+}  // namespace via

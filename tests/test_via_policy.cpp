@@ -1,0 +1,190 @@
+#include "core/via_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace via {
+namespace {
+
+class ViaPolicyTest : public ::testing::Test {
+ protected:
+  ViaPolicyTest() {
+    bounce_good_ = options_.intern_bounce(0);
+    bounce_bad_ = options_.intern_bounce(1);
+    candidates_ = {RelayOptionTable::direct_id(), bounce_good_, bounce_bad_};
+  }
+
+  [[nodiscard]] std::unique_ptr<ViaPolicy> make_policy(ViaConfig config = {}) {
+    return std::make_unique<ViaPolicy>(
+        options_, [](RelayId, RelayId) { return PathPerformance{}; }, config);
+  }
+
+  CallContext ctx(CallId id = 1, TimeSec t = 0) const {
+    CallContext c;
+    c.id = id;
+    c.time = t;
+    c.src_as = 1;
+    c.dst_as = 2;
+    c.key_src = 1;
+    c.key_dst = 2;
+    c.options = candidates_;
+    return c;
+  }
+
+  Observation obs(OptionId opt, double rtt) const {
+    Observation o;
+    o.src_as = 1;
+    o.dst_as = 2;
+    o.option = opt;
+    o.perf = {rtt, 0.5, 3.0};
+    return o;
+  }
+
+  /// Feeds a day of measurements: direct 300ms, good bounce 100ms, bad 250ms.
+  void feed_history(ViaPolicy& policy, int copies = 8) {
+    for (int i = 0; i < copies; ++i) {
+      policy.observe(obs(RelayOptionTable::direct_id(), 300.0 + i));
+      policy.observe(obs(bounce_good_, 100.0 + i));
+      policy.observe(obs(bounce_bad_, 250.0 + i));
+    }
+  }
+
+  RelayOptionTable options_;
+  OptionId bounce_good_ = kInvalidOption;
+  OptionId bounce_bad_ = kInvalidOption;
+  std::vector<OptionId> candidates_;
+};
+
+TEST_F(ViaPolicyTest, ColdStartUsesDirect) {
+  ViaConfig config;
+  config.epsilon = 0.0;
+  auto policy = make_policy(config);
+  EXPECT_EQ(policy->choose(ctx()), RelayOptionTable::direct_id());
+  EXPECT_EQ(policy->stats().cold_start_direct, 1);
+}
+
+TEST_F(ViaPolicyTest, LearnsBestOptionAfterRefresh) {
+  ViaConfig config;
+  config.epsilon = 0.0;
+  auto policy = make_policy(config);
+  feed_history(*policy);
+  policy->refresh(kSecondsPerDay);
+
+  int good_picks = 0;
+  const int calls = 100;
+  for (int i = 0; i < calls; ++i) {
+    const OptionId pick = policy->choose(ctx(static_cast<CallId>(i)));
+    if (pick == bounce_good_) ++good_picks;
+    policy->observe(obs(pick, pick == bounce_good_ ? 100.0 : 280.0));
+  }
+  EXPECT_GT(good_picks, calls * 7 / 10);
+}
+
+TEST_F(ViaPolicyTest, TopKExcludesClearlyWorseOptions) {
+  ViaConfig config;
+  config.epsilon = 0.0;
+  auto policy = make_policy(config);
+  feed_history(*policy, 10);
+  policy->refresh(kSecondsPerDay);
+  const auto top = policy->top_k_for(ctx());
+  ASSERT_FALSE(top.empty());
+  for (const auto& r : top) {
+    EXPECT_NE(r.option, RelayOptionTable::direct_id()) << "300ms direct should be pruned";
+  }
+}
+
+TEST_F(ViaPolicyTest, EpsilonExplorationHitsNonTopkArms) {
+  ViaConfig config;
+  config.epsilon = 0.5;  // exaggerate for the test
+  config.seed = 3;
+  auto policy = make_policy(config);
+  feed_history(*policy);
+  policy->refresh(kSecondsPerDay);
+
+  int direct_or_bad = 0;
+  for (int i = 0; i < 400; ++i) {
+    const OptionId pick = policy->choose(ctx(static_cast<CallId>(i)));
+    if (pick != bounce_good_) ++direct_or_bad;
+    policy->observe(obs(pick, 100.0));
+  }
+  // With eps=0.5 and 3 candidates, ~1/3 of exploration calls leave the
+  // best arm.
+  EXPECT_GT(direct_or_bad, 60);
+  EXPECT_GT(policy->stats().epsilon_explored, 100);
+}
+
+TEST_F(ViaPolicyTest, RefreshInvalidatesPairStates) {
+  ViaConfig config;
+  config.epsilon = 0.0;
+  auto policy = make_policy(config);
+  feed_history(*policy);
+  policy->refresh(kSecondsPerDay);
+  EXPECT_FALSE(policy->top_k_for(ctx()).empty());
+  // Next refresh trains on an empty window: predictions vanish.
+  policy->refresh(2 * kSecondsPerDay);
+  EXPECT_TRUE(policy->top_k_for(ctx()).empty());
+  EXPECT_EQ(policy->choose(ctx()), RelayOptionTable::direct_id());
+}
+
+TEST_F(ViaPolicyTest, BudgetDeniesLowBenefitRelays) {
+  ViaConfig config;
+  config.epsilon = 0.0;
+  config.budget = {.fraction = 0.05, .aware = true};
+  auto policy = make_policy(config);
+  // Benefit here is large (300 vs 100), but the budget token bucket still
+  // limits the relayed fraction to ~5%.
+  feed_history(*policy);
+  policy->refresh(kSecondsPerDay);
+  int relayed = 0;
+  const int calls = 2000;
+  for (int i = 0; i < calls; ++i) {
+    const OptionId pick = policy->choose(ctx(static_cast<CallId>(i)));
+    if (pick != RelayOptionTable::direct_id()) ++relayed;
+    policy->observe(obs(pick, 150.0));
+  }
+  EXPECT_LE(relayed, calls / 10);
+  EXPECT_GT(policy->stats().budget_denied, calls / 2);
+}
+
+TEST_F(ViaPolicyTest, StatsChoiceMixAccounted) {
+  ViaConfig config;
+  config.epsilon = 0.0;
+  auto policy = make_policy(config);
+  feed_history(*policy);
+  policy->refresh(kSecondsPerDay);
+  for (int i = 0; i < 50; ++i) {
+    policy->observe(obs(policy->choose(ctx(static_cast<CallId>(i))), 100.0));
+  }
+  const auto& s = policy->stats();
+  EXPECT_EQ(s.calls, 50);
+  EXPECT_EQ(s.chose_direct + s.chose_bounce + s.chose_transit, 50);
+}
+
+TEST_F(ViaPolicyTest, AblationFixedTopKIsSmaller) {
+  ViaConfig dynamic_config;
+  dynamic_config.epsilon = 0.0;
+  ViaConfig fixed_config = dynamic_config;
+  fixed_config.topk = {.dynamic = false, .fixed_k = 1};
+
+  auto dynamic_policy = make_policy(dynamic_config);
+  auto fixed_policy = make_policy(fixed_config);
+  for (auto* p : {dynamic_policy.get(), fixed_policy.get()}) {
+    // Noisy history so the dynamic rule keeps several candidates.
+    for (int i = 0; i < 8; ++i) {
+      p->observe(obs(RelayOptionTable::direct_id(), 160.0 + 40.0 * (i % 3)));
+      p->observe(obs(bounce_good_, 150.0 + 45.0 * ((i + 1) % 3)));
+      p->observe(obs(bounce_bad_, 170.0 + 40.0 * ((i + 2) % 3)));
+    }
+    p->refresh(kSecondsPerDay);
+  }
+  EXPECT_EQ(fixed_policy->top_k_for(ctx()).size(), 1u);
+  EXPECT_GT(dynamic_policy->top_k_for(ctx()).size(), 1u);
+}
+
+TEST_F(ViaPolicyTest, NameAndConfigExposed) {
+  auto policy = make_policy();
+  EXPECT_EQ(policy->name(), "via");
+  EXPECT_EQ(policy->config().refresh_period, 24 * 3600);
+}
+
+}  // namespace
+}  // namespace via

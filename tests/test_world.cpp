@@ -1,0 +1,131 @@
+#include "netsim/world.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace via {
+namespace {
+
+TEST(WorldCatalog, CountryCatalogSane) {
+  const auto countries = World::country_catalog();
+  EXPECT_GE(countries.size(), 40u);
+  std::set<std::string> isos;
+  for (const auto& c : countries) {
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_EQ(c.iso.size(), 2u);
+    EXPECT_GE(c.centroid.lat_deg, -90.0);
+    EXPECT_LE(c.centroid.lat_deg, 90.0);
+    EXPECT_GT(c.call_weight, 0.0);
+    EXPECT_GT(c.infra_quality, 0.0);
+    EXPECT_LE(c.infra_quality, 1.0);
+    isos.insert(c.iso);
+  }
+  EXPECT_EQ(isos.size(), countries.size()) << "duplicate ISO codes";
+}
+
+TEST(WorldCatalog, RelaySiteCatalogSane) {
+  const auto sites = World::relay_site_catalog();
+  EXPECT_GE(sites.size(), 30u);
+  std::set<std::string> names;
+  for (const auto& s : sites) {
+    EXPECT_FALSE(s.city.empty());
+    names.insert(s.city);
+  }
+  EXPECT_EQ(names.size(), sites.size());
+}
+
+TEST(World, GeneratesRequestedCounts) {
+  const World w({.num_ases = 80, .num_relays = 15, .seed = 1});
+  EXPECT_EQ(w.num_ases(), 80);
+  EXPECT_EQ(w.num_relays(), 15);
+  EXPECT_EQ(static_cast<std::size_t>(w.num_countries()), World::country_catalog().size());
+}
+
+TEST(World, RelayCountCappedAtCatalog) {
+  const World w({.num_ases = 10, .num_relays = 10'000, .seed = 1});
+  EXPECT_EQ(static_cast<std::size_t>(w.num_relays()), World::relay_site_catalog().size());
+}
+
+TEST(World, AsFieldsInValidRanges) {
+  const World w({.num_ases = 200, .num_relays = 10, .seed = 2});
+  for (const auto& as : w.ases()) {
+    EXPECT_GE(as.country, 0);
+    EXPECT_LT(as.country, w.num_countries());
+    EXPECT_GT(as.activity, 0.0);
+    EXPECT_GT(as.lastmile_rtt_ms, 0.0);
+    EXPECT_GE(as.lastmile_loss_pct, 0.0);
+    EXPECT_GT(as.lastmile_jitter_ms, 0.0);
+    EXPECT_GT(as.peering_quality, 0.0);
+    EXPECT_LT(as.peering_quality, 1.0);
+  }
+}
+
+TEST(World, DeterministicBySeed) {
+  const World a({.num_ases = 50, .num_relays = 8, .seed = 7});
+  const World b({.num_ases = 50, .num_relays = 8, .seed = 7});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.as_node(i).country, b.as_node(i).country);
+    EXPECT_DOUBLE_EQ(a.as_node(i).lastmile_rtt_ms, b.as_node(i).lastmile_rtt_ms);
+  }
+}
+
+TEST(World, DifferentSeedsDiffer) {
+  const World a({.num_ases = 50, .num_relays = 8, .seed = 7});
+  const World b({.num_ases = 50, .num_relays = 8, .seed = 8});
+  int diff = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.as_node(i).country != b.as_node(i).country) ++diff;
+  }
+  EXPECT_GT(diff, 5);
+}
+
+TEST(World, PopularCountriesGetMoreAses) {
+  const World w({.num_ases = 2000, .num_relays = 8, .seed = 3});
+  std::vector<int> per_country(static_cast<std::size_t>(w.num_countries()), 0);
+  for (const auto& as : w.ases()) ++per_country[static_cast<std::size_t>(as.country)];
+  int us = -1, np = -1;
+  const auto countries = w.countries();
+  for (std::size_t i = 0; i < countries.size(); ++i) {
+    if (countries[i].iso == "US") us = static_cast<int>(i);
+    if (countries[i].iso == "NP") np = static_cast<int>(i);
+  }
+  ASSERT_GE(us, 0);
+  ASSERT_GE(np, 0);
+  EXPECT_GT(per_country[static_cast<std::size_t>(us)],
+            3 * per_country[static_cast<std::size_t>(np)]);
+}
+
+TEST(World, PoorCountriesHaveWorseLastMile) {
+  const World w({.num_ases = 2000, .num_relays = 8, .seed = 4});
+  double good_sum = 0, poor_sum = 0;
+  int good_n = 0, poor_n = 0;
+  for (const auto& as : w.ases()) {
+    const auto& c = w.countries()[static_cast<std::size_t>(as.country)];
+    if (c.infra_quality >= 0.9) {
+      good_sum += as.lastmile_rtt_ms;
+      ++good_n;
+    } else if (c.infra_quality <= 0.4) {
+      poor_sum += as.lastmile_rtt_ms;
+      ++poor_n;
+    }
+  }
+  ASSERT_GT(good_n, 50);
+  ASSERT_GT(poor_n, 50);
+  EXPECT_GT(poor_sum / poor_n, 1.5 * (good_sum / good_n));
+}
+
+TEST(World, ActivityIsHeavyTailed) {
+  const World w({.num_ases = 1000, .num_relays = 8, .seed = 5});
+  const auto activity = w.as_activity();
+  double total = 0, max = 0;
+  for (const double a : activity) {
+    total += a;
+    max = std::max(max, a);
+  }
+  EXPECT_GT(max / total, 0.01);
+}
+
+}  // namespace
+}  // namespace via

@@ -1,0 +1,18 @@
+#include <iostream>
+#include "sim/experiment.h"
+using namespace via;
+int main() {
+  auto setup = Experiment::default_setup(Experiment::Scale::Small);
+  Experiment exp(setup);
+  for (double b : {0.5, 0.7}) {
+    ViaConfig c; c.budget = {.fraction = b, .aware = true};
+    auto p = exp.make_via(Metric::Rtt, c);
+    RunResult r = exp.run(*p);
+    const auto& s = p->stats();
+    std::cout << "B=" << b << " relayed=" << r.relayed_fraction()
+              << " budget_denied=" << s.budget_denied
+              << " bandit=" << s.bandit_served << " cold=" << s.cold_start_direct
+              << " eps=" << s.epsilon_explored << " chose_direct=" << s.chose_direct << "\n";
+  }
+  return 0;
+}

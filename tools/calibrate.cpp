@@ -1,0 +1,27 @@
+#include <algorithm>
+#include <iostream>
+#include "sim/experiment.h"
+#include "util/percentile.h"
+using namespace via;
+int main() {
+  auto setup = Experiment::default_setup(Experiment::Scale::Medium);
+  setup.trace.total_calls = 200'000;
+  Experiment exp(setup);
+  auto d = exp.make_default();
+  RunResult r = exp.run(*d);
+  for (Metric m : kAllMetrics) {
+    auto v = r.values[metric_index(m)];
+    std::sort(v.begin(), v.end());
+    std::cout << metric_name(m) << ": p10=" << percentile_sorted(v,10)
+      << " p50=" << percentile_sorted(v,50) << " p85=" << percentile_sorted(v,85)
+      << " p90=" << percentile_sorted(v,90) << " p99=" << percentile_sorted(v,99)
+      << "  PNR=" << r.pnr.pnr(m)*100 << "%\n";
+  }
+  std::cout << "any-bad PNR=" << r.pnr.pnr_any()*100 << "%\n";
+  std::cout << "intl PNR(any)=" << r.pnr_international.pnr_any()*100
+            << "% dom=" << r.pnr_domestic.pnr_any()*100 << "%\n";
+  for (Metric m : kAllMetrics)
+    std::cout << "intl PNR(" << metric_name(m) << ")=" << r.pnr_international.pnr(m)*100
+              << "% dom=" << r.pnr_domestic.pnr(m)*100 << "%\n";
+  return 0;
+}

@@ -1,0 +1,14 @@
+#include <iostream>
+#include "rpc/testbed.h"
+using namespace via;
+int main() {
+  TestbedConfig cfg;
+  TestbedResult r = run_testbed(cfg);
+  std::cout << "measurement calls: " << r.measurement_calls
+            << " eval calls: " << r.eval_calls << "\n";
+  std::cout << "picked best: " << r.fraction_best()*100 << "%\n";
+  std::cout << "within 10%: " << r.fraction_within(0.10)*100 << "%\n";
+  std::cout << "within 20%: " << r.fraction_within(0.20)*100 << "%  (paper: ~70%)\n";
+  std::cout << "within 50%: " << r.fraction_within(0.50)*100 << "%\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include <iostream>
+#include "sim/experiment.h"
+using namespace via;
+int main() {
+  auto setup = Experiment::default_setup(Experiment::Scale::Small);
+  setup.trace.total_calls = 60'000; setup.trace.days = 14;
+  Experiment exp(setup);
+  auto via_policy = exp.make_via(Metric::Rtt);
+  auto def = exp.make_default();
+  auto expl = exp.make_exploration_only(Metric::Rtt);
+  auto oracle = exp.make_oracle(Metric::Rtt);
+  RunResult rv = exp.run(*via_policy);
+  RunResult rd = exp.run(*def);
+  RunResult re = exp.run(*expl);
+  RunResult ro = exp.run(*oracle);
+  const auto& s = via_policy->stats();
+  std::cout << "via calls=" << s.calls << " eps=" << s.epsilon_explored
+            << " bandit=" << s.bandit_served << " cold=" << s.cold_start_direct
+            << " budget_denied=" << s.budget_denied
+            << "\n direct=" << s.chose_direct << " bounce=" << s.chose_bounce
+            << " transit=" << s.chose_transit << "\n";
+  std::cout << "PNR rtt: default=" << rd.pnr.pnr(Metric::Rtt)
+            << " via=" << rv.pnr.pnr(Metric::Rtt)
+            << " explore=" << re.pnr.pnr(Metric::Rtt)
+            << " oracle=" << ro.pnr.pnr(Metric::Rtt) << "\n";
+  std::cout << "relayed: via=" << rv.relayed_fraction() << " explore=" << re.relayed_fraction() << "\n";
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include <iostream>
+#include "sim/experiment.h"
+using namespace via;
+int main() {
+  auto setup = Experiment::default_setup(Experiment::Scale::Small);
+  setup.trace.total_calls = 60'000; setup.trace.days = 14;
+  Experiment exp(setup);
+  auto run_via = [&](double eps, double coef, bool seed, double carry, const char* label) {
+    ViaConfig c; c.epsilon = eps; c.bandit.exploration_coefficient = coef;
+    c.bandit.seed_with_prediction = seed; c.bandit.carry_over = carry;
+    auto p = exp.make_via(Metric::Rtt, c);
+    RunResult r = exp.run(*p);
+    std::cout << label << " PNR=" << r.pnr.pnr(Metric::Rtt) << " relayed=" << r.relayed_fraction() << "\n";
+  };
+  auto s1 = exp.make_prediction_only(Metric::Rtt);
+  RunResult rp = exp.run(*s1);
+  std::cout << "strawman1 PNR=" << rp.pnr.pnr(Metric::Rtt) << " relayed=" << rp.relayed_fraction() << "\n";
+  run_via(0.03, 0.1, true, 0.5, "via default");
+  run_via(0.0, 0.1, true, 0.5, "via eps0");
+  run_via(0.03, 0.02, true, 0.5, "via coef0.02");
+  run_via(0.0, 0.02, true, 0.5, "via eps0 coef0.02");
+  run_via(0.03, 0.1, true, 0.8, "via carry0.8");
+  run_via(0.03, 0.05, true, 0.8, "via coef.05 carry0.8");
+  return 0;
+}
