@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via_call_client.dir/via_call_client.cpp.o"
+  "CMakeFiles/via_call_client.dir/via_call_client.cpp.o.d"
+  "via_call_client"
+  "via_call_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via_call_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

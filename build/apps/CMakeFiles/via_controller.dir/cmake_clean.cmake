@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via_controller.dir/via_controller.cpp.o"
+  "CMakeFiles/via_controller.dir/via_controller.cpp.o.d"
+  "via_controller"
+  "via_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hybrid_racing.dir/bench_ext_hybrid_racing.cpp.o"
+  "CMakeFiles/bench_ext_hybrid_racing.dir/bench_ext_hybrid_racing.cpp.o.d"
+  "bench_ext_hybrid_racing"
+  "bench_ext_hybrid_racing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hybrid_racing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

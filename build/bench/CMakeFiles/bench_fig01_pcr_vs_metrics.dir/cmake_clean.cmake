@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_pcr_vs_metrics.dir/bench_fig01_pcr_vs_metrics.cpp.o"
+  "CMakeFiles/bench_fig01_pcr_vs_metrics.dir/bench_fig01_pcr_vs_metrics.cpp.o.d"
+  "bench_fig01_pcr_vs_metrics"
+  "bench_fig01_pcr_vs_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_pcr_vs_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_intl_vs_domestic.dir/bench_fig04_intl_vs_domestic.cpp.o"
+  "CMakeFiles/bench_fig04_intl_vs_domestic.dir/bench_fig04_intl_vs_domestic.cpp.o.d"
+  "bench_fig04_intl_vs_domestic"
+  "bench_fig04_intl_vs_domestic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_intl_vs_domestic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig04_intl_vs_domestic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_persistence_prevalence.dir/bench_fig06_persistence_prevalence.cpp.o"
+  "CMakeFiles/bench_fig06_persistence_prevalence.dir/bench_fig06_persistence_prevalence.cpp.o.d"
+  "bench_fig06_persistence_prevalence"
+  "bench_fig06_persistence_prevalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_persistence_prevalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_oracle_potential.dir/bench_fig08_oracle_potential.cpp.o"
+  "CMakeFiles/bench_fig08_oracle_potential.dir/bench_fig08_oracle_potential.cpp.o.d"
+  "bench_fig08_oracle_potential"
+  "bench_fig08_oracle_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_oracle_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig09_best_option_duration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_intl_domestic_via.dir/bench_fig13_intl_domestic_via.cpp.o"
+  "CMakeFiles/bench_fig13_intl_domestic_via.dir/bench_fig13_intl_domestic_via.cpp.o.d"
+  "bench_fig13_intl_domestic_via"
+  "bench_fig13_intl_domestic_via.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_intl_domestic_via.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

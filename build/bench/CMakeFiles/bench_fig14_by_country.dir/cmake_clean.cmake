@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_by_country.dir/bench_fig14_by_country.cpp.o"
+  "CMakeFiles/bench_fig14_by_country.dir/bench_fig14_by_country.cpp.o.d"
+  "bench_fig14_by_country"
+  "bench_fig14_by_country.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_by_country.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_design_ablation.dir/bench_fig15_design_ablation.cpp.o"
+  "CMakeFiles/bench_fig15_design_ablation.dir/bench_fig15_design_ablation.cpp.o.d"
+  "bench_fig15_design_ablation"
+  "bench_fig15_design_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_design_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17a_spatial_granularity.dir/bench_fig17a_spatial_granularity.cpp.o"
+  "CMakeFiles/bench_fig17a_spatial_granularity.dir/bench_fig17a_spatial_granularity.cpp.o.d"
+  "bench_fig17a_spatial_granularity"
+  "bench_fig17a_spatial_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17a_spatial_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig17b_temporal_granularity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig18_deployment.cpp" "bench/CMakeFiles/bench_fig18_deployment.dir/bench_fig18_deployment.cpp.o" "gcc" "bench/CMakeFiles/bench_fig18_deployment.dir/bench_fig18_deployment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/via_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/via_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/via_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/via_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/via_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/via_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/via_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/via_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_transit_vs_bounce.dir/bench_sec52_transit_vs_bounce.cpp.o"
+  "CMakeFiles/bench_sec52_transit_vs_bounce.dir/bench_sec52_transit_vs_bounce.cpp.o.d"
+  "bench_sec52_transit_vs_bounce"
+  "bench_sec52_transit_vs_bounce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_transit_vs_bounce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

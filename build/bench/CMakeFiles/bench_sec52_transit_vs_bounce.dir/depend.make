@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec52_transit_vs_bounce.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_tomography_accuracy.dir/bench_sec53_tomography_accuracy.cpp.o"
+  "CMakeFiles/bench_sec53_tomography_accuracy.dir/bench_sec53_tomography_accuracy.cpp.o.d"
+  "bench_sec53_tomography_accuracy"
+  "bench_sec53_tomography_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_tomography_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

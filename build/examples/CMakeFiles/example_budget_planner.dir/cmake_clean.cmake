@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_budget_planner.dir/budget_planner.cpp.o"
+  "CMakeFiles/example_budget_planner.dir/budget_planner.cpp.o.d"
+  "example_budget_planner"
+  "example_budget_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_budget_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_deployment_demo.dir/deployment_demo.cpp.o"
+  "CMakeFiles/example_deployment_demo.dir/deployment_demo.cpp.o.d"
+  "example_deployment_demo"
+  "example_deployment_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_deployment_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

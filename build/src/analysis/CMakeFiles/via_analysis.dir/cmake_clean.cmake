@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via_analysis.dir/section2.cpp.o"
+  "CMakeFiles/via_analysis.dir/section2.cpp.o.d"
+  "libvia_analysis.a"
+  "libvia_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via_common.dir/relay_option.cpp.o"
+  "CMakeFiles/via_common.dir/relay_option.cpp.o.d"
+  "libvia_common.a"
+  "libvia_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bandit.cpp" "src/core/CMakeFiles/via_core.dir/bandit.cpp.o" "gcc" "src/core/CMakeFiles/via_core.dir/bandit.cpp.o.d"
+  "/root/repo/src/core/budget.cpp" "src/core/CMakeFiles/via_core.dir/budget.cpp.o" "gcc" "src/core/CMakeFiles/via_core.dir/budget.cpp.o.d"
+  "/root/repo/src/core/extensions.cpp" "src/core/CMakeFiles/via_core.dir/extensions.cpp.o" "gcc" "src/core/CMakeFiles/via_core.dir/extensions.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/core/CMakeFiles/via_core.dir/history.cpp.o" "gcc" "src/core/CMakeFiles/via_core.dir/history.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/core/CMakeFiles/via_core.dir/policies.cpp.o" "gcc" "src/core/CMakeFiles/via_core.dir/policies.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/via_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/via_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/tomography.cpp" "src/core/CMakeFiles/via_core.dir/tomography.cpp.o" "gcc" "src/core/CMakeFiles/via_core.dir/tomography.cpp.o.d"
+  "/root/repo/src/core/topk.cpp" "src/core/CMakeFiles/via_core.dir/topk.cpp.o" "gcc" "src/core/CMakeFiles/via_core.dir/topk.cpp.o.d"
+  "/root/repo/src/core/via_policy.cpp" "src/core/CMakeFiles/via_core.dir/via_policy.cpp.o" "gcc" "src/core/CMakeFiles/via_core.dir/via_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/via_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/via_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via_core.dir/bandit.cpp.o"
+  "CMakeFiles/via_core.dir/bandit.cpp.o.d"
+  "CMakeFiles/via_core.dir/budget.cpp.o"
+  "CMakeFiles/via_core.dir/budget.cpp.o.d"
+  "CMakeFiles/via_core.dir/extensions.cpp.o"
+  "CMakeFiles/via_core.dir/extensions.cpp.o.d"
+  "CMakeFiles/via_core.dir/history.cpp.o"
+  "CMakeFiles/via_core.dir/history.cpp.o.d"
+  "CMakeFiles/via_core.dir/policies.cpp.o"
+  "CMakeFiles/via_core.dir/policies.cpp.o.d"
+  "CMakeFiles/via_core.dir/predictor.cpp.o"
+  "CMakeFiles/via_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/via_core.dir/tomography.cpp.o"
+  "CMakeFiles/via_core.dir/tomography.cpp.o.d"
+  "CMakeFiles/via_core.dir/topk.cpp.o"
+  "CMakeFiles/via_core.dir/topk.cpp.o.d"
+  "CMakeFiles/via_core.dir/via_policy.cpp.o"
+  "CMakeFiles/via_core.dir/via_policy.cpp.o.d"
+  "libvia_core.a"
+  "libvia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

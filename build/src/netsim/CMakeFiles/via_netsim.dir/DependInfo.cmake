@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/dynamics.cpp" "src/netsim/CMakeFiles/via_netsim.dir/dynamics.cpp.o" "gcc" "src/netsim/CMakeFiles/via_netsim.dir/dynamics.cpp.o.d"
+  "/root/repo/src/netsim/groundtruth.cpp" "src/netsim/CMakeFiles/via_netsim.dir/groundtruth.cpp.o" "gcc" "src/netsim/CMakeFiles/via_netsim.dir/groundtruth.cpp.o.d"
+  "/root/repo/src/netsim/pathmodel.cpp" "src/netsim/CMakeFiles/via_netsim.dir/pathmodel.cpp.o" "gcc" "src/netsim/CMakeFiles/via_netsim.dir/pathmodel.cpp.o.d"
+  "/root/repo/src/netsim/world.cpp" "src/netsim/CMakeFiles/via_netsim.dir/world.cpp.o" "gcc" "src/netsim/CMakeFiles/via_netsim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/via_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/via_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via_netsim.dir/dynamics.cpp.o"
+  "CMakeFiles/via_netsim.dir/dynamics.cpp.o.d"
+  "CMakeFiles/via_netsim.dir/groundtruth.cpp.o"
+  "CMakeFiles/via_netsim.dir/groundtruth.cpp.o.d"
+  "CMakeFiles/via_netsim.dir/pathmodel.cpp.o"
+  "CMakeFiles/via_netsim.dir/pathmodel.cpp.o.d"
+  "CMakeFiles/via_netsim.dir/world.cpp.o"
+  "CMakeFiles/via_netsim.dir/world.cpp.o.d"
+  "libvia_netsim.a"
+  "libvia_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via_quality.dir/emodel.cpp.o"
+  "CMakeFiles/via_quality.dir/emodel.cpp.o.d"
+  "CMakeFiles/via_quality.dir/packetsim.cpp.o"
+  "CMakeFiles/via_quality.dir/packetsim.cpp.o.d"
+  "CMakeFiles/via_quality.dir/rating.cpp.o"
+  "CMakeFiles/via_quality.dir/rating.cpp.o.d"
+  "libvia_quality.a"
+  "libvia_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvia_quality.a"
+)

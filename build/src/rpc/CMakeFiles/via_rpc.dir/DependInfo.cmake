@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/client.cpp" "src/rpc/CMakeFiles/via_rpc.dir/client.cpp.o" "gcc" "src/rpc/CMakeFiles/via_rpc.dir/client.cpp.o.d"
+  "/root/repo/src/rpc/framing.cpp" "src/rpc/CMakeFiles/via_rpc.dir/framing.cpp.o" "gcc" "src/rpc/CMakeFiles/via_rpc.dir/framing.cpp.o.d"
+  "/root/repo/src/rpc/messages.cpp" "src/rpc/CMakeFiles/via_rpc.dir/messages.cpp.o" "gcc" "src/rpc/CMakeFiles/via_rpc.dir/messages.cpp.o.d"
+  "/root/repo/src/rpc/server.cpp" "src/rpc/CMakeFiles/via_rpc.dir/server.cpp.o" "gcc" "src/rpc/CMakeFiles/via_rpc.dir/server.cpp.o.d"
+  "/root/repo/src/rpc/socket.cpp" "src/rpc/CMakeFiles/via_rpc.dir/socket.cpp.o" "gcc" "src/rpc/CMakeFiles/via_rpc.dir/socket.cpp.o.d"
+  "/root/repo/src/rpc/testbed.cpp" "src/rpc/CMakeFiles/via_rpc.dir/testbed.cpp.o" "gcc" "src/rpc/CMakeFiles/via_rpc.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/via_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/via_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/via_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/via_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via_rpc.dir/client.cpp.o"
+  "CMakeFiles/via_rpc.dir/client.cpp.o.d"
+  "CMakeFiles/via_rpc.dir/framing.cpp.o"
+  "CMakeFiles/via_rpc.dir/framing.cpp.o.d"
+  "CMakeFiles/via_rpc.dir/messages.cpp.o"
+  "CMakeFiles/via_rpc.dir/messages.cpp.o.d"
+  "CMakeFiles/via_rpc.dir/server.cpp.o"
+  "CMakeFiles/via_rpc.dir/server.cpp.o.d"
+  "CMakeFiles/via_rpc.dir/socket.cpp.o"
+  "CMakeFiles/via_rpc.dir/socket.cpp.o.d"
+  "CMakeFiles/via_rpc.dir/testbed.cpp.o"
+  "CMakeFiles/via_rpc.dir/testbed.cpp.o.d"
+  "libvia_rpc.a"
+  "libvia_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

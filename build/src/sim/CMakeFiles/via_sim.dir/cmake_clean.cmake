@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via_sim.dir/engine.cpp.o"
+  "CMakeFiles/via_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/via_sim.dir/experiment.cpp.o"
+  "CMakeFiles/via_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/via_sim.dir/oracle.cpp.o"
+  "CMakeFiles/via_sim.dir/oracle.cpp.o.d"
+  "libvia_sim.a"
+  "libvia_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

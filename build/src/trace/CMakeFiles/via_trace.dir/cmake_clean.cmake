@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via_trace.dir/dataset.cpp.o"
+  "CMakeFiles/via_trace.dir/dataset.cpp.o.d"
+  "CMakeFiles/via_trace.dir/generator.cpp.o"
+  "CMakeFiles/via_trace.dir/generator.cpp.o.d"
+  "libvia_trace.a"
+  "libvia_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via_util.dir/geo.cpp.o"
+  "CMakeFiles/via_util.dir/geo.cpp.o.d"
+  "CMakeFiles/via_util.dir/histogram.cpp.o"
+  "CMakeFiles/via_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/via_util.dir/percentile.cpp.o"
+  "CMakeFiles/via_util.dir/percentile.cpp.o.d"
+  "CMakeFiles/via_util.dir/rng.cpp.o"
+  "CMakeFiles/via_util.dir/rng.cpp.o.d"
+  "CMakeFiles/via_util.dir/table.cpp.o"
+  "CMakeFiles/via_util.dir/table.cpp.o.d"
+  "libvia_util.a"
+  "libvia_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

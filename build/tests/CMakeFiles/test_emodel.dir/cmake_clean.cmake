@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emodel.dir/test_emodel.cpp.o"
+  "CMakeFiles/test_emodel.dir/test_emodel.cpp.o.d"
+  "test_emodel"
+  "test_emodel.pdb"
+  "test_emodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

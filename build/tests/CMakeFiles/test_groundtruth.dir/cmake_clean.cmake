@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_groundtruth.dir/test_groundtruth.cpp.o"
+  "CMakeFiles/test_groundtruth.dir/test_groundtruth.cpp.o.d"
+  "test_groundtruth"
+  "test_groundtruth.pdb"
+  "test_groundtruth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_groundtruth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linearize.dir/test_linearize.cpp.o"
+  "CMakeFiles/test_linearize.dir/test_linearize.cpp.o.d"
+  "test_linearize"
+  "test_linearize.pdb"
+  "test_linearize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linearize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

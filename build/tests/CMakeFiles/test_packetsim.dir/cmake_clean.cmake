@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packetsim.dir/test_packetsim.cpp.o"
+  "CMakeFiles/test_packetsim.dir/test_packetsim.cpp.o.d"
+  "test_packetsim"
+  "test_packetsim.pdb"
+  "test_packetsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packetsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

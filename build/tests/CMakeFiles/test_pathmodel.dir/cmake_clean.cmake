@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pathmodel.dir/test_pathmodel.cpp.o"
+  "CMakeFiles/test_pathmodel.dir/test_pathmodel.cpp.o.d"
+  "test_pathmodel"
+  "test_pathmodel.pdb"
+  "test_pathmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pathmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

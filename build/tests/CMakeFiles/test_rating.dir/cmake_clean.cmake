@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rating.dir/test_rating.cpp.o"
+  "CMakeFiles/test_rating.dir/test_rating.cpp.o.d"
+  "test_rating"
+  "test_rating.pdb"
+  "test_rating[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tomography.dir/test_tomography.cpp.o"
+  "CMakeFiles/test_tomography.dir/test_tomography.cpp.o.d"
+  "test_tomography"
+  "test_tomography.pdb"
+  "test_tomography[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tomography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_benefit_probe.dir/benefit_probe.cpp.o"
+  "CMakeFiles/tool_benefit_probe.dir/benefit_probe.cpp.o.d"
+  "tool_benefit_probe"
+  "tool_benefit_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_benefit_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

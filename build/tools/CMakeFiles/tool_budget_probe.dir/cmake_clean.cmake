@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_budget_probe.dir/budget_probe.cpp.o"
+  "CMakeFiles/tool_budget_probe.dir/budget_probe.cpp.o.d"
+  "tool_budget_probe"
+  "tool_budget_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_budget_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_calibrate.dir/calibrate.cpp.o"
+  "CMakeFiles/tool_calibrate.dir/calibrate.cpp.o.d"
+  "tool_calibrate"
+  "tool_calibrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_pred_accuracy.dir/pred_accuracy.cpp.o"
+  "CMakeFiles/tool_pred_accuracy.dir/pred_accuracy.cpp.o.d"
+  "tool_pred_accuracy"
+  "tool_pred_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_pred_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

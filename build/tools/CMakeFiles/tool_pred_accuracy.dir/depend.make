@@ -1,0 +1,2 @@
+# Empty dependencies file for tool_pred_accuracy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_testbed_probe.dir/testbed_probe.cpp.o"
+  "CMakeFiles/tool_testbed_probe.dir/testbed_probe.cpp.o.d"
+  "tool_testbed_probe"
+  "tool_testbed_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_testbed_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

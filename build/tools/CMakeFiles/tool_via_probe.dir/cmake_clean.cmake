@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_via_probe.dir/via_probe.cpp.o"
+  "CMakeFiles/tool_via_probe.dir/via_probe.cpp.o.d"
+  "tool_via_probe"
+  "tool_via_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_via_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

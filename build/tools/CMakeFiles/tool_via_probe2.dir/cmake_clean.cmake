@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_via_probe2.dir/via_probe2.cpp.o"
+  "CMakeFiles/tool_via_probe2.dir/via_probe2.cpp.o.d"
+  "tool_via_probe2"
+  "tool_via_probe2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_via_probe2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tool_via_probe2.
+# This may be replaced when dependencies are built.
