@@ -5,6 +5,7 @@
 //   via_call_client --port N report --call ID --time T --src AS --dst AS \
 //                   --option OPT [--ingress R] --rtt MS --loss PCT --jitter MS
 //   via_call_client --port N refresh --time T
+//   via_call_client --port N stats [--format table|json|prom]
 //
 // Exposes the full wire protocol from the shell — handy for smoke-testing
 // a deployment or scripting synthetic traffic against a live controller.
@@ -35,7 +36,8 @@ void usage() {
          " --options 0,3,7\n"
          "  via_call_client --port N report --call ID --time T --src AS --dst AS"
          " --option OPT [--ingress R] --rtt MS --loss PCT --jitter MS\n"
-         "  via_call_client --port N refresh --time T\n";
+         "  via_call_client --port N refresh --time T\n"
+         "  via_call_client --port N stats [--format table|json|prom]\n";
 }
 
 }  // namespace
@@ -48,6 +50,7 @@ int main(int argc, char** argv) {
   DecisionRequest request;
   Observation obs;
   TimeSec refresh_time = 0;
+  via::obs::StatsFormat stats_format = via::obs::StatsFormat::Table;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -58,8 +61,13 @@ int main(int argc, char** argv) {
     try {
       if (arg == "--port") {
         port = static_cast<std::uint16_t>(std::stoi(next()));
-      } else if (arg == "decide" || arg == "report" || arg == "refresh") {
+      } else if (arg == "decide" || arg == "report" || arg == "refresh" || arg == "stats") {
         command = arg;
+      } else if (arg == "--format") {
+        const std::string f = next();
+        stats_format = f == "json"   ? obs::StatsFormat::Json
+                       : f == "prom" ? obs::StatsFormat::Prometheus
+                                     : obs::StatsFormat::Table;
       } else if (arg == "--call") {
         request.call_id = obs.id = std::stoll(next());
       } else if (arg == "--time") {
@@ -110,6 +118,8 @@ int main(int argc, char** argv) {
     } else if (command == "report") {
       client.report(obs);
       std::cout << "ok\n";
+    } else if (command == "stats") {
+      std::cout << client.get_stats(stats_format) << "\n";
     } else {
       client.refresh(refresh_time);
       std::cout << "ok\n";

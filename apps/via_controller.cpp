@@ -8,6 +8,11 @@
 //
 //   via_controller [--port N] [--metric rtt|loss|jitter] [--epsilon E]
 //                  [--budget B] [--refresh-hours T] [--backbone FILE]
+//                  [--metrics-dump] [--metrics-format table|json|prom]
+//
+// --metrics-dump: print the telemetry registry (decision counters, RPC
+// latency histograms, bytes in/out) on shutdown; the same snapshot is
+// queryable live over the GetStats RPC (`via_call_client stats`).
 //
 // --backbone FILE: CSV "relay_a,relay_b,rtt_ms,loss_pct,jitter_ms" giving
 // the managed backbone matrix (the operator knows this).  Without it the
@@ -23,6 +28,7 @@
 #include <unordered_map>
 
 #include "core/via_policy.h"
+#include "obs/export.h"
 #include "rpc/server.h"
 
 namespace {
@@ -35,6 +41,12 @@ via::Metric parse_metric(const std::string& s) {
   if (s == "loss") return via::Metric::Loss;
   if (s == "jitter") return via::Metric::Jitter;
   return via::Metric::Rtt;
+}
+
+via::obs::StatsFormat parse_stats_format(const std::string& s) {
+  if (s == "json") return via::obs::StatsFormat::Json;
+  if (s == "prom" || s == "prometheus") return via::obs::StatsFormat::Prometheus;
+  return via::obs::StatsFormat::Table;
 }
 
 /// Backbone matrix loaded from CSV; symmetric, zero if absent.
@@ -87,6 +99,8 @@ int main(int argc, char** argv) {
   std::uint16_t port = 7401;
   ViaConfig config;
   BackboneTable backbone;
+  bool metrics_dump = false;
+  obs::StatsFormat metrics_format = obs::StatsFormat::Table;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -107,10 +121,15 @@ int main(int argc, char** argv) {
         config.refresh_period = static_cast<TimeSec>(std::stod(next()) * 3600.0);
       } else if (arg == "--backbone") {
         backbone.load(next());
+      } else if (arg == "--metrics-dump") {
+        metrics_dump = true;
+      } else if (arg == "--metrics-format") {
+        metrics_format = parse_stats_format(next());
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "usage: via_controller [--port N] [--metric rtt|loss|jitter]\n"
                      "                      [--epsilon E] [--budget B]\n"
-                     "                      [--refresh-hours T] [--backbone FILE]\n";
+                     "                      [--refresh-hours T] [--backbone FILE]\n"
+                     "                      [--metrics-dump] [--metrics-format table|json|prom]\n";
         return 0;
       } else {
         std::cerr << "unknown argument: " << arg << "\n";
@@ -155,6 +174,10 @@ int main(int argc, char** argv) {
     }
     std::cout << "\nshutting down: " << server.decisions_served() << " decisions, "
               << server.reports_received() << " reports served.\n";
+    if (metrics_dump) {
+      std::cout << "\n== telemetry ==\n"
+                << obs::render_stats(server.telemetry().registry.snapshot(), metrics_format);
+    }
     server.stop();
   } catch (const std::exception& e) {
     std::cerr << "fatal: " << e.what() << "\n";

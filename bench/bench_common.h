@@ -10,8 +10,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/experiment.h"
 #include "util/table.h"
 
@@ -55,8 +59,37 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// One-line machine-readable telemetry summary of the whole bench process:
+/// wall time, replayed calls/sec, per-reason decision counts, and the full
+/// session registry (every engine run folds its per-run registry into
+/// obs::MetricsRegistry::process(), so this sees all runs of the binary).
+inline void print_telemetry_json(std::ostream& os, double wall_seconds) {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::process().snapshot();
+  const std::int64_t calls = snap.counter_value("engine.calls");
+  os << "{\"telemetry\":{\"wall_seconds\":" << wall_seconds << ",\"calls\":" << calls
+     << ",\"calls_per_sec\":"
+     << (wall_seconds > 0.0 ? static_cast<double>(calls) / wall_seconds : 0.0)
+     << ",\"decisions\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < obs::kNumDecisionReasons; ++i) {
+    const auto reason = static_cast<obs::DecisionReason>(i);
+    const std::string_view name = obs::decision_reason_name(reason);
+    const std::string counter =
+        reason == obs::DecisionReason::BackgroundRelay
+            ? std::string("engine.decision.") + std::string(name)
+            : std::string("policy.decision.") + std::string(name);
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << snap.counter_value(counter);
+  }
+  os << "},\"metrics\":";
+  obs::render_json(snap, os);
+  os << "}}\n";
+}
+
 inline void print_elapsed(const Stopwatch& sw) {
   std::cout << "\n[bench completed in " << format_double(sw.seconds(), 1) << "s]\n";
+  print_telemetry_json(std::cout, sw.seconds());
 }
 
 }  // namespace via::bench

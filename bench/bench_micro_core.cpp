@@ -1,13 +1,18 @@
 // Micro-benchmarks (google-benchmark) for Via's hot paths: history ingest,
 // tomography solve, prediction, top-k selection, bandit pick, and the
-// end-to-end per-call controller decision.
+// end-to-end per-call controller decision — with and without telemetry
+// attached, so the instrumentation overhead itself is measured.
 #include <benchmark/benchmark.h>
+
+#include <iostream>
 
 #include "core/predictor.h"
 #include "core/topk.h"
 #include "core/via_policy.h"
 #include "netsim/groundtruth.h"
 #include "netsim/world.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
 #include "util/rng.h"
 
 namespace via {
@@ -131,10 +136,13 @@ void BM_BanditPick(benchmark::State& state) {
 }
 BENCHMARK(BM_BanditPick);
 
-void BM_ViaChoosePerCall(benchmark::State& state) {
+/// Shared body for the end-to-end decision bench; `telemetry` toggles the
+/// instrumented path so the two variants differ only in attachment.
+void run_choose_per_call(benchmark::State& state, obs::Telemetry* telemetry) {
   auto& gt = bench_gt();
   ViaPolicy policy(gt.option_table(),
                    [&](RelayId a, RelayId b) { return gt.backbone(a, b); });
+  policy.attach_telemetry(telemetry);
   // Warm up with a day of observations + refresh.
   Rng rng(11);
   for (int i = 0; i < 20000; ++i) {
@@ -168,8 +176,18 @@ void BM_ViaChoosePerCall(benchmark::State& state) {
     ctx.options = gt.candidate_options(s, d);
     benchmark::DoNotOptimize(policy.choose(ctx));
   }
+  policy.attach_telemetry(nullptr);
 }
+
+void BM_ViaChoosePerCall(benchmark::State& state) { run_choose_per_call(state, nullptr); }
 BENCHMARK(BM_ViaChoosePerCall);
+
+void BM_ViaChoosePerCallTelemetry(benchmark::State& state) {
+  obs::Telemetry telemetry;
+  run_choose_per_call(state, &telemetry);
+  telemetry.registry.merge_into(obs::MetricsRegistry::process());
+}
+BENCHMARK(BM_ViaChoosePerCallTelemetry);
 
 void BM_GroundTruthSample(benchmark::State& state) {
   auto& gt = bench_gt();
@@ -186,4 +204,16 @@ BENCHMARK(BM_GroundTruthSample);
 }  // namespace
 }  // namespace via
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN(): after the suite runs, dump the process-wide
+// telemetry registry (fed by the *Telemetry variants) as one JSON line so
+// harnesses diffing bench output see decision counts alongside timings.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::cout << "{\"telemetry\":";
+  via::obs::render_json(via::obs::MetricsRegistry::process().snapshot(), std::cout);
+  std::cout << "}\n";
+  return 0;
+}

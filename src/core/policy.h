@@ -15,6 +15,10 @@
 
 namespace via {
 
+namespace obs {
+struct Telemetry;  // obs/telemetry.h: metrics registry + decision trace
+}
+
 /// An active-measurement request (paper §7, "Active Measurements"): the
 /// controller asks for a mock call between two endpoints over a specific
 /// option to fill a coverage hole in its passive history.
@@ -71,6 +75,12 @@ class RoutingPolicy {
     (void)max_probes;
     return {};
   }
+
+  /// Optional telemetry hookup: the host (engine run, RPC server, app)
+  /// owns the Telemetry; instrumented policies emit per-decision counters
+  /// and DecisionTrace events into it.  nullptr detaches.  Policies without
+  /// instrumentation ignore the call; behavior must not depend on it.
+  virtual void attach_telemetry(obs::Telemetry* telemetry) { (void)telemetry; }
 
   [[nodiscard]] virtual std::string_view name() const = 0;
 };

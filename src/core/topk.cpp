@@ -6,7 +6,7 @@ namespace via {
 
 std::vector<RankedOption> select_top_k(const Predictor& predictor, AsId s, AsId d,
                                        std::span<const OptionId> candidates, Metric metric,
-                                       const TopKConfig& config) {
+                                       const TopKConfig& config, TopKCoverage* coverage) {
   std::vector<RankedOption> ranked;
   ranked.reserve(candidates.size());
   for (const OptionId opt : candidates) {
@@ -14,6 +14,10 @@ std::vector<RankedOption> select_top_k(const Predictor& predictor, AsId s, AsId 
     r.option = opt;
     r.pred = predictor.predict(s, d, opt, metric);
     if (r.pred.valid) ranked.push_back(r);
+  }
+  if (coverage != nullptr) {
+    coverage->considered += static_cast<std::int64_t>(candidates.size());
+    coverage->predictable += static_cast<std::int64_t>(ranked.size());
   }
   if (ranked.empty()) return ranked;
 

@@ -28,12 +28,21 @@ struct RankedOption {
   Prediction pred;
 };
 
+/// Predictor-coverage accounting for one top-k build (telemetry): how many
+/// candidates were considered and how many had a valid prediction.
+struct TopKCoverage {
+  std::int64_t considered = 0;
+  std::int64_t predictable = 0;
+};
+
 /// Selects the top-k options among `candidates` for calls between (s, d)
 /// optimizing `metric`.  Options without a valid prediction are ignored
 /// (they remain reachable through the ε general-exploration arm).  Returns
-/// an empty vector when nothing is predictable.
+/// an empty vector when nothing is predictable.  When `coverage` is given
+/// it accumulates (adds to) the candidate/predictable tallies.
 [[nodiscard]] std::vector<RankedOption> select_top_k(const Predictor& predictor, AsId s, AsId d,
                                                      std::span<const OptionId> candidates,
-                                                     Metric metric, const TopKConfig& config = {});
+                                                     Metric metric, const TopKConfig& config = {},
+                                                     TopKCoverage* coverage = nullptr);
 
 }  // namespace via

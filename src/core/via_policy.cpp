@@ -3,7 +3,66 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/telemetry.h"
+
 namespace via {
+
+void ViaPolicy::attach_telemetry(obs::Telemetry* telemetry) {
+  inst_ = Instruments{};
+  if (telemetry == nullptr) return;
+  obs::MetricsRegistry& r = telemetry->registry;
+  inst_.trace = &telemetry->decisions;
+  inst_.ucb = &r.counter("policy.decision.ucb");
+  inst_.epsilon_explore = &r.counter("policy.decision.epsilon_explore");
+  inst_.budget_veto = &r.counter("policy.decision.budget_veto");
+  inst_.fallback_direct = &r.counter("policy.decision.fallback_direct");
+  inst_.choice_direct = &r.counter("policy.choice.direct");
+  inst_.choice_bounce = &r.counter("policy.choice.bounce");
+  inst_.choice_transit = &r.counter("policy.choice.transit");
+  inst_.refreshes = &r.counter("policy.refresh.count");
+  inst_.predict_considered = &r.counter("policy.predict.considered");
+  inst_.predict_valid = &r.counter("policy.predict.valid");
+  inst_.tomography_segments = &r.gauge("policy.refresh.tomography_segments");
+  const std::vector<double> topk_bounds = obs::LatencyHistogram::linear_bounds(0.0, 1.0, 11);
+  inst_.topk_size = &r.histogram("policy.topk.size", topk_bounds);
+}
+
+void ViaPolicy::trace_decision(const CallContext& call, OptionId option,
+                               obs::DecisionReason reason, const PairState& state) {
+  if (inst_.trace == nullptr) return;
+  switch (reason) {
+    case obs::DecisionReason::Ucb:
+      inst_.ucb->inc();
+      break;
+    case obs::DecisionReason::EpsilonExplore:
+      inst_.epsilon_explore->inc();
+      break;
+    case obs::DecisionReason::BudgetVeto:
+      inst_.budget_veto->inc();
+      break;
+    case obs::DecisionReason::FallbackDirect:
+      inst_.fallback_direct->inc();
+      break;
+    case obs::DecisionReason::BackgroundRelay:
+      break;  // engine-tagged, never emitted by the policy
+  }
+  obs::DecisionEvent event;
+  event.call_id = call.id;
+  event.time = call.time;
+  event.src_as = call.src_as;
+  event.dst_as = call.dst_as;
+  event.option = option;
+  event.reason = reason;
+  event.top_k_size = static_cast<std::int32_t>(state.top_k.size());
+  event.bandit_pulls = state.bandit.total_plays();
+  for (const RankedOption& r : state.top_k) {
+    if (r.option == option) {
+      event.predicted = r.pred.mean;
+      break;
+    }
+  }
+  inst_.trace->record(event);
+}
 
 ViaPolicy::ViaPolicy(const RelayOptionTable& options, BackboneFn backbone, ViaConfig config)
     : options_(&options),
@@ -21,6 +80,10 @@ void ViaPolicy::refresh(TimeSec /*now*/) {
   current_window_.clear();
   predictor_.train(trained_window_);
   ++period_;
+  if (inst_.refreshes != nullptr) {
+    inst_.refreshes->inc();
+    inst_.tomography_segments->set(static_cast<double>(predictor_.tomography().segment_count()));
+  }
 }
 
 ViaPolicy::PairState& ViaPolicy::pair_state(const CallContext& call) {
@@ -29,8 +92,15 @@ ViaPolicy::PairState& ViaPolicy::pair_state(const CallContext& call) {
 
   const bool adjacent_period = (state.period + 1 == period_);
   state.period = period_;
+  TopKCoverage coverage;
   state.top_k = select_top_k(predictor_, call.key_src, call.key_dst, call.options,
-                             config_.target, config_.topk);
+                             config_.target, config_.topk,
+                             inst_.trace != nullptr ? &coverage : nullptr);
+  if (inst_.trace != nullptr) {
+    inst_.predict_considered->inc(coverage.considered);
+    inst_.predict_valid->inc(coverage.predictable);
+    inst_.topk_size->observe(static_cast<double>(state.top_k.size()));
+  }
   // Surviving arms keep decayed statistics from the previous period.
   state.bandit.set_arms(state.top_k, config_.bandit,
                         adjacent_period ? &state.bandit : nullptr);
@@ -99,12 +169,15 @@ void ViaPolicy::count_choice(OptionId option) {
   switch (options_->get(option).kind) {
     case RelayKind::Direct:
       ++stats_.chose_direct;
+      if (inst_.choice_direct != nullptr) inst_.choice_direct->inc();
       break;
     case RelayKind::Bounce:
       ++stats_.chose_bounce;
+      if (inst_.choice_bounce != nullptr) inst_.choice_bounce->inc();
       break;
     case RelayKind::Transit:
       ++stats_.chose_transit;
+      if (inst_.choice_transit != nullptr) inst_.choice_transit->inc();
       break;
   }
 }
@@ -126,10 +199,12 @@ OptionId ViaPolicy::choose(const CallContext& call) {
                            relay_cap_allows(pick))) {
       ++stats_.epsilon_explored;
       count_choice(pick);
+      trace_decision(call, pick, obs::DecisionReason::EpsilonExplore, state);
       return pick;
     }
     ++stats_.budget_denied;
-    ++stats_.chose_direct;
+    count_choice(direct);
+    trace_decision(call, direct, obs::DecisionReason::BudgetVeto, state);
     return direct;
   }
 
@@ -138,28 +213,35 @@ OptionId ViaPolicy::choose(const CallContext& call) {
   if (pick == kInvalidOption) {
     // Cold start: no predictable candidate yet.
     ++stats_.cold_start_direct;
-    ++stats_.chose_direct;
+    count_choice(direct);
+    trace_decision(call, direct, obs::DecisionReason::FallbackDirect, state);
     return direct;
   }
   if (pick != direct) {
     if (!budget_.allow_relay(state.predicted_benefit)) {
       ++stats_.budget_denied;
-      ++stats_.chose_direct;
+      count_choice(direct);
+      trace_decision(call, direct, obs::DecisionReason::BudgetVeto, state);
       return direct;
     }
     if (!relay_cap_allows(pick)) {
       ++stats_.relay_cap_denied;
-      ++stats_.chose_direct;
+      count_choice(direct);
+      trace_decision(call, direct, obs::DecisionReason::BudgetVeto, state);
       return direct;
     }
   }
   ++stats_.bandit_served;
   count_choice(pick);
+  trace_decision(call, pick, obs::DecisionReason::Ucb, state);
   return pick;
 }
 
 void ViaPolicy::observe(const Observation& obs) {
   current_window_.add(obs);
+  if (inst_.trace != nullptr) {
+    inst_.trace->fill_observed(obs.id, obs.perf.get(config_.target));
+  }
   const auto it = pairs_.find(as_pair_key(obs.src_as, obs.dst_as));
   if (it != pairs_.end() && it->second.period == period_) {
     it->second.bandit.observe(obs.option, obs.perf.get(config_.target));

@@ -27,6 +27,14 @@
 
 namespace via {
 
+namespace obs {
+class Counter;
+class Gauge;
+class LatencyHistogram;
+class DecisionTrace;
+enum class DecisionReason : std::uint8_t;
+}  // namespace obs
+
 struct ViaConfig {
   Metric target = Metric::Rtt;       ///< the metric this instance optimizes
   double epsilon = 0.03;             ///< general-exploration fraction
@@ -60,6 +68,12 @@ class ViaPolicy : public RoutingPolicy {
   [[nodiscard]] std::vector<ProbeRequest> plan_probes(std::size_t max_probes) override;
   [[nodiscard]] std::string_view name() const override { return "via"; }
 
+  /// Telemetry hookup (obs/telemetry.h): per-decision reason counters and
+  /// DecisionTrace events, per-refresh coverage/tomography instruments.
+  /// Instrument references are resolved once here so choose() stays a few
+  /// relaxed atomics.  nullptr detaches.
+  void attach_telemetry(obs::Telemetry* telemetry) override;
+
   /// Decision accounting, for the Section 5.2 relaying-mix analysis.
   struct Stats {
     std::int64_t calls = 0;
@@ -88,8 +102,29 @@ class ViaPolicy : public RoutingPolicy {
     double predicted_benefit = 0.0;  ///< direct mean - best candidate mean
   };
 
+  /// Cached instrument pointers, all null while no telemetry is attached.
+  struct Instruments {
+    obs::DecisionTrace* trace = nullptr;
+    obs::Counter* ucb = nullptr;
+    obs::Counter* epsilon_explore = nullptr;
+    obs::Counter* budget_veto = nullptr;
+    obs::Counter* fallback_direct = nullptr;
+    obs::Counter* choice_direct = nullptr;
+    obs::Counter* choice_bounce = nullptr;
+    obs::Counter* choice_transit = nullptr;
+    obs::Counter* refreshes = nullptr;
+    obs::Counter* predict_considered = nullptr;
+    obs::Counter* predict_valid = nullptr;
+    obs::Gauge* tomography_segments = nullptr;
+    obs::LatencyHistogram* topk_size = nullptr;
+  };
+
   PairState& pair_state(const CallContext& call);
   void count_choice(OptionId option);
+  /// Emits the reason counter + DecisionTrace event for one routed call
+  /// (no-op when telemetry is detached).
+  void trace_decision(const CallContext& call, OptionId option, obs::DecisionReason reason,
+                      const PairState& state);
   /// Whether the relay-share cap permits routing another call via `option`;
   /// updates the per-relay load accounting when it does.
   [[nodiscard]] bool relay_cap_allows(OptionId option);
@@ -107,6 +142,7 @@ class ViaPolicy : public RoutingPolicy {
   std::vector<ProbeRequest> probe_wishlist_;
   std::unordered_map<RelayId, std::int64_t> relay_load_;
   std::int64_t relayed_total_ = 0;
+  Instruments inst_;
 };
 
 }  // namespace via

@@ -1,0 +1,145 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace via::obs {
+
+namespace {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void json_number(std::ostream& os, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    os << "null";
+  } else {
+    os << v;
+  }
+}
+
+}  // namespace
+
+void render_table(const MetricsSnapshot& snap, std::ostream& os) {
+  if (!snap.counters.empty()) {
+    TextTable t({"counter", "value"});
+    for (const auto& c : snap.counters) t.row().cell(c.name).cell_int(c.value);
+    t.print(os);
+    os << "\n";
+  }
+  if (!snap.gauges.empty()) {
+    TextTable t({"gauge", "value"});
+    for (const auto& g : snap.gauges) t.row().cell(g.name).cell(g.value, 3);
+    t.print(os);
+    os << "\n";
+  }
+  if (!snap.histograms.empty()) {
+    TextTable t({"histogram", "count", "mean", "p50", "p95", "p99"});
+    for (const auto& h : snap.histograms) {
+      t.row()
+          .cell(h.name)
+          .cell_int(h.count)
+          .cell(h.mean(), 2)
+          .cell(h.quantile(0.50), 1)
+          .cell(h.quantile(0.95), 1)
+          .cell(h.quantile(0.99), 1);
+    }
+    t.print(os);
+  }
+}
+
+void render_json(const MetricsSnapshot& snap, std::ostream& os) {
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << json_escape(snap.counters[i].name) << "\":" << snap.counters[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << json_escape(snap.gauges[i].name) << "\":";
+    json_number(os, snap.gauges[i].value);
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    if (i > 0) os << ",";
+    os << "\"" << json_escape(h.name) << "\":{\"count\":" << h.count << ",\"sum\":";
+    json_number(os, h.sum);
+    os << ",\"bounds\":[";
+    for (std::size_t j = 0; j < h.upper_bounds.size(); ++j) {
+      if (j > 0) os << ",";
+      json_number(os, h.upper_bounds[j]);
+    }
+    os << "],\"buckets\":[";
+    for (std::size_t j = 0; j < h.counts.size(); ++j) {
+      if (j > 0) os << ",";
+      os << h.counts[j];
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+void render_prometheus(const MetricsSnapshot& snap, std::ostream& os) {
+  for (const auto& c : snap.counters) {
+    const std::string name = prometheus_name(c.name);
+    os << "# TYPE " << name << " counter\n" << name << " " << c.value << "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string name = prometheus_name(g.name);
+    os << "# TYPE " << name << " gauge\n" << name << " " << g.value << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string name = prometheus_name(h.name);
+    os << "# TYPE " << name << " histogram\n";
+    std::int64_t cumulative = 0;
+    for (std::size_t j = 0; j < h.counts.size(); ++j) {
+      cumulative += h.counts[j];
+      os << name << "_bucket{le=\"";
+      if (j < h.upper_bounds.size()) {
+        os << h.upper_bounds[j];
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cumulative << "\n";
+    }
+    os << name << "_sum " << h.sum << "\n" << name << "_count " << h.count << "\n";
+  }
+}
+
+std::string render_stats(const MetricsSnapshot& snap, StatsFormat format) {
+  std::ostringstream ss;
+  switch (format) {
+    case StatsFormat::Json:
+      render_json(snap, ss);
+      break;
+    case StatsFormat::Prometheus:
+      render_prometheus(snap, ss);
+      break;
+    case StatsFormat::Table:
+      render_table(snap, ss);
+      break;
+  }
+  return ss.str();
+}
+
+}  // namespace via::obs

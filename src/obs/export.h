@@ -1,0 +1,23 @@
+// Snapshot exporters: render a MetricsSnapshot for humans (aligned text
+// table), machines (JSON), or scrapers (Prometheus text exposition format,
+// with dots in metric names mapped to underscores).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace via::obs {
+
+/// Wire-stable format selector (also used by the GetStats RPC).
+enum class StatsFormat : std::uint8_t { Json = 0, Prometheus = 1, Table = 2 };
+
+void render_table(const MetricsSnapshot& snap, std::ostream& os);
+void render_json(const MetricsSnapshot& snap, std::ostream& os);
+void render_prometheus(const MetricsSnapshot& snap, std::ostream& os);
+
+[[nodiscard]] std::string render_stats(const MetricsSnapshot& snap, StatsFormat format);
+
+}  // namespace via::obs

@@ -1,0 +1,155 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace via::obs {
+
+LatencyHistogram::LatencyHistogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()),
+      counts_(bounds_.size() + 1) {
+  assert(!bounds_.empty());
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void LatencyHistogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::merge(const HistogramSample& sample) noexcept {
+  if (sample.counts.size() != counts_.size() ||
+      !std::equal(sample.upper_bounds.begin(), sample.upper_bounds.end(), bounds_.begin(),
+                  bounds_.end())) {
+    return;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i].fetch_add(sample.counts[i], std::memory_order_relaxed);
+  }
+  count_.fetch_add(sample.count, std::memory_order_relaxed);
+  sum_.fetch_add(sample.sum, std::memory_order_relaxed);
+}
+
+std::vector<double> LatencyHistogram::exponential_bounds(double first, double factor,
+                                                         std::size_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  double b = first;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(b);
+    b *= factor;
+  }
+  return out;
+}
+
+std::vector<double> LatencyHistogram::linear_bounds(double first, double step, std::size_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(first + step * static_cast<double>(i));
+  return out;
+}
+
+double HistogramSample::quantile(double q) const noexcept {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      // The overflow bucket has no finite bound; report the last edge.
+      return i < upper_bounds.size() ? upper_bounds[i] : upper_bounds.back();
+    }
+  }
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
+std::int64_t MetricsSnapshot::counter_value(std::string_view name) const noexcept {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gauge_value(std::string_view name) const noexcept {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0.0;
+}
+
+const HistogramSample* MetricsSnapshot::find_histogram(std::string_view name) const noexcept {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name,
+                                             std::span<const double> upper_bounds) {
+  const std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<LatencyHistogram>(upper_bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.push_back({name, c->value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.push_back({name, g->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    s.upper_bounds.assign(h->upper_bounds().begin(), h->upper_bounds().end());
+    s.counts.reserve(h->bucket_count());
+    for (std::size_t i = 0; i < h->bucket_count(); ++i) s.counts.push_back(h->bucket(i));
+    s.count = h->count();
+    s.sum = h->sum();
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::merge_into(MetricsRegistry& target) const {
+  const MetricsSnapshot snap = snapshot();  // copies under our own lock only
+  for (const auto& c : snap.counters) target.counter(c.name).inc(c.value);
+  for (const auto& g : snap.gauges) target.gauge(g.name).set(g.value);
+  for (const auto& h : snap.histograms) {
+    target.histogram(h.name, h.upper_bounds).merge(h);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::process() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace via::obs

@@ -1,0 +1,22 @@
+// The unit of telemetry ownership: one registry + one decision trace.
+//
+// A Telemetry instance is owned by whoever hosts a policy (the simulation
+// engine per run, the RPC server for its lifetime, an embedding app) and
+// attached to the policy via RoutingPolicy::attach_telemetry().  Attaching
+// is optional and detachable; policies must run identically, minus the
+// bookkeeping, when none is attached.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace via::obs {
+
+struct Telemetry {
+  MetricsRegistry registry;
+  DecisionTrace decisions;
+
+  explicit Telemetry(std::size_t trace_capacity = 4096) : decisions(trace_capacity) {}
+};
+
+}  // namespace via::obs

@@ -1,0 +1,50 @@
+// ScopedTimer: RAII span helper that measures a scope's wall time and
+// records it into a LatencyHistogram (in microseconds) on destruction.
+//
+//   obs::ScopedTimer timer(registry.histogram("rpc.server.request_us",
+//                                             obs::kLatencyBoundsUs));
+//
+// A null-histogram constructor exists so call sites can time conditionally
+// ("telemetry attached or not") without branching around the scope.
+#pragma once
+
+#include <array>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace via::obs {
+
+/// Default microsecond latency buckets: 1us .. ~32ms, powers of two.
+inline constexpr std::array<double, 16> kLatencyBoundsUs{
+    1,   2,   4,    8,    16,   32,   64,    128,
+    256, 512, 1024, 2048, 4096, 8192, 16384, 32768};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram& hist) noexcept
+      : hist_(&hist), start_(std::chrono::steady_clock::now()) {}
+  /// No-op timer when `hist` is null (telemetry disabled).
+  explicit ScopedTimer(LatencyHistogram* hist) noexcept
+      : hist_(hist),
+        start_(hist != nullptr ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{}) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (hist_ != nullptr) hist_->observe(elapsed_us());
+  }
+
+  [[nodiscard]] double elapsed_us() const noexcept {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  LatencyHistogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace via::obs

@@ -1,0 +1,104 @@
+// Per-call decision tracing: one structured event per routed call,
+// recording *why* the controller picked the option it picked (§4.4-4.6
+// decision taxonomy).  Events live in a bounded ring buffer (old entries
+// are overwritten) and export as JSONL, one self-contained object per
+// line, parseable back into DecisionEvent for offline analysis.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace via::obs {
+
+/// Why a call was routed the way it was.  Exactly one reason per call.
+enum class DecisionReason : std::uint8_t {
+  Ucb = 0,             ///< modified-UCB1 pick over the pair's top-k set
+  EpsilonExplore = 1,  ///< ε general-exploration pick over all candidates
+  BudgetVeto = 2,      ///< relay denied by budget/relay-cap; direct used
+  FallbackDirect = 3,  ///< cold start: nothing predictable, direct used
+  BackgroundRelay = 4, ///< connectivity-relayed traffic, not a policy pick
+};
+
+inline constexpr std::size_t kNumDecisionReasons = 5;
+
+[[nodiscard]] constexpr std::string_view decision_reason_name(DecisionReason r) noexcept {
+  switch (r) {
+    case DecisionReason::Ucb:
+      return "ucb";
+    case DecisionReason::EpsilonExplore:
+      return "epsilon_explore";
+    case DecisionReason::BudgetVeto:
+      return "budget_veto";
+    case DecisionReason::FallbackDirect:
+      return "fallback_direct";
+    case DecisionReason::BackgroundRelay:
+      return "background_relay";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::optional<DecisionReason> decision_reason_from(std::string_view name) noexcept;
+
+/// One routed call's decision record.  `predicted` is the controller's
+/// mean prediction for the chosen option on its target metric at decision
+/// time; `observed` is the measurement that came back (NaN until the
+/// completed call is reported, and serialized as JSON null).
+struct DecisionEvent {
+  CallId call_id = 0;
+  TimeSec time = 0;
+  AsId src_as = kInvalidAs;
+  AsId dst_as = kInvalidAs;
+  OptionId option = kInvalidOption;
+  DecisionReason reason = DecisionReason::FallbackDirect;
+  double predicted = std::numeric_limits<double>::quiet_NaN();
+  double observed = std::numeric_limits<double>::quiet_NaN();
+  std::int32_t top_k_size = 0;      ///< size of the pair's top-k set
+  std::int64_t bandit_pulls = 0;    ///< pair bandit's total plays at decision time
+
+  /// One JSON object, no trailing newline.
+  [[nodiscard]] std::string to_jsonl() const;
+  /// Parses a to_jsonl() line; nullopt on malformed input.
+  [[nodiscard]] static std::optional<DecisionEvent> from_jsonl(std::string_view line);
+};
+
+/// Bounded, thread-safe ring buffer of DecisionEvents.  A call-id index
+/// lets the completed-call measurement be filled into its event in O(1)
+/// while the event is still resident.
+class DecisionTrace {
+ public:
+  explicit DecisionTrace(std::size_t capacity = 4096);
+
+  void record(const DecisionEvent& event);
+
+  /// Fills `observed` into the resident event for `call_id`, if any.
+  void fill_observed(CallId call_id, double observed);
+
+  /// Resident events, oldest first.
+  [[nodiscard]] std::vector<DecisionEvent> snapshot() const;
+
+  /// Writes the resident events as JSONL, oldest first.
+  void export_jsonl(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::int64_t recorded() const;  ///< total ever recorded
+  [[nodiscard]] std::int64_t dropped() const;   ///< overwritten by wraparound
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<DecisionEvent> ring_;
+  std::size_t next_ = 0;  ///< slot the next event goes into
+  std::int64_t recorded_ = 0;
+  std::unordered_map<CallId, std::size_t> index_;  ///< call id -> ring slot
+};
+
+}  // namespace via::obs

@@ -2,9 +2,13 @@
 
 #include <stdexcept>
 
+#include "obs/timer.h"
+
 namespace via {
 
 namespace {
+
+constexpr std::int64_t kFrameHeaderBytes = 5;  ///< u32 length + u8 type
 
 Frame expect_frame(TcpConnection& conn, MsgType expected) {
   Frame frame;
@@ -20,11 +24,42 @@ Frame expect_frame(TcpConnection& conn, MsgType expected) {
 ControllerClient::ControllerClient(std::uint16_t port)
     : conn_(TcpConnection::connect_local(port)) {}
 
+void ControllerClient::attach_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    tel_bytes_in_ = nullptr;
+    tel_bytes_out_ = nullptr;
+    tel_errors_ = nullptr;
+    tel_request_us_ = nullptr;
+    return;
+  }
+  tel_bytes_in_ = &registry->counter("rpc.client.bytes_in");
+  tel_bytes_out_ = &registry->counter("rpc.client.bytes_out");
+  tel_errors_ = &registry->counter("rpc.client.request_errors");
+  tel_request_us_ = &registry->histogram("rpc.client.request_us", obs::kLatencyBoundsUs);
+}
+
+Frame ControllerClient::round_trip(MsgType type, const WireWriter& w, MsgType expected) {
+  const obs::ScopedTimer timer(tel_request_us_);
+  try {
+    if (tel_bytes_out_ != nullptr) {
+      tel_bytes_out_->inc(static_cast<std::int64_t>(w.bytes().size()) + kFrameHeaderBytes);
+    }
+    send_frame(conn_, static_cast<std::uint8_t>(type), w.bytes());
+    Frame frame = expect_frame(conn_, expected);
+    if (tel_bytes_in_ != nullptr) {
+      tel_bytes_in_->inc(static_cast<std::int64_t>(frame.payload.size()) + kFrameHeaderBytes);
+    }
+    return frame;
+  } catch (...) {
+    if (tel_errors_ != nullptr) tel_errors_->inc();
+    throw;
+  }
+}
+
 OptionId ControllerClient::request_decision(const DecisionRequest& request) {
   WireWriter w;
   request.encode(w);
-  send_frame(conn_, static_cast<std::uint8_t>(MsgType::DecisionRequest), w.bytes());
-  Frame frame = expect_frame(conn_, MsgType::DecisionResponse);
+  Frame frame = round_trip(MsgType::DecisionRequest, w, MsgType::DecisionResponse);
   WireReader r(frame.payload);
   const DecisionResponse resp = DecisionResponse::decode(r);
   if (resp.call_id != request.call_id) throw std::runtime_error("response call-id mismatch");
@@ -34,15 +69,21 @@ OptionId ControllerClient::request_decision(const DecisionRequest& request) {
 void ControllerClient::report(const Observation& obs) {
   WireWriter w;
   ReportMsg{obs}.encode(w);
-  send_frame(conn_, static_cast<std::uint8_t>(MsgType::Report), w.bytes());
-  (void)expect_frame(conn_, MsgType::ReportAck);
+  (void)round_trip(MsgType::Report, w, MsgType::ReportAck);
 }
 
 void ControllerClient::refresh(TimeSec now) {
   WireWriter w;
   RefreshMsg{now}.encode(w);
-  send_frame(conn_, static_cast<std::uint8_t>(MsgType::Refresh), w.bytes());
-  (void)expect_frame(conn_, MsgType::RefreshAck);
+  (void)round_trip(MsgType::Refresh, w, MsgType::RefreshAck);
+}
+
+std::string ControllerClient::get_stats(obs::StatsFormat format) {
+  WireWriter w;
+  StatsRequest{static_cast<std::uint8_t>(format)}.encode(w);
+  Frame frame = round_trip(MsgType::GetStats, w, MsgType::GetStatsResponse);
+  WireReader r(frame.payload);
+  return StatsResponse::decode(r).text;
 }
 
 void ControllerClient::shutdown() {

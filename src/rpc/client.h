@@ -4,8 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/policy.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "rpc/messages.h"
 #include "rpc/socket.h"
 
@@ -16,6 +19,11 @@ class ControllerClient {
   /// Connects to a local controller.  Throws on failure.
   explicit ControllerClient(std::uint16_t port);
 
+  /// Optional telemetry: request latency histogram, bytes in/out, and
+  /// request-error counters are recorded into `registry` (caller-owned,
+  /// must outlive the client).  nullptr detaches.
+  void attach_metrics(obs::MetricsRegistry* registry);
+
   /// Round trip: returns the relaying option to use for this call.
   [[nodiscard]] OptionId request_decision(const DecisionRequest& request);
 
@@ -25,11 +33,22 @@ class ControllerClient {
   /// Asks the controller to run its periodic refresh (testbed-driven time).
   void refresh(TimeSec now);
 
+  /// Fetches the controller's telemetry snapshot, rendered server-side.
+  [[nodiscard]] std::string get_stats(obs::StatsFormat format = obs::StatsFormat::Json);
+
   /// Politely ends the session.
   void shutdown();
 
  private:
+  /// Sends one frame and waits for the expected response type, recording
+  /// latency/bytes/errors when metrics are attached.
+  [[nodiscard]] Frame round_trip(MsgType type, const WireWriter& w, MsgType expected);
+
   TcpConnection conn_;
+  obs::Counter* tel_bytes_in_ = nullptr;
+  obs::Counter* tel_bytes_out_ = nullptr;
+  obs::Counter* tel_errors_ = nullptr;
+  obs::LatencyHistogram* tel_request_us_ = nullptr;
 };
 
 }  // namespace via

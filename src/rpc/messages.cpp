@@ -70,4 +70,20 @@ RefreshMsg RefreshMsg::decode(WireReader& r) {
   return m;
 }
 
+void StatsRequest::encode(WireWriter& w) const { w.u8(format); }
+
+StatsRequest StatsRequest::decode(WireReader& r) {
+  StatsRequest m;
+  m.format = r.u8();
+  return m;
+}
+
+void StatsResponse::encode(WireWriter& w) const { w.str(text); }
+
+StatsResponse StatsResponse::decode(WireReader& r) {
+  StatsResponse m;
+  m.text = r.str();
+  return m;
+}
+
 }  // namespace via

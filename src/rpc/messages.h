@@ -23,6 +23,8 @@ enum class MsgType : std::uint8_t {
   Refresh = 5,      ///< testbed drives controller refresh explicitly
   RefreshAck = 6,
   Shutdown = 7,
+  GetStats = 8,       ///< live telemetry query (src/obs/ registry snapshot)
+  GetStatsResponse = 9,
 };
 
 struct DecisionRequest {
@@ -58,6 +60,23 @@ struct RefreshMsg {
 
   void encode(WireWriter& w) const;
   [[nodiscard]] static RefreshMsg decode(WireReader& r);
+};
+
+/// Telemetry query: the server renders its metrics registry in the
+/// requested format (wire values match obs::StatsFormat: 0 = JSON,
+/// 1 = Prometheus text, 2 = human-readable table).
+struct StatsRequest {
+  std::uint8_t format = 0;
+
+  void encode(WireWriter& w) const;
+  [[nodiscard]] static StatsRequest decode(WireReader& r);
+};
+
+struct StatsResponse {
+  std::string text;
+
+  void encode(WireWriter& w) const;
+  [[nodiscard]] static StatsResponse decode(WireReader& r);
 };
 
 }  // namespace via

@@ -4,12 +4,33 @@
 
 #include <stdexcept>
 
+#include "obs/export.h"
+
 namespace via {
 
-ControllerServer::ControllerServer(RoutingPolicy& policy, std::uint16_t port)
-    : policy_(&policy), listener_(port) {}
+namespace {
+/// Wire overhead per frame: u32 payload length + u8 message type.
+constexpr std::int64_t kFrameHeaderBytes = 5;
+}  // namespace
 
-ControllerServer::~ControllerServer() { stop(); }
+ControllerServer::ControllerServer(RoutingPolicy& policy, std::uint16_t port)
+    : policy_(&policy),
+      tel_accepted_(&telemetry_.registry.counter("rpc.server.accepted_connections")),
+      tel_conn_errors_(&telemetry_.registry.counter("rpc.server.connection_errors")),
+      tel_bytes_in_(&telemetry_.registry.counter("rpc.server.bytes_in")),
+      tel_bytes_out_(&telemetry_.registry.counter("rpc.server.bytes_out")),
+      tel_decisions_(&telemetry_.registry.counter("rpc.server.decisions")),
+      tel_reports_(&telemetry_.registry.counter("rpc.server.reports")),
+      tel_request_us_(
+          &telemetry_.registry.histogram("rpc.server.request_us", obs::kLatencyBoundsUs)),
+      listener_(port) {
+  policy_->attach_telemetry(&telemetry_);
+}
+
+ControllerServer::~ControllerServer() {
+  stop();
+  policy_->attach_telemetry(nullptr);
+}
 
 void ControllerServer::start() {
   bool expected = false;
@@ -41,6 +62,7 @@ void ControllerServer::accept_loop() {
       break;  // listener shut down
     }
     if (!running_.load()) break;
+    tel_accepted_->inc();
     const std::lock_guard lock(handlers_mutex_);
     handlers_.emplace_back(
         [this, c = std::move(conn)]() mutable { handle_connection(std::move(c)); });
@@ -51,8 +73,15 @@ void ControllerServer::handle_connection(TcpConnection conn) {
   Frame frame;
   try {
     while (recv_frame(conn, frame)) {
+      tel_bytes_in_->inc(static_cast<std::int64_t>(frame.payload.size()) + kFrameHeaderBytes);
+      const obs::ScopedTimer request_timer(*tel_request_us_);
       WireReader reader(frame.payload);
       WireWriter writer;
+      auto reply = [&](MsgType type) {
+        tel_bytes_out_->inc(static_cast<std::int64_t>(writer.bytes().size()) +
+                            kFrameHeaderBytes);
+        send_frame(conn, static_cast<std::uint8_t>(type), writer.bytes());
+      };
       switch (static_cast<MsgType>(frame.type)) {
         case MsgType::DecisionRequest: {
           const DecisionRequest req = DecisionRequest::decode(reader);
@@ -71,9 +100,9 @@ void ControllerServer::handle_connection(TcpConnection conn) {
             resp.option = policy_->choose(ctx);
           }
           ++decisions_;
+          tel_decisions_->inc();
           resp.encode(writer);
-          send_frame(conn, static_cast<std::uint8_t>(MsgType::DecisionResponse),
-                     writer.bytes());
+          reply(MsgType::DecisionResponse);
           break;
         }
         case MsgType::Report: {
@@ -83,7 +112,8 @@ void ControllerServer::handle_connection(TcpConnection conn) {
             policy_->observe(msg.obs);
           }
           ++reports_;
-          send_frame(conn, static_cast<std::uint8_t>(MsgType::ReportAck), {});
+          tel_reports_->inc();
+          reply(MsgType::ReportAck);
           break;
         }
         case MsgType::Refresh: {
@@ -92,7 +122,18 @@ void ControllerServer::handle_connection(TcpConnection conn) {
             const std::lock_guard lock(policy_mutex_);
             policy_->refresh(msg.now);
           }
-          send_frame(conn, static_cast<std::uint8_t>(MsgType::RefreshAck), {});
+          reply(MsgType::RefreshAck);
+          break;
+        }
+        case MsgType::GetStats: {
+          const StatsRequest req = StatsRequest::decode(reader);
+          const auto format = req.format <= static_cast<std::uint8_t>(obs::StatsFormat::Table)
+                                  ? static_cast<obs::StatsFormat>(req.format)
+                                  : obs::StatsFormat::Json;
+          StatsResponse resp;
+          resp.text = obs::render_stats(telemetry_.registry.snapshot(), format);
+          resp.encode(writer);
+          reply(MsgType::GetStatsResponse);
           break;
         }
         case MsgType::Shutdown:
@@ -103,6 +144,7 @@ void ControllerServer::handle_connection(TcpConnection conn) {
     }
   } catch (const std::exception&) {
     // A broken client connection only terminates its own handler.
+    tel_conn_errors_->inc();
   }
 }
 

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "core/policy.h"
+#include "obs/telemetry.h"
+#include "obs/timer.h"
 #include "rpc/messages.h"
 #include "rpc/socket.h"
 
@@ -20,7 +22,9 @@ namespace via {
 class ControllerServer {
  public:
   /// Binds to 127.0.0.1:`port` (0 = ephemeral).  The policy must outlive
-  /// the server.
+  /// the server.  The server owns an obs::Telemetry for its lifetime and
+  /// attaches it to the policy, so GetStats sees both the RPC-layer
+  /// instruments and the policy's decision counters in one registry.
   ControllerServer(RoutingPolicy& policy, std::uint16_t port = 0);
   ~ControllerServer();
 
@@ -37,11 +41,22 @@ class ControllerServer {
   [[nodiscard]] std::int64_t decisions_served() const noexcept { return decisions_.load(); }
   [[nodiscard]] std::int64_t reports_received() const noexcept { return reports_.load(); }
 
+  /// The server's (and hosted policy's) telemetry.
+  [[nodiscard]] obs::Telemetry& telemetry() noexcept { return telemetry_; }
+
  private:
   void accept_loop();
   void handle_connection(TcpConnection conn);
 
   RoutingPolicy* policy_;
+  obs::Telemetry telemetry_;
+  obs::Counter* tel_accepted_;
+  obs::Counter* tel_conn_errors_;
+  obs::Counter* tel_bytes_in_;
+  obs::Counter* tel_bytes_out_;
+  obs::Counter* tel_decisions_;
+  obs::Counter* tel_reports_;
+  obs::LatencyHistogram* tel_request_us_;
   std::mutex policy_mutex_;
   TcpListener listener_;
   std::thread accept_thread_;

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <memory>
 
+#include "obs/telemetry.h"
+#include "obs/timer.h"
 #include "util/rng.h"
 
 namespace via {
@@ -59,6 +63,20 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
   result.pnr_international = PnrAccumulator(config_.thresholds);
   result.pnr_domestic = PnrAccumulator(config_.thresholds);
 
+  // Per-run telemetry: owned here, attached to the policy for the run.
+  std::unique_ptr<obs::Telemetry> telemetry;
+  obs::Counter* tel_calls = nullptr;
+  obs::Counter* tel_background = nullptr;
+  obs::LatencyHistogram* tel_choose_us = nullptr;
+  if (config_.enable_telemetry) {
+    telemetry = std::make_unique<obs::Telemetry>(config_.decision_trace_capacity);
+    policy.attach_telemetry(telemetry.get());
+    tel_calls = &telemetry->registry.counter("engine.calls");
+    tel_background = &telemetry->registry.counter("engine.decision.background_relay");
+    tel_choose_us = &telemetry->registry.histogram("engine.choose_us", obs::kLatencyBoundsUs);
+  }
+  const auto run_start = std::chrono::steady_clock::now();
+
   TimeSec next_refresh = config_.refresh_period;
 
   CallId probe_id = 1'000'000'000'000LL;  // distinct id space for mock calls
@@ -112,6 +130,17 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
           hashed_uniform(hash_mix(0xB7, static_cast<std::uint64_t>(arrival.id))) *
           static_cast<double>(ctx.options.size()));
       const OptionId forced = ctx.options[std::min(pick_index, ctx.options.size() - 1)];
+      if (telemetry != nullptr) {
+        tel_background->inc();
+        obs::DecisionEvent event;
+        event.call_id = arrival.id;
+        event.time = arrival.time;
+        event.src_as = ctx.key_src;
+        event.dst_as = ctx.key_dst;
+        event.option = forced;
+        event.reason = obs::DecisionReason::BackgroundRelay;
+        telemetry->decisions.record(event);
+      }
       Observation obs;
       obs.id = arrival.id;
       obs.time = arrival.time;
@@ -131,7 +160,10 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
       // Hybrid racing: sample every raced option, keep the best, and feed
       // all measurements back (racing is free information, paid in setup
       // traffic).
-      const auto raced = policy.choose_candidates(ctx);
+      const auto raced = [&] {
+        const obs::ScopedTimer timer(tel_choose_us);
+        return policy.choose_candidates(ctx);
+      }();
       option = raced.front();
       perf = gt_->sample_call(arrival.id, arrival.src_as, arrival.dst_as, option,
                               arrival.time);
@@ -155,7 +187,10 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
       }
       result.raced_extra_samples += static_cast<std::int64_t>(raced.size()) - 1;
     } else {
-      option = policy.choose(ctx);
+      {
+        const obs::ScopedTimer timer(tel_choose_us);
+        option = policy.choose(ctx);
+      }
       perf = gt_->sample_call(arrival.id, arrival.src_as, arrival.dst_as, option,
                               arrival.time);
       Observation obs;
@@ -170,6 +205,7 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
     }
 
     ++result.calls;
+    if (tel_calls != nullptr) tel_calls->inc();
     switch (gt_->option_table().get(option).kind) {
       case RelayKind::Direct:
         ++result.used_direct;
@@ -201,6 +237,21 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
         result.values[metric_index(m)].push_back(perf.get(m));
       }
     }
+  }
+
+  if (telemetry != nullptr) {
+    obs::MetricsRegistry& r = telemetry->registry;
+    r.counter("engine.evaluated_calls").inc(result.evaluated_calls);
+    r.counter("engine.probes_executed").inc(result.probes_executed);
+    r.counter("engine.raced_extra_samples").inc(result.raced_extra_samples);
+    r.gauge("engine.run_seconds")
+        .set(std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
+                 .count());
+    result.telemetry = r.snapshot();
+    result.decisions = telemetry->decisions.snapshot();
+    // Session-wide aggregate: how the bench binaries report telemetry.
+    r.merge_into(obs::MetricsRegistry::process());
+    policy.attach_telemetry(nullptr);
   }
   return result;
 }

@@ -17,6 +17,8 @@
 #include "common/relay_option.h"
 #include "core/policy.h"
 #include "netsim/groundtruth.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quality/pnr.h"
 #include "trace/arrival.h"
 
@@ -49,6 +51,15 @@ struct RunConfig {
   bool collect_values = true;       ///< keep per-call metric values (percentiles)
   bool collect_by_country = false;  ///< per-country PNR (Figure 14)
   PoorThresholds thresholds;
+  /// Telemetry (src/obs/): the engine owns an obs::Telemetry per run,
+  /// attaches it to the policy, tags every replayed call (policy-routed
+  /// calls are traced by the policy; connectivity-relayed background calls
+  /// are tagged by the engine), and snapshots the registry + decision
+  /// trace into RunResult.  The per-run registry is also folded into
+  /// obs::MetricsRegistry::process() so bench binaries can report a
+  /// session-wide summary.
+  bool enable_telemetry = true;
+  std::size_t decision_trace_capacity = 4096;
 };
 
 struct RunResult {
@@ -68,6 +79,10 @@ struct RunResult {
   /// Extension accounting.
   std::int64_t probes_executed = 0;
   std::int64_t raced_extra_samples = 0;  ///< raced options beyond the one kept
+  /// Telemetry captured at the end of the run (empty when disabled):
+  /// registry snapshot plus the resident tail of the decision trace.
+  obs::MetricsSnapshot telemetry;
+  std::vector<obs::DecisionEvent> decisions;
 
   [[nodiscard]] double relayed_fraction() const noexcept {
     const auto total = used_direct + used_bounce + used_transit;

@@ -2,7 +2,10 @@
 // policies -> engine -> analysis) reproduces the paper's headline shapes.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "analysis/section2.h"
+#include "obs/trace.h"
 #include "sim/experiment.h"
 
 namespace via {
@@ -105,6 +108,63 @@ TEST_F(IntegrationTest, TomographyAblationMattersForCoverage) {
   const RunResult b = exp().run(*without_tomo);
   // Tomography should not hurt; typically it helps by widening coverage.
   EXPECT_LE(a.pnr.pnr(Metric::Rtt), b.pnr.pnr(Metric::Rtt) * 1.1);
+}
+
+TEST_F(IntegrationTest, TelemetryAccountsForEveryRoutedCall) {
+  auto via_policy = exp().make_via(Metric::Rtt);
+  const RunResult r = exp().run(*via_policy);
+
+  // Every policy-routed call must carry exactly one decision reason; the
+  // background-relay counter covers the rest of the arrivals.
+  const std::int64_t policy_calls = r.telemetry.counter_value("engine.calls");
+  EXPECT_EQ(policy_calls, r.calls);
+  const std::int64_t reason_sum =
+      r.telemetry.counter_value("policy.decision.ucb") +
+      r.telemetry.counter_value("policy.decision.epsilon_explore") +
+      r.telemetry.counter_value("policy.decision.budget_veto") +
+      r.telemetry.counter_value("policy.decision.fallback_direct");
+  EXPECT_EQ(reason_sum, policy_calls);
+  EXPECT_GT(r.telemetry.counter_value("engine.decision.background_relay"), 0);
+
+  // ε general exploration runs at the configured rate (ε = 0.03 by default;
+  // with the default unlimited budget no ε pick is vetoed, so the share is
+  // Binomial(calls, ε)/calls — far tighter than ±0.01 at this call count).
+  const double eps_share =
+      static_cast<double>(r.telemetry.counter_value("policy.decision.epsilon_explore")) /
+      static_cast<double>(policy_calls);
+  EXPECT_NEAR(eps_share, 0.03, 0.01);
+
+  // The decision trace is live, bounded, and every event round-trips JSONL.
+  EXPECT_GT(r.decisions.size(), 0u);
+  EXPECT_LE(r.decisions.size(), static_cast<std::size_t>(4096));
+  std::int64_t observed_filled = 0;
+  for (const obs::DecisionEvent& e : r.decisions) {
+    const auto back = obs::DecisionEvent::from_jsonl(e.to_jsonl());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->call_id, e.call_id);
+    EXPECT_EQ(back->reason, e.reason);
+    if (!std::isnan(e.observed)) ++observed_filled;
+  }
+  // The engine reports every completed call back, so resident events have
+  // their observed metric filled in.
+  EXPECT_GT(observed_filled, 0);
+
+  // Refresh-side instruments: the predictor refreshed and fit segments.
+  EXPECT_GT(r.telemetry.counter_value("policy.refresh.count"), 0);
+  EXPECT_GT(r.telemetry.gauge_value("policy.refresh.tomography_segments"), 0.0);
+  const obs::HistogramSample* choose_us = r.telemetry.find_histogram("engine.choose_us");
+  ASSERT_NE(choose_us, nullptr);
+  EXPECT_EQ(choose_us->count, policy_calls);
+}
+
+TEST_F(IntegrationTest, TelemetryCanBeDisabled) {
+  auto via_policy = exp().make_via(Metric::Rtt);
+  RunConfig config;
+  config.enable_telemetry = false;
+  const RunResult r = exp().run(*via_policy, config);
+  EXPECT_GT(r.calls, 0);
+  EXPECT_EQ(r.telemetry.counter_value("engine.calls"), 0);
+  EXPECT_TRUE(r.decisions.empty());
 }
 
 TEST_F(IntegrationTest, RatingDataReproducesFigureOneShape) {

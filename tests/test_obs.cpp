@@ -1,0 +1,264 @@
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace via {
+namespace {
+
+using obs::DecisionEvent;
+using obs::DecisionReason;
+
+TEST(ObsCounter, ConcurrentIncrementsExact) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("test.hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.snapshot().counter_value("test.hits"),
+            static_cast<std::int64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsGauge, LastWriteWinsAndRoundTripsDoubles) {
+  obs::MetricsRegistry registry;
+  obs::Gauge& g = registry.gauge("test.level");
+  g.set(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 0.25);
+  g.set(-1e300);
+  EXPECT_DOUBLE_EQ(g.value(), -1e300);
+  EXPECT_DOUBLE_EQ(registry.snapshot().gauge_value("test.level"), -1e300);
+}
+
+TEST(ObsHistogram, BucketBoundariesUseLeSemantics) {
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  obs::LatencyHistogram h{std::span<const double>(bounds)};
+  ASSERT_EQ(h.bucket_count(), 4u);  // 3 finite + overflow
+  h.observe(0.5);   // <= 1       -> bucket 0
+  h.observe(1.0);   // == bound   -> bucket 0 (le semantics)
+  h.observe(1.001); // > 1, <= 2  -> bucket 1
+  h.observe(4.0);   // == last    -> bucket 2
+  h.observe(100.0); // beyond     -> overflow
+  EXPECT_EQ(h.bucket(0), 2);
+  EXPECT_EQ(h.bucket(1), 1);
+  EXPECT_EQ(h.bucket(2), 1);
+  EXPECT_EQ(h.bucket(3), 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.001 + 4.0 + 100.0);
+}
+
+TEST(ObsHistogram, ConcurrentObservesExactTotals) {
+  obs::MetricsRegistry registry;
+  obs::LatencyHistogram& h = registry.histogram("test.lat", obs::kLatencyBoundsUs);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(static_cast<double>(t + 1));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), static_cast<std::int64_t>(kThreads) * kPerThread);
+  // Sum of t+1 for t in [0,8) is 36, times kPerThread observations each.
+  EXPECT_DOUBLE_EQ(h.sum(), 36.0 * kPerThread);
+  std::int64_t bucket_total = 0;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) bucket_total += h.bucket(i);
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(ObsHistogram, QuantileAndMeanFromSnapshot) {
+  const std::vector<double> bounds{10.0, 20.0, 40.0};
+  obs::LatencyHistogram h{std::span<const double>(bounds)};
+  for (int i = 0; i < 90; ++i) h.observe(5.0);
+  for (int i = 0; i < 10; ++i) h.observe(30.0);
+  obs::HistogramSample s;
+  s.upper_bounds = bounds;
+  s.counts = {h.bucket(0), h.bucket(1), h.bucket(2), h.bucket(3)};
+  s.count = h.count();
+  s.sum = h.sum();
+  EXPECT_DOUBLE_EQ(s.mean(), (90 * 5.0 + 10 * 30.0) / 100.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 10.0);   // p50 in first bucket
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 40.0);  // p99 in the 30ms bucket
+}
+
+TEST(ObsRegistry, MergeIntoAddsCountersAndBuckets) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("x").inc(3);
+  b.counter("x").inc(4);
+  b.counter("only_b").inc(1);
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(2.0);
+  const std::vector<double> bounds{1.0, 2.0};
+  a.histogram("h", bounds).observe(0.5);
+  b.histogram("h", bounds).observe(1.5);
+  b.merge_into(a);
+  const obs::MetricsSnapshot snap = a.snapshot();
+  EXPECT_EQ(snap.counter_value("x"), 7);
+  EXPECT_EQ(snap.counter_value("only_b"), 1);
+  EXPECT_DOUBLE_EQ(snap.gauge_value("g"), 2.0);  // gauges overwrite
+  const obs::HistogramSample* h = snap.find_histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2);
+  EXPECT_DOUBLE_EQ(h->sum, 2.0);
+  EXPECT_EQ(h->counts[0], 1);
+  EXPECT_EQ(h->counts[1], 1);
+}
+
+TEST(ObsTimer, ObservesElapsedOnDestruction) {
+  const std::vector<double> bounds{1e9};  // everything lands in bucket 0
+  obs::LatencyHistogram h{std::span<const double>(bounds)};
+  { const obs::ScopedTimer t(h); }
+  { const obs::ScopedTimer t(&h); }
+  { const obs::ScopedTimer t(static_cast<obs::LatencyHistogram*>(nullptr)); }
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_GE(h.sum(), 0.0);
+}
+
+DecisionEvent make_event(CallId id) {
+  DecisionEvent e;
+  e.call_id = id;
+  e.time = 1000 + id;
+  e.src_as = 3;
+  e.dst_as = 9;
+  e.option = static_cast<OptionId>(id % 5);
+  e.reason = static_cast<DecisionReason>(id % obs::kNumDecisionReasons);
+  e.predicted = 120.5 + static_cast<double>(id);
+  e.top_k_size = 4;
+  e.bandit_pulls = 10 * id;
+  return e;
+}
+
+TEST(ObsTrace, RingWraparoundKeepsNewestOldestFirst) {
+  obs::DecisionTrace trace(4);
+  for (CallId id = 0; id < 10; ++id) trace.record(make_event(id));
+  EXPECT_EQ(trace.capacity(), 4u);
+  EXPECT_EQ(trace.recorded(), 10);
+  EXPECT_EQ(trace.dropped(), 6);
+  const std::vector<DecisionEvent> events = trace.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].call_id, static_cast<CallId>(6 + i));
+  }
+}
+
+TEST(ObsTrace, FillObservedBackfillsResidentEventOnly) {
+  obs::DecisionTrace trace(2);
+  trace.record(make_event(1));
+  trace.record(make_event(2));
+  trace.record(make_event(3));     // evicts call 1
+  trace.fill_observed(1, 55.0);    // no-op: evicted
+  trace.fill_observed(3, 77.0);
+  const std::vector<DecisionEvent> events = trace.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(std::isnan(events[0].observed));
+  EXPECT_EQ(events[1].call_id, 3);
+  EXPECT_DOUBLE_EQ(events[1].observed, 77.0);
+}
+
+TEST(ObsTrace, JsonlRoundTrip) {
+  DecisionEvent e = make_event(42);
+  e.observed = 98.75;
+  const std::string line = e.to_jsonl();
+  const std::optional<DecisionEvent> back = DecisionEvent::from_jsonl(line);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->call_id, e.call_id);
+  EXPECT_EQ(back->time, e.time);
+  EXPECT_EQ(back->src_as, e.src_as);
+  EXPECT_EQ(back->dst_as, e.dst_as);
+  EXPECT_EQ(back->option, e.option);
+  EXPECT_EQ(back->reason, e.reason);
+  EXPECT_DOUBLE_EQ(back->predicted, e.predicted);
+  EXPECT_DOUBLE_EQ(back->observed, e.observed);
+  EXPECT_EQ(back->top_k_size, e.top_k_size);
+  EXPECT_EQ(back->bandit_pulls, e.bandit_pulls);
+}
+
+TEST(ObsTrace, JsonlNanSerializesAsNullAndParsesBack) {
+  DecisionEvent e = make_event(7);  // observed defaults to NaN
+  const std::string line = e.to_jsonl();
+  EXPECT_NE(line.find("\"observed\":null"), std::string::npos);
+  const std::optional<DecisionEvent> back = DecisionEvent::from_jsonl(line);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(std::isnan(back->observed));
+}
+
+TEST(ObsTrace, FromJsonlRejectsMalformed) {
+  EXPECT_FALSE(DecisionEvent::from_jsonl("").has_value());
+  EXPECT_FALSE(DecisionEvent::from_jsonl("{\"call\":1}").has_value());
+  EXPECT_FALSE(DecisionEvent::from_jsonl("not json at all").has_value());
+}
+
+TEST(ObsTrace, ExportJsonlRoundTripsEveryLine) {
+  obs::DecisionTrace trace(8);
+  for (CallId id = 0; id < 6; ++id) trace.record(make_event(id));
+  trace.fill_observed(4, 33.25);
+  std::ostringstream os;
+  trace.export_jsonl(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::vector<DecisionEvent> parsed;
+  while (std::getline(is, line)) {
+    const std::optional<DecisionEvent> e = DecisionEvent::from_jsonl(line);
+    ASSERT_TRUE(e.has_value()) << line;
+    parsed.push_back(*e);
+  }
+  ASSERT_EQ(parsed.size(), 6u);
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].call_id, static_cast<CallId>(i));
+  }
+  EXPECT_DOUBLE_EQ(parsed[4].observed, 33.25);
+}
+
+TEST(ObsTrace, ReasonNamesRoundTrip) {
+  for (std::size_t i = 0; i < obs::kNumDecisionReasons; ++i) {
+    const auto r = static_cast<DecisionReason>(i);
+    const std::optional<DecisionReason> back =
+        obs::decision_reason_from(obs::decision_reason_name(r));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, r);
+  }
+  EXPECT_FALSE(obs::decision_reason_from("nonsense").has_value());
+}
+
+TEST(ObsExport, RenderersIncludeEveryInstrument) {
+  obs::Telemetry telemetry;
+  telemetry.registry.counter("policy.decision.ucb").inc(5);
+  telemetry.registry.gauge("policy.refresh.tomography_segments").set(12.0);
+  telemetry.registry.histogram("rpc.server.request_us", obs::kLatencyBoundsUs).observe(3.0);
+  const obs::MetricsSnapshot snap = telemetry.registry.snapshot();
+
+  const std::string table = obs::render_stats(snap, obs::StatsFormat::Table);
+  EXPECT_NE(table.find("policy.decision.ucb"), std::string::npos);
+  EXPECT_NE(table.find("rpc.server.request_us"), std::string::npos);
+
+  const std::string json = obs::render_stats(snap, obs::StatsFormat::Json);
+  EXPECT_NE(json.find("\"policy.decision.ucb\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"rpc.server.request_us\""), std::string::npos);
+
+  const std::string prom = obs::render_stats(snap, obs::StatsFormat::Prometheus);
+  EXPECT_NE(prom.find("policy_decision_ucb 5"), std::string::npos);
+  EXPECT_NE(prom.find("rpc_server_request_us_bucket{le=\"1\"}"), std::string::npos);
+  EXPECT_NE(prom.find("rpc_server_request_us_bucket{le=\"+Inf\"}"), std::string::npos);
+  EXPECT_NE(prom.find("rpc_server_request_us_count 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace via

@@ -5,6 +5,8 @@
 
 #include "core/policies.h"
 #include "core/via_policy.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "rpc/client.h"
 #include "rpc/framing.h"
 #include "rpc/messages.h"
@@ -279,6 +281,41 @@ TEST(Controller, SurvivesAbruptClientDisconnect) {
   req.call_id = 1;
   req.options = {0};
   EXPECT_EQ(client.request_decision(req), 0);
+  client.shutdown();
+  server.stop();
+}
+
+TEST(Controller, GetStatsReturnsServerTelemetry) {
+  FixedPolicy policy(2);
+  ControllerServer server(policy);
+  server.start();
+
+  ControllerClient client(server.port());
+  obs::MetricsRegistry client_metrics;
+  client.attach_metrics(&client_metrics);
+  DecisionRequest req;
+  req.call_id = 11;
+  req.options = {0, 2};
+  EXPECT_EQ(client.request_decision(req), 2);
+
+  // JSON snapshot reflects the request we just made plus byte counters.
+  const std::string json = client.get_stats(obs::StatsFormat::Json);
+  EXPECT_NE(json.find("\"rpc.server.decisions\":1"), std::string::npos);
+  EXPECT_NE(json.find("rpc.server.bytes_in"), std::string::npos);
+  EXPECT_NE(json.find("rpc.server.request_us"), std::string::npos);
+
+  // Prometheus + table renderings come back non-empty over the same wire.
+  EXPECT_NE(client.get_stats(obs::StatsFormat::Prometheus).find("rpc_server_decisions"),
+            std::string::npos);
+  EXPECT_FALSE(client.get_stats(obs::StatsFormat::Table).empty());
+
+  // Client-side instruments saw the round trips.
+  const obs::MetricsSnapshot snap = client_metrics.snapshot();
+  EXPECT_GT(snap.counter_value("rpc.client.bytes_out"), 0);
+  EXPECT_GT(snap.counter_value("rpc.client.bytes_in"), 0);
+  const obs::HistogramSample* lat = snap.find_histogram("rpc.client.request_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 4);  // decide + three get_stats
   client.shutdown();
   server.stop();
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (full build + ctest) plus a strict
+# -Wall -Wextra -Werror compile of the telemetry subsystem and its tests.
+# Usage: tools/ci.sh [build-dir]   (default: build-ci)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== strict: -Werror build of the obs subsystem =="
+cmake -B "$BUILD_DIR-werror" -S . -DVIA_WERROR=ON
+cmake --build "$BUILD_DIR-werror" -j --target via_obs test_obs
+
+echo "== ci.sh: all green =="

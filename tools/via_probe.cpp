@@ -1,4 +1,5 @@
 #include <iostream>
+#include "obs/export.h"
 #include "sim/experiment.h"
 using namespace via;
 int main() {
@@ -24,5 +25,12 @@ int main() {
             << " explore=" << re.pnr.pnr(Metric::Rtt)
             << " oracle=" << ro.pnr.pnr(Metric::Rtt) << "\n";
   std::cout << "relayed: via=" << rv.relayed_fraction() << " explore=" << re.relayed_fraction() << "\n";
+  std::cout << "\n== via run telemetry ==\n";
+  via::obs::render_table(rv.telemetry, std::cout);
+  std::cout << "decision trace: " << rv.decisions.size() << " events; last 3:\n";
+  for (std::size_t i = rv.decisions.size() > 3 ? rv.decisions.size() - 3 : 0;
+       i < rv.decisions.size(); ++i) {
+    std::cout << "  " << rv.decisions[i].to_jsonl() << "\n";
+  }
   return 0;
 }
