@@ -9,14 +9,18 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/experiment.h"
+#include "sim/parallel.h"
 #include "util/table.h"
 
 namespace via::bench {
@@ -32,6 +36,67 @@ inline Experiment::Scale scale_from_env() {
 
 inline Experiment::Setup default_setup() {
   return Experiment::default_setup(scale_from_env());
+}
+
+/// Worker-thread count for run_many-based benches: `--threads N` or
+/// `--threads=N` on the command line (stripped from argv so downstream
+/// parsers such as google-benchmark never see it), else VIA_BENCH_THREADS,
+/// else 0 = one worker per hardware thread.
+inline int parse_threads(int& argc, char** argv) {
+  int threads = 0;
+  if (const char* env = std::getenv("VIA_BENCH_THREADS")) threads = std::atoi(env);
+
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return threads < 0 ? 0 : threads;
+}
+
+/// Flat JSON object accumulated key by key and written to one file; used by
+/// bench_micro_core to emit BENCH_core.json for CI artifact diffing.
+class BenchJson {
+ public:
+  void set(const std::string& key, double value) {
+    std::ostringstream os;
+    os << value;
+    entries_.emplace_back(key, os.str());
+  }
+  void set_int(const std::string& key, long long value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void set_bool(const std::string& key, bool value) {
+    entries_.emplace_back(key, value ? "true" : "false");
+  }
+  void set_string(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + value + "\"");
+  }
+
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    out << "{";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (i != 0) out << ",";
+      out << "\n  \"" << entries_[i].first << "\": " << entries_[i].second;
+    }
+    out << "\n}\n";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+inline std::string bench_json_path() {
+  const char* env = std::getenv("VIA_BENCH_JSON");
+  return env != nullptr ? std::string(env) : std::string("BENCH_core.json");
 }
 
 /// Prints the standard bench header with workload parameters.

@@ -5,9 +5,10 @@
 // improves the median by 20-58% and the tail by 35-60%.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace via;
   using namespace via::bench;
+  const int threads = parse_threads(argc, argv);
   const Stopwatch sw;
 
   auto setup = default_setup();
@@ -19,29 +20,41 @@ int main() {
   run_config.min_pair_calls_for_eval =
       setup.trace.total_calls / std::max(1, setup.trace.active_pairs) / 4;
 
-  auto baseline = exp.make_default();
-  const RunResult base = exp.run(*baseline, run_config);
+  // All 13 runs (baseline + 4 strategies x 3 target metrics) are
+  // independent, so they fan out over the parallel runner in one batch.
+  const std::vector<std::string> strategies = {"prediction-only", "exploration-only", "via",
+                                               "oracle"};
+  std::vector<RunSpec> specs;
+  specs.push_back({"default", [&exp] { return exp.make_default(); }, run_config});
+  for (const auto& which : strategies) {
+    for (const Metric m : kAllMetrics) {
+      std::function<std::unique_ptr<RoutingPolicy>()> factory;
+      if (which == "prediction-only") {
+        factory = [&exp, m] { return exp.make_prediction_only(m); };
+      } else if (which == "exploration-only") {
+        factory = [&exp, m] { return exp.make_exploration_only(m); };
+      } else if (which == "via") {
+        factory = [&exp, m] { return exp.make_via(m); };
+      } else {
+        factory = [&exp, m] { return exp.make_oracle(m); };
+      }
+      specs.push_back({which + "/" + std::string(metric_name(m)), std::move(factory),
+                       run_config});
+    }
+  }
+  const std::vector<RunResult> results = exp.run_many(specs, threads);
+  const RunResult& base = results[0];
 
   struct PolicyRuns {
     std::string name;
     std::array<RunResult, kNumMetrics> runs;
   };
   std::vector<PolicyRuns> all;
-  for (const char* which : {"prediction-only", "exploration-only", "via", "oracle"}) {
+  for (std::size_t w = 0; w < strategies.size(); ++w) {
     PolicyRuns pr;
-    pr.name = which;
+    pr.name = strategies[w];
     for (const Metric m : kAllMetrics) {
-      std::unique_ptr<RoutingPolicy> policy;
-      if (pr.name == "prediction-only") {
-        policy = exp.make_prediction_only(m);
-      } else if (pr.name == "exploration-only") {
-        policy = exp.make_exploration_only(m);
-      } else if (pr.name == "via") {
-        policy = exp.make_via(m);
-      } else {
-        policy = exp.make_oracle(m);
-      }
-      pr.runs[metric_index(m)] = exp.run(*policy, run_config);
+      pr.runs[metric_index(m)] = results[1 + w * kNumMetrics + metric_index(m)];
     }
     all.push_back(std::move(pr));
   }

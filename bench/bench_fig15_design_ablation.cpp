@@ -5,9 +5,10 @@
 // design cuts PNR 24% vs 15% for fixed top-2 (and loss PNR 44% vs 26%).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace via;
   using namespace via::bench;
+  const int threads = parse_threads(argc, argv);
   const Stopwatch sw;
 
   auto setup = default_setup();
@@ -17,9 +18,6 @@ int main() {
   RunConfig run_config;
   run_config.min_pair_calls_for_eval =
       setup.trace.total_calls / std::max(1, setup.trace.active_pairs) / 4;
-
-  auto baseline = exp.make_default();
-  const RunResult base = exp.run(*baseline, run_config);
 
   struct Variant {
     std::string label;
@@ -48,12 +46,25 @@ int main() {
     variants.push_back(no_eps);
   }
 
-  TextTable table({"variant", "RTT", "loss", "jitter", "at least one bad"});
+  // One batch: baseline + every (variant, metric) pair on the parallel runner.
+  std::vector<RunSpec> specs;
+  specs.push_back({"default", [&exp] { return exp.make_default(); }, run_config});
   for (const auto& variant : variants) {
+    for (const Metric m : kAllMetrics) {
+      const ViaConfig config = variant.config;
+      specs.push_back({variant.label + "/" + std::string(metric_name(m)),
+                       [&exp, m, config] { return exp.make_via(m, config); }, run_config});
+    }
+  }
+  const std::vector<RunResult> results = exp.run_many(specs, threads);
+  const RunResult& base = results[0];
+
+  TextTable table({"variant", "RTT", "loss", "jitter", "at least one bad"});
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    const auto& variant = variants[v];
     std::array<RunResult, kNumMetrics> runs;
     for (const Metric m : kAllMetrics) {
-      auto policy = exp.make_via(m, variant.config);
-      runs[metric_index(m)] = exp.run(*policy, run_config);
+      runs[metric_index(m)] = results[1 + v * kNumMetrics + metric_index(m)];
     }
     TextTable& row = table.row();
     row.cell(variant.label);

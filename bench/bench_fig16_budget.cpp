@@ -5,9 +5,10 @@
 // benefit with a budget of only 30% of calls.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace via;
   using namespace via::bench;
+  const int threads = parse_threads(argc, argv);
   const Stopwatch sw;
 
   auto setup = default_setup();
@@ -19,25 +20,44 @@ int main() {
   run_config.min_pair_calls_for_eval =
       setup.trace.total_calls / std::max(1, setup.trace.active_pairs) / 4;
 
-  auto baseline = exp.make_default();
-  const RunResult base = exp.run(*baseline, run_config);
+  // The budget sweep is embarrassingly parallel: flatten every budget level's
+  // (oracle, aware, unaware) triple into one 22-spec batch for the runner.
+  const std::vector<double> budgets = {0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0};
+  std::vector<RunSpec> specs;
+  specs.push_back({"default", [&exp] { return exp.make_default(); }, run_config});
+  for (const double budget : budgets) {
+    specs.push_back({"oracle/" + format_double(budget, 2),
+                     [&exp, target, budget] {
+                       return exp.make_oracle(target, {.fraction = budget, .aware = true});
+                     },
+                     run_config});
+    specs.push_back({"aware/" + format_double(budget, 2),
+                     [&exp, target, budget] {
+                       ViaConfig config;
+                       config.budget = {.fraction = budget, .aware = true};
+                       return exp.make_via(target, config);
+                     },
+                     run_config});
+    specs.push_back({"unaware/" + format_double(budget, 2),
+                     [&exp, target, budget] {
+                       ViaConfig config;
+                       config.budget = {.fraction = budget, .aware = false};
+                       return exp.make_via(target, config);
+                     },
+                     run_config});
+  }
+  const std::vector<RunResult> results = exp.run_many(specs, threads);
+  const RunResult& base = results[0];
 
   TextTable table({"budget", "oracle PNR", "aware PNR", "unaware PNR", "aware relayed",
                    "unaware relayed"});
   double unlimited_cut = 0.0;
   double cut_at_30 = 0.0;
-  for (const double budget : {0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0}) {
-    auto oracle = exp.make_oracle(target, {.fraction = budget, .aware = true});
-    ViaConfig aware_config;
-    aware_config.budget = {.fraction = budget, .aware = true};
-    ViaConfig unaware_config;
-    unaware_config.budget = {.fraction = budget, .aware = false};
-    auto aware = exp.make_via(target, aware_config);
-    auto unaware = exp.make_via(target, unaware_config);
-
-    const RunResult ro = exp.run(*oracle, run_config);
-    const RunResult ra = exp.run(*aware, run_config);
-    const RunResult ru = exp.run(*unaware, run_config);
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    const double budget = budgets[b];
+    const RunResult& ro = results[1 + b * 3];
+    const RunResult& ra = results[1 + b * 3 + 1];
+    const RunResult& ru = results[1 + b * 3 + 2];
 
     table.row()
         .cell_pct(budget, 0)

@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <map>
 
+#include "bench_common.h"
 #include "core/predictor.h"
 #include "core/topk.h"
 #include "core/via_policy.h"
@@ -201,19 +203,123 @@ void BM_GroundTruthSample(benchmark::State& state) {
 }
 BENCHMARK(BM_GroundTruthSample);
 
+/// Console reporter that additionally collects per-benchmark ns/op so the
+/// numbers can be written to BENCH_core.json after the suite runs.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type == Run::RT_Iteration && !run.error_occurred) {
+        ns_per_op[run.benchmark_name()] = run.GetAdjustedRealTime();
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::map<std::string, double> ns_per_op;
+};
+
+bool same_run_result(const RunResult& a, const RunResult& b) {
+  if (a.calls != b.calls || a.evaluated_calls != b.evaluated_calls) return false;
+  for (const Metric m : kAllMetrics) {
+    if (a.values[metric_index(m)] != b.values[metric_index(m)]) return false;
+    if (a.pnr.pnr(m) != b.pnr.pnr(m)) return false;
+  }
+  return a.pnr.pnr_any() == b.pnr.pnr_any();
+}
+
+/// Medium/small-scale policy sweep run twice — serially, then through the
+/// parallel runner — on pre-warmed caches, to measure end-to-end replay
+/// scaling and assert the parallel results stay bit-identical.
+void run_policy_sweep(bench::BenchJson& json, int threads) {
+  const char* env = std::getenv("VIA_BENCH_SWEEP_SCALE");
+  const std::string which = env != nullptr ? env : "small";
+  if (which == "off") return;
+  const Experiment::Scale scale =
+      which == "medium" ? Experiment::Scale::Medium : Experiment::Scale::Small;
+
+  Experiment exp(Experiment::default_setup(scale));
+  exp.warm_caches();  // excluded from both timings: measures replay, not warm-up
+
+  std::vector<RunSpec> specs;
+  specs.push_back({"default", [&exp] { return exp.make_default(); }, {}});
+  for (const Metric m : kAllMetrics) {
+    specs.push_back({"via/" + std::string(metric_name(m)),
+                     [&exp, m] { return exp.make_via(m); }, {}});
+  }
+  specs.push_back(
+      {"prediction-only", [&exp] { return exp.make_prediction_only(Metric::Rtt); }, {}});
+  specs.push_back({"oracle", [&exp] { return exp.make_oracle(Metric::Rtt); }, {}});
+
+  const bench::Stopwatch serial_sw;
+  std::vector<RunResult> serial;
+  serial.reserve(specs.size());
+  for (const RunSpec& spec : specs) {
+    auto policy = spec.make_policy();
+    serial.push_back(exp.run(*policy, spec.config));
+  }
+  const double serial_seconds = serial_sw.seconds();
+
+  ParallelRunner runner(threads);
+  const bench::Stopwatch parallel_sw;
+  const std::vector<RunResult> parallel = runner.run_all(exp, specs);
+  const double parallel_seconds = parallel_sw.seconds();
+
+  bool identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+    identical = same_run_result(serial[i], parallel[i]);
+  }
+
+  std::cout << "policy sweep (" << which << ", " << specs.size() << " runs): serial "
+            << serial_seconds << "s, parallel " << parallel_seconds << "s on "
+            << runner.thread_count() << " threads, speedup "
+            << (parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0)
+            << "x, bit-identical: " << (identical ? "yes" : "NO") << "\n";
+
+  json.set_string("sweep_scale", which);
+  json.set_int("sweep_runs", static_cast<long long>(specs.size()));
+  json.set_int("sweep_threads", runner.thread_count());
+  json.set("sweep_serial_seconds", serial_seconds);
+  json.set("sweep_parallel_seconds", parallel_seconds);
+  json.set("sweep_speedup", parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0);
+  json.set_bool("sweep_identical", identical);
+}
+
 }  // namespace
 }  // namespace via
 
 // Expanded BENCHMARK_MAIN(): after the suite runs, dump the process-wide
 // telemetry registry (fed by the *Telemetry variants) as one JSON line so
-// harnesses diffing bench output see decision counts alongside timings.
+// harnesses diffing bench output see decision counts alongside timings, then
+// run the serial-vs-parallel policy sweep and write BENCH_core.json.
 int main(int argc, char** argv) {
+  const int threads = via::bench::parse_threads(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  via::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   std::cout << "{\"telemetry\":";
   via::obs::render_json(via::obs::MetricsRegistry::process().snapshot(), std::cout);
   std::cout << "}\n";
+
+  via::bench::BenchJson json;
+  // ns/op for the decision-path hot loops (absent keys = benchmark filtered out).
+  const std::map<std::string, std::string> tracked = {
+      {"BM_ViaChoosePerCall", "choose_ns"},
+      {"BM_ViaChoosePerCallTelemetry", "choose_telemetry_ns"},
+      {"BM_TopKSelection", "topk_ns"},
+      {"BM_TomographySolve/10000", "tomography_solve_10k_ns"},
+      {"BM_HistoryIngest", "history_ingest_ns"},
+      {"BM_GroundTruthSample", "groundtruth_sample_ns"},
+  };
+  for (const auto& [bench_name, key] : tracked) {
+    const auto it = reporter.ns_per_op.find(bench_name);
+    if (it != reporter.ns_per_op.end()) json.set(key, it->second);
+  }
+  via::run_policy_sweep(json, threads);
+  const std::string path = via::bench::bench_json_path();
+  json.write(path);
+  std::cout << "[wrote " << path << "]\n";
   return 0;
 }

@@ -1,6 +1,5 @@
 #include "common/relay_option.h"
 
-#include <cassert>
 #include <stdexcept>
 #include <utility>
 
@@ -8,8 +7,13 @@ namespace via {
 
 RelayOptionTable::RelayOptionTable() {
   const RelayOption direct{};  // kind == Direct
-  options_.push_back(direct);
-  index_.emplace(key_of(direct), 0);
+  intern(direct);
+}
+
+RelayOptionTable::~RelayOptionTable() {
+  for (auto& chunk : chunks_) {
+    delete[] chunk.load(std::memory_order_relaxed);
+  }
 }
 
 std::uint64_t RelayOptionTable::key_of(const RelayOption& o) noexcept {
@@ -19,11 +23,24 @@ std::uint64_t RelayOptionTable::key_of(const RelayOption& o) noexcept {
 }
 
 OptionId RelayOptionTable::intern(const RelayOption& o) {
+  std::lock_guard lock(mutex_);
   const auto key = key_of(o);
   if (const auto it = index_.find(key); it != index_.end()) return it->second;
-  const auto id = static_cast<OptionId>(options_.size());
-  options_.push_back(o);
+
+  const std::size_t i = size_.load(std::memory_order_relaxed);
+  const std::size_t chunk_index = i >> kChunkShift;
+  if (chunk_index >= kMaxChunks) throw std::length_error("relay option table full");
+  RelayOption* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new RelayOption[kChunkSize];
+    chunks_[chunk_index].store(chunk, std::memory_order_release);
+  }
+  chunk[i & (kChunkSize - 1)] = o;
+  const auto id = static_cast<OptionId>(i);
   index_.emplace(key, id);
+  // Publish: get() acquire-loads size_/chunk, so the element write above is
+  // visible to any reader that learned `id` through a synchronizing channel.
+  size_.store(i + 1, std::memory_order_release);
   return id;
 }
 
@@ -37,11 +54,6 @@ OptionId RelayOptionTable::intern_transit(RelayId r1, RelayId r2) {
   if (r1 == r2) throw std::invalid_argument("transit requires two distinct relays");
   if (r1 > r2) std::swap(r1, r2);
   return intern(RelayOption{RelayKind::Transit, r1, r2});
-}
-
-const RelayOption& RelayOptionTable::get(OptionId id) const {
-  assert(id >= 0 && static_cast<std::size_t>(id) < options_.size());
-  return options_[static_cast<std::size_t>(id)];
 }
 
 std::string RelayOptionTable::label(OptionId id) const {
@@ -58,7 +70,7 @@ std::string RelayOptionTable::label(OptionId id) const {
 }
 
 std::vector<OptionId> RelayOptionTable::all_ids() const {
-  std::vector<OptionId> ids(options_.size());
+  std::vector<OptionId> ids(size());
   for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<OptionId>(i);
   return ids;
 }

@@ -5,7 +5,12 @@
 // OptionId.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cassert>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,10 +44,24 @@ struct RelayOption {
 };
 
 /// Interning table for relaying options.  OptionId 0 is always the direct
-/// path.  Thread-compatible (callers synchronize if shared across threads).
+/// path.
+///
+/// Threading: interning is serialized by an internal mutex; get() is
+/// lock-free.  Options live in append-only fixed-size chunks published with
+/// release stores, so a reader may call get() for any id it learned through
+/// a synchronizing channel (e.g. a candidate span published under a lock,
+/// or plain program order on one thread) while other threads intern new
+/// options.  Ids are assigned in interning order, which makes them
+/// deterministic exactly when first-intern order is deterministic — the
+/// parallel runner warms all candidate sets serially before fanning out for
+/// this reason (see DESIGN.md "Threading model").
 class RelayOptionTable {
  public:
   RelayOptionTable();
+  ~RelayOptionTable();
+
+  RelayOptionTable(const RelayOptionTable&) = delete;
+  RelayOptionTable& operator=(const RelayOptionTable&) = delete;
 
   /// The direct path's id (always 0).
   [[nodiscard]] static constexpr OptionId direct_id() noexcept { return 0; }
@@ -54,8 +73,18 @@ class RelayOptionTable {
   /// r1 != r2 is required; a transit through one relay is a bounce.
   OptionId intern_transit(RelayId r1, RelayId r2);
 
-  [[nodiscard]] const RelayOption& get(OptionId id) const;
-  [[nodiscard]] std::size_t size() const noexcept { return options_.size(); }
+  [[nodiscard]] const RelayOption& get(OptionId id) const noexcept {
+    assert(id >= 0 && static_cast<std::size_t>(id) <
+                          size_.load(std::memory_order_acquire));
+    const auto i = static_cast<std::size_t>(id);
+    const RelayOption* chunk =
+        chunks_[i >> kChunkShift].load(std::memory_order_acquire);
+    return chunk[i & (kChunkSize - 1)];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_acquire);
+  }
 
   /// Human-readable label, e.g. "direct", "bounce(7)", "transit(3,12)".
   [[nodiscard]] std::string label(OptionId id) const;
@@ -64,10 +93,18 @@ class RelayOptionTable {
   [[nodiscard]] std::vector<OptionId> all_ids() const;
 
  private:
+  // 512 options per chunk, 2048 chunks: room for ~1M options, far beyond
+  // any fleet (37 relays in the paper => 1 + 37 + C(37,2) = 704 options).
+  static constexpr std::size_t kChunkShift = 9;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kMaxChunks = 2048;
+
   [[nodiscard]] static std::uint64_t key_of(const RelayOption& o) noexcept;
   OptionId intern(const RelayOption& o);
 
-  std::vector<RelayOption> options_;
+  std::array<std::atomic<RelayOption*>, kMaxChunks> chunks_{};
+  std::atomic<std::size_t> size_{0};
+  mutable std::mutex mutex_;  ///< guards interning (index_ + appends)
   std::unordered_map<std::uint64_t, OptionId> index_;
 };
 

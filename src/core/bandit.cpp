@@ -34,6 +34,7 @@ void UcbBandit::set_arms(const std::vector<RankedOption>& top_k, const BanditCon
       arm.plays = 1;
       arm.cost_sum = r.pred.mean;
     }
+    if (arm.plays > 0) arm.recache();
     total_plays_ += arm.plays;
     arms_.push_back(arm);
     upper_sum += r.pred.upper;
@@ -56,14 +57,16 @@ OptionId UcbBandit::pick() const {
                        ? std::max(1e-9, max_observed_)
                        : w_;
 
+  // index(r) = mean/w - sqrt(c*ln T)/sqrt(n_r); hoisting the shared
+  // sqrt(c*ln T) and the division by w leaves one multiply-subtract per arm.
+  const double bonus = std::sqrt(config_.exploration_coefficient * std::log(t));
+  const double inv_w = 1.0 / w;
   for (const auto& arm : arms_) {
     double index;
     if (arm.plays == 0) {
       index = -std::numeric_limits<double>::infinity();
     } else {
-      const double mean_cost = arm.cost_sum / static_cast<double>(arm.plays);
-      index = mean_cost / w - std::sqrt(config_.exploration_coefficient * std::log(t) /
-                                        static_cast<double>(arm.plays));
+      index = arm.mean_cost * inv_w - bonus * arm.inv_sqrt_plays;
     }
     if (index < best_index) {
       best_index = index;
@@ -79,6 +82,7 @@ void UcbBandit::observe(OptionId option, double cost) {
     if (arm.option == option) {
       ++arm.plays;
       arm.cost_sum += cost;
+      arm.recache();
       ++total_plays_;
       return;
     }

@@ -10,9 +10,9 @@
 // Arms never played are tried first (index -inf).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -67,6 +67,15 @@ class UcbBandit {
     OptionId option = kInvalidOption;
     std::int64_t plays = 0;
     double cost_sum = 0.0;
+    // Derived quantities cached at update time: pick() runs once per call
+    // over every arm, so keeping the division and square root out of its
+    // inner loop matters (observe() runs once per call total).
+    double mean_cost = 0.0;       ///< cost_sum / plays (0 when unplayed)
+    double inv_sqrt_plays = 0.0;  ///< 1 / sqrt(plays)  (0 when unplayed)
+    void recache() {
+      mean_cost = cost_sum / static_cast<double>(plays);
+      inv_sqrt_plays = 1.0 / std::sqrt(static_cast<double>(plays));
+    }
   };
   std::vector<Arm> arms_;
   double w_ = 1.0;

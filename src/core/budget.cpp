@@ -17,6 +17,10 @@ BudgetFilter::BudgetFilter(BudgetConfig config)
 
 void BudgetFilter::on_call(double predicted_benefit) {
   ++calls_;
+  // Unlimited budget (the default): allow_relay and benefit_threshold never
+  // consult the token bucket or the quantile, so skip their upkeep on the
+  // per-call path.
+  if (config_.fraction >= 1.0) return;
   // Token cap of 1 call: unused allowance does not accumulate without
   // bound, keeping the relayed fraction near B at all times rather than
   // only in aggregate.

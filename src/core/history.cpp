@@ -31,13 +31,8 @@ void HistoryWindow::add(const Observation& obs) {
 }
 
 const PathAggregate* HistoryWindow::find(std::uint64_t pair_key, OptionId option) const {
-  const auto it = paths_.find(path_key(pair_key, option));
-  return it != paths_.end() ? &it->second.agg : nullptr;
-}
-
-void HistoryWindow::for_each(
-    const std::function<void(std::uint64_t, OptionId, const PathAggregate&)>& fn) const {
-  for (const auto& [key, entry] : paths_) fn(entry.pair_key, entry.option, entry.agg);
+  const Entry* entry = paths_.find(path_key(pair_key, option));
+  return entry != nullptr ? &entry->agg : nullptr;
 }
 
 void HistoryWindow::clear() {

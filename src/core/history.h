@@ -13,13 +13,13 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <utility>
 
 #include "common/linearize.h"
 #include "common/relay_option.h"
 #include "common/types.h"
 #include "core/policy.h"
+#include "util/flat_map.h"
 #include "util/stats.h"
 
 namespace via {
@@ -45,9 +45,15 @@ class HistoryWindow {
 
   [[nodiscard]] const PathAggregate* find(std::uint64_t pair_key, OptionId option) const;
 
-  /// Visits every aggregate: fn(pair_key, option, aggregate).
-  void for_each(
-      const std::function<void(std::uint64_t, OptionId, const PathAggregate&)>& fn) const;
+  /// Visits every aggregate: fn(pair_key, option, aggregate).  Templated so
+  /// hot callers (the tomography solve harvests every window each refresh)
+  /// inline the body instead of bouncing through a std::function.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    paths_.for_each([&](std::uint64_t /*key*/, const Entry& entry) {
+      fn(entry.pair_key, entry.option, entry.agg);
+    });
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return paths_.size(); }
   [[nodiscard]] std::int64_t observations() const noexcept { return observations_; }
@@ -69,7 +75,7 @@ class HistoryWindow {
     PathAggregate agg;
   };
   const RelayOptionTable* options_ = nullptr;
-  std::unordered_map<std::uint64_t, Entry> paths_;
+  FlatMap<Entry> paths_;
   std::int64_t observations_ = 0;
 };
 

@@ -25,11 +25,26 @@ void Predictor::train(const HistoryWindow& window) {
 }
 
 Prediction Predictor::predict(AsId s, AsId d, OptionId option, Metric metric) const {
+  return predict_with_key(as_pair_key(s, d), s, d, option, metric);
+}
+
+void Predictor::predict_into(AsId s, AsId d, std::span<const OptionId> options, Metric metric,
+                             std::vector<Prediction>& out) const {
+  out.clear();
+  out.reserve(options.size());
+  const std::uint64_t pair_key = as_pair_key(s, d);
+  for (const OptionId option : options) {
+    out.push_back(predict_with_key(pair_key, s, d, option, metric));
+  }
+}
+
+Prediction Predictor::predict_with_key(std::uint64_t pair_key, AsId s, AsId d, OptionId option,
+                                       Metric metric) const {
   Prediction out;
   if (window_ == nullptr) return out;
 
   // 1. Empirical path history.
-  if (const PathAggregate* agg = window_->find(as_pair_key(s, d), option);
+  if (const PathAggregate* agg = window_->find(pair_key, option);
       agg != nullptr && agg->count() >= config_.min_empirical_samples) {
     const OnlineStats& st = agg->raw[metric_index(metric)];
     out.valid = true;

@@ -11,6 +11,8 @@
 
 #include <array>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "common/relay_option.h"
 #include "common/types.h"
@@ -47,10 +49,22 @@ class Predictor {
   /// Prediction for (s, d) over `option` on `metric`.
   [[nodiscard]] Prediction predict(AsId s, AsId d, OptionId option, Metric metric) const;
 
+  /// Batched predict for one pair over many options: computes the pair key
+  /// once and probes the history window once per option.  `out` is resized
+  /// to options.size(); out[i] corresponds to options[i].  This is the form
+  /// the per-refresh pair-state build uses, so a candidate is predicted
+  /// exactly once per period (the top-k build, the direct baseline, the
+  /// benefit estimate, and the probe wishlist all share the same batch).
+  void predict_into(AsId s, AsId d, std::span<const OptionId> options, Metric metric,
+                    std::vector<Prediction>& out) const;
+
   [[nodiscard]] const TomographySolver& tomography() const noexcept { return tomography_; }
   [[nodiscard]] bool trained() const noexcept { return window_ != nullptr; }
 
  private:
+  [[nodiscard]] Prediction predict_with_key(std::uint64_t pair_key, AsId s, AsId d,
+                                            OptionId option, Metric metric) const;
+
   const RelayOptionTable* options_;
   PredictorConfig config_;
   TomographySolver tomography_;

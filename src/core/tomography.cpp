@@ -24,6 +24,7 @@ std::pair<RelayId, RelayId> TomographySolver::transit_sides(const PathAggregate&
 void TomographySolver::solve(const HistoryWindow& window) {
   equations_.clear();
   segments_.clear();
+  equations_.reserve(window.size());
 
   // 1. Harvest equations from relayed-path aggregates.
   window.for_each([&](std::uint64_t pair_key, OptionId option, const PathAggregate& agg) {
@@ -58,69 +59,68 @@ void TomographySolver::solve(const HistoryWindow& window) {
   if (equations_.empty()) return;
 
   // 2. Initialize unknowns to half of the average RHS of their equations.
-  struct Work {
-    std::array<double, kNumMetrics> x{};
-    std::array<double, kNumMetrics> rhs_sum{};
-    double weight_sum = 0.0;
-    std::int64_t evidence = 0;
-  };
-  std::unordered_map<std::uint64_t, Work> work;
+  work_.clear();
+  work_.reserve(2 * equations_.size());
   for (const auto& eq : equations_) {
     for (const auto seg : {eq.seg1, eq.seg2}) {
-      auto& w = work[seg];
+      auto& w = work_[seg];
       for (std::size_t m = 0; m < kNumMetrics; ++m) w.rhs_sum[m] += eq.weight * eq.rhs[m];
       w.weight_sum += eq.weight;
       w.evidence += static_cast<std::int64_t>(eq.weight);
     }
   }
-  for (auto& [seg, w] : work) {
+  work_.for_each([](std::uint64_t /*seg*/, Work& w) {
     for (std::size_t m = 0; m < kNumMetrics; ++m) {
       w.x[m] = std::max(0.0, 0.5 * w.rhs_sum[m] / w.weight_sum);
     }
-  }
+  });
 
   // 3. Weighted Gauss-Seidel sweeps: each unknown moves to the weighted
-  // average of (rhs - other side) over its equations.
+  // average of (rhs - other side) over its equations.  Every key is already
+  // present in work_ after step 2, so lookups below cannot rehash.
+  next_.reserve(work_.size());
   for (int sweep = 0; sweep < config_.gauss_seidel_sweeps; ++sweep) {
-    std::unordered_map<std::uint64_t, Work> next;
+    next_.clear();
     for (const auto& eq : equations_) {
-      const Work& w1 = work[eq.seg1];
-      const Work& w2 = work[eq.seg2];
+      const Work& w1 = *work_.find(eq.seg1);
+      const Work& w2 = *work_.find(eq.seg2);
       for (const auto& [self, other] :
            {std::pair{eq.seg1, &w2}, std::pair{eq.seg2, &w1}}) {
-        auto& acc = next[self];
+        auto& acc = next_[self];
         for (std::size_t m = 0; m < kNumMetrics; ++m) {
           acc.rhs_sum[m] += eq.weight * (eq.rhs[m] - other->x[m]);
         }
         acc.weight_sum += eq.weight;
       }
     }
-    for (auto& [seg, acc] : next) {
-      auto& w = work[seg];
+    next_.for_each([&](std::uint64_t seg, const Work& acc) {
+      Work& w = *work_.find(seg);
       for (std::size_t m = 0; m < kNumMetrics; ++m) {
         // Segment metrics cannot be negative in linearized space.
         w.x[m] = std::max(0.0, acc.rhs_sum[m] / acc.weight_sum);
       }
-    }
+    });
   }
 
   // 4. Residual-based uncertainty: the SEM of a segment reflects how well
   // its equations agree, shrunk by the evidence behind it.
-  std::unordered_map<std::uint64_t, std::array<double, kNumMetrics>> resid2;
+  resid2_.clear();
+  resid2_.reserve(work_.size());
   for (const auto& eq : equations_) {
-    const Work& w1 = work[eq.seg1];
-    const Work& w2 = work[eq.seg2];
+    const Work& w1 = *work_.find(eq.seg1);
+    const Work& w2 = *work_.find(eq.seg2);
     for (std::size_t m = 0; m < kNumMetrics; ++m) {
       const double r = eq.rhs[m] - (w1.x[m] + w2.x[m]);
-      resid2[eq.seg1][m] += eq.weight * r * r;
-      resid2[eq.seg2][m] += eq.weight * r * r;
+      resid2_[eq.seg1][m] += eq.weight * r * r;
+      resid2_[eq.seg2][m] += eq.weight * r * r;
     }
   }
 
-  for (const auto& [seg, w] : work) {
+  segments_.reserve(work_.size());
+  work_.for_each([&](std::uint64_t seg, const Work& w) {
     SegmentEstimate est;
     est.evidence = w.evidence;
-    const auto& r2 = resid2[seg];
+    const auto& r2 = *resid2_.find(seg);
     for (std::size_t m = 0; m < kNumMetrics; ++m) {
       est.lin_mean[m] = w.x[m];
       const double var = r2[m] / std::max(1.0, w.weight_sum);
@@ -129,13 +129,12 @@ void TomographySolver::solve(const HistoryWindow& window) {
       est.lin_sem[m] = std::sqrt(var / std::max(1.0, w.weight_sum)) +
                        0.05 * w.x[m] / std::sqrt(std::max(1.0, w.weight_sum));
     }
-    segments_.emplace(seg, est);
-  }
+    segments_.insert(seg, est);
+  });
 }
 
 const SegmentEstimate* TomographySolver::segment(AsId as, RelayId relay) const {
-  const auto it = segments_.find(segment_key(as, relay));
-  return it != segments_.end() ? &it->second : nullptr;
+  return segments_.find(segment_key(as, relay));
 }
 
 bool TomographySolver::predict_lin(AsId s, AsId d, OptionId option,

@@ -14,11 +14,11 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 
 #include "common/relay_option.h"
 #include "common/types.h"
 #include "core/history.h"
+#include "util/flat_map.h"
 
 namespace via {
 
@@ -76,6 +76,13 @@ class TomographySolver {
     double weight = 1.0;                    ///< call count
   };
 
+  struct Work {
+    std::array<double, kNumMetrics> x{};
+    std::array<double, kNumMetrics> rhs_sum{};
+    double weight_sum = 0.0;
+    std::int64_t evidence = 0;
+  };
+
   /// Picks the relay each endpoint of a transit observation talks to.
   [[nodiscard]] std::pair<RelayId, RelayId> transit_sides(const PathAggregate& agg,
                                                           const RelayOption& o) const;
@@ -84,7 +91,12 @@ class TomographySolver {
   BackboneFn backbone_;
   TomographyConfig config_;
   std::vector<Equation> equations_;
-  std::unordered_map<std::uint64_t, SegmentEstimate> segments_;
+  FlatMap<SegmentEstimate> segments_;
+  // Solver scratch, kept across solves so a recurring refresh reuses the
+  // table capacity instead of reallocating every period.
+  FlatMap<Work> work_;
+  FlatMap<Work> next_;
+  FlatMap<std::array<double, kNumMetrics>> resid2_;
 };
 
 }  // namespace via

@@ -1,35 +1,39 @@
 #include "core/topk.h"
 
 #include <algorithm>
+#include <cassert>
+
+#include "core/predictor.h"
 
 namespace via {
 
-std::vector<RankedOption> select_top_k(const Predictor& predictor, AsId s, AsId d,
-                                       std::span<const OptionId> candidates, Metric metric,
-                                       const TopKConfig& config, TopKCoverage* coverage) {
-  std::vector<RankedOption> ranked;
+void select_top_k_into(std::span<const OptionId> candidates, std::span<const Prediction> preds,
+                       const TopKConfig& config, TopKCoverage* coverage, TopKScratch& scratch,
+                       std::vector<RankedOption>& out) {
+  assert(candidates.size() == preds.size());
+  out.clear();
+
+  std::vector<RankedOption>& ranked = scratch.ranked;
+  ranked.clear();
   ranked.reserve(candidates.size());
-  for (const OptionId opt : candidates) {
-    RankedOption r;
-    r.option = opt;
-    r.pred = predictor.predict(s, d, opt, metric);
-    if (r.pred.valid) ranked.push_back(r);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (preds[i].valid) ranked.push_back({candidates[i], preds[i]});
   }
   if (coverage != nullptr) {
     coverage->considered += static_cast<std::int64_t>(candidates.size());
     coverage->predictable += static_cast<std::int64_t>(ranked.size());
   }
-  if (ranked.empty()) return ranked;
+  if (ranked.empty()) return;
 
   if (!config.dynamic) {
     // Fixed-k ablation: simply the k best predicted means.
     std::sort(ranked.begin(), ranked.end(), [](const RankedOption& a, const RankedOption& b) {
       return a.pred.mean < b.pred.mean;
     });
-    if (static_cast<int>(ranked.size()) > config.fixed_k) {
-      ranked.resize(static_cast<std::size_t>(config.fixed_k));
-    }
-    return ranked;
+    const std::size_t k =
+        std::min(ranked.size(), static_cast<std::size_t>(std::max(0, config.fixed_k)));
+    out.assign(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(k));
+    return;
   }
 
   // Dynamic top-k: grow from the option with the smallest upper bound; any
@@ -45,32 +49,42 @@ std::vector<RankedOption> select_top_k(const Predictor& predictor, AsId s, AsId 
       });
   double threshold = seed->pred.upper;
 
-  std::vector<RankedOption> top;
-  std::vector<bool> taken(ranked.size(), false);
-  taken[static_cast<std::size_t>(seed - ranked.begin())] = true;
-  top.push_back(*seed);
+  std::vector<char>& taken = scratch.taken;
+  taken.assign(ranked.size(), 0);
+  taken[static_cast<std::size_t>(seed - ranked.begin())] = 1;
+  out.push_back(*seed);
 
   // Fixpoint growth.  ranked is sorted by lower bound, so a single forward
   // scan per round suffices; rounds repeat while the threshold grows.
   bool grew = true;
-  while (grew && static_cast<int>(top.size()) < config.max_k) {
+  while (grew && static_cast<int>(out.size()) < config.max_k) {
     grew = false;
     for (std::size_t i = 0; i < ranked.size(); ++i) {
-      if (taken[i]) continue;
+      if (taken[i] != 0) continue;
       if (ranked[i].pred.lower <= threshold) {
-        taken[i] = true;
-        top.push_back(ranked[i]);
+        taken[i] = 1;
+        out.push_back(ranked[i]);
         threshold = std::max(threshold, ranked[i].pred.upper);
         grew = true;
-        if (static_cast<int>(top.size()) >= config.max_k) break;
+        if (static_cast<int>(out.size()) >= config.max_k) break;
       }
     }
   }
 
-  std::sort(top.begin(), top.end(), [](const RankedOption& a, const RankedOption& b) {
+  std::sort(out.begin(), out.end(), [](const RankedOption& a, const RankedOption& b) {
     return a.pred.mean < b.pred.mean;
   });
-  return top;
+}
+
+std::vector<RankedOption> select_top_k(const Predictor& predictor, AsId s, AsId d,
+                                       std::span<const OptionId> candidates, Metric metric,
+                                       const TopKConfig& config, TopKCoverage* coverage) {
+  std::vector<Prediction> preds;
+  predictor.predict_into(s, d, candidates, metric, preds);
+  TopKScratch scratch;
+  std::vector<RankedOption> out;
+  select_top_k_into(candidates, preds, config, coverage, scratch, out);
+  return out;
 }
 
 }  // namespace via

@@ -35,11 +35,25 @@ struct TopKCoverage {
   std::int64_t predictable = 0;
 };
 
-/// Selects the top-k options among `candidates` for calls between (s, d)
-/// optimizing `metric`.  Options without a valid prediction are ignored
-/// (they remain reachable through the ε general-exploration arm).  Returns
-/// an empty vector when nothing is predictable.  When `coverage` is given
-/// it accumulates (adds to) the candidate/predictable tallies.
+/// Reusable allocation scratch for repeated top-k builds (one per policy
+/// instance; the per-refresh pair-state rebuild is a hot path).
+struct TopKScratch {
+  std::vector<RankedOption> ranked;
+  std::vector<char> taken;
+};
+
+/// Core top-k selection over precomputed predictions: preds[i] is the
+/// prediction for candidates[i] (from Predictor::predict_into, so each
+/// candidate costs exactly one predictor probe however many consumers the
+/// batch has).  Options without a valid prediction are ignored (they remain
+/// reachable through the ε general-exploration arm).  `out` is cleared and
+/// left empty when nothing is predictable.  When `coverage` is given it
+/// accumulates (adds to) the candidate/predictable tallies.
+void select_top_k_into(std::span<const OptionId> candidates, std::span<const Prediction> preds,
+                       const TopKConfig& config, TopKCoverage* coverage, TopKScratch& scratch,
+                       std::vector<RankedOption>& out);
+
+/// Convenience wrapper: predicts each candidate and selects in one call.
 [[nodiscard]] std::vector<RankedOption> select_top_k(const Predictor& predictor, AsId s, AsId d,
                                                      std::span<const OptionId> candidates,
                                                      Metric metric, const TopKConfig& config = {},

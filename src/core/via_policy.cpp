@@ -12,6 +12,7 @@ void ViaPolicy::attach_telemetry(obs::Telemetry* telemetry) {
   if (telemetry == nullptr) return;
   obs::MetricsRegistry& r = telemetry->registry;
   inst_.trace = &telemetry->decisions;
+  inst_.ring = telemetry->decisions.enabled();
   inst_.ucb = &r.counter("policy.decision.ucb");
   inst_.epsilon_explore = &r.counter("policy.decision.epsilon_explore");
   inst_.budget_veto = &r.counter("policy.decision.budget_veto");
@@ -46,6 +47,10 @@ void ViaPolicy::trace_decision(const CallContext& call, OptionId option,
     case obs::DecisionReason::BackgroundRelay:
       break;  // engine-tagged, never emitted by the policy
   }
+  // Reason counters above are cheap relaxed atomics and always tallied;
+  // building and recording the full event only pays off when the ring can
+  // actually retain it.
+  if (!inst_.ring) return;
   obs::DecisionEvent event;
   event.call_id = call.id;
   event.time = call.time;
@@ -92,10 +97,15 @@ ViaPolicy::PairState& ViaPolicy::pair_state(const CallContext& call) {
 
   const bool adjacent_period = (state.period + 1 == period_);
   state.period = period_;
+
+  // One predictor probe per candidate; every consumer below reads the batch.
+  predictor_.predict_into(call.key_src, call.key_dst, call.options, config_.target,
+                          scratch_preds_);
+
   TopKCoverage coverage;
-  state.top_k = select_top_k(predictor_, call.key_src, call.key_dst, call.options,
-                             config_.target, config_.topk,
-                             inst_.trace != nullptr ? &coverage : nullptr);
+  select_top_k_into(call.options, scratch_preds_, config_.topk,
+                    inst_.trace != nullptr ? &coverage : nullptr, topk_scratch_,
+                    state.top_k);
   if (inst_.trace != nullptr) {
     inst_.predict_considered->inc(coverage.considered);
     inst_.predict_valid->inc(coverage.predictable);
@@ -108,8 +118,13 @@ ViaPolicy::PairState& ViaPolicy::pair_state(const CallContext& call) {
   // Predicted benefit of relaying: direct prediction minus the best
   // candidate's prediction (0 when either side is unknown).
   state.predicted_benefit = 0.0;
-  const Prediction direct = predictor_.predict(call.key_src, call.key_dst,
-                                               RelayOptionTable::direct_id(), config_.target);
+  Prediction direct;
+  for (std::size_t i = 0; i < call.options.size(); ++i) {
+    if (call.options[i] == RelayOptionTable::direct_id()) {
+      direct = scratch_preds_[i];
+      break;
+    }
+  }
   if (direct.valid && !state.top_k.empty()) {
     double best = std::numeric_limits<double>::infinity();
     for (const auto& r : state.top_k) best = std::min(best, r.pred.mean);
@@ -119,16 +134,12 @@ ViaPolicy::PairState& ViaPolicy::pair_state(const CallContext& call) {
   // Active-measurement wishlist (§7): candidate options this pair cannot
   // predict are coverage holes worth probing.
   if (probe_wishlist_.size() < config_.probe_wishlist_capacity) {
-    for (const OptionId opt : call.options) {
+    for (std::size_t i = 0; i < call.options.size(); ++i) {
+      const OptionId opt = call.options[i];
       if (opt == RelayOptionTable::direct_id()) continue;
-      const bool in_top_k =
-          std::any_of(state.top_k.begin(), state.top_k.end(),
-                      [opt](const RankedOption& r) { return r.option == opt; });
-      if (in_top_k) continue;
-      if (!predictor_.predict(call.key_src, call.key_dst, opt, config_.target).valid) {
-        probe_wishlist_.push_back({call.src_as, call.dst_as, opt});
-        if (probe_wishlist_.size() >= config_.probe_wishlist_capacity) break;
-      }
+      if (scratch_preds_[i].valid) continue;  // predictable => not a hole
+      probe_wishlist_.push_back({call.src_as, call.dst_as, opt});
+      if (probe_wishlist_.size() >= config_.probe_wishlist_capacity) break;
     }
   }
   return state;
@@ -146,17 +157,19 @@ bool ViaPolicy::relay_cap_allows(OptionId option) {
   if (config_.relay_share_cap >= 1.0) return true;
   const RelayOption& o = options_->get(option);
   if (o.kind == RelayKind::Direct) return true;
+  const auto key_a = static_cast<std::uint64_t>(static_cast<std::uint32_t>(o.a));
+  const auto key_b = static_cast<std::uint64_t>(static_cast<std::uint32_t>(o.b));
   // A short warm-up so the first few calls are not all rejected.
   if (relayed_total_ >= 20) {
     const double cap = config_.relay_share_cap * static_cast<double>(relayed_total_);
-    if (static_cast<double>(relay_load_[o.a]) >= cap) return false;
+    if (static_cast<double>(relay_load_[key_a]) >= cap) return false;
     if (o.kind == RelayKind::Transit &&
-        static_cast<double>(relay_load_[o.b]) >= cap) {
+        static_cast<double>(relay_load_[key_b]) >= cap) {
       return false;
     }
   }
-  ++relay_load_[o.a];
-  if (o.kind == RelayKind::Transit) ++relay_load_[o.b];
+  ++relay_load_[key_a];
+  if (o.kind == RelayKind::Transit) ++relay_load_[key_b];
   ++relayed_total_;
   return true;
 }
@@ -239,12 +252,12 @@ OptionId ViaPolicy::choose(const CallContext& call) {
 
 void ViaPolicy::observe(const Observation& obs) {
   current_window_.add(obs);
-  if (inst_.trace != nullptr) {
+  if (inst_.ring) {
     inst_.trace->fill_observed(obs.id, obs.perf.get(config_.target));
   }
-  const auto it = pairs_.find(as_pair_key(obs.src_as, obs.dst_as));
-  if (it != pairs_.end() && it->second.period == period_) {
-    it->second.bandit.observe(obs.option, obs.perf.get(config_.target));
+  PairState* state = pairs_.find(as_pair_key(obs.src_as, obs.dst_as));
+  if (state != nullptr && state->period == period_) {
+    state->bandit.observe(obs.option, obs.perf.get(config_.target));
   }
 }
 

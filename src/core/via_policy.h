@@ -14,7 +14,6 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
 #include "common/relay_option.h"
 #include "core/bandit.h"
@@ -23,6 +22,7 @@
 #include "core/policy.h"
 #include "core/predictor.h"
 #include "core/topk.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 
 namespace via {
@@ -105,6 +105,10 @@ class ViaPolicy : public RoutingPolicy {
   /// Cached instrument pointers, all null while no telemetry is attached.
   struct Instruments {
     obs::DecisionTrace* trace = nullptr;
+    /// True only when the attached trace ring has nonzero capacity; gates
+    /// the per-call DecisionEvent construction and observed-value fill-in
+    /// so a disabled ring costs nothing on the choose/observe hot paths.
+    bool ring = false;
     obs::Counter* ucb = nullptr;
     obs::Counter* epsilon_explore = nullptr;
     obs::Counter* budget_veto = nullptr;
@@ -134,15 +138,20 @@ class ViaPolicy : public RoutingPolicy {
   HistoryWindow current_window_;
   HistoryWindow trained_window_;  ///< the completed window the predictor uses
   Predictor predictor_;
-  std::unordered_map<std::uint64_t, PairState> pairs_;
+  FlatMap<PairState> pairs_;
   BudgetFilter budget_;
   Rng rng_;
   std::uint64_t period_ = 0;
   Stats stats_;
   std::vector<ProbeRequest> probe_wishlist_;
-  std::unordered_map<RelayId, std::int64_t> relay_load_;
+  FlatMap<std::int64_t> relay_load_;  ///< keyed by RelayId
   std::int64_t relayed_total_ = 0;
   Instruments inst_;
+  // Per-pair rebuild scratch: one predictor probe per candidate feeds the
+  // top-k build, the direct baseline, the benefit estimate, and the probe
+  // wishlist; buffers are reused across rebuilds.
+  std::vector<Prediction> scratch_preds_;
+  TopKScratch topk_scratch_;
 };
 
 }  // namespace via

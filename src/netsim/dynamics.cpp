@@ -32,19 +32,42 @@ Dynamics::LinkTraits Dynamics::traits(std::uint64_t link_key) const {
 
 double Dynamics::ar1_level(std::uint64_t link_key, int day) const {
   if (day < 0) return 0.0;
-  auto& series = series_[link_key];
-  if (static_cast<int>(series.size()) <= day) {
-    const std::uint64_t k = hash_mix(seed_, link_key, 0xa41);
-    double prev = series.empty() ? hashed_gaussian(hash_mix(k, 0xFFFF))
-                                 : static_cast<double>(series.back());
-    const double rho = params_.ar1_rho;
-    const double innov = std::sqrt(1.0 - rho * rho);
-    for (int d = static_cast<int>(series.size()); d <= day; ++d) {
-      prev = rho * prev + innov * hashed_gaussian(hash_mix(k, static_cast<std::uint64_t>(d)));
-      series.push_back(static_cast<float>(prev));
+  const auto idx = static_cast<std::size_t>(day);
+
+  struct Hit {
+    bool found = false;
+    double level = 0.0;
+  };
+  const Hit hit =
+      series_.with_shared(link_key, [&](const FlatMap<std::vector<float>>& map) {
+        const std::vector<float>* series = map.find(link_key);
+        if (series != nullptr && series->size() > idx) {
+          return Hit{true, static_cast<double>((*series)[idx])};
+        }
+        return Hit{};
+      });
+  if (hit.found) return hit.level;
+
+  // AR(1) needs the previous element, so the series is extended in place
+  // under the write lock (re-checking: another thread may have extended it).
+  return series_.with_unique(link_key, [&](FlatMap<std::vector<float>>& map) {
+    std::vector<float>& series = map[link_key];
+    if (series.size() <= idx) {
+      const std::uint64_t k = hash_mix(seed_, link_key, 0xa41);
+      double prev = series.empty() ? hashed_gaussian(hash_mix(k, 0xFFFF))
+                                   : static_cast<double>(series.back());
+      const double rho = params_.ar1_rho;
+      const double innov = std::sqrt(1.0 - rho * rho);
+      for (int d = static_cast<int>(series.size()); d <= day; ++d) {
+        // Round through the stored float each step so series[d] does not
+        // depend on how many days one call extends (see wobble_level).
+        prev = static_cast<float>(
+            rho * prev + innov * hashed_gaussian(hash_mix(k, static_cast<std::uint64_t>(d))));
+        series.push_back(static_cast<float>(prev));
+      }
     }
-  }
-  return static_cast<double>(series[static_cast<std::size_t>(day)]);
+    return static_cast<double>(series[idx]);
+  });
 }
 
 double Dynamics::event_severity(std::uint64_t link_key, int day) const {

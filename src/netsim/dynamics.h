@@ -14,10 +14,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
+#include "util/sharded_map.h"
 
 namespace via {
 
@@ -36,7 +36,8 @@ struct DynamicsParams {
 };
 
 /// Per-link congestion level as a function of day, plus the intra-day
-/// diurnal multiplier.  Thread-compatible (memoization is not locked).
+/// diurnal multiplier.  Safe for concurrent readers: every query is a pure
+/// function of (link key, day) and the AR(1) memo sits behind striped locks.
 class Dynamics {
  public:
   explicit Dynamics(std::uint64_t seed, DynamicsParams params = {});
@@ -72,8 +73,8 @@ class Dynamics {
 
   std::uint64_t seed_;
   DynamicsParams params_;
-  /// Memoized AR(1) series per link (grown on demand).
-  mutable std::unordered_map<std::uint64_t, std::vector<float>> series_;
+  /// Memoized AR(1) series per link (grown on demand under striped locks).
+  mutable ShardedMap<std::vector<float>> series_;
 };
 
 }  // namespace via

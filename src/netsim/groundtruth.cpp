@@ -77,9 +77,26 @@ std::pair<RelayId, RelayId> GroundTruth::orient_transit(AsId s, const RelayOptio
 
 PathPerformance GroundTruth::day_mean(AsId s, AsId d, OptionId option, int day) {
   const std::uint64_t key = memo_key(s, d, option, day);
-  if (const auto it = day_mean_cache_.find(key); it != day_mean_cache_.end()) {
-    return it->second;
-  }
+  struct Hit {
+    bool found = false;
+    PathPerformance p;
+  };
+  const Hit hit = day_mean_cache_.with_shared(key, [&](const FlatMap<PathPerformance>& map) {
+    const PathPerformance* cached = map.find(key);
+    return cached != nullptr ? Hit{true, *cached} : Hit{};
+  });
+  if (hit.found) return hit.p;
+
+  // Miss: compute outside the lock (the value is a pure function of the
+  // key, so a concurrent duplicate compute yields the identical result).
+  const PathPerformance p = compute_day_mean(s, d, option, day);
+  day_mean_cache_.with_unique(key, [&](FlatMap<PathPerformance>& map) {
+    map.insert(key, p);
+  });
+  return p;
+}
+
+PathPerformance GroundTruth::compute_day_mean(AsId s, AsId d, OptionId option, int day) {
   const RelayOption& o = options_.get(option);
   PathPerformance p;
   switch (o.kind) {
@@ -127,8 +144,6 @@ PathPerformance GroundTruth::day_mean(AsId s, AsId d, OptionId option, int day) 
   p.rtt_ms *= wobble(config_.wobble_cv_rtt);
   p.loss_pct *= wobble(config_.wobble_cv_loss);
   p.jitter_ms *= wobble(config_.wobble_cv_jitter);
-
-  day_mean_cache_.emplace(key, p);
   return p;
 }
 
@@ -190,19 +205,45 @@ PathPerformance GroundTruth::sample_call(CallId id, AsId s, AsId d, OptionId opt
 
 double GroundTruth::wobble_level(std::uint64_t path_key, int day) {
   if (day < 0) return 0.0;
-  auto& series = wobble_series_[path_key];
-  if (static_cast<int>(series.size()) <= day) {
-    const double rho = config_.wobble_rho;
-    const double innov = std::sqrt(1.0 - rho * rho);
-    double prev = series.empty() ? hashed_gaussian(hash_mix(path_key, 0xFFFF))
-                                 : static_cast<double>(series.back());
-    for (int d = static_cast<int>(series.size()); d <= day; ++d) {
-      prev = rho * prev +
-             innov * hashed_gaussian(hash_mix(path_key, static_cast<std::uint64_t>(d)));
-      series.push_back(static_cast<float>(prev));
+  const auto idx = static_cast<std::size_t>(day);
+
+  struct Hit {
+    bool found = false;
+    double level = 0.0;
+  };
+  const Hit hit =
+      wobble_series_.with_shared(path_key, [&](const FlatMap<std::vector<float>>& map) {
+        const std::vector<float>* series = map.find(path_key);
+        if (series != nullptr && series->size() > idx) {
+          return Hit{true, static_cast<double>((*series)[idx])};
+        }
+        return Hit{};
+      });
+  if (hit.found) return hit.level;
+
+  // The AR(1) recurrence needs the previous element, so extension happens
+  // in place under the unique lock (re-checking length: another thread may
+  // have extended the series while we waited).
+  return wobble_series_.with_unique(path_key, [&](FlatMap<std::vector<float>>& map) {
+    std::vector<float>& series = map[path_key];
+    if (series.size() <= idx) {
+      const double rho = config_.wobble_rho;
+      const double innov = std::sqrt(1.0 - rho * rho);
+      double prev = series.empty() ? hashed_gaussian(hash_mix(path_key, 0xFFFF))
+                                   : static_cast<double>(series.back());
+      for (int d = static_cast<int>(series.size()); d <= day; ++d) {
+        // Round through the stored float each step so series[d] is a pure
+        // function of (path_key, d), independent of how many days a single
+        // call extends: days queried one-by-one and in a batch must agree
+        // bit-for-bit for warm() to reproduce a lazy serial run.
+        prev = static_cast<float>(
+            rho * prev +
+            innov * hashed_gaussian(hash_mix(path_key, static_cast<std::uint64_t>(d))));
+        series.push_back(static_cast<float>(prev));
+      }
     }
-  }
-  return static_cast<double>(series[static_cast<std::size_t>(day)]);
+    return static_cast<double>(series[idx]);
+  });
 }
 
 RelayId GroundTruth::transit_ingress(AsId src, OptionId option) const {
@@ -217,7 +258,15 @@ bool GroundTruth::call_is_wireless(CallId id) const {
 }
 
 std::span<const RelayId> GroundTruth::nearest_relays(AsId a) {
-  if (const auto it = nearest_.find(a); it != nearest_.end()) return it->second;
+  const auto key = static_cast<std::uint64_t>(static_cast<std::uint32_t>(a));
+  const std::span<const RelayId> cached =
+      nearest_.with_shared(key, [&](const FlatMap<std::vector<RelayId>>& map) {
+        const std::vector<RelayId>* order = map.find(key);
+        return order != nullptr ? std::span<const RelayId>(*order)
+                                : std::span<const RelayId>();
+      });
+  if (cached.data() != nullptr) return cached;
+
   std::vector<RelayId> order;
   order.reserve(static_cast<std::size_t>(world_->num_relays()));
   for (RelayId r = 0; r < world_->num_relays(); ++r) {
@@ -226,12 +275,22 @@ std::span<const RelayId> GroundTruth::nearest_relays(AsId a) {
   std::sort(order.begin(), order.end(), [&](RelayId x, RelayId y) {
     return path_model_.segment_base(a, x).rtt_ms < path_model_.segment_base(a, y).rtt_ms;
   });
-  return nearest_.emplace(a, std::move(order)).first->second;
+  return nearest_.with_unique(key, [&](FlatMap<std::vector<RelayId>>& map) {
+    std::vector<RelayId>& stored = map[key];
+    if (stored.empty()) stored = std::move(order);  // lost races keep the winner
+    return std::span<const RelayId>(stored);
+  });
 }
 
 std::span<const OptionId> GroundTruth::candidate_options(AsId s, AsId d) {
   const std::uint64_t key = as_pair_key(s, d);
-  if (const auto it = candidates_.find(key); it != candidates_.end()) return it->second;
+  const std::span<const OptionId> cached =
+      candidates_.with_shared(key, [&](const FlatMap<std::vector<OptionId>>& map) {
+        const std::vector<OptionId>* opts = map.find(key);
+        return opts != nullptr ? std::span<const OptionId>(*opts)
+                               : std::span<const OptionId>();
+      });
+  if (cached.data() != nullptr) return cached;
 
   // Canonicalize so both directions of the pair see the same option set.
   const AsId lo = std::min(s, d);
@@ -266,7 +325,11 @@ std::span<const OptionId> GroundTruth::candidate_options(AsId s, AsId d) {
     }
   }
 
-  return candidates_.emplace(key, std::move(opts)).first->second;
+  return candidates_.with_unique(key, [&](FlatMap<std::vector<OptionId>>& map) {
+    std::vector<OptionId>& stored = map[key];
+    if (stored.empty()) stored = std::move(opts);  // lost races keep the winner
+    return std::span<const OptionId>(stored);
+  });
 }
 
 void GroundTruth::set_allowed_relays(std::vector<bool> allowed) {
@@ -274,6 +337,31 @@ void GroundTruth::set_allowed_relays(std::vector<bool> allowed) {
   allowed_relays_ = std::move(allowed);
   candidates_.clear();
   nearest_.clear();
+}
+
+void GroundTruth::warm(std::span<const CallArrival> arrivals, int max_day) {
+  // Directed pairs, first-seen order.  The order matters: candidate_options
+  // interns relay options lazily, and OptionId assignment order is the only
+  // order-dependent state in GroundTruth.  Walking arrivals serially here
+  // reproduces exactly the interning order of a serial first run, so a
+  // replay fanned out afterwards is bit-identical to a serial one.
+  FlatMap<char> seen;
+  seen.reserve(4096);
+  for (const CallArrival& call : arrivals) {
+    const std::uint64_t directed =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(call.src_as)) << 32) |
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(call.dst_as));
+    if (seen.find(directed) != nullptr) continue;
+    seen.insert(directed, 1);
+    const std::span<const OptionId> opts = candidate_options(call.src_as, call.dst_as);
+    // day_mean memoizes per *directed* (s, d): warm both the direction the
+    // replay samples and every day a probe at a refresh boundary can touch.
+    for (const OptionId opt : opts) {
+      for (int day = 0; day <= max_day; ++day) {
+        (void)day_mean(call.src_as, call.dst_as, opt, day);
+      }
+    }
+  }
 }
 
 }  // namespace via

@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "common/call.h"
@@ -24,6 +23,8 @@
 #include "netsim/dynamics.h"
 #include "netsim/pathmodel.h"
 #include "netsim/world.h"
+#include "util/sharded_map.h"
+#include "trace/arrival.h"
 
 namespace via {
 
@@ -87,6 +88,16 @@ struct GroundTruthConfig {
   PathModelParams path_model;
 };
 
+/// Threading: GroundTruth is safe for concurrent readers.  Every query is a
+/// pure function of its key; the lazily-filled memo caches (day means,
+/// wobble series, candidate sets, nearest-relay orders) sit behind striped
+/// shared_mutex shards (util/sharded_map.h), so concurrent misses compute
+/// the same value and race only on who inserts it.  warm() pre-fills the
+/// caches for a workload serially — after it, parallel replay reads hit
+/// warm entries under uncontended shared locks and, crucially, relay-option
+/// ids were interned in the deterministic warm order, making parallel runs
+/// bit-identical to serial ones.  set_allowed_relays() is the exception: it
+/// clears caches and must not run concurrently with any reader.
 class GroundTruth {
  public:
   GroundTruth(const World& world, GroundTruthConfig config = {});
@@ -128,6 +139,13 @@ class GroundTruth {
   /// clears candidate caches.
   void set_allowed_relays(std::vector<bool> allowed);
 
+  /// Serially pre-fills every cache a trace replay can touch: candidate
+  /// sets and daily means for each directed pair in `arrivals` (as-seen
+  /// order, which fixes relay-option interning order) over days
+  /// [0, max_day].  After warm() returns, concurrent replays of this
+  /// workload perform no cache writes.
+  void warm(std::span<const CallArrival> arrivals, int max_day);
+
   [[nodiscard]] const World& world() const noexcept { return *world_; }
   [[nodiscard]] const PathModel& path_model() const noexcept { return path_model_; }
   [[nodiscard]] const Dynamics& dynamics() const noexcept { return dynamics_; }
@@ -150,11 +168,13 @@ class GroundTruth {
 
   /// AR(1) wobble level for a (pair, option) path on a day; memoized.
   [[nodiscard]] double wobble_level(std::uint64_t path_key, int day);
+  [[nodiscard]] PathPerformance compute_day_mean(AsId s, AsId d, OptionId option, int day);
 
-  std::unordered_map<std::uint64_t, PathPerformance> day_mean_cache_;
-  std::unordered_map<std::uint64_t, std::vector<float>> wobble_series_;
-  std::unordered_map<std::uint64_t, std::vector<OptionId>> candidates_;
-  std::unordered_map<AsId, std::vector<RelayId>> nearest_;
+  // Memo caches, striped for concurrent readers (see class comment).
+  ShardedMap<PathPerformance> day_mean_cache_;
+  ShardedMap<std::vector<float>> wobble_series_;
+  ShardedMap<std::vector<OptionId>> candidates_;
+  ShardedMap<std::vector<RelayId>> nearest_;
 };
 
 }  // namespace via

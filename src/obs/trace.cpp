@@ -150,11 +150,12 @@ std::optional<DecisionEvent> DecisionEvent::from_jsonl(std::string_view line) {
   return e;
 }
 
-DecisionTrace::DecisionTrace(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+DecisionTrace::DecisionTrace(std::size_t capacity) : capacity_(capacity) {
   ring_.reserve(std::min<std::size_t>(capacity_, 4096));
 }
 
 void DecisionTrace::record(const DecisionEvent& event) {
+  if (capacity_ == 0) return;
   const std::lock_guard lock(mutex_);
   if (ring_.size() < capacity_) {
     index_[event.call_id] = ring_.size();
@@ -171,6 +172,7 @@ void DecisionTrace::record(const DecisionEvent& event) {
 }
 
 void DecisionTrace::fill_observed(CallId call_id, double observed) {
+  if (capacity_ == 0) return;
   const std::lock_guard lock(mutex_);
   const auto it = index_.find(call_id);
   if (it != index_.end()) ring_[it->second].observed = observed;

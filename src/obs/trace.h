@@ -72,10 +72,15 @@ struct DecisionEvent {
 
 /// Bounded, thread-safe ring buffer of DecisionEvents.  A call-id index
 /// lets the completed-call measurement be filled into its event in O(1)
-/// while the event is still resident.
+/// while the event is still resident.  Capacity 0 disables the ring
+/// entirely: record()/fill_observed() become no-ops, and callers can (and
+/// the policy does) check enabled() to skip building events altogether.
 class DecisionTrace {
  public:
   explicit DecisionTrace(std::size_t capacity = 4096);
+
+  /// False when constructed with capacity 0 (tracing turned off).
+  [[nodiscard]] bool enabled() const noexcept { return capacity_ > 0; }
 
   void record(const DecisionEvent& event);
 

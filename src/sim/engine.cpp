@@ -28,15 +28,21 @@ std::span<const OptionId> SimulationEngine::options_for(AsId src, AsId dst) {
   if (!config_.exclude_transit) return full;
 
   const std::uint64_t key = as_pair_key(src, dst);
-  if (const auto it = filtered_options_.find(key); it != filtered_options_.end()) {
-    return it->second;
+  if (const std::vector<OptionId>* kept = filtered_options_.find(key); kept != nullptr) {
+    return kept->empty() ? full : std::span<const OptionId>(*kept);
   }
   std::vector<OptionId> kept;
   kept.reserve(full.size());
   for (const OptionId opt : full) {
     if (gt_->option_table().get(opt).kind != RelayKind::Transit) kept.push_back(opt);
   }
-  return filtered_options_.emplace(key, std::move(kept)).first->second;
+  if (kept.size() == full.size()) {
+    // No transit option to exclude: remember that with an empty sentinel
+    // and serve the ground-truth span directly instead of a copy.
+    filtered_options_.insert(key, {});
+    return full;
+  }
+  return filtered_options_.insert(key, std::move(kept));
 }
 
 void SimulationEngine::map_keys(const CallArrival& a, AsId& key_src, AsId& key_dst) const {
@@ -132,14 +138,16 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
       const OptionId forced = ctx.options[std::min(pick_index, ctx.options.size() - 1)];
       if (telemetry != nullptr) {
         tel_background->inc();
-        obs::DecisionEvent event;
-        event.call_id = arrival.id;
-        event.time = arrival.time;
-        event.src_as = ctx.key_src;
-        event.dst_as = ctx.key_dst;
-        event.option = forced;
-        event.reason = obs::DecisionReason::BackgroundRelay;
-        telemetry->decisions.record(event);
+        if (telemetry->decisions.enabled()) {
+          obs::DecisionEvent event;
+          event.call_id = arrival.id;
+          event.time = arrival.time;
+          event.src_as = ctx.key_src;
+          event.dst_as = ctx.key_dst;
+          event.option = forced;
+          event.reason = obs::DecisionReason::BackgroundRelay;
+          telemetry->decisions.record(event);
+        }
       }
       Observation obs;
       obs.id = arrival.id;

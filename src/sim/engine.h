@@ -14,6 +14,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/flat_map.h"
+
 #include "common/relay_option.h"
 #include "core/policy.h"
 #include "netsim/groundtruth.h"
@@ -110,9 +112,12 @@ class SimulationEngine {
   GroundTruth* gt_;
   std::span<const CallArrival> arrivals_;
   RunConfig config_;
-  std::unordered_map<std::uint64_t, std::int64_t> pair_call_counts_;
-  /// Transit-free candidate cache (when exclude_transit is set).
-  std::unordered_map<std::uint64_t, std::vector<OptionId>> filtered_options_;
+  FlatMap<std::int64_t> pair_call_counts_;
+  /// Transit-free candidate cache (when exclude_transit is set).  An empty
+  /// cached vector means "nothing was filtered — serve the ground-truth
+  /// span as-is" (a genuinely filtered set always keeps the direct option,
+  /// so it can never be empty).
+  FlatMap<std::vector<OptionId>> filtered_options_;
 };
 
 }  // namespace via

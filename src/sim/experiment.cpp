@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "sim/parallel.h"
 #include "util/percentile.h"
 
 namespace via {
@@ -66,6 +67,20 @@ std::unique_ptr<ExplorationOnlyPolicy> Experiment::make_exploration_only(Metric 
 RunResult Experiment::run(RoutingPolicy& policy, RunConfig config) {
   SimulationEngine engine(gt_, arrivals_, config);
   return engine.run(policy);
+}
+
+void Experiment::warm_caches() {
+  if (warmed_) return;
+  // +2 days of slack covers refresh-boundary probe calls landing past the
+  // last arrival's day.
+  const int max_day = arrivals_.empty() ? 0 : day_of(arrivals_.back().time) + 2;
+  gt_.warm(arrivals_, max_day);
+  warmed_ = true;
+}
+
+std::vector<RunResult> Experiment::run_many(std::span<const RunSpec> specs, int threads) {
+  ParallelRunner runner(threads);
+  return runner.run_all(*this, specs);
 }
 
 PnrComparison compare_pnr(const RunResult& baseline, const RunResult& treated) {

@@ -19,6 +19,8 @@
 
 namespace via {
 
+struct RunSpec;
+
 /// Everything a trace-driven experiment needs, built once per bench.
 class Experiment {
  public:
@@ -58,12 +60,24 @@ class Experiment {
   /// Runs one policy over the full trace.
   [[nodiscard]] RunResult run(RoutingPolicy& policy, RunConfig config = {});
 
+  /// Runs every spec concurrently on `threads` workers (<= 0 = hardware
+  /// concurrency) and returns results in spec order.  Warms the ground
+  /// truth first, which makes the results bit-identical to running the
+  /// same specs serially — see sim/parallel.h.
+  [[nodiscard]] std::vector<RunResult> run_many(std::span<const RunSpec> specs,
+                                                int threads = 0);
+
+  /// Serially pre-fills every GroundTruth cache this experiment's trace
+  /// can touch (idempotent; run_many calls it implicitly).
+  void warm_caches();
+
  private:
   Setup setup_;
   World world_;
   GroundTruth gt_;
   TraceGenerator gen_;
   std::vector<CallArrival> arrivals_;
+  bool warmed_ = false;
 };
 
 // ------------------------------------------------------------ reporting

@@ -1,0 +1,39 @@
+#include "sim/parallel.h"
+
+#include <exception>
+#include <utility>
+
+#include "sim/experiment.h"
+
+namespace via {
+
+std::vector<RunResult> ParallelRunner::run_all(Experiment& experiment,
+                                               std::span<const RunSpec> specs) {
+  // Serial warm-up: after this, workers only read the ground truth, and
+  // relay-option ids already have their deterministic serial-order values.
+  experiment.warm_caches();
+
+  std::vector<RunResult> results(specs.size());
+  std::vector<std::exception_ptr> errors(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const RunSpec& spec = specs[i];
+    pool_.submit([&experiment, &spec, &result = results[i], &error = errors[i]] {
+      try {
+        const std::unique_ptr<RoutingPolicy> policy = spec.make_policy();
+        SimulationEngine engine(experiment.ground_truth(), experiment.arrivals(),
+                                spec.config);
+        result = engine.run(*policy);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    });
+  }
+  pool_.wait_idle();
+
+  for (std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(std::move(error));
+  }
+  return results;
+}
+
+}  // namespace via

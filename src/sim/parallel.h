@@ -1,0 +1,52 @@
+// Parallel experiment runner: fans independent (policy, config) trace
+// replays across a thread pool.
+//
+// Parallel runs are bit-identical to serial ones.  The only mutable state
+// runs share is the GroundTruth memo caches and its relay-option interning
+// table; every cached value is a pure function of its key, and the runner
+// pre-warms the caches serially (Experiment::warm_caches) so option ids are
+// interned in the same deterministic order a serial first run would use.
+// After warm-up the replays only read GroundTruth, under striped shared
+// locks (see DESIGN.md "Threading model").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "sim/engine.h"
+#include "util/thread_pool.h"
+
+namespace via {
+
+class Experiment;
+
+/// One experiment run: a label for reporting, a factory producing a fresh
+/// policy instance (invoked on the worker thread), and the run config.
+struct RunSpec {
+  std::string label;
+  std::function<std::unique_ptr<RoutingPolicy>()> make_policy;
+  RunConfig config{};
+};
+
+/// Executes RunSpecs on a shared thread pool.  Results come back in spec
+/// order regardless of completion order; the first exception thrown by any
+/// run is rethrown from run_all after every run has finished.
+class ParallelRunner {
+ public:
+  /// `threads` <= 0 selects ThreadPool::default_threads().
+  explicit ParallelRunner(int threads = 0) : pool_(threads) {}
+
+  [[nodiscard]] int thread_count() const noexcept { return pool_.thread_count(); }
+
+  [[nodiscard]] std::vector<RunResult> run_all(Experiment& experiment,
+                                               std::span<const RunSpec> specs);
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace via

@@ -1,0 +1,135 @@
+// Open-addressing hash map keyed by std::uint64_t, built for the per-call
+// hot paths (history aggregation, per-pair policy state, ground-truth
+// memoization).  Compared to std::unordered_map it stores entries in one
+// contiguous slot array (no per-node allocation, no pointer chase), hashes
+// with a single SplitMix64 finalize, and probes linearly — a find is one
+// multiply-shift plus a short cache-resident scan.
+//
+// Semantics are intentionally narrow:
+//   - keys are arbitrary 64-bit values (no reserved sentinel),
+//   - no erase (the hot paths only insert, look up, and clear),
+//   - clear() keeps the slot array so a recurring window reuses capacity,
+//   - references are invalidated by rehash (don't hold them across inserts).
+//
+// Iteration order is a deterministic function of the insertion sequence, so
+// replays that feed identical observation streams iterate identically —
+// which is what keeps serial and parallel experiment runs bit-identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace via {
+
+template <typename Value>
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  /// Ensures capacity for `n` entries without rehashing mid-fill.
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 3 < n * 4) cap <<= 1;  // keep load factor <= 0.75
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Drops all entries but keeps the slot array (values are reset eagerly
+  /// so reinserted keys start from a default-constructed Value).
+  void clear() {
+    if (size_ == 0) return;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) {
+        used_[i] = 0;
+        slots_[i].second = Value{};
+      }
+    }
+    size_ = 0;
+  }
+
+  [[nodiscard]] Value* find(std::uint64_t key) noexcept {
+    if (size_ == 0) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = splitmix64(key) & mask;; i = (i + 1) & mask) {
+      if (!used_[i]) return nullptr;
+      if (slots_[i].first == key) return &slots_[i].second;
+    }
+  }
+
+  [[nodiscard]] const Value* find(std::uint64_t key) const noexcept {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  /// Inserts a default-constructed value if the key is absent.
+  [[nodiscard]] Value& operator[](std::uint64_t key) {
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) {
+      rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = splitmix64(key) & mask;; i = (i + 1) & mask) {
+      if (!used_[i]) {
+        used_[i] = 1;
+        slots_[i].first = key;
+        ++size_;
+        return slots_[i].second;
+      }
+      if (slots_[i].first == key) return slots_[i].second;
+    }
+  }
+
+  /// Inserts (or overwrites) key -> value.
+  Value& insert(std::uint64_t key, Value value) {
+    Value& slot = (*this)[key];
+    slot = std::move(value);
+    return slot;
+  }
+
+  /// Visits every entry as fn(key, value); insertion-sequence-deterministic.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) fn(slots_[i].first, slots_[i].second);
+    }
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) fn(slots_[i].first, slots_[i].second);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  void rehash(std::size_t new_cap) {
+    std::vector<std::pair<std::uint64_t, Value>> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    slots_.clear();
+    slots_.resize(new_cap);
+    used_.assign(new_cap, 0);
+    const std::size_t mask = new_cap - 1;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_used[i]) continue;
+      for (std::size_t j = splitmix64(old_slots[i].first) & mask;; j = (j + 1) & mask) {
+        if (!used_[j]) {
+          used_[j] = 1;
+          slots_[j] = std::move(old_slots[i]);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<std::pair<std::uint64_t, Value>> slots_;
+  std::vector<std::uint8_t> used_;  ///< parallel to slots_ (1 = occupied)
+  std::size_t size_ = 0;
+};
+
+}  // namespace via

@@ -1,0 +1,99 @@
+// Shared-queue thread pool for the parallel experiment runner.
+//
+// Tasks here are coarse — each one is an entire trace replay (hundreds of
+// milliseconds to minutes) — so a single mutex-protected FIFO drained by N
+// workers is the right tool: queue contention is unmeasurable at this
+// granularity and, unlike a work-stealing deque per worker, the FIFO hands
+// out runs in submission order, which keeps scheduling easy to reason
+// about.  (Revisit if tasks ever become fine-grained.)
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace via {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects default_threads().
+  explicit ThreadPool(int threads = 0) {
+    const int n = threads > 0 ? threads : default_threads();
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock lock(mutex_);
+      stopping_ = true;
+    }
+    wake_workers_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  /// Hardware concurrency with a sane floor (hardware_concurrency() may
+  /// report 0 on restricted platforms).
+  [[nodiscard]] static int default_threads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }
+
+  [[nodiscard]] int thread_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueues a task.  Tasks must not submit to (or destroy) the pool.
+  void submit(std::function<void()> task) {
+    {
+      std::unique_lock lock(mutex_);
+      queue_.push_back(std::move(task));
+      ++pending_;
+    }
+    wake_workers_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished running.
+  void wait_idle() {
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        wake_workers_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::unique_lock lock(mutex_);
+        if (--pending_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t pending_ = 0;  ///< queued + currently running tasks
+  bool stopping_ = false;
+};
+
+}  // namespace via

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (full build + ctest) plus a strict
-# -Wall -Wextra -Werror compile of the telemetry subsystem and its tests.
+# CI entry point: tier-1 verify (full build + ctest), a strict
+# -Wall -Wextra -Werror compile of the telemetry subsystem and its tests,
+# and a Release (-O2 -DNDEBUG) bench smoke that emits BENCH_core.json.
+# Set VIA_CI_TSAN=1 to additionally run test_parallel under ThreadSanitizer.
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
 set -euo pipefail
 
@@ -15,5 +17,22 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 echo "== strict: -Werror build of the obs subsystem =="
 cmake -B "$BUILD_DIR-werror" -S . -DVIA_WERROR=ON
 cmake --build "$BUILD_DIR-werror" -j --target via_obs test_obs
+
+echo "== release: -O2 -DNDEBUG bench_micro_core smoke + BENCH_core.json =="
+cmake -B "$BUILD_DIR-release" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR-release" -j --target bench_micro_core
+VIA_BENCH_JSON="$BUILD_DIR-release/BENCH_core.json" VIA_BENCH_SWEEP_SCALE=small \
+  "$BUILD_DIR-release/bench/bench_micro_core" --benchmark_min_time=0.05
+test -s "$BUILD_DIR-release/BENCH_core.json"
+grep -q '"sweep_identical": true' "$BUILD_DIR-release/BENCH_core.json"
+echo "BENCH_core.json:"
+cat "$BUILD_DIR-release/BENCH_core.json"
+
+if [[ "${VIA_CI_TSAN:-0}" == "1" ]]; then
+  echo "== tsan: test_parallel under ThreadSanitizer =="
+  cmake -B "$BUILD_DIR-tsan" -S . -DVIA_TSAN=ON
+  cmake --build "$BUILD_DIR-tsan" -j --target test_parallel
+  "$BUILD_DIR-tsan/tests/test_parallel"
+fi
 
 echo "== ci.sh: all green =="
