@@ -8,7 +8,13 @@
 //
 //   via_controller [--port N] [--metric rtt|loss|jitter] [--epsilon E]
 //                  [--budget B] [--refresh-hours T] [--backbone FILE]
+//                  [--stripes N]
 //                  [--metrics-dump] [--metrics-format table|json|prom]
+//
+// --stripes N: serving-state lock stripes (power of two, max 64).  The
+// daemon defaults to 16 so concurrent clients' decisions for unrelated AS
+// pairs proceed in parallel; 1 reproduces single-stream replay behavior
+// bit for bit.
 //
 // --metrics-dump: print the telemetry registry (decision counters, RPC
 // latency histograms, bytes in/out) on shutdown; the same snapshot is
@@ -98,6 +104,9 @@ int main(int argc, char** argv) {
 
   std::uint16_t port = 7401;
   ViaConfig config;
+  // Daemon default: serve concurrent clients off 16 lock stripes (replays
+  // and tests that need bit-identical single-stream behavior pass 1).
+  config.serving_stripes = 16;
   BackboneTable backbone;
   bool metrics_dump = false;
   obs::StatsFormat metrics_format = obs::StatsFormat::Table;
@@ -121,6 +130,8 @@ int main(int argc, char** argv) {
         config.refresh_period = static_cast<TimeSec>(std::stod(next()) * 3600.0);
       } else if (arg == "--backbone") {
         backbone.load(next());
+      } else if (arg == "--stripes") {
+        config.serving_stripes = static_cast<std::size_t>(std::stoul(next()));
       } else if (arg == "--metrics-dump") {
         metrics_dump = true;
       } else if (arg == "--metrics-format") {
@@ -129,6 +140,7 @@ int main(int argc, char** argv) {
         std::cout << "usage: via_controller [--port N] [--metric rtt|loss|jitter]\n"
                      "                      [--epsilon E] [--budget B]\n"
                      "                      [--refresh-hours T] [--backbone FILE]\n"
+                     "                      [--stripes N]\n"
                      "                      [--metrics-dump] [--metrics-format table|json|prom]\n";
         return 0;
       } else {
@@ -165,7 +177,8 @@ int main(int argc, char** argv) {
     std::cout << "via_controller listening on 127.0.0.1:" << server.port() << " (metric "
               << metric_name(config.target) << ", epsilon " << config.epsilon << ", budget "
               << config.budget.fraction << ", refresh "
-              << config.refresh_period / 3600 << "h, backbone entries "
+              << config.refresh_period / 3600 << "h, stripes "
+              << config.serving_stripes << ", backbone entries "
               << backbone.entries() << ")\n"
               << "clients drive refresh via the Refresh message; Ctrl-C stops.\n";
     while (!g_stop.load()) {

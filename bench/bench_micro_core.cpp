@@ -6,6 +6,8 @@
 
 #include <iostream>
 #include <map>
+#include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/predictor.h"
@@ -285,6 +287,80 @@ void run_policy_sweep(bench::BenchJson& json, int threads) {
   json.set_bool("sweep_identical", identical);
 }
 
+/// Concurrent decision-serving throughput: one warmed ViaPolicy configured
+/// with the maximum stripe count, hammered by 1/2/4/8 threads splitting a
+/// fixed budget of choose() calls (so every sweep point does the same
+/// work).  Emits Mops per thread count plus the 4-thread speedup into
+/// BENCH_core.json; on a single-core box the speedup degenerates to ~1x.
+void run_concurrent_choose(bench::BenchJson& json) {
+  auto& gt = bench_gt();
+  ViaConfig config;
+  config.serving_stripes = 64;
+  ViaPolicy policy(
+      gt.option_table(), [&](RelayId a, RelayId b) { return gt.backbone(a, b); }, config);
+
+  // Warm up with a day of observations + refresh (same regimen as the
+  // single-threaded BM_ViaChoosePerCall, so the numbers are comparable).
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const auto s = static_cast<AsId>(rng.uniform_index(100));
+    auto d = static_cast<AsId>(rng.uniform_index(100));
+    if (d == s) d = (d + 1) % 100;
+    const auto opts = gt.candidate_options(s, d);
+    Observation o;
+    o.id = i;
+    o.time = 1000 + i;
+    o.src_as = s;
+    o.dst_as = d;
+    o.option = opts[rng.uniform_index(opts.size())];
+    o.ingress = gt.transit_ingress(s, o.option);
+    o.perf = gt.sample_call(i, s, d, o.option, o.time);
+    policy.observe(o);
+  }
+  policy.refresh(kSecondsPerDay);
+
+  constexpr std::int64_t kTotalCalls = 200'000;
+  double mops_1t = 0.0;
+  double mops_4t = 0.0;
+  for (const int threads : {1, 2, 4, 8}) {
+    const std::int64_t per_thread = kTotalCalls / threads;
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    const bench::Stopwatch sw;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&policy, &gt, per_thread, t] {
+        Rng trng(100 + static_cast<std::uint64_t>(t));
+        CallId next = 2'000'000 + static_cast<CallId>(t) * 10'000'000;
+        for (std::int64_t i = 0; i < per_thread; ++i) {
+          const auto s = static_cast<AsId>(trng.uniform_index(100));
+          const auto d = static_cast<AsId>((s + 1 + trng.uniform_index(99)) % 100);
+          CallContext ctx;
+          ctx.id = next++;
+          ctx.time = kSecondsPerDay + 100;
+          ctx.src_as = s;
+          ctx.dst_as = d;
+          ctx.key_src = s;
+          ctx.key_dst = d;
+          ctx.options = gt.candidate_options(s, d);
+          benchmark::DoNotOptimize(policy.choose(ctx));
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    const double seconds = sw.seconds();
+    const double mops =
+        seconds > 0.0
+            ? static_cast<double>(per_thread * threads) / seconds / 1e6
+            : 0.0;
+    std::cout << "concurrent choose: " << threads << " thread(s), "
+              << per_thread * threads << " calls, " << mops << " Mops\n";
+    json.set("concurrent_choose_" + std::to_string(threads) + "t_mops", mops);
+    if (threads == 1) mops_1t = mops;
+    if (threads == 4) mops_4t = mops;
+  }
+  if (mops_1t > 0.0) json.set("concurrent_choose_speedup_4t", mops_4t / mops_1t);
+}
+
 }  // namespace
 }  // namespace via
 
@@ -318,6 +394,7 @@ int main(int argc, char** argv) {
     if (it != reporter.ns_per_op.end()) json.set(key, it->second);
   }
   via::run_policy_sweep(json, threads);
+  via::run_concurrent_choose(json);
   const std::string path = via::bench::bench_json_path();
   json.write(path);
   std::cout << "[wrote " << path << "]\n";

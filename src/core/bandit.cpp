@@ -5,7 +5,7 @@
 
 namespace via {
 
-void UcbBandit::set_arms(const std::vector<RankedOption>& top_k, const BanditConfig& config,
+void UcbBandit::set_arms(std::span<const RankedOption> top_k, const BanditConfig& config,
                          const UcbBandit* carry_from) {
   const std::vector<Arm> previous =
       carry_from != nullptr ? carry_from->arms_ : std::vector<Arm>{};

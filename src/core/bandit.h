@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -47,7 +48,7 @@ class UcbBandit {
   /// given, arms surviving from the previous period keep a decayed version
   /// of their statistics (non-stationarity adaptation without total
   /// amnesia); fresh arms are optionally seeded with their prediction.
-  void set_arms(const std::vector<RankedOption>& top_k, const BanditConfig& config,
+  void set_arms(std::span<const RankedOption> top_k, const BanditConfig& config,
                 const UcbBandit* carry_from = nullptr);
 
   /// Picks the arm with the minimum UCB index; kInvalidOption if armless.

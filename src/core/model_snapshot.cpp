@@ -1,0 +1,86 @@
+#include "core/model_snapshot.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace via {
+
+ModelSnapshot::ModelSnapshot(const RelayOptionTable& options, BackboneFn backbone, Metric target,
+                             const PredictorConfig& predictor_config,
+                             const TopKConfig& topk_config)
+    : options_(&options),
+      target_(target),
+      topk_(topk_config),
+      window_(&options),
+      predictor_(options, std::move(backbone), predictor_config) {}
+
+ModelSnapshot::ModelSnapshot(const RelayOptionTable& options, BackboneFn backbone, Metric target,
+                             const PredictorConfig& predictor_config,
+                             const TopKConfig& topk_config, std::uint64_t period,
+                             HistoryWindow&& window)
+    : options_(&options),
+      target_(target),
+      topk_(topk_config),
+      period_(period),
+      window_(std::move(window)),
+      predictor_(options, std::move(backbone), predictor_config) {
+  predictor_.train(window_);
+}
+
+ModelSnapshot::PairView ModelSnapshot::pair_model(const CallContext& call,
+                                                  PairBuildObserver* observer) const {
+  const std::uint64_t key = call.pair_key();
+  PairView view;
+  const bool hit = pair_models_.with_shared(key, [&](const FlatMap<PairModel>& map) {
+    const PairModel* model = map.find(key);
+    if (model == nullptr) return false;
+    view = {model->top_k, model->predicted_benefit};
+    return true;
+  });
+  if (hit) return view;
+
+  // Cold pair: compute the model outside any lock (a pure function of the
+  // snapshot and the call's candidate set), then publish it.
+  PairModel built;
+  std::vector<Prediction> preds;
+  predictor_.predict_into(call.key_src, call.key_dst, call.options, target_, preds);
+
+  TopKCoverage coverage;
+  TopKScratch scratch;
+  select_top_k_into(call.options, preds, topk_, &coverage, scratch, built.top_k);
+
+  Prediction direct;
+  for (std::size_t i = 0; i < call.options.size(); ++i) {
+    if (call.options[i] == RelayOptionTable::direct_id()) {
+      direct = preds[i];
+      break;
+    }
+  }
+  if (direct.valid && !built.top_k.empty()) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const RankedOption& r : built.top_k) best = std::min(best, r.pred.mean);
+    built.predicted_benefit = direct.mean - best;
+  }
+
+  const bool won = pair_models_.with_unique(key, [&](FlatMap<PairModel>& map) {
+    if (map.find(key) != nullptr) return false;  // lost the build race
+    PairModel& slot = map[key];
+    slot = std::move(built);
+    view = {slot.top_k, slot.predicted_benefit};
+    return true;
+  });
+  if (!won) {
+    // Another thread published first; its entry holds the identical bits.
+    pair_models_.with_shared(key, [&](const FlatMap<PairModel>& map) {
+      const PairModel* model = map.find(key);
+      view = {model->top_k, model->predicted_benefit};
+      return true;
+    });
+    return view;
+  }
+  if (observer != nullptr) observer->on_pair_built(call, preds, view.top_k, coverage);
+  return view;
+}
+
+}  // namespace via

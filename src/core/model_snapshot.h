@@ -1,0 +1,103 @@
+// The read-only half of the Via controller (paper stages 2-3): everything a
+// refresh period produces and per-call serving only *reads*.
+//
+// A ModelSnapshot owns the completed history window, the predictor trained
+// on it (empirical + tomography), and the per-AS-pair products derived from
+// the predictor — top-k candidate sets and predicted relaying benefits.
+// Snapshots are immutable once published: `refresh()` builds a fresh one
+// and swaps it into an `std::atomic<std::shared_ptr<const ModelSnapshot>>`
+// RCU-style, so decision threads keep serving off the old model until they
+// naturally pick up the new pointer, and never block on a refresh.
+//
+// The per-pair products cannot be enumerated eagerly at refresh time — the
+// candidate option set for a pair arrives with the first call that names it
+// — so they are memoized lazily in a ShardedMap.  That stays logically
+// immutable by the same argument as the ground-truth caches (DESIGN.md §6c):
+// each entry is a pure function of (snapshot, pair, candidate set), so a
+// concurrent duplicate build computes identical bits and a lost insert race
+// is harmless.  Spans handed out over a cached top-k vector stay valid for
+// the snapshot's lifetime because entries are never erased or mutated after
+// publication.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/call.h"
+#include "common/relay_option.h"
+#include "core/history.h"
+#include "core/predictor.h"
+#include "core/topk.h"
+#include "util/sharded_map.h"
+
+namespace via {
+
+/// Hook fired exactly once per (pair, snapshot) when a lazy per-pair model
+/// is built: the *mutable* side effects of a build — the active-measurement
+/// probe wishlist and telemetry tallies — belong to the policy, not to the
+/// immutable snapshot.  Under a concurrent duplicate build only the thread
+/// whose insert wins fires the hook, so effects stay once-per-pair-period.
+class PairBuildObserver {
+ public:
+  virtual ~PairBuildObserver() = default;
+
+  /// `preds[i]` is the prediction for `call.options[i]`; `top_k` is the
+  /// selected candidate set; `coverage` the considered/predictable tally.
+  virtual void on_pair_built(const CallContext& call, std::span<const Prediction> preds,
+                             std::span<const RankedOption> top_k,
+                             const TopKCoverage& coverage) = 0;
+};
+
+class ModelSnapshot {
+ public:
+  /// One pair's slice of the model.  The span points into snapshot-owned
+  /// storage and stays valid for the snapshot's lifetime.
+  struct PairView {
+    std::span<const RankedOption> top_k;
+    /// Predicted benefit of relaying: direct prediction minus the best
+    /// candidate's prediction (0 when either side is unknown).
+    double predicted_benefit = 0.0;
+  };
+
+  /// The cold controller's period-0 snapshot: untrained predictor, so every
+  /// pair model comes out empty and calls fall back to the direct path.
+  ModelSnapshot(const RelayOptionTable& options, BackboneFn backbone, Metric target,
+                const PredictorConfig& predictor_config, const TopKConfig& topk_config);
+
+  /// A refresh's product: takes ownership of the completed window and
+  /// trains the predictor on it (history + tomography).
+  ModelSnapshot(const RelayOptionTable& options, BackboneFn backbone, Metric target,
+                const PredictorConfig& predictor_config, const TopKConfig& topk_config,
+                std::uint64_t period, HistoryWindow&& window);
+
+  ModelSnapshot(const ModelSnapshot&) = delete;
+  ModelSnapshot& operator=(const ModelSnapshot&) = delete;
+
+  /// The pair's model, memoized on first touch (see file comment for why
+  /// lazy fill keeps the snapshot logically immutable).  `observer` (may be
+  /// null) fires only when this call actually built the entry.
+  [[nodiscard]] PairView pair_model(const CallContext& call, PairBuildObserver* observer) const;
+
+  [[nodiscard]] std::uint64_t period() const noexcept { return period_; }
+  [[nodiscard]] const Predictor& predictor() const noexcept { return predictor_; }
+  [[nodiscard]] const HistoryWindow& window() const noexcept { return window_; }
+  /// Pair models built so far (diagnostics/tests).
+  [[nodiscard]] std::size_t pair_models_built() const { return pair_models_.size(); }
+
+ private:
+  struct PairModel {
+    std::vector<RankedOption> top_k;
+    double predicted_benefit = 0.0;
+  };
+
+  const RelayOptionTable* options_;
+  Metric target_;
+  TopKConfig topk_;
+  std::uint64_t period_ = 0;
+  HistoryWindow window_;
+  Predictor predictor_;
+  mutable ShardedMap<PairModel> pair_models_;
+};
+
+}  // namespace via

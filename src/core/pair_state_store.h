@@ -1,0 +1,114 @@
+// The mutable half of the Via controller (paper stages 1 & 4): everything a
+// per-call decision *writes* — bandit arms, the epsilon RNG, decision
+// statistics, the relay budget, and per-relay load accounting.
+//
+// Per-pair state (the UCB bandit, re-armed from the published ModelSnapshot
+// when its period changes) lives in lock stripes selected by the hashed
+// pair key, so decisions for unrelated pairs proceed concurrently.  Each
+// stripe also owns its own RNG stream, seeded off the policy seed and the
+// stripe index: stripe 0's stream is seeded exactly like the historical
+// single-stream implementation, so a store configured with ONE stripe (the
+// default, what simulation replays use) reproduces pre-split results bit
+// for bit, while the RPC server configures many stripes for concurrency.
+//
+// Global accounting is tiered by cost:
+//   - decision stats: relaxed atomics, always.
+//   - budget gate: unlimited budget (the default) touches only relaxed
+//     atomics; a constrained budget wraps the exact BudgetFilter (P2
+//     quantile + token bucket) in a dedicated mutex, preserving its
+//     sequential semantics bit for bit.
+//   - relay-share cap: disabled (cap >= 1) costs nothing; enabled, the
+//     check-then-account runs under a dedicated mutex so the cap invariant
+//     is never violated by a lost update.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/relay_option.h"
+#include "core/bandit.h"
+#include "core/budget.h"
+#include "util/flat_map.h"
+#include "util/rng.h"
+
+namespace via {
+
+/// One pair's mutable serving state.  `period` is the snapshot period the
+/// bandit was last armed for; a newer published snapshot re-arms lazily.
+struct PairServingState {
+  std::uint64_t period = ~0ULL;
+  UcbBandit bandit;
+};
+
+/// Decision accounting as relaxed atomics (the concurrent mirror of
+/// ViaPolicy::Stats; ViaPolicy::stats() flattens it into the plain struct).
+struct ServingStats {
+  std::atomic<std::int64_t> calls{0};
+  std::atomic<std::int64_t> epsilon_explored{0};
+  std::atomic<std::int64_t> bandit_served{0};
+  std::atomic<std::int64_t> cold_start_direct{0};
+  std::atomic<std::int64_t> budget_denied{0};
+  std::atomic<std::int64_t> relay_cap_denied{0};
+  std::atomic<std::int64_t> chose_direct{0};
+  std::atomic<std::int64_t> chose_bounce{0};
+  std::atomic<std::int64_t> chose_transit{0};
+};
+
+class PairStateStore {
+ public:
+  /// `stripes` is clamped to a power of two in [1, 64].
+  PairStateStore(std::uint64_t seed, std::size_t stripes, const BudgetConfig& budget,
+                 double relay_share_cap);
+
+  PairStateStore(const PairStateStore&) = delete;
+  PairStateStore& operator=(const PairStateStore&) = delete;
+
+  struct Stripe {
+    std::mutex mutex;
+    FlatMap<PairServingState> pairs;  ///< guarded by mutex
+    Rng rng{0};                       ///< guarded by mutex (epsilon draws)
+  };
+
+  [[nodiscard]] Stripe& stripe(std::uint64_t pair_key) noexcept {
+    return stripes_[stripe_index(pair_key)];
+  }
+  [[nodiscard]] std::size_t stripe_count() const noexcept { return stripe_count_; }
+
+  // ------------------------------------------------- budget gate (§4.6)
+  /// Once per call, before allow_relay (mirrors BudgetFilter::on_call).
+  void budget_on_call(double predicted_benefit);
+  /// Whether a relay may be granted, consuming a token when it is.
+  [[nodiscard]] bool budget_allow_relay(double predicted_benefit);
+
+  // ------------------------------------------------- per-relay load cap
+  /// Whether the relay-share cap permits routing another call via `option`;
+  /// accounts the call's load when it does.  Exact under concurrency: the
+  /// check and the account are one critical section.
+  [[nodiscard]] bool relay_cap_allows(const RelayOption& option);
+
+  ServingStats stats;
+
+ private:
+  [[nodiscard]] std::size_t stripe_index(std::uint64_t pair_key) const noexcept {
+    // High hash bits, like ShardedMap: FlatMap probes on the low bits.
+    return static_cast<std::size_t>(splitmix64(pair_key) >> 58) & (stripe_count_ - 1);
+  }
+
+  std::size_t stripe_count_;
+  std::unique_ptr<Stripe[]> stripes_;
+
+  BudgetConfig budget_config_;
+  std::mutex budget_mutex_;
+  BudgetFilter budget_;  ///< guarded by budget_mutex_ (constrained path only)
+  std::atomic<std::int64_t> budget_calls_{0};    ///< unlimited fast path
+  std::atomic<std::int64_t> budget_granted_{0};  ///< unlimited fast path
+
+  double relay_share_cap_;
+  std::mutex relay_mutex_;
+  FlatMap<std::int64_t> relay_load_;  ///< keyed by RelayId; guarded by relay_mutex_
+  std::int64_t relayed_total_ = 0;    ///< guarded by relay_mutex_
+};
+
+}  // namespace via

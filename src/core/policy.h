@@ -82,6 +82,15 @@ class RoutingPolicy {
   /// instrumentation ignore the call; behavior must not depend on it.
   virtual void attach_telemetry(obs::Telemetry* telemetry) { (void)telemetry; }
 
+  /// Thread-safety capability.  When true, choose()/observe()/
+  /// choose_candidates()/plan_probes() may be called concurrently from many
+  /// threads; refresh() and attach_telemetry() still require external
+  /// exclusion against everything else (hosts typically hold a shared lock
+  /// for the former group and an exclusive lock for the latter — see
+  /// rpc::ControllerServer).  The default is false: the host must serialize
+  /// every call into the policy, which is always correct.
+  [[nodiscard]] virtual bool concurrent_safe() const noexcept { return false; }
+
   [[nodiscard]] virtual std::string_view name() const = 0;
 };
 

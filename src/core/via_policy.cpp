@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "obs/telemetry.h"
+#include "obs/timer.h"
 
 namespace via {
 
@@ -26,10 +28,14 @@ void ViaPolicy::attach_telemetry(obs::Telemetry* telemetry) {
   inst_.tomography_segments = &r.gauge("policy.refresh.tomography_segments");
   const std::vector<double> topk_bounds = obs::LatencyHistogram::linear_bounds(0.0, 1.0, 11);
   inst_.topk_size = &r.histogram("policy.topk.size", topk_bounds);
+  inst_.refresh_swap_us = &r.histogram(
+      "policy.refresh.swap_us",
+      std::vector<double>(obs::kLatencyBoundsUs.begin(), obs::kLatencyBoundsUs.end()));
 }
 
 void ViaPolicy::trace_decision(const CallContext& call, OptionId option,
-                               obs::DecisionReason reason, const PairState& state) {
+                               obs::DecisionReason reason, std::span<const RankedOption> top_k,
+                               std::int64_t bandit_pulls) {
   if (inst_.trace == nullptr) return;
   switch (reason) {
     case obs::DecisionReason::Ucb:
@@ -58,9 +64,9 @@ void ViaPolicy::trace_decision(const CallContext& call, OptionId option,
   event.dst_as = call.dst_as;
   event.option = option;
   event.reason = reason;
-  event.top_k_size = static_cast<std::int32_t>(state.top_k.size());
-  event.bandit_pulls = state.bandit.total_plays();
-  for (const RankedOption& r : state.top_k) {
+  event.top_k_size = static_cast<std::int32_t>(top_k.size());
+  event.bandit_pulls = bandit_pulls;
+  for (const RankedOption& r : top_k) {
     if (r.option == option) {
       event.predicted = r.pred.mean;
       break;
@@ -72,80 +78,63 @@ void ViaPolicy::trace_decision(const CallContext& call, OptionId option,
 ViaPolicy::ViaPolicy(const RelayOptionTable& options, BackboneFn backbone, ViaConfig config)
     : options_(&options),
       config_(config),
+      backbone_(std::move(backbone)),
       current_window_(&options),
-      trained_window_(&options),
-      predictor_(options, std::move(backbone), config.predictor),
-      budget_(config.budget),
-      rng_(hash_mix(config.seed, 0x1a)) {}
+      snapshot_(std::make_shared<const ModelSnapshot>(options, backbone_, config.target,
+                                                      config.predictor, config.topk)),
+      store_(config.seed, config.serving_stripes, config.budget, config.relay_share_cap) {}
 
 void ViaPolicy::refresh(TimeSec /*now*/) {
-  // The window that just completed becomes the training window; per-pair
-  // states are invalidated lazily by bumping the period counter.
-  std::swap(trained_window_, current_window_);
-  current_window_.clear();
-  predictor_.train(trained_window_);
-  ++period_;
+  // Everything between taking the completed window and publishing the new
+  // snapshot is the period's model build (training included) — the span the
+  // RPC server holds its policy lock exclusively for.
+  const obs::ScopedTimer swap_timer(inst_.refresh_swap_us);
+
+  // The window that just completed becomes the new snapshot's training
+  // window; a fresh one starts accumulating in its place.
+  HistoryWindow completed(options_);
+  {
+    const std::lock_guard lock(window_mutex_);
+    std::swap(completed, current_window_);
+  }
+  auto next = std::make_shared<const ModelSnapshot>(
+      *options_, backbone_, config_.target, config_.predictor, config_.topk,
+      model()->period() + 1, std::move(completed));
+  // Per-pair serving states are invalidated lazily: choose() re-arms a
+  // pair's bandit when its recorded period trails the published one.
+  snapshot_.store(std::move(next), std::memory_order_release);
   if (inst_.refreshes != nullptr) {
     inst_.refreshes->inc();
-    inst_.tomography_segments->set(static_cast<double>(predictor_.tomography().segment_count()));
+    inst_.tomography_segments->set(
+        static_cast<double>(model()->predictor().tomography().segment_count()));
   }
 }
 
-ViaPolicy::PairState& ViaPolicy::pair_state(const CallContext& call) {
-  PairState& state = pairs_[call.pair_key()];
-  if (state.period == period_) return state;
-
-  const bool adjacent_period = (state.period + 1 == period_);
-  state.period = period_;
-
-  // One predictor probe per candidate; every consumer below reads the batch.
-  predictor_.predict_into(call.key_src, call.key_dst, call.options, config_.target,
-                          scratch_preds_);
-
-  TopKCoverage coverage;
-  select_top_k_into(call.options, scratch_preds_, config_.topk,
-                    inst_.trace != nullptr ? &coverage : nullptr, topk_scratch_,
-                    state.top_k);
+void ViaPolicy::on_pair_built(const CallContext& call, std::span<const Prediction> preds,
+                              std::span<const RankedOption> top_k,
+                              const TopKCoverage& coverage) {
   if (inst_.trace != nullptr) {
     inst_.predict_considered->inc(coverage.considered);
     inst_.predict_valid->inc(coverage.predictable);
-    inst_.topk_size->observe(static_cast<double>(state.top_k.size()));
-  }
-  // Surviving arms keep decayed statistics from the previous period.
-  state.bandit.set_arms(state.top_k, config_.bandit,
-                        adjacent_period ? &state.bandit : nullptr);
-
-  // Predicted benefit of relaying: direct prediction minus the best
-  // candidate's prediction (0 when either side is unknown).
-  state.predicted_benefit = 0.0;
-  Prediction direct;
-  for (std::size_t i = 0; i < call.options.size(); ++i) {
-    if (call.options[i] == RelayOptionTable::direct_id()) {
-      direct = scratch_preds_[i];
-      break;
-    }
-  }
-  if (direct.valid && !state.top_k.empty()) {
-    double best = std::numeric_limits<double>::infinity();
-    for (const auto& r : state.top_k) best = std::min(best, r.pred.mean);
-    state.predicted_benefit = direct.mean - best;
+    inst_.topk_size->observe(static_cast<double>(top_k.size()));
   }
 
   // Active-measurement wishlist (§7): candidate options this pair cannot
   // predict are coverage holes worth probing.
-  if (probe_wishlist_.size() < config_.probe_wishlist_capacity) {
-    for (std::size_t i = 0; i < call.options.size(); ++i) {
-      const OptionId opt = call.options[i];
-      if (opt == RelayOptionTable::direct_id()) continue;
-      if (scratch_preds_[i].valid) continue;  // predictable => not a hole
-      probe_wishlist_.push_back({call.src_as, call.dst_as, opt});
-      if (probe_wishlist_.size() >= config_.probe_wishlist_capacity) break;
-    }
+  if (config_.probe_wishlist_capacity == 0) return;
+  const std::lock_guard lock(wishlist_mutex_);
+  if (probe_wishlist_.size() >= config_.probe_wishlist_capacity) return;
+  for (std::size_t i = 0; i < call.options.size(); ++i) {
+    const OptionId opt = call.options[i];
+    if (opt == RelayOptionTable::direct_id()) continue;
+    if (preds[i].valid) continue;  // predictable => not a hole
+    probe_wishlist_.push_back({call.src_as, call.dst_as, opt});
+    if (probe_wishlist_.size() >= config_.probe_wishlist_capacity) break;
   }
-  return state;
 }
 
 std::vector<ProbeRequest> ViaPolicy::plan_probes(std::size_t max_probes) {
+  const std::lock_guard lock(wishlist_mutex_);
   std::vector<ProbeRequest> out;
   const std::size_t n = std::min(max_probes, probe_wishlist_.size());
   out.assign(probe_wishlist_.end() - static_cast<std::ptrdiff_t>(n), probe_wishlist_.end());
@@ -153,71 +142,75 @@ std::vector<ProbeRequest> ViaPolicy::plan_probes(std::size_t max_probes) {
   return out;
 }
 
-bool ViaPolicy::relay_cap_allows(OptionId option) {
-  if (config_.relay_share_cap >= 1.0) return true;
-  const RelayOption& o = options_->get(option);
-  if (o.kind == RelayKind::Direct) return true;
-  const auto key_a = static_cast<std::uint64_t>(static_cast<std::uint32_t>(o.a));
-  const auto key_b = static_cast<std::uint64_t>(static_cast<std::uint32_t>(o.b));
-  // A short warm-up so the first few calls are not all rejected.
-  if (relayed_total_ >= 20) {
-    const double cap = config_.relay_share_cap * static_cast<double>(relayed_total_);
-    if (static_cast<double>(relay_load_[key_a]) >= cap) return false;
-    if (o.kind == RelayKind::Transit &&
-        static_cast<double>(relay_load_[key_b]) >= cap) {
-      return false;
-    }
-  }
-  ++relay_load_[key_a];
-  if (o.kind == RelayKind::Transit) ++relay_load_[key_b];
-  ++relayed_total_;
-  return true;
-}
-
-std::vector<RankedOption> ViaPolicy::top_k_for(const CallContext& call) {
-  return pair_state(call).top_k;
+std::vector<RankedOption> ViaPolicy::top_k_for(const CallContext& call) const {
+  // The cold-build side effects (wishlist, telemetry tallies) live in the
+  // policy's mutable half behind their own locks, so observing from a
+  // const accessor is sound.
+  auto* observer = const_cast<ViaPolicy*>(this);
+  const ModelSnapshot::PairView pair = model()->pair_model(call, observer);
+  return {pair.top_k.begin(), pair.top_k.end()};
 }
 
 void ViaPolicy::count_choice(OptionId option) {
   switch (options_->get(option).kind) {
     case RelayKind::Direct:
-      ++stats_.chose_direct;
+      store_.stats.chose_direct.fetch_add(1, std::memory_order_relaxed);
       if (inst_.choice_direct != nullptr) inst_.choice_direct->inc();
       break;
     case RelayKind::Bounce:
-      ++stats_.chose_bounce;
+      store_.stats.chose_bounce.fetch_add(1, std::memory_order_relaxed);
       if (inst_.choice_bounce != nullptr) inst_.choice_bounce->inc();
       break;
     case RelayKind::Transit:
-      ++stats_.chose_transit;
+      store_.stats.chose_transit.fetch_add(1, std::memory_order_relaxed);
       if (inst_.choice_transit != nullptr) inst_.choice_transit->inc();
       break;
   }
 }
 
 OptionId ViaPolicy::choose(const CallContext& call) {
-  ++stats_.calls;
-  PairState& state = pair_state(call);
-  budget_.on_call(state.predicted_benefit);
+  ServingStats& stats = store_.stats;
+  stats.calls.fetch_add(1, std::memory_order_relaxed);
+
+  // Pin the published model for the whole decision: a concurrent refresh
+  // swaps the pointer but cannot invalidate what this call already loaded.
+  const std::shared_ptr<const ModelSnapshot> snap = model();
+  const ModelSnapshot::PairView pair = snap->pair_model(call, this);
+  store_.budget_on_call(pair.predicted_benefit);
 
   const OptionId direct = RelayOptionTable::direct_id();
+  const std::uint64_t key = call.pair_key();
+  PairStateStore::Stripe& stripe = store_.stripe(key);
+  const std::lock_guard lock(stripe.mutex);
+
+  PairServingState& state = stripe.pairs[key];
+  if (state.period != snap->period()) {
+    // Surviving arms keep decayed statistics from the adjacent period.
+    const bool adjacent_period = (state.period + 1 == snap->period());
+    state.period = snap->period();
+    state.bandit.set_arms(pair.top_k, config_.bandit,
+                          adjacent_period ? &state.bandit : nullptr);
+  }
 
   // Stage 4b: ε general exploration over *all* candidate options, keeping
   // the pruning honest under non-stationary performance.  Exploration
   // calls bypass the benefit threshold but still consume budget tokens.
-  if (!call.options.empty() && rng_.uniform() < config_.epsilon) {
+  if (!call.options.empty() && stripe.rng.uniform() < config_.epsilon) {
     const OptionId pick =
-        call.options[static_cast<std::size_t>(rng_.uniform_index(call.options.size()))];
-    if (pick == direct || (budget_.allow_relay(std::numeric_limits<double>::infinity()) &&
-                           relay_cap_allows(pick))) {
-      ++stats_.epsilon_explored;
+        call.options[static_cast<std::size_t>(stripe.rng.uniform_index(call.options.size()))];
+    if (pick == direct ||
+        (store_.budget_allow_relay(std::numeric_limits<double>::infinity()) &&
+         store_.relay_cap_allows(options_->get(pick)))) {
+      stats.epsilon_explored.fetch_add(1, std::memory_order_relaxed);
       count_choice(pick);
-      trace_decision(call, pick, obs::DecisionReason::EpsilonExplore, state);
+      trace_decision(call, pick, obs::DecisionReason::EpsilonExplore, pair.top_k,
+                     state.bandit.total_plays());
       return pick;
     }
-    ++stats_.budget_denied;
+    stats.budget_denied.fetch_add(1, std::memory_order_relaxed);
     count_choice(direct);
-    trace_decision(call, direct, obs::DecisionReason::BudgetVeto, state);
+    trace_decision(call, direct, obs::DecisionReason::BudgetVeto, pair.top_k,
+                   state.bandit.total_plays());
     return direct;
   }
 
@@ -225,40 +218,68 @@ OptionId ViaPolicy::choose(const CallContext& call) {
   const OptionId pick = state.bandit.pick();
   if (pick == kInvalidOption) {
     // Cold start: no predictable candidate yet.
-    ++stats_.cold_start_direct;
+    stats.cold_start_direct.fetch_add(1, std::memory_order_relaxed);
     count_choice(direct);
-    trace_decision(call, direct, obs::DecisionReason::FallbackDirect, state);
+    trace_decision(call, direct, obs::DecisionReason::FallbackDirect, pair.top_k,
+                   state.bandit.total_plays());
     return direct;
   }
   if (pick != direct) {
-    if (!budget_.allow_relay(state.predicted_benefit)) {
-      ++stats_.budget_denied;
+    if (!store_.budget_allow_relay(pair.predicted_benefit)) {
+      stats.budget_denied.fetch_add(1, std::memory_order_relaxed);
       count_choice(direct);
-      trace_decision(call, direct, obs::DecisionReason::BudgetVeto, state);
+      trace_decision(call, direct, obs::DecisionReason::BudgetVeto, pair.top_k,
+                     state.bandit.total_plays());
       return direct;
     }
-    if (!relay_cap_allows(pick)) {
-      ++stats_.relay_cap_denied;
+    if (!store_.relay_cap_allows(options_->get(pick))) {
+      stats.relay_cap_denied.fetch_add(1, std::memory_order_relaxed);
       count_choice(direct);
-      trace_decision(call, direct, obs::DecisionReason::BudgetVeto, state);
+      trace_decision(call, direct, obs::DecisionReason::BudgetVeto, pair.top_k,
+                     state.bandit.total_plays());
       return direct;
     }
   }
-  ++stats_.bandit_served;
+  stats.bandit_served.fetch_add(1, std::memory_order_relaxed);
   count_choice(pick);
-  trace_decision(call, pick, obs::DecisionReason::Ucb, state);
+  trace_decision(call, pick, obs::DecisionReason::Ucb, pair.top_k, state.bandit.total_plays());
   return pick;
 }
 
 void ViaPolicy::observe(const Observation& obs) {
-  current_window_.add(obs);
+  {
+    // One insertion point keeps observation order — and with it the next
+    // period's tomography solve — identical to the serial execution.
+    const std::lock_guard lock(window_mutex_);
+    current_window_.add(obs);
+  }
   if (inst_.ring) {
     inst_.trace->fill_observed(obs.id, obs.perf.get(config_.target));
   }
-  PairState* state = pairs_.find(as_pair_key(obs.src_as, obs.dst_as));
-  if (state != nullptr && state->period == period_) {
+
+  const std::shared_ptr<const ModelSnapshot> snap = model();
+  const std::uint64_t key = as_pair_key(obs.src_as, obs.dst_as);
+  PairStateStore::Stripe& stripe = store_.stripe(key);
+  const std::lock_guard lock(stripe.mutex);
+  PairServingState* state = stripe.pairs.find(key);
+  if (state != nullptr && state->period == snap->period()) {
     state->bandit.observe(obs.option, obs.perf.get(config_.target));
   }
+}
+
+ViaPolicy::Stats ViaPolicy::stats() const noexcept {
+  const ServingStats& s = store_.stats;
+  Stats out;
+  out.calls = s.calls.load(std::memory_order_relaxed);
+  out.epsilon_explored = s.epsilon_explored.load(std::memory_order_relaxed);
+  out.bandit_served = s.bandit_served.load(std::memory_order_relaxed);
+  out.cold_start_direct = s.cold_start_direct.load(std::memory_order_relaxed);
+  out.budget_denied = s.budget_denied.load(std::memory_order_relaxed);
+  out.relay_cap_denied = s.relay_cap_denied.load(std::memory_order_relaxed);
+  out.chose_direct = s.chose_direct.load(std::memory_order_relaxed);
+  out.chose_bounce = s.chose_bounce.load(std::memory_order_relaxed);
+  out.chose_transit = s.chose_transit.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace via

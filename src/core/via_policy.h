@@ -9,20 +9,30 @@
 // otherwise play the modified-UCB1 bandit over the pair's top-k set.  A
 // budget filter (Section 4.6) can veto relaying when the predicted benefit
 // is too small for the configured relay budget.
+//
+// Concurrency model (DESIGN.md §6d): the policy is split into a published
+// read-only ModelSnapshot (the per-period products, swapped RCU-style by
+// refresh()) and a striped PairStateStore (the per-call mutable state).
+// choose()/observe()/plan_probes()/top_k_for() may run concurrently from
+// many threads; refresh() and attach_telemetry() require external
+// exclusion (the RPC server holds its policy lock exclusively for them and
+// shared for everything else — see RoutingPolicy::concurrent_safe()).
 #pragma once
 
-#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
 #include "common/relay_option.h"
 #include "core/bandit.h"
 #include "core/budget.h"
 #include "core/history.h"
+#include "core/model_snapshot.h"
+#include "core/pair_state_store.h"
 #include "core/policy.h"
 #include "core/predictor.h"
 #include "core/topk.h"
-#include "util/flat_map.h"
 #include "util/rng.h"
 
 namespace via {
@@ -54,9 +64,18 @@ struct ViaConfig {
   /// coverage holes (candidate options with no prediction) per refresh
   /// period, to be offered via plan_probes().  0 disables.
   std::size_t probe_wishlist_capacity = 256;
+
+  /// Serving-state lock stripes (power of two, clamped to [1, 64]).  Each
+  /// stripe guards its slice of per-pair bandit state with its own mutex
+  /// and owns its own epsilon RNG stream.  1 (the default) reproduces the
+  /// historical single-stream replay results bit for bit — what the
+  /// simulation engine and all figure benches rely on; the controller
+  /// daemon and the concurrency tests configure more stripes so decisions
+  /// for unrelated pairs proceed in parallel.
+  std::size_t serving_stripes = 1;
 };
 
-class ViaPolicy : public RoutingPolicy {
+class ViaPolicy final : public RoutingPolicy, private PairBuildObserver {
  public:
   ViaPolicy(const RelayOptionTable& options, BackboneFn backbone, ViaConfig config = {});
 
@@ -67,6 +86,10 @@ class ViaPolicy : public RoutingPolicy {
   /// the active-measurement extension (§7).  Drains the wishlist.
   [[nodiscard]] std::vector<ProbeRequest> plan_probes(std::size_t max_probes) override;
   [[nodiscard]] std::string_view name() const override { return "via"; }
+
+  /// choose/observe/plan_probes/top_k_for are safe to call concurrently;
+  /// refresh and attach_telemetry still require exclusion (see policy.h).
+  [[nodiscard]] bool concurrent_safe() const noexcept override { return true; }
 
   /// Telemetry hookup (obs/telemetry.h): per-decision reason counters and
   /// DecisionTrace events, per-refresh coverage/tomography instruments.
@@ -86,22 +109,28 @@ class ViaPolicy : public RoutingPolicy {
     std::int64_t chose_bounce = 0;
     std::int64_t chose_transit = 0;
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  [[nodiscard]] const Predictor& predictor() const noexcept { return predictor_; }
+  /// A consistent-enough snapshot of the relaxed atomic counters (exact
+  /// once concurrent callers have quiesced).
+  [[nodiscard]] Stats stats() const noexcept;
+
+  /// The currently published model's predictor.  The reference is valid
+  /// while the snapshot stays published; hold model() across refreshes if
+  /// concurrent refreshing is possible.
+  [[nodiscard]] const Predictor& predictor() const noexcept { return model()->predictor(); }
   [[nodiscard]] const ViaConfig& config() const noexcept { return config_; }
 
-  /// The pair's current top-k set (empty if not yet built this period);
-  /// exposed for the deployment prototype and tests.
-  [[nodiscard]] std::vector<RankedOption> top_k_for(const CallContext& call);
+  /// The published read-only model snapshot (refresh() swaps a new one in).
+  [[nodiscard]] std::shared_ptr<const ModelSnapshot> model() const noexcept {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// The pair's current top-k set (empty if nothing predictable this
+  /// period), read from the published ModelSnapshot; exposed for the
+  /// deployment prototype and tests.  Const: a cold pair's model is built
+  /// memoized into the snapshot, which is logically immutable.
+  [[nodiscard]] std::vector<RankedOption> top_k_for(const CallContext& call) const;
 
  private:
-  struct PairState {
-    std::uint64_t period = ~0ULL;  ///< refresh period the state was built in
-    std::vector<RankedOption> top_k;
-    UcbBandit bandit;
-    double predicted_benefit = 0.0;  ///< direct mean - best candidate mean
-  };
-
   /// Cached instrument pointers, all null while no telemetry is attached.
   struct Instruments {
     obs::DecisionTrace* trace = nullptr;
@@ -121,37 +150,41 @@ class ViaPolicy : public RoutingPolicy {
     obs::Counter* predict_valid = nullptr;
     obs::Gauge* tomography_segments = nullptr;
     obs::LatencyHistogram* topk_size = nullptr;
+    obs::LatencyHistogram* refresh_swap_us = nullptr;
   };
 
-  PairState& pair_state(const CallContext& call);
+  /// PairBuildObserver: telemetry tallies + probe-wishlist fill for one
+  /// cold per-pair model build (fires once per pair and snapshot).
+  void on_pair_built(const CallContext& call, std::span<const Prediction> preds,
+                     std::span<const RankedOption> top_k,
+                     const TopKCoverage& coverage) override;
+
   void count_choice(OptionId option);
   /// Emits the reason counter + DecisionTrace event for one routed call
   /// (no-op when telemetry is detached).
   void trace_decision(const CallContext& call, OptionId option, obs::DecisionReason reason,
-                      const PairState& state);
-  /// Whether the relay-share cap permits routing another call via `option`;
-  /// updates the per-relay load accounting when it does.
-  [[nodiscard]] bool relay_cap_allows(OptionId option);
+                      std::span<const RankedOption> top_k, std::int64_t bandit_pulls);
 
   const RelayOptionTable* options_;
   ViaConfig config_;
+  BackboneFn backbone_;  ///< kept to construct each refresh's predictor
+
+  /// The accumulating window (stage 1).  Guarded by window_mutex_: a
+  /// single insertion point keeps observation order — and therefore the
+  /// next period's tomography solve — identical to the serial execution.
+  std::mutex window_mutex_;
   HistoryWindow current_window_;
-  HistoryWindow trained_window_;  ///< the completed window the predictor uses
-  Predictor predictor_;
-  FlatMap<PairState> pairs_;
-  BudgetFilter budget_;
-  Rng rng_;
-  std::uint64_t period_ = 0;
-  Stats stats_;
-  std::vector<ProbeRequest> probe_wishlist_;
-  FlatMap<std::int64_t> relay_load_;  ///< keyed by RelayId
-  std::int64_t relayed_total_ = 0;
+
+  /// The published read-only model (stages 2-3 products), RCU-style.
+  std::atomic<std::shared_ptr<const ModelSnapshot>> snapshot_;
+
+  /// The striped mutable serving state (stages 1 & 4).
+  PairStateStore store_;
+
+  std::mutex wishlist_mutex_;
+  std::vector<ProbeRequest> probe_wishlist_;  ///< guarded by wishlist_mutex_
+
   Instruments inst_;
-  // Per-pair rebuild scratch: one predictor probe per candidate feeds the
-  // top-k build, the direct baseline, the benefit estimate, and the probe
-  // wishlist; buffers are reused across rebuilds.
-  std::vector<Prediction> scratch_preds_;
-  TopKScratch topk_scratch_;
 };
 
 }  // namespace via

@@ -2,7 +2,9 @@
 
 #include <sys/socket.h>
 
+#include <condition_variable>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/export.h"
 
@@ -11,6 +13,33 @@ namespace via {
 namespace {
 /// Wire overhead per frame: u32 payload length + u8 message type.
 constexpr std::int64_t kFrameHeaderBytes = 5;
+
+/// Locks a shared_mutex shared or exclusive depending on the hosted
+/// policy's concurrency capability, so the request switch reads the same
+/// either way.
+class PolicyLock {
+ public:
+  PolicyLock(std::shared_mutex& mutex, bool shared) : mutex_(mutex), shared_(shared) {
+    if (shared_) {
+      mutex_.lock_shared();
+    } else {
+      mutex_.lock();
+    }
+  }
+  ~PolicyLock() {
+    if (shared_) {
+      mutex_.unlock_shared();
+    } else {
+      mutex_.unlock();
+    }
+  }
+  PolicyLock(const PolicyLock&) = delete;
+  PolicyLock& operator=(const PolicyLock&) = delete;
+
+ private:
+  std::shared_mutex& mutex_;
+  const bool shared_;
+};
 }  // namespace
 
 ControllerServer::ControllerServer(RoutingPolicy& policy, std::uint16_t port)
@@ -23,6 +52,8 @@ ControllerServer::ControllerServer(RoutingPolicy& policy, std::uint16_t port)
       tel_reports_(&telemetry_.registry.counter("rpc.server.reports")),
       tel_request_us_(
           &telemetry_.registry.histogram("rpc.server.request_us", obs::kLatencyBoundsUs)),
+      tel_inflight_(&telemetry_.registry.gauge("rpc.server.inflight")),
+      policy_concurrent_(policy.concurrent_safe()),
       listener_(port) {
   policy_->attach_telemetry(&telemetry_);
 }
@@ -43,12 +74,31 @@ void ControllerServer::stop() {
   // Unblock accept() by shutting the listening socket down.
   ::shutdown(listener_.fd(), SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> handlers;
+  // Handlers splice themselves onto finished_ as their last act; drain
+  // until every live handler has come through, then join them all.
+  std::list<std::thread> done;
+  {
+    std::unique_lock lock(handlers_mutex_);
+    handlers_cv_.wait(lock, [this] { return handlers_.empty(); });
+    done.splice(done.end(), finished_);
+  }
+  for (auto& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t ControllerServer::active_handlers() const {
+  const std::lock_guard lock(handlers_mutex_);
+  return handlers_.size();
+}
+
+void ControllerServer::reap_finished() {
+  std::list<std::thread> done;
   {
     const std::lock_guard lock(handlers_mutex_);
-    handlers.swap(handlers_);
+    done.splice(done.end(), finished_);
   }
-  for (auto& t : handlers) {
+  for (auto& t : done) {
     if (t.joinable()) t.join();
   }
 }
@@ -63,9 +113,19 @@ void ControllerServer::accept_loop() {
     }
     if (!running_.load()) break;
     tel_accepted_->inc();
+    // Join handlers whose clients already disconnected, so the
+    // bookkeeping tracks live connections rather than growing with every
+    // connection ever accepted.
+    reap_finished();
     const std::lock_guard lock(handlers_mutex_);
-    handlers_.emplace_back(
-        [this, c = std::move(conn)]() mutable { handle_connection(std::move(c)); });
+    handlers_.emplace_back();
+    const auto self = std::prev(handlers_.end());
+    *self = std::thread([this, self, c = std::move(conn)]() mutable {
+      handle_connection(std::move(c));
+      const std::lock_guard relock(handlers_mutex_);
+      finished_.splice(finished_.end(), handlers_, self);
+      handlers_cv_.notify_all();
+    });
   }
 }
 
@@ -75,6 +135,16 @@ void ControllerServer::handle_connection(TcpConnection conn) {
     while (recv_frame(conn, frame)) {
       tel_bytes_in_->inc(static_cast<std::int64_t>(frame.payload.size()) + kFrameHeaderBytes);
       const obs::ScopedTimer request_timer(*tel_request_us_);
+      // Requests currently being served across all handler threads; the
+      // gauge tracks it so GetStats shows live server pressure.
+      tel_inflight_->set(static_cast<double>(inflight_.fetch_add(1) + 1));
+      struct InflightGuard {
+        ControllerServer* server;
+        ~InflightGuard() {
+          server->tel_inflight_->set(
+              static_cast<double>(server->inflight_.fetch_sub(1) - 1));
+        }
+      } inflight_guard{this};
       WireReader reader(frame.payload);
       WireWriter writer;
       auto reply = [&](MsgType type) {
@@ -96,7 +166,7 @@ void ControllerServer::handle_connection(TcpConnection conn) {
           DecisionResponse resp;
           resp.call_id = req.call_id;
           {
-            const std::lock_guard lock(policy_mutex_);
+            const PolicyLock lock(policy_mutex_, policy_concurrent_);
             resp.option = policy_->choose(ctx);
           }
           ++decisions_;
@@ -108,7 +178,7 @@ void ControllerServer::handle_connection(TcpConnection conn) {
         case MsgType::Report: {
           const ReportMsg msg = ReportMsg::decode(reader);
           {
-            const std::lock_guard lock(policy_mutex_);
+            const PolicyLock lock(policy_mutex_, policy_concurrent_);
             policy_->observe(msg.obs);
           }
           ++reports_;
@@ -119,7 +189,9 @@ void ControllerServer::handle_connection(TcpConnection conn) {
         case MsgType::Refresh: {
           const RefreshMsg msg = RefreshMsg::decode(reader);
           {
-            const std::lock_guard lock(policy_mutex_);
+            // Model rebuilds are always exclusive, even for
+            // concurrent-safe policies (see RoutingPolicy contract).
+            const std::unique_lock lock(policy_mutex_);
             policy_->refresh(msg.now);
           }
           reply(MsgType::RefreshAck);

@@ -1,15 +1,21 @@
 // Controller server: hosts a RoutingPolicy behind the TCP protocol.  One
 // handler thread per client connection (the testbed has tens of clients),
-// with the policy guarded by a mutex — the same logical architecture as
-// the paper's cloud controller, scaled to a prototype.
+// reaped as clients disconnect.  The policy sits behind a reader-writer
+// lock: when the policy declares itself concurrent-safe (ViaPolicy does —
+// see RoutingPolicy::concurrent_safe()), decision and report handlers take
+// the lock shared, so clients are served in parallel and only refresh()
+// (the periodic model rebuild) is exclusive; a policy without the
+// capability keeps the classic coarse exclusive lock for every call.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
-#include <vector>
 
 #include "core/policy.h"
 #include "obs/telemetry.h"
@@ -40,6 +46,9 @@ class ControllerServer {
   [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
   [[nodiscard]] std::int64_t decisions_served() const noexcept { return decisions_.load(); }
   [[nodiscard]] std::int64_t reports_received() const noexcept { return reports_.load(); }
+  /// Live handler threads (connections not yet reaped); for tests and
+  /// diagnostics.
+  [[nodiscard]] std::size_t active_handlers() const;
 
   /// The server's (and hosted policy's) telemetry.
   [[nodiscard]] obs::Telemetry& telemetry() noexcept { return telemetry_; }
@@ -47,6 +56,8 @@ class ControllerServer {
  private:
   void accept_loop();
   void handle_connection(TcpConnection conn);
+  /// Joins handler threads whose connections have finished.
+  void reap_finished();
 
   RoutingPolicy* policy_;
   obs::Telemetry telemetry_;
@@ -57,14 +68,30 @@ class ControllerServer {
   obs::Counter* tel_decisions_;
   obs::Counter* tel_reports_;
   obs::LatencyHistogram* tel_request_us_;
-  std::mutex policy_mutex_;
+  obs::Gauge* tel_inflight_;
+
+  /// Reader-writer policy guard; `policy_concurrent_` (sampled once at
+  /// construction) decides whether choose/observe may share it.
+  std::shared_mutex policy_mutex_;
+  const bool policy_concurrent_;
+
   TcpListener listener_;
   std::thread accept_thread_;
-  std::mutex handlers_mutex_;
-  std::vector<std::thread> handlers_;
+
+  /// Handler bookkeeping: live threads sit on `handlers_`; a handler
+  /// splices its own node onto `finished_` as its last act, and the accept
+  /// loop joins finished threads before each accept (stop() drains both
+  /// lists).  Bounds thread bookkeeping by live connections instead of
+  /// total connections ever accepted.
+  mutable std::mutex handlers_mutex_;
+  std::condition_variable handlers_cv_;  ///< signaled on each handler finish
+  std::list<std::thread> handlers_;
+  std::list<std::thread> finished_;
+
   std::atomic<bool> running_{false};
   std::atomic<std::int64_t> decisions_{0};
   std::atomic<std::int64_t> reports_{0};
+  std::atomic<std::int64_t> inflight_{0};
 };
 
 }  // namespace via

@@ -87,6 +87,11 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
 
   CallId probe_id = 1'000'000'000'000LL;  // distinct id space for mock calls
 
+  // The engine drives the policy strictly serially (one call at a time, in
+  // arrival order) even though ViaPolicy itself is concurrent-safe: with
+  // the default single serving stripe this replay path is bit-identical to
+  // the pre-split controller (DESIGN.md §6d), which is what makes figure
+  // runs and A/B comparisons reproducible.
   for (const auto& arrival : arrivals_) {
     // Fire refresh boundaries that this call has crossed.
     while (arrival.time >= next_refresh) {

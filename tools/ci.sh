@@ -29,10 +29,11 @@ echo "BENCH_core.json:"
 cat "$BUILD_DIR-release/BENCH_core.json"
 
 if [[ "${VIA_CI_TSAN:-0}" == "1" ]]; then
-  echo "== tsan: test_parallel under ThreadSanitizer =="
+  echo "== tsan: test_parallel + test_concurrent_policy under ThreadSanitizer =="
   cmake -B "$BUILD_DIR-tsan" -S . -DVIA_TSAN=ON
-  cmake --build "$BUILD_DIR-tsan" -j --target test_parallel
+  cmake --build "$BUILD_DIR-tsan" -j --target test_parallel test_concurrent_policy
   "$BUILD_DIR-tsan/tests/test_parallel"
+  "$BUILD_DIR-tsan/tests/test_concurrent_policy"
 fi
 
 echo "== ci.sh: all green =="
