@@ -8,13 +8,22 @@
 //
 //   via_controller [--port N] [--metric rtt|loss|jitter] [--epsilon E]
 //                  [--budget B] [--refresh-hours T] [--backbone FILE]
-//                  [--stripes N]
+//                  [--stripes N] [--solve-threads N] [--no-prewarm]
 //                  [--metrics-dump] [--metrics-format table|json|prom]
 //
 // --stripes N: serving-state lock stripes (power of two, max 64).  The
 // daemon defaults to 16 so concurrent clients' decisions for unrelated AS
 // pairs proceed in parallel; 1 reproduces single-stream replay behavior
 // bit for bit.
+//
+// --solve-threads N: worker threads for the per-refresh tomography solve
+// (default 0 = one per hardware thread).  Any value produces bit-identical
+// estimates (DESIGN.md §6e); this only buys refresh wall time.
+//
+// --no-prewarm: disable eager per-pair memo pre-warming during refresh
+// preparation.  The daemon pre-warms by default so the first post-refresh
+// call per active pair hits the warm lookup path instead of the cold
+// predict/top-k build; decisions are identical either way.
 //
 // --metrics-dump: print the telemetry registry (decision counters, RPC
 // latency histograms, bytes in/out) on shutdown; the same snapshot is
@@ -31,6 +40,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 #include "core/via_policy.h"
@@ -105,8 +115,13 @@ int main(int argc, char** argv) {
   std::uint16_t port = 7401;
   ViaConfig config;
   // Daemon default: serve concurrent clients off 16 lock stripes (replays
-  // and tests that need bit-identical single-stream behavior pass 1).
+  // and tests that need bit-identical single-stream behavior pass 1), a
+  // hardware-wide tomography solve, and eager pair-memo pre-warming —
+  // none of which change any decision, only serving latency.
   config.serving_stripes = 16;
+  config.prewarm_pairs = true;
+  config.predictor.tomography.solve_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
   BackboneTable backbone;
   bool metrics_dump = false;
   obs::StatsFormat metrics_format = obs::StatsFormat::Table;
@@ -132,6 +147,12 @@ int main(int argc, char** argv) {
         backbone.load(next());
       } else if (arg == "--stripes") {
         config.serving_stripes = static_cast<std::size_t>(std::stoul(next()));
+      } else if (arg == "--solve-threads") {
+        const int n = std::stoi(next());
+        config.predictor.tomography.solve_threads =
+            n > 0 ? n : static_cast<int>(std::thread::hardware_concurrency());
+      } else if (arg == "--no-prewarm") {
+        config.prewarm_pairs = false;
       } else if (arg == "--metrics-dump") {
         metrics_dump = true;
       } else if (arg == "--metrics-format") {
@@ -140,7 +161,7 @@ int main(int argc, char** argv) {
         std::cout << "usage: via_controller [--port N] [--metric rtt|loss|jitter]\n"
                      "                      [--epsilon E] [--budget B]\n"
                      "                      [--refresh-hours T] [--backbone FILE]\n"
-                     "                      [--stripes N]\n"
+                     "                      [--stripes N] [--solve-threads N] [--no-prewarm]\n"
                      "                      [--metrics-dump] [--metrics-format table|json|prom]\n";
         return 0;
       } else {
@@ -178,7 +199,9 @@ int main(int argc, char** argv) {
               << metric_name(config.target) << ", epsilon " << config.epsilon << ", budget "
               << config.budget.fraction << ", refresh "
               << config.refresh_period / 3600 << "h, stripes "
-              << config.serving_stripes << ", backbone entries "
+              << config.serving_stripes << ", solve threads "
+              << config.predictor.tomography.solve_threads << ", prewarm "
+              << (config.prewarm_pairs ? "on" : "off") << ", backbone entries "
               << backbone.entries() << ")\n"
               << "clients drive refresh via the Refresh message; Ctrl-C stops.\n";
     while (!g_stop.load()) {

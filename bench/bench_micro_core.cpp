@@ -4,6 +4,7 @@
 // attached, so the instrumentation overhead itself is measured.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <iostream>
 #include <map>
 #include <thread>
@@ -83,6 +84,26 @@ void BM_TomographySolve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_TomographySolve)->Arg(1000)->Arg(10000)->Arg(50000);
+
+/// The parallel solve (DESIGN.md §6e) across worker counts on a fixed
+/// 50k-observation window.  Results are bit-identical at every thread
+/// count (segment partitioning preserves the serial fold order); only the
+/// wall time should move.  On a single-core box all points degenerate to
+/// roughly the serial time.
+void BM_TomographySolveThreads(benchmark::State& state) {
+  auto& gt = bench_gt();
+  const HistoryWindow window = make_window(50000);
+  TomographyConfig config;
+  config.solve_threads = static_cast<int>(state.range(0));
+  TomographySolver solver(
+      gt.option_table(), [&](RelayId a, RelayId b) { return gt.backbone(a, b); }, config);
+  for (auto _ : state) {
+    solver.solve(window);
+    benchmark::DoNotOptimize(solver.segment_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_TomographySolveThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_PredictorTrainAndPredict(benchmark::State& state) {
   auto& gt = bench_gt();
@@ -361,6 +382,94 @@ void run_concurrent_choose(bench::BenchJson& json) {
   if (mops_1t > 0.0) json.set("concurrent_choose_speedup_4t", mops_4t / mops_1t);
 }
 
+/// Split-refresh and memo-warmth measurements (DESIGN.md §6e), taken with
+/// a plain stopwatch because each phase runs once per refresh period, not
+/// in a tight loop:
+///   - refresh_prepare_ns: the off-path model build (harvest + tomography +
+///     predictor training), run under a *shared* lock in the daemon.
+///   - refresh_swap_ns: the commit — just the RCU pointer swap — which is
+///     all that remains under the exclusive lock.
+///   - topk_cold_ns / topk_warm_ns: first-touch per-pair model build vs the
+///     memoized hit, the gap the pre-warm pipeline exists to close.
+void run_refresh_split_bench(bench::BenchJson& json) {
+  auto& gt = bench_gt();
+  ViaPolicy policy(gt.option_table(),
+                   [&](RelayId a, RelayId b) { return gt.backbone(a, b); });
+
+  Rng rng(11);
+  CallId id = 0;
+  const auto feed_day = [&](TimeSec start) {
+    for (int i = 0; i < 20000; ++i) {
+      const auto s = static_cast<AsId>(rng.uniform_index(100));
+      auto d = static_cast<AsId>(rng.uniform_index(100));
+      if (d == s) d = (d + 1) % 100;
+      const auto opts = gt.candidate_options(s, d);
+      Observation o;
+      o.id = ++id;
+      o.time = start + i;
+      o.src_as = s;
+      o.dst_as = d;
+      o.option = opts[rng.uniform_index(opts.size())];
+      o.ingress = gt.transit_ingress(s, o.option);
+      o.perf = gt.sample_call(o.id, s, d, o.option, o.time);
+      policy.observe(o);
+    }
+  };
+
+  double prepare_s = 1e30;
+  double swap_s = 1e30;
+  for (int round = 0; round < 3; ++round) {
+    const TimeSec day = static_cast<TimeSec>(round) * kSecondsPerDay;
+    feed_day(day + 1000);
+    const bench::Stopwatch prepare_sw;
+    policy.prepare_refresh(day + kSecondsPerDay);
+    prepare_s = std::min(prepare_s, prepare_sw.seconds());
+    const bench::Stopwatch swap_sw;
+    policy.commit_refresh(day + kSecondsPerDay);
+    swap_s = std::min(swap_s, swap_sw.seconds());
+  }
+  std::cout << "refresh split: prepare " << prepare_s * 1e9 << " ns, commit (swap) "
+            << swap_s * 1e9 << " ns\n";
+  json.set("refresh_prepare_ns", prepare_s * 1e9);
+  json.set("refresh_swap_ns", swap_s * 1e9);
+
+  // Cold vs warm per-pair model access against the just-published snapshot
+  // (nothing pre-warmed here, so every pair's first touch is a real build).
+  const auto model = policy.model();
+  std::vector<CallContext> calls;
+  for (AsId s = 0; s < 100; ++s) {
+    const auto d = static_cast<AsId>((s + 7) % 100);
+    if (d == s) continue;
+    CallContext ctx;
+    ctx.id = 5'000'000 + s;
+    ctx.time = 3 * kSecondsPerDay + 100;
+    ctx.src_as = s;
+    ctx.dst_as = d;
+    ctx.key_src = s;
+    ctx.key_dst = d;
+    ctx.options = gt.candidate_options(s, d);
+    calls.push_back(ctx);
+  }
+  const bench::Stopwatch cold_sw;
+  for (const CallContext& ctx : calls) {
+    benchmark::DoNotOptimize(model->pair_model(ctx, nullptr).top_k.size());
+  }
+  const double cold_ns = cold_sw.seconds() * 1e9 / static_cast<double>(calls.size());
+  constexpr int kWarmRounds = 50;
+  const bench::Stopwatch warm_sw;
+  for (int r = 0; r < kWarmRounds; ++r) {
+    for (const CallContext& ctx : calls) {
+      benchmark::DoNotOptimize(model->pair_model(ctx, nullptr).top_k.size());
+    }
+  }
+  const double warm_ns =
+      warm_sw.seconds() * 1e9 / static_cast<double>(calls.size() * kWarmRounds);
+  std::cout << "pair model: cold " << cold_ns << " ns, warm " << warm_ns << " ns ("
+            << calls.size() << " pairs)\n";
+  json.set("topk_cold_ns", cold_ns);
+  json.set("topk_warm_ns", warm_ns);
+}
+
 }  // namespace
 }  // namespace via
 
@@ -386,6 +495,10 @@ int main(int argc, char** argv) {
       {"BM_ViaChoosePerCallTelemetry", "choose_telemetry_ns"},
       {"BM_TopKSelection", "topk_ns"},
       {"BM_TomographySolve/10000", "tomography_solve_10k_ns"},
+      {"BM_TomographySolveThreads/1", "tomography_solve_threads_1_ns"},
+      {"BM_TomographySolveThreads/2", "tomography_solve_threads_2_ns"},
+      {"BM_TomographySolveThreads/4", "tomography_solve_threads_4_ns"},
+      {"BM_TomographySolveThreads/8", "tomography_solve_threads_8_ns"},
       {"BM_HistoryIngest", "history_ingest_ns"},
       {"BM_GroundTruthSample", "groundtruth_sample_ns"},
   };
@@ -395,6 +508,7 @@ int main(int argc, char** argv) {
   }
   via::run_policy_sweep(json, threads);
   via::run_concurrent_choose(json);
+  via::run_refresh_split_bench(json);
   const std::string path = via::bench::bench_json_path();
   json.write(path);
   std::cout << "[wrote " << path << "]\n";

@@ -4,6 +4,8 @@
 #include <limits>
 #include <utility>
 
+#include "util/thread_pool.h"
+
 namespace via {
 
 ModelSnapshot::ModelSnapshot(const RelayOptionTable& options, BackboneFn backbone, Metric target,
@@ -81,6 +83,27 @@ ModelSnapshot::PairView ModelSnapshot::pair_model(const CallContext& call,
   }
   if (observer != nullptr) observer->on_pair_built(call, preds, view.top_k, coverage);
   return view;
+}
+
+void ModelSnapshot::prewarm(std::span<const CallContext> calls, PairBuildObserver* observer,
+                            ThreadPool* pool) const {
+  if (calls.empty()) return;
+  // Worth forking only when there are a few pairs per worker; tiny warm
+  // sets build inline (and so does every serial replay, keeping observer
+  // side-effect order deterministic there).
+  if (pool == nullptr || calls.size() < 2 * static_cast<std::size_t>(pool->thread_count())) {
+    for (const CallContext& call : calls) (void)pair_model(call, observer);
+    return;
+  }
+  const std::size_t workers = static_cast<std::size_t>(pool->thread_count());
+  const std::size_t chunk = (calls.size() + workers - 1) / workers;
+  for (std::size_t begin = 0; begin < calls.size(); begin += chunk) {
+    const std::size_t end = std::min(calls.size(), begin + chunk);
+    pool->submit([this, observer, calls, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) (void)pair_model(calls[i], observer);
+    });
+  }
+  pool->wait_idle();
 }
 
 }  // namespace via

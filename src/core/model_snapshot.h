@@ -33,6 +33,8 @@
 
 namespace via {
 
+class ThreadPool;
+
 /// Hook fired exactly once per (pair, snapshot) when a lazy per-pair model
 /// is built: the *mutable* side effects of a build — the active-measurement
 /// probe wishlist and telemetry tallies — belong to the policy, not to the
@@ -78,6 +80,16 @@ class ModelSnapshot {
   /// lazy fill keeps the snapshot logically immutable).  `observer` (may be
   /// null) fires only when this call actually built the entry.
   [[nodiscard]] PairView pair_model(const CallContext& call, PairBuildObserver* observer) const;
+
+  /// Eagerly builds the per-pair memos for `calls` (DESIGN.md §6e): the
+  /// refresh pipeline pre-warms the pairs that carried traffic last period
+  /// so the first post-publication call per pair hits the warm path
+  /// instead of paying the cold predict/top-k build.  Fans the builds out
+  /// over `pool` when given (nullptr = inline); safe because each entry is
+  /// a pure function of (snapshot, pair, candidate set), so the values are
+  /// identical to what lazy first-call fill would have produced.
+  void prewarm(std::span<const CallContext> calls, PairBuildObserver* observer,
+               ThreadPool* pool) const;
 
   [[nodiscard]] std::uint64_t period() const noexcept { return period_; }
   [[nodiscard]] const Predictor& predictor() const noexcept { return predictor_; }

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "common/relay_option.h"
 #include "core/bandit.h"
@@ -40,6 +41,16 @@ namespace via {
 struct PairServingState {
   std::uint64_t period = ~0ULL;
   UcbBandit bandit;
+  /// Pre-warm context (ViaConfig::prewarm_pairs): endpoints and candidate
+  /// set of the call that last re-armed this pair, captured once per
+  /// period under the stripe lock so prepare_refresh() can rebuild the
+  /// pair's memo in the next snapshot before it is published.  Left empty
+  /// when pre-warming is off — replays pay nothing.
+  AsId src_as = kInvalidAs;
+  AsId dst_as = kInvalidAs;
+  AsId key_src = kInvalidAs;
+  AsId key_dst = kInvalidAs;
+  std::vector<OptionId> options;
 };
 
 /// Decision accounting as relaxed atomics (the concurrent mirror of
@@ -74,6 +85,9 @@ class PairStateStore {
   [[nodiscard]] Stripe& stripe(std::uint64_t pair_key) noexcept {
     return stripes_[stripe_index(pair_key)];
   }
+  /// Direct stripe access for whole-store walks (the refresh pipeline's
+  /// pre-warm harvest); callers lock each stripe's mutex themselves.
+  [[nodiscard]] Stripe& stripe_at(std::size_t i) noexcept { return stripes_[i]; }
   [[nodiscard]] std::size_t stripe_count() const noexcept { return stripe_count_; }
 
   // ------------------------------------------------- budget gate (§4.6)

@@ -61,6 +61,20 @@ class RoutingPolicy {
   /// Periodic controller refresh (paper stages 2-3, period T).
   virtual void refresh(TimeSec now) { (void)now; }
 
+  /// Optional split refresh (DESIGN.md §6e): hosts that cannot afford to
+  /// stall serving during the periodic model rebuild drive the two phases
+  /// separately.  prepare_refresh() harvests the completed window and
+  /// builds the next period's model off the serving path — for a
+  /// concurrent_safe() policy it may run concurrently with choose()/
+  /// observe() (hosts hold their policy lock *shared* for it).
+  /// commit_refresh() publishes the prepared model and requires the same
+  /// external exclusion as refresh(); when nothing was prepared it must
+  /// fall back to a full refresh so the split protocol is always safe to
+  /// drive.  The defaults make every policy drivable either way: prepare
+  /// is a no-op and commit performs the classic monolithic refresh.
+  virtual void prepare_refresh(TimeSec now) { (void)now; }
+  virtual void commit_refresh(TimeSec now) { refresh(now); }
+
   /// Optional (paper §7, hybrid reactive selection): a prioritized set of
   /// options to *race* at call setup; the client briefly tries all of them
   /// and keeps the best.  Default: just the single choice.

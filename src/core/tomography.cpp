@@ -1,15 +1,19 @@
 #include "core/tomography.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/linearize.h"
+#include "util/thread_pool.h"
 
 namespace via {
 
 TomographySolver::TomographySolver(const RelayOptionTable& options, BackboneFn backbone,
                                    TomographyConfig config)
     : options_(&options), backbone_(std::move(backbone)), config_(config) {}
+
+TomographySolver::~TomographySolver() = default;
 
 std::pair<RelayId, RelayId> TomographySolver::transit_sides(const PathAggregate& agg,
                                                             const RelayOption& o) const {
@@ -21,9 +25,59 @@ std::pair<RelayId, RelayId> TomographySolver::transit_sides(const PathAggregate&
   return {o.a, o.b};
 }
 
+template <typename Fn>
+void TomographySolver::parallel_segments(std::size_t count, Fn&& fn) {
+  const int threads = std::max(1, config_.solve_threads);
+  // Below ~2 slices per worker the fork/join overhead dominates; tiny
+  // systems (unit-test scale) also stay inline so they never spin a pool.
+  if (threads == 1 || count < 64) {
+    fn(std::size_t{0}, count);
+    return;
+  }
+  if (pool_ == nullptr || pool_->thread_count() != threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  const std::size_t chunk = (count + static_cast<std::size_t>(threads) - 1) /
+                            static_cast<std::size_t>(threads);
+  for (std::size_t begin = 0; begin < count; begin += chunk) {
+    const std::size_t end = std::min(count, begin + chunk);
+    pool_->submit([&fn, begin, end] { fn(begin, end); });
+  }
+  pool_->wait_idle();
+}
+
+double TomographySolver::sweep_slice(std::size_t begin, std::size_t end, bool track_delta) {
+  // Weighted Jacobi step: each owned unknown moves to the weighted average
+  // of (rhs - other side) over its equations, folded in ascending equation
+  // order — the historical serial accumulation order, which is what keeps
+  // the result bit-identical at every thread count.
+  double max_delta = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    std::array<double, kNumMetrics> rhs_sum{};
+    double weight_sum = 0.0;
+    for (std::uint32_t c = incidence_off_[i]; c < incidence_off_[i + 1]; ++c) {
+      const Equation& eq = equations_[incidence_eq_[c]];
+      const std::array<double, kNumMetrics>& other =
+          x_[eq.idx1 == static_cast<std::uint32_t>(i) ? eq.idx2 : eq.idx1];
+      for (std::size_t m = 0; m < kNumMetrics; ++m) {
+        rhs_sum[m] += eq.weight * (eq.rhs[m] - other[m]);
+      }
+      weight_sum += eq.weight;
+    }
+    for (std::size_t m = 0; m < kNumMetrics; ++m) {
+      // Segment metrics cannot be negative in linearized space.
+      const double nx = std::max(0.0, rhs_sum[m] / weight_sum);
+      if (track_delta) max_delta = std::max(max_delta, std::abs(nx - x_[i][m]));
+      next_x_[i][m] = nx;
+    }
+  }
+  return max_delta;
+}
+
 void TomographySolver::solve(const HistoryWindow& window) {
   equations_.clear();
   segments_.clear();
+  last_sweeps_ = 0;
   equations_.reserve(window.size());
 
   // 1. Harvest equations from relayed-path aggregates.
@@ -58,79 +112,113 @@ void TomographySolver::solve(const HistoryWindow& window) {
 
   if (equations_.empty()) return;
 
-  // 2. Initialize unknowns to half of the average RHS of their equations.
+  // 2. Per-segment initialization sums (serial: one pass over the
+  // equations, and FlatMap insertion order here fixes the dense segment
+  // order every later pass and the published estimates iterate in).
   work_.clear();
   work_.reserve(2 * equations_.size());
-  for (const auto& eq : equations_) {
-    for (const auto seg : {eq.seg1, eq.seg2}) {
-      auto& w = work_[seg];
+  std::uint32_t next_index = 0;
+  for (auto& eq : equations_) {
+    for (const auto& [seg, idx] :
+         {std::pair{eq.seg1, &eq.idx1}, std::pair{eq.seg2, &eq.idx2}}) {
+      Work& w = work_[seg];
+      if (w.weight_sum == 0.0) w.index = next_index++;
+      *idx = w.index;
       for (std::size_t m = 0; m < kNumMetrics; ++m) w.rhs_sum[m] += eq.weight * eq.rhs[m];
       w.weight_sum += eq.weight;
       w.evidence += static_cast<std::int64_t>(eq.weight);
     }
   }
-  work_.for_each([](std::uint64_t /*seg*/, Work& w) {
+
+  // Dense mirrors of the per-segment state, in work_ insertion order.
+  const std::size_t n = work_.size();
+  seg_keys_.assign(n, 0);
+  x_.assign(n, {});
+  next_x_.assign(n, {});
+  weight_sum_.assign(n, 0.0);
+  evidence_.assign(n, 0);
+  work_.for_each([&](std::uint64_t seg, const Work& w) {
+    seg_keys_[w.index] = seg;
+    weight_sum_[w.index] = w.weight_sum;
+    evidence_[w.index] = w.evidence;
+    // Initialize unknowns to half of the average RHS of their equations.
     for (std::size_t m = 0; m < kNumMetrics; ++m) {
-      w.x[m] = std::max(0.0, 0.5 * w.rhs_sum[m] / w.weight_sum);
+      x_[w.index][m] = std::max(0.0, 0.5 * w.rhs_sum[m] / w.weight_sum);
     }
   });
 
-  // 3. Weighted Gauss-Seidel sweeps: each unknown moves to the weighted
-  // average of (rhs - other side) over its equations.  Every key is already
-  // present in work_ after step 2, so lookups below cannot rehash.
-  next_.reserve(work_.size());
-  for (int sweep = 0; sweep < config_.gauss_seidel_sweeps; ++sweep) {
-    next_.clear();
-    for (const auto& eq : equations_) {
-      const Work& w1 = *work_.find(eq.seg1);
-      const Work& w2 = *work_.find(eq.seg2);
-      for (const auto& [self, other] :
-           {std::pair{eq.seg1, &w2}, std::pair{eq.seg2, &w1}}) {
-        auto& acc = next_[self];
-        for (std::size_t m = 0; m < kNumMetrics; ++m) {
-          acc.rhs_sum[m] += eq.weight * (eq.rhs[m] - other->x[m]);
-        }
-        acc.weight_sum += eq.weight;
-      }
+  // CSR incidence: segment i's equations in ascending equation order.
+  incidence_off_.assign(n + 1, 0);
+  for (const Equation& eq : equations_) {
+    ++incidence_off_[eq.idx1 + 1];
+    ++incidence_off_[eq.idx2 + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) incidence_off_[i + 1] += incidence_off_[i];
+  incidence_eq_.assign(incidence_off_[n], 0);
+  {
+    std::vector<std::uint32_t> cursor(incidence_off_.begin(), incidence_off_.end() - 1);
+    for (std::uint32_t e = 0; e < equations_.size(); ++e) {
+      incidence_eq_[cursor[equations_[e].idx1]++] = e;
+      incidence_eq_[cursor[equations_[e].idx2]++] = e;
     }
-    next_.for_each([&](std::uint64_t seg, const Work& acc) {
-      Work& w = *work_.find(seg);
-      for (std::size_t m = 0; m < kNumMetrics; ++m) {
-        // Segment metrics cannot be negative in linearized space.
-        w.x[m] = std::max(0.0, acc.rhs_sum[m] / acc.weight_sum);
+  }
+
+  // 3. Weighted Gauss-Seidel sweeps, segment-partitioned across the pool.
+  // With convergence_tol > 0 a sweep whose largest per-segment move is
+  // below tol ends the loop early; the max is exact (no partial-sum
+  // merging), so the early exit fires on the same sweep at every thread
+  // count.
+  const bool track_delta = config_.convergence_tol > 0.0;
+  for (int sweep = 0; sweep < config_.gauss_seidel_sweeps; ++sweep) {
+    std::atomic<double> max_delta{0.0};
+    parallel_segments(n, [&](std::size_t begin, std::size_t end) {
+      const double slice_delta = sweep_slice(begin, end, track_delta);
+      if (track_delta) {
+        double seen = max_delta.load(std::memory_order_relaxed);
+        while (seen < slice_delta &&
+               !max_delta.compare_exchange_weak(seen, slice_delta,
+                                                std::memory_order_relaxed)) {
+        }
       }
     });
+    std::swap(x_, next_x_);
+    ++last_sweeps_;
+    if (track_delta && max_delta.load(std::memory_order_relaxed) < config_.convergence_tol) {
+      break;
+    }
   }
 
   // 4. Residual-based uncertainty: the SEM of a segment reflects how well
-  // its equations agree, shrunk by the evidence behind it.
-  resid2_.clear();
-  resid2_.reserve(work_.size());
-  for (const auto& eq : equations_) {
-    const Work& w1 = *work_.find(eq.seg1);
-    const Work& w2 = *work_.find(eq.seg2);
-    for (std::size_t m = 0; m < kNumMetrics; ++m) {
-      const double r = eq.rhs[m] - (w1.x[m] + w2.x[m]);
-      resid2_[eq.seg1][m] += eq.weight * r * r;
-      resid2_[eq.seg2][m] += eq.weight * r * r;
+  // its equations agree, shrunk by the evidence behind it.  Also
+  // segment-partitioned; each segment folds its own equations in ascending
+  // order, reproducing the serial accumulation exactly.
+  resid2_.assign(n, {});
+  parallel_segments(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::uint32_t c = incidence_off_[i]; c < incidence_off_[i + 1]; ++c) {
+        const Equation& eq = equations_[incidence_eq_[c]];
+        for (std::size_t m = 0; m < kNumMetrics; ++m) {
+          const double r = eq.rhs[m] - (x_[eq.idx1][m] + x_[eq.idx2][m]);
+          resid2_[i][m] += eq.weight * r * r;
+        }
+      }
     }
-  }
+  });
 
-  segments_.reserve(work_.size());
-  work_.for_each([&](std::uint64_t seg, const Work& w) {
+  segments_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     SegmentEstimate est;
-    est.evidence = w.evidence;
-    const auto& r2 = *resid2_.find(seg);
+    est.evidence = evidence_[i];
     for (std::size_t m = 0; m < kNumMetrics; ++m) {
-      est.lin_mean[m] = w.x[m];
-      const double var = r2[m] / std::max(1.0, w.weight_sum);
+      est.lin_mean[m] = x_[i][m];
+      const double var = resid2_[i][m] / std::max(1.0, weight_sum_[i]);
       // Effective-sample shrinkage, with a floor so single-path segments
       // keep a non-trivial confidence interval.
-      est.lin_sem[m] = std::sqrt(var / std::max(1.0, w.weight_sum)) +
-                       0.05 * w.x[m] / std::sqrt(std::max(1.0, w.weight_sum));
+      est.lin_sem[m] = std::sqrt(var / std::max(1.0, weight_sum_[i])) +
+                       0.05 * x_[i][m] / std::sqrt(std::max(1.0, weight_sum_[i]));
     }
-    segments_.insert(seg, est);
-  });
+    segments_.insert(seg_keys_[i], est);
+  }
 }
 
 const SegmentEstimate* TomographySolver::segment(AsId as, RelayId relay) const {

@@ -9,11 +9,24 @@
 // (overdetermined, sparse) system by weighted Gauss-Seidel recovers
 // per-segment estimates, which can then be stitched to predict paths that
 // have never carried a call — exactly the paper's Figure 11 construction.
+//
+// Parallel solve (DESIGN.md §6e).  Each sweep is Jacobi-style: every
+// unknown's next value is a weighted average over its equations, reading
+// only the *previous* iterate.  The sweep therefore partitions by
+// **segment**, not by equation: a worker owns a contiguous slice of the
+// segment array and, for each owned segment, folds that segment's
+// equations in ascending equation order — the exact floating-point
+// accumulation order the historical serial pass used.  No partial sums are
+// ever merged across workers, so the result is bit-identical for any
+// `solve_threads`, including 1 (which is why golden replays stay pinned
+// without a special-cased legacy path).
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "common/relay_option.h"
 #include "common/types.h"
@@ -21,6 +34,8 @@
 #include "util/flat_map.h"
 
 namespace via {
+
+class ThreadPool;
 
 /// Supplies the managed backbone's known performance.
 using BackboneFn = std::function<PathPerformance(RelayId, RelayId)>;
@@ -31,6 +46,18 @@ struct TomographyConfig {
   /// single-call paths carry signal (they get proportionally low weight);
   /// raising this trades coverage for per-equation confidence.
   std::int64_t min_samples_per_path = 1;
+  /// Worker threads for the sweep and residual passes.  1 (the default)
+  /// runs everything on the calling thread; any value yields bit-identical
+  /// estimates (see file comment), so replays may stay at 1 while the
+  /// serving controller solves wide.  <= 0 is treated as 1.
+  int solve_threads = 1;
+  /// Convergence early-exit: stop sweeping once the largest per-segment,
+  /// per-metric change of one sweep (linearized units) drops below this.
+  /// 0 (the default) keeps the legacy fixed-sweep behavior — what the
+  /// golden-replay tests pin.  The delta is an exact max over identical
+  /// per-segment values, so the sweep count — and with it the estimates —
+  /// stays deterministic across thread counts.
+  double convergence_tol = 0.0;
 };
 
 /// Per-segment estimate in linearized space, with uncertainty.
@@ -45,6 +72,10 @@ class TomographySolver {
  public:
   TomographySolver(const RelayOptionTable& options, BackboneFn backbone,
                    TomographyConfig config = {});
+  ~TomographySolver();
+
+  TomographySolver(const TomographySolver&) = delete;
+  TomographySolver& operator=(const TomographySolver&) = delete;
 
   /// Builds segment estimates from the window's relayed-path aggregates.
   void solve(const HistoryWindow& window);
@@ -55,6 +86,17 @@ class TomographySolver {
 
   [[nodiscard]] std::size_t segment_count() const noexcept { return segments_.size(); }
   [[nodiscard]] std::size_t equation_count() const noexcept { return equations_.size(); }
+  /// Gauss-Seidel sweeps the last solve() actually ran (< the configured
+  /// maximum when convergence_tol triggered the early exit).
+  [[nodiscard]] int last_sweeps() const noexcept { return last_sweeps_; }
+
+  /// Visits every segment estimate as fn(segment_key, estimate), in the
+  /// deterministic solve order — what the cross-thread parity tests hash.
+  template <typename Fn>
+  void for_each_segment(Fn&& fn) const {
+    segments_.for_each(
+        [&](std::uint64_t key, const SegmentEstimate& est) { fn(key, est); });
+  }
 
   /// Predicted linearized mean/SEM for a relayed path between s and d over
   /// `option`, stitched from segment estimates.  Returns false when any
@@ -72,31 +114,58 @@ class TomographySolver {
   struct Equation {
     std::uint64_t seg1 = 0;
     std::uint64_t seg2 = 0;
+    std::uint32_t idx1 = 0;                 ///< dense segment index of seg1
+    std::uint32_t idx2 = 0;                 ///< dense segment index of seg2
     std::array<double, kNumMetrics> rhs{};  ///< linearized path value minus backbone
     double weight = 1.0;                    ///< call count
   };
 
   struct Work {
-    std::array<double, kNumMetrics> x{};
     std::array<double, kNumMetrics> rhs_sum{};
     double weight_sum = 0.0;
     std::int64_t evidence = 0;
+    std::uint32_t index = 0;  ///< dense index, assigned in insertion order
   };
 
   /// Picks the relay each endpoint of a transit observation talks to.
   [[nodiscard]] std::pair<RelayId, RelayId> transit_sides(const PathAggregate& agg,
                                                           const RelayOption& o) const;
 
+  /// Runs fn(begin, end) over [0, count) split into contiguous slices —
+  /// inline when solve_threads is 1 or the problem is tiny, otherwise on
+  /// the lazily created pool.  Slice boundaries never affect results
+  /// (segments are independent), only which thread computes them.
+  template <typename Fn>
+  void parallel_segments(std::size_t count, Fn&& fn);
+
+  /// One Jacobi sweep over segments [begin, end): reads x_, writes next_x_,
+  /// returns the slice's max per-metric delta (0 when tol is disabled).
+  [[nodiscard]] double sweep_slice(std::size_t begin, std::size_t end, bool track_delta);
+
   const RelayOptionTable* options_;
   BackboneFn backbone_;
   TomographyConfig config_;
   std::vector<Equation> equations_;
   FlatMap<SegmentEstimate> segments_;
-  // Solver scratch, kept across solves so a recurring refresh reuses the
-  // table capacity instead of reallocating every period.
+  int last_sweeps_ = 0;
+
+  // Solver scratch, kept across solves so a recurring refresh reuses
+  // capacity instead of reallocating every period.  `work_` accumulates the
+  // per-segment initialization and assigns the dense segment order; the
+  // sweeps themselves run over the dense arrays (no hashing in the inner
+  // loop).  `incidence_*` is a CSR index: segment i's equations are
+  // incidence_eq_[incidence_off_[i] .. incidence_off_[i+1]), in ascending
+  // equation order.
   FlatMap<Work> work_;
-  FlatMap<Work> next_;
-  FlatMap<std::array<double, kNumMetrics>> resid2_;
+  std::vector<std::uint64_t> seg_keys_;
+  std::vector<std::array<double, kNumMetrics>> x_;
+  std::vector<std::array<double, kNumMetrics>> next_x_;
+  std::vector<std::array<double, kNumMetrics>> resid2_;
+  std::vector<double> weight_sum_;
+  std::vector<std::int64_t> evidence_;
+  std::vector<std::uint32_t> incidence_off_;
+  std::vector<std::uint32_t> incidence_eq_;
+  std::unique_ptr<ThreadPool> pool_;  ///< created on first multi-threaded solve
 };
 
 }  // namespace via

@@ -6,6 +6,7 @@
 
 #include "obs/telemetry.h"
 #include "obs/timer.h"
+#include "util/thread_pool.h"
 
 namespace via {
 
@@ -26,11 +27,13 @@ void ViaPolicy::attach_telemetry(obs::Telemetry* telemetry) {
   inst_.predict_considered = &r.counter("policy.predict.considered");
   inst_.predict_valid = &r.counter("policy.predict.valid");
   inst_.tomography_segments = &r.gauge("policy.refresh.tomography_segments");
+  inst_.tomography_sweeps = &r.gauge("policy.refresh.tomography_sweeps");
   const std::vector<double> topk_bounds = obs::LatencyHistogram::linear_bounds(0.0, 1.0, 11);
   inst_.topk_size = &r.histogram("policy.topk.size", topk_bounds);
-  inst_.refresh_swap_us = &r.histogram(
-      "policy.refresh.swap_us",
-      std::vector<double>(obs::kLatencyBoundsUs.begin(), obs::kLatencyBoundsUs.end()));
+  const std::vector<double> latency_bounds(obs::kLatencyBoundsUs.begin(),
+                                           obs::kLatencyBoundsUs.end());
+  inst_.refresh_prepare_us = &r.histogram("policy.refresh.prepare_us", latency_bounds);
+  inst_.refresh_swap_us = &r.histogram("policy.refresh.swap_us", latency_bounds);
 }
 
 void ViaPolicy::trace_decision(const CallContext& call, OptionId option,
@@ -84,29 +87,99 @@ ViaPolicy::ViaPolicy(const RelayOptionTable& options, BackboneFn backbone, ViaCo
                                                       config.predictor, config.topk)),
       store_(config.seed, config.serving_stripes, config.budget, config.relay_share_cap) {}
 
-void ViaPolicy::refresh(TimeSec /*now*/) {
-  // Everything between taking the completed window and publishing the new
-  // snapshot is the period's model build (training included) — the span the
-  // RPC server holds its policy lock exclusively for.
-  const obs::ScopedTimer swap_timer(inst_.refresh_swap_us);
+ViaPolicy::~ViaPolicy() = default;
 
-  // The window that just completed becomes the new snapshot's training
-  // window; a fresh one starts accumulating in its place.
+void ViaPolicy::refresh(TimeSec now) {
+  prepare_refresh(now);
+  commit_refresh(now);
+}
+
+void ViaPolicy::prepare_refresh(TimeSec /*now*/) {
+  const obs::ScopedTimer prepare_timer(inst_.refresh_prepare_us);
+  // One prepare at a time; serving (choose/observe) continues throughout —
+  // everything below touches only the staged snapshot, the window under
+  // its own mutex, and per-stripe state under the stripe locks.
+  const std::lock_guard prepare_lock(prepare_mutex_);
+
+  // The window that just completed becomes the staged snapshot's training
+  // window; a fresh one starts accumulating in its place.  Observations
+  // arriving between prepare and commit belong to the next period.
   HistoryWindow completed(options_);
   {
     const std::lock_guard lock(window_mutex_);
     std::swap(completed, current_window_);
   }
+  const std::shared_ptr<const ModelSnapshot> current = model();
   auto next = std::make_shared<const ModelSnapshot>(
       *options_, backbone_, config_.target, config_.predictor, config_.topk,
-      model()->period() + 1, std::move(completed));
+      current->period() + 1, std::move(completed));
+
+  if (config_.prewarm_pairs) {
+    // Pairs that carried traffic this period (their serving state was
+    // armed for the outgoing snapshot) get their memos rebuilt eagerly so
+    // the first post-publication call per pair skips the cold build.
+    std::vector<PairServingState> warm;
+    for (std::size_t i = 0; i < store_.stripe_count(); ++i) {
+      PairStateStore::Stripe& stripe = store_.stripe_at(i);
+      const std::lock_guard stripe_lock(stripe.mutex);
+      stripe.pairs.for_each([&](std::uint64_t /*key*/, const PairServingState& state) {
+        if (state.period != current->period() || state.options.empty()) return;
+        PairServingState copy;
+        copy.src_as = state.src_as;
+        copy.dst_as = state.dst_as;
+        copy.key_src = state.key_src;
+        copy.key_dst = state.key_dst;
+        copy.options = state.options;
+        warm.push_back(std::move(copy));
+      });
+    }
+    std::vector<CallContext> contexts;
+    contexts.reserve(warm.size());
+    for (const PairServingState& w : warm) {
+      CallContext ctx;
+      ctx.src_as = w.src_as;
+      ctx.dst_as = w.dst_as;
+      ctx.key_src = w.key_src;
+      ctx.key_dst = w.key_dst;
+      ctx.options = w.options;
+      contexts.push_back(ctx);
+    }
+    const int threads = std::max(1, config_.predictor.tomography.solve_threads);
+    if (threads > 1 && refresh_pool_ == nullptr) {
+      refresh_pool_ = std::make_unique<ThreadPool>(threads);
+    }
+    next->prewarm(contexts, this, threads > 1 ? refresh_pool_.get() : nullptr);
+  }
+
+  pending_ = std::move(next);
+}
+
+void ViaPolicy::commit_refresh(TimeSec now) {
+  std::shared_ptr<const ModelSnapshot> staged;
+  {
+    const std::lock_guard lock(prepare_mutex_);
+    staged = std::move(pending_);
+    pending_ = nullptr;
+  }
+  if (staged == nullptr) {
+    // Nothing prepared: a host driving only commit gets the monolithic
+    // behavior (build inline, then publish below).
+    prepare_refresh(now);
+    const std::lock_guard lock(prepare_mutex_);
+    staged = std::move(pending_);
+    pending_ = nullptr;
+  }
+  // The exclusive section the host stalls serving for is just this swap.
+  const obs::ScopedTimer swap_timer(inst_.refresh_swap_us);
   // Per-pair serving states are invalidated lazily: choose() re-arms a
   // pair's bandit when its recorded period trails the published one.
-  snapshot_.store(std::move(next), std::memory_order_release);
+  snapshot_.store(std::move(staged), std::memory_order_release);
   if (inst_.refreshes != nullptr) {
     inst_.refreshes->inc();
+    const Predictor& predictor = model()->predictor();
     inst_.tomography_segments->set(
-        static_cast<double>(model()->predictor().tomography().segment_count()));
+        static_cast<double>(predictor.tomography().segment_count()));
+    inst_.tomography_sweeps->set(static_cast<double>(predictor.tomography().last_sweeps()));
   }
 }
 
@@ -190,6 +263,15 @@ OptionId ViaPolicy::choose(const CallContext& call) {
     state.period = snap->period();
     state.bandit.set_arms(pair.top_k, config_.bandit,
                           adjacent_period ? &state.bandit : nullptr);
+    if (config_.prewarm_pairs) {
+      // Once per pair and period: capture the pre-warm context the next
+      // prepare_refresh() rebuilds this pair's memo from.
+      state.src_as = call.src_as;
+      state.dst_as = call.dst_as;
+      state.key_src = call.key_src;
+      state.key_dst = call.key_dst;
+      state.options.assign(call.options.begin(), call.options.end());
+    }
   }
 
   // Stage 4b: ε general exploration over *all* candidate options, keeping

@@ -37,6 +37,8 @@
 
 namespace via {
 
+class ThreadPool;
+
 namespace obs {
 class Counter;
 class Gauge;
@@ -73,15 +75,41 @@ struct ViaConfig {
   /// daemon and the concurrency tests configure more stripes so decisions
   /// for unrelated pairs proceed in parallel.
   std::size_t serving_stripes = 1;
+
+  /// Eagerly rebuild the per-pair top-k/benefit memos of every pair that
+  /// carried traffic last period when a new snapshot is prepared, so the
+  /// first post-refresh call per pair hits the warm path (~168ns) instead
+  /// of the cold predict/top-k build (~2.7µs).  Decisions are identical
+  /// either way (each memo is a pure function of snapshot + pair +
+  /// candidate set); off by default so replays keep the historical lazy
+  /// fill order for the probe wishlist.  The daemon enables it.  Assumes a
+  /// pair's candidate set is stable across calls, as everywhere else in
+  /// the memoization.
+  bool prewarm_pairs = false;
 };
 
 class ViaPolicy final : public RoutingPolicy, private PairBuildObserver {
  public:
   ViaPolicy(const RelayOptionTable& options, BackboneFn backbone, ViaConfig config = {});
+  ~ViaPolicy() override;
 
   [[nodiscard]] OptionId choose(const CallContext& call) override;
   void observe(const Observation& obs) override;
+  /// Monolithic refresh: prepare + commit back to back.  What the serial
+  /// simulation engine drives; equivalent to the split protocol with no
+  /// serving traffic in between.
   void refresh(TimeSec now) override;
+  /// Split refresh (DESIGN.md §6e).  prepare_refresh() harvests the
+  /// accumulating window, solves tomography, trains the predictor, and
+  /// (with ViaConfig::prewarm_pairs) pre-warms per-pair memos — all into a
+  /// staged snapshot, safe to run concurrently with choose()/observe()
+  /// (hosts hold their policy lock shared).  Concurrent prepares serialize
+  /// on an internal mutex.  commit_refresh() just publishes the staged
+  /// snapshot — the RCU pointer swap is the only work left under the
+  /// host's exclusive lock; with nothing staged it falls back to a full
+  /// monolithic build.
+  void prepare_refresh(TimeSec now) override;
+  void commit_refresh(TimeSec now) override;
   /// Coverage holes collected while building per-pair candidate sets, for
   /// the active-measurement extension (§7).  Drains the wishlist.
   [[nodiscard]] std::vector<ProbeRequest> plan_probes(std::size_t max_probes) override;
@@ -149,7 +177,9 @@ class ViaPolicy final : public RoutingPolicy, private PairBuildObserver {
     obs::Counter* predict_considered = nullptr;
     obs::Counter* predict_valid = nullptr;
     obs::Gauge* tomography_segments = nullptr;
+    obs::Gauge* tomography_sweeps = nullptr;
     obs::LatencyHistogram* topk_size = nullptr;
+    obs::LatencyHistogram* refresh_prepare_us = nullptr;
     obs::LatencyHistogram* refresh_swap_us = nullptr;
   };
 
@@ -183,6 +213,13 @@ class ViaPolicy final : public RoutingPolicy, private PairBuildObserver {
 
   std::mutex wishlist_mutex_;
   std::vector<ProbeRequest> probe_wishlist_;  ///< guarded by wishlist_mutex_
+
+  /// Split-refresh staging (§6e).  prepare_mutex_ serializes prepares and
+  /// guards pending_ (the built-but-unpublished snapshot) and the lazily
+  /// created pre-warm pool.
+  std::mutex prepare_mutex_;
+  std::shared_ptr<const ModelSnapshot> pending_;
+  std::unique_ptr<ThreadPool> refresh_pool_;
 
   Instruments inst_;
 };

@@ -53,6 +53,8 @@ ControllerServer::ControllerServer(RoutingPolicy& policy, std::uint16_t port)
       tel_request_us_(
           &telemetry_.registry.histogram("rpc.server.request_us", obs::kLatencyBoundsUs)),
       tel_inflight_(&telemetry_.registry.gauge("rpc.server.inflight")),
+      tel_refresh_stall_us_(
+          &telemetry_.registry.histogram("rpc.server.refresh_stall_us", obs::kLatencyBoundsUs)),
       policy_concurrent_(policy.concurrent_safe()),
       listener_(port) {
   policy_->attach_telemetry(&telemetry_);
@@ -66,6 +68,13 @@ ControllerServer::~ControllerServer() {
 void ControllerServer::start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
+  {
+    const std::lock_guard lock(refresh_mutex_);
+    builder_stop_ = false;
+  }
+  if (policy_concurrent_) {
+    builder_thread_ = std::thread([this] { builder_loop(); });
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -74,6 +83,14 @@ void ControllerServer::stop() {
   // Unblock accept() by shutting the listening socket down.
   ::shutdown(listener_.fd(), SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Tell the builder to drain outstanding refresh tickets and exit; any
+  // handler still waiting on a ticket is released by the drain, and new
+  // Refresh requests fall back to the inline-exclusive path from here on.
+  {
+    const std::lock_guard lock(refresh_mutex_);
+    builder_stop_ = true;
+  }
+  refresh_work_cv_.notify_all();
   // Handlers splice themselves onto finished_ as their last act; drain
   // until every live handler has come through, then join them all.
   std::list<std::thread> done;
@@ -82,9 +99,67 @@ void ControllerServer::stop() {
     handlers_cv_.wait(lock, [this] { return handlers_.empty(); });
     done.splice(done.end(), finished_);
   }
+  if (builder_thread_.joinable()) builder_thread_.join();
   for (auto& t : done) {
     if (t.joinable()) t.join();
   }
+}
+
+void ControllerServer::builder_loop() {
+  for (;;) {
+    TimeSec now = 0;
+    {
+      std::unique_lock lock(refresh_mutex_);
+      refresh_work_cv_.wait(lock, [this] { return builder_stop_ || !refresh_queue_.empty(); });
+      if (refresh_queue_.empty()) return;  // builder_stop_ and drained
+      now = refresh_queue_.front();
+      refresh_queue_.pop_front();
+    }
+    // Build the next model while decisions keep flowing (shared lock)...
+    {
+      std::shared_lock lock(policy_mutex_);
+      policy_->prepare_refresh(now);
+    }
+    // ...then stall serving only for the publish.
+    {
+      const obs::ScopedTimer stall_timer(*tel_refresh_stall_us_);
+      const std::unique_lock lock(policy_mutex_);
+      policy_->commit_refresh(now);
+    }
+    {
+      const std::lock_guard lock(refresh_mutex_);
+      ++refresh_completed_;
+    }
+    refresh_done_cv_.notify_all();
+  }
+}
+
+void ControllerServer::run_refresh(TimeSec now) {
+  if (policy_concurrent_) {
+    std::uint64_t ticket = 0;
+    bool queued = false;
+    {
+      const std::lock_guard lock(refresh_mutex_);
+      if (!builder_stop_) {
+        refresh_queue_.push_back(now);
+        ticket = ++refresh_requested_;
+        queued = true;
+      }
+    }
+    if (queued) {
+      refresh_work_cv_.notify_one();
+      std::unique_lock lock(refresh_mutex_);
+      refresh_done_cv_.wait(lock, [this, ticket] { return refresh_completed_ >= ticket; });
+      return;
+    }
+    // Server shutting down: fall through to the inline path so the client
+    // still gets its ack.
+  }
+  // Model rebuilds are always exclusive for policies without the
+  // concurrent-safe capability (see RoutingPolicy contract).
+  const obs::ScopedTimer stall_timer(*tel_refresh_stall_us_);
+  const std::unique_lock lock(policy_mutex_);
+  policy_->refresh(now);
 }
 
 std::size_t ControllerServer::active_handlers() const {
@@ -188,12 +263,7 @@ void ControllerServer::handle_connection(TcpConnection conn) {
         }
         case MsgType::Refresh: {
           const RefreshMsg msg = RefreshMsg::decode(reader);
-          {
-            // Model rebuilds are always exclusive, even for
-            // concurrent-safe policies (see RoutingPolicy contract).
-            const std::unique_lock lock(policy_mutex_);
-            policy_->refresh(msg.now);
-          }
+          run_refresh(msg.now);
           reply(MsgType::RefreshAck);
           break;
         }

@@ -3,14 +3,24 @@
 // reaped as clients disconnect.  The policy sits behind a reader-writer
 // lock: when the policy declares itself concurrent-safe (ViaPolicy does —
 // see RoutingPolicy::concurrent_safe()), decision and report handlers take
-// the lock shared, so clients are served in parallel and only refresh()
-// (the periodic model rebuild) is exclusive; a policy without the
-// capability keeps the classic coarse exclusive lock for every call.
+// the lock shared, so clients are served in parallel.
+//
+// The periodic model rebuild runs off the serving path (DESIGN.md §6e): a
+// Refresh message is handed to a dedicated builder thread that drives the
+// policy's split protocol — prepare_refresh() under the *shared* lock
+// (decisions keep flowing while tomography solves and the predictor
+// trains), then commit_refresh() under the exclusive lock, which is just
+// the RCU pointer swap.  The exclusive-section duration is exported as the
+// rpc.server.refresh_stall_us histogram, so the serving stall a refresh
+// actually causes is visible in GetStats.  A policy without the
+// concurrent-safe capability keeps the classic coarse exclusive refresh()
+// in the handler thread (still timed into the same histogram).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -58,6 +68,14 @@ class ControllerServer {
   void handle_connection(TcpConnection conn);
   /// Joins handler threads whose connections have finished.
   void reap_finished();
+  /// Builder thread: pops refresh tickets and runs prepare (shared lock) /
+  /// commit (exclusive lock) against the policy; drains the queue before
+  /// exiting on stop so no Refresh handler is left waiting.
+  void builder_loop();
+  /// Runs one refresh for a Refresh request: via the builder for a
+  /// concurrent-safe policy, inline-exclusive otherwise.  Blocks until the
+  /// refresh is committed (the RefreshAck contract).
+  void run_refresh(TimeSec now);
 
   RoutingPolicy* policy_;
   obs::Telemetry telemetry_;
@@ -69,6 +87,11 @@ class ControllerServer {
   obs::Counter* tel_reports_;
   obs::LatencyHistogram* tel_request_us_;
   obs::Gauge* tel_inflight_;
+  /// Duration the policy lock is held *exclusively* per refresh — the span
+  /// during which no decision can be served.  With the split pipeline this
+  /// is pointer-swap scale (µs); the monolithic fallback shows the full
+  /// model rebuild here.
+  obs::LatencyHistogram* tel_refresh_stall_us_;
 
   /// Reader-writer policy guard; `policy_concurrent_` (sampled once at
   /// construction) decides whether choose/observe may share it.
@@ -87,6 +110,19 @@ class ControllerServer {
   std::condition_variable handlers_cv_;  ///< signaled on each handler finish
   std::list<std::thread> handlers_;
   std::list<std::thread> finished_;
+
+  /// Background refresh pipeline (concurrent-safe policies only).  Refresh
+  /// handlers enqueue a (ticketed) request and wait for its completion;
+  /// the builder processes tickets in order, one prepare+commit per
+  /// ticket.  All fields guarded by refresh_mutex_.
+  std::thread builder_thread_;
+  std::mutex refresh_mutex_;
+  std::condition_variable refresh_work_cv_;  ///< wakes the builder
+  std::condition_variable refresh_done_cv_;  ///< wakes waiting handlers
+  std::deque<TimeSec> refresh_queue_;
+  std::uint64_t refresh_requested_ = 0;
+  std::uint64_t refresh_completed_ = 0;
+  bool builder_stop_ = false;
 
   std::atomic<bool> running_{false};
   std::atomic<std::int64_t> decisions_{0};

@@ -91,7 +91,10 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
   // arrival order) even though ViaPolicy itself is concurrent-safe: with
   // the default single serving stripe this replay path is bit-identical to
   // the pre-split controller (DESIGN.md §6d), which is what makes figure
-  // runs and A/B comparisons reproducible.
+  // runs and A/B comparisons reproducible.  Refreshes use the monolithic
+  // refresh() rather than the §6e prepare/commit split — with no serving
+  // traffic in between the two are operation-identical, and the engine has
+  // no concurrency to hide the prepare behind.
   for (const auto& arrival : arrivals_) {
     // Fire refresh boundaries that this call has crossed.
     while (arrival.time >= next_refresh) {

@@ -85,8 +85,11 @@ struct GoldenScenario {
   }
 
   /// Runs the full scenario; returns an FNV-1a hash of every chosen option
-  /// in sequence (the strongest possible bit-identical signature).
-  std::uint64_t run(ViaPolicy& policy) {
+  /// in sequence (the strongest possible bit-identical signature).  With
+  /// `split_refresh` the periodic rebuild goes through the §6e
+  /// prepare/commit protocol instead of the monolithic refresh() — the
+  /// hash must not notice.
+  std::uint64_t run(ViaPolicy& policy, bool split_refresh = false) {
     std::uint64_t fnv = 0xcbf29ce484222325ULL;
     auto fold = [&fnv](std::uint64_t v) {
       fnv ^= v;
@@ -110,7 +113,12 @@ struct GoldenScenario {
           }
         }
       }
-      policy.refresh((period + 1) * kSecondsPerDay);
+      if (split_refresh) {
+        policy.prepare_refresh((period + 1) * kSecondsPerDay);
+        policy.commit_refresh((period + 1) * kSecondsPerDay);
+      } else {
+        policy.refresh((period + 1) * kSecondsPerDay);
+      }
       // Serve a burst of calls round-robin over the pairs; report back a
       // deterministic measurement for whatever option was chosen.
       for (int step = 0; step < 100; ++step) {
@@ -201,6 +209,45 @@ TEST(GoldenReplay, UnconstrainedBitIdentical) {
     EXPECT_EQ(const_policy.top_k_for(scenario.context_for(p)).size(), expected_topk[p])
         << "pair " << p;
   }
+}
+
+TEST(GoldenReplay, SplitRefreshBitIdentical) {
+  // The prepare/commit split replays the exact same decisions as the
+  // monolithic refresh — both configs, against the pre-refactor hashes.
+  {
+    GoldenScenario scenario;
+    ViaPolicy policy(scenario.options, GoldenScenario::backbone(),
+                     scenario.constrained_config());
+    EXPECT_EQ(scenario.run(policy, /*split_refresh=*/true), kConstrainedGoldenHash);
+  }
+  {
+    GoldenScenario scenario;
+    ViaPolicy policy(scenario.options, GoldenScenario::backbone(),
+                     scenario.unconstrained_config());
+    EXPECT_EQ(scenario.run(policy, /*split_refresh=*/true), kUnconstrainedGoldenHash);
+  }
+}
+
+TEST(GoldenReplay, PrewarmedMemosDecideIdentically) {
+  // Pre-warming only pre-builds memo entries that are pure functions of
+  // (snapshot, pair, candidate set); every decision — and therefore the
+  // golden hash — is unchanged.
+  GoldenScenario scenario;
+  ViaConfig config = scenario.unconstrained_config();
+  config.prewarm_pairs = true;
+  ViaPolicy policy(scenario.options, GoldenScenario::backbone(), config);
+  EXPECT_EQ(scenario.run(policy, /*split_refresh=*/true), kUnconstrainedGoldenHash);
+}
+
+TEST(GoldenReplay, ParallelSolveKeepsGoldenHash) {
+  // The parallel tomography solve is bit-identical to serial (segment
+  // partitioning, see tomography.h), so a wide solver must replay the same
+  // golden hash as solve_threads = 1.
+  GoldenScenario scenario;
+  ViaConfig config = scenario.constrained_config();
+  config.predictor.tomography.solve_threads = 4;
+  ViaPolicy policy(scenario.options, GoldenScenario::backbone(), config);
+  EXPECT_EQ(scenario.run(policy), kConstrainedGoldenHash);
 }
 
 TEST(GoldenReplay, TelemetryReasonCountersReconcileWithStats) {
@@ -341,6 +388,189 @@ TEST(ConcurrentPolicy, HammerChooseObserveWithRefreshes) {
   EXPECT_EQ(s.chose_direct + s.chose_bounce + s.chose_transit, s.calls);
 }
 
+/// Same hammer, but racing the §6e background pipeline: a builder thread
+/// runs prepare_refresh() under the *shared* lock (concurrent with the
+/// choose/observe workers, exactly the RPC server's discipline) and only
+/// commit_refresh() exclusively.  Pre-warm and the multi-threaded solver
+/// are both on, so the prepare path TSan covers is the full production
+/// one.
+TEST(ConcurrentPolicy, HammerRacesBackgroundPrepare) {
+  HammerWorld world;
+  ViaConfig config;
+  config.epsilon = 0.1;
+  config.seed = 13;
+  config.serving_stripes = 16;
+  config.prewarm_pairs = true;
+  config.predictor.tomography.solve_threads = 2;
+  ViaPolicy policy(
+      world.options, [](RelayId, RelayId) { return PathPerformance{5.0, 0.05, 0.5}; },
+      config);
+
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 1500;
+  std::shared_mutex policy_lock;
+  std::atomic<CallId> next_id{1};
+  std::atomic<bool> stop_refreshing{false};
+
+  auto worker = [&](int t) {
+    Rng rng(2000 + static_cast<std::uint64_t>(t));
+    for (int i = 0; i < kCallsPerThread; ++i) {
+      const auto p = static_cast<std::size_t>(rng.uniform_index(world.pairs.size()));
+      const CallId id = next_id.fetch_add(1);
+      const CallContext ctx = world.context_for(p, id, static_cast<TimeSec>(i));
+      OptionId pick = kInvalidOption;
+      {
+        const std::shared_lock lock(policy_lock);
+        pick = policy.choose(ctx);
+      }
+      Observation o;
+      o.id = id;
+      o.time = ctx.time;
+      o.src_as = ctx.src_as;
+      o.dst_as = ctx.dst_as;
+      o.option = pick;
+      const double c = HammerWorld::cost(p, pick);
+      o.perf = {c, c / 100.0, c / 20.0};
+      {
+        const std::shared_lock lock(policy_lock);
+        policy.observe(o);
+      }
+    }
+  };
+
+  std::thread builder([&] {
+    TimeSec now = 0;
+    while (!stop_refreshing.load()) {
+      {
+        const std::shared_lock lock(policy_lock);  // serving keeps flowing
+        policy.prepare_refresh(now);
+      }
+      {
+        const std::unique_lock lock(policy_lock);  // just the pointer swap
+        policy.commit_refresh(now);
+      }
+      now += kSecondsPerDay;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+  stop_refreshing.store(true);
+  builder.join();
+
+  const ViaPolicy::Stats s = policy.stats();
+  EXPECT_EQ(s.calls, kThreads * kCallsPerThread);
+  EXPECT_EQ(s.epsilon_explored + s.bandit_served + s.cold_start_direct + s.budget_denied +
+                s.relay_cap_denied,
+            s.calls);
+  EXPECT_EQ(s.chose_direct + s.chose_bounce + s.chose_transit, s.calls);
+}
+
+/// Pre-warm actually front-loads the per-pair builds: after a prepared +
+/// committed refresh, every pair that carried traffic last period already
+/// has its memo in the *new* snapshot, before any call touches it.
+TEST(ConcurrentPolicy, PrewarmBuildsPairModelsBeforeFirstCall) {
+  HammerWorld world;
+  ViaConfig config;
+  config.epsilon = 0.0;
+  config.seed = 5;
+  config.serving_stripes = 16;
+  config.prewarm_pairs = true;
+  ViaPolicy policy(
+      world.options, [](RelayId, RelayId) { return PathPerformance{5.0, 0.05, 0.5}; },
+      config);
+
+  // Period 1: observe every candidate, refresh, then serve one call per
+  // pair so the serving state records each pair's pre-warm context.
+  CallId next_id = 1;
+  for (std::size_t p = 0; p < world.pairs.size(); ++p) {
+    for (const OptionId opt : world.pair_options[p]) {
+      for (int rep = 0; rep < 3; ++rep) {
+        Observation o;
+        o.id = next_id++;
+        o.time = rep;
+        o.src_as = world.pairs[p].first;
+        o.dst_as = world.pairs[p].second;
+        o.option = opt;
+        const double c = HammerWorld::cost(p, opt);
+        o.perf = {c, c / 100.0, c / 20.0};
+        policy.observe(o);
+      }
+    }
+  }
+  policy.refresh(kSecondsPerDay);
+  for (std::size_t p = 0; p < world.pairs.size(); ++p) {
+    (void)policy.choose(world.context_for(p, next_id++, kSecondsPerDay + 1));
+  }
+
+  // Period 2: more traffic, then the split refresh.  Immediately after the
+  // commit — zero post-refresh calls — the published snapshot must already
+  // hold a model for every active pair.
+  for (std::size_t p = 0; p < world.pairs.size(); ++p) {
+    Observation o;
+    o.id = next_id++;
+    o.time = kSecondsPerDay + 100;
+    o.src_as = world.pairs[p].first;
+    o.dst_as = world.pairs[p].second;
+    o.option = world.pair_options[p][1];
+    o.perf = {90.0, 0.9, 4.5};
+    policy.observe(o);
+  }
+  policy.prepare_refresh(2 * kSecondsPerDay);
+  policy.commit_refresh(2 * kSecondsPerDay);
+  EXPECT_EQ(policy.model()->period(), 2u);
+  EXPECT_GE(policy.model()->pair_models_built(), world.pairs.size());
+
+  // And the pre-built models are what lazy fill would have produced: the
+  // pick for each pair matches a fresh identically-configured policy that
+  // replays the same sequence without pre-warming.
+  ViaConfig lazy_config = config;
+  lazy_config.prewarm_pairs = false;
+  ViaPolicy lazy(
+      world.options, [](RelayId, RelayId) { return PathPerformance{5.0, 0.05, 0.5}; },
+      lazy_config);
+  CallId lazy_id = 1;
+  for (std::size_t p = 0; p < world.pairs.size(); ++p) {
+    for (const OptionId opt : world.pair_options[p]) {
+      for (int rep = 0; rep < 3; ++rep) {
+        Observation o;
+        o.id = lazy_id++;
+        o.time = rep;
+        o.src_as = world.pairs[p].first;
+        o.dst_as = world.pairs[p].second;
+        o.option = opt;
+        const double c = HammerWorld::cost(p, opt);
+        o.perf = {c, c / 100.0, c / 20.0};
+        lazy.observe(o);
+      }
+    }
+  }
+  lazy.refresh(kSecondsPerDay);
+  for (std::size_t p = 0; p < world.pairs.size(); ++p) {
+    (void)lazy.choose(world.context_for(p, lazy_id++, kSecondsPerDay + 1));
+  }
+  for (std::size_t p = 0; p < world.pairs.size(); ++p) {
+    Observation o;
+    o.id = lazy_id++;
+    o.time = kSecondsPerDay + 100;
+    o.src_as = world.pairs[p].first;
+    o.dst_as = world.pairs[p].second;
+    o.option = world.pair_options[p][1];
+    o.perf = {90.0, 0.9, 4.5};
+    lazy.observe(o);
+  }
+  lazy.refresh(2 * kSecondsPerDay);
+  EXPECT_EQ(lazy.model()->pair_models_built(), 0u);  // still all-lazy
+  for (std::size_t p = 0; p < world.pairs.size(); ++p) {
+    const CallContext warm_ctx = world.context_for(p, 900000 + p, 2 * kSecondsPerDay + 1);
+    const CallContext lazy_ctx = world.context_for(p, 900000 + p, 2 * kSecondsPerDay + 1);
+    EXPECT_EQ(policy.choose(warm_ctx), lazy.choose(lazy_ctx)) << "pair " << p;
+  }
+}
+
 /// With the relay-share cap enabled, no relay may carry more than
 /// cap * (relayed calls) + warm-up slack — tallied *client-side* from the
 /// returned picks, so the check-then-account critical section is what is
@@ -471,6 +701,9 @@ TEST(ConcurrentRpc, MultiClientStressMatchesServerCounts) {
   ControllerClient stats_client(server.port());
   const std::string stats = stats_client.get_stats(obs::StatsFormat::Json);
   EXPECT_NE(stats.find("rpc.server.inflight"), std::string::npos);
+  // The exclusive-section histogram is registered and saw the refreshes
+  // that went through the background builder.
+  EXPECT_NE(stats.find("rpc.server.refresh_stall_us"), std::string::npos);
   stats_client.shutdown();
 
   const ViaPolicy::Stats s = policy.stats();

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "common/linearize.h"
 #include "util/rng.h"
@@ -244,6 +246,135 @@ TEST_P(TomographyNoise, BoundedErrorUnderNoise) {
 }
 
 INSTANTIATE_TEST_SUITE_P(NoiseLevels, TomographyNoise, ::testing::Values(0.0, 0.1, 0.3));
+
+// ---------------------------------------------------------------- §6e:
+// parallel solve determinism and the convergence early exit.
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// FNV-1a over the exact bit patterns of every segment estimate, in solve
+/// order — any FP difference anywhere flips the hash.
+std::uint64_t solver_hash(const TomographySolver& solver) {
+  std::uint64_t h = 14695981039346656037ULL;
+  solver.for_each_segment([&](std::uint64_t key, const SegmentEstimate& est) {
+    h = fnv1a_u64(h, key);
+    for (std::size_t m = 0; m < kNumMetrics; ++m) {
+      h = fnv1a_u64(h, std::bit_cast<std::uint64_t>(est.lin_mean[m]));
+      h = fnv1a_u64(h, std::bit_cast<std::uint64_t>(est.lin_sem[m]));
+    }
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(est.evidence));
+  });
+  return h;
+}
+
+/// A noisy window wide enough (40 ASes x 4 relays, bounce + transit mix)
+/// that the parallel solver actually engages its pool.
+HistoryWindow make_wide_window(RelayOptionTable& options) {
+  HistoryWindow w(&options);
+  Rng rng(42);
+  for (int i = 0; i < 4000; ++i) {
+    const auto s = static_cast<AsId>(rng.uniform_index(40));
+    auto d = static_cast<AsId>(rng.uniform_index(40));
+    if (d == s) d = (d + 1) % 40;
+    const auto r1 = static_cast<RelayId>(rng.uniform_index(4));
+    Observation o;
+    o.id = i;
+    o.src_as = s;
+    o.dst_as = d;
+    if (rng.uniform_index(2) == 0) {
+      o.option = options.intern_bounce(r1);
+    } else {
+      auto r2 = static_cast<RelayId>(rng.uniform_index(4));
+      if (r2 == r1) r2 = static_cast<RelayId>((r2 + 1) % 4);
+      o.option = options.intern_transit(r1, r2);
+      o.ingress = r1;
+    }
+    o.perf = {50.0 + rng.uniform(0, 100), rng.uniform(0, 2), 1.0 + rng.uniform(0, 4)};
+    w.add(o);
+  }
+  return w;
+}
+
+TEST(TomographyParallel, BitIdenticalAcrossThreadCounts) {
+  RelayOptionTable options;
+  BackboneFn backbone = [](RelayId a, RelayId b) {
+    if (a == b) return PathPerformance{};
+    return PathPerformance{20.0, 0.01, 0.3};
+  };
+  const HistoryWindow w = make_wide_window(options);
+
+  std::uint64_t serial_hash = 0;
+  int serial_sweeps = 0;
+  for (const int threads : {1, 2, 8}) {
+    TomographySolver solver(options, backbone,
+                            {.gauss_seidel_sweeps = 30, .solve_threads = threads});
+    solver.solve(w);
+    ASSERT_GE(solver.segment_count(), 64u) << "window too small to exercise the pool";
+    const std::uint64_t h = solver_hash(solver);
+    if (threads == 1) {
+      serial_hash = h;
+      serial_sweeps = solver.last_sweeps();
+    } else {
+      EXPECT_EQ(h, serial_hash) << threads << " threads diverged from serial";
+      EXPECT_EQ(solver.last_sweeps(), serial_sweeps);
+    }
+  }
+}
+
+TEST(TomographyParallel, EarlyExitDeterministicAcrossThreadCounts) {
+  RelayOptionTable options;
+  BackboneFn backbone = [](RelayId, RelayId) { return PathPerformance{20.0, 0.01, 0.3}; };
+  const HistoryWindow w = make_wide_window(options);
+
+  std::uint64_t serial_hash = 0;
+  int serial_sweeps = 0;
+  for (const int threads : {1, 2, 8}) {
+    TomographySolver solver(
+        options, backbone,
+        {.gauss_seidel_sweeps = 200, .solve_threads = threads, .convergence_tol = 1e-7});
+    solver.solve(w);
+    if (threads == 1) {
+      serial_hash = solver_hash(solver);
+      serial_sweeps = solver.last_sweeps();
+    } else {
+      EXPECT_EQ(solver_hash(solver), serial_hash);
+      EXPECT_EQ(solver.last_sweeps(), serial_sweeps);
+    }
+  }
+  // The tolerance actually triggered (otherwise this test pins nothing).
+  EXPECT_LT(serial_sweeps, 200);
+  EXPECT_GT(serial_sweeps, 1);
+}
+
+TEST(TomographyParallel, ZeroTolKeepsLegacyFixedSweeps) {
+  RelayOptionTable options;
+  BackboneFn backbone = [](RelayId, RelayId) { return PathPerformance{20.0, 0.01, 0.3}; };
+  const HistoryWindow w = make_wide_window(options);
+
+  TomographySolver fixed(options, backbone, {.gauss_seidel_sweeps = 25});
+  fixed.solve(w);
+  EXPECT_EQ(fixed.last_sweeps(), 25);
+
+  // A converged early-exit solve still lands within numerical spitting
+  // distance of the fixed-sweep answer.
+  TomographySolver early(options, backbone,
+                         {.gauss_seidel_sweeps = 200, .convergence_tol = 1e-9});
+  early.solve(w);
+  fixed.for_each_segment([&](std::uint64_t key, const SegmentEstimate& est) {
+    const SegmentEstimate* other = early.segment(static_cast<AsId>(key >> 16),
+                                                 static_cast<RelayId>(key & 0xffff));
+    ASSERT_NE(other, nullptr);
+    for (std::size_t m = 0; m < kNumMetrics; ++m) {
+      EXPECT_NEAR(other->lin_mean[m], est.lin_mean[m], 1e-6);
+    }
+  });
+}
 
 }  // namespace
 }  // namespace via

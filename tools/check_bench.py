@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated BENCH_core.json against bench/thresholds.json.
+
+Usage: tools/check_bench.py BENCH_core.json [thresholds.json]
+
+Warn-only regression gate: microbenchmark numbers are noisy across CI
+machines, so a regression prints a prominent warning and the script still
+exits 0.  Exit status is nonzero only for malformed input (missing files,
+unparseable JSON) so CI catches a broken bench pipeline without flaking on
+timing variance.
+
+Threshold semantics (bench/thresholds.json):
+  - keys ending in `_ns` or `_seconds` are lower-is-better; a run is
+    flagged when it exceeds the threshold by more than the tolerance.
+  - keys ending in `_mops` or `_speedup` are higher-is-better; a run is
+    flagged when it falls short by more than the tolerance.
+  - other numeric keys are compared lower-is-better by default.
+  - keys present in the thresholds but absent from the run (e.g. a
+    filtered-out benchmark) are reported as "missing", also warn-only.
+
+The default tolerance is 25% either way; a `_tolerance` key in the
+thresholds file (fraction, e.g. 0.25) overrides it globally.
+"""
+
+import json
+import sys
+
+DEFAULT_TOLERANCE = 0.25
+HIGHER_IS_BETTER_SUFFIXES = ("_mops", "_speedup")
+
+
+def is_higher_better(key: str) -> bool:
+    return key.endswith(HIGHER_IS_BETTER_SUFFIXES)
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__)
+        return 2
+    bench_path = argv[1]
+    thresholds_path = argv[2] if len(argv) == 3 else "bench/thresholds.json"
+
+    try:
+        with open(bench_path) as f:
+            bench = json.load(f)
+        with open(thresholds_path) as f:
+            thresholds = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot read inputs: {e}", file=sys.stderr)
+        return 1
+
+    tolerance = thresholds.get("_tolerance", DEFAULT_TOLERANCE)
+    regressions = []
+    missing = []
+    checked = 0
+
+    for key, limit in sorted(thresholds.items()):
+        if key.startswith("_") or not isinstance(limit, (int, float)):
+            continue
+        value = bench.get(key)
+        if not isinstance(value, (int, float)):
+            missing.append(key)
+            continue
+        checked += 1
+        if is_higher_better(key):
+            floor = limit * (1.0 - tolerance)
+            if value < floor:
+                regressions.append(
+                    f"{key}: {value:.4g} < {floor:.4g} "
+                    f"(baseline {limit:.4g}, higher is better)"
+                )
+        else:
+            ceiling = limit * (1.0 + tolerance)
+            if value > ceiling:
+                regressions.append(
+                    f"{key}: {value:.4g} > {ceiling:.4g} "
+                    f"(baseline {limit:.4g}, lower is better)"
+                )
+
+    print(
+        f"check_bench: {checked} keys checked against {thresholds_path} "
+        f"(tolerance {tolerance:.0%})"
+    )
+    for key in missing:
+        print(f"check_bench: WARNING: key missing from run: {key}")
+    if regressions:
+        print(f"check_bench: WARNING: {len(regressions)} possible regression(s):")
+        for line in regressions:
+            print(f"  {line}")
+        print(
+            "check_bench: warn-only — timing noise is expected across machines; "
+            "investigate if this repeats, and refresh bench/thresholds.json "
+            "after intentional performance changes."
+        )
+    else:
+        print("check_bench: all tracked benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

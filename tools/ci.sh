@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify (full build + ctest), a strict
 # -Wall -Wextra -Werror compile of the telemetry subsystem and its tests,
-# and a Release (-O2 -DNDEBUG) bench smoke that emits BENCH_core.json.
+# and a Release (-O2 -DNDEBUG) bench smoke that emits BENCH_core.json and
+# checks it against bench/thresholds.json (warn-only, tools/check_bench.py).
 # Set VIA_CI_TSAN=1 to additionally run test_parallel under ThreadSanitizer.
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
 set -euo pipefail
@@ -27,6 +28,9 @@ test -s "$BUILD_DIR-release/BENCH_core.json"
 grep -q '"sweep_identical": true' "$BUILD_DIR-release/BENCH_core.json"
 echo "BENCH_core.json:"
 cat "$BUILD_DIR-release/BENCH_core.json"
+
+echo "== bench regression check (warn-only, bench/thresholds.json) =="
+python3 tools/check_bench.py "$BUILD_DIR-release/BENCH_core.json" bench/thresholds.json
 
 if [[ "${VIA_CI_TSAN:-0}" == "1" ]]; then
   echo "== tsan: test_parallel + test_concurrent_policy under ThreadSanitizer =="
