@@ -9,6 +9,11 @@
 //
 // Exposes the full wire protocol from the shell — handy for smoke-testing
 // a deployment or scripting synthetic traffic against a live controller.
+//
+// Resilience flags (all commands): --request-timeout-ms M arms a receive
+// deadline per round trip (0 = block forever); --retries K retries
+// retryable failures (timeout/reset/busy) up to K times with exponential
+// backoff and deterministic jitter, reconnecting after resets.
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -37,7 +42,8 @@ void usage() {
          "  via_call_client --port N report --call ID --time T --src AS --dst AS"
          " --option OPT [--ingress R] --rtt MS --loss PCT --jitter MS\n"
          "  via_call_client --port N refresh --time T\n"
-         "  via_call_client --port N stats [--format table|json|prom]\n";
+         "  via_call_client --port N stats [--format table|json|prom]\n"
+         "options: [--request-timeout-ms M] [--retries K]\n";
 }
 
 }  // namespace
@@ -46,6 +52,7 @@ int main(int argc, char** argv) {
   using namespace via;
 
   std::uint16_t port = 7401;
+  ClientConfig client_config;
   std::string command;
   DecisionRequest request;
   Observation obs;
@@ -61,6 +68,10 @@ int main(int argc, char** argv) {
     try {
       if (arg == "--port") {
         port = static_cast<std::uint16_t>(std::stoi(next()));
+      } else if (arg == "--request-timeout-ms") {
+        client_config.request_timeout_ms = std::stoi(next());
+      } else if (arg == "--retries") {
+        client_config.max_retries = std::stoi(next());
       } else if (arg == "decide" || arg == "report" || arg == "refresh" || arg == "stats") {
         command = arg;
       } else if (arg == "--format") {
@@ -107,7 +118,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    ControllerClient client(port);
+    ControllerClient client(port, client_config);
     if (command == "decide") {
       if (request.options.empty()) {
         std::cerr << "decide requires --options\n";

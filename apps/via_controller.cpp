@@ -9,7 +9,13 @@
 //   via_controller [--port N] [--metric rtt|loss|jitter] [--epsilon E]
 //                  [--budget B] [--refresh-hours T] [--backbone FILE]
 //                  [--stripes N] [--solve-threads N] [--no-prewarm]
+//                  [--max-inflight N]
 //                  [--metrics-dump] [--metrics-format table|json|prom]
+//
+// --max-inflight N: overload shedding — when more than N connections are
+// mid-request, new DecisionRequest/Report/Refresh frames get an explicit
+// Busy reply instead of queueing (clients retry with backoff).  0 (the
+// default) disables shedding.
 //
 // --stripes N: serving-state lock stripes (power of two, max 64).  The
 // daemon defaults to 16 so concurrent clients' decisions for unrelated AS
@@ -123,6 +129,7 @@ int main(int argc, char** argv) {
   config.predictor.tomography.solve_threads =
       static_cast<int>(std::thread::hardware_concurrency());
   BackboneTable backbone;
+  ServerConfig server_config;
   bool metrics_dump = false;
   obs::StatsFormat metrics_format = obs::StatsFormat::Table;
 
@@ -153,6 +160,8 @@ int main(int argc, char** argv) {
             n > 0 ? n : static_cast<int>(std::thread::hardware_concurrency());
       } else if (arg == "--no-prewarm") {
         config.prewarm_pairs = false;
+      } else if (arg == "--max-inflight") {
+        server_config.max_inflight = std::stoll(next());
       } else if (arg == "--metrics-dump") {
         metrics_dump = true;
       } else if (arg == "--metrics-format") {
@@ -162,6 +171,7 @@ int main(int argc, char** argv) {
                      "                      [--epsilon E] [--budget B]\n"
                      "                      [--refresh-hours T] [--backbone FILE]\n"
                      "                      [--stripes N] [--solve-threads N] [--no-prewarm]\n"
+                     "                      [--max-inflight N]\n"
                      "                      [--metrics-dump] [--metrics-format table|json|prom]\n";
         return 0;
       } else {
@@ -191,7 +201,7 @@ int main(int argc, char** argv) {
       options, [&backbone](RelayId a, RelayId b) { return backbone.get(a, b); }, config);
 
   try {
-    ControllerServer server(policy, port);
+    ControllerServer server(policy, port, server_config);
     server.start();
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);

@@ -162,11 +162,16 @@ void BM_BanditPick(benchmark::State& state) {
 BENCHMARK(BM_BanditPick);
 
 /// Shared body for the end-to-end decision bench; `telemetry` toggles the
-/// instrumented path so the two variants differ only in attachment.
-void run_choose_per_call(benchmark::State& state, obs::Telemetry* telemetry) {
+/// instrumented path and `health_enabled` toggles the relay-health filter,
+/// so the variants differ only in those attachments.
+void run_choose_per_call(benchmark::State& state, obs::Telemetry* telemetry,
+                         bool health_enabled = false) {
   auto& gt = bench_gt();
+  ViaConfig config;
+  config.health.enabled = health_enabled;
   ViaPolicy policy(gt.option_table(),
-                   [&](RelayId a, RelayId b) { return gt.backbone(a, b); });
+                   [&](RelayId a, RelayId b) { return gt.backbone(a, b); },
+                   config);
   policy.attach_telemetry(telemetry);
   // Warm up with a day of observations + refresh.
   Rng rng(11);
@@ -213,6 +218,13 @@ void BM_ViaChoosePerCallTelemetry(benchmark::State& state) {
   telemetry.registry.merge_into(obs::MetricsRegistry::process());
 }
 BENCHMARK(BM_ViaChoosePerCallTelemetry);
+
+/// The choose path with the relay-health filter armed but the fleet healthy:
+/// measures the steady-state cost the filter adds (one relaxed hint load).
+void BM_ChooseWithHealthFilter(benchmark::State& state) {
+  run_choose_per_call(state, nullptr, /*health_enabled=*/true);
+}
+BENCHMARK(BM_ChooseWithHealthFilter);
 
 void BM_GroundTruthSample(benchmark::State& state) {
   auto& gt = bench_gt();
@@ -493,6 +505,7 @@ int main(int argc, char** argv) {
   const std::map<std::string, std::string> tracked = {
       {"BM_ViaChoosePerCall", "choose_ns"},
       {"BM_ViaChoosePerCallTelemetry", "choose_telemetry_ns"},
+      {"BM_ChooseWithHealthFilter", "choose_health_ns"},
       {"BM_TopKSelection", "topk_ns"},
       {"BM_TomographySolve/10000", "tomography_solve_10k_ns"},
       {"BM_TomographySolveThreads/1", "tomography_solve_threads_1_ns"},

@@ -54,6 +54,11 @@ class UcbBandit {
   /// Picks the arm with the minimum UCB index; kInvalidOption if armless.
   [[nodiscard]] OptionId pick() const;
 
+  /// pick(), skipping arms whose option the predicate rejects (relay
+  /// quarantine filtering); kInvalidOption when every arm is rejected.
+  template <typename Pred>
+  [[nodiscard]] OptionId pick_if(Pred&& allowed) const;
+
   /// Records an observed cost for an arm (no-op for unknown arms, which can
   /// happen for ε-exploration picks outside the top-k).
   void observe(OptionId option, double cost);
@@ -84,5 +89,35 @@ class UcbBandit {
   std::int64_t total_plays_ = 0;
   BanditConfig config_;
 };
+
+template <typename Pred>
+OptionId UcbBandit::pick_if(Pred&& allowed) const {
+  if (arms_.empty()) return kInvalidOption;
+
+  const double t = static_cast<double>(total_plays_ + 1);
+  double best_index = std::numeric_limits<double>::infinity();
+  OptionId best = kInvalidOption;
+
+  const double w = config_.normalization == BanditNormalization::MaxObserved
+                       ? (max_observed_ > 1e-9 ? max_observed_ : 1e-9)
+                       : w_;
+  const double bonus = std::sqrt(config_.exploration_coefficient * std::log(t));
+  const double inv_w = 1.0 / w;
+  // Same index and tie-breaking as pick(); the predicate only prunes.
+  for (const auto& arm : arms_) {
+    if (!allowed(arm.option)) continue;
+    double index;
+    if (arm.plays == 0) {
+      index = -std::numeric_limits<double>::infinity();
+    } else {
+      index = arm.mean_cost * inv_w - bonus * arm.inv_sqrt_plays;
+    }
+    if (index < best_index) {
+      best_index = index;
+      best = arm.option;
+    }
+  }
+  return best;
+}
 
 }  // namespace via

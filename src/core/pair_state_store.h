@@ -62,6 +62,8 @@ struct ServingStats {
   std::atomic<std::int64_t> cold_start_direct{0};
   std::atomic<std::int64_t> budget_denied{0};
   std::atomic<std::int64_t> relay_cap_denied{0};
+  std::atomic<std::int64_t> quarantine_rerouted{0};
+  std::atomic<std::int64_t> outage_fallback_direct{0};
   std::atomic<std::int64_t> chose_direct{0};
   std::atomic<std::int64_t> chose_bounce{0};
   std::atomic<std::int64_t> chose_transit{0};

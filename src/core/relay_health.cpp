@@ -1,0 +1,143 @@
+#include "core/relay_health.h"
+
+#include <algorithm>
+
+namespace via {
+
+RelayHealthTracker::RelayHealthTracker(RelayHealthConfig config, std::size_t capacity)
+    : config_(config), capacity_(capacity), entries_(new Entry[capacity]) {}
+
+bool RelayHealthTracker::option_blocked(const RelayOption& option, TimeSec now) const noexcept {
+  switch (option.kind) {
+    case RelayKind::Direct:
+      return false;
+    case RelayKind::Bounce:
+      return !allows(option.a, now);
+    case RelayKind::Transit:
+      return !allows(option.a, now) || !allows(option.b, now);
+  }
+  return false;
+}
+
+RelayHealthTracker::Transition RelayHealthTracker::record(const RelayOption& option,
+                                                          bool failed, TimeSec now) {
+  Transition out;
+  auto merge = [&out](Transition t) {
+    out.entered_quarantine |= t.entered_quarantine;
+    out.readmitted |= t.readmitted;
+  };
+  switch (option.kind) {
+    case RelayKind::Direct:
+      break;  // the default path has no relay to track
+    case RelayKind::Bounce:
+      merge(record_one(option.a, failed, now));
+      break;
+    case RelayKind::Transit:
+      merge(record_one(option.a, failed, now));
+      merge(record_one(option.b, failed, now));
+      break;
+  }
+  return out;
+}
+
+RelayHealthTracker::Transition RelayHealthTracker::record_one(RelayId relay, bool failed,
+                                                              TimeSec now) {
+  Transition transition;
+  if (relay < 0 || static_cast<std::size_t>(relay) >= capacity_) return transition;
+  Entry& e = entries_[static_cast<std::size_t>(relay)];
+  const std::lock_guard lock(e.mutex);
+  e.seen = true;
+
+  // A quarantine block that has expired flips to probation on the next
+  // observed call: the relay is being *tried*, not trusted.
+  if (e.state == State::Quarantined &&
+      now >= e.blocked_until.load(std::memory_order_relaxed)) {
+    e.state = State::Probation;
+    e.probation_successes = 0;
+  }
+
+  auto enter_quarantine = [&] {
+    // Block doubles per relapse, clamped so a flapping relay is retried
+    // within bounded time rather than exiled forever.
+    const int shift = std::min(e.relapse_count, config_.escalation_cap);
+    const TimeSec block = config_.quarantine_period * (TimeSec{1} << shift);
+    if (e.state == State::Healthy || e.state == State::Degraded) {
+      blocked_hint_.fetch_add(1, std::memory_order_relaxed);
+    }
+    e.state = State::Quarantined;
+    e.blocked_until.store(now + block, std::memory_order_relaxed);
+    e.relapse_count++;
+    e.probation_successes = 0;
+    quarantine_events_.fetch_add(1, std::memory_order_relaxed);
+    transition.entered_quarantine = true;
+  };
+
+  if (failed) {
+    e.consecutive_failures++;
+    if (e.state == State::Probation) {
+      enter_quarantine();  // one strike on probation: escalated re-block
+    } else if (e.state != State::Quarantined &&
+               e.consecutive_failures >= config_.quarantine_after) {
+      enter_quarantine();
+    } else if (e.state == State::Healthy &&
+               e.consecutive_failures >= config_.degrade_after) {
+      e.state = State::Degraded;
+    }
+    return transition;
+  }
+
+  // Success.
+  if (e.state == State::Probation) {
+    if (++e.probation_successes >= config_.probation_successes) {
+      e.state = State::Healthy;
+      e.consecutive_failures = 0;
+      e.relapse_count = 0;
+      e.blocked_until.store(kNeverBlocked, std::memory_order_relaxed);
+      blocked_hint_.fetch_sub(1, std::memory_order_relaxed);
+      readmissions_.fetch_add(1, std::memory_order_relaxed);
+      transition.readmitted = true;
+    }
+  } else if (e.state != State::Quarantined) {
+    e.consecutive_failures = 0;
+    if (e.state == State::Degraded) e.state = State::Healthy;
+  }
+  return transition;
+}
+
+RelayHealthTracker::Counts RelayHealthTracker::counts(TimeSec now) const {
+  Counts c;
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    const Entry& e = entries_[i];
+    const std::lock_guard lock(e.mutex);
+    if (!e.seen) continue;
+    switch (e.state) {
+      case State::Healthy:
+        c.healthy++;
+        break;
+      case State::Degraded:
+        c.degraded++;
+        break;
+      case State::Quarantined:
+        // An expired block is probation-in-waiting, not an active outage.
+        if (now < e.blocked_until.load(std::memory_order_relaxed)) {
+          c.quarantined++;
+        } else {
+          c.probation++;
+        }
+        break;
+      case State::Probation:
+        c.probation++;
+        break;
+    }
+  }
+  return c;
+}
+
+RelayHealthTracker::State RelayHealthTracker::state_of(RelayId relay) const {
+  if (relay < 0 || static_cast<std::size_t>(relay) >= capacity_) return State::Healthy;
+  const Entry& e = entries_[static_cast<std::size_t>(relay)];
+  const std::lock_guard lock(e.mutex);
+  return e.state;
+}
+
+}  // namespace via

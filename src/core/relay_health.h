@@ -1,0 +1,129 @@
+// Per-relay health state machine (DESIGN.md §6f): the controller-side
+// defense against a dead relay winning top-k on stale history.
+//
+//     healthy --consecutive failures >= degrade_after--> degraded
+//     degraded --consecutive failures >= quarantine_after--> quarantined
+//     quarantined --block expires--> probation
+//     probation --probation_successes successes--> healthy
+//     probation --any failure--> quarantined (escalated block)
+//
+// "Failure" is an observation whose metrics cross the configured
+// catastrophic thresholds (an outage sample, a timed-out call reported
+// with 100% loss).  While quarantined, ViaPolicy::choose() filters the
+// relay's options out of candidate picks; when the block expires the next
+// pick is allowed through on probation, and a clean streak re-admits the
+// relay while a single failure re-quarantines it with a doubled block.
+//
+// Concurrency: the choose() hot path asks only allows()/option_blocked(),
+// which read one relaxed atomic per relay — plus a single "is anything
+// blocked at all" hint that keeps the fully-healthy fleet at one load per
+// call.  State transitions (observe() path) take a per-relay mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+
+#include "common/relay_option.h"
+#include "common/types.h"
+
+namespace via {
+
+struct RelayHealthConfig {
+  /// Master switch.  Disabled (the default) the tracker is never even
+  /// consulted, preserving bit-identical golden replays.
+  bool enabled = false;
+  int degrade_after = 2;     ///< consecutive failures => degraded
+  int quarantine_after = 3;  ///< consecutive failures => quarantined
+  TimeSec quarantine_period = 1800;  ///< initial block; doubles per relapse
+  int escalation_cap = 8;    ///< max block multiplier (2^k clamp)
+  int probation_successes = 2;  ///< clean probation calls to re-admit
+  /// Catastrophic-observation thresholds (either crossing counts).
+  double failure_rtt_ms = 1500.0;
+  double failure_loss_pct = 50.0;
+};
+
+class RelayHealthTracker {
+ public:
+  /// Relays with ids >= capacity are never tracked (and never blocked).
+  explicit RelayHealthTracker(RelayHealthConfig config = {}, std::size_t capacity = 1024);
+
+  RelayHealthTracker(const RelayHealthTracker&) = delete;
+  RelayHealthTracker& operator=(const RelayHealthTracker&) = delete;
+
+  enum class State : std::uint8_t { Healthy = 0, Degraded = 1, Quarantined = 2, Probation = 3 };
+
+  /// What one recorded observation did to the relay's state; the policy
+  /// turns these into telemetry events.
+  struct Transition {
+    bool entered_quarantine = false;
+    bool readmitted = false;
+  };
+
+  /// Records one observation outcome for every relay `option` rides
+  /// (Direct records nothing).  `failed` per the caller's thresholds.
+  Transition record(const RelayOption& option, bool failed, TimeSec now);
+
+  /// Hot-path gate: false while the relay's quarantine block is active.
+  [[nodiscard]] bool allows(RelayId relay, TimeSec now) const noexcept {
+    if (relay < 0 || static_cast<std::size_t>(relay) >= capacity_) return true;
+    return now >= entries_[static_cast<std::size_t>(relay)].blocked_until.load(
+                      std::memory_order_relaxed);
+  }
+
+  /// Whether any relay the option rides is currently blocked.
+  [[nodiscard]] bool option_blocked(const RelayOption& option, TimeSec now) const noexcept;
+
+  /// Conservative "anything blocked?" hint: true from the first quarantine
+  /// until the relay is re-admitted (it may stay true across a passive
+  /// block expiry — that only costs the per-option check, never a wrong
+  /// filter).  One relaxed load; false keeps choose() at exactly that.
+  [[nodiscard]] bool maybe_blocked() const noexcept {
+    return blocked_hint_.load(std::memory_order_relaxed) > 0;
+  }
+
+  struct Counts {
+    int healthy = 0;
+    int degraded = 0;
+    int quarantined = 0;  ///< block still active at `now`
+    int probation = 0;
+  };
+  /// State census over every relay that has ever recorded an observation.
+  [[nodiscard]] Counts counts(TimeSec now) const;
+
+  [[nodiscard]] std::int64_t quarantine_events() const noexcept {
+    return quarantine_events_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t readmissions() const noexcept {
+    return readmissions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] State state_of(RelayId relay) const;
+
+  [[nodiscard]] const RelayHealthConfig& config() const noexcept { return config_; }
+
+ private:
+  static constexpr TimeSec kNeverBlocked = std::numeric_limits<TimeSec>::min();
+
+  struct Entry {
+    std::atomic<TimeSec> blocked_until{kNeverBlocked};  ///< hot-path gate
+    mutable std::mutex mutex;  ///< guards everything below
+    State state = State::Healthy;
+    int consecutive_failures = 0;
+    int probation_successes = 0;
+    int relapse_count = 0;  ///< quarantine spells; drives block escalation
+    bool seen = false;      ///< has ever recorded an observation
+  };
+
+  Transition record_one(RelayId relay, bool failed, TimeSec now);
+
+  RelayHealthConfig config_;
+  std::size_t capacity_;
+  std::unique_ptr<Entry[]> entries_;
+  std::atomic<std::int64_t> blocked_hint_{0};
+  std::atomic<std::int64_t> quarantine_events_{0};
+  std::atomic<std::int64_t> readmissions_{0};
+};
+
+}  // namespace via

@@ -20,6 +20,12 @@ void ViaPolicy::attach_telemetry(obs::Telemetry* telemetry) {
   inst_.epsilon_explore = &r.counter("policy.decision.epsilon_explore");
   inst_.budget_veto = &r.counter("policy.decision.budget_veto");
   inst_.fallback_direct = &r.counter("policy.decision.fallback_direct");
+  inst_.quarantined_relay = &r.counter("policy.decision.quarantined_relay");
+  inst_.fallback_direct_outage = &r.counter("policy.decision.fallback_direct_outage");
+  inst_.health_quarantine_events = &r.counter("policy.health.quarantine_events");
+  inst_.health_readmissions = &r.counter("policy.health.readmissions");
+  inst_.health_quarantined = &r.gauge("policy.health.quarantined");
+  inst_.health_degraded = &r.gauge("policy.health.degraded");
   inst_.choice_direct = &r.counter("policy.choice.direct");
   inst_.choice_bounce = &r.counter("policy.choice.bounce");
   inst_.choice_transit = &r.counter("policy.choice.transit");
@@ -53,6 +59,12 @@ void ViaPolicy::trace_decision(const CallContext& call, OptionId option,
     case obs::DecisionReason::FallbackDirect:
       inst_.fallback_direct->inc();
       break;
+    case obs::DecisionReason::QuarantinedRelay:
+      inst_.quarantined_relay->inc();
+      break;
+    case obs::DecisionReason::FallbackDirectOutage:
+      inst_.fallback_direct_outage->inc();
+      break;
     case obs::DecisionReason::BackgroundRelay:
       break;  // engine-tagged, never emitted by the policy
   }
@@ -85,7 +97,8 @@ ViaPolicy::ViaPolicy(const RelayOptionTable& options, BackboneFn backbone, ViaCo
       current_window_(&options),
       snapshot_(std::make_shared<const ModelSnapshot>(options, backbone_, config.target,
                                                       config.predictor, config.topk)),
-      store_(config.seed, config.serving_stripes, config.budget, config.relay_share_cap) {}
+      store_(config.seed, config.serving_stripes, config.budget, config.relay_share_cap),
+      health_(config.health) {}
 
 ViaPolicy::~ViaPolicy() = default;
 
@@ -274,12 +287,32 @@ OptionId ViaPolicy::choose(const CallContext& call) {
     }
   }
 
+  // §6f relay health: with the state machine enabled AND at least one
+  // relay possibly quarantined, picks that ride a blocked relay are
+  // filtered.  The healthy-fleet fast path is one relaxed load; disabled,
+  // the whole block folds to `false` and the decision flow (including
+  // every RNG draw) is bit-identical to a health-unaware policy.
+  const bool health_active = config_.health.enabled && health_.maybe_blocked();
+  auto health_blocks = [&](OptionId opt) {
+    return health_active && opt != direct &&
+           health_.option_blocked(options_->get(opt), call.time);
+  };
+
   // Stage 4b: ε general exploration over *all* candidate options, keeping
   // the pruning honest under non-stationary performance.  Exploration
   // calls bypass the benefit threshold but still consume budget tokens.
   if (!call.options.empty() && stripe.rng.uniform() < config_.epsilon) {
     const OptionId pick =
         call.options[static_cast<std::size_t>(stripe.rng.uniform_index(call.options.size()))];
+    if (health_blocks(pick)) {
+      // Exploration must not hand traffic to a quarantined relay; the
+      // probe that re-admits it comes from probation, not from ε.
+      stats.quarantine_rerouted.fetch_add(1, std::memory_order_relaxed);
+      count_choice(direct);
+      trace_decision(call, direct, obs::DecisionReason::QuarantinedRelay, pair.top_k,
+                     state.bandit.total_plays());
+      return direct;
+    }
     if (pick == direct ||
         (store_.budget_allow_relay(std::numeric_limits<double>::infinity()) &&
          store_.relay_cap_allows(options_->get(pick)))) {
@@ -297,7 +330,7 @@ OptionId ViaPolicy::choose(const CallContext& call) {
   }
 
   // Stage 4a: modified-UCB1 over the top-k candidates.
-  const OptionId pick = state.bandit.pick();
+  OptionId pick = state.bandit.pick();
   if (pick == kInvalidOption) {
     // Cold start: no predictable candidate yet.
     stats.cold_start_direct.fetch_add(1, std::memory_order_relaxed);
@@ -305,6 +338,23 @@ OptionId ViaPolicy::choose(const CallContext& call) {
     trace_decision(call, direct, obs::DecisionReason::FallbackDirect, pair.top_k,
                    state.bandit.total_plays());
     return direct;
+  }
+  obs::DecisionReason served_reason = obs::DecisionReason::Ucb;
+  bool rerouted = false;
+  if (health_blocks(pick)) {
+    // The bandit's pick rides a quarantined relay: substitute its best
+    // unblocked arm, or fall all the way back to direct when the outage
+    // has taken the entire candidate set down.
+    pick = state.bandit.pick_if([&](OptionId o) { return !health_blocks(o); });
+    if (pick == kInvalidOption) {
+      stats.outage_fallback_direct.fetch_add(1, std::memory_order_relaxed);
+      count_choice(direct);
+      trace_decision(call, direct, obs::DecisionReason::FallbackDirectOutage, pair.top_k,
+                     state.bandit.total_plays());
+      return direct;
+    }
+    served_reason = obs::DecisionReason::QuarantinedRelay;
+    rerouted = true;
   }
   if (pick != direct) {
     if (!store_.budget_allow_relay(pair.predicted_benefit)) {
@@ -322,9 +372,10 @@ OptionId ViaPolicy::choose(const CallContext& call) {
       return direct;
     }
   }
-  stats.bandit_served.fetch_add(1, std::memory_order_relaxed);
+  (rerouted ? stats.quarantine_rerouted : stats.bandit_served)
+      .fetch_add(1, std::memory_order_relaxed);
   count_choice(pick);
-  trace_decision(call, pick, obs::DecisionReason::Ucb, pair.top_k, state.bandit.total_plays());
+  trace_decision(call, pick, served_reason, pair.top_k, state.bandit.total_plays());
   return pick;
 }
 
@@ -339,13 +390,33 @@ void ViaPolicy::observe(const Observation& obs) {
     inst_.trace->fill_observed(obs.id, obs.perf.get(config_.target));
   }
 
-  const std::shared_ptr<const ModelSnapshot> snap = model();
-  const std::uint64_t key = as_pair_key(obs.src_as, obs.dst_as);
-  PairStateStore::Stripe& stripe = store_.stripe(key);
-  const std::lock_guard lock(stripe.mutex);
-  PairServingState* state = stripe.pairs.find(key);
-  if (state != nullptr && state->period == snap->period()) {
-    state->bandit.observe(obs.option, obs.perf.get(config_.target));
+  {
+    const std::shared_ptr<const ModelSnapshot> snap = model();
+    const std::uint64_t key = as_pair_key(obs.src_as, obs.dst_as);
+    PairStateStore::Stripe& stripe = store_.stripe(key);
+    const std::lock_guard lock(stripe.mutex);
+    PairServingState* state = stripe.pairs.find(key);
+    if (state != nullptr && state->period == snap->period()) {
+      state->bandit.observe(obs.option, obs.perf.get(config_.target));
+    }
+  }
+
+  // §6f relay health: classify the observation against the catastrophic
+  // thresholds and advance the state machine of every relay it rode.
+  if (config_.health.enabled) {
+    const RelayOption& ropt = options_->get(obs.option);
+    if (ropt.kind != RelayKind::Direct) {
+      const bool failed = obs.perf.rtt_ms >= config_.health.failure_rtt_ms ||
+                          obs.perf.loss_pct >= config_.health.failure_loss_pct;
+      const RelayHealthTracker::Transition t = health_.record(ropt, failed, obs.time);
+      if ((t.entered_quarantine || t.readmitted) && inst_.trace != nullptr) {
+        if (t.entered_quarantine) inst_.health_quarantine_events->inc();
+        if (t.readmitted) inst_.health_readmissions->inc();
+        const RelayHealthTracker::Counts counts = health_.counts(obs.time);
+        inst_.health_quarantined->set(static_cast<double>(counts.quarantined));
+        inst_.health_degraded->set(static_cast<double>(counts.degraded));
+      }
+    }
   }
 }
 
@@ -358,6 +429,8 @@ ViaPolicy::Stats ViaPolicy::stats() const noexcept {
   out.cold_start_direct = s.cold_start_direct.load(std::memory_order_relaxed);
   out.budget_denied = s.budget_denied.load(std::memory_order_relaxed);
   out.relay_cap_denied = s.relay_cap_denied.load(std::memory_order_relaxed);
+  out.quarantine_rerouted = s.quarantine_rerouted.load(std::memory_order_relaxed);
+  out.outage_fallback_direct = s.outage_fallback_direct.load(std::memory_order_relaxed);
   out.chose_direct = s.chose_direct.load(std::memory_order_relaxed);
   out.chose_bounce = s.chose_bounce.load(std::memory_order_relaxed);
   out.chose_transit = s.chose_transit.load(std::memory_order_relaxed);

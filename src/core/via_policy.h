@@ -32,6 +32,7 @@
 #include "core/pair_state_store.h"
 #include "core/policy.h"
 #include "core/predictor.h"
+#include "core/relay_health.h"
 #include "core/topk.h"
 #include "util/rng.h"
 
@@ -61,6 +62,13 @@ struct ViaConfig {
   /// single relay may carry more than this fraction of the relayed calls.
   /// 1.0 disables the cap.
   double relay_share_cap = 1.0;
+
+  /// Per-relay health state machine (DESIGN.md §6f): quarantines relays
+  /// after consecutive catastrophic observations and filters them out of
+  /// candidate picks until probation re-admits them.  Disabled by default —
+  /// with it off (or on but with no relay ever quarantined) decisions are
+  /// bit-identical to a health-unaware policy.
+  RelayHealthConfig health;
 
   /// Active-measurement planning (paper §7): remember up to this many
   /// coverage holes (candidate options with no prediction) per refresh
@@ -133,6 +141,8 @@ class ViaPolicy final : public RoutingPolicy, private PairBuildObserver {
     std::int64_t cold_start_direct = 0; ///< no prediction available yet
     std::int64_t budget_denied = 0;
     std::int64_t relay_cap_denied = 0;
+    std::int64_t quarantine_rerouted = 0;    ///< pick hit a quarantined relay; substituted
+    std::int64_t outage_fallback_direct = 0; ///< every candidate quarantined; direct used
     std::int64_t chose_direct = 0;
     std::int64_t chose_bounce = 0;
     std::int64_t chose_transit = 0;
@@ -158,6 +168,9 @@ class ViaPolicy final : public RoutingPolicy, private PairBuildObserver {
   /// memoized into the snapshot, which is logically immutable.
   [[nodiscard]] std::vector<RankedOption> top_k_for(const CallContext& call) const;
 
+  /// The per-relay health state machine (read-only; observe() drives it).
+  [[nodiscard]] const RelayHealthTracker& relay_health() const noexcept { return health_; }
+
  private:
   /// Cached instrument pointers, all null while no telemetry is attached.
   struct Instruments {
@@ -170,6 +183,12 @@ class ViaPolicy final : public RoutingPolicy, private PairBuildObserver {
     obs::Counter* epsilon_explore = nullptr;
     obs::Counter* budget_veto = nullptr;
     obs::Counter* fallback_direct = nullptr;
+    obs::Counter* quarantined_relay = nullptr;
+    obs::Counter* fallback_direct_outage = nullptr;
+    obs::Counter* health_quarantine_events = nullptr;
+    obs::Counter* health_readmissions = nullptr;
+    obs::Gauge* health_quarantined = nullptr;
+    obs::Gauge* health_degraded = nullptr;
     obs::Counter* choice_direct = nullptr;
     obs::Counter* choice_bounce = nullptr;
     obs::Counter* choice_transit = nullptr;
@@ -210,6 +229,10 @@ class ViaPolicy final : public RoutingPolicy, private PairBuildObserver {
 
   /// The striped mutable serving state (stages 1 & 4).
   PairStateStore store_;
+
+  /// Per-relay health (§6f); consulted by choose() only while
+  /// config_.health.enabled, fed by observe().
+  RelayHealthTracker health_;
 
   std::mutex wishlist_mutex_;
   std::vector<ProbeRequest> probe_wishlist_;  ///< guarded by wishlist_mutex_

@@ -26,9 +26,11 @@ enum class DecisionReason : std::uint8_t {
   BudgetVeto = 2,      ///< relay denied by budget/relay-cap; direct used
   FallbackDirect = 3,  ///< cold start: nothing predictable, direct used
   BackgroundRelay = 4, ///< connectivity-relayed traffic, not a policy pick
+  QuarantinedRelay = 5,    ///< pick used a quarantined relay; rerouted
+  FallbackDirectOutage = 6,///< all top-k candidates quarantined; direct used
 };
 
-inline constexpr std::size_t kNumDecisionReasons = 5;
+inline constexpr std::size_t kNumDecisionReasons = 7;
 
 [[nodiscard]] constexpr std::string_view decision_reason_name(DecisionReason r) noexcept {
   switch (r) {
@@ -42,6 +44,10 @@ inline constexpr std::size_t kNumDecisionReasons = 5;
       return "fallback_direct";
     case DecisionReason::BackgroundRelay:
       return "background_relay";
+    case DecisionReason::QuarantinedRelay:
+      return "quarantined_relay";
+    case DecisionReason::FallbackDirectOutage:
+      return "fallback_direct_outage";
   }
   return "?";
 }

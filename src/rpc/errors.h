@@ -1,0 +1,53 @@
+// Typed RPC failure taxonomy.  Every failure a ControllerClient round trip
+// can hit maps onto one of four kinds, which is what the retry policy and
+// the per-kind telemetry counters key on:
+//
+//   Timeout  — the request deadline expired (poll-based socket timeout).
+//              Retryable; the connection must be dropped first, because a
+//              late response would desynchronize the stream.
+//   Reset    — the peer closed or reset the connection (including injected
+//              resets from FaultyConnection).  Retryable after reconnect.
+//   Protocol — the bytes were delivered but wrong: malformed frame, an
+//              explicit Error reply, or an unexpected response type.  NOT
+//              retryable — the same request would fail the same way.
+//   Busy     — the server shed the request under overload (explicit Busy
+//              frame).  Retryable after backoff on the same connection.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace via {
+
+enum class RpcErrorKind : std::uint8_t { Timeout = 0, Reset = 1, Protocol = 2, Busy = 3 };
+
+[[nodiscard]] constexpr std::string_view rpc_error_kind_name(RpcErrorKind k) noexcept {
+  switch (k) {
+    case RpcErrorKind::Timeout:
+      return "timeout";
+    case RpcErrorKind::Reset:
+      return "reset";
+    case RpcErrorKind::Protocol:
+      return "protocol";
+    case RpcErrorKind::Busy:
+      return "busy";
+  }
+  return "?";
+}
+
+class RpcError : public std::runtime_error {
+ public:
+  RpcError(RpcErrorKind kind, const std::string& what)
+      : std::runtime_error(std::string(rpc_error_kind_name(kind)) + ": " + what),
+        kind_(kind) {}
+
+  [[nodiscard]] RpcErrorKind kind() const noexcept { return kind_; }
+  /// Whether a retry of the same request could plausibly succeed.
+  [[nodiscard]] bool retryable() const noexcept { return kind_ != RpcErrorKind::Protocol; }
+
+ private:
+  RpcErrorKind kind_;
+};
+
+}  // namespace via

@@ -1,0 +1,58 @@
+#include "rpc/faulty_connection.h"
+
+#include <chrono>
+#include <thread>
+
+#include "rpc/errors.h"
+#include "util/rng.h"
+
+namespace via {
+
+FaultAction FaultSchedule::next_action() {
+  const std::int64_t frame = frames_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.max_faults >= 0 &&
+      injected_.load(std::memory_order_relaxed) >= config_.max_faults) {
+    return FaultAction::Pass;
+  }
+  // One deterministic draw per frame; the cumulative-probability ladder
+  // mirrors how the config reads.
+  const double u = hashed_uniform(hash_mix(config_.seed, static_cast<std::uint64_t>(frame)));
+  double edge = config_.drop_prob;
+  FaultAction action = FaultAction::Pass;
+  if (u < edge) {
+    action = FaultAction::Drop;
+  } else if (u < (edge += config_.delay_prob)) {
+    action = FaultAction::Delay;
+  } else if (u < (edge += config_.truncate_prob)) {
+    action = FaultAction::Truncate;
+  } else if (u < (edge += config_.reset_prob)) {
+    action = FaultAction::Reset;
+  }
+  if (action != FaultAction::Pass) injected_.fetch_add(1, std::memory_order_relaxed);
+  return action;
+}
+
+void FaultyConnection::send_all(std::span<const std::byte> data) {
+  switch (schedule_->next_action()) {
+    case FaultAction::Pass:
+      TcpConnection::send_all(data);
+      return;
+    case FaultAction::Drop:
+      // The peer never sees the request; the caller's recv deadline fires.
+      return;
+    case FaultAction::Delay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(schedule_->config().delay_ms));
+      TcpConnection::send_all(data);
+      return;
+    case FaultAction::Truncate:
+      // Half a frame, then a close: the peer sees a mid-frame EOF.
+      TcpConnection::send_all(data.first(data.size() / 2));
+      close();
+      throw RpcError(RpcErrorKind::Reset, "injected truncation");
+    case FaultAction::Reset:
+      close();
+      throw RpcError(RpcErrorKind::Reset, "injected reset");
+  }
+}
+
+}  // namespace via

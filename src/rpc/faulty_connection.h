@@ -1,0 +1,72 @@
+// Deterministic frame-level fault injection for chaos tests (DESIGN.md
+// §6f).  A FaultyConnection wraps a real TcpConnection and, per *sent*
+// frame (send_frame emits exactly one send_all per frame), consults a
+// shared FaultSchedule to decide whether to pass the frame through, drop
+// it (the peer never sees the request — the client's deadline fires),
+// delay it, truncate it mid-frame and close (the peer sees a mid-frame
+// EOF), or reset the connection outright.
+//
+// The schedule is hash-driven off a seed and a monotone frame counter, so
+// a given (seed, probabilities) pair injects the exact same fault sequence
+// on every run — chaos tests are reproducible.  One schedule is shared
+// across all reconnects of a client (and across clients, if desired), so
+// the fault density is a property of the run, not of any one connection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "rpc/socket.h"
+
+namespace via {
+
+enum class FaultAction : std::uint8_t { Pass = 0, Drop = 1, Delay = 2, Truncate = 3, Reset = 4 };
+
+struct FaultScheduleConfig {
+  std::uint64_t seed = 0xFA017;
+  double drop_prob = 0.0;      ///< swallow the frame (peer sees nothing)
+  double delay_prob = 0.0;     ///< sleep delay_ms, then deliver
+  double truncate_prob = 0.0;  ///< send half the frame, then close
+  double reset_prob = 0.0;     ///< close the socket and fail the call
+  int delay_ms = 20;
+  /// Stop injecting after this many faults (-1 = unlimited); lets a chaos
+  /// test guarantee forward progress even with aggressive probabilities.
+  int max_faults = -1;
+};
+
+/// Thread-safe, deterministic per-frame fault decider.
+class FaultSchedule {
+ public:
+  explicit FaultSchedule(FaultScheduleConfig config = {}) : config_(config) {}
+
+  /// The action for the next outbound frame.
+  [[nodiscard]] FaultAction next_action();
+
+  [[nodiscard]] const FaultScheduleConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::int64_t frames() const noexcept { return frames_.load(); }
+  [[nodiscard]] std::int64_t faults_injected() const noexcept { return injected_.load(); }
+
+ private:
+  FaultScheduleConfig config_;
+  std::atomic<std::int64_t> frames_{0};
+  std::atomic<std::int64_t> injected_{0};
+};
+
+/// A TcpConnection whose outbound frames suffer the schedule's faults.
+/// Inbound I/O passes through untouched (a dropped request already implies
+/// a missing response).
+class FaultyConnection final : public TcpConnection {
+ public:
+  /// Takes over the transport of `base`; `schedule` must outlive the
+  /// connection and may be shared across connections.
+  FaultyConnection(TcpConnection base, FaultSchedule* schedule)
+      : TcpConnection(std::move(base)), schedule_(schedule) {}
+
+  void send_all(std::span<const std::byte> data) override;
+
+ private:
+  FaultSchedule* schedule_;
+};
+
+}  // namespace via

@@ -3,15 +3,18 @@
 namespace via {
 
 void send_frame(TcpConnection& conn, std::uint8_t type, std::span<const std::byte> payload) {
-  if (payload.size() > kMaxPayload) throw std::runtime_error("payload too large");
-  std::vector<std::byte> header(5);
+  if (payload.size() > kMaxPayload) throw ProtocolError("payload too large");
+  // Header and payload go out as ONE send_all call: besides saving a
+  // syscall, this is what lets the fault injector (faulty_connection.h)
+  // drop/delay/truncate at whole-frame granularity.
+  std::vector<std::byte> frame(5 + payload.size());
   const auto len = static_cast<std::uint32_t>(payload.size());
   for (std::size_t i = 0; i < 4; ++i) {
-    header[i] = static_cast<std::byte>((len >> (8 * i)) & 0xFF);
+    frame[i] = static_cast<std::byte>((len >> (8 * i)) & 0xFF);
   }
-  header[4] = static_cast<std::byte>(type);
-  conn.send_all(header);
-  if (!payload.empty()) conn.send_all(payload);
+  frame[4] = static_cast<std::byte>(type);
+  if (!payload.empty()) std::memcpy(frame.data() + 5, payload.data(), payload.size());
+  conn.send_all(frame);
 }
 
 bool recv_frame(TcpConnection& conn, Frame& out) {
@@ -21,7 +24,7 @@ bool recv_frame(TcpConnection& conn, Frame& out) {
   for (std::size_t i = 0; i < 4; ++i) {
     len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
   }
-  if (len > kMaxPayload) throw std::runtime_error("frame too large");
+  if (len > kMaxPayload) throw ProtocolError("frame too large");
   out.type = static_cast<std::uint8_t>(header[4]);
   out.payload.resize(len);
   if (len > 0 && !conn.recv_all(out.payload)) {

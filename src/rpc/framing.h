@@ -19,6 +19,16 @@ namespace via {
 
 inline constexpr std::size_t kMaxPayload = 1 << 20;
 
+/// The peer sent bytes that violate the protocol: an oversized frame, a
+/// truncated message body, or an unexpected message type.  Distinct from
+/// I/O failures (std::system_error / runtime_error) so the server can
+/// answer with an explicit Error frame instead of just dropping the
+/// connection, and so the client can classify it as non-retryable.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Appends primitive values to a byte buffer (little-endian).
 class WireWriter {
  public:
@@ -70,15 +80,18 @@ class WireReader {
   }
   [[nodiscard]] std::string str() {
     const std::uint32_t n = u32();
-    if (n > kMaxPayload) throw std::runtime_error("string too large");
+    if (n > kMaxPayload) throw ProtocolError("string too large");
     const auto bytes = take(n);
     return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
   }
   [[nodiscard]] bool exhausted() const noexcept { return data_.empty(); }
+  /// Unconsumed bytes; lets message decoders bounds-check declared element
+  /// counts against what the frame can actually hold.
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size(); }
 
  private:
   std::span<const std::byte> take(std::size_t n) {
-    if (data_.size() < n) throw std::runtime_error("message underrun");
+    if (data_.size() < n) throw ProtocolError("message underrun");
     const auto out = data_.first(n);
     data_ = data_.subspan(n);
     return out;

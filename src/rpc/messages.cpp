@@ -18,7 +18,11 @@ DecisionRequest DecisionRequest::decode(WireReader& r) {
   m.src_as = r.i32();
   m.dst_as = r.i32();
   const std::uint32_t n = r.u32();
-  if (n > 100'000) throw std::runtime_error("too many options");
+  // A count the frame cannot possibly hold (4 bytes per option) is a
+  // malformed message, not an allocation request.
+  if (n > 100'000 || n * sizeof(std::int32_t) > r.remaining()) {
+    throw ProtocolError("too many options");
+  }
   m.options.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) m.options.push_back(r.i32());
   return m;
@@ -82,6 +86,18 @@ void StatsResponse::encode(WireWriter& w) const { w.str(text); }
 
 StatsResponse StatsResponse::decode(WireReader& r) {
   StatsResponse m;
+  m.text = r.str();
+  return m;
+}
+
+void ErrorMsg::encode(WireWriter& w) const {
+  w.u8(request_type);
+  w.str(text);
+}
+
+ErrorMsg ErrorMsg::decode(WireReader& r) {
+  ErrorMsg m;
+  m.request_type = r.u8();
   m.text = r.str();
   return m;
 }

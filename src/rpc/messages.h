@@ -25,6 +25,12 @@ enum class MsgType : std::uint8_t {
   Shutdown = 7,
   GetStats = 8,       ///< live telemetry query (src/obs/ registry snapshot)
   GetStatsResponse = 9,
+  /// Server-to-client failure replies (graceful degradation, DESIGN.md
+  /// §6f): Error reports a protocol violation before the server closes the
+  /// connection; Busy (empty payload) sheds a request under overload — the
+  /// client backs off and retries.
+  Error = 10,
+  Busy = 11,
 };
 
 struct DecisionRequest {
@@ -77,6 +83,17 @@ struct StatsResponse {
 
   void encode(WireWriter& w) const;
   [[nodiscard]] static StatsResponse decode(WireReader& r);
+};
+
+/// Payload of an MsgType::Error reply: the request frame type that failed
+/// and a short human-readable reason.  The server closes the connection
+/// right after sending one.
+struct ErrorMsg {
+  std::uint8_t request_type = 0;
+  std::string text;
+
+  void encode(WireWriter& w) const;
+  [[nodiscard]] static ErrorMsg decode(WireReader& r);
 };
 
 }  // namespace via

@@ -2,11 +2,13 @@
 
 #include <sys/socket.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/export.h"
+#include "util/rng.h"
 
 namespace via {
 
@@ -42,14 +44,20 @@ class PolicyLock {
 };
 }  // namespace
 
-ControllerServer::ControllerServer(RoutingPolicy& policy, std::uint16_t port)
+ControllerServer::ControllerServer(RoutingPolicy& policy, std::uint16_t port, ServerConfig config)
     : policy_(&policy),
+      config_(config),
       tel_accepted_(&telemetry_.registry.counter("rpc.server.accepted_connections")),
       tel_conn_errors_(&telemetry_.registry.counter("rpc.server.connection_errors")),
       tel_bytes_in_(&telemetry_.registry.counter("rpc.server.bytes_in")),
       tel_bytes_out_(&telemetry_.registry.counter("rpc.server.bytes_out")),
       tel_decisions_(&telemetry_.registry.counter("rpc.server.decisions")),
       tel_reports_(&telemetry_.registry.counter("rpc.server.reports")),
+      tel_busy_(&telemetry_.registry.counter("rpc.server.busy_rejected")),
+      tel_protocol_errors_(&telemetry_.registry.counter("rpc.server.protocol_errors")),
+      tel_dup_reports_(&telemetry_.registry.counter("rpc.server.duplicate_reports")),
+      tel_dup_refreshes_(&telemetry_.registry.counter("rpc.server.duplicate_refreshes")),
+      tel_forced_closes_(&telemetry_.registry.counter("rpc.server.drain_forced_closes")),
       tel_request_us_(
           &telemetry_.registry.histogram("rpc.server.request_us", obs::kLatencyBoundsUs)),
       tel_inflight_(&telemetry_.registry.gauge("rpc.server.inflight")),
@@ -93,10 +101,22 @@ void ControllerServer::stop() {
   refresh_work_cv_.notify_all();
   // Handlers splice themselves onto finished_ as their last act; drain
   // until every live handler has come through, then join them all.
+  // Graceful drain (§6f): give in-flight requests drain_timeout_ms to
+  // finish on their own, then force the remaining connections' sockets
+  // shut — their handlers wake with a read error and exit.
   std::list<std::thread> done;
   {
     std::unique_lock lock(handlers_mutex_);
-    handlers_cv_.wait(lock, [this] { return handlers_.empty(); });
+    const bool drained =
+        handlers_cv_.wait_for(lock, std::chrono::milliseconds(config_.drain_timeout_ms),
+                              [this] { return handlers_.empty(); });
+    if (!drained) {
+      for (const int fd : conn_fds_) {
+        ::shutdown(fd, SHUT_RDWR);
+        tel_forced_closes_->inc();
+      }
+      handlers_cv_.wait(lock, [this] { return handlers_.empty(); });
+    }
     done.splice(done.end(), finished_);
   }
   if (builder_thread_.joinable()) builder_thread_.join();
@@ -204,7 +224,36 @@ void ControllerServer::accept_loop() {
   }
 }
 
+bool ControllerServer::note_report_seen(const Observation& obs) {
+  const std::uint64_t key = hash_mix(static_cast<std::uint64_t>(obs.id),
+                                     static_cast<std::uint64_t>(obs.option),
+                                     static_cast<std::uint64_t>(obs.time));
+  const std::lock_guard lock(dedup_mutex_);
+  if (!dedup_set_.insert(key).second) return false;
+  dedup_fifo_.push_back(key);
+  if (dedup_fifo_.size() > config_.report_dedup_window) {
+    dedup_set_.erase(dedup_fifo_.front());
+    dedup_fifo_.pop_front();
+  }
+  return true;
+}
+
 void ControllerServer::handle_connection(TcpConnection conn) {
+  // Register the live socket so a drain timeout can force it shut; the
+  // guard unregisters while `conn` is still open (destroyed before the
+  // parameter), so a forced ::shutdown never hits a recycled fd.
+  {
+    const std::lock_guard lock(handlers_mutex_);
+    conn_fds_.insert(conn.fd());
+  }
+  struct FdGuard {
+    ControllerServer* server;
+    int fd;
+    ~FdGuard() {
+      const std::lock_guard lock(server->handlers_mutex_);
+      server->conn_fds_.erase(fd);
+    }
+  } fd_guard{this, conn.fd()};
   Frame frame;
   try {
     while (recv_frame(conn, frame)) {
@@ -212,7 +261,8 @@ void ControllerServer::handle_connection(TcpConnection conn) {
       const obs::ScopedTimer request_timer(*tel_request_us_);
       // Requests currently being served across all handler threads; the
       // gauge tracks it so GetStats shows live server pressure.
-      tel_inflight_->set(static_cast<double>(inflight_.fetch_add(1) + 1));
+      const std::int64_t inflight_now = inflight_.fetch_add(1) + 1;
+      tel_inflight_->set(static_cast<double>(inflight_now));
       struct InflightGuard {
         ControllerServer* server;
         ~InflightGuard() {
@@ -227,7 +277,20 @@ void ControllerServer::handle_connection(TcpConnection conn) {
                             kFrameHeaderBytes);
         send_frame(conn, static_cast<std::uint8_t>(type), writer.bytes());
       };
-      switch (static_cast<MsgType>(frame.type)) {
+      // Overload shedding (§6f): past the inflight cap, work-generating
+      // requests get an immediate Busy instead of queueing on the policy
+      // lock; the client backs off and retries.  GetStats/Shutdown always
+      // go through — operators need visibility and control most when the
+      // server is drowning.
+      const auto msg_type = static_cast<MsgType>(frame.type);
+      const bool sheddable = msg_type == MsgType::DecisionRequest ||
+                             msg_type == MsgType::Report || msg_type == MsgType::Refresh;
+      if (config_.max_inflight > 0 && sheddable && inflight_now > config_.max_inflight) {
+        tel_busy_->inc();
+        reply(MsgType::Busy);
+        continue;
+      }
+      switch (msg_type) {
         case MsgType::DecisionRequest: {
           const DecisionRequest req = DecisionRequest::decode(reader);
           CallContext ctx;
@@ -252,6 +315,13 @@ void ControllerServer::handle_connection(TcpConnection conn) {
         }
         case MsgType::Report: {
           const ReportMsg msg = ReportMsg::decode(reader);
+          // Idempotency (§6f): a client that timed out and resent gets its
+          // ack, but the observation feeds the policy only once.
+          if (config_.report_dedup_window > 0 && !note_report_seen(msg.obs)) {
+            tel_dup_reports_->inc();
+            reply(MsgType::ReportAck);
+            break;
+          }
           {
             const PolicyLock lock(policy_mutex_, policy_concurrent_);
             policy_->observe(msg.obs);
@@ -263,7 +333,19 @@ void ControllerServer::handle_connection(TcpConnection conn) {
         }
         case MsgType::Refresh: {
           const RefreshMsg msg = RefreshMsg::decode(reader);
+          // A retried Refresh (same or older timestamp) is acked without
+          // rebuilding: refresh(now) is not idempotent — it advances decay
+          // and re-randomizes exploration — so the dedup is what makes
+          // client-side Refresh retries safe.
+          if (msg.now <= last_refresh_now_.load()) {
+            tel_dup_refreshes_->inc();
+            reply(MsgType::RefreshAck);
+            break;
+          }
           run_refresh(msg.now);
+          TimeSec prev = last_refresh_now_.load();
+          while (msg.now > prev && !last_refresh_now_.compare_exchange_weak(prev, msg.now)) {
+          }
           reply(MsgType::RefreshAck);
           break;
         }
@@ -281,8 +363,20 @@ void ControllerServer::handle_connection(TcpConnection conn) {
         case MsgType::Shutdown:
           return;
         default:
-          throw std::runtime_error("unexpected message type");
+          throw ProtocolError("unexpected message type");
       }
+    }
+  } catch (const ProtocolError& e) {
+    // Malformed frame (§6f): tell the client what broke, then drop the
+    // connection — after a framing violation the stream can't be trusted.
+    tel_protocol_errors_->inc();
+    try {
+      WireWriter writer;
+      ErrorMsg{frame.type, e.what()}.encode(writer);
+      tel_bytes_out_->inc(static_cast<std::int64_t>(writer.bytes().size()) + kFrameHeaderBytes);
+      send_frame(conn, static_cast<std::uint8_t>(MsgType::Error), writer.bytes());
+    } catch (const std::exception&) {
+      // The socket may already be gone; closing is all that's left.
     }
   } catch (const std::exception&) {
     // A broken client connection only terminates its own handler.

@@ -21,11 +21,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <thread>
+#include <unordered_set>
 
 #include "core/policy.h"
 #include "obs/telemetry.h"
@@ -35,13 +37,31 @@
 
 namespace via {
 
+/// Robustness knobs (DESIGN.md §6f).  The defaults keep the legacy
+/// behavior except for dedup, which is invisible to well-behaved clients.
+struct ServerConfig {
+  /// Overload shedding: when more than this many requests are being served
+  /// at once, new DecisionRequest/Report/Refresh frames get an immediate
+  /// Busy reply instead of queueing on the policy lock.  GetStats and
+  /// Shutdown are always served (operators need them most under load).
+  /// 0 disables shedding.
+  std::int64_t max_inflight = 0;
+  /// stop() lets in-flight connections finish for this long, then forces
+  /// the stragglers' sockets shut (their handlers exit on the read error).
+  int drain_timeout_ms = 5000;
+  /// Report idempotency window: the ids of the most recent N distinct
+  /// observations; a retried Report whose observation is still in the
+  /// window is acked without a second policy_->observe().  0 disables.
+  std::size_t report_dedup_window = 8192;
+};
+
 class ControllerServer {
  public:
   /// Binds to 127.0.0.1:`port` (0 = ephemeral).  The policy must outlive
   /// the server.  The server owns an obs::Telemetry for its lifetime and
   /// attaches it to the policy, so GetStats sees both the RPC-layer
   /// instruments and the policy's decision counters in one registry.
-  ControllerServer(RoutingPolicy& policy, std::uint16_t port = 0);
+  ControllerServer(RoutingPolicy& policy, std::uint16_t port = 0, ServerConfig config = {});
   ~ControllerServer();
 
   ControllerServer(const ControllerServer&) = delete;
@@ -56,6 +76,17 @@ class ControllerServer {
   [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
   [[nodiscard]] std::int64_t decisions_served() const noexcept { return decisions_.load(); }
   [[nodiscard]] std::int64_t reports_received() const noexcept { return reports_.load(); }
+  /// Degradation accounting (§6f), readable without parsing GetStats.
+  [[nodiscard]] std::int64_t busy_rejections() const noexcept { return tel_busy_->value(); }
+  [[nodiscard]] std::int64_t protocol_errors() const noexcept {
+    return tel_protocol_errors_->value();
+  }
+  [[nodiscard]] std::int64_t duplicate_reports() const noexcept {
+    return tel_dup_reports_->value();
+  }
+  [[nodiscard]] std::int64_t duplicate_refreshes() const noexcept {
+    return tel_dup_refreshes_->value();
+  }
   /// Live handler threads (connections not yet reaped); for tests and
   /// diagnostics.
   [[nodiscard]] std::size_t active_handlers() const;
@@ -68,6 +99,9 @@ class ControllerServer {
   void handle_connection(TcpConnection conn);
   /// Joins handler threads whose connections have finished.
   void reap_finished();
+  /// Records an observation's idempotency key; returns false when the key
+  /// is already in the dedup window (a retried Report).
+  [[nodiscard]] bool note_report_seen(const Observation& obs);
   /// Builder thread: pops refresh tickets and runs prepare (shared lock) /
   /// commit (exclusive lock) against the policy; drains the queue before
   /// exiting on stop so no Refresh handler is left waiting.
@@ -78,6 +112,7 @@ class ControllerServer {
   void run_refresh(TimeSec now);
 
   RoutingPolicy* policy_;
+  ServerConfig config_;
   obs::Telemetry telemetry_;
   obs::Counter* tel_accepted_;
   obs::Counter* tel_conn_errors_;
@@ -85,6 +120,11 @@ class ControllerServer {
   obs::Counter* tel_bytes_out_;
   obs::Counter* tel_decisions_;
   obs::Counter* tel_reports_;
+  obs::Counter* tel_busy_;
+  obs::Counter* tel_protocol_errors_;
+  obs::Counter* tel_dup_reports_;
+  obs::Counter* tel_dup_refreshes_;
+  obs::Counter* tel_forced_closes_;
   obs::LatencyHistogram* tel_request_us_;
   obs::Gauge* tel_inflight_;
   /// Duration the policy lock is held *exclusively* per refresh — the span
@@ -110,6 +150,20 @@ class ControllerServer {
   std::condition_variable handlers_cv_;  ///< signaled on each handler finish
   std::list<std::thread> handlers_;
   std::list<std::thread> finished_;
+  /// File descriptors of live client connections (guarded by
+  /// handlers_mutex_).  A handler registers its fd on entry and removes it
+  /// *before* the socket closes, so stop()'s forced drain can ::shutdown
+  /// stragglers without racing fd reuse.
+  std::unordered_set<int> conn_fds_;
+
+  /// Report idempotency window (§6f): set for O(1) lookup, FIFO for
+  /// eviction.  Guarded by dedup_mutex_.
+  std::mutex dedup_mutex_;
+  std::unordered_set<std::uint64_t> dedup_set_;
+  std::deque<std::uint64_t> dedup_fifo_;
+  /// Largest refresh timestamp committed so far; a retried Refresh whose
+  /// `now` is not newer is acked without rebuilding the model.
+  std::atomic<TimeSec> last_refresh_now_{std::numeric_limits<TimeSec>::min()};
 
   /// Background refresh pipeline (concurrent-safe policies only).  Refresh
   /// handlers enqueue a (ticketed) request and wait for its completion;

@@ -3,8 +3,11 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "rpc/errors.h"
 
 #include <cerrno>
 #include <cstring>
@@ -64,6 +67,20 @@ void TcpConnection::send_all(std::span<const std::byte> data) {
 bool TcpConnection::recv_all(std::span<std::byte> data) {
   std::size_t got = 0;
   while (got < data.size()) {
+    if (recv_timeout_ms_ > 0) {
+      // Deadline first: a request that never gets its response must not
+      // wedge the caller.  A partially received message that stalls is a
+      // timeout too — the caller drops the connection either way.
+      pollfd pfd{};
+      pfd.fd = fd_.get();
+      pfd.events = POLLIN;
+      int r;
+      do {
+        r = ::poll(&pfd, 1, recv_timeout_ms_);
+      } while (r < 0 && errno == EINTR);
+      if (r < 0) throw_errno("poll");
+      if (r == 0) throw RpcError(RpcErrorKind::Timeout, "recv deadline expired");
+    }
     const ssize_t n = ::recv(fd_.get(), data.data() + got, data.size() - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;

@@ -39,21 +39,35 @@ class FdHandle {
   int fd_ = -1;
 };
 
-/// A connected TCP stream.
+/// A connected TCP stream.  send_all/recv_all are virtual so a fault
+/// injector (rpc/faulty_connection.h) can interpose on whole-frame I/O.
 class TcpConnection {
  public:
   TcpConnection() = default;
   explicit TcpConnection(FdHandle fd) noexcept : fd_(std::move(fd)) {}
+  virtual ~TcpConnection() = default;
+
+  TcpConnection(TcpConnection&&) noexcept = default;
+  TcpConnection& operator=(TcpConnection&&) noexcept = default;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
 
   /// Connects to 127.0.0.1:port.  Throws std::system_error on failure.
   static TcpConnection connect_local(std::uint16_t port);
 
   /// Sends the whole buffer (loops over partial writes).  Throws on error.
-  void send_all(std::span<const std::byte> data);
+  virtual void send_all(std::span<const std::byte> data);
 
   /// Receives exactly data.size() bytes.  Returns false on clean EOF at a
   /// message boundary (nothing read); throws on mid-message EOF or error.
-  [[nodiscard]] bool recv_all(std::span<std::byte> data);
+  /// With a receive deadline set, throws RpcError(Timeout) when no bytes
+  /// arrive within the deadline.
+  [[nodiscard]] virtual bool recv_all(std::span<std::byte> data);
+
+  /// Receive deadline in milliseconds for each recv_all call, enforced
+  /// with poll(2) before every read.  0 (the default) blocks forever.
+  void set_recv_timeout_ms(int timeout_ms) noexcept { recv_timeout_ms_ = timeout_ms; }
+  [[nodiscard]] int recv_timeout_ms() const noexcept { return recv_timeout_ms_; }
 
   [[nodiscard]] int fd() const noexcept { return fd_.get(); }
   [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
@@ -61,6 +75,7 @@ class TcpConnection {
 
  private:
   FdHandle fd_;
+  int recv_timeout_ms_ = 0;
 };
 
 /// A listening TCP socket bound to 127.0.0.1.

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "rpc/client.h"
+#include "rpc/faulty_connection.h"
 #include "rpc/server.h"
 #include "util/rng.h"
 
@@ -54,19 +55,45 @@ TestbedResult run_testbed(const TestbedConfig& config) {
   via_config.target = config.target;
   ViaPolicy policy(gt.option_table(), [&gt](RelayId a, RelayId b) { return gt.backbone(a, b); },
                    via_config);
-  ControllerServer server(policy);
+  ControllerServer server(policy, 0, config.server);
   server.start();
 
   TestbedResult result;
   std::mutex result_mutex;
   std::atomic<CallId> next_call{1};
 
+  // Frame-level chaos (§6f): with any nonzero probability, each client's
+  // transport is a FaultyConnection on a per-pair-decorrelated schedule.
+  const bool chaos_enabled = config.chaos.drop_prob > 0.0 || config.chaos.delay_prob > 0.0 ||
+                             config.chaos.truncate_prob > 0.0 || config.chaos.reset_prob > 0.0;
+  auto make_client = [&](FaultSchedule& schedule) {
+    if (!chaos_enabled) return ControllerClient(server.port(), config.client_rpc);
+    return ControllerClient(
+        [port = server.port(), &schedule]() -> std::unique_ptr<TcpConnection> {
+          return std::make_unique<FaultyConnection>(TcpConnection::connect_local(port),
+                                                    &schedule);
+        },
+        config.client_rpc);
+  };
+  auto chaos_for = [&](std::uint64_t salt) {
+    FaultScheduleConfig c = config.chaos;
+    c.seed = hash_mix(config.chaos.seed, salt);
+    return c;
+  };
+
   // GroundTruth memoizes lazily and is not thread-safe; the "network" is
-  // shared by all client threads, so serialize access to it.
+  // shared by all client threads, so serialize access to it.  Ground-truth
+  // faults apply here, after the draw — same contract as the engine.
   std::mutex gt_mutex;
+  std::int64_t fault_impaired = 0;  // guarded by gt_mutex
   auto sample = [&](CallId id, AsId s, AsId d, OptionId opt, TimeSec t) {
     const std::lock_guard lock(gt_mutex);
-    return gt.sample_call(id, s, d, opt, t);
+    PathPerformance perf = gt.sample_call(id, s, d, opt, t);
+    if (config.faults != nullptr && !config.faults->empty() &&
+        config.faults->apply(gt.option_table().get(opt), t, perf)) {
+      ++fault_impaired;
+    }
+    return perf;
   };
   auto mean_of = [&](AsId s, AsId d, OptionId opt, int day) {
     const std::lock_guard lock(gt_mutex);
@@ -81,9 +108,10 @@ TestbedResult run_testbed(const TestbedConfig& config) {
   {
     std::vector<std::thread> clients;
     clients.reserve(pairs.size());
-    for (const auto& pair : pairs) {
-      clients.emplace_back([&, pair] {
-        ControllerClient client(server.port());
+    for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+      clients.emplace_back([&, pair = pairs[pi], pi] {
+        FaultSchedule schedule(chaos_for(pi));
+        ControllerClient client = make_client(schedule);
         std::int64_t made = 0;
         for (int round = 0; round < config.measurement_rounds; ++round) {
           for (const OptionId opt : pair.options) {
@@ -104,14 +132,19 @@ TestbedResult run_testbed(const TestbedConfig& config) {
         client.shutdown();
         const std::lock_guard lock(result_mutex);
         result.measurement_calls += made;
+        result.client_retries += client.retries();
+        result.client_reconnects += client.reconnects();
+        result.faults_injected += schedule.faults_injected();
       });
     }
     for (auto& t : clients) t.join();
   }
 
   // Controller refresh: the measurement window becomes the training window.
+  // The admin client shares the resilience config but not the chaos
+  // transport — it is the orchestrator, not the system under test.
   {
-    ControllerClient admin(server.port());
+    ControllerClient admin(server.port(), config.client_rpc);
     admin.refresh(kSecondsPerDay);
     admin.shutdown();
   }
@@ -120,9 +153,10 @@ TestbedResult run_testbed(const TestbedConfig& config) {
   {
     std::vector<std::thread> clients;
     clients.reserve(pairs.size());
-    for (const auto& pair : pairs) {
-      clients.emplace_back([&, pair] {
-        ControllerClient client(server.port());
+    for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+      clients.emplace_back([&, pair = pairs[pi], pi] {
+        FaultSchedule schedule(chaos_for(0x1000 + pi));  // decorrelate from phase 1
+        ControllerClient client = make_client(schedule);
         std::vector<double> subopt;
         std::int64_t best_hits = 0;
         for (int i = 0; i < config.eval_calls_per_pair; ++i) {
@@ -173,12 +207,17 @@ TestbedResult run_testbed(const TestbedConfig& config) {
         result.suboptimality.insert(result.suboptimality.end(), subopt.begin(), subopt.end());
         result.eval_calls += static_cast<std::int64_t>(subopt.size());
         result.picked_best += best_hits;
+        result.client_retries += client.retries();
+        result.client_reconnects += client.reconnects();
+        result.client_fallbacks += client.fallback_decisions();
+        result.faults_injected += schedule.faults_injected();
       });
     }
     for (auto& t : clients) t.join();
   }
 
   server.stop();
+  result.fault_impaired_samples = fault_impaired;
   return result;
 }
 

@@ -20,6 +20,10 @@
 #include "core/via_policy.h"
 #include "netsim/groundtruth.h"
 #include "netsim/world.h"
+#include "rpc/client.h"
+#include "rpc/faulty_connection.h"
+#include "rpc/server.h"
+#include "sim/faults.h"
 
 namespace via {
 
@@ -31,6 +35,16 @@ struct TestbedConfig {
   WorldConfig world{.num_ases = 20, .num_relays = 10, .seed = 2016};
   std::uint64_t seed = 55;
   ViaConfig via;  ///< epsilon/top-k settings for the controller under test
+  /// Robustness plumbing (§6f), all inert by default.
+  ServerConfig server;      ///< overload shedding / drain / dedup knobs
+  ClientConfig client_rpc;  ///< deadlines, retries, fallback-to-direct
+  /// Frame-level chaos: when any probability is nonzero, every client's
+  /// transport is wrapped in a FaultyConnection (seed decorrelated per
+  /// client pair).
+  FaultScheduleConfig chaos;
+  /// Ground-truth fault plan applied to every testbed sample (may be
+  /// null; must outlive the run).
+  const FaultPlan* faults = nullptr;
 };
 
 struct TestbedResult {
@@ -38,6 +52,12 @@ struct TestbedResult {
   std::int64_t eval_calls = 0;
   std::int64_t measurement_calls = 0;
   std::int64_t picked_best = 0;  ///< evaluation calls where Via picked the oracle option
+  /// Degradation accounting (§6f), summed over all clients.
+  std::int64_t client_retries = 0;
+  std::int64_t client_reconnects = 0;
+  std::int64_t client_fallbacks = 0;
+  std::int64_t faults_injected = 0;  ///< frames the chaos schedules faulted
+  std::int64_t fault_impaired_samples = 0;  ///< ground-truth samples the FaultPlan touched
 
   [[nodiscard]] double fraction_best() const noexcept {
     return eval_calls > 0 ? static_cast<double>(picked_best) / static_cast<double>(eval_calls)

@@ -83,6 +83,19 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
   }
   const auto run_start = std::chrono::steady_clock::now();
 
+  // Fault injection (§6f): every ground-truth draw routes through this
+  // lambda.  A null or empty plan reduces to one pointer test, so the
+  // unfaulted replay stays bit-identical to the plain sample path.
+  const FaultPlan* faults =
+      (config_.faults != nullptr && !config_.faults->empty()) ? config_.faults : nullptr;
+  const auto sample = [&](CallId id, AsId src, AsId dst, OptionId opt, TimeSec t) {
+    PathPerformance perf = gt_->sample_call(id, src, dst, opt, t);
+    if (faults != nullptr && faults->apply(gt_->option_table().get(opt), t, perf)) {
+      ++result.fault_impaired_samples;
+    }
+    return perf;
+  };
+
   TimeSec next_refresh = config_.refresh_period;
 
   CallId probe_id = 1'000'000'000'000LL;  // distinct id space for mock calls
@@ -113,8 +126,7 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
           obs.dst_as = probe.dst_as;
           obs.option = probe.option;
           obs.ingress = gt_->transit_ingress(probe.src_as, probe.option);
-          obs.perf = gt_->sample_call(obs.id, probe.src_as, probe.dst_as, probe.option,
-                                      next_refresh);
+          obs.perf = sample(obs.id, probe.src_as, probe.dst_as, probe.option, next_refresh);
           policy.observe(obs);
           ++result.probes_executed;
         }
@@ -164,8 +176,7 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
       obs.dst_as = ctx.key_dst;
       obs.option = forced;
       obs.ingress = gt_->transit_ingress(arrival.src_as, forced);
-      obs.perf = gt_->sample_call(arrival.id, arrival.src_as, arrival.dst_as, forced,
-                                  arrival.time);
+      obs.perf = sample(arrival.id, arrival.src_as, arrival.dst_as, forced, arrival.time);
       policy.observe(obs);
       continue;
     }
@@ -181,11 +192,10 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
         return policy.choose_candidates(ctx);
       }();
       option = raced.front();
-      perf = gt_->sample_call(arrival.id, arrival.src_as, arrival.dst_as, option,
-                              arrival.time);
+      perf = sample(arrival.id, arrival.src_as, arrival.dst_as, option, arrival.time);
       for (const OptionId candidate : raced) {
-        const PathPerformance candidate_perf = gt_->sample_call(
-            arrival.id, arrival.src_as, arrival.dst_as, candidate, arrival.time);
+        const PathPerformance candidate_perf =
+            sample(arrival.id, arrival.src_as, arrival.dst_as, candidate, arrival.time);
         Observation obs;
         obs.id = arrival.id;
         obs.time = arrival.time;
@@ -207,8 +217,7 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
         const obs::ScopedTimer timer(tel_choose_us);
         option = policy.choose(ctx);
       }
-      perf = gt_->sample_call(arrival.id, arrival.src_as, arrival.dst_as, option,
-                              arrival.time);
+      perf = sample(arrival.id, arrival.src_as, arrival.dst_as, option, arrival.time);
       Observation obs;
       obs.id = arrival.id;
       obs.time = arrival.time;
@@ -260,6 +269,7 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
     r.counter("engine.evaluated_calls").inc(result.evaluated_calls);
     r.counter("engine.probes_executed").inc(result.probes_executed);
     r.counter("engine.raced_extra_samples").inc(result.raced_extra_samples);
+    r.counter("engine.fault.impaired_samples").inc(result.fault_impaired_samples);
     r.gauge("engine.run_seconds")
         .set(std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
                  .count());

@@ -22,6 +22,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "quality/pnr.h"
+#include "sim/faults.h"
 #include "trace/arrival.h"
 
 namespace via {
@@ -62,6 +63,12 @@ struct RunConfig {
   /// session-wide summary.
   bool enable_telemetry = true;
   std::size_t decision_trace_capacity = 4096;
+  /// Fault injection (§6f): every ground-truth sample the engine draws —
+  /// policy-routed, background, probe, and raced alike — passes through
+  /// the plan, which impairs options riding a faulted relay.  Null or
+  /// empty leaves every sample untouched (golden-replay invariant).  The
+  /// plan must outlive the run.
+  const FaultPlan* faults = nullptr;
 };
 
 struct RunResult {
@@ -81,6 +88,8 @@ struct RunResult {
   /// Extension accounting.
   std::int64_t probes_executed = 0;
   std::int64_t raced_extra_samples = 0;  ///< raced options beyond the one kept
+  /// Fault accounting (§6f): samples the plan altered (0 without a plan).
+  std::int64_t fault_impaired_samples = 0;
   /// Telemetry captured at the end of the run (empty when disabled):
   /// registry snapshot plus the resident tail of the decision trace.
   obs::MetricsSnapshot telemetry;

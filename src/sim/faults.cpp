@@ -1,0 +1,146 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace via {
+
+namespace {
+
+/// The relays an option rides: none for Direct, {a} for Bounce, {a, b}
+/// for Transit.
+template <typename Fn>
+bool any_relay(const RelayOption& option, Fn&& down) {
+  switch (option.kind) {
+    case RelayKind::Direct:
+      return false;
+    case RelayKind::Bounce:
+      return down(option.a);
+    case RelayKind::Transit:
+      return down(option.a) || down(option.b);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FaultPlan::relay_down(RelayId relay, TimeSec t) const noexcept {
+  for (const RelayOutage& o : config_.outages) {
+    if (o.relay == relay && t >= o.start && t < o.end) return true;
+  }
+  for (const RelayFlap& f : config_.flaps) {
+    if (f.relay != relay || t < f.start || t >= f.end || f.period <= 0) continue;
+    // Seed-derived phase keeps independently flapping relays out of sync.
+    const auto phase = static_cast<TimeSec>(
+        hash_mix(config_.seed, static_cast<std::uint64_t>(f.relay)) %
+        static_cast<std::uint64_t>(f.period));
+    const TimeSec in_cycle = (t - f.start + phase) % f.period;
+    if (static_cast<double>(in_cycle) <
+        f.duty_down * static_cast<double>(f.period)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::option_down(const RelayOption& option, TimeSec t) const noexcept {
+  return any_relay(option, [&](RelayId r) { return relay_down(r, t); });
+}
+
+bool FaultPlan::apply(const RelayOption& option, TimeSec t,
+                      PathPerformance& perf) const noexcept {
+  if (option_down(option, t)) {
+    perf.rtt_ms = config_.impairment.outage_rtt_ms;
+    perf.loss_pct = config_.impairment.outage_loss_pct;
+    perf.jitter_ms = config_.impairment.outage_jitter_ms;
+    return true;
+  }
+  bool touched = false;
+  for (const SegmentDegradation& d : config_.degradations) {
+    if (t < d.start || t >= d.end) continue;
+    if (!any_relay(option, [&](RelayId r) { return r == d.relay; })) continue;
+    perf.rtt_ms *= d.rtt_factor;
+    perf.loss_pct = std::min(100.0, perf.loss_pct + d.loss_add_pct);
+    perf.jitter_ms *= d.jitter_factor;
+    touched = true;
+  }
+  return touched;
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlanConfig config;
+
+  auto next_token = [](std::string_view& s, char sep) -> std::string_view {
+    const std::size_t pos = s.find(sep);
+    std::string_view tok = s.substr(0, pos);
+    s = pos == std::string_view::npos ? std::string_view{} : s.substr(pos + 1);
+    return tok;
+  };
+  auto parse_fields = [&](std::string_view body) {
+    std::vector<std::pair<std::string_view, double>> fields;
+    while (!body.empty()) {
+      const std::string_view field = next_token(body, ',');
+      const std::size_t eq = field.find('=');
+      if (eq == std::string_view::npos) {
+        throw std::runtime_error("fault plan: expected key=value in '" + std::string(field) +
+                                 "'");
+      }
+      fields.emplace_back(field.substr(0, eq), std::stod(std::string(field.substr(eq + 1))));
+    }
+    return fields;
+  };
+
+  while (!spec.empty()) {
+    std::string_view clause = next_token(spec, ';');
+    if (clause.empty()) continue;
+    if (clause.substr(0, 5) == "seed=") {
+      // "seed=N" has no clause body.
+      config.seed = static_cast<std::uint64_t>(std::stoull(std::string(clause.substr(5))));
+      continue;
+    }
+    if (clause == "seed") throw std::runtime_error("fault plan: seed=N expected");
+    const std::size_t colon = clause.find(':');
+    const std::string_view kind = clause.substr(0, colon);
+    if (colon == std::string_view::npos) {
+      throw std::runtime_error("fault plan: unknown clause '" + std::string(clause) + "'");
+    }
+    const auto fields = parse_fields(clause.substr(colon + 1));
+    auto get = [&](std::string_view key, double fallback) {
+      for (const auto& [k, v] : fields) {
+        if (k == key) return v;
+      }
+      return fallback;
+    };
+    if (kind == "outage") {
+      RelayOutage o;
+      o.relay = static_cast<RelayId>(get("relay", -1));
+      o.start = static_cast<TimeSec>(get("start", 0));
+      o.end = static_cast<TimeSec>(get("end", 0));
+      config.outages.push_back(o);
+    } else if (kind == "flap") {
+      RelayFlap f;
+      f.relay = static_cast<RelayId>(get("relay", -1));
+      f.start = static_cast<TimeSec>(get("start", 0));
+      f.end = static_cast<TimeSec>(get("end", 0));
+      f.period = static_cast<TimeSec>(get("period", 600));
+      f.duty_down = get("duty", 0.5);
+      config.flaps.push_back(f);
+    } else if (kind == "degrade") {
+      SegmentDegradation d;
+      d.relay = static_cast<RelayId>(get("relay", -1));
+      d.start = static_cast<TimeSec>(get("start", 0));
+      d.end = static_cast<TimeSec>(get("end", 0));
+      d.rtt_factor = get("rtt", 1.0);
+      d.loss_add_pct = get("loss", 0.0);
+      d.jitter_factor = get("jitter", 1.0);
+      config.degradations.push_back(d);
+    } else {
+      throw std::runtime_error("fault plan: unknown clause kind '" + std::string(kind) + "'");
+    }
+  }
+  return FaultPlan(std::move(config));
+}
+
+}  // namespace via

@@ -1,0 +1,105 @@
+// Deterministic ground-truth fault injection (DESIGN.md §6f).
+//
+// A FaultPlan is a seeded schedule of relay-level failures applied to
+// sampled path performance *at observation time*: the underlying
+// GroundTruth distributions are untouched, so the same plan replays bit-
+// identically, and a null/empty plan leaves every sample byte-for-byte
+// what it was (golden-replay invariant).
+//
+// Three fault shapes, matching how relay infrastructure actually fails:
+//   - RelayOutage:        hard down over [start, end) — any option using
+//                         the relay returns outage-grade performance.
+//   - RelayFlap:          periodic outage — down for duty*period out of
+//                         every period within [start, end), with a
+//                         seed-derived phase so two flapping relays don't
+//                         synchronize.
+//   - SegmentDegradation: soft failure — RTT/jitter multiplied, loss
+//                         added, for options using the relay in [start,end).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/relay_option.h"
+#include "common/types.h"
+
+namespace via {
+
+struct RelayOutage {
+  RelayId relay = -1;
+  TimeSec start = 0;
+  TimeSec end = 0;
+};
+
+struct RelayFlap {
+  RelayId relay = -1;
+  TimeSec start = 0;
+  TimeSec end = 0;
+  TimeSec period = 600;   ///< one up/down cycle
+  double duty_down = 0.5; ///< fraction of each cycle spent down
+};
+
+struct SegmentDegradation {
+  RelayId relay = -1;
+  TimeSec start = 0;
+  TimeSec end = 0;
+  double rtt_factor = 1.0;
+  double loss_add_pct = 0.0;
+  double jitter_factor = 1.0;
+};
+
+/// What a down relay looks like to the client that tried it: the call
+/// "completes" with catastrophic metrics (the controller's health machine
+/// classifies it as a failure; see RelayHealthConfig thresholds).
+struct FaultImpairment {
+  double outage_rtt_ms = 2500.0;
+  double outage_loss_pct = 100.0;
+  double outage_jitter_ms = 120.0;
+};
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 0;  ///< phase-randomizes flaps; nothing else draws
+  std::vector<RelayOutage> outages;
+  std::vector<RelayFlap> flaps;
+  std::vector<SegmentDegradation> degradations;
+  FaultImpairment impairment;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(FaultPlanConfig config) : config_(std::move(config)) {}
+
+  /// No scheduled fault at all — callers short-circuit to the unfaulted
+  /// sample path.
+  [[nodiscard]] bool empty() const noexcept {
+    return config_.outages.empty() && config_.flaps.empty() && config_.degradations.empty();
+  }
+
+  [[nodiscard]] bool relay_down(RelayId relay, TimeSec t) const noexcept;
+  /// Whether any relay the option rides is down at t (Direct never is).
+  [[nodiscard]] bool option_down(const RelayOption& option, TimeSec t) const noexcept;
+
+  /// Applies the plan to one sampled performance: outage replaces the
+  /// sample with outage-grade metrics, degradations scale it.  Returns
+  /// true when the sample was altered.
+  bool apply(const RelayOption& option, TimeSec t, PathPerformance& perf) const noexcept;
+
+  [[nodiscard]] const FaultPlanConfig& config() const noexcept { return config_; }
+
+  /// Parses a plan from a compact flag spec, e.g.
+  ///   "outage:relay=3,start=86400,end=172800;
+  ///    flap:relay=2,start=0,end=86400,period=600,duty=0.5;
+  ///    degrade:relay=1,start=0,end=86400,rtt=2.0,loss=5,jitter=1.5;
+  ///    seed=7"
+  /// (';'-separated clauses, ','-separated key=value fields).  Throws
+  /// std::runtime_error on malformed input.
+  [[nodiscard]] static FaultPlan parse(std::string_view spec);
+
+ private:
+  FaultPlanConfig config_;
+};
+
+}  // namespace via

@@ -1,0 +1,392 @@
+// Chaos and degradation tests for the RPC layer (DESIGN.md §6f):
+//   - client + server under deterministic frame drops/delays/truncations/
+//     resets complete with zero lost observations (deadline + retry +
+//     reconnect + server-side Report dedup),
+//   - overload shedding: a saturated server answers Busy and clients
+//     retry through it,
+//   - fallback-to-direct when the controller is unreachable,
+//   - malformed frames get a typed Error reply and a closed connection
+//     instead of a wedged or crashed handler,
+//   - Report/Refresh idempotency under client retries,
+//   - graceful drain force-closes idle connections on stop().
+// This file also runs under ASan+UBSan in CI (tools/ci.sh).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/relay_option.h"
+#include "rpc/client.h"
+#include "rpc/errors.h"
+#include "rpc/faulty_connection.h"
+#include "rpc/framing.h"
+#include "rpc/messages.h"
+#include "rpc/server.h"
+#include "rpc/socket.h"
+
+namespace via {
+namespace {
+
+/// Counts interactions; optionally stalls in choose() to hold requests
+/// inflight (overload and timeout tests).
+class CountingPolicy final : public RoutingPolicy {
+ public:
+  explicit CountingPolicy(OptionId option = 1, int choose_delay_ms = 0)
+      : option_(option), choose_delay_ms_(choose_delay_ms) {}
+  [[nodiscard]] OptionId choose(const CallContext&) override {
+    if (choose_delay_ms_ > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(choose_delay_ms_));
+    }
+    ++chosen;
+    return option_;
+  }
+  void observe(const Observation&) override { ++observed; }
+  void refresh(TimeSec now) override {
+    ++refreshed;
+    last_refresh = now;
+  }
+  [[nodiscard]] std::string_view name() const override { return "counting"; }
+
+  std::atomic<int> chosen{0}, observed{0}, refreshed{0};
+  std::atomic<TimeSec> last_refresh{0};
+
+ private:
+  OptionId option_;
+  int choose_delay_ms_;
+};
+
+ClientConfig resilient_client() {
+  ClientConfig c;
+  c.request_timeout_ms = 250;
+  c.max_retries = 30;
+  c.backoff_base_ms = 1;
+  c.backoff_max_ms = 8;
+  return c;
+}
+
+// ------------------------------------------------------- chaos integration
+
+/// The §6f acceptance scenario: several clients push decisions + reports
+/// through transports that deterministically drop, delay, truncate, and
+/// reset frames.  Every request must eventually succeed and every distinct
+/// observation must reach the policy exactly once.
+TEST(Chaos, FaultyTransportLosesNoObservations) {
+  CountingPolicy policy(1);
+  ControllerServer server(policy);
+  server.start();
+
+  constexpr int kClients = 4;
+  constexpr int kCallsEach = 25;
+  std::atomic<int> decisions_ok{0};
+  std::atomic<std::int64_t> faults_total{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      FaultScheduleConfig chaos;
+      chaos.seed = 0xC0FFEE + static_cast<std::uint64_t>(c);
+      chaos.drop_prob = 0.12;
+      chaos.delay_prob = 0.10;
+      chaos.truncate_prob = 0.06;
+      chaos.reset_prob = 0.06;
+      chaos.delay_ms = 5;
+      // Bounded chaos guarantees forward progress under any retry budget.
+      chaos.max_faults = 12;
+      FaultSchedule schedule(chaos);
+      ControllerClient client(
+          [&server, &schedule]() -> std::unique_ptr<TcpConnection> {
+            return std::make_unique<FaultyConnection>(
+                TcpConnection::connect_local(server.port()), &schedule);
+          },
+          resilient_client());
+      for (int i = 0; i < kCallsEach; ++i) {
+        DecisionRequest req;
+        req.call_id = c * 1'000 + i;
+        req.time = i;
+        req.options = {0, 1};
+        if (client.request_decision(req) == 1) ++decisions_ok;
+        Observation obs;
+        obs.id = req.call_id;
+        obs.option = 1;
+        obs.time = i;
+        obs.perf = {100.0, 0.5, 2.0};
+        client.report(obs);
+      }
+      client.shutdown();
+      faults_total += schedule.faults_injected();
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.stop();
+
+  // Every decision answered, every distinct observation delivered exactly
+  // once — retries may duplicate frames, the server's dedup eats them.
+  EXPECT_EQ(decisions_ok.load(), kClients * kCallsEach);
+  EXPECT_EQ(policy.observed.load(), kClients * kCallsEach);
+  EXPECT_EQ(server.reports_received(), kClients * kCallsEach);
+  // The run actually exercised the fault machinery.
+  EXPECT_GT(faults_total.load(), 0);
+}
+
+// ---------------------------------------------------------------- overload
+
+TEST(Chaos, OverloadedServerShedsWithBusyAndClientsRetryThrough) {
+  CountingPolicy policy(1, /*choose_delay_ms=*/10);
+  ControllerServer server(policy, 0, {.max_inflight = 1});
+  server.start();
+
+  constexpr int kClients = 4;
+  constexpr int kCallsEach = 10;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientConfig config = resilient_client();
+      config.max_retries = 200;  // Busy storms need patience, not deadlines
+      config.jitter_seed = static_cast<std::uint64_t>(c);
+      ControllerClient client(server.port(), config);
+      for (int i = 0; i < kCallsEach; ++i) {
+        DecisionRequest req;
+        req.call_id = c * 100 + i;
+        req.options = {0, 1};
+        if (client.request_decision(req) == 1) ++ok;
+      }
+      client.shutdown();
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.stop();
+
+  EXPECT_EQ(ok.load(), kClients * kCallsEach);
+  EXPECT_EQ(policy.chosen.load(), kClients * kCallsEach);
+  // With 4 clients against a 1-deep server, shedding must have fired.
+  EXPECT_GT(server.busy_rejections(), 0);
+}
+
+// -------------------------------------------------------- fallback-to-direct
+
+TEST(Chaos, UnreachableControllerFallsBackToDirect) {
+  // Grab a port that refuses connections (listener bound, then destroyed).
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+  }
+  ClientConfig config;
+  config.request_timeout_ms = 100;
+  config.max_retries = 1;
+  config.backoff_base_ms = 1;
+  config.fallback_direct = true;
+  ControllerClient client(dead_port, config);
+
+  obs::MetricsRegistry registry;
+  client.attach_metrics(&registry);
+
+  DecisionRequest req;
+  req.call_id = 7;
+  req.options = {0, 1, 2};
+  EXPECT_EQ(client.request_decision(req), RelayOptionTable::direct_id());
+  EXPECT_EQ(client.fallback_decisions(), 1);
+  EXPECT_EQ(registry.counter("rpc.client.fallback_direct").value(), 1);
+  EXPECT_GT(registry.counter("rpc.client.errors.reset").value(), 0);
+
+  // Reports have no safe local fallback — they surface the typed error.
+  Observation obs;
+  obs.id = 7;
+  try {
+    client.report(obs);
+    FAIL() << "report() should have thrown";
+  } catch (const RpcError& e) {
+    EXPECT_TRUE(e.kind() == RpcErrorKind::Reset || e.kind() == RpcErrorKind::Timeout)
+        << rpc_error_kind_name(e.kind());
+  }
+}
+
+TEST(Chaos, RequestDeadlineSurfacesTypedTimeout) {
+  CountingPolicy policy(1, /*choose_delay_ms=*/400);
+  ControllerServer server(policy);
+  server.start();
+
+  ClientConfig config;
+  config.request_timeout_ms = 50;  // far shorter than the 400ms stall
+  ControllerClient client(server.port(), config);
+  DecisionRequest req;
+  req.call_id = 1;
+  req.options = {0, 1};
+  try {
+    (void)client.request_decision(req);
+    FAIL() << "request_decision() should have timed out";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.kind(), RpcErrorKind::Timeout);
+  }
+  server.stop();
+}
+
+// --------------------------------------------------------- malformed frames
+
+TEST(Chaos, TruncatedPayloadGetsErrorReplyThenClose) {
+  CountingPolicy policy;
+  ControllerServer server(policy);
+  server.start();
+
+  TcpConnection conn = TcpConnection::connect_local(server.port());
+  // A Report frame whose payload is far too short to decode.
+  const std::array<std::byte, 2> junk{std::byte{0x01}, std::byte{0x02}};
+  send_frame(conn, static_cast<std::uint8_t>(MsgType::Report), junk);
+
+  Frame frame;
+  ASSERT_TRUE(recv_frame(conn, frame));
+  EXPECT_EQ(frame.type, static_cast<std::uint8_t>(MsgType::Error));
+  WireReader r(frame.payload);
+  const ErrorMsg err = ErrorMsg::decode(r);
+  EXPECT_EQ(err.request_type, static_cast<std::uint8_t>(MsgType::Report));
+  EXPECT_FALSE(err.text.empty());
+  // After the error reply the server closes the stream.
+  EXPECT_FALSE(recv_frame(conn, frame));
+
+  server.stop();
+  EXPECT_EQ(server.protocol_errors(), 1);
+  EXPECT_EQ(policy.observed.load(), 0);
+}
+
+TEST(Chaos, OversizedFrameHeaderIsRejectedNotAllocated) {
+  CountingPolicy policy;
+  ControllerServer server(policy);
+  server.start();
+
+  TcpConnection conn = TcpConnection::connect_local(server.port());
+  // Hand-build a header claiming a payload far past kMaxPayload.
+  const std::uint32_t huge = static_cast<std::uint32_t>(kMaxPayload) + 1;
+  std::array<std::byte, 5> header{};
+  std::memcpy(header.data(), &huge, sizeof(huge));
+  header[4] = std::byte{static_cast<unsigned char>(MsgType::DecisionRequest)};
+  conn.send_all(header);
+
+  Frame frame;
+  ASSERT_TRUE(recv_frame(conn, frame));
+  EXPECT_EQ(frame.type, static_cast<std::uint8_t>(MsgType::Error));
+  EXPECT_FALSE(recv_frame(conn, frame));
+  server.stop();
+  EXPECT_EQ(server.protocol_errors(), 1);
+}
+
+TEST(Chaos, UnknownMessageTypeGetsErrorReply) {
+  CountingPolicy policy;
+  ControllerServer server(policy);
+  server.start();
+
+  TcpConnection raw = TcpConnection::connect_local(server.port());
+  WireWriter w;
+  w.u64(123);
+  send_frame(raw, 0xEE, w.bytes());
+  Frame frame;
+  ASSERT_TRUE(recv_frame(raw, frame));
+  EXPECT_EQ(frame.type, static_cast<std::uint8_t>(MsgType::Error));
+  EXPECT_FALSE(recv_frame(raw, frame));
+  server.stop();
+  EXPECT_EQ(server.protocol_errors(), 1);
+}
+
+TEST(Chaos, ClientMapsServerErrorFrameToProtocolError) {
+  CountingPolicy policy;
+  ControllerServer server(policy);
+  server.start();
+
+  // Protocol errors are bugs, not outages: never retried, never masked by
+  // fallback-to-direct.
+  ClientConfig config;
+  config.max_retries = 5;
+  config.fallback_direct = true;
+  ControllerClient client(server.port(), config);
+  obs::MetricsRegistry registry;
+  client.attach_metrics(&registry);
+
+  DecisionRequest req;
+  req.call_id = 99;
+  // Over the server's decode sanity cap, but under the frame size limit —
+  // the request arrives intact and is rejected by the message validator.
+  req.options.assign(100'001, OptionId{0});
+  try {
+    (void)client.request_decision(req);
+    FAIL() << "protocol error should propagate";
+  } catch (const RpcError& e) {
+    EXPECT_EQ(e.kind(), RpcErrorKind::Protocol);
+  }
+  EXPECT_EQ(registry.counter("rpc.client.errors.protocol").value(), 1);
+  EXPECT_EQ(registry.counter("rpc.client.retries").value(), 0);
+  server.stop();
+  EXPECT_EQ(server.protocol_errors(), 1);
+}
+
+// ------------------------------------------------------------- idempotency
+
+TEST(Chaos, DuplicateReportsAreAckedButObservedOnce) {
+  CountingPolicy policy;
+  ControllerServer server(policy);
+  server.start();
+
+  ControllerClient client(server.port());
+  Observation obs;
+  obs.id = 42;
+  obs.option = 3;
+  obs.time = 1'000;
+  obs.perf = {120.0, 1.0, 4.0};
+  client.report(obs);
+  client.report(obs);  // a retry resend in disguise
+  client.report(obs);
+  client.shutdown();
+  server.stop();
+
+  EXPECT_EQ(policy.observed.load(), 1);
+  EXPECT_EQ(server.reports_received(), 1);
+  EXPECT_EQ(server.duplicate_reports(), 2);
+}
+
+TEST(Chaos, StaleRefreshTimestampsAreAckedWithoutRebuilding) {
+  CountingPolicy policy;
+  ControllerServer server(policy);
+  server.start();
+
+  ControllerClient client(server.port());
+  client.refresh(1'000);
+  client.refresh(1'000);  // duplicate
+  client.refresh(500);    // stale
+  client.refresh(2'000);  // genuinely new
+  client.shutdown();
+  server.stop();
+
+  EXPECT_EQ(policy.refreshed.load(), 2);
+  EXPECT_EQ(policy.last_refresh.load(), 2'000);
+  EXPECT_EQ(server.duplicate_refreshes(), 2);
+}
+
+// ----------------------------------------------------------- graceful drain
+
+TEST(Chaos, StopForceClosesIdleConnectionsAfterDrainTimeout) {
+  CountingPolicy policy;
+  ControllerServer server(policy, 0, {.drain_timeout_ms = 50});
+  server.start();
+
+  // An idle client that never sends and never disconnects.
+  TcpConnection idle = TcpConnection::connect_local(server.port());
+  // Let the handler thread pick the connection up.
+  for (int i = 0; i < 100 && server.active_handlers() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(server.active_handlers(), 0u);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server.stop();  // must not hang on the idle connection
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  EXPECT_GE(
+      server.telemetry().registry.counter("rpc.server.drain_forced_closes").value(), 1);
+}
+
+}  // namespace
+}  // namespace via

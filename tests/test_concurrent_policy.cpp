@@ -250,6 +250,27 @@ TEST(GoldenReplay, ParallelSolveKeepsGoldenHash) {
   EXPECT_EQ(scenario.run(policy), kConstrainedGoldenHash);
 }
 
+/// §6f: an *enabled* health tracker that never sees a failure must be a
+/// pure no-op on the decision flow — same RNG draws, same picks, same
+/// hash as the pre-health goldens.  (Scenario observations top out around
+/// 267ms RTT / 2.7% loss, far under the catastrophic thresholds.)
+TEST(GoldenReplay, HealthEnabledHealthyFleetBitIdentical) {
+  GoldenScenario scenario;
+  {
+    ViaConfig config = scenario.constrained_config();
+    config.health.enabled = true;
+    ViaPolicy policy(scenario.options, GoldenScenario::backbone(), config);
+    EXPECT_EQ(scenario.run(policy), kConstrainedGoldenHash);
+    EXPECT_EQ(policy.stats().quarantine_rerouted, 0);
+  }
+  {
+    ViaConfig config = scenario.unconstrained_config();
+    config.health.enabled = true;
+    ViaPolicy policy(scenario.options, GoldenScenario::backbone(), config);
+    EXPECT_EQ(scenario.run(policy), kUnconstrainedGoldenHash);
+  }
+}
+
 TEST(GoldenReplay, TelemetryReasonCountersReconcileWithStats) {
   GoldenScenario scenario;
   ViaPolicy policy(scenario.options, GoldenScenario::backbone(), scenario.constrained_config());
@@ -467,6 +488,102 @@ TEST(ConcurrentPolicy, HammerRacesBackgroundPrepare) {
                 s.relay_cap_denied,
             s.calls);
   EXPECT_EQ(s.chose_direct + s.chose_bounce + s.chose_transit, s.calls);
+}
+
+/// §6f under contention: eight serving threads hammer choose/observe while
+/// a saboteur thread concurrently flips two relays in and out of
+/// quarantine with bursts of catastrophic / clean observations.  TSan
+/// covers the tracker's relaxed hot-path load racing its locked
+/// transitions; the reason accounting must stay exactly total, now
+/// including the health reasons.
+TEST(ConcurrentPolicy, HammerWithConcurrentQuarantineFlips) {
+  HammerWorld world;
+  ViaConfig config;
+  config.epsilon = 0.1;
+  config.seed = 7;
+  config.serving_stripes = 16;
+  config.health.enabled = true;
+  config.health.degrade_after = 1;
+  config.health.quarantine_after = 2;
+  config.health.quarantine_period = 40;  // short: expires within the run
+  config.health.probation_successes = 1;
+  ViaPolicy policy(
+      world.options, [](RelayId, RelayId) { return PathPerformance{5.0, 0.05, 0.5}; },
+      config);
+
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 1500;
+  std::shared_mutex policy_lock;
+  std::atomic<CallId> next_id{1};
+  std::atomic<bool> stop_saboteur{false};
+
+  auto worker = [&](int t) {
+    Rng rng(3000 + static_cast<std::uint64_t>(t));
+    for (int i = 0; i < kCallsPerThread; ++i) {
+      const auto p = static_cast<std::size_t>(rng.uniform_index(world.pairs.size()));
+      const CallId id = next_id.fetch_add(1);
+      const CallContext ctx = world.context_for(p, id, static_cast<TimeSec>(i));
+      OptionId pick = kInvalidOption;
+      {
+        const std::shared_lock lock(policy_lock);
+        pick = policy.choose(ctx);
+      }
+      Observation o;
+      o.id = id;
+      o.time = ctx.time;
+      o.src_as = ctx.src_as;
+      o.dst_as = ctx.dst_as;
+      o.option = pick;
+      const double c = HammerWorld::cost(p, pick);
+      o.perf = {c, c / 100.0, c / 20.0};
+      {
+        const std::shared_lock lock(policy_lock);
+        policy.observe(o);
+      }
+    }
+  };
+
+  // Alternating catastrophic and clean bursts for two bounce options:
+  // quarantine, expire, probation, re-admit, re-quarantine — the full
+  // state machine, concurrent with serving.
+  std::thread saboteur([&] {
+    TimeSec now = 0;
+    while (!stop_saboteur.load()) {
+      for (const std::size_t p : {std::size_t{0}, std::size_t{1}}) {
+        const OptionId victim = world.pair_options[p][1];  // a bounce option
+        for (int burst = 0; burst < 3; ++burst) {
+          Observation o;
+          o.id = next_id.fetch_add(1);
+          o.time = now;
+          o.src_as = world.pairs[p].first;
+          o.dst_as = world.pairs[p].second;
+          o.option = victim;
+          o.perf = burst < 2 ? PathPerformance{5000.0, 100.0, 50.0}
+                             : PathPerformance{50.0, 0.1, 1.0};
+          const std::shared_lock lock(policy_lock);
+          policy.observe(o);
+        }
+      }
+      now += 25;  // walks through block expiries
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+  stop_saboteur.store(true);
+  saboteur.join();
+
+  const ViaPolicy::Stats s = policy.stats();
+  EXPECT_EQ(s.calls, kThreads * kCallsPerThread);
+  EXPECT_EQ(s.epsilon_explored + s.bandit_served + s.cold_start_direct + s.budget_denied +
+                s.relay_cap_denied + s.quarantine_rerouted + s.outage_fallback_direct,
+            s.calls);
+  EXPECT_EQ(s.chose_direct + s.chose_bounce + s.chose_transit, s.calls);
+  // The saboteur's bursts actually drove the state machine.
+  EXPECT_GT(policy.relay_health().quarantine_events(), 0);
 }
 
 /// Pre-warm actually front-loads the per-pair builds: after a prepared +

@@ -3,7 +3,8 @@
 # -Wall -Wextra -Werror compile of the telemetry subsystem and its tests,
 # and a Release (-O2 -DNDEBUG) bench smoke that emits BENCH_core.json and
 # checks it against bench/thresholds.json (warn-only, tools/check_bench.py).
-# Set VIA_CI_TSAN=1 to additionally run test_parallel under ThreadSanitizer.
+# Set VIA_CI_TSAN=1 to additionally run test_parallel under ThreadSanitizer,
+# and VIA_CI_ASAN=1 to run the chaos/fault/RPC tests under ASan+UBSan.
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
 set -euo pipefail
 
@@ -38,6 +39,15 @@ if [[ "${VIA_CI_TSAN:-0}" == "1" ]]; then
   cmake --build "$BUILD_DIR-tsan" -j --target test_parallel test_concurrent_policy
   "$BUILD_DIR-tsan/tests/test_parallel"
   "$BUILD_DIR-tsan/tests/test_concurrent_policy"
+fi
+
+if [[ "${VIA_CI_ASAN:-0}" == "1" ]]; then
+  echo "== asan: chaos + fault + rpc tests under ASan+UBSan =="
+  cmake -B "$BUILD_DIR-asan" -S . -DVIA_ASAN=ON
+  cmake --build "$BUILD_DIR-asan" -j --target test_chaos test_faults test_rpc
+  "$BUILD_DIR-asan/tests/test_chaos"
+  "$BUILD_DIR-asan/tests/test_faults"
+  "$BUILD_DIR-asan/tests/test_rpc"
 fi
 
 echo "== ci.sh: all green =="

@@ -1,8 +1,45 @@
+// testbed_probe — end-to-end controller/client testbed smoke run.
+//
+//   testbed_probe [--fault-plan SPEC]
+//
+// --fault-plan SPEC: inject deterministic ground-truth faults, e.g.
+//   "outage:relay=2,start=0,end=86400;degrade:relay=0,start=0,end=43200,rtt=3"
+// (see FaultPlan::parse for the full grammar).  The run completes either
+// way; with a plan active the impaired-sample count is printed.
 #include <iostream>
+#include <string>
+
 #include "rpc/testbed.h"
+#include "sim/faults.h"
+
 using namespace via;
-int main() {
+
+int main(int argc, char** argv) {
   TestbedConfig cfg;
+  FaultPlan plan;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--fault-plan") {
+        plan = FaultPlan::parse(next());
+        cfg.faults = &plan;
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << "usage: testbed_probe [--fault-plan SPEC]\n";
+        return 0;
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
   TestbedResult r = run_testbed(cfg);
   std::cout << "measurement calls: " << r.measurement_calls
             << " eval calls: " << r.eval_calls << "\n";
@@ -10,5 +47,8 @@ int main() {
   std::cout << "within 10%: " << r.fraction_within(0.10)*100 << "%\n";
   std::cout << "within 20%: " << r.fraction_within(0.20)*100 << "%  (paper: ~70%)\n";
   std::cout << "within 50%: " << r.fraction_within(0.50)*100 << "%\n";
+  if (cfg.faults != nullptr) {
+    std::cout << "fault-impaired samples: " << r.fault_impaired_samples << "\n";
+  }
   return 0;
 }
