@@ -6,20 +6,33 @@
 //                   --option OPT [--ingress R] --rtt MS --loss PCT --jitter MS
 //   via_call_client --port N refresh --time T
 //   via_call_client --port N stats [--format table|json|prom]
+//   via_call_client --port N trace [--max-bytes N]
+//   via_call_client --port N flightrecord [--max-bytes N]
 //
 // Exposes the full wire protocol from the shell — handy for smoke-testing
 // a deployment or scripting synthetic traffic against a live controller.
+// `trace` prints the controller's span buffer as Chrome trace-event JSON;
+// `flightrecord` prints its flight recorder as JSONL (§6g).
 //
 // Resilience flags (all commands): --request-timeout-ms M arms a receive
 // deadline per round trip (0 = block forever); --retries K retries
 // retryable failures (timeout/reset/busy) up to K times with exponential
-// backoff and deterministic jitter, reconnecting after resets.
+// backoff and deterministic jitter, reconnecting after resets;
+// --fallback-direct makes decide answer the direct path instead of
+// failing when the controller stays unreachable.
+//
+// --client-stats: after the command, print the client's own accounting to
+// stderr — per-kind error counters (rpc.client.errors.timeout / reset /
+// protocol / busy), total request errors, and retry / reconnect /
+// fallback totals.  --trace-id X stamps decide requests with a trace id
+// so the controller's sampled spans line up with the caller's.
 #include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "rpc/client.h"
 
 namespace {
@@ -43,7 +56,10 @@ void usage() {
          " --option OPT [--ingress R] --rtt MS --loss PCT --jitter MS\n"
          "  via_call_client --port N refresh --time T\n"
          "  via_call_client --port N stats [--format table|json|prom]\n"
-         "options: [--request-timeout-ms M] [--retries K]\n";
+         "  via_call_client --port N trace [--max-bytes N]\n"
+         "  via_call_client --port N flightrecord [--max-bytes N]\n"
+         "options: [--request-timeout-ms M] [--retries K] [--fallback-direct]\n"
+         "         [--trace-id X] [--client-stats]\n";
 }
 
 }  // namespace
@@ -58,6 +74,8 @@ int main(int argc, char** argv) {
   Observation obs;
   TimeSec refresh_time = 0;
   via::obs::StatsFormat stats_format = via::obs::StatsFormat::Table;
+  std::uint32_t max_bytes = 0;
+  bool client_stats = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -72,7 +90,16 @@ int main(int argc, char** argv) {
         client_config.request_timeout_ms = std::stoi(next());
       } else if (arg == "--retries") {
         client_config.max_retries = std::stoi(next());
-      } else if (arg == "decide" || arg == "report" || arg == "refresh" || arg == "stats") {
+      } else if (arg == "--fallback-direct") {
+        client_config.fallback_direct = true;
+      } else if (arg == "--client-stats") {
+        client_stats = true;
+      } else if (arg == "--trace-id") {
+        request.trace_id = std::stoull(next(), nullptr, 0);
+      } else if (arg == "--max-bytes") {
+        max_bytes = static_cast<std::uint32_t>(std::stoul(next()));
+      } else if (arg == "decide" || arg == "report" || arg == "refresh" || arg == "stats" ||
+                 arg == "trace" || arg == "flightrecord") {
         command = arg;
       } else if (arg == "--format") {
         const std::string f = next();
@@ -117,8 +144,23 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  via::obs::MetricsRegistry client_registry;
+  const auto dump_client_stats = [&] {
+    if (!client_stats) return;
+    const via::obs::MetricsSnapshot snap = client_registry.snapshot();
+    std::cerr << "== client stats ==\n";
+    for (const char* name :
+         {"rpc.client.request_errors", "rpc.client.errors.timeout", "rpc.client.errors.reset",
+          "rpc.client.errors.protocol", "rpc.client.errors.busy", "rpc.client.retries",
+          "rpc.client.reconnects", "rpc.client.fallback_direct"}) {
+      std::cerr << name << " " << snap.counter_value(name) << "\n";
+    }
+  };
+
+  int rc = 0;
   try {
     ControllerClient client(port, client_config);
+    client.attach_metrics(&client_registry);
     if (command == "decide") {
       if (request.options.empty()) {
         std::cerr << "decide requires --options\n";
@@ -131,6 +173,10 @@ int main(int argc, char** argv) {
       std::cout << "ok\n";
     } else if (command == "stats") {
       std::cout << client.get_stats(stats_format) << "\n";
+    } else if (command == "trace") {
+      std::cout << client.get_trace(max_bytes) << "\n";
+    } else if (command == "flightrecord") {
+      std::cout << client.get_flight_record(max_bytes);
     } else {
       client.refresh(refresh_time);
       std::cout << "ok\n";
@@ -138,7 +184,8 @@ int main(int argc, char** argv) {
     client.shutdown();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    rc = 1;
   }
-  return 0;
+  dump_client_stats();
+  return rc;
 }

@@ -10,7 +10,28 @@
 //                  [--budget B] [--refresh-hours T] [--backbone FILE]
 //                  [--stripes N] [--solve-threads N] [--no-prewarm]
 //                  [--max-inflight N]
+//                  [--http-port N] [--trace-sample N]
+//                  [--flight-recorder FILE] [--timeseries-window MS]
 //                  [--metrics-dump] [--metrics-format table|json|prom]
+//
+// Observability plane (DESIGN.md §6g):
+//
+// --http-port N: start the admin HTTP sidecar on 127.0.0.1:N serving
+// /metrics (Prometheus), /healthz, /varz, /trace (Chrome trace JSON), and
+// /flightrecord (JSONL).  Omitted = no HTTP listener.
+//
+// --trace-sample N: record 1 in N decision traces (rpc.decide plus the
+// policy's choose sub-stages) into a bounded span buffer, dumpable via
+// GetTrace / the /trace endpoint.  0 (default) disables tracing entirely.
+//
+// --flight-recorder FILE: on shutdown, dump the flight recorder (health
+// transitions, shed requests, protocol errors, refresh ticks) as JSONL to
+// FILE ("-" = stdout).  The ring records regardless; this flag only adds
+// the exit dump.
+//
+// --timeseries-window MS: close a windowed counter/histogram delta
+// snapshot every MS milliseconds (queryable while running via /varz
+// consumers; dumped as JSON on shutdown with --metrics-dump).
 //
 // --max-inflight N: overload shedding — when more than N connections are
 // mid-request, new DecisionRequest/Report/Refresh frames get an explicit
@@ -44,6 +65,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -51,6 +73,7 @@
 
 #include "core/via_policy.h"
 #include "obs/export.h"
+#include "rpc/admin_http.h"
 #include "rpc/server.h"
 
 namespace {
@@ -132,6 +155,9 @@ int main(int argc, char** argv) {
   ServerConfig server_config;
   bool metrics_dump = false;
   obs::StatsFormat metrics_format = obs::StatsFormat::Table;
+  bool http_enabled = false;
+  std::uint16_t http_port = 0;
+  std::string flight_recorder_file;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -162,6 +188,15 @@ int main(int argc, char** argv) {
         config.prewarm_pairs = false;
       } else if (arg == "--max-inflight") {
         server_config.max_inflight = std::stoll(next());
+      } else if (arg == "--http-port") {
+        http_enabled = true;
+        http_port = static_cast<std::uint16_t>(std::stoi(next()));
+      } else if (arg == "--trace-sample") {
+        server_config.trace_sample = static_cast<std::uint32_t>(std::stoul(next()));
+      } else if (arg == "--flight-recorder") {
+        flight_recorder_file = next();
+      } else if (arg == "--timeseries-window") {
+        server_config.timeseries_window_ms = std::stoi(next());
       } else if (arg == "--metrics-dump") {
         metrics_dump = true;
       } else if (arg == "--metrics-format") {
@@ -172,6 +207,8 @@ int main(int argc, char** argv) {
                      "                      [--refresh-hours T] [--backbone FILE]\n"
                      "                      [--stripes N] [--solve-threads N] [--no-prewarm]\n"
                      "                      [--max-inflight N]\n"
+                     "                      [--http-port N] [--trace-sample N]\n"
+                     "                      [--flight-recorder FILE] [--timeseries-window MS]\n"
                      "                      [--metrics-dump] [--metrics-format table|json|prom]\n";
         return 0;
       } else {
@@ -203,8 +240,24 @@ int main(int argc, char** argv) {
   try {
     ControllerServer server(policy, port, server_config);
     server.start();
+    std::unique_ptr<AdminHttpServer> http;
+    if (http_enabled) {
+      http = std::make_unique<AdminHttpServer>(server.telemetry(), http_port);
+      http->set_varz([&server] {
+        std::ostringstream os;
+        os << "\"decisions_served\":" << server.decisions_served()
+           << ",\"reports_received\":" << server.reports_received()
+           << ",\"active_handlers\":" << server.active_handlers();
+        return std::move(os).str();
+      });
+      http->start();
+    }
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
+    if (http != nullptr) {
+      std::cout << "admin http on 127.0.0.1:" << http->port()
+                << " (/metrics /healthz /varz /trace /flightrecord)\n";
+    }
     std::cout << "via_controller listening on 127.0.0.1:" << server.port() << " (metric "
               << metric_name(config.target) << ", epsilon " << config.epsilon << ", budget "
               << config.budget.fraction << ", refresh "
@@ -223,7 +276,24 @@ int main(int argc, char** argv) {
     if (metrics_dump) {
       std::cout << "\n== telemetry ==\n"
                 << obs::render_stats(server.telemetry().registry.snapshot(), metrics_format);
+      const obs::TimeSeries series = server.timeseries();
+      if (!series.empty()) std::cout << "\n== timeseries ==\n" << series.to_json() << "\n";
     }
+    if (!flight_recorder_file.empty()) {
+      if (flight_recorder_file == "-") {
+        std::cout << "\n== flight record ==\n";
+        server.telemetry().flight.export_jsonl(std::cout);
+      } else {
+        std::ofstream out(flight_recorder_file);
+        if (out) {
+          server.telemetry().flight.export_jsonl(out);
+          std::cout << "flight record written to " << flight_recorder_file << "\n";
+        } else {
+          std::cerr << "cannot write flight record to " << flight_recorder_file << "\n";
+        }
+      }
+    }
+    if (http != nullptr) http->stop();
     server.stop();
   } catch (const std::exception& e) {
     std::cerr << "fatal: " << e.what() << "\n";

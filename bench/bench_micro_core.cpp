@@ -226,6 +226,17 @@ void BM_ChooseWithHealthFilter(benchmark::State& state) {
 }
 BENCHMARK(BM_ChooseWithHealthFilter);
 
+/// Telemetry plus request tracing at the production sampling rate (1 in
+/// 64): the §6g overhead contract.  The delta against the telemetry-only
+/// variant — amortized sampling branch + the occasional StagedSpan emit —
+/// is exported as trace_overhead_ns and pinned in bench/thresholds.json.
+void BM_ViaChoosePerCallTraced(benchmark::State& state) {
+  obs::Telemetry telemetry(4096, obs::TraceConfig{.sample_rate = 64, .buffer_capacity = 4096});
+  run_choose_per_call(state, &telemetry);
+  telemetry.registry.merge_into(obs::MetricsRegistry::process());
+}
+BENCHMARK(BM_ViaChoosePerCallTraced);
+
 void BM_GroundTruthSample(benchmark::State& state) {
   auto& gt = bench_gt();
   Rng rng(13);
@@ -505,6 +516,7 @@ int main(int argc, char** argv) {
   const std::map<std::string, std::string> tracked = {
       {"BM_ViaChoosePerCall", "choose_ns"},
       {"BM_ViaChoosePerCallTelemetry", "choose_telemetry_ns"},
+      {"BM_ViaChoosePerCallTraced", "choose_traced_ns"},
       {"BM_ChooseWithHealthFilter", "choose_health_ns"},
       {"BM_TopKSelection", "topk_ns"},
       {"BM_TomographySolve/10000", "tomography_solve_10k_ns"},
@@ -518,6 +530,15 @@ int main(int argc, char** argv) {
   for (const auto& [bench_name, key] : tracked) {
     const auto it = reporter.ns_per_op.find(bench_name);
     if (it != reporter.ns_per_op.end()) json.set(key, it->second);
+  }
+  // Tracing cost in isolation (§6g): traced-at-1/64 minus telemetry-only,
+  // floored at zero since the delta sits inside run-to-run noise.
+  {
+    const auto traced = reporter.ns_per_op.find("BM_ViaChoosePerCallTraced");
+    const auto telem = reporter.ns_per_op.find("BM_ViaChoosePerCallTelemetry");
+    if (traced != reporter.ns_per_op.end() && telem != reporter.ns_per_op.end()) {
+      json.set("trace_overhead_ns", std::max(0.0, traced->second - telem->second));
+    }
   }
   via::run_policy_sweep(json, threads);
   via::run_concurrent_choose(json);

@@ -55,6 +55,15 @@ struct CallContext {
   /// direct path (id 0) first.
   std::span<const OptionId> options;
 
+  /// Request tracing (obs/span.h): the distributed trace this decision
+  /// belongs to and the caller's span to parent under.  0/0 (the default)
+  /// means "not traced by the caller" — a policy with a tracer attached
+  /// derives a deterministic trace id from the call id instead, so head
+  /// sampling still works for untraced hosts.  Ignored entirely when no
+  /// tracer is attached.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+
   [[nodiscard]] std::uint64_t pair_key() const noexcept {
     return as_pair_key(key_src, key_dst);
   }

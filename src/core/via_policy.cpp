@@ -4,6 +4,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "obs/telemetry.h"
 #include "obs/timer.h"
 #include "util/thread_pool.h"
@@ -16,6 +18,8 @@ void ViaPolicy::attach_telemetry(obs::Telemetry* telemetry) {
   obs::MetricsRegistry& r = telemetry->registry;
   inst_.trace = &telemetry->decisions;
   inst_.ring = telemetry->decisions.enabled();
+  inst_.tracer = telemetry->tracer_if_enabled();
+  inst_.flight = telemetry->flight_if_enabled();
   inst_.ucb = &r.counter("policy.decision.ucb");
   inst_.epsilon_explore = &r.counter("policy.decision.epsilon_explore");
   inst_.budget_veto = &r.counter("policy.decision.budget_veto");
@@ -107,7 +111,11 @@ void ViaPolicy::refresh(TimeSec now) {
   commit_refresh(now);
 }
 
-void ViaPolicy::prepare_refresh(TimeSec /*now*/) {
+void ViaPolicy::prepare_refresh(TimeSec now) {
+  if (inst_.flight != nullptr) {
+    inst_.flight->record(obs::FlightEventKind::RefreshPrepare,
+                         "refresh prepare: harvesting window, training predictor", -1, -1, now);
+  }
   const obs::ScopedTimer prepare_timer(inst_.refresh_prepare_us);
   // One prepare at a time; serving (choose/observe) continues throughout —
   // everything below touches only the staged snapshot, the window under
@@ -187,6 +195,10 @@ void ViaPolicy::commit_refresh(TimeSec now) {
   // Per-pair serving states are invalidated lazily: choose() re-arms a
   // pair's bandit when its recorded period trails the published one.
   snapshot_.store(std::move(staged), std::memory_order_release);
+  if (inst_.flight != nullptr) {
+    inst_.flight->record(obs::FlightEventKind::RefreshCommit, "refresh commit: snapshot published",
+                         static_cast<std::int64_t>(model()->period()), -1, now);
+  }
   if (inst_.refreshes != nullptr) {
     inst_.refreshes->inc();
     const Predictor& predictor = model()->predictor();
@@ -258,11 +270,26 @@ OptionId ViaPolicy::choose(const CallContext& call) {
   ServingStats& stats = store_.stats;
   stats.calls.fetch_add(1, std::memory_order_relaxed);
 
+  // §6g request tracing.  With no tracer attached (the default) this whole
+  // scope is one null-pointer test; with one attached but the trace not
+  // sampled it adds one hash.  Only sampled calls read the clock — the
+  // stage() marks below are no-ops otherwise — and nothing here touches
+  // RNG or decision state, so traced and untraced replays stay
+  // bit-identical.
+  obs::StagedSpan span(
+      inst_.tracer,
+      inst_.tracer != nullptr
+          ? (call.trace_id != 0 ? call.trace_id
+                                : obs::derive_trace_id(static_cast<std::uint64_t>(call.id)))
+          : 0,
+      call.parent_span, "policy.choose");
+
   // Pin the published model for the whole decision: a concurrent refresh
   // swaps the pointer but cannot invalidate what this call already loaded.
   const std::shared_ptr<const ModelSnapshot> snap = model();
   const ModelSnapshot::PairView pair = snap->pair_model(call, this);
   store_.budget_on_call(pair.predicted_benefit);
+  span.stage("snapshot_topk");
 
   const OptionId direct = RelayOptionTable::direct_id();
   const std::uint64_t key = call.pair_key();
@@ -286,6 +313,7 @@ OptionId ViaPolicy::choose(const CallContext& call) {
       state.options.assign(call.options.begin(), call.options.end());
     }
   }
+  span.stage("pair_state");
 
   // §6f relay health: with the state machine enabled AND at least one
   // relay possibly quarantined, picks that ride a blocked relay are
@@ -302,6 +330,7 @@ OptionId ViaPolicy::choose(const CallContext& call) {
   // the pruning honest under non-stationary performance.  Exploration
   // calls bypass the benefit threshold but still consume budget tokens.
   if (!call.options.empty() && stripe.rng.uniform() < config_.epsilon) {
+    span.name_tail("epsilon_pick");
     const OptionId pick =
         call.options[static_cast<std::size_t>(stripe.rng.uniform_index(call.options.size()))];
     if (health_blocks(pick)) {
@@ -331,8 +360,11 @@ OptionId ViaPolicy::choose(const CallContext& call) {
 
   // Stage 4a: modified-UCB1 over the top-k candidates.
   OptionId pick = state.bandit.pick();
+  span.stage("bandit_pick");
+  span.name_tail("budget");
   if (pick == kInvalidOption) {
     // Cold start: no predictable candidate yet.
+    span.name_tail("fallback_direct");
     stats.cold_start_direct.fetch_add(1, std::memory_order_relaxed);
     count_choice(direct);
     trace_decision(call, direct, obs::DecisionReason::FallbackDirect, pair.top_k,
@@ -346,8 +378,15 @@ OptionId ViaPolicy::choose(const CallContext& call) {
     // unblocked arm, or fall all the way back to direct when the outage
     // has taken the entire candidate set down.
     pick = state.bandit.pick_if([&](OptionId o) { return !health_blocks(o); });
+    span.stage("health_filter");
     if (pick == kInvalidOption) {
       stats.outage_fallback_direct.fetch_add(1, std::memory_order_relaxed);
+      if (inst_.flight != nullptr) {
+        inst_.flight->record(obs::FlightEventKind::OutageFallback,
+                             "all top-k candidates quarantined; served direct",
+                             static_cast<std::int64_t>(call.src_as),
+                             static_cast<std::int64_t>(call.dst_as), call.time);
+      }
       count_choice(direct);
       trace_decision(call, direct, obs::DecisionReason::FallbackDirectOutage, pair.top_k,
                      state.bandit.total_plays());
@@ -415,6 +454,14 @@ void ViaPolicy::observe(const Observation& obs) {
         const RelayHealthTracker::Counts counts = health_.counts(obs.time);
         inst_.health_quarantined->set(static_cast<double>(counts.quarantined));
         inst_.health_degraded->set(static_cast<double>(counts.degraded));
+      }
+      if ((t.entered_quarantine || t.readmitted) && inst_.flight != nullptr) {
+        inst_.flight->record(t.entered_quarantine ? obs::FlightEventKind::HealthQuarantine
+                                                  : obs::FlightEventKind::HealthReadmit,
+                             t.entered_quarantine
+                                 ? "relay quarantined after catastrophic observations"
+                                 : "relay readmitted after clean probation",
+                             static_cast<std::int64_t>(obs.option), -1, obs.time);
       }
     }
   }

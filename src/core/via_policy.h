@@ -45,6 +45,8 @@ class Counter;
 class Gauge;
 class LatencyHistogram;
 class DecisionTrace;
+class Tracer;
+class FlightRecorder;
 enum class DecisionReason : std::uint8_t;
 }  // namespace obs
 
@@ -175,6 +177,12 @@ class ViaPolicy final : public RoutingPolicy, private PairBuildObserver {
   /// Cached instrument pointers, all null while no telemetry is attached.
   struct Instruments {
     obs::DecisionTrace* trace = nullptr;
+    /// Request tracing (§6g): null unless the attached telemetry's tracer
+    /// is enabled, so the untraced choose() pays exactly one branch.
+    obs::Tracer* tracer = nullptr;
+    /// Flight recorder (§6g): null unless enabled; fed only by rare
+    /// structural events (health transitions, total-outage fallbacks).
+    obs::FlightRecorder* flight = nullptr;
     /// True only when the attached trace ring has nonzero capacity; gates
     /// the per-call DecisionEvent construction and observed-value fill-in
     /// so a disabled ring costs nothing on the choose/observe hot paths.

@@ -18,16 +18,6 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
 void json_number(std::ostream& os, double v) {
   if (std::isnan(v) || std::isinf(v)) {
     os << "null";
@@ -37,6 +27,112 @@ void json_number(std::ostream& os, double v) {
 }
 
 }  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c != '\\' || i + 1 >= s.size()) {
+      out.push_back(c);
+      continue;
+    }
+    const char e = s[++i];
+    switch (e) {
+      case '"':
+      case '\\':
+      case '/':
+        out.push_back(e);
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'b':
+        out.push_back('\b');
+        break;
+      case 'f':
+        out.push_back('\f');
+        break;
+      case 'u': {
+        if (i + 4 < s.size()) {
+          unsigned v = 0;
+          bool ok = true;
+          for (std::size_t j = 1; j <= 4; ++j) {
+            const char h = s[i + j];
+            v <<= 4;
+            if (h >= '0' && h <= '9') {
+              v |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              v |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              v |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              ok = false;
+              break;
+            }
+          }
+          if (ok && v < 0x80) {
+            out.push_back(static_cast<char>(v));
+            i += 4;
+            break;
+          }
+        }
+        out += "\\u";  // malformed or non-ASCII: pass through verbatim
+        break;
+      }
+      default:
+        out.push_back('\\');
+        out.push_back(e);
+    }
+  }
+  return out;
+}
 
 void render_table(const MetricsSnapshot& snap, std::ostream& os) {
   if (!snap.counters.empty()) {
@@ -100,17 +196,24 @@ void render_json(const MetricsSnapshot& snap, std::ostream& os) {
 }
 
 void render_prometheus(const MetricsSnapshot& snap, std::ostream& os) {
+  // Every metric gets a HELP/TYPE pair (exposition-format grammar; the
+  // source name doubles as the help text since registration carries none).
   for (const auto& c : snap.counters) {
     const std::string name = prometheus_name(c.name);
-    os << "# TYPE " << name << " counter\n" << name << " " << c.value << "\n";
+    os << "# HELP " << name << " " << c.name << "\n"
+       << "# TYPE " << name << " counter\n"
+       << name << " " << c.value << "\n";
   }
   for (const auto& g : snap.gauges) {
     const std::string name = prometheus_name(g.name);
-    os << "# TYPE " << name << " gauge\n" << name << " " << g.value << "\n";
+    os << "# HELP " << name << " " << g.name << "\n"
+       << "# TYPE " << name << " gauge\n"
+       << name << " " << g.value << "\n";
   }
   for (const auto& h : snap.histograms) {
     const std::string name = prometheus_name(h.name);
-    os << "# TYPE " << name << " histogram\n";
+    os << "# HELP " << name << " " << h.name << "\n"
+       << "# TYPE " << name << " histogram\n";
     std::int64_t cumulative = 0;
     for (std::size_t j = 0; j < h.counts.size(); ++j) {
       cumulative += h.counts[j];

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.h"
 
@@ -13,6 +14,16 @@ namespace via::obs {
 
 /// Wire-stable format selector (also used by the GetStats RPC).
 enum class StatsFormat : std::uint8_t { Json = 0, Prometheus = 1, Table = 2 };
+
+/// Escapes a string for embedding inside a JSON string literal: quotes,
+/// backslashes, and control characters (\n, \t, ... and \u00XX for the
+/// rest).  Shared by every JSON/JSONL emitter in the subsystem so no
+/// exporter can produce unparseable output from a hostile metric name.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Inverse of json_escape (also accepts plain \uXXXX below 0x80).
+/// Malformed escapes are passed through verbatim rather than rejected.
+[[nodiscard]] std::string json_unescape(std::string_view s);
 
 void render_table(const MetricsSnapshot& snap, std::ostream& os);
 void render_json(const MetricsSnapshot& snap, std::ostream& os);

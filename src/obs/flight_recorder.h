@@ -1,0 +1,104 @@
+// Flight recorder: a bounded ring of structured "something notable
+// happened" events — health-state transitions, RPC errors/retries/
+// fallbacks, refresh prepare/commit ticks, shed and drain actions — kept
+// resident so the seconds *before* a failure can be reconstructed after
+// the fact.  Events are rare by construction (no per-call producers), so
+// recording is a mutex-protected ring insert, and every recorder mirrors
+// into a process-wide ring whose global sequence numbers give one total
+// order across client, server, and policy recorders.
+//
+// Dumps are JSONL (one self-contained object per line) parseable back via
+// FlightEvent::from_jsonl, written on demand (GetFlightRecord RPC, admin
+// HTTP), on fault (test failure listeners), or at exit (--flight-recorder).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace via::obs {
+
+enum class FlightEventKind : std::uint8_t {
+  HealthQuarantine = 0,  ///< relay entered quarantine (a = relay id)
+  HealthReadmit = 1,     ///< relay readmitted from probation (a = relay id)
+  RpcError = 2,          ///< client request failed (detail = kind: message)
+  RpcRetry = 3,          ///< client retrying after a retryable error
+  RpcReconnect = 4,      ///< client re-established its connection
+  RpcFallback = 5,       ///< client gave up and used the direct path
+  Shed = 6,              ///< server shed a request under overload (Busy)
+  ProtocolError = 7,     ///< server received a malformed frame
+  DrainForcedClose = 8,  ///< drain timeout forced a connection shut
+  RefreshPrepare = 9,    ///< model rebuild started (a = refresh time)
+  RefreshCommit = 10,    ///< new model published (a = refresh time)
+  OutageFallback = 11,   ///< every candidate quarantined; direct served
+  Note = 12,             ///< freeform annotation
+};
+
+inline constexpr std::size_t kNumFlightEventKinds = 13;
+
+[[nodiscard]] std::string_view flight_event_kind_name(FlightEventKind k) noexcept;
+[[nodiscard]] std::optional<FlightEventKind> flight_event_kind_from(
+    std::string_view name) noexcept;
+
+/// One recorded event.  `seq` comes from a process-global counter, so
+/// events from different recorders merge into one total order; `wall_us`
+/// is steady-clock microseconds since process start; `time` is the domain
+/// timestamp (sim/report seconds) when the producer has one, else -1.
+struct FlightEvent {
+  std::int64_t seq = 0;
+  std::int64_t wall_us = 0;
+  TimeSec time = -1;
+  FlightEventKind kind = FlightEventKind::Note;
+  std::string detail;
+  std::int64_t a = -1;  ///< kind-specific argument (relay id, refresh time, ...)
+  std::int64_t b = -1;
+
+  /// One JSON object, no trailing newline.
+  [[nodiscard]] std::string to_jsonl() const;
+  /// Parses a to_jsonl() line; nullopt on malformed input.
+  [[nodiscard]] static std::optional<FlightEvent> from_jsonl(std::string_view line);
+};
+
+/// Bounded, thread-safe event ring.  Capacity 0 disables recording (and
+/// the process mirror) for this instance.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 4096);
+
+  [[nodiscard]] bool enabled() const noexcept { return capacity_ > 0; }
+
+  void record(FlightEventKind kind, std::string_view detail = {}, std::int64_t a = -1,
+              std::int64_t b = -1, TimeSec time = -1);
+
+  /// Resident events in sequence order (oldest first).
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+
+  /// Writes the resident events as JSONL, oldest first.
+  void export_jsonl(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::int64_t recorded() const;  ///< total ever recorded
+
+  void clear();
+
+  /// Process-wide recorder; every other recorder mirrors into it.
+  [[nodiscard]] static FlightRecorder& process();
+
+ private:
+  void store(const FlightEvent& event);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<FlightEvent> ring_;
+  std::size_t next_ = 0;
+  std::int64_t recorded_ = 0;
+};
+
+}  // namespace via::obs

@@ -1,0 +1,205 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+namespace via::obs {
+
+struct SpanBuffer::Stripe {
+  mutable std::mutex mutex;
+  std::vector<Span> ring;
+  std::size_t next = 0;
+  std::int64_t recorded = 0;
+};
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SpanBuffer::SpanBuffer(std::size_t capacity, std::size_t stripes) : capacity_(capacity) {
+  const std::size_t n = round_up_pow2(std::max<std::size_t>(stripes, 1));
+  stripe_mask_ = n - 1;
+  stripes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) stripes_.push_back(std::make_unique<Stripe>());
+}
+
+SpanBuffer::~SpanBuffer() = default;
+
+SpanBuffer::Stripe& SpanBuffer::stripe_for(std::uint64_t trace_id) const {
+  return *stripes_[hash_mix(trace_id) & stripe_mask_];
+}
+
+void SpanBuffer::add(const Span& span) {
+  if (capacity_ == 0) return;
+  // Per-stripe share of the total capacity (at least one slot each).
+  const std::size_t per_stripe = std::max<std::size_t>(capacity_ / stripes_.size(), 1);
+  Stripe& s = stripe_for(span.trace_id);
+  const std::lock_guard lock(s.mutex);
+  if (s.ring.size() < per_stripe) {
+    s.ring.push_back(span);
+  } else {
+    s.ring[s.next] = span;
+    s.next = (s.next + 1) % per_stripe;
+  }
+  ++s.recorded;
+}
+
+std::vector<Span> SpanBuffer::snapshot() const {
+  std::vector<Span> out;
+  for (const auto& stripe : stripes_) {
+    const std::lock_guard lock(stripe->mutex);
+    out.insert(out.end(), stripe->ring.begin(), stripe->ring.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.start_ns != b.start_ns ? a.start_ns < b.start_ns : a.span_id < b.span_id;
+  });
+  return out;
+}
+
+std::int64_t SpanBuffer::recorded() const {
+  std::int64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    const std::lock_guard lock(stripe->mutex);
+    total += stripe->recorded;
+  }
+  return total;
+}
+
+void SpanBuffer::clear() {
+  for (const auto& stripe : stripes_) {
+    const std::lock_guard lock(stripe->mutex);
+    stripe->ring.clear();
+    stripe->next = 0;
+  }
+}
+
+SpanBuffer& SpanBuffer::process() {
+  static SpanBuffer instance(8192, 8);
+  return instance;
+}
+
+Tracer::Tracer(TraceConfig config)
+    : config_(config), buffer_(config.buffer_capacity, config.stripes) {}
+
+std::uint64_t Tracer::now_ns() noexcept {
+  // One steady epoch per process, captured on first use, so spans emitted
+  // by different Telemetry instances share a timeline.
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - epoch)
+                                        .count());
+}
+
+std::uint32_t Tracer::current_tid() noexcept {
+  const std::size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+void Tracer::emit(const Span& span) {
+  buffer_.add(span);
+  // Mirror into the process-wide sink so failure dumps see every tracer.
+  SpanBuffer::process().add(span);
+}
+
+StagedSpan::~StagedSpan() {
+  if (tracer_ == nullptr) return;
+  const std::uint64_t end_ns = Tracer::now_ns();
+  const std::uint32_t tid = Tracer::current_tid();
+  Span root;
+  root.trace_id = trace_id_;
+  root.span_id = tracer_->next_span_id();
+  root.parent_id = parent_id_;
+  root.name = name_;
+  root.start_ns = start_ns_;
+  root.dur_ns = end_ns - start_ns_;
+  root.tid = tid;
+  for (std::size_t i = 0; i < stage_count_; ++i) {
+    const Mark& m = stages_[i];
+    Span child;
+    child.trace_id = trace_id_;
+    child.span_id = tracer_->next_span_id();
+    child.parent_id = root.span_id;
+    child.name = m.name;
+    child.start_ns = m.begin_ns;
+    child.dur_ns = m.end_ns - m.begin_ns;
+    child.tid = tid;
+    tracer_->emit(child);
+  }
+  if (tail_name_ != nullptr && end_ns > last_ns_) {
+    Span tail;
+    tail.trace_id = trace_id_;
+    tail.span_id = tracer_->next_span_id();
+    tail.parent_id = root.span_id;
+    tail.name = tail_name_;
+    tail.start_ns = last_ns_;
+    tail.dur_ns = end_ns - last_ns_;
+    tail.tid = tid;
+    tracer_->emit(tail);
+  }
+  tracer_->emit(root);
+}
+
+namespace {
+
+void hex_u64(std::ostream& os, std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  char buf[16];
+  int i = 16;
+  do {
+    buf[--i] = kDigits[v & 0xF];
+    v >>= 4;
+  } while (v != 0);
+  os.write(&buf[i], 16 - i);
+}
+
+}  // namespace
+
+void export_chrome_trace(std::span<const Span> spans, std::ostream& os,
+                         std::size_t max_events) {
+  if (spans.size() > max_events) {
+    spans = spans.subspan(spans.size() - max_events);  // keep the newest
+  }
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans) {
+    if (!first) os << ",";
+    first = false;
+    // Complete ("X") events; Chrome wants microsecond timestamps.  Span
+    // names are compile-time literals (see Span::name), safe to emit raw.
+    os << "{\"name\":\"" << s.name << "\",\"cat\":\"via\",\"ph\":\"X\",\"ts\":"
+       << static_cast<double>(s.start_ns) / 1000.0
+       << ",\"dur\":" << static_cast<double>(s.dur_ns) / 1000.0
+       << ",\"pid\":1,\"tid\":" << s.tid << ",\"args\":{\"trace\":\"";
+    hex_u64(os, s.trace_id);
+    os << "\",\"span\":\"";
+    hex_u64(os, s.span_id);
+    os << "\",\"parent\":\"";
+    hex_u64(os, s.parent_id);
+    os << "\"}}";
+  }
+  os << "],\"displayTimeUnit\":\"ns\"}";
+}
+
+std::string chrome_trace_json(const SpanBuffer& buffer, std::size_t max_bytes) {
+  const std::vector<Span> spans = buffer.snapshot();
+  std::size_t max_events = spans.size();
+  for (;;) {
+    std::ostringstream ss;
+    export_chrome_trace(spans, ss, max_events);
+    std::string out = ss.str();
+    if (max_bytes == 0 || out.size() <= max_bytes || max_events == 0) return out;
+    max_events /= 2;  // trim oldest half and retry until it fits
+  }
+}
+
+}  // namespace via::obs

@@ -20,6 +20,13 @@ inline constexpr std::array<double, 16> kLatencyBoundsUs{
     1,   2,   4,    8,    16,   32,   64,    128,
     256, 512, 1024, 2048, 4096, 8192, 16384, 32768};
 
+/// Nanosecond latency buckets: 32ns .. ~1ms, powers of two.  For in-memory
+/// hot paths (the ~179ns ViaPolicy::choose) that the microsecond preset
+/// would collapse into its first bucket.
+inline constexpr std::array<double, 16> kLatencyBoundsNs{
+    32,   64,   128,   256,   512,   1024,   2048,   4096,
+    8192, 16384, 32768, 65536, 131072, 262144, 524288, 1048576};
+
 class ScopedTimer {
  public:
   explicit ScopedTimer(LatencyHistogram& hist) noexcept
@@ -39,6 +46,35 @@ class ScopedTimer {
 
   [[nodiscard]] double elapsed_us() const noexcept {
     return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  LatencyHistogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// ScopedTimer's nanosecond sibling, for hot paths recorded against
+/// kLatencyBoundsNs-shaped histograms.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(LatencyHistogram& hist) noexcept
+      : hist_(&hist), start_(std::chrono::steady_clock::now()) {}
+  /// No-op timer when `hist` is null (telemetry disabled).
+  explicit ScopedTimerNs(LatencyHistogram* hist) noexcept
+      : hist_(hist),
+        start_(hist != nullptr ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{}) {}
+
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+  ~ScopedTimerNs() {
+    if (hist_ != nullptr) hist_->observe(elapsed_ns());
+  }
+
+  [[nodiscard]] double elapsed_ns() const noexcept {
+    return std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - start_)
         .count();
   }
 

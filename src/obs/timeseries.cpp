@@ -1,0 +1,117 @@
+#include "obs/timeseries.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "obs/export.h"
+
+namespace via::obs {
+
+namespace {
+
+void json_number(std::ostream& os, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    os << "null";
+  } else {
+    os << v;
+  }
+}
+
+}  // namespace
+
+std::int64_t TimeSeriesWindow::counter_delta(std::string_view name) const noexcept {
+  for (const auto& [n, v] : counter_deltas) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double TimeSeriesWindow::value(std::string_view name, double fallback) const noexcept {
+  for (const auto& [n, v] : values) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+void TimeSeries::render_json(std::ostream& os) const {
+  os << "{\"window\":";
+  json_number(os, window);
+  os << ",\"windows\":[";
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const TimeSeriesWindow& w = windows[i];
+    if (i > 0) os << ",";
+    os << "{\"start\":";
+    json_number(os, w.start);
+    os << ",\"end\":";
+    json_number(os, w.end);
+    os << ",\"counters\":{";
+    for (std::size_t j = 0; j < w.counter_deltas.size(); ++j) {
+      if (j > 0) os << ",";
+      os << "\"" << json_escape(w.counter_deltas[j].first)
+         << "\":" << w.counter_deltas[j].second;
+    }
+    os << "},\"histograms\":{";
+    for (std::size_t j = 0; j < w.histogram_deltas.size(); ++j) {
+      const auto& [name, cm] = w.histogram_deltas[j];
+      if (j > 0) os << ",";
+      os << "\"" << json_escape(name) << "\":{\"count\":" << cm.first << ",\"mean\":";
+      json_number(os, cm.second);
+      os << "}";
+    }
+    os << "},\"values\":{";
+    for (std::size_t j = 0; j < w.values.size(); ++j) {
+      if (j > 0) os << ",";
+      os << "\"" << json_escape(w.values[j].first) << "\":";
+      json_number(os, w.values[j].second);
+    }
+    os << "}}";
+  }
+  os << "]}";
+}
+
+std::string TimeSeries::to_json() const {
+  std::ostringstream ss;
+  render_json(ss);
+  return ss.str();
+}
+
+TimeSeriesRecorder::TimeSeriesRecorder(const MetricsRegistry* registry, double window)
+    : registry_(registry) {
+  series_.window = window;
+}
+
+void TimeSeriesRecorder::annotate(std::string_view name, double value) {
+  pending_values_.emplace_back(std::string(name), value);
+}
+
+void TimeSeriesRecorder::close_window(double start, double end) {
+  TimeSeriesWindow w;
+  w.start = start;
+  w.end = end;
+  w.values = std::move(pending_values_);
+  pending_values_.clear();
+
+  if (registry_ != nullptr) {
+    const MetricsSnapshot snap = registry_->snapshot();
+    for (const CounterSample& c : snap.counters) {
+      auto [it, inserted] = prev_counters_.try_emplace(c.name, 0);
+      const std::int64_t delta = c.value - it->second;
+      it->second = c.value;
+      if (delta != 0) w.counter_deltas.emplace_back(c.name, delta);
+    }
+    for (const HistogramSample& h : snap.histograms) {
+      auto [it, inserted] = prev_histograms_.try_emplace(h.name, std::pair{std::int64_t{0}, 0.0});
+      const std::int64_t dcount = h.count - it->second.first;
+      const double dsum = h.sum - it->second.second;
+      it->second = {h.count, h.sum};
+      if (dcount != 0) {
+        w.histogram_deltas.emplace_back(h.name,
+                                        std::pair{dcount, dsum / static_cast<double>(dcount)});
+      }
+    }
+  }
+  series_.windows.push_back(std::move(w));
+}
+
+}  // namespace via::obs

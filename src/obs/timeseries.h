@@ -1,0 +1,82 @@
+// Windowed time-series telemetry: periodic snapshots of a MetricsRegistry
+// diffed into per-window deltas, turning cumulative counters into curves
+// (choose/sec, per-kind RPC error rates, quarantine transitions per
+// window) and histograms into per-window count/mean pairs.  Producers can
+// annotate each window with domain values the registry doesn't carry
+// (per-window mean PNR, regret), which is what evaluating non-stationary
+// learners needs — regret *over time*, not end-of-run totals.
+//
+// The window unit is whatever the driver uses: the simulation engine
+// closes windows on sim seconds, the controller's ticker on wall-clock
+// seconds.  Closing a window is snapshot + diff (no hot-path cost); the
+// result is plain data that renders as JSON.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace via::obs {
+
+/// One closed window: counter deltas, histogram delta count/mean, and the
+/// producer's annotated values.  Deltas of zero are omitted — windows are
+/// sparse by construction.
+struct TimeSeriesWindow {
+  double start = 0.0;
+  double end = 0.0;
+  std::vector<std::pair<std::string, std::int64_t>> counter_deltas;
+  /// name -> {delta count, mean of the values observed this window}.
+  std::vector<std::pair<std::string, std::pair<std::int64_t, double>>> histogram_deltas;
+  std::vector<std::pair<std::string, double>> values;  ///< annotations
+
+  [[nodiscard]] std::int64_t counter_delta(std::string_view name) const noexcept;
+  [[nodiscard]] double value(std::string_view name, double fallback = 0.0) const noexcept;
+};
+
+/// A closed-window sequence (plain data; copyable into RunResult).
+struct TimeSeries {
+  double window = 0.0;  ///< nominal window length (sim or wall seconds)
+  std::vector<TimeSeriesWindow> windows;
+
+  [[nodiscard]] bool empty() const noexcept { return windows.empty(); }
+  void render_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Accumulates windows over one registry.  Not thread-safe by itself —
+/// drivers close windows from a single thread (the sim loop, the ticker) —
+/// but snapshotting the registry is safe against concurrent instrument
+/// updates, so producers never pause.
+class TimeSeriesRecorder {
+ public:
+  /// `registry` must outlive the recorder.  `window` is the nominal window
+  /// length recorded into the series (purely descriptive; close_window
+  /// takes explicit bounds).
+  TimeSeriesRecorder(const MetricsRegistry* registry, double window);
+
+  /// Annotates the *next* closed window with a named value.
+  void annotate(std::string_view name, double value);
+
+  /// Closes [start, end): diffs the registry against the previous close
+  /// and appends a window carrying the deltas plus pending annotations.
+  void close_window(double start, double end);
+
+  [[nodiscard]] const TimeSeries& series() const noexcept { return series_; }
+  [[nodiscard]] TimeSeries take() noexcept { return std::move(series_); }
+
+ private:
+  const MetricsRegistry* registry_;
+  TimeSeries series_;
+  std::map<std::string, std::int64_t, std::less<>> prev_counters_;
+  /// name -> {count, sum} at the previous close.
+  std::map<std::string, std::pair<std::int64_t, double>, std::less<>> prev_histograms_;
+  std::vector<std::pair<std::string, double>> pending_values_;
+};
+
+}  // namespace via::obs

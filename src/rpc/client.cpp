@@ -67,6 +67,9 @@ void ControllerClient::ensure_connected() {
   if (ever_connected_) {
     ++reconnects_;
     if (tel_reconnects_ != nullptr) tel_reconnects_->inc();
+    if (flight_ != nullptr) {
+      flight_->record(obs::FlightEventKind::RpcReconnect, "reconnected to controller");
+    }
   }
   ever_connected_ = true;
 }
@@ -89,6 +92,9 @@ void ControllerClient::note_error(RpcErrorKind kind) {
       break;
   }
   if (by_kind != nullptr) by_kind->inc();
+  if (flight_ != nullptr) {
+    flight_->record(obs::FlightEventKind::RpcError, rpc_error_kind_name(kind));
+  }
 }
 
 void ControllerClient::backoff_sleep(int attempt_index) {
@@ -159,6 +165,9 @@ Frame ControllerClient::round_trip(MsgType type, const WireWriter& w, MsgType ex
       if (!e.retryable() || attempt_index >= config_.max_retries) throw;
       ++retries_;
       if (tel_retries_ != nullptr) tel_retries_->inc();
+      if (flight_ != nullptr) {
+        flight_->record(obs::FlightEventKind::RpcRetry, e.what(), attempt_index + 1);
+      }
       backoff_sleep(attempt_index);
     }
   }
@@ -182,6 +191,10 @@ OptionId ControllerClient::request_decision(const DecisionRequest& request) {
     if (config_.fallback_direct && e.kind() != RpcErrorKind::Protocol) {
       ++fallbacks_;
       if (tel_fallback_direct_ != nullptr) tel_fallback_direct_->inc();
+      if (flight_ != nullptr) {
+        flight_->record(obs::FlightEventKind::RpcFallback,
+                        "controller unreachable; call served direct", request.call_id);
+      }
       return RelayOptionTable::direct_id();
     }
     throw;
@@ -204,6 +217,22 @@ std::string ControllerClient::get_stats(obs::StatsFormat format) {
   WireWriter w;
   StatsRequest{static_cast<std::uint8_t>(format)}.encode(w);
   Frame frame = round_trip(MsgType::GetStats, w, MsgType::GetStatsResponse);
+  WireReader r(frame.payload);
+  return StatsResponse::decode(r).text;
+}
+
+std::string ControllerClient::get_trace(std::uint32_t max_bytes) {
+  WireWriter w;
+  DumpRequest{max_bytes}.encode(w);
+  Frame frame = round_trip(MsgType::GetTrace, w, MsgType::GetTraceResponse);
+  WireReader r(frame.payload);
+  return StatsResponse::decode(r).text;
+}
+
+std::string ControllerClient::get_flight_record(std::uint32_t max_bytes) {
+  WireWriter w;
+  DumpRequest{max_bytes}.encode(w);
+  Frame frame = round_trip(MsgType::GetFlightRecord, w, MsgType::GetFlightRecordResponse);
   WireReader r(frame.payload);
   return StatsResponse::decode(r).text;
 }

@@ -21,6 +21,7 @@
 
 #include "core/policy.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "rpc/errors.h"
 #include "rpc/messages.h"
@@ -61,6 +62,11 @@ class ControllerClient {
   /// `registry` (caller-owned, must outlive the client).  nullptr detaches.
   void attach_metrics(obs::MetricsRegistry* registry);
 
+  /// Optional flight recorder (§6g): RPC errors, retries, reconnects, and
+  /// direct fallbacks are recorded as structured events (caller-owned,
+  /// must outlive the client).  nullptr detaches.
+  void attach_flight(obs::FlightRecorder* flight) noexcept { flight_ = flight; }
+
   /// Round trip: returns the relaying option to use for this call.  With
   /// fallback_direct, returns the direct option when the controller is
   /// unreachable (never for Protocol errors — those indicate a bug, not an
@@ -77,6 +83,14 @@ class ControllerClient {
 
   /// Fetches the controller's telemetry snapshot, rendered server-side.
   [[nodiscard]] std::string get_stats(obs::StatsFormat format = obs::StatsFormat::Json);
+
+  /// Fetches the controller's span buffer as Chrome trace-event JSON
+  /// (§6g).  `max_bytes` 0 = server default (just under the frame cap).
+  [[nodiscard]] std::string get_trace(std::uint32_t max_bytes = 0);
+
+  /// Fetches the controller's flight recorder as JSONL (newest events kept
+  /// when the dump exceeds `max_bytes`).
+  [[nodiscard]] std::string get_flight_record(std::uint32_t max_bytes = 0);
 
   /// Politely ends the session (best-effort; never throws).
   void shutdown();
@@ -106,6 +120,7 @@ class ControllerClient {
   std::int64_t reconnects_ = 0;
   std::int64_t fallbacks_ = 0;
   std::uint64_t backoff_draws_ = 0;
+  obs::FlightRecorder* flight_ = nullptr;
 
   obs::Counter* tel_bytes_in_ = nullptr;
   obs::Counter* tel_bytes_out_ = nullptr;

@@ -9,6 +9,7 @@ void DecisionRequest::encode(WireWriter& w) const {
   w.i32(dst_as);
   w.u32(static_cast<std::uint32_t>(options.size()));
   for (const OptionId o : options) w.i32(o);
+  w.u64(trace_id);
 }
 
 DecisionRequest DecisionRequest::decode(WireReader& r) {
@@ -25,6 +26,9 @@ DecisionRequest DecisionRequest::decode(WireReader& r) {
   }
   m.options.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) m.options.push_back(r.i32());
+  // Appended in a later protocol revision; frames from older clients end
+  // here and decode as untraced.
+  m.trace_id = r.exhausted() ? 0 : r.u64();
   return m;
 }
 
@@ -87,6 +91,14 @@ void StatsResponse::encode(WireWriter& w) const { w.str(text); }
 StatsResponse StatsResponse::decode(WireReader& r) {
   StatsResponse m;
   m.text = r.str();
+  return m;
+}
+
+void DumpRequest::encode(WireWriter& w) const { w.u32(max_bytes); }
+
+DumpRequest DumpRequest::decode(WireReader& r) {
+  DumpRequest m;
+  m.max_bytes = r.u32();
   return m;
 }
 

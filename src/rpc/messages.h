@@ -31,6 +31,13 @@ enum class MsgType : std::uint8_t {
   /// client backs off and retries.
   Error = 10,
   Busy = 11,
+  /// Admin-plane dumps (§6g): the server's span buffer as Chrome
+  /// trace-event JSON and its flight recorder as JSONL.  Exempt from
+  /// shedding, like GetStats — operators need them most under duress.
+  GetTrace = 12,
+  GetTraceResponse = 13,
+  GetFlightRecord = 14,
+  GetFlightRecordResponse = 15,
 };
 
 struct DecisionRequest {
@@ -41,6 +48,9 @@ struct DecisionRequest {
   /// Candidate options the client pair can use (the testbed registers
   /// these; empty means "controller decides from its own option table").
   std::vector<OptionId> options;
+  /// Request-tracing id (§6g), appended after the original fields so old
+  /// peers interoperate: absent on the wire decodes as 0 ("untraced").
+  std::uint64_t trace_id = 0;
 
   void encode(WireWriter& w) const;
   [[nodiscard]] static DecisionRequest decode(WireReader& r);
@@ -83,6 +93,17 @@ struct StatsResponse {
 
   void encode(WireWriter& w) const;
   [[nodiscard]] static StatsResponse decode(WireReader& r);
+};
+
+/// Admin-plane dump request (GetTrace / GetFlightRecord share the shape):
+/// `max_bytes` caps the rendered dump so the response stays under the
+/// frame payload limit; 0 means "server default" (kMaxPayload minus frame
+/// overhead).  The response reuses StatsResponse's single-string payload.
+struct DumpRequest {
+  std::uint32_t max_bytes = 0;
+
+  void encode(WireWriter& w) const;
+  [[nodiscard]] static DumpRequest decode(WireReader& r);
 };
 
 /// Payload of an MsgType::Error reply: the request frame type that failed

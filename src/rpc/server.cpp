@@ -2,12 +2,15 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/export.h"
+#include "obs/span.h"
 #include "util/rng.h"
 
 namespace via {
@@ -15,6 +18,13 @@ namespace via {
 namespace {
 /// Wire overhead per frame: u32 payload length + u8 message type.
 constexpr std::int64_t kFrameHeaderBytes = 5;
+
+/// Admin dump size cap: the client's request, clamped so the response
+/// frame (string length prefix included) stays under kMaxPayload.
+[[nodiscard]] std::size_t dump_cap(const DumpRequest& req) {
+  constexpr std::size_t kDefault = kMaxPayload - 4096;
+  return req.max_bytes == 0 ? kDefault : std::min<std::size_t>(req.max_bytes, kDefault);
+}
 
 /// Locks a shared_mutex shared or exclusive depending on the hosted
 /// policy's concurrency capability, so the request switch reads the same
@@ -47,6 +57,10 @@ class PolicyLock {
 ControllerServer::ControllerServer(RoutingPolicy& policy, std::uint16_t port, ServerConfig config)
     : policy_(&policy),
       config_(config),
+      telemetry_(4096,
+                 obs::TraceConfig{.sample_rate = config.trace_sample,
+                                  .buffer_capacity = config.trace_buffer},
+                 config.flight_capacity),
       tel_accepted_(&telemetry_.registry.counter("rpc.server.accepted_connections")),
       tel_conn_errors_(&telemetry_.registry.counter("rpc.server.connection_errors")),
       tel_bytes_in_(&telemetry_.registry.counter("rpc.server.bytes_in")),
@@ -63,8 +77,12 @@ ControllerServer::ControllerServer(RoutingPolicy& policy, std::uint16_t port, Se
       tel_inflight_(&telemetry_.registry.gauge("rpc.server.inflight")),
       tel_refresh_stall_us_(
           &telemetry_.registry.histogram("rpc.server.refresh_stall_us", obs::kLatencyBoundsUs)),
+      tracer_(telemetry_.tracer_if_enabled()),
+      flight_(telemetry_.flight_if_enabled()),
       policy_concurrent_(policy.concurrent_safe()),
-      listener_(port) {
+      listener_(port),
+      timeseries_recorder_(&telemetry_.registry,
+                           static_cast<double>(config.timeseries_window_ms) / 1000.0) {
   policy_->attach_telemetry(&telemetry_);
 }
 
@@ -83,7 +101,37 @@ void ControllerServer::start() {
   if (policy_concurrent_) {
     builder_thread_ = std::thread([this] { builder_loop(); });
   }
+  if (config_.timeseries_window_ms > 0) {
+    {
+      const std::lock_guard lock(timeseries_mutex_);
+      timeseries_stop_ = false;
+    }
+    timeseries_thread_ = std::thread([this] { timeseries_loop(); });
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ControllerServer::timeseries_loop() {
+  const auto t0 = std::chrono::steady_clock::now();
+  double prev_close = 0.0;
+  std::unique_lock lock(timeseries_mutex_);
+  while (!timeseries_stop_) {
+    timeseries_cv_.wait_for(lock, std::chrono::milliseconds(config_.timeseries_window_ms),
+                            [this] { return timeseries_stop_; });
+    const double now_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    // Close the final (partial) window on stop too, so short-lived servers
+    // still leave at least one window behind.
+    if (now_s > prev_close) {
+      timeseries_recorder_.close_window(prev_close, now_s);
+      prev_close = now_s;
+    }
+  }
+}
+
+obs::TimeSeries ControllerServer::timeseries() const {
+  const std::lock_guard lock(timeseries_mutex_);
+  return timeseries_recorder_.series();
 }
 
 void ControllerServer::stop() {
@@ -99,6 +147,12 @@ void ControllerServer::stop() {
     builder_stop_ = true;
   }
   refresh_work_cv_.notify_all();
+  {
+    const std::lock_guard lock(timeseries_mutex_);
+    timeseries_stop_ = true;
+  }
+  timeseries_cv_.notify_all();
+  if (timeseries_thread_.joinable()) timeseries_thread_.join();
   // Handlers splice themselves onto finished_ as their last act; drain
   // until every live handler has come through, then join them all.
   // Graceful drain (§6f): give in-flight requests drain_timeout_ms to
@@ -114,6 +168,10 @@ void ControllerServer::stop() {
       for (const int fd : conn_fds_) {
         ::shutdown(fd, SHUT_RDWR);
         tel_forced_closes_->inc();
+        if (flight_ != nullptr) {
+          flight_->record(obs::FlightEventKind::DrainForcedClose,
+                          "drain timeout: connection forced shut", fd);
+        }
       }
       handlers_cv_.wait(lock, [this] { return handlers_.empty(); });
     }
@@ -287,6 +345,10 @@ void ControllerServer::handle_connection(TcpConnection conn) {
                              msg_type == MsgType::Report || msg_type == MsgType::Refresh;
       if (config_.max_inflight > 0 && sheddable && inflight_now > config_.max_inflight) {
         tel_busy_->inc();
+        if (flight_ != nullptr) {
+          flight_->record(obs::FlightEventKind::Shed, "over inflight cap; request shed",
+                          static_cast<std::int64_t>(frame.type), inflight_now);
+        }
         reply(MsgType::Busy);
         continue;
       }
@@ -301,6 +363,16 @@ void ControllerServer::handle_connection(TcpConnection conn) {
           ctx.key_src = req.src_as;
           ctx.key_dst = req.dst_as;
           ctx.options = req.options;
+          // Request tracing (§6g): adopt the client's trace id (or derive a
+          // deterministic one) and parent the policy's choose sub-spans
+          // under this handler's rpc.decide span.
+          std::uint64_t trace_id = req.trace_id;
+          if (tracer_ != nullptr && trace_id == 0) {
+            trace_id = obs::derive_trace_id(static_cast<std::uint64_t>(req.call_id));
+          }
+          obs::ScopedSpan srv_span(tracer_, trace_id, 0, "rpc.decide");
+          ctx.trace_id = trace_id;
+          ctx.parent_span = srv_span.span_id();
           DecisionResponse resp;
           resp.call_id = req.call_id;
           {
@@ -360,6 +432,31 @@ void ControllerServer::handle_connection(TcpConnection conn) {
           reply(MsgType::GetStatsResponse);
           break;
         }
+        case MsgType::GetTrace: {
+          const DumpRequest req = DumpRequest::decode(reader);
+          StatsResponse resp;
+          resp.text = obs::chrome_trace_json(telemetry_.tracer.buffer(), dump_cap(req));
+          resp.encode(writer);
+          reply(MsgType::GetTraceResponse);
+          break;
+        }
+        case MsgType::GetFlightRecord: {
+          const DumpRequest req = DumpRequest::decode(reader);
+          std::ostringstream jsonl;
+          telemetry_.flight.export_jsonl(jsonl);
+          StatsResponse resp;
+          resp.text = std::move(jsonl).str();
+          const std::size_t cap = dump_cap(req);
+          if (resp.text.size() > cap) {
+            // Keep the newest events: cut at the first line boundary that
+            // leaves the tail within the cap.
+            const std::size_t cut = resp.text.find('\n', resp.text.size() - cap);
+            resp.text = cut == std::string::npos ? std::string{} : resp.text.substr(cut + 1);
+          }
+          resp.encode(writer);
+          reply(MsgType::GetFlightRecordResponse);
+          break;
+        }
         case MsgType::Shutdown:
           return;
         default:
@@ -370,6 +467,10 @@ void ControllerServer::handle_connection(TcpConnection conn) {
     // Malformed frame (§6f): tell the client what broke, then drop the
     // connection — after a framing violation the stream can't be trusted.
     tel_protocol_errors_->inc();
+    if (flight_ != nullptr) {
+      flight_->record(obs::FlightEventKind::ProtocolError, e.what(),
+                      static_cast<std::int64_t>(frame.type));
+    }
     try {
       WireWriter writer;
       ErrorMsg{frame.type, e.what()}.encode(writer);

@@ -31,6 +31,7 @@
 
 #include "core/policy.h"
 #include "obs/telemetry.h"
+#include "obs/timeseries.h"
 #include "obs/timer.h"
 #include "rpc/messages.h"
 #include "rpc/socket.h"
@@ -53,6 +54,21 @@ struct ServerConfig {
   /// observations; a retried Report whose observation is still in the
   /// window is acked without a second policy_->observe().  0 disables.
   std::size_t report_dedup_window = 8192;
+
+  /// Request tracing (§6g): record 1 in `trace_sample` decision traces
+  /// (0 disables tracing entirely; 1 records everything).  Sampled traces
+  /// cover the rpc.decide span plus the policy's choose sub-stages, held
+  /// in a ring of `trace_buffer` spans, dumpable via GetTrace.
+  std::uint32_t trace_sample = 0;
+  std::size_t trace_buffer = 4096;
+  /// Flight recorder ring capacity (0 disables).  Fed by rare structural
+  /// events only — shed requests, protocol errors, forced drain closes,
+  /// refresh ticks, plus whatever the hosted policy records.
+  std::size_t flight_capacity = 4096;
+  /// Wall-clock windowed time series: every `timeseries_window_ms` a
+  /// ticker closes a window of counter/histogram deltas over the server's
+  /// registry.  0 disables the ticker.
+  int timeseries_window_ms = 0;
 };
 
 class ControllerServer {
@@ -94,6 +110,10 @@ class ControllerServer {
   /// The server's (and hosted policy's) telemetry.
   [[nodiscard]] obs::Telemetry& telemetry() noexcept { return telemetry_; }
 
+  /// Copy of the windowed time series closed so far (empty unless
+  /// ServerConfig::timeseries_window_ms is set).
+  [[nodiscard]] obs::TimeSeries timeseries() const;
+
  private:
   void accept_loop();
   void handle_connection(TcpConnection conn);
@@ -110,6 +130,9 @@ class ControllerServer {
   /// concurrent-safe policy, inline-exclusive otherwise.  Blocks until the
   /// refresh is committed (the RefreshAck contract).
   void run_refresh(TimeSec now);
+  /// Ticker thread closing wall-clock time-series windows (§6g); runs only
+  /// while ServerConfig::timeseries_window_ms > 0.
+  void timeseries_loop();
 
   RoutingPolicy* policy_;
   ServerConfig config_;
@@ -132,6 +155,10 @@ class ControllerServer {
   /// is pointer-swap scale (µs); the monolithic fallback shows the full
   /// model rebuild here.
   obs::LatencyHistogram* tel_refresh_stall_us_;
+  /// §6g: null unless the respective ServerConfig knob enables them, so
+  /// disabled tracing/flight-recording cost one pointer test per site.
+  obs::Tracer* tracer_;
+  obs::FlightRecorder* flight_;
 
   /// Reader-writer policy guard; `policy_concurrent_` (sampled once at
   /// construction) decides whether choose/observe may share it.
@@ -177,6 +204,14 @@ class ControllerServer {
   std::uint64_t refresh_requested_ = 0;
   std::uint64_t refresh_completed_ = 0;
   bool builder_stop_ = false;
+
+  /// Wall-clock time-series ticker (§6g); all fields guarded by
+  /// timeseries_mutex_ except the thread itself.
+  mutable std::mutex timeseries_mutex_;
+  std::condition_variable timeseries_cv_;  ///< wakes the ticker for stop
+  obs::TimeSeriesRecorder timeseries_recorder_;
+  std::thread timeseries_thread_;
+  bool timeseries_stop_ = false;
 
   std::atomic<bool> running_{false};
   std::atomic<std::int64_t> decisions_{0};

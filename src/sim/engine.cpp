@@ -73,15 +73,42 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
   std::unique_ptr<obs::Telemetry> telemetry;
   obs::Counter* tel_calls = nullptr;
   obs::Counter* tel_background = nullptr;
-  obs::LatencyHistogram* tel_choose_us = nullptr;
+  obs::LatencyHistogram* tel_choose_ns = nullptr;
   if (config_.enable_telemetry) {
-    telemetry = std::make_unique<obs::Telemetry>(config_.decision_trace_capacity);
+    telemetry = std::make_unique<obs::Telemetry>(config_.decision_trace_capacity, config_.trace,
+                                                 config_.flight_capacity);
     policy.attach_telemetry(telemetry.get());
     tel_calls = &telemetry->registry.counter("engine.calls");
     tel_background = &telemetry->registry.counter("engine.decision.background_relay");
-    tel_choose_us = &telemetry->registry.histogram("engine.choose_us", obs::kLatencyBoundsUs);
+    tel_choose_ns = &telemetry->registry.histogram("engine.choose_ns", obs::kLatencyBoundsNs);
   }
   const auto run_start = std::chrono::steady_clock::now();
+
+  // Windowed time series (§6g): closed on sim-second boundaries, each
+  // window annotated with what the registry alone can't say — evaluated
+  // calls, mean PNR, and mean RTT over just that window.
+  std::unique_ptr<obs::TimeSeriesRecorder> timeseries;
+  TimeSec next_window = 0;
+  PnrAccumulator window_pnr(config_.thresholds);
+  double window_rtt_sum = 0.0;
+  std::int64_t window_rtt_count = 0;
+  if (telemetry != nullptr && config_.timeseries_window > 0) {
+    timeseries = std::make_unique<obs::TimeSeriesRecorder>(
+        &telemetry->registry, static_cast<double>(config_.timeseries_window));
+    next_window = config_.timeseries_window;
+  }
+  const auto close_window = [&](TimeSec start, TimeSec end) {
+    timeseries->annotate("evaluated_calls", static_cast<double>(window_pnr.total()));
+    timeseries->annotate("pnr_any", window_pnr.pnr_any());
+    timeseries->annotate("mean_rtt_ms",
+                         window_rtt_count > 0
+                             ? window_rtt_sum / static_cast<double>(window_rtt_count)
+                             : 0.0);
+    timeseries->close_window(static_cast<double>(start), static_cast<double>(end));
+    window_pnr = PnrAccumulator(config_.thresholds);
+    window_rtt_sum = 0.0;
+    window_rtt_count = 0;
+  };
 
   // Fault injection (§6f): every ground-truth draw routes through this
   // lambda.  A null or empty plan reduces to one pointer test, so the
@@ -109,6 +136,12 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
   // traffic in between the two are operation-identical, and the engine has
   // no concurrency to hide the prepare behind.
   for (const auto& arrival : arrivals_) {
+    // Close time-series windows this call has crossed.
+    while (timeseries != nullptr && arrival.time >= next_window) {
+      close_window(next_window - config_.timeseries_window, next_window);
+      next_window += config_.timeseries_window;
+    }
+
     // Fire refresh boundaries that this call has crossed.
     while (arrival.time >= next_refresh) {
       policy.refresh(next_refresh);
@@ -188,7 +221,7 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
       // all measurements back (racing is free information, paid in setup
       // traffic).
       const auto raced = [&] {
-        const obs::ScopedTimer timer(tel_choose_us);
+        const obs::ScopedTimerNs timer(tel_choose_ns);
         return policy.choose_candidates(ctx);
       }();
       option = raced.front();
@@ -214,7 +247,7 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
       result.raced_extra_samples += static_cast<std::int64_t>(raced.size()) - 1;
     } else {
       {
-        const obs::ScopedTimer timer(tel_choose_us);
+        const obs::ScopedTimerNs timer(tel_choose_ns);
         option = policy.choose(ctx);
       }
       perf = sample(arrival.id, arrival.src_as, arrival.dst_as, option, arrival.time);
@@ -250,6 +283,11 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
 
     ++result.evaluated_calls;
     result.pnr.add(perf);
+    if (timeseries != nullptr) {
+      window_pnr.add(perf);
+      window_rtt_sum += perf.rtt_ms;
+      ++window_rtt_count;
+    }
     (arrival.international() ? result.pnr_international : result.pnr_domestic).add(perf);
     if (config_.collect_by_country && arrival.international()) {
       result.by_country.try_emplace(arrival.src_country, config_.thresholds)
@@ -273,8 +311,16 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
     r.gauge("engine.run_seconds")
         .set(std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
                  .count());
+    // Final (partial) window, so short traces still produce a series.
+    if (timeseries != nullptr) {
+      const TimeSec end = arrivals_.empty() ? next_window : arrivals_.back().time + 1;
+      close_window(next_window - config_.timeseries_window, end);
+      result.timeseries = timeseries->take();
+    }
     result.telemetry = r.snapshot();
     result.decisions = telemetry->decisions.snapshot();
+    result.spans = telemetry->tracer.buffer().snapshot();
+    result.flight = telemetry->flight.snapshot();
     // Session-wide aggregate: how the bench binaries report telemetry.
     r.merge_into(obs::MetricsRegistry::process());
     policy.attach_telemetry(nullptr);

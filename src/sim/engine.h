@@ -19,7 +19,10 @@
 #include "common/relay_option.h"
 #include "core/policy.h"
 #include "netsim/groundtruth.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "quality/pnr.h"
 #include "sim/faults.h"
@@ -63,6 +66,16 @@ struct RunConfig {
   /// session-wide summary.
   bool enable_telemetry = true;
   std::size_t decision_trace_capacity = 4096;
+  /// Request tracing (§6g): sample_rate 0 (the default) disables it and
+  /// the replay is bit-identical to an untraced run; nonzero records 1 in
+  /// N decision traces into RunResult::spans.
+  obs::TraceConfig trace;
+  /// Flight-recorder ring capacity for the run (0 disables; §6g).
+  std::size_t flight_capacity = 4096;
+  /// Windowed time series (§6g): close a telemetry window every this many
+  /// sim seconds into RunResult::timeseries, each annotated with the
+  /// window's evaluated-call count, mean PNR, and mean RTT.  0 disables.
+  TimeSec timeseries_window = 0;
   /// Fault injection (§6f): every ground-truth sample the engine draws —
   /// policy-routed, background, probe, and raced alike — passes through
   /// the plan, which impairs options riding a faulted relay.  Null or
@@ -94,6 +107,12 @@ struct RunResult {
   /// registry snapshot plus the resident tail of the decision trace.
   obs::MetricsSnapshot telemetry;
   std::vector<obs::DecisionEvent> decisions;
+  /// §6g observability captures (each empty unless its RunConfig knob
+  /// enabled it): windowed counter/histogram deltas, sampled spans, and
+  /// the flight recorder's structural events.
+  obs::TimeSeries timeseries;
+  std::vector<obs::Span> spans;
+  std::vector<obs::FlightEvent> flight;
 
   [[nodiscard]] double relayed_fraction() const noexcept {
     const auto total = used_direct + used_bounce + used_transit;

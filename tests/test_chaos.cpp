@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/relay_option.h"
+#include "flight_dump.h"
 #include "rpc/client.h"
 #include "rpc/errors.h"
 #include "rpc/faulty_connection.h"
@@ -27,6 +28,8 @@
 #include "rpc/messages.h"
 #include "rpc/server.h"
 #include "rpc/socket.h"
+
+VIA_REGISTER_FLIGHT_DUMP("test_chaos");
 
 namespace via {
 namespace {

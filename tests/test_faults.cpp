@@ -17,9 +17,12 @@
 
 #include "core/relay_health.h"
 #include "core/via_policy.h"
+#include "flight_dump.h"
 #include "obs/telemetry.h"
 #include "sim/engine.h"
 #include "trace/generator.h"
+
+VIA_REGISTER_FLIGHT_DUMP("test_faults");
 
 namespace via {
 namespace {

@@ -152,9 +152,9 @@ TEST_F(IntegrationTest, TelemetryAccountsForEveryRoutedCall) {
   // Refresh-side instruments: the predictor refreshed and fit segments.
   EXPECT_GT(r.telemetry.counter_value("policy.refresh.count"), 0);
   EXPECT_GT(r.telemetry.gauge_value("policy.refresh.tomography_segments"), 0.0);
-  const obs::HistogramSample* choose_us = r.telemetry.find_histogram("engine.choose_us");
-  ASSERT_NE(choose_us, nullptr);
-  EXPECT_EQ(choose_us->count, policy_calls);
+  const obs::HistogramSample* choose_ns = r.telemetry.find_histogram("engine.choose_ns");
+  ASSERT_NE(choose_ns, nullptr);
+  EXPECT_EQ(choose_ns->count, policy_calls);
 }
 
 TEST_F(IntegrationTest, TelemetryCanBeDisabled) {

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <map>
 #include <sstream>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -258,6 +261,151 @@ TEST(ObsExport, RenderersIncludeEveryInstrument) {
   EXPECT_NE(prom.find("rpc_server_request_us_bucket{le=\"1\"}"), std::string::npos);
   EXPECT_NE(prom.find("rpc_server_request_us_bucket{le=\"+Inf\"}"), std::string::npos);
   EXPECT_NE(prom.find("rpc_server_request_us_count 1"), std::string::npos);
+}
+
+// ------------------------------------------------------------ JSON escaping
+
+TEST(ObsExport, JsonEscapeRoundTripsHostileStrings) {
+  const std::string hostile =
+      "quote\" backslash\\ newline\n tab\t cr\r bell\x07 nul-adjacent\x01 end";
+  const std::string escaped = obs::json_escape(hostile);
+  // The escaped form must be free of raw control characters and raw quotes.
+  for (const char c : escaped) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(obs::json_unescape(escaped), hostile);
+  // Idempotent on plain text.
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_unescape("plain"), "plain");
+}
+
+TEST(ObsExport, RenderJsonEscapesHostileMetricNames) {
+  obs::MetricsRegistry registry;
+  registry.counter("bad\"name\nwith\\controls").inc(3);
+  const std::string json = obs::render_stats(registry.snapshot(), obs::StatsFormat::Json);
+  // The document must not contain a raw newline inside the name, and the
+  // escaped name must parse back to the original.
+  EXPECT_NE(json.find("bad\\\"name\\nwith\\\\controls"), std::string::npos);
+  EXPECT_EQ(json.find("bad\"name"), std::string::npos);
+}
+
+TEST(ObsTrace, HealthReasonsRoundTripJsonl) {
+  // The two health-path reasons ride JSONL dumps byte-exactly (§6f).
+  for (const DecisionReason reason :
+       {DecisionReason::QuarantinedRelay, DecisionReason::FallbackDirectOutage}) {
+    DecisionEvent e;
+    e.call_id = 4242;
+    e.time = 86'400;
+    e.src_as = 7;
+    e.dst_as = 11;
+    e.option = 3;
+    e.reason = reason;
+    e.predicted = 123.5;
+    e.observed = 150.25;
+    e.top_k_size = 5;
+    e.bandit_pulls = 99;
+    const std::string line = e.to_jsonl();
+    EXPECT_NE(line.find(obs::decision_reason_name(reason)), std::string::npos);
+    const std::optional<DecisionEvent> back = DecisionEvent::from_jsonl(line);
+    ASSERT_TRUE(back.has_value()) << line;
+    EXPECT_EQ(back->call_id, e.call_id);
+    EXPECT_EQ(back->reason, e.reason);
+    EXPECT_EQ(back->option, e.option);
+    EXPECT_DOUBLE_EQ(back->predicted, e.predicted);
+    EXPECT_DOUBLE_EQ(back->observed, e.observed);
+    EXPECT_EQ(back->top_k_size, e.top_k_size);
+    EXPECT_EQ(back->bandit_pulls, e.bandit_pulls);
+    // Round-trip is a fixed point: re-serializing parses identically.
+    EXPECT_EQ(back->to_jsonl(), line);
+  }
+}
+
+// -------------------------------------------- Prometheus exposition grammar
+
+namespace prom_grammar {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+std::string_view line_metric_name(std::string_view line) {
+  const std::size_t brace = line.find('{');
+  const std::size_t space = line.find(' ');
+  return line.substr(0, std::min(brace, space));
+}
+
+}  // namespace prom_grammar
+
+TEST(ObsExport, PrometheusExpositionFollowsLineGrammar) {
+  obs::MetricsRegistry registry;
+  registry.counter("policy.decision.ucb").inc(5);
+  registry.counter("rpc.client.errors.timeout").inc(2);
+  registry.gauge("policy.health.quarantined").set(1.0);
+  auto& h = registry.histogram("rpc.server.request_us", obs::kLatencyBoundsUs);
+  h.observe(3.0);
+  h.observe(700.0);
+  const std::string prom = obs::render_stats(registry.snapshot(), obs::StatsFormat::Prometheus);
+
+  std::istringstream in(prom);
+  std::string line;
+  std::string last_help_type_name;  // name announced by the preceding # HELP/# TYPE
+  std::map<std::string, double> bucket_last;  // histogram name -> last le cumulative
+  std::map<std::string, double> bucket_inf;   // histogram name -> +Inf cumulative
+  std::map<std::string, double> histogram_count;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream meta(line.substr(7));
+      std::string name;
+      meta >> name;
+      EXPECT_TRUE(prom_grammar::valid_metric_name(name)) << line;
+      last_help_type_name = name;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment form: " << line;
+    // Sample line: name[{labels}] value
+    const std::string_view name = prom_grammar::line_metric_name(line);
+    EXPECT_TRUE(prom_grammar::valid_metric_name(name)) << line;
+    // Dots from internal names must have been mapped away.
+    EXPECT_EQ(name.find('.'), std::string_view::npos) << line;
+    // Every sample belongs to the family announced by the last HELP/TYPE.
+    EXPECT_EQ(std::string(name).rfind(last_help_type_name, 0), 0u)
+        << line << " vs " << last_help_type_name;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    double value = 0.0;
+    ASSERT_NO_THROW(value = std::stod(line.substr(space + 1))) << line;
+    // le buckets must be cumulative (monotone nondecreasing), ending at +Inf.
+    const std::string n(name);
+    if (n.size() > 7 && n.rfind("_bucket") == n.size() - 7) {
+      const std::string family = n.substr(0, n.size() - 7);
+      const std::size_t le = line.find("le=\"");
+      ASSERT_NE(le, std::string::npos) << line;
+      const std::string le_val = line.substr(le + 4, line.find('"', le + 4) - le - 4);
+      if (le_val == "+Inf") {
+        bucket_inf[family] = value;
+      } else {
+        EXPECT_GE(value, bucket_last[family]) << line;
+        bucket_last[family] = value;
+      }
+    } else if (n.size() > 6 && n.rfind("_count") == n.size() - 6) {
+      histogram_count[n.substr(0, n.size() - 6)] = value;
+    }
+  }
+  // The histogram rendered, its +Inf bucket equals its count, and the
+  // cumulative buckets never exceeded it.
+  ASSERT_TRUE(bucket_inf.count("rpc_server_request_us"));
+  EXPECT_DOUBLE_EQ(bucket_inf["rpc_server_request_us"], 2.0);
+  EXPECT_DOUBLE_EQ(histogram_count["rpc_server_request_us"], 2.0);
+  EXPECT_LE(bucket_last["rpc_server_request_us"], bucket_inf["rpc_server_request_us"]);
 }
 
 }  // namespace

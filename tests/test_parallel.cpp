@@ -73,7 +73,7 @@ TEST(FlatMap, IterationIsDeterministicForIdenticalInsertionSequences) {
 // ------------------------------------------------------ determinism suite
 
 /// Counter samples must match exactly; gauges/histograms are excluded
-/// because engine.run_seconds and engine.choose_us measure wall-clock.
+/// because engine.run_seconds and engine.choose_ns measure wall-clock.
 void expect_same_counters(const RunResult& a, const RunResult& b) {
   ASSERT_EQ(a.telemetry.counters.size(), b.telemetry.counters.size());
   for (std::size_t i = 0; i < a.telemetry.counters.size(); ++i) {

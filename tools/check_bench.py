@@ -3,11 +3,13 @@
 
 Usage: tools/check_bench.py BENCH_core.json [thresholds.json]
 
-Warn-only regression gate: microbenchmark numbers are noisy across CI
-machines, so a regression prints a prominent warning and the script still
-exits 0.  Exit status is nonzero only for malformed input (missing files,
-unparseable JSON) so CI catches a broken bench pipeline without flaking on
-timing variance.
+Failing regression gate: a row pinned in the thresholds file that regresses
+past the tolerance makes the script exit 1, so CI fails instead of silently
+drifting.  Rows listed in the thresholds' `_warn_only` array (differences of
+noisy numbers, machine-sensitive throughput rows) still print a prominent
+warning but never fail the run.  Keys missing from the run (e.g. a
+filtered-out benchmark) are reported but warn-only, so partial bench runs
+stay usable locally.
 
 Threshold semantics (bench/thresholds.json):
   - keys ending in `_ns` or `_seconds` are lower-is-better; a run is
@@ -15,11 +17,11 @@ Threshold semantics (bench/thresholds.json):
   - keys ending in `_mops` or `_speedup` are higher-is-better; a run is
     flagged when it falls short by more than the tolerance.
   - other numeric keys are compared lower-is-better by default.
-  - keys present in the thresholds but absent from the run (e.g. a
-    filtered-out benchmark) are reported as "missing", also warn-only.
 
 The default tolerance is 25% either way; a `_tolerance` key in the
-thresholds file (fraction, e.g. 0.25) overrides it globally.
+thresholds file (fraction, e.g. 0.25) overrides it globally.  After an
+intentional performance change, refresh the affected baselines in the same
+commit so the gate tracks the new expected cost.
 """
 
 import json
@@ -50,7 +52,9 @@ def main(argv: list) -> int:
         return 1
 
     tolerance = thresholds.get("_tolerance", DEFAULT_TOLERANCE)
-    regressions = []
+    warn_only = set(thresholds.get("_warn_only", []))
+    failures = []
+    warnings = []
     missing = []
     checked = 0
 
@@ -65,17 +69,19 @@ def main(argv: list) -> int:
         if is_higher_better(key):
             floor = limit * (1.0 - tolerance)
             if value < floor:
-                regressions.append(
+                message = (
                     f"{key}: {value:.4g} < {floor:.4g} "
                     f"(baseline {limit:.4g}, higher is better)"
                 )
+                (warnings if key in warn_only else failures).append(message)
         else:
             ceiling = limit * (1.0 + tolerance)
             if value > ceiling:
-                regressions.append(
+                message = (
                     f"{key}: {value:.4g} > {ceiling:.4g} "
                     f"(baseline {limit:.4g}, lower is better)"
                 )
+                (warnings if key in warn_only else failures).append(message)
 
     print(
         f"check_bench: {checked} keys checked against {thresholds_path} "
@@ -83,17 +89,19 @@ def main(argv: list) -> int:
     )
     for key in missing:
         print(f"check_bench: WARNING: key missing from run: {key}")
-    if regressions:
-        print(f"check_bench: WARNING: {len(regressions)} possible regression(s):")
-        for line in regressions:
+    for line in warnings:
+        print(f"check_bench: WARNING (warn-only row): {line}")
+    if failures:
+        print(f"check_bench: FAIL: {len(failures)} regression(s) past tolerance:")
+        for line in failures:
             print(f"  {line}")
         print(
-            "check_bench: warn-only — timing noise is expected across machines; "
-            "investigate if this repeats, and refresh bench/thresholds.json "
-            "after intentional performance changes."
+            "check_bench: if the slowdown is intentional, refresh "
+            "bench/thresholds.json in the same commit; if a row is "
+            "inherently noisy, move it to _warn_only."
         )
-    else:
-        print("check_bench: all tracked benchmarks within tolerance")
+        return 1
+    print("check_bench: all tracked benchmarks within tolerance")
     return 0
 
 

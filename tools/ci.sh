@@ -2,9 +2,13 @@
 # CI entry point: tier-1 verify (full build + ctest), a strict
 # -Wall -Wextra -Werror compile of the telemetry subsystem and its tests,
 # and a Release (-O2 -DNDEBUG) bench smoke that emits BENCH_core.json and
-# checks it against bench/thresholds.json (warn-only, tools/check_bench.py).
+# gates it against bench/thresholds.json (failing, tools/check_bench.py;
+# the bench is retried a couple of times so a transient load spike on the
+# runner does not fail the pipeline — a real regression fails every try).
 # Set VIA_CI_TSAN=1 to additionally run test_parallel under ThreadSanitizer,
-# and VIA_CI_ASAN=1 to run the chaos/fault/RPC tests under ASan+UBSan.
+# and VIA_CI_ASAN=1 to run the chaos/fault/RPC tests under ASan+UBSan;
+# the ASan stage dumps flight-recorder + span-buffer JSONL into
+# $BUILD_DIR-asan/flight-dump/ when a test fails (uploaded as CI artifacts).
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
 set -euo pipefail
 
@@ -23,15 +27,25 @@ cmake --build "$BUILD_DIR-werror" -j --target via_obs test_obs
 echo "== release: -O2 -DNDEBUG bench_micro_core smoke + BENCH_core.json =="
 cmake -B "$BUILD_DIR-release" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR-release" -j --target bench_micro_core
-VIA_BENCH_JSON="$BUILD_DIR-release/BENCH_core.json" VIA_BENCH_SWEEP_SCALE=small \
-  "$BUILD_DIR-release/bench/bench_micro_core" --benchmark_min_time=0.05
-test -s "$BUILD_DIR-release/BENCH_core.json"
-grep -q '"sweep_identical": true' "$BUILD_DIR-release/BENCH_core.json"
+bench_ok=0
+for attempt in 1 2 3; do
+  echo "-- bench attempt $attempt --"
+  VIA_BENCH_JSON="$BUILD_DIR-release/BENCH_core.json" VIA_BENCH_SWEEP_SCALE=small \
+    "$BUILD_DIR-release/bench/bench_micro_core" --benchmark_min_time=0.1
+  test -s "$BUILD_DIR-release/BENCH_core.json"
+  grep -q '"sweep_identical": true' "$BUILD_DIR-release/BENCH_core.json"
+  echo "== bench regression gate (failing, bench/thresholds.json) =="
+  if python3 tools/check_bench.py "$BUILD_DIR-release/BENCH_core.json" bench/thresholds.json; then
+    bench_ok=1
+    break
+  fi
+done
+if [[ "$bench_ok" != "1" ]]; then
+  echo "ci.sh: bench regression gate failed on every attempt" >&2
+  exit 1
+fi
 echo "BENCH_core.json:"
 cat "$BUILD_DIR-release/BENCH_core.json"
-
-echo "== bench regression check (warn-only, bench/thresholds.json) =="
-python3 tools/check_bench.py "$BUILD_DIR-release/BENCH_core.json" bench/thresholds.json
 
 if [[ "${VIA_CI_TSAN:-0}" == "1" ]]; then
   echo "== tsan: test_parallel + test_concurrent_policy under ThreadSanitizer =="
@@ -45,9 +59,13 @@ if [[ "${VIA_CI_ASAN:-0}" == "1" ]]; then
   echo "== asan: chaos + fault + rpc tests under ASan+UBSan =="
   cmake -B "$BUILD_DIR-asan" -S . -DVIA_ASAN=ON
   cmake --build "$BUILD_DIR-asan" -j --target test_chaos test_faults test_rpc
-  "$BUILD_DIR-asan/tests/test_chaos"
-  "$BUILD_DIR-asan/tests/test_faults"
-  "$BUILD_DIR-asan/tests/test_rpc"
+  # On failure each binary dumps its process-wide flight recorder and span
+  # buffer as JSONL into this directory (tests/flight_dump.h); the GitHub
+  # workflow uploads it as an artifact so a red chaos run is debuggable.
+  mkdir -p "$BUILD_DIR-asan/flight-dump"
+  VIA_FLIGHT_DUMP="$BUILD_DIR-asan/flight-dump" "$BUILD_DIR-asan/tests/test_chaos"
+  VIA_FLIGHT_DUMP="$BUILD_DIR-asan/flight-dump" "$BUILD_DIR-asan/tests/test_faults"
+  VIA_FLIGHT_DUMP="$BUILD_DIR-asan/flight-dump" "$BUILD_DIR-asan/tests/test_rpc"
 fi
 
 echo "== ci.sh: all green =="
