@@ -10,9 +10,20 @@
 //                  [--budget B] [--refresh-hours T] [--backbone FILE]
 //                  [--stripes N] [--solve-threads N] [--no-prewarm]
 //                  [--max-inflight N]
+//                  [--reactor-threads N] [--legacy-threads]
 //                  [--http-port N] [--trace-sample N]
 //                  [--flight-recorder FILE] [--timeseries-window MS]
 //                  [--metrics-dump] [--metrics-format table|json|prom]
+//
+// --reactor-threads N: serve all client connections from an epoll reactor
+// with N event-loop workers (DESIGN.md §6h) instead of one thread per
+// connection.  The daemon defaults to the reactor with half the hardware
+// threads (clamped to [2, 8]); the flight recorder still captures shed,
+// protocol-error, and drain events in this mode.
+//
+// --legacy-threads: revert to the thread-per-connection accept loop
+// (equivalent to --reactor-threads 0); kept for one release as an escape
+// hatch.
 //
 // Observability plane (DESIGN.md §6g):
 //
@@ -60,6 +71,7 @@
 // the managed backbone matrix (the operator knows this).  Without it the
 // backbone is assumed free, which disables transit-path stitching but
 // keeps everything else working.
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstring>
@@ -153,6 +165,10 @@ int main(int argc, char** argv) {
       static_cast<int>(std::thread::hardware_concurrency());
   BackboneTable backbone;
   ServerConfig server_config;
+  // Daemon default: event-driven serving (§6h) with half the hardware
+  // threads, clamped to [2, 8]; --legacy-threads restores the old model.
+  server_config.reactor_threads =
+      std::clamp(static_cast<int>(std::thread::hardware_concurrency()) / 2, 2, 8);
   bool metrics_dump = false;
   obs::StatsFormat metrics_format = obs::StatsFormat::Table;
   bool http_enabled = false;
@@ -188,6 +204,10 @@ int main(int argc, char** argv) {
         config.prewarm_pairs = false;
       } else if (arg == "--max-inflight") {
         server_config.max_inflight = std::stoll(next());
+      } else if (arg == "--reactor-threads") {
+        server_config.reactor_threads = std::stoi(next());
+      } else if (arg == "--legacy-threads") {
+        server_config.reactor_threads = 0;
       } else if (arg == "--http-port") {
         http_enabled = true;
         http_port = static_cast<std::uint16_t>(std::stoi(next()));
@@ -207,6 +227,7 @@ int main(int argc, char** argv) {
                      "                      [--refresh-hours T] [--backbone FILE]\n"
                      "                      [--stripes N] [--solve-threads N] [--no-prewarm]\n"
                      "                      [--max-inflight N]\n"
+                     "                      [--reactor-threads N] [--legacy-threads]\n"
                      "                      [--http-port N] [--trace-sample N]\n"
                      "                      [--flight-recorder FILE] [--timeseries-window MS]\n"
                      "                      [--metrics-dump] [--metrics-format table|json|prom]\n";
@@ -258,7 +279,13 @@ int main(int argc, char** argv) {
       std::cout << "admin http on 127.0.0.1:" << http->port()
                 << " (/metrics /healthz /varz /trace /flightrecord)\n";
     }
-    std::cout << "via_controller listening on 127.0.0.1:" << server.port() << " (metric "
+    std::cout << "via_controller listening on 127.0.0.1:" << server.port() << " (";
+    if (server_config.reactor_threads > 0) {
+      std::cout << "reactor x" << server_config.reactor_threads;
+    } else {
+      std::cout << "thread-per-connection";
+    }
+    std::cout << ", metric "
               << metric_name(config.target) << ", epsilon " << config.epsilon << ", budget "
               << config.budget.fraction << ", refresh "
               << config.refresh_period / 3600 << "h, stripes "

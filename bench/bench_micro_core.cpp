@@ -18,6 +18,10 @@
 #include "netsim/world.h"
 #include "obs/export.h"
 #include "obs/telemetry.h"
+#include "rpc/framing.h"
+#include "rpc/messages.h"
+#include "rpc/server.h"
+#include "rpc/socket.h"
 #include "util/rng.h"
 
 namespace via {
@@ -405,6 +409,132 @@ void run_concurrent_choose(bench::BenchJson& json) {
   if (mops_1t > 0.0) json.set("concurrent_choose_speedup_4t", mops_4t / mops_1t);
 }
 
+/// Serializes one whole frame (u32 payload_len + u8 msg_type + payload)
+/// into `out`, so a burst of requests goes out in a single send_all and
+/// lands on the reactor within one readiness event.
+void append_frame(std::vector<std::byte>& out, MsgType type, const WireWriter& w) {
+  const auto payload = w.bytes();
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((len >> (8 * i)) & 0xFF));
+  }
+  out.push_back(static_cast<std::byte>(type));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+/// Reactor serving throughput (DESIGN.md §6h): one warmed ViaPolicy behind
+/// the epoll reactor (2 event-loop workers), hammered by 64/256/1024 raw
+/// pipelined connections.  The client side is capped at 8 driver threads
+/// regardless of the connection count, so the sweep scales *connections*
+/// (and with them the per-wakeup frame batches the reactor amortizes one
+/// snapshot acquire across), not client parallelism.  Each round a driver
+/// writes an 8-deep DecisionRequest burst on every connection it owns,
+/// then drains the 8 replies.  Emits reactor_choose_rps_{64,256,1024}c
+/// (requests/sec) into BENCH_core.json; set VIA_BENCH_REACTOR=off to skip.
+void run_reactor_bench(bench::BenchJson& json) {
+  const char* env = std::getenv("VIA_BENCH_REACTOR");
+  if (env != nullptr && std::string(env) == "off") return;
+
+  auto& gt = bench_gt();
+  ViaConfig config;
+  config.serving_stripes = 64;
+  ViaPolicy policy(
+      gt.option_table(), [&](RelayId a, RelayId b) { return gt.backbone(a, b); }, config);
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const auto s = static_cast<AsId>(rng.uniform_index(100));
+    auto d = static_cast<AsId>(rng.uniform_index(100));
+    if (d == s) d = (d + 1) % 100;
+    const auto opts = gt.candidate_options(s, d);
+    Observation o;
+    o.id = i;
+    o.time = 1000 + i;
+    o.src_as = s;
+    o.dst_as = d;
+    o.option = opts[rng.uniform_index(opts.size())];
+    o.ingress = gt.transit_ingress(s, o.option);
+    o.perf = gt.sample_call(i, s, d, o.option, o.time);
+    policy.observe(o);
+  }
+  policy.refresh(kSecondsPerDay);
+
+  ServerConfig sconfig;
+  sconfig.reactor_threads = 2;
+  sconfig.drain_timeout_ms = 1000;
+  ControllerServer server(policy, 0, sconfig);
+  server.start();
+
+  constexpr int kDepth = 8;
+  for (const int conns : {64, 256, 1024}) {
+    const int rounds = std::max(1, 32768 / (conns * kDepth));
+    std::vector<TcpConnection> sockets;
+    sockets.reserve(static_cast<std::size_t>(conns));
+    for (int c = 0; c < conns; ++c) {
+      sockets.push_back(TcpConnection::connect_local(server.port()));
+    }
+
+    // Pre-encode one burst per connection (outside the timed region) so
+    // the drivers measure serving throughput, not client-side encoding.
+    std::vector<std::vector<std::byte>> bursts(static_cast<std::size_t>(conns));
+    Rng creq(17);
+    for (int c = 0; c < conns; ++c) {
+      for (int k = 0; k < kDepth; ++k) {
+        const auto s = static_cast<AsId>(creq.uniform_index(100));
+        const auto d = static_cast<AsId>((s + 1 + creq.uniform_index(99)) % 100);
+        DecisionRequest req;
+        req.call_id = 3'000'000 + static_cast<CallId>(c) * 1000 + k;
+        req.time = kSecondsPerDay + 100;
+        req.src_as = s;
+        req.dst_as = d;
+        const auto cand = gt.candidate_options(s, d);
+        req.options.assign(cand.begin(), cand.end());
+        WireWriter w;
+        req.encode(w);
+        append_frame(bursts[static_cast<std::size_t>(c)], MsgType::DecisionRequest, w);
+      }
+    }
+
+    const int drivers = std::min(8, conns);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(drivers));
+    const bench::Stopwatch sw;
+    for (int t = 0; t < drivers; ++t) {
+      threads.emplace_back([&, t] {
+        std::vector<std::byte> reply;
+        for (int r = 0; r < rounds; ++r) {
+          for (int c = t; c < conns; c += drivers) {
+            sockets[static_cast<std::size_t>(c)].send_all(bursts[static_cast<std::size_t>(c)]);
+          }
+          for (int c = t; c < conns; c += drivers) {
+            auto& conn = sockets[static_cast<std::size_t>(c)];
+            for (int k = 0; k < kDepth; ++k) {
+              std::byte header[5];
+              if (!conn.recv_all(header)) return;
+              std::uint32_t len = 0;
+              for (int i = 0; i < 4; ++i) {
+                len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+              }
+              reply.resize(len);
+              if (len > 0 && !conn.recv_all(reply)) return;
+            }
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const double seconds = sw.seconds();
+    const auto total = static_cast<double>(conns) * kDepth * rounds;
+    const double rps = seconds > 0.0 ? total / seconds : 0.0;
+    std::cout << "reactor choose: " << conns << " conns, " << static_cast<long long>(total)
+              << " requests, " << rps << " req/s\n";
+    json.set("reactor_choose_rps_" + std::to_string(conns) + "c", rps);
+    // Close client ends before the next sweep point so stop() never waits
+    // out the drain timeout on idle connections.
+    sockets.clear();
+  }
+  server.stop();
+}
+
 /// Split-refresh and memo-warmth measurements (DESIGN.md §6e), taken with
 /// a plain stopwatch because each phase runs once per refresh period, not
 /// in a tight loop:
@@ -512,6 +642,11 @@ int main(int argc, char** argv) {
   std::cout << "}\n";
 
   via::bench::BenchJson json;
+  // Core count of the box that produced this run: tools/check_bench.py uses
+  // it to downgrade multicore-only rows (sweep_speedup, the multi-thread
+  // mops points) to warnings on single-core CI runners, where parallel
+  // speedups legitimately degenerate to ~1x or below.
+  json.set_int("cores", static_cast<long long>(std::thread::hardware_concurrency()));
   // ns/op for the decision-path hot loops (absent keys = benchmark filtered out).
   const std::map<std::string, std::string> tracked = {
       {"BM_ViaChoosePerCall", "choose_ns"},
@@ -542,6 +677,7 @@ int main(int argc, char** argv) {
   }
   via::run_policy_sweep(json, threads);
   via::run_concurrent_choose(json);
+  via::run_reactor_bench(json);
   via::run_refresh_split_bench(json);
   const std::string path = via::bench::bench_json_path();
   json.write(path);

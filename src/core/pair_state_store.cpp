@@ -31,7 +31,7 @@ void PairStateStore::budget_on_call(double predicted_benefit) {
   if (budget_config_.fraction >= 1.0) {
     // Unlimited budget: BudgetFilter::on_call would only bump its call
     // counter, so the gate stays lock-free on the hot path.
-    budget_calls_.fetch_add(1, std::memory_order_relaxed);
+    budget_calls_.inc();
     return;
   }
   const std::lock_guard lock(budget_mutex_);
@@ -40,7 +40,7 @@ void PairStateStore::budget_on_call(double predicted_benefit) {
 
 bool PairStateStore::budget_allow_relay(double predicted_benefit) {
   if (budget_config_.fraction >= 1.0) {
-    budget_granted_.fetch_add(1, std::memory_order_relaxed);
+    budget_granted_.inc();
     return true;
   }
   const std::lock_guard lock(budget_mutex_);

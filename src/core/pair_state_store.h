@@ -31,6 +31,7 @@
 #include "common/relay_option.h"
 #include "core/bandit.h"
 #include "core/budget.h"
+#include "util/cacheline.h"
 #include "util/flat_map.h"
 #include "util/rng.h"
 
@@ -53,20 +54,24 @@ struct PairServingState {
   std::vector<OptionId> options;
 };
 
-/// Decision accounting as relaxed atomics (the concurrent mirror of
-/// ViaPolicy::Stats; ViaPolicy::stats() flattens it into the plain struct).
+/// Decision accounting (the concurrent mirror of ViaPolicy::Stats;
+/// ViaPolicy::stats() flattens it into the plain struct).  Every serving
+/// thread bumps `calls` and a handful of outcome counters per decision, so
+/// these are ShardedCounters: single relaxed atomics here put all eleven
+/// hot words on two shared cache lines and showed up as the 4/8-thread
+/// throughput decline in BENCH_core.json.
 struct ServingStats {
-  std::atomic<std::int64_t> calls{0};
-  std::atomic<std::int64_t> epsilon_explored{0};
-  std::atomic<std::int64_t> bandit_served{0};
-  std::atomic<std::int64_t> cold_start_direct{0};
-  std::atomic<std::int64_t> budget_denied{0};
-  std::atomic<std::int64_t> relay_cap_denied{0};
-  std::atomic<std::int64_t> quarantine_rerouted{0};
-  std::atomic<std::int64_t> outage_fallback_direct{0};
-  std::atomic<std::int64_t> chose_direct{0};
-  std::atomic<std::int64_t> chose_bounce{0};
-  std::atomic<std::int64_t> chose_transit{0};
+  ShardedCounter calls;
+  ShardedCounter epsilon_explored;
+  ShardedCounter bandit_served;
+  ShardedCounter cold_start_direct;
+  ShardedCounter budget_denied;
+  ShardedCounter relay_cap_denied;
+  ShardedCounter quarantine_rerouted;
+  ShardedCounter outage_fallback_direct;
+  ShardedCounter chose_direct;
+  ShardedCounter chose_bounce;
+  ShardedCounter chose_transit;
 };
 
 class PairStateStore {
@@ -78,7 +83,10 @@ class PairStateStore {
   PairStateStore(const PairStateStore&) = delete;
   PairStateStore& operator=(const PairStateStore&) = delete;
 
-  struct Stripe {
+  /// Padded to the destructive-interference size: stripes live in one
+  /// contiguous array, and without the alignment two adjacent stripes'
+  /// mutexes share a cache line, so unrelated pairs contend anyway.
+  struct alignas(kDestructiveInterferenceSize) Stripe {
     std::mutex mutex;
     FlatMap<PairServingState> pairs;  ///< guarded by mutex
     Rng rng{0};                       ///< guarded by mutex (epsilon draws)
@@ -118,8 +126,8 @@ class PairStateStore {
   BudgetConfig budget_config_;
   std::mutex budget_mutex_;
   BudgetFilter budget_;  ///< guarded by budget_mutex_ (constrained path only)
-  std::atomic<std::int64_t> budget_calls_{0};    ///< unlimited fast path
-  std::atomic<std::int64_t> budget_granted_{0};  ///< unlimited fast path
+  ShardedCounter budget_calls_;    ///< unlimited fast path
+  ShardedCounter budget_granted_;  ///< unlimited fast path
 
   double relay_share_cap_;
   std::mutex relay_mutex_;

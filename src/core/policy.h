@@ -7,6 +7,7 @@
 //   - refresh() — every T hours (stages 2 & 3: tomography + top-k pruning)
 #pragma once
 
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -54,6 +55,16 @@ class RoutingPolicy {
 
   /// Picks a relaying option for a call about to be placed.
   [[nodiscard]] virtual OptionId choose(const CallContext& call) = 0;
+
+  /// Batched variant of choose() for hosts that decode many decision
+  /// requests at once (the RPC reactor's per-readiness batches, §6h).
+  /// `out` must have the same length as `calls`.  Decisions are identical
+  /// to calling choose() once per context in order; the default does
+  /// exactly that.  Policies with per-call acquisition costs (snapshot
+  /// pins) override it to pay them once per batch.
+  virtual void choose_batch(std::span<const CallContext> calls, std::span<OptionId> out) {
+    for (std::size_t i = 0; i < calls.size(); ++i) out[i] = choose(calls[i]);
+  }
 
   /// Ingests a completed call's measurements.
   virtual void observe(const Observation& obs) { (void)obs; }

@@ -94,6 +94,13 @@ void ViaPolicy::trace_decision(const CallContext& call, OptionId option,
   inst_.trace->record(event);
 }
 
+namespace {
+std::uint64_t next_policy_uid() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
 ViaPolicy::ViaPolicy(const RelayOptionTable& options, BackboneFn backbone, ViaConfig config)
     : options_(&options),
       config_(config),
@@ -101,6 +108,7 @@ ViaPolicy::ViaPolicy(const RelayOptionTable& options, BackboneFn backbone, ViaCo
       current_window_(&options),
       snapshot_(std::make_shared<const ModelSnapshot>(options, backbone_, config.target,
                                                       config.predictor, config.topk)),
+      policy_uid_(next_policy_uid()),
       store_(config.seed, config.serving_stripes, config.budget, config.relay_share_cap),
       health_(config.health) {}
 
@@ -195,6 +203,11 @@ void ViaPolicy::commit_refresh(TimeSec now) {
   // Per-pair serving states are invalidated lazily: choose() re-arms a
   // pair's bandit when its recorded period trails the published one.
   snapshot_.store(std::move(staged), std::memory_order_release);
+  // Publish the new epoch only after the pointer itself: a reader that
+  // observes the bumped version (acquire) is guaranteed to reload at least
+  // this snapshot; a reader that still sees the old version serves the old
+  // snapshot, exactly as an in-flight choose() pinned before the swap does.
+  snapshot_version_.fetch_add(1, std::memory_order_release);
   if (inst_.flight != nullptr) {
     inst_.flight->record(obs::FlightEventKind::RefreshCommit, "refresh commit: snapshot published",
                          static_cast<std::int64_t>(model()->period()), -1, now);
@@ -252,23 +265,53 @@ std::vector<RankedOption> ViaPolicy::top_k_for(const CallContext& call) const {
 void ViaPolicy::count_choice(OptionId option) {
   switch (options_->get(option).kind) {
     case RelayKind::Direct:
-      store_.stats.chose_direct.fetch_add(1, std::memory_order_relaxed);
+      store_.stats.chose_direct.inc();
       if (inst_.choice_direct != nullptr) inst_.choice_direct->inc();
       break;
     case RelayKind::Bounce:
-      store_.stats.chose_bounce.fetch_add(1, std::memory_order_relaxed);
+      store_.stats.chose_bounce.inc();
       if (inst_.choice_bounce != nullptr) inst_.choice_bounce->inc();
       break;
     case RelayKind::Transit:
-      store_.stats.chose_transit.fetch_add(1, std::memory_order_relaxed);
+      store_.stats.chose_transit.inc();
       if (inst_.choice_transit != nullptr) inst_.choice_transit->inc();
       break;
   }
 }
 
-OptionId ViaPolicy::choose(const CallContext& call) {
+std::shared_ptr<const ModelSnapshot> ViaPolicy::model_cached() const noexcept {
+  struct Pin {
+    std::uint64_t uid = 0;  ///< 0 never matches a real policy_uid_
+    std::uint64_t version = 0;
+    std::shared_ptr<const ModelSnapshot> snap;
+  };
+  thread_local Pin pin;
+  const std::uint64_t version = snapshot_version_.load(std::memory_order_acquire);
+  if (pin.uid != policy_uid_ || pin.version != version) {
+    // A publish may land between the two loads; then the pin holds a
+    // *newer* snapshot than `version` claims and the next call reloads —
+    // never the reverse, so a stale snapshot is never served once the
+    // version bump is visible.
+    pin.snap = snapshot_.load(std::memory_order_acquire);
+    pin.uid = policy_uid_;
+    pin.version = version;
+  }
+  return pin.snap;
+}
+
+OptionId ViaPolicy::choose(const CallContext& call) { return choose_with(model_cached(), call); }
+
+void ViaPolicy::choose_batch(std::span<const CallContext> calls, std::span<OptionId> out) {
+  // One snapshot pin for the whole batch (§6h): the reactor decodes many
+  // decision requests per readiness event and lands them here.
+  const std::shared_ptr<const ModelSnapshot> snap = model_cached();
+  for (std::size_t i = 0; i < calls.size(); ++i) out[i] = choose_with(snap, calls[i]);
+}
+
+OptionId ViaPolicy::choose_with(const std::shared_ptr<const ModelSnapshot>& snap,
+                                const CallContext& call) {
   ServingStats& stats = store_.stats;
-  stats.calls.fetch_add(1, std::memory_order_relaxed);
+  stats.calls.inc();
 
   // §6g request tracing.  With no tracer attached (the default) this whole
   // scope is one null-pointer test; with one attached but the trace not
@@ -284,9 +327,8 @@ OptionId ViaPolicy::choose(const CallContext& call) {
           : 0,
       call.parent_span, "policy.choose");
 
-  // Pin the published model for the whole decision: a concurrent refresh
-  // swaps the pointer but cannot invalidate what this call already loaded.
-  const std::shared_ptr<const ModelSnapshot> snap = model();
+  // `snap` pins the published model for the whole decision: a concurrent
+  // refresh swaps the pointer but cannot invalidate what the caller loaded.
   const ModelSnapshot::PairView pair = snap->pair_model(call, this);
   store_.budget_on_call(pair.predicted_benefit);
   span.stage("snapshot_topk");
@@ -336,7 +378,7 @@ OptionId ViaPolicy::choose(const CallContext& call) {
     if (health_blocks(pick)) {
       // Exploration must not hand traffic to a quarantined relay; the
       // probe that re-admits it comes from probation, not from ε.
-      stats.quarantine_rerouted.fetch_add(1, std::memory_order_relaxed);
+      stats.quarantine_rerouted.inc();
       count_choice(direct);
       trace_decision(call, direct, obs::DecisionReason::QuarantinedRelay, pair.top_k,
                      state.bandit.total_plays());
@@ -345,13 +387,13 @@ OptionId ViaPolicy::choose(const CallContext& call) {
     if (pick == direct ||
         (store_.budget_allow_relay(std::numeric_limits<double>::infinity()) &&
          store_.relay_cap_allows(options_->get(pick)))) {
-      stats.epsilon_explored.fetch_add(1, std::memory_order_relaxed);
+      stats.epsilon_explored.inc();
       count_choice(pick);
       trace_decision(call, pick, obs::DecisionReason::EpsilonExplore, pair.top_k,
                      state.bandit.total_plays());
       return pick;
     }
-    stats.budget_denied.fetch_add(1, std::memory_order_relaxed);
+    stats.budget_denied.inc();
     count_choice(direct);
     trace_decision(call, direct, obs::DecisionReason::BudgetVeto, pair.top_k,
                    state.bandit.total_plays());
@@ -365,7 +407,7 @@ OptionId ViaPolicy::choose(const CallContext& call) {
   if (pick == kInvalidOption) {
     // Cold start: no predictable candidate yet.
     span.name_tail("fallback_direct");
-    stats.cold_start_direct.fetch_add(1, std::memory_order_relaxed);
+    stats.cold_start_direct.inc();
     count_choice(direct);
     trace_decision(call, direct, obs::DecisionReason::FallbackDirect, pair.top_k,
                    state.bandit.total_plays());
@@ -380,7 +422,7 @@ OptionId ViaPolicy::choose(const CallContext& call) {
     pick = state.bandit.pick_if([&](OptionId o) { return !health_blocks(o); });
     span.stage("health_filter");
     if (pick == kInvalidOption) {
-      stats.outage_fallback_direct.fetch_add(1, std::memory_order_relaxed);
+      stats.outage_fallback_direct.inc();
       if (inst_.flight != nullptr) {
         inst_.flight->record(obs::FlightEventKind::OutageFallback,
                              "all top-k candidates quarantined; served direct",
@@ -397,14 +439,14 @@ OptionId ViaPolicy::choose(const CallContext& call) {
   }
   if (pick != direct) {
     if (!store_.budget_allow_relay(pair.predicted_benefit)) {
-      stats.budget_denied.fetch_add(1, std::memory_order_relaxed);
+      stats.budget_denied.inc();
       count_choice(direct);
       trace_decision(call, direct, obs::DecisionReason::BudgetVeto, pair.top_k,
                      state.bandit.total_plays());
       return direct;
     }
     if (!store_.relay_cap_allows(options_->get(pick))) {
-      stats.relay_cap_denied.fetch_add(1, std::memory_order_relaxed);
+      stats.relay_cap_denied.inc();
       count_choice(direct);
       trace_decision(call, direct, obs::DecisionReason::BudgetVeto, pair.top_k,
                      state.bandit.total_plays());
@@ -412,7 +454,7 @@ OptionId ViaPolicy::choose(const CallContext& call) {
     }
   }
   (rerouted ? stats.quarantine_rerouted : stats.bandit_served)
-      .fetch_add(1, std::memory_order_relaxed);
+      .inc();
   count_choice(pick);
   trace_decision(call, pick, served_reason, pair.top_k, state.bandit.total_plays());
   return pick;
@@ -430,7 +472,7 @@ void ViaPolicy::observe(const Observation& obs) {
   }
 
   {
-    const std::shared_ptr<const ModelSnapshot> snap = model();
+    const std::shared_ptr<const ModelSnapshot> snap = model_cached();
     const std::uint64_t key = as_pair_key(obs.src_as, obs.dst_as);
     PairStateStore::Stripe& stripe = store_.stripe(key);
     const std::lock_guard lock(stripe.mutex);
@@ -470,17 +512,17 @@ void ViaPolicy::observe(const Observation& obs) {
 ViaPolicy::Stats ViaPolicy::stats() const noexcept {
   const ServingStats& s = store_.stats;
   Stats out;
-  out.calls = s.calls.load(std::memory_order_relaxed);
-  out.epsilon_explored = s.epsilon_explored.load(std::memory_order_relaxed);
-  out.bandit_served = s.bandit_served.load(std::memory_order_relaxed);
-  out.cold_start_direct = s.cold_start_direct.load(std::memory_order_relaxed);
-  out.budget_denied = s.budget_denied.load(std::memory_order_relaxed);
-  out.relay_cap_denied = s.relay_cap_denied.load(std::memory_order_relaxed);
-  out.quarantine_rerouted = s.quarantine_rerouted.load(std::memory_order_relaxed);
-  out.outage_fallback_direct = s.outage_fallback_direct.load(std::memory_order_relaxed);
-  out.chose_direct = s.chose_direct.load(std::memory_order_relaxed);
-  out.chose_bounce = s.chose_bounce.load(std::memory_order_relaxed);
-  out.chose_transit = s.chose_transit.load(std::memory_order_relaxed);
+  out.calls = s.calls.value();
+  out.epsilon_explored = s.epsilon_explored.value();
+  out.bandit_served = s.bandit_served.value();
+  out.cold_start_direct = s.cold_start_direct.value();
+  out.budget_denied = s.budget_denied.value();
+  out.relay_cap_denied = s.relay_cap_denied.value();
+  out.quarantine_rerouted = s.quarantine_rerouted.value();
+  out.outage_fallback_direct = s.outage_fallback_direct.value();
+  out.chose_direct = s.chose_direct.value();
+  out.chose_bounce = s.chose_bounce.value();
+  out.chose_transit = s.chose_transit.value();
   return out;
 }
 

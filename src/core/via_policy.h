@@ -104,6 +104,10 @@ class ViaPolicy final : public RoutingPolicy, private PairBuildObserver {
   ~ViaPolicy() override;
 
   [[nodiscard]] OptionId choose(const CallContext& call) override;
+  /// Batched choose (§6h): pins the published snapshot once for the whole
+  /// batch instead of once per call, then decides each context exactly as
+  /// choose() would.  Bit-identical to the sequential loop.
+  void choose_batch(std::span<const CallContext> calls, std::span<OptionId> out) override;
   void observe(const Observation& obs) override;
   /// Monolithic refresh: prepare + commit back to back.  What the serial
   /// simulation engine drives; equivalent to the split protocol with no
@@ -222,6 +226,20 @@ class ViaPolicy final : public RoutingPolicy, private PairBuildObserver {
   void trace_decision(const CallContext& call, OptionId option, obs::DecisionReason reason,
                       std::span<const RankedOption> top_k, std::int64_t bandit_pulls);
 
+  /// choose() against an already-pinned snapshot — the shared body of
+  /// choose() and choose_batch().
+  [[nodiscard]] OptionId choose_with(const std::shared_ptr<const ModelSnapshot>& snap,
+                                     const CallContext& call);
+
+  /// The published snapshot via a thread-local pin revalidated against
+  /// snapshot_version_.  Functionally identical to model(), but the common
+  /// case (no refresh since this thread's last call) costs one acquire
+  /// load of a plain word instead of an atomic<shared_ptr> load — which in
+  /// libstdc++ serializes every caller on a per-object spinlock plus two
+  /// contended refcount RMWs, and was a main driver of the 4/8-thread
+  /// choose throughput decline.
+  [[nodiscard]] std::shared_ptr<const ModelSnapshot> model_cached() const noexcept;
+
   const RelayOptionTable* options_;
   ViaConfig config_;
   BackboneFn backbone_;  ///< kept to construct each refresh's predictor
@@ -234,6 +252,13 @@ class ViaPolicy final : public RoutingPolicy, private PairBuildObserver {
 
   /// The published read-only model (stages 2-3 products), RCU-style.
   std::atomic<std::shared_ptr<const ModelSnapshot>> snapshot_;
+  /// Publication epoch: bumped (release) right after every snapshot_ store
+  /// so model_cached() can revalidate thread-local pins cheaply.
+  std::atomic<std::uint64_t> snapshot_version_{1};
+  /// Globally unique per-instance id (never reused), keying the
+  /// thread-local pins in model_cached() so a new policy constructed at a
+  /// freed policy's address cannot inherit its stale cache entries.
+  const std::uint64_t policy_uid_;
 
   /// The striped mutable serving state (stages 1 & 4).
   PairStateStore store_;

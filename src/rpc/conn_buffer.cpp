@@ -1,0 +1,71 @@
+#include "rpc/conn_buffer.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace via {
+
+namespace {
+constexpr std::size_t kFrameHeaderBytes = 5;  ///< u32 payload_len + u8 msg_type
+}  // namespace
+
+std::span<std::byte> ReadBuffer::writable(std::size_t min_size) {
+  if (begin_ == end_) {
+    begin_ = end_ = 0;
+  } else if (begin_ >= buf_.size() / 2) {
+    // The consumed prefix dominates: slide the live bytes down so the
+    // buffer doesn't grow without bound on a long-lived connection.
+    std::memmove(buf_.data(), buf_.data() + begin_, end_ - begin_);
+    end_ -= begin_;
+    begin_ = 0;
+  }
+  if (buf_.size() - end_ < min_size) buf_.resize(end_ + min_size);
+  return std::span(buf_).subspan(end_, buf_.size() - end_);
+}
+
+bool ReadBuffer::next_frame(Frame& out) {
+  const std::size_t avail = end_ - begin_;
+  if (avail < kFrameHeaderBytes) return false;
+  const std::byte* p = buf_.data() + begin_;
+  std::uint32_t len = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  if (len > kMaxPayload) throw ProtocolError("frame too large");
+  if (avail < kFrameHeaderBytes + len) return false;
+  out.type = static_cast<std::uint8_t>(p[4]);
+  out.payload.assign(p + kFrameHeaderBytes, p + kFrameHeaderBytes + len);
+  begin_ += kFrameHeaderBytes + len;
+  return true;
+}
+
+void WriteBuffer::frame(std::uint8_t type, std::span<const std::byte> payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  buf_.reserve(buf_.size() + kFrameHeaderBytes + payload.size());
+  for (std::size_t i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::byte>((len >> (8 * i)) & 0xFF));
+  }
+  buf_.push_back(static_cast<std::byte>(type));
+  buf_.insert(buf_.end(), payload.begin(), payload.end());
+}
+
+bool WriteBuffer::flush(int fd) {
+  while (begin_ < buf_.size()) {
+    const ssize_t n = ::send(fd, buf_.data() + begin_, buf_.size() - begin_, MSG_NOSIGNAL);
+    if (n > 0) {
+      begin_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+    throw std::system_error(errno, std::generic_category(), "send");
+  }
+  buf_.clear();
+  begin_ = 0;
+  return true;
+}
+
+}  // namespace via

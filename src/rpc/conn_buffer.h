@@ -1,0 +1,65 @@
+// Per-connection byte buffers for the event-driven reactor (DESIGN.md §6h).
+//
+// A non-blocking socket hands the reactor arbitrary byte chunks, so frame
+// boundaries no longer line up with read/write calls.  ReadBuffer
+// accumulates inbound bytes and yields complete frames incrementally —
+// one readiness event can surface many frames (the batched-decode path) or
+// none (a partial frame waiting for its tail).  WriteBuffer queues encoded
+// reply frames and flushes as much as the socket accepts, leaving the rest
+// for the next EPOLLOUT.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rpc/framing.h"
+
+namespace via {
+
+/// Inbound byte accumulator with incremental frame decode.
+class ReadBuffer {
+ public:
+  /// A span of at least `min_size` writable bytes at the buffer's tail;
+  /// recv(2) directly into it, then commit() the byte count actually read.
+  /// Compacts the consumed prefix away when it dominates the buffer.
+  [[nodiscard]] std::span<std::byte> writable(std::size_t min_size);
+  void commit(std::size_t n) noexcept { end_ += n; }
+
+  /// Extracts the next complete frame.  Returns false when more bytes are
+  /// needed.  Throws ProtocolError when the buffered header declares a
+  /// payload over kMaxPayload — the stream can't be resynchronized after
+  /// that, so the caller must close the connection.
+  [[nodiscard]] bool next_frame(Frame& out);
+
+  /// Bytes received but not yet consumed as frames; nonzero at EOF means
+  /// the peer died mid-frame.
+  [[nodiscard]] std::size_t buffered() const noexcept { return end_ - begin_; }
+
+ private:
+  std::vector<std::byte> buf_;
+  std::size_t begin_ = 0;  ///< first unconsumed byte
+  std::size_t end_ = 0;    ///< one past the last received byte
+};
+
+/// Outbound frame queue with partial-write draining.
+class WriteBuffer {
+ public:
+  /// Encodes one frame (header + payload) onto the queue.
+  void frame(std::uint8_t type, std::span<const std::byte> payload);
+
+  [[nodiscard]] bool empty() const noexcept { return begin_ == buf_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return buf_.size() - begin_; }
+
+  /// Writes to `fd` until the queue drains or the socket would block.
+  /// Returns true when drained (the caller can disarm EPOLLOUT).  Throws
+  /// std::system_error on a hard write error.
+  [[nodiscard]] bool flush(int fd);
+
+ private:
+  std::vector<std::byte> buf_;
+  std::size_t begin_ = 0;  ///< first unsent byte
+};
+
+}  // namespace via

@@ -1,6 +1,8 @@
 #include "rpc/faulty_connection.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "rpc/errors.h"
@@ -32,26 +34,74 @@ FaultAction FaultSchedule::next_action() {
   return action;
 }
 
-void FaultyConnection::send_all(std::span<const std::byte> data) {
-  switch (schedule_->next_action()) {
+void FaultyConnection::begin_frame() {
+  std::uint32_t len = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(header_[i]) << (8 * i);
+  }
+  frame_size_ = header_.size() + len;
+  frame_sent_ = 0;
+  header_have_ = 0;
+  // One action per frame, drawn exactly when the legacy whole-frame path
+  // drew it, so (seed, probabilities) still injects the same sequence.
+  action_ = schedule_->next_action();
+  if (action_ == FaultAction::Delay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(schedule_->config().delay_ms));
+  }
+  if (action_ == FaultAction::Reset) {
+    close();
+    frame_size_ = frame_sent_ = 0;
+    throw RpcError(RpcErrorKind::Reset, "injected reset");
+  }
+  emit(header_);
+}
+
+void FaultyConnection::emit(std::span<const std::byte> chunk) {
+  switch (action_) {
     case FaultAction::Pass:
-      TcpConnection::send_all(data);
+    case FaultAction::Delay:
+      TcpConnection::send_all(chunk);
+      frame_sent_ += chunk.size();
       return;
     case FaultAction::Drop:
       // The peer never sees the request; the caller's recv deadline fires.
+      frame_sent_ += chunk.size();
       return;
-    case FaultAction::Delay:
-      std::this_thread::sleep_for(std::chrono::milliseconds(schedule_->config().delay_ms));
-      TcpConnection::send_all(data);
-      return;
-    case FaultAction::Truncate:
-      // Half a frame, then a close: the peer sees a mid-frame EOF.
-      TcpConnection::send_all(data.first(data.size() / 2));
+    case FaultAction::Truncate: {
+      // Half a frame (byte-identical to the legacy `data.first(size / 2)`),
+      // then a close: the peer sees a mid-frame EOF.
+      const std::size_t half = frame_size_ / 2;
+      if (frame_sent_ < half) {
+        const std::size_t n = std::min(chunk.size(), half - frame_sent_);
+        TcpConnection::send_all(chunk.first(n));
+        frame_sent_ += n;
+        if (frame_sent_ < half) return;  // still under the cut point
+      }
       close();
+      frame_size_ = frame_sent_ = 0;
+      header_have_ = 0;
       throw RpcError(RpcErrorKind::Reset, "injected truncation");
+    }
     case FaultAction::Reset:
-      close();
-      throw RpcError(RpcErrorKind::Reset, "injected reset");
+      return;  // unreachable: Reset throws in begin_frame()
+  }
+}
+
+void FaultyConnection::send_all(std::span<const std::byte> data) {
+  while (!data.empty()) {
+    if (frame_sent_ == frame_size_) {
+      // At a frame boundary: reassemble the header, possibly across calls.
+      const std::size_t take = std::min(header_.size() - header_have_, data.size());
+      std::memcpy(header_.data() + header_have_, data.data(), take);
+      header_have_ += take;
+      data = data.subspan(take);
+      if (header_have_ < header_.size()) return;  // partial header buffered
+      begin_frame();
+      continue;
+    }
+    const std::size_t take = std::min(frame_size_ - frame_sent_, data.size());
+    emit(data.first(take));
+    data = data.subspan(take);
   }
 }
 

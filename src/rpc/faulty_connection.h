@@ -1,10 +1,16 @@
 // Deterministic frame-level fault injection for chaos tests (DESIGN.md
 // §6f).  A FaultyConnection wraps a real TcpConnection and, per *sent*
-// frame (send_frame emits exactly one send_all per frame), consults a
-// shared FaultSchedule to decide whether to pass the frame through, drop
-// it (the peer never sees the request — the client's deadline fires),
-// delay it, truncate it mid-frame and close (the peer sees a mid-frame
-// EOF), or reset the connection outright.
+// frame, consults a shared FaultSchedule to decide whether to pass the
+// frame through, drop it (the peer never sees the request — the client's
+// deadline fires), delay it, truncate it mid-frame and close (the peer
+// sees a mid-frame EOF), or reset the connection outright.
+//
+// Faults are per *frame*, not per send_all call: the injector tracks frame
+// boundaries in the outbound stream (reassembling the 5-byte header across
+// calls when needed), so it composes with callers that hand bytes over in
+// arbitrary chunks — a peer on non-blocking sockets (§6h) as much as
+// send_frame's one-call-per-frame.  For whole-frame senders the injected
+// byte stream is identical to the historical per-call behavior.
 //
 // The schedule is hash-driven off a seed and a monotone frame counter, so
 // a given (seed, probabilities) pair injects the exact same fault sequence
@@ -13,7 +19,9 @@
 // the fault density is a property of the run, not of any one connection.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -66,7 +74,22 @@ class FaultyConnection final : public TcpConnection {
   void send_all(std::span<const std::byte> data) override;
 
  private:
+  /// Starts a new frame once its header is complete: parses the length,
+  /// draws the frame's action (sleeping for Delay, throwing for Reset),
+  /// and emits the header bytes under that action.
+  void begin_frame();
+  /// Routes `chunk` (never crossing a frame boundary) per the current
+  /// frame's action; throws once Truncate reaches its cut point.
+  void emit(std::span<const std::byte> chunk);
+
   FaultSchedule* schedule_;
+  /// Outbound-stream frame tracking, so faults stay per-frame under
+  /// partial writes.  frame_sent_ == frame_size_ means "at a boundary".
+  std::array<std::byte, 5> header_{};  ///< header bytes seen so far
+  std::size_t header_have_ = 0;
+  std::size_t frame_size_ = 0;  ///< total frame bytes, header included
+  std::size_t frame_sent_ = 0;  ///< frame bytes already routed
+  FaultAction action_ = FaultAction::Pass;
 };
 
 }  // namespace via

@@ -1,0 +1,354 @@
+#include "rpc/reactor.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <system_error>
+#include <utility>
+
+namespace via {
+
+Reactor::Reactor(TcpListener& listener, FrameHandler on_frames,
+                 ProtocolErrorHandler on_protocol_error, ReactorConfig config, ReactorHooks hooks)
+    : listener_(&listener),
+      on_frames_(std::move(on_frames)),
+      on_protocol_error_(std::move(on_protocol_error)),
+      config_(config),
+      hooks_(std::move(hooks)) {}
+
+Reactor::~Reactor() { stop(); }
+
+void Reactor::start() {
+  if (started_) return;
+  draining_.store(false);
+  force_close_.store(false);
+  stopping_.store(false);
+  conn_count_.store(0);
+
+  const int lfd = listener_->fd();
+  const int flags = ::fcntl(lfd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(lfd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    throw std::system_error(errno, std::generic_category(), "fcntl(O_NONBLOCK)");
+  }
+
+  const int nworkers = std::max(1, config_.workers);
+  for (int i = 0; i < nworkers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->epoll = FdHandle(::epoll_create1(EPOLL_CLOEXEC));
+    if (!worker->epoll.valid()) {
+      workers_.clear();
+      throw std::system_error(errno, std::generic_category(), "epoll_create1");
+    }
+    worker->wake = FdHandle(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+    if (!worker->wake.valid()) {
+      workers_.clear();
+      throw std::system_error(errno, std::generic_category(), "eventfd");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = worker->wake.get();
+    (void)::epoll_ctl(worker->epoll.get(), EPOLL_CTL_ADD, worker->wake.get(), &ev);
+    workers_.push_back(std::move(worker));
+  }
+  {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = lfd;
+    (void)::epoll_ctl(workers_.front()->epoll.get(), EPOLL_CTL_ADD, lfd, &ev);
+    workers_.front()->listener_registered = true;
+  }
+  started_ = true;
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([this, w] { worker_loop(*w); });
+  }
+}
+
+void Reactor::wake_all() {
+  const std::uint64_t one = 1;
+  for (auto& worker : workers_) {
+    (void)!::write(worker->wake.get(), &one, sizeof(one));
+  }
+}
+
+void Reactor::stop() {
+  if (!started_) return;
+  draining_.store(true);
+  wake_all();
+  {
+    std::unique_lock lock(stop_mutex_);
+    (void)stop_cv_.wait_for(lock,
+                            std::chrono::milliseconds(std::max(0, config_.drain_timeout_ms)),
+                            [this] { return conn_count_.load() == 0; });
+  }
+  if (conn_count_.load() != 0) {
+    force_close_.store(true);
+    wake_all();
+    // Force-closing is worker-local and fast; the generous bound only
+    // covers a worker wedged inside a frame handler, in which case we
+    // proceed to join (the handler's return lets the worker exit).
+    std::unique_lock lock(stop_mutex_);
+    (void)stop_cv_.wait_for(lock, std::chrono::seconds(10),
+                            [this] { return conn_count_.load() == 0; });
+  }
+  stopping_.store(true);
+  wake_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  workers_.clear();
+  started_ = false;
+}
+
+void Reactor::register_conn(Worker& worker, int fd) {
+  std::unique_ptr<ReactorConn> conn(new ReactorConn(FdHandle(fd)));
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(worker.epoll.get(), EPOLL_CTL_ADD, fd, &ev) != 0) return;  // conn dtor closes
+  conn->interest_ = EPOLLIN;
+  worker.conns.emplace(fd, std::move(conn));
+  conn_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Reactor::accept_ready(Worker& worker) {
+  for (;;) {
+    const int fd = ::accept4(listener_->fd(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // Listener shut down or hard failure: stop watching it.
+      if (worker.listener_registered) {
+        (void)::epoll_ctl(worker.epoll.get(), EPOLL_CTL_DEL, listener_->fd(), nullptr);
+        worker.listener_registered = false;
+      }
+      return;
+    }
+    if (draining_.load()) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (hooks_.on_accept) hooks_.on_accept();
+    Worker& target = *workers_[static_cast<std::size_t>(fd) % workers_.size()];
+    if (&target == &worker) {
+      register_conn(worker, fd);
+    } else {
+      {
+        const std::lock_guard lock(target.pending_mutex);
+        target.pending.push_back(fd);
+      }
+      const std::uint64_t tick = 1;
+      (void)!::write(target.wake.get(), &tick, sizeof(tick));
+    }
+  }
+}
+
+void Reactor::adopt_pending(Worker& worker) {
+  std::vector<int> fds;
+  {
+    const std::lock_guard lock(worker.pending_mutex);
+    fds.swap(worker.pending);
+  }
+  for (const int fd : fds) {
+    if (draining_.load()) {
+      ::close(fd);
+    } else {
+      register_conn(worker, fd);
+    }
+  }
+}
+
+void Reactor::close_conn(Worker& worker, ReactorConn& conn) {
+  if (conn.dead_) return;
+  const int fd = conn.fd();
+  (void)::epoll_ctl(worker.epoll.get(), EPOLL_CTL_DEL, fd, nullptr);
+  conn.dead_ = true;
+  const auto it = worker.conns.find(fd);
+  if (it != worker.conns.end() && it->second.get() == &conn) {
+    // Park the object until the end of the round: the ready list may still
+    // hold a pointer to it (the dead_ flag skips it).
+    worker.graveyard.push_back(std::move(it->second));
+    worker.conns.erase(it);
+  }
+  conn.fd_.reset();
+  conn_count_.fetch_sub(1, std::memory_order_relaxed);
+  {
+    const std::lock_guard lock(stop_mutex_);
+  }
+  stop_cv_.notify_all();
+}
+
+void Reactor::conn_failure(Worker& worker, ReactorConn& conn) {
+  if (hooks_.on_conn_error) hooks_.on_conn_error();
+  close_conn(worker, conn);
+}
+
+void Reactor::update_interest(Worker& worker, ReactorConn& conn, bool want_write) {
+  // A closing connection is never read again — dropping EPOLLIN is what
+  // keeps a still-talking peer from spinning the level-triggered loop.
+  std::uint32_t events = 0;
+  if (!conn.closing_) events |= EPOLLIN;
+  if (want_write) events |= EPOLLOUT;
+  if (events == conn.interest_) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = conn.fd();
+  (void)::epoll_ctl(worker.epoll.get(), EPOLL_CTL_MOD, conn.fd(), &ev);
+  conn.interest_ = events;
+}
+
+void Reactor::finish_io(Worker& worker, ReactorConn& conn) {
+  if (conn.dead_) return;
+  bool drained = false;
+  try {
+    drained = conn.out_.flush(conn.fd());
+  } catch (const std::system_error&) {
+    conn_failure(worker, conn);
+    return;
+  }
+  if (drained && conn.closing_) {
+    close_conn(worker, conn);
+    return;
+  }
+  update_interest(worker, conn, !drained);
+}
+
+void Reactor::read_and_decode(Worker& worker, ReactorConn& conn) {
+  if (conn.closing_) return;
+  const std::span<std::byte> dst = conn.in_.writable(config_.read_chunk);
+  const ssize_t r = ::recv(conn.fd(), dst.data(), dst.size(), 0);
+  if (r > 0) {
+    conn.in_.commit(static_cast<std::size_t>(r));
+    try {
+      Frame frame;
+      while (conn.in_.next_frame(frame)) conn.batch_.push_back(std::move(frame));
+    } catch (const ProtocolError& e) {
+      // Oversized header: serve what decoded cleanly, then report and
+      // close.  closing_ also stops further reads right away.
+      conn.pending_error_ = e.what();
+      conn.has_pending_error_ = true;
+      conn.closing_ = true;
+    }
+    if (!conn.batch_.empty() && hooks_.on_decoded) hooks_.on_decoded(conn.batch_.size());
+    return;
+  }
+  if (r == 0) {
+    if (conn.in_.buffered() > 0) {
+      // Mid-frame EOF: the peer died partway through a frame.
+      conn_failure(worker, conn);
+      return;
+    }
+    conn.eof_ = true;
+    if (conn.batch_.empty()) {
+      // Nothing left to serve; flush any pending replies and close.
+      conn.closing_ = true;
+      finish_io(worker, conn);
+    }
+    return;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+  conn_failure(worker, conn);
+}
+
+void Reactor::dispatch(Worker& worker, ReactorConn& conn) {
+  if (!conn.batch_.empty()) {
+    try {
+      on_frames_(conn, conn.batch_);
+    } catch (const ProtocolError& e) {
+      if (on_protocol_error_) on_protocol_error_(conn, e);
+      conn.closing_ = true;
+    } catch (const std::exception&) {
+      conn_failure(worker, conn);
+      return;
+    }
+    conn.batch_.clear();
+  }
+  if (conn.dead_) return;
+  if (conn.has_pending_error_) {
+    conn.has_pending_error_ = false;
+    if (on_protocol_error_) on_protocol_error_(conn, ProtocolError(conn.pending_error_));
+    conn.closing_ = true;
+  }
+  if (conn.eof_) conn.closing_ = true;
+  finish_io(worker, conn);
+}
+
+void Reactor::worker_loop(Worker& worker) {
+  const bool acceptor = (&worker == workers_.front().get());
+  std::array<epoll_event, 64> events{};
+  std::vector<ReactorConn*> ready;
+  for (;;) {
+    const int n =
+        ::epoll_wait(worker.epoll.get(), events.data(), static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    bool woken = false;
+    ready.clear();
+    // Phase 1: drain sockets and decode frames (on_decoded fires per
+    // connection, before anything is served — the burst-shedding window).
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t ev = events[i].events;
+      if (fd == worker.wake.get()) {
+        std::uint64_t tick = 0;
+        (void)!::read(fd, &tick, sizeof(tick));
+        woken = true;
+        continue;
+      }
+      if (acceptor && fd == listener_->fd()) {
+        accept_ready(worker);
+        continue;
+      }
+      const auto it = worker.conns.find(fd);
+      if (it == worker.conns.end()) continue;
+      ReactorConn& conn = *it->second;
+      if (conn.dead_) continue;
+      if ((ev & EPOLLOUT) != 0) {
+        finish_io(worker, conn);
+        if (conn.dead_) continue;
+      }
+      if ((ev & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+        read_and_decode(worker, conn);
+        if (!conn.dead_) ready.push_back(&conn);
+      }
+    }
+    // Phase 2: dispatch each connection's decoded batch and flush replies.
+    for (ReactorConn* conn : ready) {
+      if (!conn->dead_) dispatch(worker, *conn);
+    }
+    if (woken) {
+      adopt_pending(worker);
+      if (draining_.load() && acceptor && worker.listener_registered) {
+        (void)::epoll_ctl(worker.epoll.get(), EPOLL_CTL_DEL, listener_->fd(), nullptr);
+        worker.listener_registered = false;
+      }
+      if (force_close_.load()) {
+        std::vector<ReactorConn*> all;
+        all.reserve(worker.conns.size());
+        for (auto& [cfd, conn] : worker.conns) all.push_back(conn.get());
+        for (ReactorConn* conn : all) {
+          if (conn->dead_) continue;
+          if (hooks_.on_forced_close) hooks_.on_forced_close(conn->fd());
+          close_conn(worker, *conn);
+        }
+      }
+    }
+    worker.graveyard.clear();
+    if (stopping_.load()) return;
+  }
+}
+
+}  // namespace via

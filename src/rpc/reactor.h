@@ -1,0 +1,169 @@
+// Epoll-based connection reactor (DESIGN.md §6h): the event-driven
+// replacement for the thread-per-connection accept loop.
+//
+// A small fixed pool of event-loop workers each owns an epoll instance;
+// accepted connections are pinned to `worker[fd % workers]` for their whole
+// life, so every connection's reads, handler calls, and writes happen on
+// exactly one thread and per-connection state needs no locking.  Worker 0
+// additionally owns the (non-blocking) listener.
+//
+// Each wakeup runs two phases over the ready set:
+//   1. drain: recv into every readable connection's ReadBuffer and decode
+//      complete frames (on_decoded fires per connection batch, letting the
+//      host count queued work *before* any of it is served — what makes
+//      burst shedding possible in an event loop), then
+//   2. dispatch: hand each connection's decoded batch to the frame handler
+//      (replies queue on the connection's WriteBuffer) and flush; EPOLLOUT
+//      is armed only while a flush leaves bytes behind.
+//
+// stop() drains gracefully: deregister the listener, keep serving until
+// every connection closes or drain_timeout_ms passes, then force-close the
+// stragglers (on_forced_close fires per fd) and join the workers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "rpc/conn_buffer.h"
+#include "rpc/socket.h"
+
+namespace via {
+
+/// One reactor-owned client connection.  Frame handlers interact with it
+/// only through send() and close_after_flush(); everything else belongs to
+/// the owning worker thread.
+class ReactorConn {
+ public:
+  [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+
+  /// Queues one reply frame; the worker flushes after the handler returns.
+  void send(std::uint8_t type, std::span<const std::byte> payload) { out_.frame(type, payload); }
+
+  /// Close once the pending output flushes (Shutdown, protocol errors).
+  /// The worker stops reading from the connection immediately.
+  void close_after_flush() noexcept { closing_ = true; }
+
+ private:
+  friend class Reactor;
+  explicit ReactorConn(FdHandle fd) noexcept : fd_(std::move(fd)) {}
+
+  FdHandle fd_;
+  ReadBuffer in_;
+  WriteBuffer out_;
+  std::vector<Frame> batch_;    ///< frames decoded in phase 1, dispatched in phase 2
+  std::string pending_error_;   ///< decode-time ProtocolError, reported after the batch
+  bool has_pending_error_ = false;
+  bool closing_ = false;        ///< close after flush
+  bool eof_ = false;            ///< peer closed cleanly; close after the batch
+  bool dead_ = false;           ///< closed this round; object parked in the graveyard
+  std::uint32_t interest_ = 0;  ///< epoll event mask currently registered
+};
+
+struct ReactorConfig {
+  int workers = 2;
+  /// stop(): grace period before stragglers are force-closed.
+  int drain_timeout_ms = 5000;
+  /// recv(2) size per readiness event (level-triggered epoll re-arms when
+  /// more is buffered, so one bounded read keeps connections fair).
+  std::size_t read_chunk = 64 * 1024;
+};
+
+/// Host callbacks, all optional and all invoked from worker threads.
+struct ReactorHooks {
+  std::function<void()> on_accept;
+  /// Complete frames decoded from one connection in phase 1 (before any of
+  /// them is dispatched); hosts use it to account queued work for shedding.
+  std::function<void(std::size_t)> on_decoded;
+  /// A straggler force-closed by the drain deadline.
+  std::function<void(int fd)> on_forced_close;
+  /// Hard connection failure: I/O error, mid-frame EOF, or a handler
+  /// exception that is not a ProtocolError.
+  std::function<void()> on_conn_error;
+};
+
+class Reactor {
+ public:
+  /// Invoked with every batch of frames decoded from `conn`; replies go
+  /// through conn.send().  A thrown ProtocolError is routed to
+  /// `on_protocol_error` and the connection closes after flushing.
+  using FrameHandler = std::function<void(ReactorConn&, std::vector<Frame>&)>;
+  /// The peer violated the protocol (oversized frame at decode, or a
+  /// handler throw): send the error reply through conn.send(); the reactor
+  /// closes the connection after flushing it.
+  using ProtocolErrorHandler = std::function<void(ReactorConn&, const ProtocolError&)>;
+
+  /// The listener must outlive the reactor; start() switches it (and every
+  /// accepted connection) to non-blocking mode.
+  Reactor(TcpListener& listener, FrameHandler on_frames, ProtocolErrorHandler on_protocol_error,
+          ReactorConfig config = {}, ReactorHooks hooks = {});
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  void start();
+  /// Graceful drain (idempotent): stop accepting, serve until every
+  /// connection closes or drain_timeout_ms passes, force-close the rest,
+  /// join the workers.
+  void stop();
+
+  /// Live connections across all workers.
+  [[nodiscard]] std::size_t connection_count() const noexcept {
+    return conn_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    FdHandle epoll;
+    FdHandle wake;  ///< eventfd: new pinned connections, drain/stop signals
+    std::thread thread;
+    /// All of the below are touched only by the worker's own thread.
+    std::unordered_map<int, std::unique_ptr<ReactorConn>> conns;
+    std::vector<std::unique_ptr<ReactorConn>> graveyard;  ///< cleared at end of round
+    bool listener_registered = false;
+    /// Connections accepted by worker 0 but pinned here; guarded by mutex.
+    std::mutex pending_mutex;
+    std::vector<int> pending;
+  };
+
+  void worker_loop(Worker& worker);
+  void accept_ready(Worker& worker);
+  void adopt_pending(Worker& worker);
+  void register_conn(Worker& worker, int fd);
+  void read_and_decode(Worker& worker, ReactorConn& conn);
+  void dispatch(Worker& worker, ReactorConn& conn);
+  /// Flushes pending output, arms/disarms EPOLLOUT, and closes the
+  /// connection when a requested close has fully flushed.
+  void finish_io(Worker& worker, ReactorConn& conn);
+  void close_conn(Worker& worker, ReactorConn& conn);
+  void update_interest(Worker& worker, ReactorConn& conn, bool want_write);
+  void conn_failure(Worker& worker, ReactorConn& conn);
+  void wake_all();
+
+  TcpListener* listener_;
+  FrameHandler on_frames_;
+  ProtocolErrorHandler on_protocol_error_;
+  ReactorConfig config_;
+  ReactorHooks hooks_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::size_t> conn_count_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> force_close_{false};
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;  ///< signaled as connections close
+  bool started_ = false;
+};
+
+}  // namespace via

@@ -11,6 +11,7 @@
 
 #include "obs/export.h"
 #include "obs/span.h"
+#include "rpc/reactor.h"
 #include "util/rng.h"
 
 namespace via {
@@ -53,6 +54,16 @@ class PolicyLock {
   const bool shared_;
 };
 }  // namespace
+
+/// Destination-agnostic reply channel shared by both serving modes: the
+/// legacy path writes frames straight to the socket, the reactor path
+/// queues them on the connection's WriteBuffer.
+struct ControllerServer::ReplySink {
+  virtual void send(MsgType type, std::span<const std::byte> payload) = 0;
+
+ protected:
+  ~ReplySink() = default;
+};
 
 ControllerServer::ControllerServer(RoutingPolicy& policy, std::uint16_t port, ServerConfig config)
     : policy_(&policy),
@@ -108,7 +119,39 @@ void ControllerServer::start() {
     }
     timeseries_thread_ = std::thread([this] { timeseries_loop(); });
   }
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (config_.reactor_threads > 0) {
+    ReactorConfig rconfig;
+    rconfig.workers = config_.reactor_threads;
+    rconfig.drain_timeout_ms = config_.drain_timeout_ms;
+    ReactorHooks hooks;
+    hooks.on_accept = [this] { tel_accepted_->inc(); };
+    // Decoded-but-unanswered frames count as inflight (§6h): charging them
+    // here, before any dispatch, is what lets the shed check see a burst
+    // that arrived within a single readiness event.
+    hooks.on_decoded = [this](std::size_t n) {
+      const std::int64_t now =
+          inflight_.fetch_add(static_cast<std::int64_t>(n)) + static_cast<std::int64_t>(n);
+      tel_inflight_->set(static_cast<double>(now));
+    };
+    hooks.on_forced_close = [this](int fd) {
+      tel_forced_closes_->inc();
+      if (flight_ != nullptr) {
+        flight_->record(obs::FlightEventKind::DrainForcedClose,
+                        "drain timeout: connection forced shut", fd);
+      }
+    };
+    hooks.on_conn_error = [this] { tel_conn_errors_->inc(); };
+    reactor_ = std::make_unique<Reactor>(
+        listener_,
+        [this](ReactorConn& conn, std::vector<Frame>& frames) {
+          handle_reactor_frames(conn, frames);
+        },
+        [this](ReactorConn& conn, const ProtocolError& e) { reactor_protocol_error(conn, e); },
+        rconfig, hooks);
+    reactor_->start();
+  } else {
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
 }
 
 void ControllerServer::timeseries_loop() {
@@ -136,9 +179,18 @@ obs::TimeSeries ControllerServer::timeseries() const {
 
 void ControllerServer::stop() {
   if (!running_.exchange(false)) return;
-  // Unblock accept() by shutting the listening socket down.
-  ::shutdown(listener_.fd(), SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
+  if (reactor_ != nullptr) {
+    // Reactor drains first, while the builder is still alive: a worker may
+    // be blocked in run_refresh() waiting on its builder ticket, and
+    // stopping the builder before that ticket completes would deadlock the
+    // drain.
+    reactor_->stop();
+    ::shutdown(listener_.fd(), SHUT_RDWR);
+  } else {
+    // Unblock accept() by shutting the listening socket down.
+    ::shutdown(listener_.fd(), SHUT_RDWR);
+    if (accept_thread_.joinable()) accept_thread_.join();
+  }
   // Tell the builder to drain outstanding refresh tickets and exit; any
   // handler still waiting on a ticket is released by the drain, and new
   // Refresh requests fall back to the inline-exclusive path from here on.
@@ -241,6 +293,7 @@ void ControllerServer::run_refresh(TimeSec now) {
 }
 
 std::size_t ControllerServer::active_handlers() const {
+  if (reactor_ != nullptr) return reactor_->connection_count();
   const std::lock_guard lock(handlers_mutex_);
   return handlers_.size();
 }
@@ -312,6 +365,16 @@ void ControllerServer::handle_connection(TcpConnection conn) {
       server->conn_fds_.erase(fd);
     }
   } fd_guard{this, conn.fd()};
+  // Writes reply frames straight to the client socket (legacy mode).
+  struct SocketSink final : ReplySink {
+    explicit SocketSink(ControllerServer* s, TcpConnection* c) : server(s), conn(c) {}
+    void send(MsgType type, std::span<const std::byte> payload) override {
+      send_frame(*conn, static_cast<std::uint8_t>(type), payload);
+    }
+    ControllerServer* server;
+    TcpConnection* conn;
+  };
+  SocketSink sink(this, &conn);
   Frame frame;
   try {
     while (recv_frame(conn, frame)) {
@@ -328,13 +391,6 @@ void ControllerServer::handle_connection(TcpConnection conn) {
               static_cast<double>(server->inflight_.fetch_sub(1) - 1));
         }
       } inflight_guard{this};
-      WireReader reader(frame.payload);
-      WireWriter writer;
-      auto reply = [&](MsgType type) {
-        tel_bytes_out_->inc(static_cast<std::int64_t>(writer.bytes().size()) +
-                            kFrameHeaderBytes);
-        send_frame(conn, static_cast<std::uint8_t>(type), writer.bytes());
-      };
       // Overload shedding (§6f): past the inflight cap, work-generating
       // requests get an immediate Busy instead of queueing on the policy
       // lock; the client backs off and retries.  GetStats/Shutdown always
@@ -344,138 +400,16 @@ void ControllerServer::handle_connection(TcpConnection conn) {
       const bool sheddable = msg_type == MsgType::DecisionRequest ||
                              msg_type == MsgType::Report || msg_type == MsgType::Refresh;
       if (config_.max_inflight > 0 && sheddable && inflight_now > config_.max_inflight) {
-        tel_busy_->inc();
-        if (flight_ != nullptr) {
-          flight_->record(obs::FlightEventKind::Shed, "over inflight cap; request shed",
-                          static_cast<std::int64_t>(frame.type), inflight_now);
-        }
-        reply(MsgType::Busy);
+        send_busy(sink, frame.type, inflight_now);
         continue;
       }
-      switch (msg_type) {
-        case MsgType::DecisionRequest: {
-          const DecisionRequest req = DecisionRequest::decode(reader);
-          CallContext ctx;
-          ctx.id = req.call_id;
-          ctx.time = req.time;
-          ctx.src_as = req.src_as;
-          ctx.dst_as = req.dst_as;
-          ctx.key_src = req.src_as;
-          ctx.key_dst = req.dst_as;
-          ctx.options = req.options;
-          // Request tracing (§6g): adopt the client's trace id (or derive a
-          // deterministic one) and parent the policy's choose sub-spans
-          // under this handler's rpc.decide span.
-          std::uint64_t trace_id = req.trace_id;
-          if (tracer_ != nullptr && trace_id == 0) {
-            trace_id = obs::derive_trace_id(static_cast<std::uint64_t>(req.call_id));
-          }
-          obs::ScopedSpan srv_span(tracer_, trace_id, 0, "rpc.decide");
-          ctx.trace_id = trace_id;
-          ctx.parent_span = srv_span.span_id();
-          DecisionResponse resp;
-          resp.call_id = req.call_id;
-          {
-            const PolicyLock lock(policy_mutex_, policy_concurrent_);
-            resp.option = policy_->choose(ctx);
-          }
-          ++decisions_;
-          tel_decisions_->inc();
-          resp.encode(writer);
-          reply(MsgType::DecisionResponse);
-          break;
-        }
-        case MsgType::Report: {
-          const ReportMsg msg = ReportMsg::decode(reader);
-          // Idempotency (§6f): a client that timed out and resent gets its
-          // ack, but the observation feeds the policy only once.
-          if (config_.report_dedup_window > 0 && !note_report_seen(msg.obs)) {
-            tel_dup_reports_->inc();
-            reply(MsgType::ReportAck);
-            break;
-          }
-          {
-            const PolicyLock lock(policy_mutex_, policy_concurrent_);
-            policy_->observe(msg.obs);
-          }
-          ++reports_;
-          tel_reports_->inc();
-          reply(MsgType::ReportAck);
-          break;
-        }
-        case MsgType::Refresh: {
-          const RefreshMsg msg = RefreshMsg::decode(reader);
-          // A retried Refresh (same or older timestamp) is acked without
-          // rebuilding: refresh(now) is not idempotent — it advances decay
-          // and re-randomizes exploration — so the dedup is what makes
-          // client-side Refresh retries safe.
-          if (msg.now <= last_refresh_now_.load()) {
-            tel_dup_refreshes_->inc();
-            reply(MsgType::RefreshAck);
-            break;
-          }
-          run_refresh(msg.now);
-          TimeSec prev = last_refresh_now_.load();
-          while (msg.now > prev && !last_refresh_now_.compare_exchange_weak(prev, msg.now)) {
-          }
-          reply(MsgType::RefreshAck);
-          break;
-        }
-        case MsgType::GetStats: {
-          const StatsRequest req = StatsRequest::decode(reader);
-          const auto format = req.format <= static_cast<std::uint8_t>(obs::StatsFormat::Table)
-                                  ? static_cast<obs::StatsFormat>(req.format)
-                                  : obs::StatsFormat::Json;
-          StatsResponse resp;
-          resp.text = obs::render_stats(telemetry_.registry.snapshot(), format);
-          resp.encode(writer);
-          reply(MsgType::GetStatsResponse);
-          break;
-        }
-        case MsgType::GetTrace: {
-          const DumpRequest req = DumpRequest::decode(reader);
-          StatsResponse resp;
-          resp.text = obs::chrome_trace_json(telemetry_.tracer.buffer(), dump_cap(req));
-          resp.encode(writer);
-          reply(MsgType::GetTraceResponse);
-          break;
-        }
-        case MsgType::GetFlightRecord: {
-          const DumpRequest req = DumpRequest::decode(reader);
-          std::ostringstream jsonl;
-          telemetry_.flight.export_jsonl(jsonl);
-          StatsResponse resp;
-          resp.text = std::move(jsonl).str();
-          const std::size_t cap = dump_cap(req);
-          if (resp.text.size() > cap) {
-            // Keep the newest events: cut at the first line boundary that
-            // leaves the tail within the cap.
-            const std::size_t cut = resp.text.find('\n', resp.text.size() - cap);
-            resp.text = cut == std::string::npos ? std::string{} : resp.text.substr(cut + 1);
-          }
-          resp.encode(writer);
-          reply(MsgType::GetFlightRecordResponse);
-          break;
-        }
-        case MsgType::Shutdown:
-          return;
-        default:
-          throw ProtocolError("unexpected message type");
-      }
+      if (!dispatch_frame(frame, sink)) return;
     }
   } catch (const ProtocolError& e) {
     // Malformed frame (§6f): tell the client what broke, then drop the
     // connection — after a framing violation the stream can't be trusted.
-    tel_protocol_errors_->inc();
-    if (flight_ != nullptr) {
-      flight_->record(obs::FlightEventKind::ProtocolError, e.what(),
-                      static_cast<std::int64_t>(frame.type));
-    }
     try {
-      WireWriter writer;
-      ErrorMsg{frame.type, e.what()}.encode(writer);
-      tel_bytes_out_->inc(static_cast<std::int64_t>(writer.bytes().size()) + kFrameHeaderBytes);
-      send_frame(conn, static_cast<std::uint8_t>(MsgType::Error), writer.bytes());
+      send_protocol_error(sink, frame.type, e);
     } catch (const std::exception&) {
       // The socket may already be gone; closing is all that's left.
     }
@@ -483,6 +417,304 @@ void ControllerServer::handle_connection(TcpConnection conn) {
     // A broken client connection only terminates its own handler.
     tel_conn_errors_->inc();
   }
+}
+
+bool ControllerServer::dispatch_frame(const Frame& frame, ReplySink& sink) {
+  WireReader reader(frame.payload);
+  WireWriter writer;
+  auto reply = [&](MsgType type) {
+    tel_bytes_out_->inc(static_cast<std::int64_t>(writer.bytes().size()) + kFrameHeaderBytes);
+    sink.send(type, writer.bytes());
+  };
+  switch (static_cast<MsgType>(frame.type)) {
+    case MsgType::DecisionRequest: {
+      const DecisionRequest req = DecisionRequest::decode(reader);
+      CallContext ctx;
+      ctx.id = req.call_id;
+      ctx.time = req.time;
+      ctx.src_as = req.src_as;
+      ctx.dst_as = req.dst_as;
+      ctx.key_src = req.src_as;
+      ctx.key_dst = req.dst_as;
+      ctx.options = req.options;
+      // Request tracing (§6g): adopt the client's trace id (or derive a
+      // deterministic one) and parent the policy's choose sub-spans
+      // under this handler's rpc.decide span.
+      std::uint64_t trace_id = req.trace_id;
+      if (tracer_ != nullptr && trace_id == 0) {
+        trace_id = obs::derive_trace_id(static_cast<std::uint64_t>(req.call_id));
+      }
+      obs::ScopedSpan srv_span(tracer_, trace_id, 0, "rpc.decide");
+      ctx.trace_id = trace_id;
+      ctx.parent_span = srv_span.span_id();
+      DecisionResponse resp;
+      resp.call_id = req.call_id;
+      {
+        const PolicyLock lock(policy_mutex_, policy_concurrent_);
+        resp.option = policy_->choose(ctx);
+      }
+      ++decisions_;
+      tel_decisions_->inc();
+      resp.encode(writer);
+      reply(MsgType::DecisionResponse);
+      break;
+    }
+    case MsgType::Report: {
+      const ReportMsg msg = ReportMsg::decode(reader);
+      // Idempotency (§6f): a client that timed out and resent gets its
+      // ack, but the observation feeds the policy only once.
+      if (config_.report_dedup_window > 0 && !note_report_seen(msg.obs)) {
+        tel_dup_reports_->inc();
+        reply(MsgType::ReportAck);
+        break;
+      }
+      {
+        const PolicyLock lock(policy_mutex_, policy_concurrent_);
+        policy_->observe(msg.obs);
+      }
+      ++reports_;
+      tel_reports_->inc();
+      reply(MsgType::ReportAck);
+      break;
+    }
+    case MsgType::Refresh: {
+      const RefreshMsg msg = RefreshMsg::decode(reader);
+      // A retried Refresh (same or older timestamp) is acked without
+      // rebuilding: refresh(now) is not idempotent — it advances decay
+      // and re-randomizes exploration — so the dedup is what makes
+      // client-side Refresh retries safe.
+      if (msg.now <= last_refresh_now_.load()) {
+        tel_dup_refreshes_->inc();
+        reply(MsgType::RefreshAck);
+        break;
+      }
+      run_refresh(msg.now);
+      TimeSec prev = last_refresh_now_.load();
+      while (msg.now > prev && !last_refresh_now_.compare_exchange_weak(prev, msg.now)) {
+      }
+      reply(MsgType::RefreshAck);
+      break;
+    }
+    case MsgType::GetStats: {
+      const StatsRequest req = StatsRequest::decode(reader);
+      const auto format = req.format <= static_cast<std::uint8_t>(obs::StatsFormat::Table)
+                              ? static_cast<obs::StatsFormat>(req.format)
+                              : obs::StatsFormat::Json;
+      StatsResponse resp;
+      resp.text = obs::render_stats(telemetry_.registry.snapshot(), format);
+      resp.encode(writer);
+      reply(MsgType::GetStatsResponse);
+      break;
+    }
+    case MsgType::GetTrace: {
+      const DumpRequest req = DumpRequest::decode(reader);
+      StatsResponse resp;
+      resp.text = obs::chrome_trace_json(telemetry_.tracer.buffer(), dump_cap(req));
+      resp.encode(writer);
+      reply(MsgType::GetTraceResponse);
+      break;
+    }
+    case MsgType::GetFlightRecord: {
+      const DumpRequest req = DumpRequest::decode(reader);
+      std::ostringstream jsonl;
+      telemetry_.flight.export_jsonl(jsonl);
+      StatsResponse resp;
+      resp.text = std::move(jsonl).str();
+      const std::size_t cap = dump_cap(req);
+      if (resp.text.size() > cap) {
+        // Keep the newest events: cut at the first line boundary that
+        // leaves the tail within the cap.
+        const std::size_t cut = resp.text.find('\n', resp.text.size() - cap);
+        resp.text = cut == std::string::npos ? std::string{} : resp.text.substr(cut + 1);
+      }
+      resp.encode(writer);
+      reply(MsgType::GetFlightRecordResponse);
+      break;
+    }
+    case MsgType::Shutdown:
+      return false;
+    default:
+      throw ProtocolError("unexpected message type");
+  }
+  return true;
+}
+
+void ControllerServer::send_busy(ReplySink& sink, std::uint8_t frame_type,
+                                 std::int64_t inflight_now) {
+  tel_busy_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(obs::FlightEventKind::Shed, "over inflight cap; request shed",
+                    static_cast<std::int64_t>(frame_type), inflight_now);
+  }
+  tel_bytes_out_->inc(kFrameHeaderBytes);
+  sink.send(MsgType::Busy, {});
+}
+
+void ControllerServer::send_protocol_error(ReplySink& sink, std::uint8_t frame_type,
+                                           const ProtocolError& e) {
+  tel_protocol_errors_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(obs::FlightEventKind::ProtocolError, e.what(),
+                    static_cast<std::int64_t>(frame_type));
+  }
+  WireWriter writer;
+  ErrorMsg{frame_type, e.what()}.encode(writer);
+  tel_bytes_out_->inc(static_cast<std::int64_t>(writer.bytes().size()) + kFrameHeaderBytes);
+  sink.send(MsgType::Error, writer.bytes());
+}
+
+void ControllerServer::note_requests_done(std::size_t n) {
+  const std::int64_t now =
+      inflight_.fetch_sub(static_cast<std::int64_t>(n)) - static_cast<std::int64_t>(n);
+  tel_inflight_->set(static_cast<double>(now));
+}
+
+void ControllerServer::handle_reactor_frames(ReactorConn& conn, std::vector<Frame>& frames) {
+  struct ReactorSink final : ReplySink {
+    explicit ReactorSink(ReactorConn* c) : conn(c) {}
+    void send(MsgType type, std::span<const std::byte> payload) override {
+      conn->send(static_cast<std::uint8_t>(type), payload);
+    }
+    ReactorConn* conn;
+  };
+  ReactorSink sink(&conn);
+  // Inflight was charged when these frames were decoded (the on_decoded
+  // hook), so a burst within one readiness event is visible to the shed
+  // check before any of it is served.  Every exit path below — including
+  // exceptions and an early Shutdown close — settles the unserved
+  // remainder through this guard.
+  struct PendingGuard {
+    ControllerServer* server;
+    std::size_t remaining;
+    ~PendingGuard() {
+      if (remaining > 0) server->note_requests_done(remaining);
+    }
+  } pending{this, frames.size()};
+
+  std::size_t i = 0;
+  while (i < frames.size()) {
+    // Batched decision path (§6h): a run of DecisionRequests decoded from
+    // one readiness event is served under one policy-lock acquire and one
+    // model-snapshot pin.  Tracing keeps the per-frame path (exact spans),
+    // and so does a configured inflight cap (exact shed accounting).
+    if (tracer_ == nullptr && config_.max_inflight <= 0 &&
+        frames[i].type == static_cast<std::uint8_t>(MsgType::DecisionRequest)) {
+      std::size_t j = i + 1;
+      while (j < frames.size() &&
+             frames[j].type == static_cast<std::uint8_t>(MsgType::DecisionRequest)) {
+        ++j;
+      }
+      if (j - i >= 2) {
+        const std::size_t run = j - i;
+        bool keep_open = true;
+        try {
+          process_decision_batch(std::span<Frame>(frames).subspan(i, run), sink);
+        } catch (const ProtocolError& e) {
+          send_protocol_error(sink, static_cast<std::uint8_t>(MsgType::DecisionRequest), e);
+          keep_open = false;
+        }
+        note_requests_done(run);
+        pending.remaining -= run;
+        i = j;
+        if (!keep_open) {
+          conn.close_after_flush();
+          return;
+        }
+        continue;
+      }
+    }
+    const Frame& frame = frames[i];
+    tel_bytes_in_->inc(static_cast<std::int64_t>(frame.payload.size()) + kFrameHeaderBytes);
+    bool keep_open = true;
+    {
+      const obs::ScopedTimer request_timer(*tel_request_us_);
+      const auto msg_type = static_cast<MsgType>(frame.type);
+      const bool sheddable = msg_type == MsgType::DecisionRequest ||
+                             msg_type == MsgType::Report || msg_type == MsgType::Refresh;
+      const std::int64_t inflight_now = inflight_.load();
+      if (config_.max_inflight > 0 && sheddable && inflight_now > config_.max_inflight) {
+        send_busy(sink, frame.type, inflight_now);
+      } else {
+        try {
+          keep_open = dispatch_frame(frame, sink);
+        } catch (const ProtocolError& e) {
+          send_protocol_error(sink, frame.type, e);
+          keep_open = false;
+        }
+      }
+    }
+    note_requests_done(1);
+    pending.remaining -= 1;
+    ++i;
+    if (!keep_open) {
+      conn.close_after_flush();
+      return;
+    }
+  }
+}
+
+void ControllerServer::process_decision_batch(std::span<Frame> frames, ReplySink& sink) {
+  // One histogram observation for the whole run: request_us then reflects
+  // per-wakeup serving cost instead of synthetic per-frame slices.
+  const obs::ScopedTimer request_timer(*tel_request_us_);
+  std::vector<DecisionRequest> reqs;
+  reqs.reserve(frames.size());
+  std::exception_ptr decode_error;
+  for (const Frame& frame : frames) {
+    tel_bytes_in_->inc(static_cast<std::int64_t>(frame.payload.size()) + kFrameHeaderBytes);
+    try {
+      WireReader reader(frame.payload);
+      reqs.push_back(DecisionRequest::decode(reader));
+    } catch (const ProtocolError&) {
+      // Serve the cleanly decoded prefix, then surface the violation so
+      // the connection closes exactly as the sequential path would.
+      decode_error = std::current_exception();
+      break;
+    }
+  }
+  const std::size_t n = reqs.size();
+  std::vector<CallContext> ctxs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    CallContext& ctx = ctxs[i];
+    ctx.id = reqs[i].call_id;
+    ctx.time = reqs[i].time;
+    ctx.src_as = reqs[i].src_as;
+    ctx.dst_as = reqs[i].dst_as;
+    ctx.key_src = reqs[i].src_as;
+    ctx.key_dst = reqs[i].dst_as;
+    ctx.options = reqs[i].options;
+  }
+  std::vector<OptionId> picks(n);
+  {
+    const PolicyLock lock(policy_mutex_, policy_concurrent_);
+    policy_->choose_batch(ctxs, picks);
+  }
+  decisions_ += static_cast<std::int64_t>(n);
+  tel_decisions_->inc(static_cast<std::int64_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    WireWriter writer;
+    DecisionResponse resp;
+    resp.call_id = reqs[i].call_id;
+    resp.option = picks[i];
+    resp.encode(writer);
+    tel_bytes_out_->inc(static_cast<std::int64_t>(writer.bytes().size()) + kFrameHeaderBytes);
+    sink.send(MsgType::DecisionResponse, writer.bytes());
+  }
+  if (decode_error) std::rethrow_exception(decode_error);
+}
+
+void ControllerServer::reactor_protocol_error(ReactorConn& conn, const ProtocolError& e) {
+  struct ReactorSink final : ReplySink {
+    explicit ReactorSink(ReactorConn* c) : conn(c) {}
+    void send(MsgType type, std::span<const std::byte> payload) override {
+      conn->send(static_cast<std::uint8_t>(type), payload);
+    }
+    ReactorConn* conn;
+  };
+  ReactorSink sink(&conn);
+  // Decode-level violation (oversized frame): there is no decoded request
+  // type to echo back.
+  send_protocol_error(sink, 0, e);
 }
 
 }  // namespace via

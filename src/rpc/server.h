@@ -1,9 +1,14 @@
-// Controller server: hosts a RoutingPolicy behind the TCP protocol.  One
-// handler thread per client connection (the testbed has tens of clients),
-// reaped as clients disconnect.  The policy sits behind a reader-writer
-// lock: when the policy declares itself concurrent-safe (ViaPolicy does —
-// see RoutingPolicy::concurrent_safe()), decision and report handlers take
-// the lock shared, so clients are served in parallel.
+// Controller server: hosts a RoutingPolicy behind the TCP protocol, in one
+// of two serving modes.  The legacy mode spawns one handler thread per
+// client connection (fine for tens of clients), reaped as clients
+// disconnect.  The reactor mode (§6h, ServerConfig::reactor_threads > 0)
+// serves all connections from a small epoll worker pool with per-connection
+// buffers and incremental frame decode — runs of DecisionRequests decoded
+// from one readiness event are answered through RoutingPolicy::choose_batch
+// under a single policy-lock acquire.  Either way the policy sits behind a
+// reader-writer lock: when the policy declares itself concurrent-safe
+// (ViaPolicy does — see RoutingPolicy::concurrent_safe()), decision and
+// report handlers take the lock shared, so clients are served in parallel.
 //
 // The periodic model rebuild runs off the serving path (DESIGN.md §6e): a
 // Refresh message is handed to a dedicated builder thread that drives the
@@ -69,7 +74,17 @@ struct ServerConfig {
   /// ticker closes a window of counter/histogram deltas over the server's
   /// registry.  0 disables the ticker.
   int timeseries_window_ms = 0;
+
+  /// Serving mode (§6h).  > 0: epoll reactor with this many event-loop
+  /// worker threads (connections pinned to a worker by fd); 0 (the
+  /// default): legacy thread-per-connection.  The controller daemon
+  /// defaults to the reactor (`--reactor-threads`); `--legacy-threads`
+  /// keeps the old model for one release.
+  int reactor_threads = 0;
 };
+
+class Reactor;
+class ReactorConn;
 
 class ControllerServer {
  public:
@@ -115,8 +130,32 @@ class ControllerServer {
   [[nodiscard]] obs::TimeSeries timeseries() const;
 
  private:
+  /// Destination-agnostic reply channel: the legacy path writes frames
+  /// straight to the socket, the reactor path queues them on the
+  /// connection's WriteBuffer.  Lets both serving modes share one request
+  /// switch (dispatch_frame).
+  struct ReplySink;
+
   void accept_loop();
   void handle_connection(TcpConnection conn);
+  /// Serves one decoded request frame (the protocol switch shared by both
+  /// serving modes).  Returns false on Shutdown — the caller closes the
+  /// connection.  Throws ProtocolError on malformed payloads.
+  bool dispatch_frame(const Frame& frame, ReplySink& sink);
+  /// Reactor frame handler: serves a connection's decoded batch, shedding
+  /// past the inflight cap and batching runs of DecisionRequests through
+  /// choose_batch when tracing and shedding are off.
+  void handle_reactor_frames(ReactorConn& conn, std::vector<Frame>& frames);
+  /// One policy-lock acquire and one snapshot pin for a whole run of
+  /// DecisionRequests decoded from a single readiness event (§6h).
+  void process_decision_batch(std::span<Frame> frames, ReplySink& sink);
+  /// Decode-time protocol violation on a reactor connection (oversized
+  /// frame): error reply + accounting; the reactor closes after flushing.
+  void reactor_protocol_error(ReactorConn& conn, const ProtocolError& e);
+  void send_busy(ReplySink& sink, std::uint8_t frame_type, std::int64_t inflight_now);
+  void send_protocol_error(ReplySink& sink, std::uint8_t frame_type, const ProtocolError& e);
+  /// Settles inflight accounting for `n` requests decoded by the reactor.
+  void note_requests_done(std::size_t n);
   /// Joins handler threads whose connections have finished.
   void reap_finished();
   /// Records an observation's idempotency key; returns false when the key
@@ -167,6 +206,10 @@ class ControllerServer {
 
   TcpListener listener_;
   std::thread accept_thread_;
+  /// Event-driven serving mode (§6h); built fresh on each start() when
+  /// config_.reactor_threads > 0, stopped (and kept for inspection) on
+  /// stop().
+  std::unique_ptr<Reactor> reactor_;
 
   /// Handler bookkeeping: live threads sit on `handlers_`; a handler
   /// splices its own node onto `finished_` as its last act, and the accept

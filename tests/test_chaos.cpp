@@ -391,5 +391,283 @@ TEST(Chaos, StopForceClosesIdleConnectionsAfterDrainTimeout) {
       server.telemetry().registry.counter("rpc.server.drain_forced_closes").value(), 1);
 }
 
+// ------------------------------------------------------- reactor mode (§6h)
+
+ServerConfig reactor_chaos_config(int workers = 2) {
+  ServerConfig config;
+  config.reactor_threads = workers;
+  return config;
+}
+
+/// The §6f acceptance scenario rerun against the epoll reactor: the
+/// drop/delay/truncate/reset ladder now lands on non-blocking sockets with
+/// partial reads and buffered writes, and must still lose nothing.
+TEST(Chaos, ReactorFaultyTransportLosesNoObservations) {
+  CountingPolicy policy(1);
+  ControllerServer server(policy, 0, reactor_chaos_config());
+  server.start();
+
+  constexpr int kClients = 4;
+  constexpr int kCallsEach = 25;
+  std::atomic<int> decisions_ok{0};
+  std::atomic<std::int64_t> faults_total{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      FaultScheduleConfig chaos;
+      chaos.seed = 0xBAD5EED + static_cast<std::uint64_t>(c);
+      chaos.drop_prob = 0.12;
+      chaos.delay_prob = 0.10;
+      chaos.truncate_prob = 0.06;
+      chaos.reset_prob = 0.06;
+      chaos.delay_ms = 5;
+      chaos.max_faults = 12;
+      FaultSchedule schedule(chaos);
+      ControllerClient client(
+          [&server, &schedule]() -> std::unique_ptr<TcpConnection> {
+            return std::make_unique<FaultyConnection>(
+                TcpConnection::connect_local(server.port()), &schedule);
+          },
+          resilient_client());
+      for (int i = 0; i < kCallsEach; ++i) {
+        DecisionRequest req;
+        req.call_id = c * 1'000 + i;
+        req.time = i;
+        req.options = {0, 1};
+        if (client.request_decision(req) == 1) ++decisions_ok;
+        Observation obs;
+        obs.id = req.call_id;
+        obs.option = 1;
+        obs.time = i;
+        obs.perf = {100.0, 0.5, 2.0};
+        client.report(obs);
+      }
+      client.shutdown();
+      faults_total += schedule.faults_injected();
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.stop();
+
+  EXPECT_EQ(decisions_ok.load(), kClients * kCallsEach);
+  EXPECT_EQ(policy.observed.load(), kClients * kCallsEach);
+  EXPECT_EQ(server.reports_received(), kClients * kCallsEach);
+  EXPECT_GT(faults_total.load(), 0);
+}
+
+/// Acceptance (§6h): a reactor-mode run with >= 1000 concurrent
+/// connections, every one sending a decision + a distinct report, with
+/// zero lost observations.  Thread-per-connection could never hold this
+/// many clients with a bounded thread count; the reactor serves them from
+/// its fixed worker pool.
+TEST(Chaos, ReactorThousandConnectionSoakLosesNoObservations) {
+  CountingPolicy policy(1);
+  ControllerServer server(policy, 0, reactor_chaos_config());
+  server.start();
+
+  constexpr int kConns = 1000;
+  std::vector<TcpConnection> conns;
+  conns.reserve(kConns);
+  for (int i = 0; i < kConns; ++i) {
+    conns.push_back(TcpConnection::connect_local(server.port()));
+  }
+  // All of them registered and held open at once.
+  for (int i = 0; i < 2'000 && server.active_handlers() < kConns; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(server.active_handlers(), static_cast<std::size_t>(kConns));
+
+  // Pipeline one decision + one report per connection before reading any
+  // reply: 2000 requests outstanding across 1000 live sockets.
+  for (int i = 0; i < kConns; ++i) {
+    std::vector<std::byte> burst;
+    {
+      DecisionRequest req;
+      req.call_id = i;
+      req.options = {0, 1};
+      WireWriter w;
+      req.encode(w);
+      const auto payload = w.bytes();
+      const auto len = static_cast<std::uint32_t>(payload.size());
+      for (int b = 0; b < 4; ++b) {
+        burst.push_back(static_cast<std::byte>((len >> (8 * b)) & 0xFF));
+      }
+      burst.push_back(static_cast<std::byte>(MsgType::DecisionRequest));
+      burst.insert(burst.end(), payload.begin(), payload.end());
+    }
+    {
+      ReportMsg msg;
+      msg.obs.id = i;
+      msg.obs.option = 1;
+      msg.obs.time = i;
+      msg.obs.perf = {100.0, 0.5, 2.0};
+      WireWriter w;
+      msg.encode(w);
+      const auto payload = w.bytes();
+      const auto len = static_cast<std::uint32_t>(payload.size());
+      for (int b = 0; b < 4; ++b) {
+        burst.push_back(static_cast<std::byte>((len >> (8 * b)) & 0xFF));
+      }
+      burst.push_back(static_cast<std::byte>(MsgType::Report));
+      burst.insert(burst.end(), payload.begin(), payload.end());
+    }
+    conns[static_cast<std::size_t>(i)].send_all(burst);
+  }
+  int decisions_ok = 0;
+  int acks = 0;
+  for (int i = 0; i < kConns; ++i) {
+    Frame reply;
+    ASSERT_TRUE(recv_frame(conns[static_cast<std::size_t>(i)], reply));
+    if (reply.type == static_cast<std::uint8_t>(MsgType::DecisionResponse)) ++decisions_ok;
+    ASSERT_TRUE(recv_frame(conns[static_cast<std::size_t>(i)], reply));
+    if (reply.type == static_cast<std::uint8_t>(MsgType::ReportAck)) ++acks;
+  }
+  for (auto& conn : conns) conn.close();
+  server.stop();
+
+  EXPECT_EQ(decisions_ok, kConns);
+  EXPECT_EQ(acks, kConns);
+  EXPECT_EQ(policy.observed.load(), kConns);   // zero lost observations
+  EXPECT_EQ(server.reports_received(), kConns);
+  EXPECT_EQ(server.decisions_served(), kConns);
+  EXPECT_EQ(server.active_handlers(), 0u);
+}
+
+// ------------------------------------- fault injection under partial writes
+
+/// FaultyConnection must fault whole frames even when the sender hands
+/// bytes over in arbitrary chunks (a non-blocking peer flushing a
+/// WriteBuffer).  A drop-only schedule delivered in 3-byte chunks must
+/// land exactly the frames a replica schedule says survive.
+TEST(Chaos, FaultyConnectionFaultsPerFrameUnderChunkedSends) {
+  TcpListener listener(0);
+  FaultScheduleConfig chaos;
+  chaos.seed = 0x5EED5;
+  chaos.drop_prob = 0.4;
+  FaultSchedule schedule(chaos);
+  FaultSchedule replica(chaos);  // same seed => same per-frame actions
+
+  constexpr int kFrames = 32;
+  // Filled by the receiver thread; read only after join().
+  std::vector<std::uint32_t> received;
+  std::thread receiver([&] {
+    TcpConnection conn = listener.accept();
+    Frame frame;
+    while (recv_frame(conn, frame)) {
+      WireReader r(frame.payload);
+      received.push_back(r.u32());
+    }
+  });
+
+  FaultyConnection conn(TcpConnection::connect_local(listener.port()), &schedule);
+  std::vector<std::uint32_t> expected;
+  for (int i = 0; i < kFrames; ++i) {
+    WireWriter w;
+    w.u32(static_cast<std::uint32_t>(i));
+    // Serialize the full frame, then dribble it out in 3-byte chunks: the
+    // injector has to reassemble the header and hold one action per frame.
+    std::vector<std::byte> wire;
+    const auto payload = w.bytes();
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    for (int b = 0; b < 4; ++b) {
+      wire.push_back(static_cast<std::byte>((len >> (8 * b)) & 0xFF));
+    }
+    wire.push_back(std::byte{42});
+    wire.insert(wire.end(), payload.begin(), payload.end());
+    for (std::size_t off = 0; off < wire.size(); off += 3) {
+      const std::size_t n = std::min<std::size_t>(3, wire.size() - off);
+      conn.send_all(std::span<const std::byte>(wire).subspan(off, n));
+    }
+    if (replica.next_action() == FaultAction::Pass) {
+      expected.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  conn.close();
+  receiver.join();
+  EXPECT_EQ(received, expected);
+  EXPECT_GT(schedule.faults_injected(), 0);
+}
+
+TEST(Chaos, FaultyConnectionTruncatesChunkedFrameAtHalf) {
+  TcpListener listener(0);
+  FaultScheduleConfig chaos;
+  chaos.truncate_prob = 1.0;
+  FaultSchedule schedule(chaos);
+
+  std::atomic<std::size_t> peer_bytes{0};
+  std::thread receiver([&] {
+    TcpConnection conn = listener.accept();
+    std::array<std::byte, 256> buf{};
+    Frame frame;
+    // The receiver sees a mid-frame EOF (recv_frame throws), having read
+    // only the truncated prefix.
+    try {
+      (void)recv_frame(conn, frame);
+    } catch (const std::exception&) {
+    }
+    (void)buf;
+  });
+
+  FaultyConnection conn(TcpConnection::connect_local(listener.port()), &schedule);
+  WireWriter w;
+  w.u64(0xAABBCCDDEEFF0011ULL);
+  std::vector<std::byte> wire;
+  const auto payload = w.bytes();
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int b = 0; b < 4; ++b) {
+    wire.push_back(static_cast<std::byte>((len >> (8 * b)) & 0xFF));
+  }
+  wire.push_back(std::byte{42});
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  bool threw = false;
+  try {
+    // Byte-at-a-time: the cut must land at frame_size/2 regardless of
+    // chunking, and surface as one injected-truncation reset.
+    for (const std::byte b : wire) {
+      conn.send_all(std::span<const std::byte>(&b, 1));
+    }
+  } catch (const RpcError& e) {
+    threw = true;
+    EXPECT_EQ(e.kind(), RpcErrorKind::Reset);
+  }
+  EXPECT_TRUE(threw);
+  receiver.join();
+  (void)peer_bytes;
+}
+
+TEST(Chaos, FaultyConnectionResetsChunkedFrameAtHeader) {
+  TcpListener listener(0);
+  FaultScheduleConfig chaos;
+  chaos.reset_prob = 1.0;
+  FaultSchedule schedule(chaos);
+
+  std::thread receiver([&] {
+    TcpConnection conn = listener.accept();
+    Frame frame;
+    try {
+      (void)recv_frame(conn, frame);
+    } catch (const std::exception&) {
+    }
+  });
+
+  FaultyConnection conn(TcpConnection::connect_local(listener.port()), &schedule);
+  const std::array<std::byte, 5> header{std::byte{4}, std::byte{0}, std::byte{0},
+                                        std::byte{0}, std::byte{42}};
+  bool threw = false;
+  try {
+    // The reset fires the moment the header completes — exactly where the
+    // legacy whole-frame injector drew its action.
+    conn.send_all(std::span<const std::byte>(header).first(2));
+    conn.send_all(std::span<const std::byte>(header).subspan(2));
+  } catch (const RpcError& e) {
+    threw = true;
+    EXPECT_EQ(e.kind(), RpcErrorKind::Reset);
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(schedule.faults_injected(), 1);
+  receiver.join();
+}
+
 }  // namespace
 }  // namespace via

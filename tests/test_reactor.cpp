@@ -1,0 +1,522 @@
+// Event-driven serving mode tests (DESIGN.md §6h): the epoll reactor
+// behind ServerConfig::reactor_threads must preserve every protocol
+// behavior of the thread-per-connection path — round trips, shedding,
+// client deadlines, protocol-error replies, graceful drain — while adding
+// pipelined frame batching through RoutingPolicy::choose_batch.
+// This file also runs under TSan in CI (tools/ci.sh): the hammer test
+// drives all reactor workers concurrently.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/via_policy.h"
+#include "obs/metrics.h"
+#include "rpc/client.h"
+#include "rpc/errors.h"
+#include "rpc/framing.h"
+#include "rpc/messages.h"
+#include "rpc/server.h"
+#include "rpc/socket.h"
+
+namespace via {
+namespace {
+
+/// Deterministic per-call policy: pick options[call_id % options.size()],
+/// so pipelined and sequential serving are directly comparable.
+class ModuloPolicy final : public RoutingPolicy {
+ public:
+  [[nodiscard]] OptionId choose(const CallContext& call) override {
+    ++chosen;
+    if (call.options.empty()) return 0;
+    return call.options[static_cast<std::size_t>(call.id) % call.options.size()];
+  }
+  void observe(const Observation&) override { ++observed; }
+  void refresh(TimeSec) override { ++refreshed; }
+  [[nodiscard]] std::string_view name() const override { return "modulo"; }
+
+  std::atomic<int> chosen{0}, observed{0}, refreshed{0};
+};
+
+/// Stalls in choose() so client-side deadlines fire under the reactor.
+class SlowPolicy final : public RoutingPolicy {
+ public:
+  explicit SlowPolicy(int delay_ms) : delay_ms_(delay_ms) {}
+  [[nodiscard]] OptionId choose(const CallContext&) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+    return 1;
+  }
+  void observe(const Observation&) override {}
+  void refresh(TimeSec) override {}
+  [[nodiscard]] std::string_view name() const override { return "slow"; }
+
+ private:
+  int delay_ms_;
+};
+
+ServerConfig reactor_config(int workers = 2) {
+  ServerConfig config;
+  config.reactor_threads = workers;
+  return config;
+}
+
+/// Serializes a whole frame (header + type + payload) into `out`, so a
+/// test can hand the server many frames in a single send_all — the burst
+/// arrives within one readiness event and exercises the batch path.
+void append_frame(std::vector<std::byte>& out, MsgType type, const WireWriter& w) {
+  const auto payload = w.bytes();
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((len >> (8 * i)) & 0xFF));
+  }
+  out.push_back(static_cast<std::byte>(type));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::vector<std::byte> encode_decision_burst(int count, int id_base) {
+  std::vector<std::byte> burst;
+  for (int i = 0; i < count; ++i) {
+    DecisionRequest req;
+    req.call_id = id_base + i;
+    req.time = i;
+    req.src_as = 1;
+    req.dst_as = 2;
+    req.options = {0, 1, 2};
+    WireWriter w;
+    req.encode(w);
+    append_frame(burst, MsgType::DecisionRequest, w);
+  }
+  return burst;
+}
+
+[[nodiscard]] std::int64_t counter_value(ControllerServer& server, const std::string& name) {
+  return server.telemetry().registry.snapshot().counter_value(name);
+}
+
+// --------------------------------------------------------- basic protocol
+
+TEST(Reactor, DecisionReportRefreshRoundTrip) {
+  ModuloPolicy policy;
+  ControllerServer server(policy, 0, reactor_config());
+  server.start();
+
+  ControllerClient client(server.port());
+  DecisionRequest req;
+  req.call_id = 7;
+  req.options = {0, 5, 9};
+  EXPECT_EQ(client.request_decision(req), 5);  // 7 % 3 == 1 -> options[1]
+
+  Observation obs;
+  obs.id = 7;
+  obs.option = 5;
+  obs.perf = {120.0, 0.5, 3.0};
+  client.report(obs);
+  EXPECT_EQ(policy.observed.load(), 1);
+
+  client.refresh(kSecondsPerDay);
+  EXPECT_EQ(policy.refreshed.load(), 1);
+
+  const std::string stats = client.get_stats(obs::StatsFormat::Json);
+  EXPECT_NE(stats.find("\"rpc.server.decisions\":1"), std::string::npos);
+
+  client.shutdown();
+  server.stop();
+  EXPECT_EQ(server.decisions_served(), 1);
+  EXPECT_EQ(server.reports_received(), 1);
+}
+
+TEST(Reactor, ManyConcurrentClients) {
+  ModuloPolicy policy;
+  ControllerServer server(policy, 0, reactor_config(3));
+  server.start();
+
+  constexpr int kClients = 8;
+  constexpr int kCallsEach = 50;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ControllerClient client(server.port());
+      for (int i = 0; i < kCallsEach; ++i) {
+        DecisionRequest req;
+        req.call_id = c * 1000 + i;
+        req.options = {3};
+        if (client.request_decision(req) == 3) ++ok;
+        Observation obs;
+        obs.id = req.call_id;
+        obs.option = 3;
+        obs.perf = {100.0, 0.5, 2.0};
+        client.report(obs);
+      }
+      client.shutdown();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients * kCallsEach);
+  EXPECT_EQ(policy.observed.load(), kClients * kCallsEach);
+  server.stop();
+  EXPECT_EQ(server.decisions_served(), kClients * kCallsEach);
+}
+
+// ------------------------------------------------------- pipelined batches
+
+TEST(Reactor, PipelinedDecisionsAnswerInOrder) {
+  ModuloPolicy policy;
+  ControllerServer server(policy, 0, reactor_config());
+  server.start();
+
+  constexpr int kFrames = 24;
+  TcpConnection conn = TcpConnection::connect_local(server.port());
+  conn.send_all(encode_decision_burst(kFrames, 100));
+
+  for (int i = 0; i < kFrames; ++i) {
+    Frame reply;
+    ASSERT_TRUE(recv_frame(conn, reply));
+    ASSERT_EQ(reply.type, static_cast<std::uint8_t>(MsgType::DecisionResponse));
+    WireReader r(reply.payload);
+    const DecisionResponse resp = DecisionResponse::decode(r);
+    // Replies come back in request order with the per-call modulo pick:
+    // exactly what the sequential path would have produced.
+    EXPECT_EQ(resp.call_id, 100 + i);
+    EXPECT_EQ(resp.option, static_cast<OptionId>((100 + i) % 3));
+  }
+  conn.close();  // let stop() drain instead of waiting out the timeout
+  server.stop();
+  EXPECT_EQ(server.decisions_served(), kFrames);
+}
+
+TEST(Reactor, PipelinedMixedFramesAnswerInOrder) {
+  // Decisions interleaved with reports: batching must respect frame order
+  // across run boundaries (decision run, report, decision run...).
+  ModuloPolicy policy;
+  ControllerServer server(policy, 0, reactor_config());
+  server.start();
+
+  std::vector<std::byte> burst;
+  std::vector<MsgType> expected;
+  for (int i = 0; i < 12; ++i) {
+    if (i % 4 == 3) {
+      ReportMsg msg;
+      msg.obs.id = i;
+      msg.obs.option = 1;
+      msg.obs.perf = {100.0, 0.5, 2.0};
+      WireWriter w;
+      msg.encode(w);
+      append_frame(burst, MsgType::Report, w);
+      expected.push_back(MsgType::ReportAck);
+    } else {
+      DecisionRequest req;
+      req.call_id = i;
+      req.options = {0, 1};
+      WireWriter w;
+      req.encode(w);
+      append_frame(burst, MsgType::DecisionRequest, w);
+      expected.push_back(MsgType::DecisionResponse);
+    }
+  }
+  TcpConnection conn = TcpConnection::connect_local(server.port());
+  conn.send_all(burst);
+  for (const MsgType want : expected) {
+    Frame reply;
+    ASSERT_TRUE(recv_frame(conn, reply));
+    EXPECT_EQ(reply.type, static_cast<std::uint8_t>(want));
+  }
+  conn.close();
+  server.stop();
+  EXPECT_EQ(policy.observed.load(), 3);
+}
+
+// ------------------------------------------------------------- shedding
+
+TEST(Reactor, BurstSheddingPreserved) {
+  // A pipelined burst decoded from one readiness event must be visible to
+  // the inflight cap before any of it is served: some frames get Busy.
+  ModuloPolicy policy;
+  ServerConfig config = reactor_config();
+  config.max_inflight = 2;
+  ControllerServer server(policy, 0, config);
+  server.start();
+
+  constexpr int kFrames = 128;
+  int busy = 0;
+  int served = 0;
+  // TCP may split a burst across readiness events; retry until a burst
+  // lands densely enough to trip the cap (the first almost always does).
+  for (int attempt = 0; attempt < 5 && busy == 0; ++attempt) {
+    TcpConnection conn = TcpConnection::connect_local(server.port());
+    conn.send_all(encode_decision_burst(kFrames, attempt * kFrames));
+    for (int i = 0; i < kFrames; ++i) {
+      Frame reply;
+      ASSERT_TRUE(recv_frame(conn, reply));
+      if (reply.type == static_cast<std::uint8_t>(MsgType::Busy)) {
+        ++busy;
+      } else {
+        ASSERT_EQ(reply.type, static_cast<std::uint8_t>(MsgType::DecisionResponse));
+        ++served;
+      }
+    }
+  }
+  EXPECT_GE(busy, 1);
+  EXPECT_EQ(server.busy_rejections(), busy);
+
+  // A polite client (one request at a time) is never shed at this cap.
+  ControllerClient client(server.port());
+  DecisionRequest req;
+  req.call_id = 9999;
+  req.options = {0};
+  EXPECT_EQ(client.request_decision(req), 0);
+  client.shutdown();
+  server.stop();
+}
+
+TEST(Reactor, ClientDeadlinePreserved) {
+  // The client's poll-based response deadline and fallback ladder work
+  // unchanged against a reactor server whose policy stalls.
+  SlowPolicy policy(400);
+  ServerConfig config = reactor_config();
+  config.drain_timeout_ms = 200;  // stop() quickly despite the stall
+  ControllerServer server(policy, 0, config);
+  server.start();
+
+  ClientConfig cc;
+  cc.request_timeout_ms = 50;
+  cc.max_retries = 1;
+  cc.backoff_base_ms = 1;
+  cc.backoff_max_ms = 2;
+  cc.fallback_direct = true;
+  ControllerClient client(server.port(), cc);
+  DecisionRequest req;
+  req.call_id = 1;
+  req.options = {0, 1};
+  // Every attempt times out, so the deadline ladder ends in the direct
+  // fallback — never a hang.
+  EXPECT_EQ(client.request_decision(req), RelayOptionTable::direct_id());
+  EXPECT_GE(client.retries(), 1);
+  server.stop();
+}
+
+// ------------------------------------------------------ errors and drain
+
+TEST(Reactor, OversizedFrameGetsErrorAndClose) {
+  ModuloPolicy policy;
+  ControllerServer server(policy, 0, reactor_config());
+  server.start();
+
+  TcpConnection conn = TcpConnection::connect_local(server.port());
+  // Header declaring a payload over kMaxPayload: decode-level violation.
+  const std::uint32_t len = kMaxPayload + 1;
+  std::vector<std::byte> bad;
+  for (int i = 0; i < 4; ++i) bad.push_back(static_cast<std::byte>((len >> (8 * i)) & 0xFF));
+  bad.push_back(static_cast<std::byte>(MsgType::DecisionRequest));
+  conn.send_all(bad);
+
+  Frame reply;
+  ASSERT_TRUE(recv_frame(conn, reply));
+  EXPECT_EQ(reply.type, static_cast<std::uint8_t>(MsgType::Error));
+  EXPECT_FALSE(recv_frame(conn, reply));  // server closed the connection
+  EXPECT_GE(server.protocol_errors(), 1);
+
+  // The reactor keeps serving other clients afterwards.
+  ControllerClient client(server.port());
+  DecisionRequest req;
+  req.call_id = 3;
+  req.options = {0};
+  EXPECT_EQ(client.request_decision(req), 0);
+  client.shutdown();
+  server.stop();
+}
+
+TEST(Reactor, UnknownTypeGetsErrorAndClose) {
+  ModuloPolicy policy;
+  ControllerServer server(policy, 0, reactor_config());
+  server.start();
+
+  TcpConnection conn = TcpConnection::connect_local(server.port());
+  send_frame(conn, 0x7F, {});
+  Frame reply;
+  ASSERT_TRUE(recv_frame(conn, reply));
+  EXPECT_EQ(reply.type, static_cast<std::uint8_t>(MsgType::Error));
+  EXPECT_FALSE(recv_frame(conn, reply));
+  server.stop();
+  EXPECT_GE(server.protocol_errors(), 1);
+}
+
+TEST(Reactor, GracefulDrainClosesCleanly) {
+  ModuloPolicy policy;
+  ControllerServer server(policy, 0, reactor_config());
+  server.start();
+  {
+    ControllerClient client(server.port());
+    DecisionRequest req;
+    req.call_id = 1;
+    req.options = {0};
+    EXPECT_EQ(client.request_decision(req), 0);
+    client.shutdown();
+  }
+  server.stop();
+  EXPECT_EQ(counter_value(server, "rpc.server.drain_forced_closes"), 0);
+}
+
+TEST(Reactor, DrainForceClosesStragglers) {
+  ModuloPolicy policy;
+  ServerConfig config = reactor_config();
+  config.drain_timeout_ms = 100;
+  ControllerServer server(policy, 0, config);
+  server.start();
+
+  // Two clients that connect (one transacts) and then sit on the line.
+  TcpConnection idle1 = TcpConnection::connect_local(server.port());
+  TcpConnection idle2 = TcpConnection::connect_local(server.port());
+  idle1.send_all(encode_decision_burst(1, 1));
+  Frame reply;
+  ASSERT_TRUE(recv_frame(idle1, reply));
+
+  server.stop();  // must return despite the open connections
+  EXPECT_GE(counter_value(server, "rpc.server.drain_forced_closes"), 2);
+  EXPECT_EQ(server.active_handlers(), 0u);
+}
+
+TEST(Reactor, ActiveConnectionsTracked) {
+  ModuloPolicy policy;
+  ControllerServer server(policy, 0, reactor_config());
+  server.start();
+
+  auto wait_for_count = [&](std::size_t want) {
+    for (int i = 0; i < 200 && server.active_handlers() != want; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return server.active_handlers();
+  };
+
+  {
+    TcpConnection a = TcpConnection::connect_local(server.port());
+    TcpConnection b = TcpConnection::connect_local(server.port());
+    TcpConnection c = TcpConnection::connect_local(server.port());
+    EXPECT_EQ(wait_for_count(3), 3u);
+  }
+  EXPECT_EQ(wait_for_count(0), 0u);
+  server.stop();
+}
+
+TEST(Reactor, StopIsIdempotentAndRestartless) {
+  ModuloPolicy policy;
+  ControllerServer server(policy, 0, reactor_config());
+  server.start();
+  server.stop();
+  server.stop();  // second stop must be harmless
+}
+
+// ----------------------------------------------------------- TSan hammer
+
+TEST(Reactor, ConcurrentHammer) {
+  // All reactor workers live at once: per-client sequential traffic plus
+  // raw pipelined bursts (the choose_batch path) plus periodic refreshes
+  // and stats queries.  Run under TSan in CI.
+  ModuloPolicy policy;
+  ControllerServer server(policy, 0, reactor_config(4));
+  server.start();
+
+  constexpr int kClients = 6;
+  constexpr int kCallsEach = 120;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients + 2);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ControllerClient client(server.port());
+      for (int i = 0; i < kCallsEach; ++i) {
+        DecisionRequest req;
+        req.call_id = c * 10'000 + i;
+        req.options = {0, 1, 2};
+        const OptionId pick = client.request_decision(req);
+        if (pick == static_cast<OptionId>(req.call_id % 3)) ++ok;
+        Observation obs;
+        obs.id = req.call_id;
+        obs.option = pick;
+        obs.perf = {100.0, 0.5, 2.0};
+        client.report(obs);
+        if (i % 40 == 0) (void)client.get_stats(obs::StatsFormat::Json);
+      }
+      client.shutdown();
+    });
+  }
+  // Two pipelining connections keep the batch path hot in parallel.
+  for (int p = 0; p < 2; ++p) {
+    threads.emplace_back([&, p] {
+      for (int round = 0; round < 6; ++round) {
+        TcpConnection conn = TcpConnection::connect_local(server.port());
+        constexpr int kBurst = 32;
+        conn.send_all(encode_decision_burst(kBurst, 1'000'000 + p * 100'000 + round * kBurst));
+        for (int i = 0; i < kBurst; ++i) {
+          Frame reply;
+          ASSERT_TRUE(recv_frame(conn, reply));
+          ASSERT_EQ(reply.type, static_cast<std::uint8_t>(MsgType::DecisionResponse));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients * kCallsEach);
+  EXPECT_EQ(policy.observed.load(), kClients * kCallsEach);
+  server.stop();
+  EXPECT_EQ(server.decisions_served(),
+            static_cast<std::int64_t>(kClients) * kCallsEach + 2 * 6 * 32);
+}
+
+// --------------------------------------------- choose_batch parity (core)
+
+TEST(Reactor, ViaPolicyChooseBatchMatchesSequential) {
+  // The batched decision path pins one model snapshot for a whole run;
+  // decisions (including exploration RNG draws) must match the sequential
+  // path bit for bit.
+  RelayOptionTable options_a;
+  RelayOptionTable options_b;
+  const OptionId bounce_a = options_a.intern_bounce(0);
+  (void)options_b.intern_bounce(0);
+  (void)options_a.intern_bounce(1);
+  (void)options_b.intern_bounce(1);
+  ViaConfig config;
+  config.epsilon = 0.2;  // exercise exploration RNG ordering too
+  auto backbone = [](RelayId, RelayId) { return PathPerformance{}; };
+  ViaPolicy sequential(options_a, backbone, config);
+  ViaPolicy batched(options_b, backbone, config);
+
+  const std::vector<OptionId> candidates = {RelayOptionTable::direct_id(), bounce_a,
+                                            bounce_a + 1};
+  for (int i = 0; i < 16; ++i) {
+    Observation o;
+    o.src_as = 1;
+    o.dst_as = 2;
+    o.option = candidates[static_cast<std::size_t>(i) % candidates.size()];
+    o.perf = {100.0 + i, 0.5, 3.0};
+    sequential.observe(o);
+    batched.observe(o);
+  }
+  sequential.refresh(kSecondsPerDay);
+  batched.refresh(kSecondsPerDay);
+
+  constexpr std::size_t kCalls = 64;
+  std::vector<CallContext> ctxs(kCalls);
+  for (std::size_t i = 0; i < kCalls; ++i) {
+    ctxs[i].id = static_cast<CallId>(i + 1);
+    ctxs[i].time = static_cast<TimeSec>(i);
+    ctxs[i].src_as = 1;
+    ctxs[i].dst_as = 2;
+    ctxs[i].key_src = 1;
+    ctxs[i].key_dst = 2;
+    ctxs[i].options = candidates;
+  }
+  std::vector<OptionId> expect(kCalls);
+  for (std::size_t i = 0; i < kCalls; ++i) expect[i] = sequential.choose(ctxs[i]);
+  std::vector<OptionId> got(kCalls);
+  batched.choose_batch(ctxs, got);
+  EXPECT_EQ(got, expect);
+}
+
+}  // namespace
+}  // namespace via

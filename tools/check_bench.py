@@ -11,11 +11,18 @@ warning but never fail the run.  Keys missing from the run (e.g. a
 filtered-out benchmark) are reported but warn-only, so partial bench runs
 stay usable locally.
 
+Rows listed in `_multicore_only` measure parallel speedups or multi-thread
+throughput; on a single-core runner they legitimately degenerate (a 0.96x
+sweep_speedup on one core is physics, not a regression).  The bench run
+records the producing box's core count in the `cores` key of
+BENCH_core.json; when it is < 2 (or absent, for runs predating the field),
+`_multicore_only` rows are downgraded to warnings instead of failures.
+
 Threshold semantics (bench/thresholds.json):
   - keys ending in `_ns` or `_seconds` are lower-is-better; a run is
     flagged when it exceeds the threshold by more than the tolerance.
-  - keys ending in `_mops` or `_speedup` are higher-is-better; a run is
-    flagged when it falls short by more than the tolerance.
+  - keys ending in `_mops`, `_speedup`, or `_rps` are higher-is-better; a
+    run is flagged when it falls short by more than the tolerance.
   - other numeric keys are compared lower-is-better by default.
 
 The default tolerance is 25% either way; a `_tolerance` key in the
@@ -28,11 +35,15 @@ import json
 import sys
 
 DEFAULT_TOLERANCE = 0.25
-HIGHER_IS_BETTER_SUFFIXES = ("_mops", "_speedup")
+HIGHER_IS_BETTER_SUFFIXES = ("_mops", "_speedup", "_rps")
 
 
 def is_higher_better(key: str) -> bool:
-    return key.endswith(HIGHER_IS_BETTER_SUFFIXES)
+    # Suffix or infix: throughput rows like reactor_choose_rps_64c carry
+    # the unit mid-key with the sweep point trailing.
+    return key.endswith(HIGHER_IS_BETTER_SUFFIXES) or any(
+        f"{tag}_" in key for tag in HIGHER_IS_BETTER_SUFFIXES
+    )
 
 
 def main(argv: list) -> int:
@@ -53,6 +64,15 @@ def main(argv: list) -> int:
 
     tolerance = thresholds.get("_tolerance", DEFAULT_TOLERANCE)
     warn_only = set(thresholds.get("_warn_only", []))
+    multicore_only = set(thresholds.get("_multicore_only", []))
+    cores = bench.get("cores")
+    single_core = not isinstance(cores, (int, float)) or cores < 2
+    if single_core and multicore_only:
+        print(
+            f"check_bench: cores={cores!r} in {bench_path}; "
+            f"{len(multicore_only)} multicore-only row(s) downgraded to warnings"
+        )
+        warn_only |= multicore_only
     failures = []
     warnings = []
     missing = []

@@ -5,7 +5,8 @@
 # gates it against bench/thresholds.json (failing, tools/check_bench.py;
 # the bench is retried a couple of times so a transient load spike on the
 # runner does not fail the pipeline — a real regression fails every try).
-# Set VIA_CI_TSAN=1 to additionally run test_parallel under ThreadSanitizer,
+# Set VIA_CI_TSAN=1 to additionally run the threaded tests (including the
+# reactor worker hammer in test_reactor) under ThreadSanitizer,
 # and VIA_CI_ASAN=1 to run the chaos/fault/RPC tests under ASan+UBSan;
 # the ASan stage dumps flight-recorder + span-buffer JSONL into
 # $BUILD_DIR-asan/flight-dump/ when a test fails (uploaded as CI artifacts).
@@ -48,11 +49,12 @@ echo "BENCH_core.json:"
 cat "$BUILD_DIR-release/BENCH_core.json"
 
 if [[ "${VIA_CI_TSAN:-0}" == "1" ]]; then
-  echo "== tsan: test_parallel + test_concurrent_policy under ThreadSanitizer =="
+  echo "== tsan: test_parallel + test_concurrent_policy + test_reactor under ThreadSanitizer =="
   cmake -B "$BUILD_DIR-tsan" -S . -DVIA_TSAN=ON
-  cmake --build "$BUILD_DIR-tsan" -j --target test_parallel test_concurrent_policy
+  cmake --build "$BUILD_DIR-tsan" -j --target test_parallel test_concurrent_policy test_reactor
   "$BUILD_DIR-tsan/tests/test_parallel"
   "$BUILD_DIR-tsan/tests/test_concurrent_policy"
+  "$BUILD_DIR-tsan/tests/test_reactor"
 fi
 
 if [[ "${VIA_CI_ASAN:-0}" == "1" ]]; then
