@@ -9,6 +9,7 @@
 //   via_controller [--port N] [--metric rtt|loss|jitter] [--epsilon E]
 //                  [--budget B] [--refresh-hours T] [--backbone FILE]
 //                  [--stripes N] [--solve-threads N] [--no-prewarm]
+//                  [--max-resident-pairs N] [--pair-ttl PERIODS]
 //                  [--max-inflight N]
 //                  [--reactor-threads N] [--legacy-threads]
 //                  [--http-port N] [--trace-sample N]
@@ -62,6 +63,16 @@
 // preparation.  The daemon pre-warms by default so the first post-refresh
 // call per active pair hits the warm lookup path instead of the cold
 // predict/top-k build; decisions are identical either way.
+//
+// --max-resident-pairs N: cap the per-pair serving states kept resident
+// (DESIGN.md §6i).  Enforced at each refresh commit, oldest-armed pairs
+// evicted first; an evicted pair that calls again is re-armed from the
+// published snapshot.  0 (default) = unbounded.
+//
+// --pair-ttl PERIODS: drop serving state for pairs that have not called
+// in this many refresh periods (checked at each commit).  0 (default)
+// disables the TTL.  Resident memory is visible live as the policy.mem.*
+// gauges on /metrics and in /varz.
 //
 // --metrics-dump: print the telemetry registry (decision counters, RPC
 // latency histograms, bytes in/out) on shutdown; the same snapshot is
@@ -202,6 +213,10 @@ int main(int argc, char** argv) {
             n > 0 ? n : static_cast<int>(std::thread::hardware_concurrency());
       } else if (arg == "--no-prewarm") {
         config.prewarm_pairs = false;
+      } else if (arg == "--max-resident-pairs") {
+        config.mem.max_resident_pairs = static_cast<std::size_t>(std::stoul(next()));
+      } else if (arg == "--pair-ttl") {
+        config.mem.pair_ttl_periods = std::stoull(next());
       } else if (arg == "--max-inflight") {
         server_config.max_inflight = std::stoll(next());
       } else if (arg == "--reactor-threads") {
@@ -226,6 +241,7 @@ int main(int argc, char** argv) {
                      "                      [--epsilon E] [--budget B]\n"
                      "                      [--refresh-hours T] [--backbone FILE]\n"
                      "                      [--stripes N] [--solve-threads N] [--no-prewarm]\n"
+                     "                      [--max-resident-pairs N] [--pair-ttl PERIODS]\n"
                      "                      [--max-inflight N]\n"
                      "                      [--reactor-threads N] [--legacy-threads]\n"
                      "                      [--http-port N] [--trace-sample N]\n"
@@ -264,11 +280,20 @@ int main(int argc, char** argv) {
     std::unique_ptr<AdminHttpServer> http;
     if (http_enabled) {
       http = std::make_unique<AdminHttpServer>(server.telemetry(), http_port);
-      http->set_varz([&server] {
+      http->set_varz([&server, &policy] {
+        // memory_stats() walks the store under its stripe locks — cheap at
+        // /varz scrape cadence, and safe concurrently with serving.
+        ViaPolicy::MemoryStats mem = policy.memory_stats();
         std::ostringstream os;
         os << "\"decisions_served\":" << server.decisions_served()
            << ",\"reports_received\":" << server.reports_received()
-           << ",\"active_handlers\":" << server.active_handlers();
+           << ",\"active_handlers\":" << server.active_handlers()
+           << ",\"mem_total_bytes\":" << mem.total_bytes()
+           << ",\"mem_window_bytes\":" << mem.window_bytes
+           << ",\"mem_snapshot_bytes\":" << mem.snapshot_bytes
+           << ",\"mem_store_bytes\":" << mem.store_bytes
+           << ",\"resident_pairs\":" << mem.resident_pairs
+           << ",\"store_evictions\":" << mem.store_evictions;
         return std::move(os).str();
       });
       http->start();

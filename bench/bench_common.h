@@ -21,6 +21,7 @@
 #include "obs/trace.h"
 #include "sim/experiment.h"
 #include "sim/parallel.h"
+#include "trace/stream.h"
 #include "util/table.h"
 
 namespace via::bench {
@@ -123,6 +124,19 @@ class Stopwatch {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Times one full pass over `stream` (reset() first): generator throughput
+/// in arrivals/sec.  `count` (optional) receives the arrivals produced.
+inline double stream_arrivals_per_sec(ArrivalStream& stream, std::int64_t* count = nullptr) {
+  stream.reset();
+  const Stopwatch sw;
+  CallArrival a;
+  std::int64_t n = 0;
+  while (stream.next(a)) ++n;
+  const double secs = sw.seconds();
+  if (count != nullptr) *count = n;
+  return secs > 0.0 ? static_cast<double>(n) / secs : 0.0;
+}
 
 /// One-line machine-readable telemetry summary of the whole bench process:
 /// wall time, replayed calls/sec, per-reason decision counts, and the full

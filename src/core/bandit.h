@@ -65,6 +65,14 @@ class UcbBandit {
 
   [[nodiscard]] bool has_arms() const noexcept { return !arms_.empty(); }
   [[nodiscard]] std::size_t arm_count() const noexcept { return arms_.size(); }
+  /// Heap bytes owned by this bandit (the arm array); the object itself is
+  /// counted by whoever embeds it.
+  [[nodiscard]] std::size_t heap_bytes() const noexcept {
+    return arms_.capacity() * sizeof(Arm);
+  }
+  [[nodiscard]] std::size_t approx_bytes() const noexcept {
+    return sizeof(*this) + heap_bytes();
+  }
   [[nodiscard]] std::int64_t total_plays() const noexcept { return total_plays_; }
   [[nodiscard]] double normalizer() const noexcept { return w_; }
 

@@ -9,10 +9,21 @@
 // network path.  Transit observations additionally remember which relay
 // was adjacent to the pair's lower-numbered endpoint so tomography can
 // attribute segments consistently.
+//
+// Memory model (DESIGN.md §6i): PathAggregate is a compact fixed-footprint
+// record — exactly the moments downstream stages read (raw mean + M2 for
+// empirical prediction, linearized mean for tomography), one shared count,
+// nothing else.  The window itself can be capped with set_max_paths();
+// at the cap, cold (pair, option) paths are evicted second-chance
+// (clock-hand) before a new path is admitted.  The cap is off by default,
+// so golden replays are untouched.
 #pragma once
 
 #include <array>
+#include <cassert>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <utility>
 
 #include "common/linearize.h"
@@ -25,13 +36,58 @@
 namespace via {
 
 /// Aggregated measurements of one (AS pair, option) path within a window.
+///
+/// Compact form of the original 6×OnlineStats layout (~256 B -> 80 B): all
+/// metrics of an observation are recorded together, so one shared count
+/// replaces six; min/max and the linearized second moment had no readers.
+/// The update arithmetic is the same Welford recurrence OnlineStats uses,
+/// term for term, so means/SEMs are bit-identical to the old layout.
 struct PathAggregate {
-  std::array<OnlineStats, kNumMetrics> raw;  ///< per-metric raw statistics
-  std::array<OnlineStats, kNumMetrics> lin;  ///< per-metric linearized statistics
+  std::array<double, kNumMetrics> raw_mean{};  ///< raw metric means
+  std::array<double, kNumMetrics> raw_m2{};    ///< raw sums of squared deviations
+  std::array<double, kNumMetrics> lin_mean{};  ///< linearized means (tomography)
+  std::uint32_t n = 0;                         ///< observations aggregated
   /// For transit options: the relay adjacent to the pair's lower endpoint.
   RelayId ingress_lo = -1;
 
-  [[nodiscard]] std::int64_t count() const noexcept { return raw[0].count(); }
+  [[nodiscard]] std::int64_t count() const noexcept { return n; }
+
+  /// Standard error of the raw mean for one metric; mirrors
+  /// OnlineStats::sem() (wide for a single sample, infinite for none).
+  [[nodiscard]] double raw_sem(std::size_t i) const noexcept {
+    if (n > 1) {
+      return std::sqrt(raw_m2[i] / static_cast<double>(n - 1)) /
+             std::sqrt(static_cast<double>(n));
+    }
+    if (n == 1) return std::abs(raw_mean[i]) * OnlineStats::kSingleSampleRelSem;
+    return std::numeric_limits<double>::infinity();
+  }
+
+  /// One Welford step across all metrics (`raw` in metric units, `lin`
+  /// linearized).  Must be called with both arrays of one observation.
+  void accumulate(const std::array<double, kNumMetrics>& raw,
+                  const std::array<double, kNumMetrics>& lin) noexcept {
+    ++n;
+    const auto dn = static_cast<double>(n);
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+      const double delta = raw[i] - raw_mean[i];
+      raw_mean[i] += delta / dn;
+      raw_m2[i] += delta * (raw[i] - raw_mean[i]);
+      lin_mean[i] += (lin[i] - lin_mean[i]) / dn;
+    }
+  }
+};
+
+/// Outcome of HistoryWindow::add.
+enum class HistoryAddResult : std::uint8_t {
+  kAdded = 0,
+  /// The observation's endpoint group or option id does not fit the
+  /// path_key packing; recorded in rejected(), aggregate untouched.
+  kKeyOutOfRange = 1,
+  /// The window is at max_paths and every resident path was referenced
+  /// this sweep round *and* the new path could not displace one (only
+  /// possible when max_paths is 0-sized); practically unreachable.
+  kWindowFull = 2,
 };
 
 /// One window's worth of (pair, option) aggregates.
@@ -41,7 +97,7 @@ class HistoryWindow {
   /// normalized to the pair's lower endpoint; it must outlive the window.
   explicit HistoryWindow(const RelayOptionTable* options = nullptr) : options_(options) {}
 
-  void add(const Observation& obs);
+  HistoryAddResult add(const Observation& obs);
 
   [[nodiscard]] const PathAggregate* find(std::uint64_t pair_key, OptionId option) const;
 
@@ -57,26 +113,61 @@ class HistoryWindow {
 
   [[nodiscard]] std::size_t size() const noexcept { return paths_.size(); }
   [[nodiscard]] std::int64_t observations() const noexcept { return observations_; }
+
+  /// Caps resident (pair, option) paths; 0 (default) = unbounded.  At the
+  /// cap, a new path evicts the first clock-hand victim whose reference
+  /// bit is clear (every add() sets the touched path's bit).
+  void set_max_paths(std::size_t n) noexcept { max_paths_ = n; }
+  [[nodiscard]] std::size_t max_paths() const noexcept { return max_paths_; }
+  [[nodiscard]] std::int64_t evictions() const noexcept { return evictions_; }
+  [[nodiscard]] std::int64_t rejected() const noexcept { return rejected_; }
+
+  /// Pre-sizes the path table (capacity hygiene for recurring windows).
+  void reserve(std::size_t n) { paths_.reserve(n); }
+
+  /// Drops all aggregates and returns the table's capacity to the
+  /// allocator, so one burst window cannot pin peak RSS for the rest of
+  /// the run.
   void clear();
+
+  /// Resident bytes of this window (table plus bookkeeping).
+  [[nodiscard]] std::size_t approx_bytes() const noexcept {
+    return sizeof(*this) + paths_.approx_bytes();
+  }
 
   /// Composite map key for (pair, option).  Collision-free for endpoint
   /// group ids below 2^24 (AS, country, or prefix granularity all fit) and
-  /// option ids below 2^14.
+  /// option ids below 2^14; add() rejects anything larger.
   [[nodiscard]] static std::uint64_t path_key(std::uint64_t pair_key, OptionId option) noexcept {
     const std::uint64_t folded = ((pair_key >> 32) << 24) | (pair_key & 0xFFFFFF);
     return (folded << 14) | (static_cast<std::uint64_t>(static_cast<std::uint32_t>(option)) &
                              0x3FFF);
   }
 
+  /// True when (pair_key, option) packs into path_key without collision.
+  [[nodiscard]] static bool path_key_fits(std::uint64_t pair_key, OptionId option) noexcept {
+    return (pair_key >> 32) < (1ULL << 24) && (pair_key & 0xFFFFFFFFULL) < (1ULL << 24) &&
+           option >= 0 && option < (1 << 14);
+  }
+
  private:
   struct Entry {
     std::uint64_t pair_key = 0;
     OptionId option = 0;
+    std::uint8_t ref = 0;  ///< second-chance bit for clock-hand eviction
     PathAggregate agg;
   };
+
+  /// Frees one slot via clock sweep; returns false only on an empty map.
+  bool evict_one();
+
   const RelayOptionTable* options_ = nullptr;
   FlatMap<Entry> paths_;
   std::int64_t observations_ = 0;
+  std::size_t max_paths_ = 0;
+  std::size_t clock_hand_ = 0;
+  std::int64_t evictions_ = 0;
+  std::int64_t rejected_ = 0;
 };
 
 }  // namespace via

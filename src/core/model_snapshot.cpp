@@ -30,6 +30,28 @@ ModelSnapshot::ModelSnapshot(const RelayOptionTable& options, BackboneFn backbon
   predictor_.train(window_);
 }
 
+void ModelSnapshot::build_pair_model(const CallContext& call, std::vector<Prediction>& preds,
+                                     TopKCoverage& coverage, PairModel& out) const {
+  predictor_.predict_into(call.key_src, call.key_dst, call.options, target_, preds);
+
+  TopKScratch scratch;
+  select_top_k_into(call.options, preds, topk_, &coverage, scratch, out.top_k);
+
+  Prediction direct;
+  for (std::size_t i = 0; i < call.options.size(); ++i) {
+    if (call.options[i] == RelayOptionTable::direct_id()) {
+      direct = preds[i];
+      break;
+    }
+  }
+  out.predicted_benefit = 0.0;
+  if (direct.valid && !out.top_k.empty()) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const RankedOption& r : out.top_k) best = std::min(best, r.pred.mean);
+    out.predicted_benefit = direct.mean - best;
+  }
+}
+
 ModelSnapshot::PairView ModelSnapshot::pair_model(const CallContext& call,
                                                   PairBuildObserver* observer) const {
   const std::uint64_t key = call.pair_key();
@@ -42,28 +64,23 @@ ModelSnapshot::PairView ModelSnapshot::pair_model(const CallContext& call,
   });
   if (hit) return view;
 
+  // Cold pair at an exhausted memo budget: build into thread-local scratch
+  // and serve that — identical bits, no growth, rebuilt on each touch.
+  if (memo_budget_ > 0 && memo_count_.load(std::memory_order_relaxed) >= memo_budget_) {
+    thread_local PairModel overflow_model;
+    thread_local std::vector<Prediction> overflow_preds;
+    TopKCoverage coverage;
+    build_pair_model(call, overflow_preds, coverage, overflow_model);
+    memo_overflow_.fetch_add(1, std::memory_order_relaxed);
+    return {overflow_model.top_k, overflow_model.predicted_benefit};
+  }
+
   // Cold pair: compute the model outside any lock (a pure function of the
   // snapshot and the call's candidate set), then publish it.
   PairModel built;
   std::vector<Prediction> preds;
-  predictor_.predict_into(call.key_src, call.key_dst, call.options, target_, preds);
-
   TopKCoverage coverage;
-  TopKScratch scratch;
-  select_top_k_into(call.options, preds, topk_, &coverage, scratch, built.top_k);
-
-  Prediction direct;
-  for (std::size_t i = 0; i < call.options.size(); ++i) {
-    if (call.options[i] == RelayOptionTable::direct_id()) {
-      direct = preds[i];
-      break;
-    }
-  }
-  if (direct.valid && !built.top_k.empty()) {
-    double best = std::numeric_limits<double>::infinity();
-    for (const RankedOption& r : built.top_k) best = std::min(best, r.pred.mean);
-    built.predicted_benefit = direct.mean - best;
-  }
+  build_pair_model(call, preds, coverage, built);
 
   const bool won = pair_models_.with_unique(key, [&](FlatMap<PairModel>& map) {
     if (map.find(key) != nullptr) return false;  // lost the build race
@@ -81,8 +98,18 @@ ModelSnapshot::PairView ModelSnapshot::pair_model(const CallContext& call,
     });
     return view;
   }
+  memo_count_.fetch_add(1, std::memory_order_relaxed);
   if (observer != nullptr) observer->on_pair_built(call, preds, view.top_k, coverage);
   return view;
+}
+
+std::size_t ModelSnapshot::approx_bytes() const {
+  std::size_t n = sizeof(*this) + window_.approx_bytes() + predictor_.approx_bytes() +
+                  pair_models_.approx_bytes();
+  pair_models_.for_each([&](std::uint64_t, const PairModel& model) {
+    n += model.top_k.capacity() * sizeof(RankedOption);
+  });
+  return n;
 }
 
 void ModelSnapshot::prewarm(std::span<const CallContext> calls, PairBuildObserver* observer,

@@ -20,6 +20,7 @@
 // publication.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -97,11 +98,35 @@ class ModelSnapshot {
   /// Pair models built so far (diagnostics/tests).
   [[nodiscard]] std::size_t pair_models_built() const { return pair_models_.size(); }
 
+  /// Caps memoized per-pair models; 0 (default) = unbounded.  Set before
+  /// the snapshot is published (it is part of building, not serving).  Once
+  /// `budget` pairs are resident, further cold pairs are served from
+  /// thread-local scratch instead of being inserted: correct bits, no
+  /// growth, but rebuilt on every touch and — like a lost insert race —
+  /// no observer fire.  A scratch-served PairView's span is valid only
+  /// until the same thread's next overflow build; budgeted callers use the
+  /// view within the call (all in-tree callers do).
+  void set_memo_budget(std::size_t budget) noexcept { memo_budget_ = budget; }
+  [[nodiscard]] std::size_t memo_budget() const noexcept { return memo_budget_; }
+  /// Cold builds served from scratch because the budget was exhausted.
+  [[nodiscard]] std::int64_t memo_overflow_builds() const noexcept {
+    return memo_overflow_.load(std::memory_order_relaxed);
+  }
+
+  /// Resident bytes of the full snapshot: window + predictor (tomography)
+  /// + per-pair memo table including the memoized top-k vectors.
+  [[nodiscard]] std::size_t approx_bytes() const;
+
  private:
   struct PairModel {
     std::vector<RankedOption> top_k;
     double predicted_benefit = 0.0;
   };
+
+  /// Predict + top-k build for one cold pair (pure function of snapshot
+  /// and candidate set).  `preds`/`coverage` are outputs for the observer.
+  void build_pair_model(const CallContext& call, std::vector<Prediction>& preds,
+                        TopKCoverage& coverage, PairModel& out) const;
 
   const RelayOptionTable* options_;
   Metric target_;
@@ -110,6 +135,11 @@ class ModelSnapshot {
   HistoryWindow window_;
   Predictor predictor_;
   mutable ShardedMap<PairModel> pair_models_;
+  std::size_t memo_budget_ = 0;
+  /// Approximate resident-entry count (bumped on winning inserts only);
+  /// avoids the 16-shard size() walk on the per-call budget check.
+  mutable std::atomic<std::size_t> memo_count_{0};
+  mutable std::atomic<std::int64_t> memo_overflow_{0};
 };
 
 }  // namespace via

@@ -112,6 +112,29 @@ class PairStateStore {
   /// check and the account are one critical section.
   [[nodiscard]] bool relay_cap_allows(const RelayOption& option);
 
+  // ------------------------------------------------- memory bounds (§6i)
+  // Both eviction passes run from the policy's refresh commit, which the
+  // host already serializes against serving (policy.h's exclusion
+  // contract), so they see a quiescent store.  Both are deterministic at
+  // any stripe count: eviction is decided by (armed period, pair key)
+  // alone — per-entry state independent of stripe layout, insertion
+  // interleaving, and hash order.
+
+  /// Drops pairs whose bandit was last armed `ttl_periods` or more periods
+  /// before `current_period` (0 = disabled).  Never-armed placeholder
+  /// entries are kept.  Returns the evicted count.
+  std::int64_t evict_stale(std::uint64_t current_period, std::uint64_t ttl_periods);
+
+  /// Evicts oldest-armed pairs first (ties by pair key) until at most
+  /// `max_pairs` remain (0 = unbounded).  Returns the evicted count.
+  std::int64_t enforce_resident_cap(std::size_t max_pairs);
+
+  [[nodiscard]] std::size_t resident_pairs();
+  /// Resident bytes: stripe tables, per-pair bandit arms and pre-warm
+  /// option vectors, and the relay-load table.
+  [[nodiscard]] std::size_t approx_bytes();
+  [[nodiscard]] std::int64_t evicted_total() const noexcept { return evicted_total_; }
+
   ServingStats stats;
 
  private:
@@ -133,6 +156,8 @@ class PairStateStore {
   std::mutex relay_mutex_;
   FlatMap<std::int64_t> relay_load_;  ///< keyed by RelayId; guarded by relay_mutex_
   std::int64_t relayed_total_ = 0;    ///< guarded by relay_mutex_
+
+  std::int64_t evicted_total_ = 0;  ///< written only by the refresh thread
 };
 
 }  // namespace via

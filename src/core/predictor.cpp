@@ -46,11 +46,11 @@ Prediction Predictor::predict_with_key(std::uint64_t pair_key, AsId s, AsId d, O
   // 1. Empirical path history.
   if (const PathAggregate* agg = window_->find(pair_key, option);
       agg != nullptr && agg->count() >= config_.min_empirical_samples) {
-    const OnlineStats& st = agg->raw[metric_index(metric)];
+    const std::size_t i = metric_index(metric);
     out.valid = true;
     out.source = Prediction::Source::Empirical;
-    out.mean = st.mean();
-    out.sem = st.sem();
+    out.mean = agg->raw_mean[i];
+    out.sem = agg->raw_sem(i);
     out.lower = std::max(0.0, out.mean - kZ95 * out.sem);
     out.upper = out.mean + kZ95 * out.sem;
     return out;

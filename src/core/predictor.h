@@ -61,6 +61,12 @@ class Predictor {
   [[nodiscard]] const TomographySolver& tomography() const noexcept { return tomography_; }
   [[nodiscard]] bool trained() const noexcept { return window_ != nullptr; }
 
+  /// Resident bytes (the tomography solver dominates; the training window
+  /// is borrowed, not owned, so its bytes are counted by its owner).
+  [[nodiscard]] std::size_t approx_bytes() const noexcept {
+    return sizeof(*this) + tomography_.approx_bytes();
+  }
+
  private:
   [[nodiscard]] Prediction predict_with_key(std::uint64_t pair_key, AsId s, AsId d,
                                             OptionId option, Metric metric) const;

@@ -95,7 +95,7 @@ void TomographySolver::solve(const HistoryWindow& window) {
       eq.seg1 = segment_key(lo, o.a);
       eq.seg2 = segment_key(hi, o.a);
       for (const Metric m : kAllMetrics) {
-        eq.rhs[metric_index(m)] = agg.lin[metric_index(m)].mean();
+        eq.rhs[metric_index(m)] = agg.lin_mean[metric_index(m)];
       }
     } else {
       const auto [r_lo, r_hi] = transit_sides(agg, o);
@@ -104,7 +104,7 @@ void TomographySolver::solve(const HistoryWindow& window) {
       const PathPerformance bb = backbone_(o.a, o.b);
       for (const Metric m : kAllMetrics) {
         eq.rhs[metric_index(m)] =
-            agg.lin[metric_index(m)].mean() - linearize(m, bb.get(m));
+            agg.lin_mean[metric_index(m)] - linearize(m, bb.get(m));
       }
     }
     equations_.push_back(eq);

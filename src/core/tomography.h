@@ -90,6 +90,20 @@ class TomographySolver {
   /// maximum when convergence_tol triggered the early exit).
   [[nodiscard]] int last_sweeps() const noexcept { return last_sweeps_; }
 
+  /// Resident bytes: published estimates plus the retained solver scratch
+  /// (the scratch is the dominant term between solves — it is kept to be
+  /// reused, so it must be visible to the memory gauges).
+  [[nodiscard]] std::size_t approx_bytes() const noexcept {
+    return sizeof(*this) + equations_.capacity() * sizeof(Equation) +
+           segments_.approx_bytes() + work_.approx_bytes() +
+           seg_keys_.capacity() * sizeof(std::uint64_t) +
+           (x_.capacity() + next_x_.capacity() + resid2_.capacity()) *
+               sizeof(std::array<double, kNumMetrics>) +
+           weight_sum_.capacity() * sizeof(double) +
+           evidence_.capacity() * sizeof(std::int64_t) +
+           (incidence_off_.capacity() + incidence_eq_.capacity()) * sizeof(std::uint32_t);
+  }
+
   /// Visits every segment estimate as fn(segment_key, estimate), in the
   /// deterministic solve order — what the cross-thread parity tests hash.
   template <typename Fn>

@@ -44,6 +44,15 @@ void ViaPolicy::attach_telemetry(obs::Telemetry* telemetry) {
                                            obs::kLatencyBoundsUs.end());
   inst_.refresh_prepare_us = &r.histogram("policy.refresh.prepare_us", latency_bounds);
   inst_.refresh_swap_us = &r.histogram("policy.refresh.swap_us", latency_bounds);
+  inst_.mem_window_bytes = &r.gauge("policy.mem.window_bytes");
+  inst_.mem_snapshot_bytes = &r.gauge("policy.mem.snapshot_bytes");
+  inst_.mem_store_bytes = &r.gauge("policy.mem.store_bytes");
+  inst_.mem_total_bytes = &r.gauge("policy.mem.total_bytes");
+  inst_.mem_resident_pairs = &r.gauge("policy.mem.resident_pairs");
+  inst_.mem_window_evictions = &r.gauge("policy.mem.window_evictions");
+  inst_.mem_store_evictions = &r.gauge("policy.mem.store_evictions");
+  inst_.mem_rejected_keys = &r.gauge("policy.mem.rejected_keys");
+  inst_.mem_memo_overflow = &r.gauge("policy.mem.memo_overflow_builds");
 }
 
 void ViaPolicy::trace_decision(const CallContext& call, OptionId option,
@@ -99,6 +108,15 @@ std::uint64_t next_policy_uid() {
   static std::atomic<std::uint64_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);
 }
+
+std::shared_ptr<const ModelSnapshot> make_cold_snapshot(const RelayOptionTable& options,
+                                                        const BackboneFn& backbone,
+                                                        const ViaConfig& config) {
+  auto snap = std::make_shared<ModelSnapshot>(options, backbone, config.target,
+                                              config.predictor, config.topk);
+  snap->set_memo_budget(config.mem.snapshot_memo_budget);
+  return snap;
+}
 }  // namespace
 
 ViaPolicy::ViaPolicy(const RelayOptionTable& options, BackboneFn backbone, ViaConfig config)
@@ -106,11 +124,12 @@ ViaPolicy::ViaPolicy(const RelayOptionTable& options, BackboneFn backbone, ViaCo
       config_(config),
       backbone_(std::move(backbone)),
       current_window_(&options),
-      snapshot_(std::make_shared<const ModelSnapshot>(options, backbone_, config.target,
-                                                      config.predictor, config.topk)),
+      snapshot_(make_cold_snapshot(options, backbone_, config)),
       policy_uid_(next_policy_uid()),
       store_(config.seed, config.serving_stripes, config.budget, config.relay_share_cap),
-      health_(config.health) {}
+      health_(config.health) {
+  current_window_.set_max_paths(config_.mem.max_window_paths);
+}
 
 ViaPolicy::~ViaPolicy() = default;
 
@@ -134,14 +153,22 @@ void ViaPolicy::prepare_refresh(TimeSec now) {
   // window; a fresh one starts accumulating in its place.  Observations
   // arriving between prepare and commit belong to the next period.
   HistoryWindow completed(options_);
+  completed.set_max_paths(config_.mem.max_window_paths);
   {
     const std::lock_guard lock(window_mutex_);
     std::swap(completed, current_window_);
   }
+  // The completed window's eviction/rejection tallies die with the window
+  // (it moves into the snapshot and is eventually dropped), so fold them
+  // into the lifetime totals now.
+  window_evictions_total_.fetch_add(completed.evictions(), std::memory_order_relaxed);
+  window_rejected_total_.fetch_add(completed.rejected(), std::memory_order_relaxed);
   const std::shared_ptr<const ModelSnapshot> current = model();
-  auto next = std::make_shared<const ModelSnapshot>(
+  auto building = std::make_shared<ModelSnapshot>(
       *options_, backbone_, config_.target, config_.predictor, config_.topk,
       current->period() + 1, std::move(completed));
+  building->set_memo_budget(config_.mem.snapshot_memo_budget);
+  std::shared_ptr<const ModelSnapshot> next = std::move(building);
 
   if (config_.prewarm_pairs) {
     // Pairs that carried traffic this period (their serving state was
@@ -219,6 +246,48 @@ void ViaPolicy::commit_refresh(TimeSec now) {
         static_cast<double>(predictor.tomography().segment_count()));
     inst_.tomography_sweeps->set(static_cast<double>(predictor.tomography().last_sweeps()));
   }
+
+  // §6i: shed cold serving state at the period boundary.  commit_refresh
+  // runs under the host's exclusive lock, so the store is quiescent — the
+  // one place eviction can run without racing a concurrent re-arm.
+  if (config_.mem.pair_ttl_periods > 0) {
+    store_.evict_stale(model()->period(), config_.mem.pair_ttl_periods);
+  }
+  if (config_.mem.max_resident_pairs > 0) {
+    store_.enforce_resident_cap(config_.mem.max_resident_pairs);
+  }
+  if (inst_.mem_total_bytes != nullptr) {
+    const MemoryStats m = memory_stats();
+    inst_.mem_window_bytes->set(static_cast<double>(m.window_bytes));
+    inst_.mem_snapshot_bytes->set(static_cast<double>(m.snapshot_bytes));
+    inst_.mem_store_bytes->set(static_cast<double>(m.store_bytes));
+    inst_.mem_total_bytes->set(static_cast<double>(m.total_bytes()));
+    inst_.mem_resident_pairs->set(static_cast<double>(m.resident_pairs));
+    inst_.mem_window_evictions->set(static_cast<double>(m.window_evictions));
+    inst_.mem_store_evictions->set(static_cast<double>(m.store_evictions));
+    inst_.mem_rejected_keys->set(static_cast<double>(m.window_rejected));
+    inst_.mem_memo_overflow->set(static_cast<double>(m.memo_overflow_builds));
+  }
+}
+
+ViaPolicy::MemoryStats ViaPolicy::memory_stats() {
+  MemoryStats m;
+  {
+    const std::lock_guard lock(window_mutex_);
+    m.window_bytes = current_window_.approx_bytes();
+    m.window_paths = current_window_.size();
+    m.window_evictions =
+        window_evictions_total_.load(std::memory_order_relaxed) + current_window_.evictions();
+    m.window_rejected =
+        window_rejected_total_.load(std::memory_order_relaxed) + current_window_.rejected();
+  }
+  const std::shared_ptr<const ModelSnapshot> snap = model();
+  m.snapshot_bytes = snap->approx_bytes();
+  m.memo_overflow_builds = snap->memo_overflow_builds();
+  m.store_bytes = store_.approx_bytes();
+  m.resident_pairs = store_.resident_pairs();
+  m.store_evictions = store_.evicted_total();
+  return m;
 }
 
 void ViaPolicy::on_pair_built(const CallContext& call, std::span<const Prediction> preds,

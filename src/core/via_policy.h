@@ -86,6 +86,27 @@ struct ViaConfig {
   /// for unrelated pairs proceed in parallel.
   std::size_t serving_stripes = 1;
 
+  /// Memory bounds (DESIGN.md §6i).  Every knob defaults to 0 = unbounded,
+  /// which is byte-for-byte the historical behavior — golden replays and
+  /// fig benches never see an eviction.  The controller daemon and the
+  /// scale bench set them to run 1M+-pair workloads at fixed RSS.
+  struct MemoryConfig {
+    /// Cap on resident (pair, option) aggregates in the accumulating
+    /// history window; clock-hand second-chance eviction past it.
+    std::size_t max_window_paths = 0;
+    /// Cap on memoized per-pair models in each published snapshot; cold
+    /// pairs past it are served from thread-local scratch (correct bits,
+    /// no growth, rebuilt per touch).
+    std::size_t snapshot_memo_budget = 0;
+    /// Cap on resident per-pair serving states; enforced at refresh
+    /// commit, oldest armed period evicted first.
+    std::size_t max_resident_pairs = 0;
+    /// Serving states not re-armed for this many refresh periods are
+    /// dropped at the next commit.
+    std::uint64_t pair_ttl_periods = 0;
+  };
+  MemoryConfig mem;
+
   /// Eagerly rebuild the per-pair top-k/benefit memos of every pair that
   /// carried traffic last period when a new snapshot is prepared, so the
   /// first post-refresh call per pair hits the warm path (~168ns) instead
@@ -157,6 +178,25 @@ class ViaPolicy final : public RoutingPolicy, private PairBuildObserver {
   /// once concurrent callers have quiesced).
   [[nodiscard]] Stats stats() const noexcept;
 
+  /// Memory accounting across the policy's three stateful layers (§6i),
+  /// surfaced as the policy.mem.* gauges and /varz.  Non-const: walking
+  /// the store takes its stripe locks.
+  struct MemoryStats {
+    std::size_t window_bytes = 0;    ///< accumulating history window
+    std::size_t snapshot_bytes = 0;  ///< published snapshot (window+predictor+memos)
+    std::size_t store_bytes = 0;     ///< per-pair serving state
+    std::size_t window_paths = 0;
+    std::size_t resident_pairs = 0;
+    std::int64_t window_evictions = 0;  ///< lifetime, across all windows
+    std::int64_t window_rejected = 0;   ///< lifetime path_key-range rejections
+    std::int64_t store_evictions = 0;   ///< lifetime ttl+cap evictions
+    std::int64_t memo_overflow_builds = 0;  ///< published snapshot only
+    [[nodiscard]] std::size_t total_bytes() const noexcept {
+      return window_bytes + snapshot_bytes + store_bytes;
+    }
+  };
+  [[nodiscard]] MemoryStats memory_stats();
+
   /// The currently published model's predictor.  The reference is valid
   /// while the snapshot stays published; hold model() across refreshes if
   /// concurrent refreshing is possible.
@@ -212,6 +252,17 @@ class ViaPolicy final : public RoutingPolicy, private PairBuildObserver {
     obs::LatencyHistogram* topk_size = nullptr;
     obs::LatencyHistogram* refresh_prepare_us = nullptr;
     obs::LatencyHistogram* refresh_swap_us = nullptr;
+    /// §6i memory gauges, refreshed once per commit (totals, so gauges
+    /// rather than counters: a restart-safe scrape sees current state).
+    obs::Gauge* mem_window_bytes = nullptr;
+    obs::Gauge* mem_snapshot_bytes = nullptr;
+    obs::Gauge* mem_store_bytes = nullptr;
+    obs::Gauge* mem_total_bytes = nullptr;
+    obs::Gauge* mem_resident_pairs = nullptr;
+    obs::Gauge* mem_window_evictions = nullptr;
+    obs::Gauge* mem_store_evictions = nullptr;
+    obs::Gauge* mem_rejected_keys = nullptr;
+    obs::Gauge* mem_memo_overflow = nullptr;
   };
 
   /// PairBuildObserver: telemetry tallies + probe-wishlist fill for one
@@ -276,6 +327,11 @@ class ViaPolicy final : public RoutingPolicy, private PairBuildObserver {
   std::mutex prepare_mutex_;
   std::shared_ptr<const ModelSnapshot> pending_;
   std::unique_ptr<ThreadPool> refresh_pool_;
+
+  /// Lifetime eviction/rejection totals carried across window swaps (each
+  /// completed window's counters die with it); relaxed — diagnostics only.
+  std::atomic<std::int64_t> window_evictions_total_{0};
+  std::atomic<std::int64_t> window_rejected_total_{0};
 
   Instruments inst_;
 };

@@ -13,14 +13,29 @@ namespace via {
 
 SimulationEngine::SimulationEngine(GroundTruth& ground_truth,
                                    std::span<const CallArrival> arrivals, RunConfig config)
-    : gt_(&ground_truth), arrivals_(arrivals), config_(config) {
+    : gt_(&ground_truth),
+      owned_stream_(std::make_unique<SpanStream>(arrivals)),
+      stream_(owned_stream_.get()),
+      config_(config) {
   assert(std::is_sorted(arrivals.begin(), arrivals.end(),
                         [](const CallArrival& a, const CallArrival& b) {
                           return a.time < b.time;
                         }));
-  if (config_.min_pair_calls_for_eval > 0) {
-    for (const auto& a : arrivals_) ++pair_call_counts_[a.pair_key()];
-  }
+  count_pair_calls();
+}
+
+SimulationEngine::SimulationEngine(GroundTruth& ground_truth, ArrivalStream& stream,
+                                   RunConfig config)
+    : gt_(&ground_truth), stream_(&stream), config_(config) {
+  count_pair_calls();
+}
+
+void SimulationEngine::count_pair_calls() {
+  if (config_.min_pair_calls_for_eval <= 0) return;
+  stream_->reset();
+  CallArrival a;
+  while (stream_->next(a)) ++pair_call_counts_[a.pair_key()];
+  stream_->reset();
 }
 
 std::span<const OptionId> SimulationEngine::options_for(AsId src, AsId dst) {
@@ -135,7 +150,13 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
   // refresh() rather than the §6e prepare/commit split — with no serving
   // traffic in between the two are operation-identical, and the engine has
   // no concurrency to hide the prepare behind.
-  for (const auto& arrival : arrivals_) {
+  stream_->reset();
+  TimeSec last_time = 0;
+  bool any_arrival = false;
+  CallArrival arrival;
+  while (stream_->next(arrival)) {
+    last_time = arrival.time;
+    any_arrival = true;
     // Close time-series windows this call has crossed.
     while (timeseries != nullptr && arrival.time >= next_window) {
       close_window(next_window - config_.timeseries_window, next_window);
@@ -313,7 +334,7 @@ RunResult SimulationEngine::run(RoutingPolicy& policy) {
                  .count());
     // Final (partial) window, so short traces still produce a series.
     if (timeseries != nullptr) {
-      const TimeSec end = arrivals_.empty() ? next_window : arrivals_.back().time + 1;
+      const TimeSec end = any_arrival ? last_time + 1 : next_window;
       close_window(next_window - config_.timeseries_window, end);
       result.timeseries = timeseries->take();
     }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -27,6 +28,7 @@
 #include "quality/pnr.h"
 #include "sim/faults.h"
 #include "trace/arrival.h"
+#include "trace/stream.h"
 
 namespace via {
 
@@ -125,10 +127,20 @@ struct RunResult {
 class SimulationEngine {
  public:
   /// `arrivals` must be sorted by time (TraceGenerator guarantees this).
+  /// Wraps the span in a SpanStream — the materialized and streaming
+  /// constructors replay identically.
   SimulationEngine(GroundTruth& ground_truth, std::span<const CallArrival> arrivals,
                    RunConfig config = {});
 
-  /// Replays the whole trace through one policy.
+  /// Streaming replay (§6i): pulls arrivals from `stream` one at a time —
+  /// nothing materializes the trace, so memory stays flat regardless of
+  /// call count.  The stream must yield arrivals sorted by time and must
+  /// outlive the engine.  With min_pair_calls_for_eval > 0 the constructor
+  /// makes one extra counting pass over the stream (then reset()s it).
+  SimulationEngine(GroundTruth& ground_truth, ArrivalStream& stream, RunConfig config = {});
+
+  /// Replays the whole trace through one policy.  reset()s the stream
+  /// first, so successive runs (one per policy) see the same trace.
   [[nodiscard]] RunResult run(RoutingPolicy& policy);
 
   [[nodiscard]] const RunConfig& config() const noexcept { return config_; }
@@ -136,9 +148,11 @@ class SimulationEngine {
  private:
   [[nodiscard]] std::span<const OptionId> options_for(AsId src, AsId dst);
   void map_keys(const CallArrival& a, AsId& key_src, AsId& key_dst) const;
+  void count_pair_calls();
 
   GroundTruth* gt_;
-  std::span<const CallArrival> arrivals_;
+  std::unique_ptr<ArrivalStream> owned_stream_;  ///< span ctor's SpanStream
+  ArrivalStream* stream_;
   RunConfig config_;
   FlatMap<std::int64_t> pair_call_counts_;
   /// Transit-free candidate cache (when exclude_transit is set).  An empty

@@ -107,7 +107,13 @@ std::int32_t TraceGenerator::sample_user(AsId as, Rng& rng) const {
   return (static_cast<std::int32_t>(as) << 12) | (std::min(idx, pool - 1) & 0xFFF);
 }
 
-std::vector<CallArrival> TraceGenerator::generate_arrivals() {
+std::vector<CallArrival> TraceGenerator::generate_arrivals() { return stream()->collect(); }
+
+std::unique_ptr<ArrivalStream> TraceGenerator::stream() {
+  return std::make_unique<MaterializedStream>(materialize_arrivals());
+}
+
+std::vector<CallArrival> TraceGenerator::materialize_arrivals() {
   const World& world = ground_truth_->world();
   Rng rng(hash_mix(config_.seed, 0xca11));
 

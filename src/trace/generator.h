@@ -8,12 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/call.h"
 #include "netsim/groundtruth.h"
 #include "quality/rating.h"
 #include "trace/arrival.h"
+#include "trace/stream.h"
 
 namespace via {
 
@@ -47,8 +49,15 @@ class TraceGenerator {
   /// The traffic matrix is fixed at construction; exposed for analysis.
   [[nodiscard]] const TrafficMatrix& traffic_matrix() const noexcept { return matrix_; }
 
-  /// Generates `total_calls` arrivals sorted by time.
+  /// Generates `total_calls` arrivals sorted by time.  Thin wrapper over
+  /// stream()->collect(); kept for fig benches and golden replays.
   [[nodiscard]] std::vector<CallArrival> generate_arrivals();
+
+  /// The same arrivals behind the pull-based cursor API.  This generator's
+  /// algorithm (one sequential RNG per call, then a global sort) is
+  /// inherently materializing, so the stream wraps the full vector; use
+  /// SyntheticArrivalStream for bounded-memory scale runs.
+  [[nodiscard]] std::unique_ptr<ArrivalStream> stream();
 
   /// Generates a full default-routed trace: every call takes the direct
   /// path; performance and ratings are attached.  This is the dataset the
@@ -63,6 +72,7 @@ class TraceGenerator {
 
  private:
   void build_traffic_matrix();
+  [[nodiscard]] std::vector<CallArrival> materialize_arrivals();
   /// Samples a user index on an AS (Zipf within the AS's user pool).
   [[nodiscard]] std::int32_t sample_user(AsId as, Rng& rng) const;
 

@@ -1,0 +1,166 @@
+#include "trace/stream.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace via {
+
+std::vector<CallArrival> ArrivalStream::collect() {
+  reset();
+  std::vector<CallArrival> out;
+  if (total_calls() > 0) out.reserve(static_cast<std::size_t>(total_calls()));
+  CallArrival a;
+  while (next(a)) out.push_back(a);
+  return out;
+}
+
+SyntheticArrivalStream::SyntheticArrivalStream(StreamTraceConfig config) : config_(config) {
+  assert(config_.days > 0 && config_.total_calls > 0 && config_.active_pairs > 0);
+  config_.days = std::max(config_.days, 1);
+  config_.total_calls = std::max<std::int64_t>(config_.total_calls, 1);
+  config_.active_pairs = std::max<std::int64_t>(config_.active_pairs, 1);
+  config_.num_countries = std::max(config_.num_countries, 1);
+
+  // Smallest endpoint universe whose undirected pairs cover active_pairs.
+  // Stays far below the 2^24 path_key group-id bound (1M pairs -> 1415
+  // endpoints): the stream can never produce a key the history rejects.
+  const double p = static_cast<double>(config_.active_pairs);
+  auto endpoints = static_cast<std::int64_t>(std::ceil((1.0 + std::sqrt(1.0 + 8.0 * p)) / 2.0));
+  while (endpoints * (endpoints - 1) / 2 < config_.active_pairs) ++endpoints;
+  num_endpoints_ = static_cast<AsId>(endpoints);
+
+  // The first active_pairs undirected pairs in lexicographic order.  The
+  // Zipf ranks are decoupled from that order by a seeded shuffle below, so
+  // heavy pairs are spread across the endpoint universe.
+  const auto n = static_cast<std::size_t>(config_.active_pairs);
+  pairs_.reserve(n);
+  for (AsId a = 0; a < num_endpoints_ && pairs_.size() < n; ++a) {
+    for (AsId b = a + 1; b < num_endpoints_ && pairs_.size() < n; ++b) {
+      pairs_.push_back({a, b});
+    }
+  }
+
+  const ZipfSampler zipf(n, config_.pair_zipf_exponent);
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) weights[i] = zipf.pmf(i);
+  Rng shuffle_rng(hash_mix(config_.seed, 0x5a1f));
+  for (std::size_t i = n - 1; i > 0; --i) {
+    std::swap(weights[i], weights[shuffle_rng.uniform_index(i + 1)]);
+  }
+
+  // Vose alias table: O(n) build, O(1) sample.
+  double sum = 0.0;
+  for (const double w : weights) sum += w;
+  alias_prob_.assign(n, 1.0);
+  alias_idx_.resize(n);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    alias_idx_[i] = static_cast<std::uint32_t>(i);
+    weights[i] = weights[i] * static_cast<double>(n) / sum;
+    (weights[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    large.pop_back();
+    alias_prob_[s] = weights[s];
+    alias_idx_[s] = l;
+    weights[l] = (weights[l] + weights[s]) - 1.0;
+    (weights[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers (FP residue) keep prob 1.0: they always take their own slot.
+
+  // Same diurnal curve as TraceGenerator::generate_arrivals.
+  for (int h = 0; h < 24; ++h) {
+    hour_weight_[static_cast<std::size_t>(h)] =
+        1.0 + 0.6 * std::cos(2.0 * std::numbers::pi * (h - 20) / 24.0);
+  }
+  weight_per_day_ = 0.0;
+  for (const double w : hour_weight_) weight_per_day_ += 3600.0 * w;
+
+  reset();
+}
+
+void SyntheticArrivalStream::reset() {
+  rng_.reseed(hash_mix(config_.seed, 0x57ca11));
+  next_id_ = 1;
+  emitted_ = 0;
+  sec_ = -1;
+  left_in_sec_ = 0;
+  rate_acc_ = 0.0;
+}
+
+std::size_t SyntheticArrivalStream::sample_pair() {
+  // Single uniform draw: integer part picks the column, fraction the coin.
+  const double scaled = rng_.uniform() * static_cast<double>(pairs_.size());
+  auto idx = static_cast<std::size_t>(scaled);
+  if (idx >= pairs_.size()) idx = pairs_.size() - 1;
+  const double frac = scaled - static_cast<double>(idx);
+  return frac < alias_prob_[idx] ? idx : alias_idx_[idx];
+}
+
+CountryId SyntheticArrivalStream::country_of(AsId as) const noexcept {
+  return static_cast<CountryId>(
+      hash_mix(config_.seed, 0xc0, static_cast<std::uint64_t>(as)) %
+      static_cast<std::uint64_t>(config_.num_countries));
+}
+
+std::int32_t SyntheticArrivalStream::sample_user(AsId as) noexcept {
+  // Same shape as TraceGenerator::sample_user, with the AS's activity
+  // hash-derived instead of read from a World (there is none here).
+  const double activity = hashed_uniform(hash_mix(config_.seed, 0xac7, static_cast<std::uint64_t>(as)));
+  const auto pool = static_cast<std::int32_t>(std::min(4000.0, 30.0 + 60.0 * activity));
+  const double u = rng_.uniform();
+  const auto idx = static_cast<std::int32_t>(static_cast<double>(pool) * u * u);
+  return (static_cast<std::int32_t>(as) << 12) | (std::min(idx, pool - 1) & 0xFFF);
+}
+
+bool SyntheticArrivalStream::next(CallArrival& out) {
+  while (left_in_sec_ == 0) {
+    if (emitted_ >= config_.total_calls) return false;
+    ++sec_;
+    const TimeSec total_secs = static_cast<TimeSec>(config_.days) * kSecondsPerDay;
+    if (sec_ >= total_secs - 1) {
+      // Last second absorbs the fractional residue: totals are exact.
+      sec_ = total_secs - 1;
+      left_in_sec_ = config_.total_calls - emitted_;
+      break;
+    }
+    const double w = hour_weight_[static_cast<std::size_t>(hour_of(sec_))];
+    rate_acc_ += static_cast<double>(config_.total_calls) * w /
+                 (static_cast<double>(config_.days) * weight_per_day_);
+    left_in_sec_ = static_cast<std::int64_t>(rate_acc_);
+    rate_acc_ -= static_cast<double>(left_in_sec_);
+    left_in_sec_ = std::min(left_in_sec_, config_.total_calls - emitted_);
+  }
+
+  const PairEntry& pair = pairs_[sample_pair()];
+  out.id = next_id_++;
+  out.time = sec_;
+  out.src_as = pair.src;
+  out.dst_as = pair.dst;
+  out.src_country = country_of(pair.src);
+  out.dst_country = country_of(pair.dst);
+  out.src_user = sample_user(pair.src);
+  out.dst_user = sample_user(pair.dst);
+  out.src_prefix = (static_cast<PrefixId>(pair.src) << 3) | (out.src_user & 0x7);
+  out.dst_prefix = (static_cast<PrefixId>(pair.dst) << 3) | (out.dst_user & 0x7);
+  out.duration_min = static_cast<float>(
+      rng_.lognormal_mean_cv(config_.mean_duration_min, config_.duration_cv));
+  --left_in_sec_;
+  ++emitted_;
+  return true;
+}
+
+std::size_t SyntheticArrivalStream::approx_bytes() const noexcept {
+  return sizeof(*this) + pairs_.capacity() * sizeof(PairEntry) +
+         alias_prob_.capacity() * sizeof(double) +
+         alias_idx_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace via

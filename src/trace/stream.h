@@ -1,0 +1,176 @@
+// Pull-based arrival streams (DESIGN.md §6i).
+//
+// The paper's corpus is 430M calls; materializing a trace of that size as a
+// std::vector<CallArrival> costs ~56 bytes per call — tens of gigabytes —
+// before the first decision is made.  ArrivalStream inverts the dataflow:
+// consumers (the simulation engine, the scale bench) pull one arrival at a
+// time, so generation state is O(active pairs), not O(calls).
+//
+// Three implementations:
+//   - SpanStream: a non-owning cursor over an existing arrival vector; the
+//     adapter the engine uses for the legacy span-based entry point.
+//   - MaterializedStream: owns the vector (TraceGenerator::stream() wraps
+//     its exact legacy generation in one of these; collect() moves the
+//     vector out, which is what keeps generate_arrivals() bit-identical).
+//   - SyntheticArrivalStream: true next-event generation with bounded
+//     state — the 100M-call / 1M-pair path.  It is *not* bit-compatible
+//     with TraceGenerator (the legacy algorithm draws every call from one
+//     sequential RNG and then globally sorts, which fundamentally requires
+//     O(calls) memory); it reproduces the same workload *shape* (Zipf pair
+//     skew, diurnal arrivals, heavy-tailed durations) chronologically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/arrival.h"
+#include "util/rng.h"
+
+namespace via {
+
+/// A resettable cursor over a time-sorted arrival sequence.
+class ArrivalStream {
+ public:
+  virtual ~ArrivalStream() = default;
+
+  /// Fills `out` with the next arrival (nondecreasing time); false at end.
+  virtual bool next(CallArrival& out) = 0;
+
+  /// Rewinds to the first arrival; the replayed sequence is identical.
+  virtual void reset() = 0;
+
+  /// Arrivals one full pass produces.
+  [[nodiscard]] virtual std::int64_t total_calls() const noexcept = 0;
+
+  /// Resident bytes of generation state (what bounded-memory runs report).
+  [[nodiscard]] virtual std::size_t approx_bytes() const noexcept = 0;
+
+  /// Drains the stream into a vector (fig benches, golden replays).  May
+  /// consume the stream's storage; call reset() to stream again only on
+  /// implementations that regenerate (SyntheticArrivalStream, SpanStream).
+  [[nodiscard]] virtual std::vector<CallArrival> collect();
+};
+
+/// Non-owning cursor over an existing arrival vector; `arrivals` must
+/// outlive the stream.
+class SpanStream final : public ArrivalStream {
+ public:
+  explicit SpanStream(std::span<const CallArrival> arrivals) : arrivals_(arrivals) {}
+
+  bool next(CallArrival& out) override {
+    if (pos_ >= arrivals_.size()) return false;
+    out = arrivals_[pos_++];
+    return true;
+  }
+  void reset() override { pos_ = 0; }
+  [[nodiscard]] std::int64_t total_calls() const noexcept override {
+    return static_cast<std::int64_t>(arrivals_.size());
+  }
+  [[nodiscard]] std::size_t approx_bytes() const noexcept override { return sizeof(*this); }
+
+ private:
+  std::span<const CallArrival> arrivals_;
+  std::size_t pos_ = 0;
+};
+
+/// Owns a fully generated arrival vector behind the stream interface.
+class MaterializedStream final : public ArrivalStream {
+ public:
+  explicit MaterializedStream(std::vector<CallArrival> arrivals)
+      : arrivals_(std::move(arrivals)) {}
+
+  bool next(CallArrival& out) override {
+    if (pos_ >= arrivals_.size()) return false;
+    out = arrivals_[pos_++];
+    return true;
+  }
+  void reset() override { pos_ = 0; }
+  [[nodiscard]] std::int64_t total_calls() const noexcept override {
+    return static_cast<std::int64_t>(arrivals_.size());
+  }
+  [[nodiscard]] std::size_t approx_bytes() const noexcept override {
+    return sizeof(*this) + arrivals_.capacity() * sizeof(CallArrival);
+  }
+  /// Moves the vector out (no copy); the stream is empty afterwards.
+  [[nodiscard]] std::vector<CallArrival> collect() override {
+    pos_ = 0;
+    return std::move(arrivals_);
+  }
+
+ private:
+  std::vector<CallArrival> arrivals_;
+  std::size_t pos_ = 0;
+};
+
+/// Workload shape for SyntheticArrivalStream.  Matches TraceConfig's knobs
+/// where they overlap, but is self-contained: the synthetic stream needs no
+/// World/GroundTruth (whose memo caches are themselves O(pairs × options ×
+/// days) — exactly what a 1M-pair run cannot afford).
+struct StreamTraceConfig {
+  std::int64_t total_calls = 1'000'000;
+  int days = 30;
+  std::int64_t active_pairs = 10'000;   ///< distinct undirected AS pairs
+  double pair_zipf_exponent = 0.9;      ///< skew of call volume across pairs
+  int num_countries = 40;
+  double mean_duration_min = 4.5;
+  double duration_cv = 1.2;
+  std::uint64_t seed = 7;
+};
+
+/// Bounded-memory chronological generator: O(active_pairs) resident state,
+/// O(1) work per arrival (alias-method pair sampling), exact total call
+/// count by construction.  Arrivals are emitted second by second following
+/// the same diurnal intensity curve as TraceGenerator; per-second counts
+/// are a deterministic rate split (the randomness lives in the pair, user,
+/// and duration draws).  Fully deterministic per seed, and reset() replays
+/// the identical sequence.
+class SyntheticArrivalStream final : public ArrivalStream {
+ public:
+  explicit SyntheticArrivalStream(StreamTraceConfig config);
+
+  bool next(CallArrival& out) override;
+  void reset() override;
+  [[nodiscard]] std::int64_t total_calls() const noexcept override {
+    return config_.total_calls;
+  }
+  [[nodiscard]] std::size_t approx_bytes() const noexcept override;
+
+  [[nodiscard]] const StreamTraceConfig& config() const noexcept { return config_; }
+  /// Endpoint-group universe size (largest AS id is num_endpoints()-1).
+  [[nodiscard]] AsId num_endpoints() const noexcept { return num_endpoints_; }
+
+ private:
+  struct PairEntry {
+    AsId src = kInvalidAs;
+    AsId dst = kInvalidAs;
+  };
+
+  [[nodiscard]] std::size_t sample_pair();
+  [[nodiscard]] CountryId country_of(AsId as) const noexcept;
+  [[nodiscard]] std::int32_t sample_user(AsId as) noexcept;
+
+  StreamTraceConfig config_;
+  AsId num_endpoints_ = 0;
+  std::vector<PairEntry> pairs_;
+  // Vose alias table over the (shuffled) Zipf weights: one uniform draw
+  // picks a pair in O(1) — the legacy generator's linear weighted_index
+  // scan is O(pairs) per call and dominates at 1M pairs.
+  std::vector<double> alias_prob_;
+  std::vector<std::uint32_t> alias_idx_;
+  std::array<double, 24> hour_weight_{};
+  double weight_per_day_ = 0.0;  ///< sum of all per-second weights in one day
+
+  // Cursor state (reset() rewinds all of it).
+  Rng rng_{0};
+  CallId next_id_ = 1;
+  std::int64_t emitted_ = 0;
+  TimeSec sec_ = -1;              ///< current emission second
+  std::int64_t left_in_sec_ = 0;  ///< arrivals still owed to sec_
+  double rate_acc_ = 0.0;         ///< fractional arrivals carried forward
+};
+
+}  // namespace via

@@ -7,12 +7,15 @@
 //
 // Semantics are intentionally narrow:
 //   - keys are arbitrary 64-bit values (no reserved sentinel),
-//   - no erase (the hot paths only insert, look up, and clear),
-//   - clear() keeps the slot array so a recurring window reuses capacity,
-//   - references are invalidated by rehash (don't hold them across inserts).
+//   - erase() uses backward-shift deletion (no tombstones), so probe
+//     chains stay short even under the history window's eviction churn,
+//   - clear() keeps the slot array so a recurring window reuses capacity;
+//     shrink_to_fit() gives the capacity back after a burst,
+//   - references are invalidated by rehash *and* by erase (don't hold
+//     them across inserts or erases).
 //
-// Iteration order is a deterministic function of the insertion sequence, so
-// replays that feed identical observation streams iterate identically —
+// Iteration order is a deterministic function of the insert/erase sequence,
+// so replays that feed identical observation streams iterate identically —
 // which is what keeps serial and parallel experiment runs bit-identical.
 #pragma once
 
@@ -37,8 +40,30 @@ class FlatMap {
     if (cap > slots_.size()) rehash(cap);
   }
 
+  /// Rehashes down to the smallest capacity that holds the current entries
+  /// (frees everything when empty), undoing a burst window's peak
+  /// footprint.  Invalidates references.
+  void shrink_to_fit() {
+    if (size_ == 0) {
+      std::vector<std::pair<std::uint64_t, Value>>().swap(slots_);
+      std::vector<std::uint8_t>().swap(used_);
+      return;
+    }
+    std::size_t cap = kMinCapacity;
+    while (cap * 3 < size_ * 4) cap <<= 1;
+    if (cap < slots_.size()) rehash(cap);
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Heap bytes held by the slot arrays themselves.  Values that own heap
+  /// storage (vectors, strings) are not followed; callers that need the
+  /// full footprint add those via for_each.
+  [[nodiscard]] std::size_t approx_bytes() const noexcept {
+    return slots_.capacity() * sizeof(std::pair<std::uint64_t, Value>) + used_.capacity();
+  }
 
   /// Drops all entries but keeps the slot array (values are reset eagerly
   /// so reinserted keys start from a default-constructed Value).
@@ -90,6 +115,36 @@ class FlatMap {
     return slot;
   }
 
+  /// Removes the key if present.  Backward-shift deletion: entries probing
+  /// through the hole are moved back toward their home slot, so lookups
+  /// never need tombstones and load stays honest under eviction churn.
+  bool erase(std::uint64_t key) {
+    if (size_ == 0) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t hole = splitmix64(key) & mask;
+    for (;; hole = (hole + 1) & mask) {
+      if (!used_[hole]) return false;
+      if (slots_[hole].first == key) break;
+    }
+    // Shift the rest of the probe chain back.  An entry may fill the hole
+    // only when its home slot does not lie (cyclically) after the hole —
+    // otherwise the move would break its own probe chain.
+    std::size_t next = (hole + 1) & mask;
+    while (used_[next]) {
+      const std::size_t home = splitmix64(slots_[next].first) & mask;
+      if (((next - home) & mask) >= ((next - hole) & mask)) {
+        slots_[hole] = std::move(slots_[next]);
+        hole = next;
+      }
+      next = (next + 1) & mask;
+    }
+    used_[hole] = 0;
+    slots_[hole].first = 0;
+    slots_[hole].second = Value{};
+    --size_;
+    return true;
+  }
+
   /// Visits every entry as fn(key, value); insertion-sequence-deterministic.
   template <typename Fn>
   void for_each(Fn&& fn) const {
@@ -102,6 +157,22 @@ class FlatMap {
   void for_each(Fn&& fn) {
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       if (used_[i]) fn(slots_[i].first, slots_[i].second);
+    }
+  }
+
+  /// Clock-hand scan (second-chance eviction support): visits occupied
+  /// slots starting at the hand, wrapping, as fn(key, value&) -> bool;
+  /// stops after the first true and leaves the hand one past that slot.
+  /// The hand position is in slot units, so the sweep order is a
+  /// deterministic function of the insert/erase sequence.  No-op when
+  /// empty; fn must eventually return true on a non-empty map.
+  template <typename Fn>
+  void clock_sweep(std::size_t& hand, Fn&& fn) {
+    if (size_ == 0) return;
+    for (;;) {
+      if (hand >= slots_.size()) hand = 0;
+      const std::size_t i = hand++;
+      if (used_[i] && fn(slots_[i].first, slots_[i].second)) return;
     }
   }
 

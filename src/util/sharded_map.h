@@ -65,6 +65,27 @@ class ShardedMap {
     return n;
   }
 
+  /// Visits every entry as fn(key, const Value&), shard by shard under the
+  /// shard's read lock.  References must not escape the callback.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Shard& shard : shards_) {
+      std::shared_lock lock(shard.mutex);
+      shard.map.for_each(fn);
+    }
+  }
+
+  /// Slot-array bytes across all shards; values' own heap storage is not
+  /// followed (callers add that via for_each when they need it).
+  [[nodiscard]] std::size_t approx_bytes() const {
+    std::size_t n = sizeof(*this);
+    for (const Shard& shard : shards_) {
+      std::shared_lock lock(shard.mutex);
+      n += shard.map.approx_bytes();
+    }
+    return n;
+  }
+
  private:
   struct Shard {
     mutable std::shared_mutex mutex;

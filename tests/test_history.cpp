@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cmath>
 #include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
 
 namespace via {
 namespace {
@@ -26,7 +31,7 @@ TEST(HistoryWindow, FindAfterAdd) {
   const PathAggregate* agg = w.find(as_pair_key(1, 2), 0);
   ASSERT_NE(agg, nullptr);
   EXPECT_EQ(agg->count(), 1);
-  EXPECT_DOUBLE_EQ(agg->raw[metric_index(Metric::Rtt)].mean(), 100.0);
+  EXPECT_DOUBLE_EQ(agg->raw_mean[metric_index(Metric::Rtt)], 100.0);
 }
 
 TEST(HistoryWindow, MissingPathIsNull) {
@@ -43,15 +48,15 @@ TEST(HistoryWindow, UndirectedAggregation) {
   const PathAggregate* agg = w.find(as_pair_key(1, 2), 0);
   ASSERT_NE(agg, nullptr);
   EXPECT_EQ(agg->count(), 2);
-  EXPECT_DOUBLE_EQ(agg->raw[0].mean(), 150.0);
+  EXPECT_DOUBLE_EQ(agg->raw_mean[0], 150.0);
 }
 
 TEST(HistoryWindow, SeparatesOptions) {
   HistoryWindow w;
   w.add(make_obs(1, 2, 0, 100.0));
   w.add(make_obs(1, 2, 3, 50.0));
-  EXPECT_DOUBLE_EQ(w.find(as_pair_key(1, 2), 0)->raw[0].mean(), 100.0);
-  EXPECT_DOUBLE_EQ(w.find(as_pair_key(1, 2), 3)->raw[0].mean(), 50.0);
+  EXPECT_DOUBLE_EQ(w.find(as_pair_key(1, 2), 0)->raw_mean[0], 100.0);
+  EXPECT_DOUBLE_EQ(w.find(as_pair_key(1, 2), 3)->raw_mean[0], 50.0);
   EXPECT_EQ(w.size(), 2u);
 }
 
@@ -60,9 +65,9 @@ TEST(HistoryWindow, LinearizedStatsTracked) {
   w.add(make_obs(1, 2, 0, 100.0, 10.0, 4.0));
   const PathAggregate* agg = w.find(as_pair_key(1, 2), 0);
   ASSERT_NE(agg, nullptr);
-  EXPECT_NEAR(agg->lin[metric_index(Metric::Loss)].mean(), linearize(Metric::Loss, 10.0),
+  EXPECT_NEAR(agg->lin_mean[metric_index(Metric::Loss)], linearize(Metric::Loss, 10.0),
               1e-12);
-  EXPECT_NEAR(agg->lin[metric_index(Metric::Jitter)].mean(), 16.0, 1e-12);
+  EXPECT_NEAR(agg->lin_mean[metric_index(Metric::Jitter)], 16.0, 1e-12);
 }
 
 TEST(HistoryWindow, IngressNormalizedToLowerEndpoint) {
@@ -116,6 +121,123 @@ TEST(HistoryWindow, ObservationCountAccumulates) {
   HistoryWindow w;
   for (int i = 0; i < 7; ++i) w.add(make_obs(1, 2, 0, 100.0));
   EXPECT_EQ(w.observations(), 7);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(PathAggregate, MatchesOnlineStatsBitForBit) {
+  // The compact Welford recurrence must reproduce OnlineStats exactly:
+  // golden choice-hash replays hang off this arithmetic.
+  HistoryWindow w;
+  std::array<OnlineStats, kNumMetrics> raw_ref;
+  std::array<OnlineStats, kNumMetrics> lin_ref;
+  const double rtts[] = {80.0, 310.5, 120.25, 99.75, 410.0, 55.5};
+  const double losses[] = {0.1, 2.5, 0.0, 1.2, 7.75, 0.4};
+  const double jitters[] = {1.5, 14.0, 3.25, 9.0, 30.5, 0.75};
+  for (int i = 0; i < 6; ++i) {
+    w.add(make_obs(1, 2, 0, rtts[i], losses[i], jitters[i]));
+    const PathPerformance perf{rtts[i], losses[i], jitters[i]};
+    for (const Metric m : kAllMetrics) {
+      raw_ref[metric_index(m)].add(perf.get(m));
+      lin_ref[metric_index(m)].add(linearize(m, perf.get(m)));
+    }
+  }
+  const PathAggregate* agg = w.find(as_pair_key(1, 2), 0);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->count(), 6);
+  for (std::size_t i = 0; i < kNumMetrics; ++i) {
+    EXPECT_EQ(agg->raw_mean[i], raw_ref[i].mean()) << "metric " << i;
+    EXPECT_EQ(agg->raw_sem(i), raw_ref[i].sem()) << "metric " << i;
+    EXPECT_EQ(agg->lin_mean[i], lin_ref[i].mean()) << "metric " << i;
+  }
+}
+
+TEST(PathAggregate, SemEdgeCases) {
+  PathAggregate agg;
+  EXPECT_TRUE(std::isinf(agg.raw_sem(0)));
+  const std::array<double, kNumMetrics> x{-100.0, 0.0, 4.0};
+  agg.accumulate(x, x);
+  EXPECT_DOUBLE_EQ(agg.raw_sem(0), 100.0 * OnlineStats::kSingleSampleRelSem);
+}
+
+#ifdef NDEBUG
+// In debug builds the same inputs trip an assert instead of the typed
+// rejection, so the release-path test only runs with NDEBUG.
+TEST(HistoryWindow, RejectsOutOfRangeKeys) {
+  HistoryWindow w;
+  EXPECT_EQ(w.add(make_obs(1, 1 << 24, 0, 100.0)), HistoryAddResult::kKeyOutOfRange);
+  EXPECT_EQ(w.add(make_obs(1, 2, 1 << 14, 100.0)), HistoryAddResult::kKeyOutOfRange);
+  EXPECT_EQ(w.add(make_obs(1, 2, -1, 100.0)), HistoryAddResult::kKeyOutOfRange);
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_EQ(w.observations(), 0);
+  EXPECT_EQ(w.rejected(), 3);
+  EXPECT_EQ(w.add(make_obs(1, (1 << 24) - 1, (1 << 14) - 1, 100.0)),
+            HistoryAddResult::kAdded);
+  EXPECT_EQ(w.size(), 1u);
+}
+#endif
+
+TEST(HistoryWindow, PathKeyFits) {
+  EXPECT_TRUE(HistoryWindow::path_key_fits(as_pair_key(0, (1 << 24) - 1), (1 << 14) - 1));
+  EXPECT_FALSE(HistoryWindow::path_key_fits(as_pair_key(0, 1 << 24), 0));
+  EXPECT_FALSE(HistoryWindow::path_key_fits(as_pair_key(1 << 24, 1 << 25), 0));
+  EXPECT_FALSE(HistoryWindow::path_key_fits(as_pair_key(0, 1), 1 << 14));
+  EXPECT_FALSE(HistoryWindow::path_key_fits(as_pair_key(0, 1), -1));
+}
+
+TEST(HistoryWindow, MaxPathsEvictsColdestFirst) {
+  HistoryWindow w;
+  w.set_max_paths(4);
+  for (AsId d = 2; d <= 5; ++d) w.add(make_obs(1, d, 0, 100.0));
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.evictions(), 0);
+
+  // Re-touch three of the four; the untouched one loses its second chance
+  // first when a fifth path arrives.
+  w.add(make_obs(1, 2, 0, 100.0));
+  w.add(make_obs(1, 3, 0, 100.0));
+  w.add(make_obs(1, 5, 0, 100.0));
+  w.add(make_obs(1, 6, 0, 100.0));
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.evictions(), 1);
+  EXPECT_EQ(w.find(as_pair_key(1, 4), 0), nullptr);
+  EXPECT_NE(w.find(as_pair_key(1, 2), 0), nullptr);
+  EXPECT_NE(w.find(as_pair_key(1, 6), 0), nullptr);
+}
+
+TEST(HistoryWindow, EvictionDeterministic) {
+  // Same add() sequence => same survivor set, run to run.
+  auto run = [] {
+    HistoryWindow w;
+    w.set_max_paths(16);
+    Rng rng(123);
+    for (int i = 0; i < 2000; ++i) {
+      const auto d = static_cast<AsId>(2 + rng.uniform_index(64));
+      const auto o = static_cast<OptionId>(rng.uniform_index(4));
+      w.add(make_obs(1, d, o, 50.0 + static_cast<double>(i % 17)));
+    }
+    std::vector<std::uint64_t> keys;
+    w.for_each([&](std::uint64_t pk, OptionId opt, const PathAggregate&) {
+      keys.push_back(HistoryWindow::path_key(pk, opt));
+    });
+    return keys;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 16u);
+}
+
+TEST(HistoryWindow, UnboundedByDefaultAndClearReleasesMemory) {
+  HistoryWindow w;
+  for (AsId d = 2; d < 2000; ++d) w.add(make_obs(1, d, 0, 100.0));
+  EXPECT_EQ(w.size(), 1998u);
+  EXPECT_EQ(w.evictions(), 0);
+  const std::size_t peak = w.approx_bytes();
+  EXPECT_GE(peak, 1998u * sizeof(PathAggregate));
+  w.clear();
+  EXPECT_LT(w.approx_bytes(), peak / 4);
+  // The window stays usable after the shrink.
+  w.add(make_obs(1, 2, 0, 100.0));
   EXPECT_EQ(w.size(), 1u);
 }
 

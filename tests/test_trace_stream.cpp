@@ -1,0 +1,195 @@
+#include "trace/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/history.h"
+#include "trace/generator.h"
+#include "util/flat_map.h"
+
+namespace via {
+namespace {
+
+bool same_arrival(const CallArrival& a, const CallArrival& b) {
+  return a.id == b.id && a.time == b.time && a.src_as == b.src_as && a.dst_as == b.dst_as &&
+         a.src_country == b.src_country && a.dst_country == b.dst_country &&
+         a.src_prefix == b.src_prefix && a.dst_prefix == b.dst_prefix &&
+         a.src_user == b.src_user && a.dst_user == b.dst_user &&
+         a.duration_min == b.duration_min;
+}
+
+std::vector<CallArrival> drain(ArrivalStream& stream) {
+  std::vector<CallArrival> out;
+  CallArrival a;
+  while (stream.next(a)) out.push_back(a);
+  return out;
+}
+
+StreamTraceConfig small_config() {
+  StreamTraceConfig c;
+  c.total_calls = 20'000;
+  c.days = 5;
+  c.active_pairs = 500;
+  c.seed = 11;
+  return c;
+}
+
+TEST(SpanStream, CursorAndReset) {
+  std::vector<CallArrival> arrivals(3);
+  arrivals[0].id = 1;
+  arrivals[1].id = 2;
+  arrivals[2].id = 3;
+  SpanStream stream(arrivals);
+  EXPECT_EQ(stream.total_calls(), 3);
+  auto first = drain(stream);
+  ASSERT_EQ(first.size(), 3u);
+  CallArrival a;
+  EXPECT_FALSE(stream.next(a));
+  stream.reset();
+  auto second = drain(stream);
+  ASSERT_EQ(second.size(), 3u);
+  EXPECT_EQ(second[1].id, 2);
+}
+
+TEST(MaterializedStream, CollectMovesVectorOut) {
+  std::vector<CallArrival> arrivals(4);
+  for (int i = 0; i < 4; ++i) arrivals[static_cast<std::size_t>(i)].id = i + 1;
+  MaterializedStream stream(std::move(arrivals));
+  const auto collected = stream.collect();
+  EXPECT_EQ(collected.size(), 4u);
+  // collect() surrendered the storage; the stream is empty afterwards.
+  CallArrival a;
+  EXPECT_FALSE(stream.next(a));
+}
+
+TEST(SyntheticStream, ExactCountSortedAndUniqueIds) {
+  SyntheticArrivalStream stream(small_config());
+  const auto arrivals = drain(stream);
+  ASSERT_EQ(static_cast<std::int64_t>(arrivals.size()), stream.total_calls());
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end(),
+                             [](const CallArrival& a, const CallArrival& b) {
+                               return a.time < b.time;
+                             }));
+  std::set<CallId> ids;
+  for (const auto& a : arrivals) ids.insert(a.id);
+  EXPECT_EQ(ids.size(), arrivals.size());
+  for (const auto& a : arrivals) {
+    EXPECT_GE(a.time, 0);
+    EXPECT_LT(a.day(), small_config().days);
+  }
+}
+
+TEST(SyntheticStream, ResetReplaysIdenticalSequence) {
+  SyntheticArrivalStream stream(small_config());
+  const auto first = drain(stream);
+  stream.reset();
+  const auto second = drain(stream);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_TRUE(same_arrival(first[i], second[i])) << "arrival " << i << " differs";
+  }
+}
+
+TEST(SyntheticStream, CollectEqualsNextLoop) {
+  SyntheticArrivalStream a(small_config());
+  SyntheticArrivalStream b(small_config());
+  const auto collected = a.collect();
+  const auto drained = drain(b);
+  ASSERT_EQ(collected.size(), drained.size());
+  for (std::size_t i = 0; i < collected.size(); ++i) {
+    ASSERT_TRUE(same_arrival(collected[i], drained[i]));
+  }
+}
+
+TEST(SyntheticStream, DeterministicPerSeedAndSeedSensitive) {
+  auto config = small_config();
+  SyntheticArrivalStream a(config);
+  SyntheticArrivalStream b(config);
+  const auto ra = drain(a);
+  const auto rb = drain(b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) ASSERT_TRUE(same_arrival(ra[i], rb[i]));
+
+  config.seed = 12;
+  SyntheticArrivalStream c(config);
+  const auto rc = drain(c);
+  bool any_differs = false;
+  for (std::size_t i = 0; i < std::min(ra.size(), rc.size()); ++i) {
+    if (!same_arrival(ra[i], rc[i])) {
+      any_differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(SyntheticStream, EndpointsFitHistoryPathKeys) {
+  // 1M active pairs must still produce endpoint group ids far below the
+  // HistoryWindow 24-bit path-key bound (the whole point of enumerating
+  // the smallest endpoint universe).
+  StreamTraceConfig config;
+  config.total_calls = 1000;
+  config.active_pairs = 1'000'000;
+  SyntheticArrivalStream stream(config);
+  EXPECT_LT(stream.num_endpoints(), 1 << 24);
+  CallArrival a;
+  while (stream.next(a)) {
+    ASSERT_GE(a.src_as, 0);
+    ASSERT_GE(a.dst_as, 0);
+    ASSERT_LT(a.src_as, stream.num_endpoints());
+    ASSERT_LT(a.dst_as, stream.num_endpoints());
+    ASSERT_TRUE(HistoryWindow::path_key_fits(a.pair_key(), 0));
+  }
+}
+
+TEST(SyntheticStream, BoundedStateIndependentOfCallCount) {
+  auto small = small_config();
+  auto large = small_config();
+  large.total_calls = 100 * small.total_calls;
+  SyntheticArrivalStream s(small);
+  SyntheticArrivalStream l(large);
+  // Generation state is O(active_pairs): 100x the calls, same footprint.
+  EXPECT_EQ(s.approx_bytes(), l.approx_bytes());
+}
+
+TEST(SyntheticStream, PairVolumeIsSkewed) {
+  SyntheticArrivalStream stream(small_config());
+  FlatMap<std::int64_t> per_pair;
+  CallArrival a;
+  while (stream.next(a)) ++per_pair[a.pair_key()];
+  std::int64_t max_count = 0;
+  per_pair.for_each([&](std::uint64_t, const std::int64_t& n) {
+    max_count = std::max(max_count, n);
+  });
+  const double mean =
+      static_cast<double>(small_config().total_calls) / static_cast<double>(per_pair.size());
+  // Zipf 0.9 over 500 pairs: the hottest pair carries far more than the mean.
+  EXPECT_GT(static_cast<double>(max_count), 5.0 * mean);
+}
+
+TEST(TraceGeneratorStream, StreamCollectMatchesGenerateArrivals) {
+  World world({.num_ases = 60, .num_relays = 8, .seed = 31});
+  GroundTruth gt(world);
+  TraceConfig config;
+  config.days = 6;
+  config.total_calls = 30'000;
+  config.active_pairs = 200;
+  config.seed = 7;
+
+  TraceGenerator gen_a(gt, config);
+  TraceGenerator gen_b(gt, config);
+  const auto legacy = gen_a.generate_arrivals();
+  auto stream = gen_b.stream();
+  EXPECT_EQ(stream->total_calls(), static_cast<std::int64_t>(legacy.size()));
+  const auto streamed = drain(*stream);
+  ASSERT_EQ(streamed.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    ASSERT_TRUE(same_arrival(legacy[i], streamed[i])) << "arrival " << i << " differs";
+  }
+}
+
+}  // namespace
+}  // namespace via

@@ -1,12 +1,52 @@
 #include <algorithm>
+#include <chrono>
 #include <iostream>
 #include "sim/experiment.h"
+#include "trace/stream.h"
 #include "util/percentile.h"
 using namespace via;
+
+// Generator throughput (arrivals/sec): one timed pass over a stream.
+static double arrivals_per_sec(ArrivalStream& stream) {
+  stream.reset();
+  const auto start = std::chrono::steady_clock::now();
+  CallArrival a;
+  std::int64_t n = 0;
+  while (stream.next(a)) ++n;
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return secs > 0 ? static_cast<double>(n) / secs : 0.0;
+}
+
 int main() {
   auto setup = Experiment::default_setup(Experiment::Scale::Medium);
   setup.trace.total_calls = 200'000;
   Experiment exp(setup);
+
+  {
+    StreamTraceConfig stream_config;
+    stream_config.total_calls = setup.trace.total_calls;
+    stream_config.days = setup.trace.days;
+    stream_config.active_pairs = setup.trace.active_pairs;
+    stream_config.seed = setup.trace.seed;
+    SyntheticArrivalStream synthetic(stream_config);
+    std::cout << "generator throughput: synthetic stream "
+              << arrivals_per_sec(synthetic) / 1e6 << "M arrivals/s, ";
+    // The legacy materializing generator: time generation + the pass, since
+    // stream() pays the full materialization up front.
+    World world(setup.world);
+    GroundTruth gt(world);
+    TraceGenerator gen(gt, setup.trace);
+    const auto start = std::chrono::steady_clock::now();
+    auto legacy = gen.stream();
+    CallArrival a;
+    std::int64_t n = 0;
+    while (legacy->next(a)) ++n;
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    std::cout << "legacy generator " << (secs > 0 ? static_cast<double>(n) / secs : 0.0) / 1e6
+              << "M arrivals/s\n";
+  }
   auto d = exp.make_default();
   RunResult r = exp.run(*d);
   for (Metric m : kAllMetrics) {

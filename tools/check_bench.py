@@ -23,7 +23,10 @@ Threshold semantics (bench/thresholds.json):
     flagged when it exceeds the threshold by more than the tolerance.
   - keys ending in `_mops`, `_speedup`, or `_rps` are higher-is-better; a
     run is flagged when it falls short by more than the tolerance.
-  - other numeric keys are compared lower-is-better by default.
+  - other numeric keys are compared lower-is-better by default — this is
+    what memory rows rely on (`scale_peak_rss_mb`, `*_bytes_per_pair` in
+    bench/thresholds_scale.json): a run using more memory than baseline
+    plus tolerance is flagged.
 
 The default tolerance is 25% either way; a `_tolerance` key in the
 thresholds file (fraction, e.g. 0.25) overrides it globally.  After an

@@ -48,6 +48,18 @@ fi
 echo "BENCH_core.json:"
 cat "$BUILD_DIR-release/BENCH_core.json"
 
+echo "== release: bench_scale smoke (1M calls / 100k pairs, bounded RSS) =="
+# The §6i streaming-scale smoke: a bounded-memory replay that must finish
+# under the RSS cap (bench_scale exits nonzero on a VmHWM breach) and is
+# gated warn-only against bench/thresholds_scale.json.
+cmake --build "$BUILD_DIR-release" -j --target bench_scale
+"$BUILD_DIR-release/bench/bench_scale" --calls 1000000 --pairs 100000 \
+  --rss-cap-mb 1024 --json "$BUILD_DIR-release/BENCH_scale.json"
+echo "== scale regression gate (bench/thresholds_scale.json) =="
+python3 tools/check_bench.py "$BUILD_DIR-release/BENCH_scale.json" bench/thresholds_scale.json
+echo "BENCH_scale.json:"
+cat "$BUILD_DIR-release/BENCH_scale.json"
+
 if [[ "${VIA_CI_TSAN:-0}" == "1" ]]; then
   echo "== tsan: test_parallel + test_concurrent_policy + test_reactor under ThreadSanitizer =="
   cmake -B "$BUILD_DIR-tsan" -S . -DVIA_TSAN=ON
