@@ -11,20 +11,36 @@
 //                  [--stripes N] [--solve-threads N] [--no-prewarm]
 //                  [--max-resident-pairs N] [--pair-ttl PERIODS]
 //                  [--max-inflight N]
+//                  [--backend legacy|epoll|uring] [--write-buffer-cap BYTES]
 //                  [--reactor-threads N] [--legacy-threads]
+//                  [--probe-backend uring]
 //                  [--http-port N] [--trace-sample N]
 //                  [--flight-recorder FILE] [--timeseries-window MS]
 //                  [--metrics-dump] [--metrics-format table|json|prom]
 //
-// --reactor-threads N: serve all client connections from an epoll reactor
-// with N event-loop workers (DESIGN.md §6h) instead of one thread per
-// connection.  The daemon defaults to the reactor with half the hardware
-// threads (clamped to [2, 8]); the flight recorder still captures shed,
-// protocol-error, and drain events in this mode.
+// --backend legacy|epoll|uring: serving backend (DESIGN.md §6j).  `epoll`
+// (the default) and `uring` serve every connection from an event-driven
+// reactor behind the same dispatch path; `uring` uses one io_uring ring
+// per worker and falls back to epoll — counted and flight-recorded — when
+// the kernel cannot run it.  `legacy` is the thread-per-connection loop.
+//
+// --write-buffer-cap BYTES: per-connection reply-queue cap (default 4 MiB).
+// A connection whose unsent replies reach the cap stops being *read* until
+// its queue drains under half the cap, so one slow consumer cannot balloon
+// server memory (rpc.server.backpressure.* counts pauses).
+//
+// --reactor-threads N: event-loop workers for the epoll/io_uring backends
+// (DESIGN.md §6h).  The daemon defaults to half the hardware threads
+// (clamped to [2, 8]); the flight recorder still captures shed,
+// protocol-error, drain, and backpressure events in these modes.
 //
 // --legacy-threads: revert to the thread-per-connection accept loop
-// (equivalent to --reactor-threads 0); kept for one release as an escape
+// (equivalent to --backend legacy); kept for one release as an escape
 // hatch.
+//
+// --probe-backend uring: capability probe — exit 0 when this kernel can
+// run the io_uring backend, 3 when it cannot.  CI uses this to decide
+// between running the uring suite and an explicit SKIP.
 //
 // Observability plane (DESIGN.md §6g):
 //
@@ -98,6 +114,7 @@
 #include "obs/export.h"
 #include "rpc/admin_http.h"
 #include "rpc/server.h"
+#include "rpc/uring_reactor.h"
 
 namespace {
 
@@ -223,6 +240,28 @@ int main(int argc, char** argv) {
         server_config.reactor_threads = std::stoi(next());
       } else if (arg == "--legacy-threads") {
         server_config.reactor_threads = 0;
+        server_config.backend = ServingBackend::kLegacy;
+      } else if (arg == "--backend") {
+        const std::string mode = next();
+        if (mode == "legacy") {
+          server_config.backend = ServingBackend::kLegacy;
+          server_config.reactor_threads = 0;
+        } else if (mode == "epoll") {
+          server_config.backend = ServingBackend::kEpoll;
+        } else if (mode == "uring") {
+          server_config.backend = ServingBackend::kUring;
+        } else {
+          throw std::runtime_error("unknown backend: " + mode +
+                                   " (expected legacy|epoll|uring)");
+        }
+      } else if (arg == "--probe-backend") {
+        // Capability probe for CI: exit 0 when the named backend can run
+        // here, 3 when it cannot, without starting a server.
+        const std::string mode = next();
+        if (mode == "uring") return UringReactor::supported() ? 0 : 3;
+        return mode == "epoll" || mode == "legacy" ? 0 : 3;
+      } else if (arg == "--write-buffer-cap") {
+        server_config.write_buffer_cap = std::stoull(next());
       } else if (arg == "--http-port") {
         http_enabled = true;
         http_port = static_cast<std::uint16_t>(std::stoi(next()));
@@ -243,7 +282,10 @@ int main(int argc, char** argv) {
                      "                      [--stripes N] [--solve-threads N] [--no-prewarm]\n"
                      "                      [--max-resident-pairs N] [--pair-ttl PERIODS]\n"
                      "                      [--max-inflight N]\n"
+                     "                      [--backend legacy|epoll|uring]\n"
+                     "                      [--write-buffer-cap BYTES]\n"
                      "                      [--reactor-threads N] [--legacy-threads]\n"
+                     "                      [--probe-backend uring]\n"
                      "                      [--http-port N] [--trace-sample N]\n"
                      "                      [--flight-recorder FILE] [--timeseries-window MS]\n"
                      "                      [--metrics-dump] [--metrics-format table|json|prom]\n";
@@ -293,7 +335,12 @@ int main(int argc, char** argv) {
            << ",\"mem_snapshot_bytes\":" << mem.snapshot_bytes
            << ",\"mem_store_bytes\":" << mem.store_bytes
            << ",\"resident_pairs\":" << mem.resident_pairs
-           << ",\"store_evictions\":" << mem.store_evictions;
+           << ",\"store_evictions\":" << mem.store_evictions
+           << ",\"serving_backend\":\"" << serving_backend_name(server.serving_backend())
+           << "\",\"backpressure_paused_conns\":" << server.backpressure_paused_conns()
+           << ",\"backpressure_pauses_total\":" << server.backpressure_pauses_total()
+           << ",\"backpressure_queued_bytes\":" << server.backpressure_queued_bytes()
+           << ",\"peak_conn_queued_bytes\":" << server.peak_conn_queued_bytes();
         return std::move(os).str();
       });
       http->start();
@@ -305,8 +352,9 @@ int main(int argc, char** argv) {
                 << " (/metrics /healthz /varz /trace /flightrecord)\n";
     }
     std::cout << "via_controller listening on 127.0.0.1:" << server.port() << " (";
-    if (server_config.reactor_threads > 0) {
-      std::cout << "reactor x" << server_config.reactor_threads;
+    if (server.serving_backend() != ServingBackend::kLegacy) {
+      std::cout << serving_backend_name(server.serving_backend()) << " reactor x"
+                << std::max(server_config.reactor_threads, 2);
     } else {
       std::cout << "thread-per-connection";
     }

@@ -1,0 +1,11 @@
+// via_soak_driver — out-of-process soak client (DESIGN.md §6j).
+//
+// Opens --conns pipelined connections against a controller on
+// 127.0.0.1:--port, drives --rounds bursts of --depth frames each, and
+// prints a one-line JSON SoakResult on stdout.  Exists as a separate
+// binary so a 10k-connection soak's client fds are charged to this
+// process's RLIMIT_NOFILE, not the server under test's; tests and
+// benchmarks launch it via via::spawn_soak().
+#include "rpc/soak_driver.h"
+
+int main(int argc, char** argv) { return via::soak_driver_main(argc, argv); }

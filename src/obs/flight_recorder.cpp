@@ -27,7 +27,7 @@ constexpr std::string_view kKindNames[kNumFlightEventKinds] = {
     "health_quarantine", "health_readmit", "rpc_error",          "rpc_retry",
     "rpc_reconnect",     "rpc_fallback",   "shed",               "protocol_error",
     "drain_forced_close", "refresh_prepare", "refresh_commit",   "outage_fallback",
-    "note",
+    "note",              "backpressure_pause", "backpressure_resume",
 };
 
 /// Finds `"key":` and returns the raw value text (up to the next ',' or

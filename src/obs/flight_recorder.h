@@ -39,9 +39,11 @@ enum class FlightEventKind : std::uint8_t {
   RefreshCommit = 10,    ///< new model published (a = refresh time)
   OutageFallback = 11,   ///< every candidate quarantined; direct served
   Note = 12,             ///< freeform annotation
+  BackpressurePause = 13,   ///< reactor paused a connection (a = fd, b = queued bytes)
+  BackpressureResume = 14,  ///< paused connection resumed (a = fd, b = queued bytes)
 };
 
-inline constexpr std::size_t kNumFlightEventKinds = 13;
+inline constexpr std::size_t kNumFlightEventKinds = 15;
 
 [[nodiscard]] std::string_view flight_event_kind_name(FlightEventKind k) noexcept;
 [[nodiscard]] std::optional<FlightEventKind> flight_event_kind_from(

@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cstring>
 #include <system_error>
+#include <utility>
 
 namespace via {
 
@@ -52,19 +53,42 @@ void WriteBuffer::frame(std::uint8_t type, std::span<const std::byte> payload) {
   buf_.insert(buf_.end(), payload.begin(), payload.end());
 }
 
+std::span<const std::byte> WriteBuffer::stage() {
+  if (staged_pos_ == staged_.size() && !buf_.empty()) {
+    // Staged region fully retired: promote the queued bytes wholesale.
+    // swap() keeps the drained staged_ capacity around as the next buf_,
+    // so steady-state traffic ping-pongs two allocations with zero copies.
+    staged_.clear();
+    std::swap(staged_, buf_);
+    staged_pos_ = 0;
+  }
+  return std::span<const std::byte>(staged_).subspan(staged_pos_);
+}
+
+void WriteBuffer::consume(std::size_t n) noexcept {
+  staged_pos_ += n;
+  if (staged_pos_ < staged_.size()) return;
+  staged_pos_ = 0;
+  staged_.clear();
+  if (staged_.capacity() > kRetainCapacity) {
+    // Full drain of an oversized staging area: give the pages back.  At
+    // 10k connections a transient burst otherwise pins its high-water
+    // allocation per connection for the rest of the connection's life.
+    staged_.shrink_to_fit();
+  }
+}
+
 bool WriteBuffer::flush(int fd) {
-  while (begin_ < buf_.size()) {
-    const ssize_t n = ::send(fd, buf_.data() + begin_, buf_.size() - begin_, MSG_NOSIGNAL);
+  for (auto span = stage(); !span.empty(); span = stage()) {
+    const ssize_t n = ::send(fd, span.data(), span.size(), MSG_NOSIGNAL);
     if (n > 0) {
-      begin_ += static_cast<std::size_t>(n);
+      consume(static_cast<std::size_t>(n));
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
     throw std::system_error(errno, std::generic_category(), "send");
   }
-  buf_.clear();
-  begin_ = 0;
   return true;
 }
 

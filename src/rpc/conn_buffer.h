@@ -1,4 +1,4 @@
-// Per-connection byte buffers for the event-driven reactor (DESIGN.md §6h).
+// Per-connection byte buffers for the event-driven reactors (DESIGN.md §6h/§6j).
 //
 // A non-blocking socket hands the reactor arbitrary byte chunks, so frame
 // boundaries no longer line up with read/write calls.  ReadBuffer
@@ -6,7 +6,17 @@
 // one readiness event can surface many frames (the batched-decode path) or
 // none (a partial frame waiting for its tail).  WriteBuffer queues encoded
 // reply frames and flushes as much as the socket accepts, leaving the rest
-// for the next EPOLLOUT.
+// for the next EPOLLOUT (epoll backend) or send-CQE (io_uring backend).
+//
+// The io_uring backend hands buffer pointers to the kernel and the op
+// completes asynchronously, so the bytes it references must not move while
+// the op is in flight.  WriteBuffer therefore keeps two vectors: `buf_`
+// accepts new frames (and may reallocate freely), while `staged_` holds the
+// bytes currently offered to the kernel and is never touched until
+// consume() retires them.  stage() promotes queued bytes into the staged
+// vector with a swap (zero copy when the staged side is empty).  The epoll
+// flush(fd) path is built on the same stage/consume pair so both backends
+// share one accounting model.
 #pragma once
 
 #include <cstddef>
@@ -37,29 +47,71 @@ class ReadBuffer {
   /// the peer died mid-frame.
   [[nodiscard]] std::size_t buffered() const noexcept { return end_ - begin_; }
 
+  /// Heap bytes currently held (capacity, not live bytes) — RSS accounting.
+  [[nodiscard]] std::size_t approx_bytes() const noexcept { return buf_.capacity(); }
+
  private:
   std::vector<std::byte> buf_;
   std::size_t begin_ = 0;  ///< first unconsumed byte
   std::size_t end_ = 0;    ///< one past the last received byte
 };
 
-/// Outbound frame queue with partial-write draining.
+/// Outbound frame queue with partial-write draining and a kernel-stable
+/// staged region for asynchronous (io_uring) sends.
 class WriteBuffer {
  public:
   /// Encodes one frame (header + payload) onto the queue.
   void frame(std::uint8_t type, std::span<const std::byte> payload);
 
-  [[nodiscard]] bool empty() const noexcept { return begin_ == buf_.size(); }
-  [[nodiscard]] std::size_t pending() const noexcept { return buf_.size() - begin_; }
+  [[nodiscard]] bool empty() const noexcept {
+    return buf_.empty() && staged_pos_ == staged_.size();
+  }
+  /// Unsent bytes across both the queued and staged regions.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return buf_.size() + (staged_.size() - staged_pos_);
+  }
+  /// Same as pending(); the name the backpressure caps read against.
+  [[nodiscard]] std::size_t approx_bytes() const noexcept { return pending(); }
+
+  /// Heap bytes currently held (capacity across both vectors), making the
+  /// full-drain capacity reclaim observable.
+  [[nodiscard]] std::size_t reserve_bytes() const noexcept {
+    return buf_.capacity() + staged_.capacity();
+  }
+
+  /// Promotes queued bytes into the staged region and returns the
+  /// contiguous unsent span.  The returned bytes are pointer-stable until
+  /// consume() retires them — frame() appends go to the other vector.
+  /// When the staged region still has unsent bytes, no promotion happens
+  /// (an async op may reference them); the remaining staged span is
+  /// returned as-is.  Empty span means nothing to send.
+  [[nodiscard]] std::span<const std::byte> stage();
+
+  /// True when stage() would promote or there are already staged unsent
+  /// bytes — i.e. a send op should be (re)issued.
+  [[nodiscard]] bool has_unsent() const noexcept { return !empty(); }
+
+  /// Retires `n` bytes of the span last returned by stage() (the kernel
+  /// wrote them).  On full drain of the staged region, reclaims its
+  /// capacity when it outgrew the retain threshold, so a burst does not
+  /// pin its high-water allocation for the connection's lifetime.
+  void consume(std::size_t n) noexcept;
 
   /// Writes to `fd` until the queue drains or the socket would block.
   /// Returns true when drained (the caller can disarm EPOLLOUT).  Throws
-  /// std::system_error on a hard write error.
+  /// std::system_error on a hard write error.  Built on stage()/consume()
+  /// so epoll and io_uring share one accounting model; must not be mixed
+  /// with an in-flight async send on the same buffer.
   [[nodiscard]] bool flush(int fd);
 
  private:
-  std::vector<std::byte> buf_;
-  std::size_t begin_ = 0;  ///< first unsent byte
+  /// Staged capacity above this is released on full drain instead of
+  /// being kept for reuse.  64 KiB ≈ one read-chunk's worth of replies.
+  static constexpr std::size_t kRetainCapacity = 64 * 1024;
+
+  std::vector<std::byte> buf_;      ///< accepts new frames; may reallocate
+  std::vector<std::byte> staged_;   ///< offered to the kernel; pointer-stable
+  std::size_t staged_pos_ = 0;      ///< first unsent byte within staged_
 };
 
 }  // namespace via

@@ -17,13 +17,193 @@
 
 namespace via {
 
-Reactor::Reactor(TcpListener& listener, FrameHandler on_frames,
-                 ProtocolErrorHandler on_protocol_error, ReactorConfig config, ReactorHooks hooks)
+// ---------------------------------------------------------------------------
+// ReactorBase: machinery shared by the epoll and io_uring backends.
+
+ReactorBase::ReactorBase(TcpListener& listener, FrameHandler on_frames,
+                         ProtocolErrorHandler on_protocol_error, ReactorConfig config,
+                         ReactorHooks hooks)
     : listener_(&listener),
       on_frames_(std::move(on_frames)),
       on_protocol_error_(std::move(on_protocol_error)),
       config_(config),
       hooks_(std::move(hooks)) {}
+
+std::size_t ReactorBase::queued_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& q : worker_queued_) total += q.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<std::size_t> ReactorBase::worker_connection_counts() const {
+  std::vector<std::size_t> counts;
+  counts.reserve(worker_loads_.size());
+  for (const auto& load : worker_loads_) counts.push_back(load.load(std::memory_order_relaxed));
+  return counts;
+}
+
+std::size_t ReactorBase::pick_worker() {
+  // Only the acceptor thread picks, so a plain scan is race-free; the
+  // loads themselves are atomics because workers decrement them on close.
+  std::size_t best = 0;
+  std::size_t best_load = worker_loads_[0].load(std::memory_order_relaxed);
+  for (std::size_t i = 1; i < worker_loads_.size(); ++i) {
+    const std::size_t load = worker_loads_[i].load(std::memory_order_relaxed);
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  worker_loads_[best].fetch_add(1, std::memory_order_relaxed);
+  return best;
+}
+
+void ReactorBase::sync_queued(ReactorConn& conn) {
+  const std::size_t now = conn.out_.approx_bytes();
+  if (now != conn.accounted_out_) {
+    auto& agg = worker_queued_[conn.worker_idx_];
+    if (now > conn.accounted_out_) {
+      agg.fetch_add(now - conn.accounted_out_, std::memory_order_relaxed);
+    } else {
+      agg.fetch_sub(conn.accounted_out_ - now, std::memory_order_relaxed);
+    }
+    conn.accounted_out_ = now;
+  }
+  std::size_t peak = peak_conn_queued_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_conn_queued_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+bool ReactorBase::over_high_water(const ReactorConn& conn) const noexcept {
+  if (config_.write_buffer_cap > 0 && conn.out_.approx_bytes() >= config_.write_buffer_cap) {
+    return true;
+  }
+  return config_.worker_write_cap > 0 &&
+         worker_queued_[conn.worker_idx_].load(std::memory_order_relaxed) >=
+             config_.worker_write_cap;
+}
+
+bool ReactorBase::under_low_water(const ReactorConn& conn) const noexcept {
+  if (config_.write_buffer_cap > 0 && conn.out_.approx_bytes() > config_.write_buffer_cap / 2) {
+    return false;
+  }
+  return config_.worker_write_cap == 0 ||
+         worker_queued_[conn.worker_idx_].load(std::memory_order_relaxed) <=
+             config_.worker_write_cap / 2;
+}
+
+bool ReactorBase::aggregate_wants_sweep(std::size_t worker_idx) const noexcept {
+  return config_.worker_write_cap == 0 ||
+         worker_queued_[worker_idx].load(std::memory_order_relaxed) <=
+             config_.worker_write_cap / 2;
+}
+
+void ReactorBase::mark_paused(ReactorConn& conn) {
+  if (conn.paused_) return;
+  conn.paused_ = true;
+  paused_conns_.fetch_add(1, std::memory_order_relaxed);
+  pauses_total_.fetch_add(1, std::memory_order_relaxed);
+  if (hooks_.on_pause) hooks_.on_pause(conn.fd(), conn.out_.approx_bytes());
+}
+
+void ReactorBase::mark_resumed(ReactorConn& conn) {
+  if (!conn.paused_) return;
+  conn.paused_ = false;
+  paused_conns_.fetch_sub(1, std::memory_order_relaxed);
+  if (hooks_.on_resume) hooks_.on_resume(conn.fd(), conn.out_.approx_bytes());
+}
+
+bool ReactorBase::decode_frames(ReactorConn& conn) {
+  const std::size_t before = conn.batch_.size();
+  bool ok = true;
+  try {
+    Frame frame;
+    while (conn.in_.next_frame(frame)) conn.batch_.push_back(std::move(frame));
+  } catch (const ProtocolError& e) {
+    // Oversized header: serve what decoded cleanly, then report and
+    // close.  closing_ also stops further reads right away.
+    conn.pending_error_ = e.what();
+    conn.has_pending_error_ = true;
+    conn.closing_ = true;
+    ok = false;
+  }
+  const std::size_t added = conn.batch_.size() - before;
+  if (added > 0 && hooks_.on_decoded) hooks_.on_decoded(added);
+  return ok;
+}
+
+ReactorBase::ServeStatus ReactorBase::serve_batch(ReactorConn& conn) {
+  while (conn.batch_pos_ < conn.batch_.size()) {
+    const std::span<Frame> rest(conn.batch_.data() + conn.batch_pos_,
+                                conn.batch_.size() - conn.batch_pos_);
+    std::size_t consumed = 0;
+    try {
+      consumed = on_frames_(conn, rest);
+    } catch (const ProtocolError& e) {
+      if (on_protocol_error_) on_protocol_error_(conn, e);
+      conn.closing_ = true;
+      // The handler's accounting disposed of the whole remainder (it will
+      // never be served); nothing left for on_dropped.
+      conn.batch_pos_ = conn.batch_.size();
+      break;
+    } catch (const std::exception&) {
+      conn.batch_.clear();
+      conn.batch_pos_ = 0;
+      return ServeStatus::kError;
+    }
+    conn.batch_pos_ += std::min(consumed, rest.size());
+    if (conn.closing_) {
+      // A handler that requests close has disposed of the remainder too.
+      conn.batch_pos_ = conn.batch_.size();
+      break;
+    }
+    if (consumed < rest.size()) {
+      // Write queue at cap: keep the remainder for redispatch after drain.
+      return ServeStatus::kCapped;
+    }
+  }
+  conn.batch_.clear();
+  conn.batch_pos_ = 0;
+  if (conn.has_pending_error_) {
+    conn.has_pending_error_ = false;
+    if (on_protocol_error_) on_protocol_error_(conn, ProtocolError(conn.pending_error_));
+    conn.closing_ = true;
+  }
+  if (conn.eof_) conn.closing_ = true;
+  return ServeStatus::kDone;
+}
+
+void ReactorBase::conn_closed(ReactorConn& conn) {
+  const std::size_t dropped = conn.batch_.size() - conn.batch_pos_;
+  if (dropped > 0 && hooks_.on_dropped) hooks_.on_dropped(dropped);
+  conn.batch_.clear();
+  conn.batch_pos_ = 0;
+  if (conn.paused_) {
+    // Closed while paused: clear the gauge without firing on_resume — the
+    // connection never resumed.
+    conn.paused_ = false;
+    paused_conns_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (conn.accounted_out_ > 0) {
+    worker_queued_[conn.worker_idx_].fetch_sub(conn.accounted_out_, std::memory_order_relaxed);
+    conn.accounted_out_ = 0;
+  }
+  worker_loads_[conn.worker_idx_].fetch_sub(1, std::memory_order_relaxed);
+  conn_count_.fetch_sub(1, std::memory_order_relaxed);
+  {
+    const std::lock_guard lock(stop_mutex_);
+  }
+  stop_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Reactor: the epoll backend.
+
+Reactor::Reactor(TcpListener& listener, FrameHandler on_frames,
+                 ProtocolErrorHandler on_protocol_error, ReactorConfig config, ReactorHooks hooks)
+    : ReactorBase(listener, std::move(on_frames), std::move(on_protocol_error), config,
+                  std::move(hooks)) {}
 
 Reactor::~Reactor() { stop(); }
 
@@ -41,8 +221,11 @@ void Reactor::start() {
   }
 
   const int nworkers = std::max(1, config_.workers);
+  worker_loads_ = std::vector<std::atomic<std::size_t>>(static_cast<std::size_t>(nworkers));
+  worker_queued_ = std::vector<std::atomic<std::size_t>>(static_cast<std::size_t>(nworkers));
   for (int i = 0; i < nworkers; ++i) {
     auto worker = std::make_unique<Worker>();
+    worker->index = static_cast<std::size_t>(i);
     worker->epoll = FdHandle(::epoll_create1(EPOLL_CLOEXEC));
     if (!worker->epoll.valid()) {
       workers_.clear();
@@ -111,10 +294,16 @@ void Reactor::stop() {
 
 void Reactor::register_conn(Worker& worker, int fd) {
   std::unique_ptr<ReactorConn> conn(new ReactorConn(FdHandle(fd)));
+  conn->worker_idx_ = worker.index;
+  conn->write_cap_ = config_.write_buffer_cap;
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = fd;
-  if (::epoll_ctl(worker.epoll.get(), EPOLL_CTL_ADD, fd, &ev) != 0) return;  // conn dtor closes
+  if (::epoll_ctl(worker.epoll.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    // conn dtor closes the fd; undo the accept-time load charge.
+    worker_loads_[worker.index].fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
   conn->interest_ = EPOLLIN;
   worker.conns.emplace(fd, std::move(conn));
   conn_count_.fetch_add(1, std::memory_order_relaxed);
@@ -140,7 +329,10 @@ void Reactor::accept_ready(Worker& worker) {
     const int one = 1;
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     if (hooks_.on_accept) hooks_.on_accept();
-    Worker& target = *workers_[static_cast<std::size_t>(fd) % workers_.size()];
+    // Least-connections pinning: fd churn under a connect storm skews a
+    // modulo pick badly; the emptiest worker is the right home.  The pick
+    // charges the target's load counter, pin-for-life as before.
+    Worker& target = *workers_[pick_worker()];
     if (&target == &worker) {
       register_conn(worker, fd);
     } else {
@@ -163,6 +355,7 @@ void Reactor::adopt_pending(Worker& worker) {
   for (const int fd : fds) {
     if (draining_.load()) {
       ::close(fd);
+      worker_loads_[worker.index].fetch_sub(1, std::memory_order_relaxed);
     } else {
       register_conn(worker, fd);
     }
@@ -182,11 +375,7 @@ void Reactor::close_conn(Worker& worker, ReactorConn& conn) {
     worker.conns.erase(it);
   }
   conn.fd_.reset();
-  conn_count_.fetch_sub(1, std::memory_order_relaxed);
-  {
-    const std::lock_guard lock(stop_mutex_);
-  }
-  stop_cv_.notify_all();
+  conn_closed(conn);
 }
 
 void Reactor::conn_failure(Worker& worker, ReactorConn& conn) {
@@ -197,8 +386,9 @@ void Reactor::conn_failure(Worker& worker, ReactorConn& conn) {
 void Reactor::update_interest(Worker& worker, ReactorConn& conn, bool want_write) {
   // A closing connection is never read again — dropping EPOLLIN is what
   // keeps a still-talking peer from spinning the level-triggered loop.
+  // A paused connection is not read either: that is the backpressure.
   std::uint32_t events = 0;
-  if (!conn.closing_) events |= EPOLLIN;
+  if (!conn.closing_ && !conn.paused_) events |= EPOLLIN;
   if (want_write) events |= EPOLLOUT;
   if (events == conn.interest_) return;
   epoll_event ev{};
@@ -217,30 +407,64 @@ void Reactor::finish_io(Worker& worker, ReactorConn& conn) {
     conn_failure(worker, conn);
     return;
   }
+  sync_queued(conn);
   if (drained && conn.closing_) {
     close_conn(worker, conn);
     return;
   }
+  if (!conn.closing_ && !conn.paused_ &&
+      (conn.batch_pos_ < conn.batch_.size() || over_high_water(conn))) {
+    // Backpressure: stop reading until the socket drains below low water.
+    // A kept batch remainder implies the per-connection cap was hit; a
+    // drained connection can still pause on the worker-aggregate cap, and
+    // with no EPOLLOUT to wake it, the sweep list resumes it later.
+    mark_paused(conn);
+    if (drained) worker.agg_paused_fds.push_back(conn.fd());
+  }
   update_interest(worker, conn, !drained);
 }
 
+void Reactor::dispatch(Worker& worker, ReactorConn& conn) {
+  if (serve_batch(conn) == ServeStatus::kError) {
+    conn_failure(worker, conn);
+    return;
+  }
+  finish_io(worker, conn);
+}
+
+void Reactor::maybe_resume(Worker& worker, ReactorConn& conn) {
+  if (conn.dead_ || !conn.paused_ || conn.closing_) return;
+  if (!under_low_water(conn)) return;
+  mark_resumed(conn);
+  if (conn.batch_pos_ < conn.batch_.size()) {
+    // Serve the batch remainder kept at pause time; this may re-pause.
+    dispatch(worker, conn);
+  } else {
+    update_interest(worker, conn, !conn.out_.empty());
+  }
+}
+
+void Reactor::sweep_paused(Worker& worker) {
+  if (worker.agg_paused_fds.empty() || !aggregate_wants_sweep(worker.index)) return;
+  std::vector<int> keep;
+  for (const int fd : worker.agg_paused_fds) {
+    const auto it = worker.conns.find(fd);
+    if (it == worker.conns.end()) continue;  // closed; fd may have been reused
+    ReactorConn& conn = *it->second;
+    if (!conn.paused_) continue;
+    maybe_resume(worker, conn);
+    if (!conn.dead_ && conn.paused_) keep.push_back(fd);
+  }
+  worker.agg_paused_fds.swap(keep);
+}
+
 void Reactor::read_and_decode(Worker& worker, ReactorConn& conn) {
-  if (conn.closing_) return;
+  if (conn.closing_ || conn.paused_) return;
   const std::span<std::byte> dst = conn.in_.writable(config_.read_chunk);
   const ssize_t r = ::recv(conn.fd(), dst.data(), dst.size(), 0);
   if (r > 0) {
     conn.in_.commit(static_cast<std::size_t>(r));
-    try {
-      Frame frame;
-      while (conn.in_.next_frame(frame)) conn.batch_.push_back(std::move(frame));
-    } catch (const ProtocolError& e) {
-      // Oversized header: serve what decoded cleanly, then report and
-      // close.  closing_ also stops further reads right away.
-      conn.pending_error_ = e.what();
-      conn.has_pending_error_ = true;
-      conn.closing_ = true;
-    }
-    if (!conn.batch_.empty() && hooks_.on_decoded) hooks_.on_decoded(conn.batch_.size());
+    (void)decode_frames(conn);
     return;
   }
   if (r == 0) {
@@ -259,29 +483,6 @@ void Reactor::read_and_decode(Worker& worker, ReactorConn& conn) {
   }
   if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
   conn_failure(worker, conn);
-}
-
-void Reactor::dispatch(Worker& worker, ReactorConn& conn) {
-  if (!conn.batch_.empty()) {
-    try {
-      on_frames_(conn, conn.batch_);
-    } catch (const ProtocolError& e) {
-      if (on_protocol_error_) on_protocol_error_(conn, e);
-      conn.closing_ = true;
-    } catch (const std::exception&) {
-      conn_failure(worker, conn);
-      return;
-    }
-    conn.batch_.clear();
-  }
-  if (conn.dead_) return;
-  if (conn.has_pending_error_) {
-    conn.has_pending_error_ = false;
-    if (on_protocol_error_) on_protocol_error_(conn, ProtocolError(conn.pending_error_));
-    conn.closing_ = true;
-  }
-  if (conn.eof_) conn.closing_ = true;
-  finish_io(worker, conn);
 }
 
 void Reactor::worker_loop(Worker& worker) {
@@ -319,8 +520,16 @@ void Reactor::worker_loop(Worker& worker) {
       if ((ev & EPOLLOUT) != 0) {
         finish_io(worker, conn);
         if (conn.dead_) continue;
+        maybe_resume(worker, conn);
+        if (conn.dead_) continue;
       }
       if ((ev & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+        if (conn.paused_) {
+          // EPOLLIN is disarmed while paused; HUP/ERR still surface.  The
+          // peer is gone, so the queued replies can never drain — fail it.
+          if ((ev & (EPOLLHUP | EPOLLERR)) != 0) conn_failure(worker, conn);
+          continue;
+        }
         read_and_decode(worker, conn);
         if (!conn.dead_) ready.push_back(&conn);
       }
@@ -329,6 +538,9 @@ void Reactor::worker_loop(Worker& worker) {
     for (ReactorConn* conn : ready) {
       if (!conn->dead_) dispatch(worker, *conn);
     }
+    // Aggregate-cap recovery: resume connections that paused while fully
+    // drained (no EPOLLOUT will ever wake them).
+    sweep_paused(worker);
     if (woken) {
       adopt_pending(worker);
       if (draining_.load() && acceptor && worker.listener_registered) {

@@ -12,6 +12,7 @@
 #include "obs/export.h"
 #include "obs/span.h"
 #include "rpc/reactor.h"
+#include "rpc/uring_reactor.h"
 #include "util/rng.h"
 
 namespace via {
@@ -19,6 +20,11 @@ namespace via {
 namespace {
 /// Wire overhead per frame: u32 payload length + u8 message type.
 constexpr std::int64_t kFrameHeaderBytes = 5;
+
+/// Estimated wire size of one DecisionResponse (call_id + option payload
+/// plus the frame header, rounded up).  Used only to clamp batch runs to
+/// a write-capped connection's headroom, so an overestimate is safe.
+constexpr std::size_t kDecisionResponseEstimate = 24;
 
 /// Admin dump size cap: the client's request, clamped so the response
 /// frame (string length prefix included) stays under kMaxPayload.
@@ -83,6 +89,10 @@ ControllerServer::ControllerServer(RoutingPolicy& policy, std::uint16_t port, Se
       tel_dup_reports_(&telemetry_.registry.counter("rpc.server.duplicate_reports")),
       tel_dup_refreshes_(&telemetry_.registry.counter("rpc.server.duplicate_refreshes")),
       tel_forced_closes_(&telemetry_.registry.counter("rpc.server.drain_forced_closes")),
+      tel_bp_paused_(&telemetry_.registry.gauge("rpc.server.backpressure.paused_conns")),
+      tel_bp_pauses_(&telemetry_.registry.counter("rpc.server.backpressure.paused_total")),
+      tel_bp_queued_(&telemetry_.registry.gauge("rpc.server.backpressure.bytes_queued")),
+      tel_uring_fallbacks_(&telemetry_.registry.counter("rpc.server.uring_fallbacks")),
       tel_request_us_(
           &telemetry_.registry.histogram("rpc.server.request_us", obs::kLatencyBoundsUs)),
       tel_inflight_(&telemetry_.registry.gauge("rpc.server.inflight")),
@@ -119,10 +129,29 @@ void ControllerServer::start() {
     }
     timeseries_thread_ = std::thread([this] { timeseries_loop(); });
   }
-  if (config_.reactor_threads > 0) {
+  // Backend resolution (§6j): an explicit backend wins; reactor_threads >
+  // 0 with the default kLegacy keeps meaning "epoll", preserving the §6h
+  // knob's behavior.  kUring degrades to epoll when the kernel can't run
+  // it, with a counter and a flight note so the fallback is observable.
+  ServingBackend want = config_.backend;
+  if (want == ServingBackend::kLegacy && config_.reactor_threads > 0) {
+    want = ServingBackend::kEpoll;
+  }
+  if (want == ServingBackend::kUring && !UringReactor::supported()) {
+    tel_uring_fallbacks_->inc();
+    if (flight_ != nullptr) {
+      flight_->record(obs::FlightEventKind::Note,
+                      "io_uring backend unsupported on this kernel; serving via epoll");
+    }
+    want = ServingBackend::kEpoll;
+  }
+  active_backend_ = want;
+  if (want != ServingBackend::kLegacy) {
     ReactorConfig rconfig;
-    rconfig.workers = config_.reactor_threads;
+    rconfig.workers = config_.reactor_threads > 0 ? config_.reactor_threads : 2;
     rconfig.drain_timeout_ms = config_.drain_timeout_ms;
+    rconfig.write_buffer_cap = config_.write_buffer_cap;
+    rconfig.worker_write_cap = config_.worker_write_cap;
     ReactorHooks hooks;
     hooks.on_accept = [this] { tel_accepted_->inc(); };
     // Decoded-but-unanswered frames count as inflight (§6h): charging them
@@ -133,6 +162,9 @@ void ControllerServer::start() {
           inflight_.fetch_add(static_cast<std::int64_t>(n)) + static_cast<std::int64_t>(n);
       tel_inflight_->set(static_cast<double>(now));
     };
+    // Frames the reactor dropped without dispatching (connection closed
+    // while paused) settle the same accounting.
+    hooks.on_dropped = [this](std::size_t n) { note_requests_done(n); };
     hooks.on_forced_close = [this](int fd) {
       tel_forced_closes_->inc();
       if (flight_ != nullptr) {
@@ -141,17 +173,58 @@ void ControllerServer::start() {
       }
     };
     hooks.on_conn_error = [this] { tel_conn_errors_->inc(); };
-    reactor_ = std::make_unique<Reactor>(
-        listener_,
-        [this](ReactorConn& conn, std::vector<Frame>& frames) {
-          handle_reactor_frames(conn, frames);
-        },
-        [this](ReactorConn& conn, const ProtocolError& e) { reactor_protocol_error(conn, e); },
-        rconfig, hooks);
+    hooks.on_pause = [this](int fd, std::size_t queued) {
+      tel_bp_pauses_->inc();
+      tel_bp_paused_->set(static_cast<double>(reactor_->paused_connections()));
+      tel_bp_queued_->set(static_cast<double>(reactor_->queued_bytes()));
+      if (flight_ != nullptr) {
+        flight_->record(obs::FlightEventKind::BackpressurePause, "write queue over cap", fd,
+                        static_cast<std::int64_t>(queued));
+      }
+    };
+    hooks.on_resume = [this](int fd, std::size_t queued) {
+      tel_bp_paused_->set(static_cast<double>(reactor_->paused_connections()));
+      tel_bp_queued_->set(static_cast<double>(reactor_->queued_bytes()));
+      if (flight_ != nullptr) {
+        flight_->record(obs::FlightEventKind::BackpressureResume, "write queue drained", fd,
+                        static_cast<std::int64_t>(queued));
+      }
+    };
+    auto on_frames = [this](ReactorConn& conn, std::span<Frame> frames) {
+      return handle_reactor_frames(conn, frames);
+    };
+    auto on_error = [this](ReactorConn& conn, const ProtocolError& e) {
+      reactor_protocol_error(conn, e);
+    };
+    if (want == ServingBackend::kUring) {
+      reactor_ = std::make_unique<UringReactor>(listener_, on_frames, on_error, rconfig, hooks);
+    } else {
+      reactor_ = std::make_unique<Reactor>(listener_, on_frames, on_error, rconfig, hooks);
+    }
     reactor_->start();
   } else {
     accept_thread_ = std::thread([this] { accept_loop(); });
   }
+}
+
+std::size_t ControllerServer::backpressure_paused_conns() const noexcept {
+  return reactor_ != nullptr ? reactor_->paused_connections() : 0;
+}
+
+std::uint64_t ControllerServer::backpressure_pauses_total() const noexcept {
+  return reactor_ != nullptr ? reactor_->pauses_total() : 0;
+}
+
+std::size_t ControllerServer::backpressure_queued_bytes() const noexcept {
+  return reactor_ != nullptr ? reactor_->queued_bytes() : 0;
+}
+
+std::size_t ControllerServer::peak_conn_queued_bytes() const noexcept {
+  return reactor_ != nullptr ? reactor_->peak_conn_queued_bytes() : 0;
+}
+
+std::vector<std::size_t> ControllerServer::reactor_worker_connections() const {
+  return reactor_ != nullptr ? reactor_->worker_connection_counts() : std::vector<std::size_t>{};
 }
 
 void ControllerServer::timeseries_loop() {
@@ -569,7 +642,7 @@ void ControllerServer::note_requests_done(std::size_t n) {
   tel_inflight_->set(static_cast<double>(now));
 }
 
-void ControllerServer::handle_reactor_frames(ReactorConn& conn, std::vector<Frame>& frames) {
+std::size_t ControllerServer::handle_reactor_frames(ReactorConn& conn, std::span<Frame> frames) {
   struct ReactorSink final : ReplySink {
     explicit ReactorSink(ReactorConn* c) : conn(c) {}
     void send(MsgType type, std::span<const std::byte> payload) override {
@@ -579,8 +652,9 @@ void ControllerServer::handle_reactor_frames(ReactorConn& conn, std::vector<Fram
   };
   ReactorSink sink(&conn);
   // Inflight was charged when these frames were decoded (the on_decoded
-  // hook), so a burst within one readiness event is visible to the shed
-  // check before any of it is served.  Every exit path below — including
+  // hook).  The return value tells the reactor how many frames this call
+  // disposed of; frames it kept (write-capped partial return) stay charged
+  // and come back in a later call.  Every disposing exit path — including
   // exceptions and an early Shutdown close — settles the unserved
   // remainder through this guard.
   struct PendingGuard {
@@ -593,6 +667,14 @@ void ControllerServer::handle_reactor_frames(ReactorConn& conn, std::vector<Fram
 
   std::size_t i = 0;
   while (i < frames.size()) {
+    // Backpressure (§6j): once this connection's write queue is at its
+    // cap, stop producing replies.  The unserved tail stays with the
+    // reactor (still inflight-charged) and is redispatched after the
+    // queue drains under the low-water mark.
+    if (conn.write_capped()) {
+      pending.remaining = 0;
+      return i;
+    }
     // Batched decision path (§6h): a run of DecisionRequests decoded from
     // one readiness event is served under one policy-lock acquire and one
     // model-snapshot pin.  Tracing keeps the per-frame path (exact spans),
@@ -604,21 +686,26 @@ void ControllerServer::handle_reactor_frames(ReactorConn& conn, std::vector<Fram
              frames[j].type == static_cast<std::uint8_t>(MsgType::DecisionRequest)) {
         ++j;
       }
-      if (j - i >= 2) {
-        const std::size_t run = j - i;
+      // A DecisionResponse frame is ~24 bytes on the wire; clamping the
+      // run to the queue's headroom keeps one batch from overshooting the
+      // cap by more than the final response.
+      const std::size_t headroom_frames =
+          std::max<std::size_t>(1, conn.write_headroom() / kDecisionResponseEstimate);
+      const std::size_t run = std::min(j - i, headroom_frames);
+      if (run >= 2) {
         bool keep_open = true;
         try {
-          process_decision_batch(std::span<Frame>(frames).subspan(i, run), sink);
+          process_decision_batch(frames.subspan(i, run), sink);
         } catch (const ProtocolError& e) {
           send_protocol_error(sink, static_cast<std::uint8_t>(MsgType::DecisionRequest), e);
           keep_open = false;
         }
         note_requests_done(run);
         pending.remaining -= run;
-        i = j;
+        i += run;
         if (!keep_open) {
           conn.close_after_flush();
-          return;
+          return frames.size();
         }
         continue;
       }
@@ -648,9 +735,10 @@ void ControllerServer::handle_reactor_frames(ReactorConn& conn, std::vector<Fram
     ++i;
     if (!keep_open) {
       conn.close_after_flush();
-      return;
+      return frames.size();
     }
   }
+  return frames.size();
 }
 
 void ControllerServer::process_decision_batch(std::span<Frame> frames, ReplySink& sink) {

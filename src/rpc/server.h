@@ -31,8 +31,10 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <thread>
 #include <unordered_set>
+#include <vector>
 
 #include "core/policy.h"
 #include "obs/telemetry.h"
@@ -42,6 +44,25 @@
 #include "rpc/socket.h"
 
 namespace via {
+
+/// Serving backend (§6h, §6j).  Legacy is thread-per-connection; Epoll and
+/// Uring are the event-driven reactors sharing one dispatch seam.
+enum class ServingBackend : std::uint8_t {
+  kLegacy = 0,
+  kEpoll = 1,
+  kUring = 2,
+};
+
+[[nodiscard]] constexpr const char* serving_backend_name(ServingBackend b) noexcept {
+  switch (b) {
+    case ServingBackend::kEpoll:
+      return "epoll";
+    case ServingBackend::kUring:
+      return "uring";
+    default:
+      return "legacy";
+  }
+}
 
 /// Robustness knobs (DESIGN.md §6f).  The defaults keep the legacy
 /// behavior except for dedup, which is invisible to well-behaved clients.
@@ -75,16 +96,32 @@ struct ServerConfig {
   /// registry.  0 disables the ticker.
   int timeseries_window_ms = 0;
 
-  /// Serving mode (§6h).  > 0: epoll reactor with this many event-loop
-  /// worker threads (connections pinned to a worker by fd); 0 (the
-  /// default): legacy thread-per-connection.  The controller daemon
-  /// defaults to the reactor (`--reactor-threads`); `--legacy-threads`
-  /// keeps the old model for one release.
+  /// Serving mode (§6h).  > 0: event-driven reactor with this many
+  /// worker threads (connections pinned to the least-loaded worker at
+  /// accept); 0 (the default): legacy thread-per-connection unless
+  /// `backend` selects a reactor (which then defaults to 2 workers).
+  /// The controller daemon defaults to the reactor (`--reactor-threads`);
+  /// `--legacy-threads` keeps the old model for one release.
   int reactor_threads = 0;
+
+  /// Which serving backend to run (§6j).  kLegacy with reactor_threads >
+  /// 0 means epoll, preserving the pre-backend-knob behavior.  kUring
+  /// falls back to epoll at start() when the kernel lacks io_uring
+  /// (serving_backend() reports what actually runs).
+  ServingBackend backend = ServingBackend::kLegacy;
+  /// Per-connection queued-reply byte cap for the event-driven backends
+  /// (0 disables backpressure): a connection at the cap stops being read
+  /// until its socket drains below half the cap.  The queue can overshoot
+  /// by at most one reply frame.
+  std::size_t write_buffer_cap = 4 * 1024 * 1024;
+  /// Aggregate queued-reply cap per reactor worker (0 disables); bounds
+  /// total reply RSS when many connections stall at once.
+  std::size_t worker_write_cap = 64 * 1024 * 1024;
 };
 
-class Reactor;
+class ReactorBase;
 class ReactorConn;
+struct Frame;
 
 class ControllerServer {
  public:
@@ -122,6 +159,21 @@ class ControllerServer {
   /// diagnostics.
   [[nodiscard]] std::size_t active_handlers() const;
 
+  /// Backend actually serving after start(): reflects the epoll fallback
+  /// when kUring was requested on a kernel without io_uring.
+  [[nodiscard]] ServingBackend serving_backend() const noexcept { return active_backend_; }
+
+  /// Backpressure observability (§6j); all zero under the legacy backend
+  /// or before start().
+  [[nodiscard]] std::size_t backpressure_paused_conns() const noexcept;
+  [[nodiscard]] std::uint64_t backpressure_pauses_total() const noexcept;
+  [[nodiscard]] std::size_t backpressure_queued_bytes() const noexcept;
+  /// High-water mark of any single connection's write queue — the bound
+  /// the soak asserts against (cap + one reply frame).
+  [[nodiscard]] std::size_t peak_conn_queued_bytes() const noexcept;
+  /// Live connections per reactor worker (least-connections pinning).
+  [[nodiscard]] std::vector<std::size_t> reactor_worker_connections() const;
+
   /// The server's (and hosted policy's) telemetry.
   [[nodiscard]] obs::Telemetry& telemetry() noexcept { return telemetry_; }
 
@@ -144,8 +196,11 @@ class ControllerServer {
   bool dispatch_frame(const Frame& frame, ReplySink& sink);
   /// Reactor frame handler: serves a connection's decoded batch, shedding
   /// past the inflight cap and batching runs of DecisionRequests through
-  /// choose_batch when tracing and shedding are off.
-  void handle_reactor_frames(ReactorConn& conn, std::vector<Frame>& frames);
+  /// choose_batch when tracing and shedding are off.  Returns the number
+  /// of frames disposed of; a partial count means the connection's write
+  /// queue hit its cap and the reactor must redispatch the rest after
+  /// drain (those frames stay charged as inflight).
+  std::size_t handle_reactor_frames(ReactorConn& conn, std::span<Frame> frames);
   /// One policy-lock acquire and one snapshot pin for a whole run of
   /// DecisionRequests decoded from a single readiness event (§6h).
   void process_decision_batch(std::span<Frame> frames, ReplySink& sink);
@@ -187,6 +242,13 @@ class ControllerServer {
   obs::Counter* tel_dup_reports_;
   obs::Counter* tel_dup_refreshes_;
   obs::Counter* tel_forced_closes_;
+  /// §6j backpressure instruments: gauges track the reactor's live state
+  /// (refreshed at every pause/resume edge), the counter is cumulative.
+  obs::Gauge* tel_bp_paused_;
+  obs::Counter* tel_bp_pauses_;
+  obs::Gauge* tel_bp_queued_;
+  /// kUring requested but unsupported: the start()-time epoll fallback.
+  obs::Counter* tel_uring_fallbacks_;
   obs::LatencyHistogram* tel_request_us_;
   obs::Gauge* tel_inflight_;
   /// Duration the policy lock is held *exclusively* per refresh — the span
@@ -206,10 +268,11 @@ class ControllerServer {
 
   TcpListener listener_;
   std::thread accept_thread_;
-  /// Event-driven serving mode (§6h); built fresh on each start() when
-  /// config_.reactor_threads > 0, stopped (and kept for inspection) on
-  /// stop().
-  std::unique_ptr<Reactor> reactor_;
+  /// Event-driven serving mode (§6h/§6j); built fresh on each start()
+  /// when an event-driven backend is selected, stopped (and kept for
+  /// inspection) on stop().
+  std::unique_ptr<ReactorBase> reactor_;
+  ServingBackend active_backend_ = ServingBackend::kLegacy;
 
   /// Handler bookkeeping: live threads sit on `handlers_`; a handler
   /// splices its own node onto `finished_` as its last act, and the accept

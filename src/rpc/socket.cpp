@@ -109,9 +109,10 @@ TcpListener::TcpListener(std::uint16_t port) {
   if (::bind(fd_.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
     throw_errno("bind");
   }
-  // Deep enough for the reactor's 1000-connection chaos bursts (§6h); the
-  // kernel clamps to net.core.somaxconn anyway.
-  if (::listen(fd_.get(), 1024) != 0) throw_errno("listen");
+  // Deep enough that a 10k-connection soak's connect storm (§6j) mostly
+  // rides the backlog instead of retrying; the kernel clamps to
+  // net.core.somaxconn anyway.
+  if (::listen(fd_.get(), 4096) != 0) throw_errno("listen");
 
   socklen_t len = sizeof(addr);
   if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {

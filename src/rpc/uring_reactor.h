@@ -1,0 +1,158 @@
+// io_uring connection reactor (DESIGN.md §6j): the completion-driven
+// sibling of the epoll backend in reactor.h.
+//
+// Same shape — a fixed pool of workers, least-connections pin-for-life,
+// one dispatch seam — but the event source is one io_uring ring per worker
+// driven entirely through raw syscalls (the toolchain image carries
+// linux/io_uring.h, not liburing):
+//
+//   - the acceptor worker arms a multishot accept on the listener (one SQE
+//     yields a CQE per connection; falls back to single-shot re-arming when
+//     the kernel rejects the flag),
+//   - each connection keeps at most one recv and one send op in flight;
+//     recv lands directly in the connection's ReadBuffer, sends are staged
+//     through WriteBuffer::stage()/consume() so the kernel always sees
+//     pointer-stable bytes,
+//   - submissions batch naturally: every SQE queued while processing a
+//     completion burst is flushed by the single io_uring_enter at the top
+//     of the loop,
+//   - cross-thread wakeups (pinned handoffs, drain/stop) come from an
+//     eventfd watched with a poll op.
+//
+// Backpressure withholds the recv resubmission instead of disarming
+// EPOLLIN; everything else (caps, low-water resume, kept batch
+// remainders, the aggregate sweep) is shared ReactorBase machinery.
+//
+// Lifecycle: ops hold kernel references to connection buffers, so a
+// closing connection first cancels its ops (IORING_ASYNC_CANCEL_FD), then
+// is destroyed only when its last CQE has been reaped — the fd is closed
+// at destroy time, which also guarantees the fd number cannot be reused
+// by a new accept while stale completions are still in flight (a
+// generation tag in user_data guards the rest).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "rpc/reactor.h"
+
+struct io_uring_sqe;
+struct io_uring_cqe;
+
+namespace via {
+
+/// The io_uring backend.  Construction is cheap; start() sets up the rings
+/// and throws std::system_error when the kernel refuses (callers that want
+/// graceful degradation should consult supported() first).
+class UringReactor : public ReactorBase {
+ public:
+  using FrameHandler = ReactorBase::FrameHandler;
+  using ProtocolErrorHandler = ReactorBase::ProtocolErrorHandler;
+
+  UringReactor(TcpListener& listener, FrameHandler on_frames,
+               ProtocolErrorHandler on_protocol_error, ReactorConfig config = {},
+               ReactorHooks hooks = {});
+  ~UringReactor() override;
+
+  void start() override;
+  void stop() override;
+
+  /// True when this kernel can run the backend: io_uring_setup succeeds
+  /// and the probe reports ACCEPT/RECV/SEND/POLL_ADD/ASYNC_CANCEL.
+  /// Setting VIA_NO_URING=1 in the environment forces false (CI fallback
+  /// and fallback-path tests).
+  [[nodiscard]] static bool supported() noexcept;
+
+ private:
+  /// Raw ring state: the three mmaps and the userspace-side indices.
+  struct Ring {
+    Ring() = default;
+    ~Ring();
+    Ring(const Ring&) = delete;
+    Ring& operator=(const Ring&) = delete;
+
+    /// Sets up the ring (throws std::system_error on failure).
+    void init(unsigned sq_entries, unsigned cq_entries);
+
+    /// Next free SQE, zeroed; submits pending entries first when the
+    /// queue is full.
+    io_uring_sqe* get_sqe();
+    /// Publishes queued SQEs and optionally blocks for `wait_n`
+    /// completions.
+    void submit(unsigned wait_n);
+    /// Copies up to `max` completions out of the CQ; advances the head.
+    unsigned reap(io_uring_cqe* out, unsigned max);
+
+    int fd = -1;
+    unsigned entries = 0;
+    void* sq_ptr = nullptr;
+    std::size_t sq_map_size = 0;
+    void* cq_ptr = nullptr;  ///< aliases sq_ptr under IORING_FEAT_SINGLE_MMAP
+    std::size_t cq_map_size = 0;
+    void* sqe_ptr = nullptr;
+    std::size_t sqe_map_size = 0;
+    unsigned* sq_head = nullptr;
+    unsigned* sq_tail = nullptr;
+    unsigned* sq_mask = nullptr;
+    unsigned* cq_head = nullptr;
+    unsigned* cq_tail = nullptr;
+    unsigned* cq_mask = nullptr;
+    io_uring_sqe* sqes = nullptr;
+    io_uring_cqe* cqes = nullptr;
+    unsigned local_tail = 0;  ///< SQEs handed out, not yet published
+    unsigned submitted = 0;   ///< SQEs published to the kernel
+  };
+
+  struct Worker {
+    Ring ring;
+    FdHandle wake;  ///< eventfd: new pinned connections, drain/stop signals
+    std::thread thread;
+    std::size_t index = 0;
+    /// All of the below are touched only by the worker's own thread.
+    std::unordered_map<int, std::unique_ptr<ReactorConn>> conns;
+    std::vector<std::unique_ptr<ReactorConn>> graveyard;  ///< cleared at end of round
+    std::vector<int> agg_paused_fds;
+    std::uint32_t gen_counter = 0;
+    int accept_inflight = 0;  ///< live accept ops on the listener
+    int wake_inflight = 0;    ///< live poll ops on the eventfd
+    bool accept_multishot = true;  ///< cleared on the first -EINVAL
+    bool accept_stopped = false;   ///< draining: never re-arm accept
+    bool teardown = false;
+    /// Connections accepted by worker 0 but pinned here; guarded by mutex.
+    std::mutex pending_mutex;
+    std::vector<int> pending;
+  };
+
+  void worker_loop(Worker& worker);
+  void run_worker(Worker& worker);
+  void handle_cqe(Worker& worker, const io_uring_cqe& cqe, bool& woken);
+  void handle_accept(Worker& worker, const io_uring_cqe& cqe);
+  void handle_recv(Worker& worker, ReactorConn& conn, std::int32_t res);
+  void handle_send(Worker& worker, ReactorConn& conn, std::int32_t res);
+  void adopt_pending(Worker& worker);
+  void register_conn(Worker& worker, int fd);
+  /// Post-dispatch bookkeeping shared by every CQE path: stage sends,
+  /// begin close when drained, apply pause/resume, re-arm the recv.
+  void settle(Worker& worker, ReactorConn& conn);
+  void sweep_paused(Worker& worker);
+  void arm_accept(Worker& worker);
+  void arm_wake(Worker& worker);
+  void arm_recv(Worker& worker, ReactorConn& conn);
+  void stage_send(Worker& worker, ReactorConn& conn);
+  /// Cancels the connection's in-flight ops and marks it dead; the object
+  /// is destroyed once the last CQE is reaped (maybe_destroy).
+  void begin_close(Worker& worker, ReactorConn& conn);
+  void maybe_destroy(Worker& worker, ReactorConn& conn);
+  void conn_failure(Worker& worker, ReactorConn& conn);
+  void cancel_fd_ops(Worker& worker, int fd);
+  void wake_all();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace via

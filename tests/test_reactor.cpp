@@ -1,8 +1,11 @@
-// Event-driven serving mode tests (DESIGN.md §6h): the epoll reactor
+// Event-driven serving mode tests (DESIGN.md §6h/§6j): the epoll reactor
 // behind ServerConfig::reactor_threads must preserve every protocol
 // behavior of the thread-per-connection path — round trips, shedding,
 // client deadlines, protocol-error replies, graceful drain — while adding
-// pipelined frame batching through RoutingPolicy::choose_batch.
+// pipelined frame batching through RoutingPolicy::choose_batch.  The
+// backend-parameterized suite at the bottom runs protocol, backpressure,
+// and pinning behaviors against both event-driven backends (epoll and
+// io_uring); uring cases SKIP explicitly on kernels without io_uring.
 // This file also runs under TSan in CI (tools/ci.sh): the hammer test
 // drives all reactor workers concurrently.
 #include <gtest/gtest.h>
@@ -10,6 +13,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +26,7 @@
 #include "rpc/messages.h"
 #include "rpc/server.h"
 #include "rpc/socket.h"
+#include "rpc/uring_reactor.h"
 
 namespace via {
 namespace {
@@ -516,6 +521,299 @@ TEST(Reactor, ViaPolicyChooseBatchMatchesSequential) {
   std::vector<OptionId> got(kCalls);
   batched.choose_batch(ctxs, got);
   EXPECT_EQ(got, expect);
+}
+
+// ------------------------------------------- backend-parameterized (§6j)
+
+/// Runs a case against both event-driven backends.  The io_uring variant
+/// SKIPs explicitly (never silently passes) when the kernel can't run it.
+class BackendReactor : public ::testing::TestWithParam<ServingBackend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == ServingBackend::kUring && !UringReactor::supported()) {
+      GTEST_SKIP() << "io_uring unsupported on this kernel";
+    }
+  }
+
+  [[nodiscard]] ServerConfig config(int workers = 2) const {
+    ServerConfig c;
+    c.backend = GetParam();
+    c.reactor_threads = workers;
+    return c;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendReactor,
+                         ::testing::Values(ServingBackend::kEpoll, ServingBackend::kUring),
+                         [](const auto& info) {
+                           return std::string(serving_backend_name(info.param));
+                         });
+
+TEST_P(BackendReactor, ActiveBackendMatchesRequest) {
+  ModuloPolicy policy;
+  ControllerServer server(policy, 0, config());
+  server.start();
+  EXPECT_EQ(server.serving_backend(), GetParam());
+  ControllerClient client(server.port());
+  DecisionRequest req;
+  req.call_id = 4;
+  req.options = {0, 1};
+  EXPECT_EQ(client.request_decision(req), 0);  // 4 % 2
+  client.shutdown();
+  server.stop();
+}
+
+TEST_P(BackendReactor, PipelinedBurstAnswersInOrder) {
+  ModuloPolicy policy;
+  ControllerServer server(policy, 0, config());
+  server.start();
+
+  constexpr int kFrames = 64;
+  TcpConnection conn = TcpConnection::connect_local(server.port());
+  conn.send_all(encode_decision_burst(kFrames, 500));
+  for (int i = 0; i < kFrames; ++i) {
+    Frame reply;
+    ASSERT_TRUE(recv_frame(conn, reply));
+    ASSERT_EQ(reply.type, static_cast<std::uint8_t>(MsgType::DecisionResponse));
+    WireReader r(reply.payload);
+    const DecisionResponse resp = DecisionResponse::decode(r);
+    EXPECT_EQ(resp.call_id, 500 + i);
+    EXPECT_EQ(resp.option, static_cast<OptionId>((500 + i) % 3));
+  }
+  conn.close();
+  server.stop();
+  EXPECT_EQ(server.decisions_served(), kFrames);
+}
+
+TEST_P(BackendReactor, ProtocolErrorRepliesAndCloses) {
+  ModuloPolicy policy;
+  ControllerServer server(policy, 0, config());
+  server.start();
+
+  TcpConnection conn = TcpConnection::connect_local(server.port());
+  send_frame(conn, 0x7F, {});
+  Frame reply;
+  ASSERT_TRUE(recv_frame(conn, reply));
+  EXPECT_EQ(reply.type, static_cast<std::uint8_t>(MsgType::Error));
+  EXPECT_FALSE(recv_frame(conn, reply));
+  server.stop();
+  EXPECT_GE(server.protocol_errors(), 1);
+}
+
+TEST_P(BackendReactor, BackpressurePauseResumeRoundTrip) {
+  // A pipelined flood whose replies outrun the (unread) socket must pause
+  // the connection at the write cap, stop reading, then resume and serve
+  // every frame in order once the client finally drains.
+  ModuloPolicy policy;
+  ServerConfig cfg = config();
+  cfg.write_buffer_cap = 128 * 1024;
+  ControllerServer server(policy, 0, cfg);
+  server.start();
+
+  // ~5 MB of replies: more than sndbuf autotuning (4 MB ceiling) plus the
+  // client's receive window can absorb, so the write queue must reach the
+  // cap and stay parked there until we start reading.
+  constexpr int kFrames = 300'000;
+  TcpConnection conn = TcpConnection::connect_local(server.port());
+  conn.set_recv_timeout_ms(30'000);
+  // The sender must be a separate thread: once the server pauses the
+  // connection it stops reading, so a large enough burst blocks send_all
+  // until this thread starts consuming replies.
+  std::thread sender([&] { conn.send_all(encode_decision_burst(kFrames, 0)); });
+
+  // With the client not reading, the reply flood must reach a stable
+  // paused state: the connection parked at the cap with the socket full.
+  bool paused = false;
+  for (int i = 0; i < 2000 && !paused; ++i) {
+    paused = server.backpressure_paused_conns() == 1 &&
+             server.backpressure_queued_bytes() >= cfg.write_buffer_cap / 2;
+    if (!paused) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(paused);
+  EXPECT_GE(server.backpressure_pauses_total(), 1u);
+
+  for (int i = 0; i < kFrames; ++i) {
+    Frame reply;
+    ASSERT_TRUE(recv_frame(conn, reply));
+    ASSERT_EQ(reply.type, static_cast<std::uint8_t>(MsgType::DecisionResponse));
+    WireReader r(reply.payload);
+    EXPECT_EQ(DecisionResponse::decode(r).call_id, i);
+  }
+  sender.join();
+
+  // Fully drained: the gauge returns to zero and the peak stayed bounded
+  // by the cap plus one in-flight reply batch.
+  for (int i = 0; i < 2000 && server.backpressure_paused_conns() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.backpressure_paused_conns(), 0u);
+  EXPECT_LE(server.peak_conn_queued_bytes(), cfg.write_buffer_cap + 4096);
+  conn.close();
+  server.stop();
+  EXPECT_EQ(server.decisions_served(), kFrames);
+}
+
+TEST_P(BackendReactor, ForcedCloseWithPendingWrites) {
+  // stop() during a pause: the connection still holds queued replies and
+  // undispatched frames.  The drain timeout must force it shut without
+  // leaking the inflight accounting or wedging stop().
+  ModuloPolicy policy;
+  ServerConfig cfg = config();
+  cfg.write_buffer_cap = 4 * 1024;
+  cfg.drain_timeout_ms = 200;
+  ControllerServer server(policy, 0, cfg);
+  server.start();
+
+  constexpr int kFrames = 50'000;
+  TcpConnection conn = TcpConnection::connect_local(server.port());
+  std::thread sender([&] {
+    try {
+      conn.send_all(encode_decision_burst(kFrames, 0));
+    } catch (const std::exception&) {
+      // Expected: the forced close resets the stream mid-send.
+    }
+  });
+  for (int i = 0; i < 2000 && server.backpressure_pauses_total() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server.backpressure_pauses_total(), 1u);
+
+  server.stop();  // must return despite the paused, reply-laden connection
+  EXPECT_GE(counter_value(server, "rpc.server.drain_forced_closes"), 1);
+  EXPECT_EQ(server.active_handlers(), 0u);
+  // The forced close resets the stream, so the sender's send_all fails and
+  // returns; only then is the client fd safe to close.
+  sender.join();
+  conn.close();
+}
+
+TEST_P(BackendReactor, LeastConnectionsPinningBalancesWorkers) {
+  ModuloPolicy policy;
+  ControllerServer server(policy, 0, config(2));
+  server.start();
+
+  auto wait_for_total = [&](std::size_t want) {
+    for (int i = 0; i < 400 && server.active_handlers() != want; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return server.active_handlers();
+  };
+  auto counts = [&] { return server.reactor_worker_connections(); };
+
+  // Sequential connects land round-robin under least-connections (each
+  // accept sees the previously charged loads): A→w0, B→w1, C→w0, D→w1.
+  std::vector<TcpConnection> conns;
+  for (int i = 0; i < 4; ++i) {
+    conns.push_back(TcpConnection::connect_local(server.port()));
+    ASSERT_EQ(wait_for_total(static_cast<std::size_t>(i) + 1), static_cast<std::size_t>(i) + 1);
+  }
+  auto c = counts();
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], 2u);
+  EXPECT_EQ(c[1], 2u);
+
+  // Close worker 0's pair (A and C); the next accepts must refill the
+  // emptier worker first instead of whatever fd parity dictates.
+  conns[0].close();
+  conns[2].close();
+  ASSERT_EQ(wait_for_total(2), 2u);
+  c = counts();
+  EXPECT_EQ(std::max(c[0], c[1]), 2u);
+  EXPECT_EQ(std::min(c[0], c[1]), 0u);
+
+  conns.push_back(TcpConnection::connect_local(server.port()));
+  conns.push_back(TcpConnection::connect_local(server.port()));
+  ASSERT_EQ(wait_for_total(4), 4u);
+  c = counts();
+  EXPECT_EQ(c[0], 2u);
+  EXPECT_EQ(c[1], 2u);
+
+  conns.clear();
+  server.stop();
+}
+
+TEST(BackendParity, EpollAndUringProduceIdenticalReplyBytes) {
+  // The tentpole invariant: both backends sit behind the same
+  // dispatch_frame seam, so one pipelined mixed workload must produce
+  // byte-identical reply streams.
+  if (!UringReactor::supported()) {
+    GTEST_SKIP() << "io_uring unsupported on this kernel";
+  }
+  auto run_backend = [](ServingBackend backend) {
+    ModuloPolicy policy;
+    ServerConfig cfg;
+    cfg.backend = backend;
+    cfg.reactor_threads = 2;
+    ControllerServer server(policy, 0, cfg);
+    server.start();
+
+    std::vector<std::byte> burst;
+    int expected_replies = 0;
+    for (int i = 0; i < 48; ++i) {
+      if (i % 5 == 4) {
+        ReportMsg msg;
+        msg.obs.id = i;
+        msg.obs.option = 1;
+        msg.obs.perf = {100.0 + i, 0.5, 2.0};
+        WireWriter w;
+        msg.encode(w);
+        append_frame(burst, MsgType::Report, w);
+      } else {
+        DecisionRequest req;
+        req.call_id = i;
+        req.options = {0, 1, 2};
+        WireWriter w;
+        req.encode(w);
+        append_frame(burst, MsgType::DecisionRequest, w);
+      }
+      ++expected_replies;
+    }
+    TcpConnection conn = TcpConnection::connect_local(server.port());
+    conn.set_recv_timeout_ms(10'000);
+    conn.send_all(burst);
+
+    std::vector<std::byte> replies;
+    for (int i = 0; i < expected_replies; ++i) {
+      Frame reply;
+      EXPECT_TRUE(recv_frame(conn, reply));
+      replies.push_back(static_cast<std::byte>(reply.type));
+      const auto len = static_cast<std::uint32_t>(reply.payload.size());
+      for (int b = 0; b < 4; ++b) {
+        replies.push_back(static_cast<std::byte>((len >> (8 * b)) & 0xFF));
+      }
+      replies.insert(replies.end(), reply.payload.begin(), reply.payload.end());
+    }
+    conn.close();
+    server.stop();
+    return replies;
+  };
+
+  const auto epoll_bytes = run_backend(ServingBackend::kEpoll);
+  const auto uring_bytes = run_backend(ServingBackend::kUring);
+  EXPECT_EQ(epoll_bytes, uring_bytes);
+}
+
+TEST(BackendParity, UringFallsBackToEpollWhenUnsupported) {
+  // VIA_NO_URING forces supported() == false: the server must degrade to
+  // epoll, count the fallback, and keep serving.
+  ::setenv("VIA_NO_URING", "1", 1);
+  ModuloPolicy policy;
+  ServerConfig cfg;
+  cfg.backend = ServingBackend::kUring;
+  cfg.reactor_threads = 2;
+  ControllerServer server(policy, 0, cfg);
+  server.start();
+  ::unsetenv("VIA_NO_URING");
+
+  EXPECT_EQ(server.serving_backend(), ServingBackend::kEpoll);
+  EXPECT_EQ(counter_value(server, "rpc.server.uring_fallbacks"), 1);
+  ControllerClient client(server.port());
+  DecisionRequest req;
+  req.call_id = 2;
+  req.options = {0, 1};
+  EXPECT_EQ(client.request_decision(req), 0);
+  client.shutdown();
+  server.stop();
 }
 
 }  // namespace

@@ -18,6 +18,12 @@ records the producing box's core count in the `cores` key of
 BENCH_core.json; when it is < 2 (or absent, for runs predating the field),
 `_multicore_only` rows are downgraded to warnings instead of failures.
 
+Rows listed in `_optional` may legitimately be absent from a run — io_uring
+rows on kernels without io_uring, high-connection sweep points under
+VIA_BENCH_SWEEP_SCALE=small.  A missing `_optional` row prints an explicit
+SKIP line (never a warning); when the row IS present it is checked like any
+other (pair it with `_warn_only` to keep it from failing the gate).
+
 Threshold semantics (bench/thresholds.json):
   - keys ending in `_ns` or `_seconds` are lower-is-better; a run is
     flagged when it exceeds the threshold by more than the tolerance.
@@ -68,6 +74,7 @@ def main(argv: list) -> int:
     tolerance = thresholds.get("_tolerance", DEFAULT_TOLERANCE)
     warn_only = set(thresholds.get("_warn_only", []))
     multicore_only = set(thresholds.get("_multicore_only", []))
+    optional = set(thresholds.get("_optional", []))
     cores = bench.get("cores")
     single_core = not isinstance(cores, (int, float)) or cores < 2
     if single_core and multicore_only:
@@ -79,6 +86,7 @@ def main(argv: list) -> int:
     failures = []
     warnings = []
     missing = []
+    skipped = []
     checked = 0
 
     for key, limit in sorted(thresholds.items()):
@@ -86,7 +94,7 @@ def main(argv: list) -> int:
             continue
         value = bench.get(key)
         if not isinstance(value, (int, float)):
-            missing.append(key)
+            (skipped if key in optional else missing).append(key)
             continue
         checked += 1
         if is_higher_better(key):
@@ -110,6 +118,8 @@ def main(argv: list) -> int:
         f"check_bench: {checked} keys checked against {thresholds_path} "
         f"(tolerance {tolerance:.0%})"
     )
+    for key in skipped:
+        print(f"check_bench: SKIP (optional row absent from run): {key}")
     for key in missing:
         print(f"check_bench: WARNING: key missing from run: {key}")
     for line in warnings:
