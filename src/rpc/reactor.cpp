@@ -419,7 +419,7 @@ void Reactor::finish_io(Worker& worker, ReactorConn& conn) {
     // drained connection can still pause on the worker-aggregate cap, and
     // with no EPOLLOUT to wake it, the sweep list resumes it later.
     mark_paused(conn);
-    if (drained) worker.agg_paused_fds.push_back(conn.fd());
+    if (drained) list_for_sweep(worker, conn);
   }
   update_interest(worker, conn, !drained);
 }
@@ -432,9 +432,21 @@ void Reactor::dispatch(Worker& worker, ReactorConn& conn) {
   finish_io(worker, conn);
 }
 
+void Reactor::list_for_sweep(Worker& worker, ReactorConn& conn) {
+  if (conn.agg_listed_) return;
+  conn.agg_listed_ = true;
+  worker.agg_paused_fds.push_back(conn.fd());
+}
+
 void Reactor::maybe_resume(Worker& worker, ReactorConn& conn) {
   if (conn.dead_ || !conn.paused_ || conn.closing_) return;
-  if (!under_low_water(conn)) return;
+  if (!under_low_water(conn)) {
+    // Still over the aggregate low-water mark.  A connection that paused
+    // with socket bytes pending can reach here on its final EPOLLOUT fully
+    // drained; nothing will ever wake it again, so park it for the sweep.
+    if (conn.out_.empty()) list_for_sweep(worker, conn);
+    return;
+  }
   mark_resumed(conn);
   if (conn.batch_pos_ < conn.batch_.size()) {
     // Serve the batch remainder kept at pause time; this may re-pause.
@@ -446,16 +458,19 @@ void Reactor::maybe_resume(Worker& worker, ReactorConn& conn) {
 
 void Reactor::sweep_paused(Worker& worker) {
   if (worker.agg_paused_fds.empty() || !aggregate_wants_sweep(worker.index)) return;
-  std::vector<int> keep;
-  for (const int fd : worker.agg_paused_fds) {
+  // Swap the list out: maybe_resume can re-list a still-stuck connection
+  // (via list_for_sweep) while we iterate.
+  std::vector<int> current;
+  current.swap(worker.agg_paused_fds);
+  for (const int fd : current) {
     const auto it = worker.conns.find(fd);
     if (it == worker.conns.end()) continue;  // closed; fd may have been reused
     ReactorConn& conn = *it->second;
+    conn.agg_listed_ = false;
     if (!conn.paused_) continue;
     maybe_resume(worker, conn);
-    if (!conn.dead_ && conn.paused_) keep.push_back(fd);
+    if (!conn.dead_ && conn.paused_) list_for_sweep(worker, conn);
   }
-  worker.agg_paused_fds.swap(keep);
 }
 
 void Reactor::read_and_decode(Worker& worker, ReactorConn& conn) {

@@ -108,6 +108,7 @@ class ReactorConn {
   bool eof_ = false;             ///< peer closed cleanly; close after the batch
   bool dead_ = false;            ///< closed this round; object parked in the graveyard
   bool paused_ = false;          ///< read interest withheld by backpressure
+  bool agg_listed_ = false;      ///< on the worker's aggregate sweep list
   std::uint32_t interest_ = 0;   ///< epoll event mask currently registered (epoll backend)
   // io_uring backend bookkeeping (unused by epoll):
   std::uint32_t gen_ = 0;        ///< generation tag carried in op user_data
@@ -323,6 +324,10 @@ class Reactor : public ReactorBase {
   /// Resumes paused connections on `worker` that are back under low water
   /// (aggregate-cap recovery); redispatches their kept batch remainders.
   void sweep_paused(Worker& worker);
+  /// Parks a paused, fully drained connection on the aggregate sweep list
+  /// (deduplicated): with no bytes in flight there is no EPOLLOUT coming,
+  /// so only the sweep can resume it once the aggregate drains.
+  void list_for_sweep(Worker& worker, ReactorConn& conn);
   void close_conn(Worker& worker, ReactorConn& conn);
   void update_interest(Worker& worker, ReactorConn& conn, bool want_write);
   void conn_failure(Worker& worker, ReactorConn& conn);

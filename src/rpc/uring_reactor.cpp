@@ -153,6 +153,7 @@ io_uring_sqe* UringReactor::Ring::get_sqe() {
 void UringReactor::Ring::submit(unsigned wait_n) {
   __atomic_store_n(sq_tail, local_tail, __ATOMIC_RELEASE);
   unsigned to_submit = local_tail - submitted;
+  if (wait_n > 0 && spill_pos < spill.size()) wait_n = 0;  // completions already in hand
   for (;;) {
     const unsigned flags = (wait_n > 0) ? IORING_ENTER_GETEVENTS : 0;
     if (to_submit == 0 && wait_n == 0) return;
@@ -165,8 +166,19 @@ void UringReactor::Ring::submit(unsigned wait_n) {
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EBUSY) {
-      // Completion-side pressure: reaping is the caller's job; waiting
-      // for one completion unblocks the kernel.
+      // Completion-side pressure: the kernel refuses SQEs until the CQ
+      // drains, and the caller cannot reap until submit returns.  Move
+      // posted CQEs into the spill buffer (reap() replays them first) so
+      // the retry makes forward progress; merely waiting would return
+      // immediately with the CQ still full and livelock this loop.
+      const std::size_t before = spill.size();
+      spill_cq();
+      if (spill.size() > before) {
+        wait_n = 0;  // completions in hand satisfy any wait
+        continue;
+      }
+      // CQ empty yet still pressured: completions are in flight, not
+      // posted.  Wait for one to land, then loop to spill it.
       const int r2 = sys_io_uring_enter(fd, 0, 1, IORING_ENTER_GETEVENTS);
       if (r2 < 0 && errno != EINTR && errno != EAGAIN && errno != EBUSY) {
         throw std::system_error(errno, std::generic_category(), "io_uring_enter");
@@ -177,15 +189,34 @@ void UringReactor::Ring::submit(unsigned wait_n) {
   }
 }
 
-unsigned UringReactor::Ring::reap(io_uring_cqe* out, unsigned max) {
+void UringReactor::Ring::spill_cq() {
   unsigned head = *cq_head;  // only this thread advances it
   const unsigned tail = __atomic_load_n(cq_tail, __ATOMIC_ACQUIRE);
+  if (head == tail) return;
+  while (head != tail) {
+    spill.push_back(cqes[head & *cq_mask]);
+    ++head;
+  }
+  __atomic_store_n(cq_head, head, __ATOMIC_RELEASE);
+}
+
+unsigned UringReactor::Ring::reap(io_uring_cqe* out, unsigned max) {
   unsigned n = 0;
+  // Replay CQEs spilled while a full CQ blocked submit(); they predate
+  // anything still in the ring.
+  while (spill_pos < spill.size() && n < max) out[n++] = spill[spill_pos++];
+  if (spill_pos == spill.size() && spill_pos > 0) {
+    spill.clear();
+    spill_pos = 0;
+  }
+  unsigned head = *cq_head;  // only this thread advances it
+  const unsigned tail = __atomic_load_n(cq_tail, __ATOMIC_ACQUIRE);
+  const unsigned from_ring = n;
   while (head != tail && n < max) {
     out[n++] = cqes[head & *cq_mask];
     ++head;
   }
-  if (n > 0) __atomic_store_n(cq_head, head, __ATOMIC_RELEASE);
+  if (n > from_ring) __atomic_store_n(cq_head, head, __ATOMIC_RELEASE);
   return n;
 }
 
@@ -233,16 +264,22 @@ void UringReactor::start() {
   const int nworkers = std::max(1, config_.workers);
   worker_loads_ = std::vector<std::atomic<std::size_t>>(static_cast<std::size_t>(nworkers));
   worker_queued_ = std::vector<std::atomic<std::size_t>>(static_cast<std::size_t>(nworkers));
-  for (int i = 0; i < nworkers; ++i) {
-    auto worker = std::make_unique<Worker>();
-    worker->index = static_cast<std::size_t>(i);
-    worker->ring.init(kSqEntries, kCqEntries);
-    worker->wake = FdHandle(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
-    if (!worker->wake.valid()) {
-      workers_.clear();
-      throw std::system_error(errno, std::generic_category(), "eventfd");
+  try {
+    for (int i = 0; i < nworkers; ++i) {
+      auto worker = std::make_unique<Worker>();
+      worker->index = static_cast<std::size_t>(i);
+      worker->ring.init(kSqEntries, kCqEntries);
+      worker->wake = FdHandle(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+      if (!worker->wake.valid()) {
+        throw std::system_error(errno, std::generic_category(), "eventfd");
+      }
+      workers_.push_back(std::move(worker));
     }
-    workers_.push_back(std::move(worker));
+  } catch (...) {
+    // Partial construction (e.g. ring.init for worker i>0): a retried
+    // start() must not stack fresh workers onto stale ones.
+    workers_.clear();
+    throw;
   }
   started_ = true;
   for (auto& worker : workers_) {
@@ -418,38 +455,52 @@ void UringReactor::settle(Worker& worker, ReactorConn& conn) {
   }
   if (!conn.paused_ && (conn.batch_pos_ < conn.batch_.size() || over_high_water(conn))) {
     // Backpressure: withhold the recv resubmission until low water.  A
-    // connection paused by the aggregate cap while fully drained has no
-    // send CQE coming to wake it; the sweep list covers it.
+    // paused connection with nothing in flight has no CQE coming to wake
+    // it; the sweep list covers it.
     mark_paused(conn);
-    if (!conn.send_armed_ && conn.out_.empty()) worker.agg_paused_fds.push_back(conn.fd());
-  } else if (conn.paused_ && under_low_water(conn)) {
-    mark_resumed(conn);
-    if (conn.batch_pos_ < conn.batch_.size()) {
-      if (serve_batch(conn) == ServeStatus::kError) {
-        conn_failure(worker, conn);
+    if (!conn.send_armed_ && conn.out_.empty()) list_for_sweep(worker, conn);
+  } else if (conn.paused_) {
+    if (under_low_water(conn)) {
+      mark_resumed(conn);
+      if (conn.batch_pos_ < conn.batch_.size()) {
+        if (serve_batch(conn) == ServeStatus::kError) {
+          conn_failure(worker, conn);
+          return;
+        }
+        settle(worker, conn);  // depth ≤ 2: either re-pauses or batch is done
         return;
       }
-      settle(worker, conn);  // depth ≤ 2: either re-pauses or batch is done
-      return;
+    } else if (!conn.send_armed_ && conn.out_.empty()) {
+      // Fully drained by its final send CQE while the aggregate is still
+      // high: this was the last completion for the connection, so only
+      // the sweep can revive it.
+      list_for_sweep(worker, conn);
     }
   }
   arm_recv(worker, conn);
 }
 
+void UringReactor::list_for_sweep(Worker& worker, ReactorConn& conn) {
+  if (conn.agg_listed_) return;
+  conn.agg_listed_ = true;
+  worker.agg_paused_fds.push_back(conn.fd());
+}
+
 void UringReactor::sweep_paused(Worker& worker) {
   if (worker.agg_paused_fds.empty() || !aggregate_wants_sweep(worker.index)) return;
-  std::vector<int> keep;
+  // Swap the list out: settle can re-list a still-stuck connection (via
+  // list_for_sweep) while we iterate.
   std::vector<int> current;
   current.swap(worker.agg_paused_fds);
   for (const int fd : current) {
     const auto it = worker.conns.find(fd);
     if (it == worker.conns.end()) continue;  // closed; fd may have been reused
     ReactorConn& conn = *it->second;
+    conn.agg_listed_ = false;
     if (conn.dead_ || !conn.paused_) continue;
     settle(worker, conn);
-    if (!conn.dead_ && conn.paused_) keep.push_back(fd);
+    if (!conn.dead_ && conn.paused_) list_for_sweep(worker, conn);
   }
-  worker.agg_paused_fds.swap(keep);
 }
 
 void UringReactor::handle_accept(Worker& worker, const io_uring_cqe& cqe) {

@@ -83,10 +83,15 @@ class UringReactor : public ReactorBase {
     /// queue is full.
     io_uring_sqe* get_sqe();
     /// Publishes queued SQEs and optionally blocks for `wait_n`
-    /// completions.
+    /// completions.  When the kernel reports completion-side pressure
+    /// (EAGAIN/EBUSY: CQ full), pending CQEs are drained into `spill` so
+    /// the retry makes forward progress instead of livelocking.
     void submit(unsigned wait_n);
-    /// Copies up to `max` completions out of the CQ; advances the head.
+    /// Copies up to `max` completions out — the spill buffer first (those
+    /// are older), then the CQ; advances the head.
     unsigned reap(io_uring_cqe* out, unsigned max);
+    /// Moves every posted CQE out of the ring into `spill`.
+    void spill_cq();
 
     int fd = -1;
     unsigned entries = 0;
@@ -106,6 +111,8 @@ class UringReactor : public ReactorBase {
     io_uring_cqe* cqes = nullptr;
     unsigned local_tail = 0;  ///< SQEs handed out, not yet published
     unsigned submitted = 0;   ///< SQEs published to the kernel
+    std::vector<io_uring_cqe> spill;  ///< CQEs drained by a pressured submit()
+    std::size_t spill_pos = 0;        ///< spill entries already handed to reap()
   };
 
   struct Worker {
@@ -140,6 +147,10 @@ class UringReactor : public ReactorBase {
   /// begin close when drained, apply pause/resume, re-arm the recv.
   void settle(Worker& worker, ReactorConn& conn);
   void sweep_paused(Worker& worker);
+  /// Parks a paused connection with no in-flight ops on the aggregate
+  /// sweep list (deduplicated): no CQE is coming to retry its resume, so
+  /// only the sweep can revive it once the aggregate drains.
+  void list_for_sweep(Worker& worker, ReactorConn& conn);
   void arm_accept(Worker& worker);
   void arm_wake(Worker& worker);
   void arm_recv(Worker& worker, ReactorConn& conn);

@@ -10,6 +10,8 @@
 // drives all reactor workers concurrently.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstddef>
@@ -651,6 +653,131 @@ TEST_P(BackendReactor, BackpressurePauseResumeRoundTrip) {
   conn.close();
   server.stop();
   EXPECT_EQ(server.decisions_served(), kFrames);
+}
+
+TEST_P(BackendReactor, DrainedWhileAggregateHighResumesViaSweep) {
+  // Regression: a connection that pauses while its socket still holds
+  // bytes gets no sweep-list entry at pause time.  If its socket then
+  // fully drains while the worker aggregate is still above low water, the
+  // final EPOLLOUT / send CQE must park it on the sweep list — otherwise
+  // it has zero event interest, sits on no list, and is stranded paused
+  // forever even after the aggregate drains.
+  ModuloPolicy policy;
+  ServerConfig cfg = config(1);  // one worker: both connections share an aggregate
+  cfg.write_buffer_cap = 128 * 1024;
+  cfg.worker_write_cap = 192 * 1024;
+  ControllerServer server(policy, 0, cfg);
+  server.start();
+
+  // ~5 MB of replies per connection: more than socket buffering absorbs,
+  // so both write queues climb until backpressure pauses both connections
+  // with their sockets full (= no sweep-list entry at pause time).
+  constexpr int kFrames = 300'000;
+  TcpConnection conn_hold = TcpConnection::connect_local(server.port());
+  TcpConnection conn_victim = TcpConnection::connect_local(server.port());
+  conn_hold.set_recv_timeout_ms(30'000);
+  conn_victim.set_recv_timeout_ms(30'000);
+
+  // Flood the holdout first so it deterministically parks at its
+  // per-connection cap (128 KB — above the 96 KB aggregate low-water
+  // mark) before the victim starts; the victim then pauses on the
+  // aggregate cap with its socket full.
+  auto send_flood = [](TcpConnection& conn) {
+    try {
+      conn.send_all(encode_decision_burst(kFrames, 0));
+    } catch (const std::exception&) {
+      // Only on the failure path: the teardown shutdown() below resets a
+      // sender left blocked on a stranded connection.
+    }
+  };
+  // A skip, not a failure, when the floods never pause: under sanitizer
+  // slowdowns socket autotuning can absorb the whole burst, and the test
+  // cannot reach the stranding window it exists to pin.  Joins first so
+  // the early return never destroys a joinable thread.
+  auto bail = [&](std::vector<std::thread*> senders, const char* what) {
+    (void)::shutdown(conn_hold.fd(), SHUT_RDWR);
+    (void)::shutdown(conn_victim.fd(), SHUT_RDWR);
+    for (std::thread* t : senders) t->join();
+    server.stop();
+    return what;
+  };
+
+  std::thread send_hold([&] { send_flood(conn_hold); });
+  bool hold_paused = false;
+  for (int i = 0; i < 4000 && !hold_paused; ++i) {
+    hold_paused = server.backpressure_paused_conns() == 1 &&
+                  server.backpressure_queued_bytes() >= cfg.write_buffer_cap;
+    if (!hold_paused) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (!hold_paused) {
+    GTEST_SKIP() << bail({&send_hold}, "holdout never paused at its write cap");
+  }
+
+  std::thread send_victim([&] { send_flood(conn_victim); });
+  bool both_paused = false;
+  for (int i = 0; i < 4000 && !both_paused; ++i) {
+    both_paused = server.backpressure_paused_conns() == 2;
+    if (!both_paused) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (!both_paused) {
+    GTEST_SKIP() << bail({&send_hold, &send_victim}, "victim never paused on the aggregate cap");
+  }
+
+  // Drain the victim only.  Its server-side queue empties while the
+  // holdout still parks >= worker_write_cap/2 bytes, so the victim cannot
+  // resume yet — this is exactly the stranding window.
+  auto reader = [](TcpConnection& conn, int want) {
+    int got = 0;
+    try {
+      Frame reply;
+      while (got < want && recv_frame(conn, reply)) {
+        if (reply.type != static_cast<std::uint8_t>(MsgType::DecisionResponse)) break;
+        ++got;
+      }
+    } catch (const std::exception&) {
+      // Timeout or reset: `got` stalls and the EXPECT below reports it.
+    }
+    return got;
+  };
+  int victim_got = 0;
+  std::thread read_victim([&] { victim_got = reader(conn_victim, kFrames); });
+
+  // Wait until only the holdout's parked bytes remain queued (the victim
+  // has fully drained server-side) while both are still paused.
+  bool victim_drained = false;
+  for (int i = 0; i < 4000 && !victim_drained; ++i) {
+    victim_drained = server.backpressure_paused_conns() == 2 &&
+                     server.backpressure_queued_bytes() <= cfg.write_buffer_cap + 32 * 1024;
+    if (!victim_drained) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(victim_drained);
+
+  // Now drain the holdout.  The aggregate falls under low water and the
+  // sweep must revive the victim: every reply on both connections lands.
+  int hold_got = 0;
+  std::thread read_hold([&] { hold_got = reader(conn_hold, kFrames); });
+  read_hold.join();
+  read_victim.join();
+  EXPECT_EQ(hold_got, kFrames);
+  EXPECT_EQ(victim_got, kFrames);
+  if (hold_got < kFrames || victim_got < kFrames) {
+    // A stranded connection leaves its sender blocked in send_all forever
+    // (the server never reads again); reset both streams so the joins
+    // below cannot hang the suite.
+    (void)::shutdown(conn_hold.fd(), SHUT_RDWR);
+    (void)::shutdown(conn_victim.fd(), SHUT_RDWR);
+  }
+  send_hold.join();
+  send_victim.join();
+
+  for (int i = 0; i < 2000 && server.backpressure_paused_conns() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.backpressure_paused_conns(), 0u);
+  conn_hold.close();
+  conn_victim.close();
+  server.stop();
+  EXPECT_EQ(server.decisions_served(), 2 * kFrames);
 }
 
 TEST_P(BackendReactor, ForcedCloseWithPendingWrites) {
