@@ -8,6 +8,12 @@
 //   via_call_client --port N stats [--format table|json|prom]
 //   via_call_client --port N trace [--max-bytes N]
 //   via_call_client --port N flightrecord [--max-bytes N]
+//   via_call_client --port N ping          (alias: --ping)
+//
+// `ping` sends the payload-free health probe (shedding-exempt, §6k) and
+// prints the replica identity from the Pong — the same RPC the federated
+// client's probation probe uses, so a scripted health check sees exactly
+// what failover sees.
 //
 // Exposes the full wire protocol from the shell — handy for smoke-testing
 // a deployment or scripting synthetic traffic against a live controller.
@@ -58,6 +64,7 @@ void usage() {
          "  via_call_client --port N stats [--format table|json|prom]\n"
          "  via_call_client --port N trace [--max-bytes N]\n"
          "  via_call_client --port N flightrecord [--max-bytes N]\n"
+         "  via_call_client --port N ping          (alias: --ping)\n"
          "options: [--request-timeout-ms M] [--retries K] [--fallback-direct]\n"
          "         [--trace-id X] [--client-stats]\n";
 }
@@ -99,8 +106,10 @@ int main(int argc, char** argv) {
       } else if (arg == "--max-bytes") {
         max_bytes = static_cast<std::uint32_t>(std::stoul(next()));
       } else if (arg == "decide" || arg == "report" || arg == "refresh" || arg == "stats" ||
-                 arg == "trace" || arg == "flightrecord") {
+                 arg == "trace" || arg == "flightrecord" || arg == "ping") {
         command = arg;
+      } else if (arg == "--ping") {
+        command = "ping";
       } else if (arg == "--format") {
         const std::string f = next();
         stats_format = f == "json"   ? obs::StatsFormat::Json
@@ -177,6 +186,10 @@ int main(int argc, char** argv) {
       std::cout << client.get_trace(max_bytes) << "\n";
     } else if (command == "flightrecord") {
       std::cout << client.get_flight_record(max_bytes);
+    } else if (command == "ping") {
+      const PongMsg pong = client.ping();
+      std::cout << "pong replica_id=" << pong.replica_id << " ring_epoch=" << pong.ring_epoch
+                << "\n";
     } else {
       client.refresh(refresh_time);
       std::cout << "ok\n";

@@ -14,9 +14,21 @@
 //                  [--backend legacy|epoll|uring] [--write-buffer-cap BYTES]
 //                  [--reactor-threads N] [--legacy-threads]
 //                  [--probe-backend uring]
+//                  [--replica-id N] [--peers P1,P2,...] [--ring-seed S]
+//                  [--ring-epoch E] [--gossip-period MS]
 //                  [--http-port N] [--trace-sample N]
 //                  [--flight-recorder FILE] [--timeseries-window MS]
 //                  [--metrics-dump] [--metrics-format table|json|prom]
+//
+// Federation (DESIGN.md §6k): --replica-id stamps this controller's
+// identity into every reply (and /varz) so multi-replica fleets are
+// attributable; --peers names the sibling replicas' loopback ports, and a
+// gossip thread pushes this replica's tomography segment estimates to each
+// peer every --gossip-period ms (default 1000), folding whatever the peers
+// sent back into the next refresh.  --ring-seed / --ring-epoch must match
+// across the fleet (clients detect a stale epoch from the reply stamp).
+// Without --peers the controller runs standalone, bit-identical to the
+// pre-federation daemon.
 //
 // --backend legacy|epoll|uring: serving backend (DESIGN.md §6j).  `epoll`
 // (the default) and `uring` serve every connection from an event-driven
@@ -100,6 +112,7 @@
 // keeps everything else working.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <fstream>
@@ -110,9 +123,14 @@
 #include <thread>
 #include <unordered_map>
 
+#include <vector>
+
 #include "core/via_policy.h"
+#include "fed/federation.h"
+#include "fed/segment_exchange.h"
 #include "obs/export.h"
 #include "rpc/admin_http.h"
+#include "rpc/client.h"
 #include "rpc/server.h"
 #include "rpc/uring_reactor.h"
 
@@ -202,6 +220,10 @@ int main(int argc, char** argv) {
   bool http_enabled = false;
   std::uint16_t http_port = 0;
   std::string flight_recorder_file;
+  // Federation (§6k): peer replica ports + gossip cadence.
+  fed::FederationConfig fed_config;
+  fed_config.ring_epoch = 0;  // 0 = unfederated unless --replica-id/--peers given
+  std::vector<std::uint16_t> peer_ports;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -262,6 +284,22 @@ int main(int argc, char** argv) {
         return mode == "epoll" || mode == "legacy" ? 0 : 3;
       } else if (arg == "--write-buffer-cap") {
         server_config.write_buffer_cap = std::stoull(next());
+      } else if (arg == "--replica-id") {
+        server_config.replica_id = static_cast<std::uint32_t>(std::stoul(next()));
+        if (fed_config.ring_epoch == 0) fed_config.ring_epoch = 1;
+      } else if (arg == "--peers") {
+        std::istringstream ss(next());
+        std::string cell;
+        while (std::getline(ss, cell, ',')) {
+          if (!cell.empty()) peer_ports.push_back(static_cast<std::uint16_t>(std::stoi(cell)));
+        }
+        if (fed_config.ring_epoch == 0) fed_config.ring_epoch = 1;
+      } else if (arg == "--ring-seed") {
+        fed_config.ring_seed = std::stoull(next());
+      } else if (arg == "--ring-epoch") {
+        fed_config.ring_epoch = std::stoull(next());
+      } else if (arg == "--gossip-period") {
+        fed_config.exchange_period_ms = std::stoi(next());
       } else if (arg == "--http-port") {
         http_enabled = true;
         http_port = static_cast<std::uint16_t>(std::stoi(next()));
@@ -286,6 +324,9 @@ int main(int argc, char** argv) {
                      "                      [--write-buffer-cap BYTES]\n"
                      "                      [--reactor-threads N] [--legacy-threads]\n"
                      "                      [--probe-backend uring]\n"
+                     "                      [--replica-id N] [--peers P1,P2,...]\n"
+                     "                      [--ring-seed S] [--ring-epoch E]\n"
+                     "                      [--gossip-period MS]\n"
                      "                      [--http-port N] [--trace-sample N]\n"
                      "                      [--flight-recorder FILE] [--timeseries-window MS]\n"
                      "                      [--metrics-dump] [--metrics-format table|json|prom]\n";
@@ -316,13 +357,56 @@ int main(int argc, char** argv) {
   ViaPolicy policy(
       options, [&backbone](RelayId a, RelayId b) { return backbone.get(a, b); }, config);
 
+  // Federation wiring (§6k): stamp replies with this replica's identity,
+  // park peer gossip in an exchange the next refresh folds, and push our
+  // own segments to the peers on the gossip cadence.
+  server_config.ring_epoch = fed_config.ring_epoch;
+  fed::SegmentExchange exchange;
+  if (!peer_ports.empty()) {
+    policy.set_peer_segment_source([&exchange] { return exchange.collect(); });
+  }
+
   try {
     ControllerServer server(policy, port, server_config);
+    server.set_gossip_handler([&exchange](const GossipSegmentsMsg& msg) {
+      return exchange.accept(fed::SegmentUpdate{msg.replica_id, msg.ring_epoch, msg.segments});
+    });
     server.start();
+
+    std::atomic<bool> gossip_stop{false};
+    std::thread gossip_thread;
+    if (!peer_ports.empty() && fed_config.exchange_period_ms > 0) {
+      gossip_thread = std::thread([&] {
+        while (!gossip_stop.load()) {
+          for (int slept = 0; slept < fed_config.exchange_period_ms && !gossip_stop.load();
+               slept += 50) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+          if (gossip_stop.load()) break;
+          GossipSegmentsMsg msg;
+          msg.replica_id = server_config.replica_id;
+          msg.ring_epoch = fed_config.ring_epoch;
+          msg.segments = fed::SegmentExchange::render(policy.model()->predictor().tomography(),
+                                                      fed_config.exchange_max_segments);
+          if (msg.segments.empty()) continue;
+          for (const std::uint16_t peer_port : peer_ports) {
+            try {
+              ClientConfig cc;
+              cc.request_timeout_ms = 1000;
+              ControllerClient peer(peer_port, cc);
+              (void)peer.gossip_segments(msg);
+              peer.shutdown();
+            } catch (const std::exception&) {
+              // A dead peer misses this round; the next one covers it.
+            }
+          }
+        }
+      });
+    }
     std::unique_ptr<AdminHttpServer> http;
     if (http_enabled) {
       http = std::make_unique<AdminHttpServer>(server.telemetry(), http_port);
-      http->set_varz([&server, &policy] {
+      http->set_varz([&server, &policy, &server_config, &fed_config, &exchange, &peer_ports] {
         // memory_stats() walks the store under its stripe locks — cheap at
         // /varz scrape cadence, and safe concurrently with serving.
         ViaPolicy::MemoryStats mem = policy.memory_stats();
@@ -340,7 +424,13 @@ int main(int argc, char** argv) {
            << "\",\"backpressure_paused_conns\":" << server.backpressure_paused_conns()
            << ",\"backpressure_pauses_total\":" << server.backpressure_pauses_total()
            << ",\"backpressure_queued_bytes\":" << server.backpressure_queued_bytes()
-           << ",\"peak_conn_queued_bytes\":" << server.peak_conn_queued_bytes();
+           << ",\"peak_conn_queued_bytes\":" << server.peak_conn_queued_bytes()
+           << ",\"replica_id\":" << server_config.replica_id
+           << ",\"ring_epoch\":" << fed_config.ring_epoch
+           << ",\"fed_peers\":" << peer_ports.size()
+           << ",\"gossip_updates_received\":" << exchange.updates_accepted()
+           << ",\"peer_segments_held\":" << exchange.segments_held()
+           << ",\"peer_segments_folded\":" << policy.peer_segments_folded();
         return std::move(os).str();
       });
       http->start();
@@ -365,8 +455,13 @@ int main(int argc, char** argv) {
               << config.serving_stripes << ", solve threads "
               << config.predictor.tomography.solve_threads << ", prewarm "
               << (config.prewarm_pairs ? "on" : "off") << ", backbone entries "
-              << backbone.entries() << ")\n"
-              << "clients drive refresh via the Refresh message; Ctrl-C stops.\n";
+              << backbone.entries() << ")\n";
+    if (!peer_ports.empty() || fed_config.ring_epoch != 0) {
+      std::cout << "federation: replica " << server_config.replica_id << ", ring epoch "
+                << fed_config.ring_epoch << ", " << peer_ports.size()
+                << " peer(s), gossip every " << fed_config.exchange_period_ms << "ms\n";
+    }
+    std::cout << "clients drive refresh via the Refresh message; Ctrl-C stops.\n";
     while (!g_stop.load()) {
       // The server runs its own threads; the main thread just waits.
       ::pause();
@@ -393,6 +488,8 @@ int main(int argc, char** argv) {
         }
       }
     }
+    gossip_stop.store(true);
+    if (gossip_thread.joinable()) gossip_thread.join();
     if (http != nullptr) http->stop();
     server.stop();
   } catch (const std::exception& e) {

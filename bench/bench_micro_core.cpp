@@ -18,6 +18,8 @@
 #include "netsim/world.h"
 #include "obs/export.h"
 #include "obs/telemetry.h"
+#include "rpc/fed_client.h"
+#include "rpc/fed_fleet.h"
 #include "rpc/framing.h"
 #include "rpc/messages.h"
 #include "rpc/server.h"
@@ -594,6 +596,57 @@ void run_reactor_bench(bench::BenchJson& json) {
   }
 }
 
+/// Federation failover latency (DESIGN.md §6k): a 2-replica in-process
+/// fleet serves a shard-routed FederatedClient; the client's shard home is
+/// killed and the stopwatch runs from the kill to the first successful
+/// re-homed decision on the ring successor — the health-trip plus failover
+/// cost a caller actually sees.  One-shot by nature (the trip happens
+/// once), so the row is warn-only in bench/thresholds.json.
+void run_fed_failover_bench(bench::BenchJson& json) {
+  auto& gt = bench_gt();
+  FedFleetConfig cfg;
+  cfg.replicas = 2;
+  cfg.fed.fail_threshold = 1;
+  cfg.fed.probe_period_ms = 60'000;  // the dead replica stays out of rotation
+  cfg.server.drain_timeout_ms = 50;
+  FedFleet fleet(
+      gt.option_table(), [&](RelayId a, RelayId b) { return gt.backbone(a, b); }, cfg);
+  fleet.start();
+
+  FedClientConfig fc;
+  fc.rpc.request_timeout_ms = 250;
+  fc.rpc.max_retries = 1;
+  fc.rpc.backoff_base_ms = 1;
+  fc.rpc.backoff_max_ms = 4;
+  FederatedClient client(fleet.federation(), fc);
+
+  // A pair whose shard home is replica 0 (the one we will kill).
+  AsId src = 1;
+  while (client.ring().owner(as_pair_key(src, static_cast<AsId>(src + 50))) != 0) ++src;
+  const AsId dst = static_cast<AsId>(src + 50);
+
+  DecisionRequest req;
+  req.time = 100;
+  req.src_as = src;
+  req.dst_as = dst;
+  const auto cand = gt.candidate_options(src, dst);
+  req.options.assign(cand.begin(), cand.end());
+
+  // Warm the connection to the home replica first.
+  req.call_id = 1;
+  (void)client.request_decision(req);
+
+  fleet.kill(0);
+  const bench::Stopwatch sw;
+  req.call_id = 2;
+  (void)client.request_decision(req);
+  const double rehome_ms = sw.seconds() * 1e3;
+  const bool rehomed = client.rehomed_requests() > 0;
+  std::cout << "fed failover: kill -> re-homed decision in " << rehome_ms
+            << " ms (rehomed: " << (rehomed ? "yes" : "NO") << ")\n";
+  if (rehomed) json.set("fed_failover_rehome_ms", rehome_ms);
+}
+
 /// Split-refresh and memo-warmth measurements (DESIGN.md §6e), taken with
 /// a plain stopwatch because each phase runs once per refresh period, not
 /// in a tight loop:
@@ -737,6 +790,7 @@ int main(int argc, char** argv) {
   via::run_policy_sweep(json, threads);
   via::run_concurrent_choose(json);
   via::run_reactor_bench(json);
+  via::run_fed_failover_bench(json);
   via::run_refresh_split_bench(json);
   const std::string path = via::bench::bench_json_path();
   json.write(path);

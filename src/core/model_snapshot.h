@@ -92,6 +92,14 @@ class ModelSnapshot {
   void prewarm(std::span<const CallContext> calls, PairBuildObserver* observer,
                ThreadPool* pool) const;
 
+  /// Federation (§6k): folds peer-replica segment estimates into this
+  /// snapshot's predictor.  Part of *building* a snapshot (like
+  /// set_memo_budget): only valid before publication, and before any
+  /// pair-model memo is built from the predictor.
+  std::size_t fold_peer_segments(std::vector<PeerSegment> peers) {
+    return predictor_.fold_peer_segments(std::move(peers));
+  }
+
   [[nodiscard]] std::uint64_t period() const noexcept { return period_; }
   [[nodiscard]] const Predictor& predictor() const noexcept { return predictor_; }
   [[nodiscard]] const HistoryWindow& window() const noexcept { return window_; }

@@ -61,6 +61,12 @@ class Predictor {
   [[nodiscard]] const TomographySolver& tomography() const noexcept { return tomography_; }
   [[nodiscard]] bool trained() const noexcept { return window_ != nullptr; }
 
+  /// Federation (§6k): folds peer-replica segment estimates into the
+  /// tomography solver.  Call after train(), before serving predictions.
+  std::size_t fold_peer_segments(std::vector<PeerSegment> peers) {
+    return tomography_.fold_peer_segments(std::move(peers));
+  }
+
   /// Resident bytes (the tomography solver dominates; the training window
   /// is borrowed, not owned, so its bytes are counted by its owner).
   [[nodiscard]] std::size_t approx_bytes() const noexcept {

@@ -221,6 +221,35 @@ void TomographySolver::solve(const HistoryWindow& window) {
   }
 }
 
+std::size_t TomographySolver::fold_peer_segments(std::vector<PeerSegment> peers) {
+  if (peers.empty()) return 0;
+  // Stable sort by key: the fold order for one key is then the caller's
+  // input order, so deterministic inputs give deterministic estimates.
+  std::stable_sort(peers.begin(), peers.end(),
+                   [](const PeerSegment& a, const PeerSegment& b) { return a.key < b.key; });
+  std::size_t folded = 0;
+  segments_.reserve(segments_.size() + peers.size());
+  for (const PeerSegment& p : peers) {
+    if (p.est.evidence <= 0) continue;
+    if (SegmentEstimate* local = segments_.find(p.key)) {
+      const double wl = static_cast<double>(local->evidence);
+      const double wp = static_cast<double>(p.est.evidence);
+      const double wsum = wl + wp;
+      for (std::size_t m = 0; m < kNumMetrics; ++m) {
+        local->lin_mean[m] = (wl * local->lin_mean[m] + wp * p.est.lin_mean[m]) / wsum;
+        // Evidence-weighted SEM blend: conservative (no sqrt-N shrink from
+        // the pooled count), deterministic, and order-insensitive-enough.
+        local->lin_sem[m] = (wl * local->lin_sem[m] + wp * p.est.lin_sem[m]) / wsum;
+      }
+      local->evidence += p.est.evidence;
+    } else {
+      segments_.insert(p.key, p.est);
+    }
+    ++folded;
+  }
+  return folded;
+}
+
 const SegmentEstimate* TomographySolver::segment(AsId as, RelayId relay) const {
   return segments_.find(segment_key(as, relay));
 }

@@ -67,6 +67,14 @@ struct SegmentEstimate {
   std::int64_t evidence = 0;                   ///< total calls behind the estimate
 };
 
+/// One segment estimate received from a peer controller replica (federation
+/// §6k): the solver folds these into its own estimates after a solve, so
+/// shards pool segment knowledge instead of converging in isolation.
+struct PeerSegment {
+  std::uint64_t key = 0;  ///< TomographySolver::segment_key(as, relay)
+  SegmentEstimate est;
+};
+
 /// Solves for client<->relay segment estimates from one history window.
 class TomographySolver {
  public:
@@ -79,6 +87,16 @@ class TomographySolver {
 
   /// Builds segment estimates from the window's relayed-path aggregates.
   void solve(const HistoryWindow& window);
+
+  /// Folds peer-replica segment estimates into this solver's own (§6k).
+  /// Known segments merge by evidence-weighted mean in linearized space;
+  /// unknown ones are adopted outright.  The fold is applied in ascending
+  /// (key, input-order) order — `peers` is sorted internally — so the
+  /// result is deterministic for any arrival order of the same updates.
+  /// An empty `peers` is a strict no-op (bit-identical estimates), which is
+  /// what keeps a single-replica ring pinned to the golden replays.
+  /// Returns the number of estimates merged or adopted.
+  std::size_t fold_peer_segments(std::vector<PeerSegment> peers);
 
   /// Segment estimate for (AS, relay); nullptr when the segment was not
   /// covered by any observed path.

@@ -12,6 +12,11 @@
 
 namespace via {
 
+void ViaPolicy::set_peer_segment_source(PeerSegmentSource source) {
+  const std::lock_guard lock(prepare_mutex_);
+  peer_segment_source_ = std::move(source);
+}
+
 void ViaPolicy::attach_telemetry(obs::Telemetry* telemetry) {
   inst_ = Instruments{};
   if (telemetry == nullptr) return;
@@ -167,6 +172,17 @@ void ViaPolicy::prepare_refresh(TimeSec now) {
   auto building = std::make_shared<ModelSnapshot>(
       *options_, backbone_, config_.target, config_.predictor, config_.topk,
       current->period() + 1, std::move(completed));
+  if (peer_segment_source_) {
+    // Federation fold-in (§6k): pooled peer segments join the freshly
+    // trained solver before any pair memo derives from it.  An empty
+    // source keeps the snapshot bit-identical to a standalone build.
+    std::vector<PeerSegment> peers = peer_segment_source_();
+    if (!peers.empty()) {
+      const std::size_t folded = building->fold_peer_segments(std::move(peers));
+      peer_segments_folded_.fetch_add(static_cast<std::int64_t>(folded),
+                                      std::memory_order_relaxed);
+    }
+  }
   building->set_memo_budget(config_.mem.snapshot_memo_budget);
   std::shared_ptr<const ModelSnapshot> next = std::move(building);
 

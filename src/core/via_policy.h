@@ -160,6 +160,19 @@ class ViaPolicy final : public RoutingPolicy, private PairBuildObserver {
   /// relaxed atomics.  nullptr detaches.
   void attach_telemetry(obs::Telemetry* telemetry) override;
 
+  /// Federation hook (§6k): supplies peer-replica tomography segments to
+  /// fold into each refresh's staged snapshot, right after its predictor
+  /// trains and before memos/prewarm derive from it.  An unset source or
+  /// an empty return is a strict no-op — decisions stay bit-identical to a
+  /// standalone controller, which is what the golden-hash tests pin.
+  /// Serialized with prepares; safe to call while serving.
+  using PeerSegmentSource = std::function<std::vector<PeerSegment>()>;
+  void set_peer_segment_source(PeerSegmentSource source);
+  /// Lifetime count of peer segment estimates folded into snapshots.
+  [[nodiscard]] std::int64_t peer_segments_folded() const noexcept {
+    return peer_segments_folded_.load(std::memory_order_relaxed);
+  }
+
   /// Decision accounting, for the Section 5.2 relaying-mix analysis.
   struct Stats {
     std::int64_t calls = 0;
@@ -327,6 +340,8 @@ class ViaPolicy final : public RoutingPolicy, private PairBuildObserver {
   std::mutex prepare_mutex_;
   std::shared_ptr<const ModelSnapshot> pending_;
   std::unique_ptr<ThreadPool> refresh_pool_;
+  PeerSegmentSource peer_segment_source_;  ///< guarded by prepare_mutex_
+  std::atomic<std::int64_t> peer_segments_folded_{0};
 
   /// Lifetime eviction/rejection totals carried across window swaps (each
   /// completed window's counters die with it); relaxed — diagnostics only.

@@ -1,0 +1,41 @@
+// Federation configuration (DESIGN.md §6k): everything a client or replica
+// needs to agree on the fleet layout — replica endpoints, the consistent-
+// hash ring parameters, the segment-exchange cadence, and the client-side
+// failover state-machine knobs.  The ring is a pure function of this
+// struct, so distributing the config distributes the shard map.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace via::fed {
+
+struct FederationConfig {
+  /// Loopback TCP ports of the controller replicas; index == replica id.
+  std::vector<std::uint16_t> replica_ports;
+
+  /// Consistent-hash ring parameters; all parties must agree.
+  std::uint64_t ring_seed = 0x5eedu;
+  int ring_vnodes = 64;
+  /// Ring configuration epoch, stamped into replies so a client holding an
+  /// older config can detect that it is routing on a stale ring.
+  std::uint64_t ring_epoch = 1;
+
+  /// How often replicas push their tomography segment estimates to peers.
+  int exchange_period_ms = 1000;
+  /// Most-evidenced segments kept per gossip push (bounds frame size).
+  std::size_t exchange_max_segments = 8192;
+
+  /// Consecutive timeouts/resets against one replica before the client
+  /// marks it down and re-homes its traffic to the ring successor.
+  int fail_threshold = 2;
+  /// While a replica is down, the client re-probes it (Ping) at most once
+  /// per this period; a successful probe returns it to rotation.
+  int probe_period_ms = 200;
+
+  [[nodiscard]] std::uint32_t replicas() const noexcept {
+    return static_cast<std::uint32_t>(replica_ports.size());
+  }
+};
+
+}  // namespace via::fed

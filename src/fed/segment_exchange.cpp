@@ -1,0 +1,74 @@
+#include "fed/segment_exchange.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace via::fed {
+
+std::size_t SegmentExchange::accept(SegmentUpdate update) {
+  const std::size_t n = update.segments.size();
+  const std::lock_guard lock(mutex_);
+  ++updates_accepted_;
+  by_peer_[update.replica_id] = std::move(update);
+  return n;
+}
+
+std::vector<PeerSegment> SegmentExchange::collect() const {
+  std::vector<PeerSegment> out;
+  std::vector<std::pair<std::uint32_t, const PeerSegment*>> tagged;
+  {
+    const std::lock_guard lock(mutex_);
+    std::size_t total = 0;
+    for (const auto& [id, update] : by_peer_) total += update.segments.size();
+    out.reserve(total);
+    tagged.reserve(total);
+    for (const auto& [id, update] : by_peer_) {
+      for (const PeerSegment& s : update.segments) tagged.emplace_back(id, &s);
+    }
+    std::sort(tagged.begin(), tagged.end(), [](const auto& a, const auto& b) {
+      return a.second->key != b.second->key ? a.second->key < b.second->key
+                                            : a.first < b.first;
+    });
+    for (const auto& [id, seg] : tagged) out.push_back(*seg);
+  }
+  return out;
+}
+
+std::vector<PeerSegment> SegmentExchange::render(const TomographySolver& solver,
+                                                 std::size_t max_segments) {
+  std::vector<PeerSegment> all;
+  all.reserve(solver.segment_count());
+  solver.for_each_segment([&](std::uint64_t key, const SegmentEstimate& est) {
+    if (est.evidence > 0) all.push_back(PeerSegment{key, est});
+  });
+  std::sort(all.begin(), all.end(), [](const PeerSegment& a, const PeerSegment& b) {
+    return a.est.evidence != b.est.evidence ? a.est.evidence > b.est.evidence
+                                            : a.key < b.key;
+  });
+  if (max_segments > 0 && all.size() > max_segments) all.resize(max_segments);
+  return all;
+}
+
+std::size_t SegmentExchange::peers() const {
+  const std::lock_guard lock(mutex_);
+  return by_peer_.size();
+}
+
+std::int64_t SegmentExchange::updates_accepted() const {
+  const std::lock_guard lock(mutex_);
+  return updates_accepted_;
+}
+
+std::size_t SegmentExchange::segments_held() const {
+  const std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [id, update] : by_peer_) total += update.segments.size();
+  return total;
+}
+
+void SegmentExchange::clear() {
+  const std::lock_guard lock(mutex_);
+  by_peer_.clear();
+}
+
+}  // namespace via::fed

@@ -1,0 +1,62 @@
+// Segment exchange (DESIGN.md §6k): the cross-shard pooling of tomography
+// segment estimates.  Segments (client<->relay) are shared between AS
+// pairs, so shards that pool them converge faster than isolated ones (the
+// paper's §4.3 decomposition argument).
+//
+// Each replica periodically *pushes* its solver's segment estimates to its
+// peers (GossipSegments RPC); the receiving side parks the latest update
+// per peer in a SegmentExchange, and the policy's peer-segment source
+// drains a merged, deterministically ordered view at the next
+// prepare_refresh, where TomographySolver::fold_peer_segments folds it in.
+// With no peers the collect is empty and the refresh is bit-identical to a
+// standalone controller.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/tomography.h"
+
+namespace via::fed {
+
+/// One replica's segment snapshot as received from the wire.
+struct SegmentUpdate {
+  std::uint32_t replica_id = 0;
+  std::uint64_t ring_epoch = 0;
+  std::vector<PeerSegment> segments;
+};
+
+/// Thread-safe store of the latest segment snapshot per peer replica.
+class SegmentExchange {
+ public:
+  /// Replaces the stored snapshot for `update.replica_id`.  Returns the
+  /// number of segment estimates accepted.
+  std::size_t accept(SegmentUpdate update);
+
+  /// Merged view of every stored peer snapshot, ordered by (segment key,
+  /// replica id) so the downstream fold is deterministic for any arrival
+  /// order.  Leaves the store intact (updates are state, not a queue: a
+  /// refresh between two gossip rounds still sees the peers' last word).
+  [[nodiscard]] std::vector<PeerSegment> collect() const;
+
+  /// Renders a solver's current estimates as an outbound update, keeping
+  /// at most `max_segments` (ties and order resolved by highest evidence
+  /// first, then ascending key — deterministic).
+  [[nodiscard]] static std::vector<PeerSegment> render(const TomographySolver& solver,
+                                                      std::size_t max_segments);
+
+  [[nodiscard]] std::size_t peers() const;
+  [[nodiscard]] std::int64_t updates_accepted() const;
+  [[nodiscard]] std::size_t segments_held() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::uint32_t, SegmentUpdate> by_peer_;
+  std::int64_t updates_accepted_ = 0;
+};
+
+}  // namespace via::fed

@@ -1,0 +1,67 @@
+#include "fed/shard_ring.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace via::fed {
+
+ShardRing::ShardRing(std::uint32_t replicas, std::uint64_t seed, int vnodes)
+    : replicas_(std::max<std::uint32_t>(1, replicas)), seed_(seed) {
+  const int points_per = std::max(1, vnodes);
+  points_.reserve(static_cast<std::size_t>(replicas_) * static_cast<std::size_t>(points_per));
+  for (std::uint32_t r = 0; r < replicas_; ++r) {
+    for (int v = 0; v < points_per; ++v) {
+      points_.push_back(Point{hash_mix(seed_, static_cast<std::uint64_t>(r) + 1,
+                                       static_cast<std::uint64_t>(v) + 1),
+                              r});
+    }
+  }
+  // Position ties (astronomically rare) break by replica id so the ring is
+  // a total order — identical on every host.
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    return a.pos != b.pos ? a.pos < b.pos : a.replica < b.replica;
+  });
+}
+
+std::size_t ShardRing::first_point(std::uint64_t key) const noexcept {
+  const std::uint64_t h = hash_mix(seed_, key);
+  std::size_t lo = 0;
+  std::size_t hi = points_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (points_[mid].pos < h) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == points_.size() ? 0 : lo;  // wrap past the last point
+}
+
+std::uint32_t ShardRing::owner(std::uint64_t key) const noexcept {
+  return points_[first_point(key)].replica;
+}
+
+std::vector<std::uint32_t> ShardRing::route(std::uint64_t key) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(replicas_);
+  std::vector<bool> seen(replicas_, false);
+  const std::size_t start = first_point(key);
+  for (std::size_t i = 0; i < points_.size() && out.size() < replicas_; ++i) {
+    const Point& p = points_[(start + i) % points_.size()];
+    if (!seen[p.replica]) {
+      seen[p.replica] = true;
+      out.push_back(p.replica);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> ShardRing::load_split(std::uint64_t samples) const {
+  std::vector<std::uint64_t> counts(replicas_, 0);
+  for (std::uint64_t k = 0; k < samples; ++k) ++counts[owner(k)];
+  return counts;
+}
+
+}  // namespace via::fed

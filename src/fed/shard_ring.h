@@ -1,0 +1,58 @@
+// Consistent-hash ring for the sharded control plane (DESIGN.md §6k).
+//
+// The AS-pair key space is partitioned across N controller replicas with a
+// classic virtual-node ring: every replica hashes `vnodes` points onto a
+// 64-bit circle, and a pair key is owned by the replica whose point is the
+// first at-or-after the key's own hash.  Virtual nodes smooth the split
+// (max/min owned share stays within a small factor of 1), and keeping the
+// point set a pure function of (replicas, seed, vnodes) makes every client
+// and replica agree on the mapping without any coordination — the ring is
+// configuration, not state.
+//
+// `route()` returns the distinct replicas in ring order starting at the
+// owner: element 0 is the shard home, element 1 the failover successor a
+// client re-homes to while the owner is down, and so on.  Removing a
+// replica therefore only moves the keys it owned (the consistent-hashing
+// minimal-disruption property), which the federation tests assert.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace via::fed {
+
+class ShardRing {
+ public:
+  /// `replicas` must be >= 1; `vnodes` is points per replica (clamped to
+  /// >= 1).  The same (replicas, seed, vnodes) always builds the same ring.
+  ShardRing(std::uint32_t replicas, std::uint64_t seed, int vnodes = 64);
+
+  [[nodiscard]] std::uint32_t replicas() const noexcept { return replicas_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// The replica owning `key` (the shard home for an AS-pair key).
+  [[nodiscard]] std::uint32_t owner(std::uint64_t key) const noexcept;
+
+  /// All `replicas()` distinct replicas in ring order from the owner:
+  /// out[0] == owner(key), out[1] is the first failover successor, ...
+  [[nodiscard]] std::vector<std::uint32_t> route(std::uint64_t key) const;
+
+  /// Keys per replica over `samples` sequential probe keys (diagnostics /
+  /// balance tests).
+  [[nodiscard]] std::vector<std::uint64_t> load_split(std::uint64_t samples) const;
+
+ private:
+  struct Point {
+    std::uint64_t pos;
+    std::uint32_t replica;
+  };
+
+  /// Index into points_ of the first point at-or-after the key's hash.
+  [[nodiscard]] std::size_t first_point(std::uint64_t key) const noexcept;
+
+  std::uint32_t replicas_;
+  std::uint64_t seed_;
+  std::vector<Point> points_;  ///< sorted by pos (ties broken by replica)
+};
+
+}  // namespace via::fed

@@ -28,6 +28,7 @@ constexpr std::string_view kKindNames[kNumFlightEventKinds] = {
     "rpc_reconnect",     "rpc_fallback",   "shed",               "protocol_error",
     "drain_forced_close", "refresh_prepare", "refresh_commit",   "outage_fallback",
     "note",              "backpressure_pause", "backpressure_resume",
+    "replica_down",      "replica_rehomed",  "replica_recovered",  "ring_epoch_bump",
 };
 
 /// Finds `"key":` and returns the raw value text (up to the next ',' or

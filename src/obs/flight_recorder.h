@@ -41,9 +41,13 @@ enum class FlightEventKind : std::uint8_t {
   Note = 12,             ///< freeform annotation
   BackpressurePause = 13,   ///< reactor paused a connection (a = fd, b = queued bytes)
   BackpressureResume = 14,  ///< paused connection resumed (a = fd, b = queued bytes)
+  ReplicaDown = 15,       ///< fed client marked a controller replica down (a = replica)
+  ReplicaRehomed = 16,    ///< traffic re-homed to the ring successor (a = from, b = to)
+  ReplicaRecovered = 17,  ///< probation probe succeeded; replica back in rotation (a = replica)
+  RingEpochBump = 18,     ///< reply carried a newer ring epoch (a = ours, b = theirs)
 };
 
-inline constexpr std::size_t kNumFlightEventKinds = 15;
+inline constexpr std::size_t kNumFlightEventKinds = 19;
 
 [[nodiscard]] std::string_view flight_event_kind_name(FlightEventKind k) noexcept;
 [[nodiscard]] std::optional<FlightEventKind> flight_event_kind_from(

@@ -183,6 +183,10 @@ OptionId ControllerClient::request_decision(const DecisionRequest& request) {
     if (resp.call_id != request.call_id) {
       throw RpcError(RpcErrorKind::Protocol, "response call-id mismatch");
     }
+    if (resp.ring_epoch != 0) {
+      last_replica_id_ = resp.replica_id;
+      last_ring_epoch_ = resp.ring_epoch;
+    }
     return resp.option;
   } catch (const RpcError& e) {
     // Fail safe (§6f): an unreachable controller must not drop the call —
@@ -218,7 +222,27 @@ std::string ControllerClient::get_stats(obs::StatsFormat format) {
   StatsRequest{static_cast<std::uint8_t>(format)}.encode(w);
   Frame frame = round_trip(MsgType::GetStats, w, MsgType::GetStatsResponse);
   WireReader r(frame.payload);
-  return StatsResponse::decode(r).text;
+  StatsResponse resp = StatsResponse::decode(r);
+  last_replica_id_ = resp.replica_id;
+  return std::move(resp.text);
+}
+
+PongMsg ControllerClient::ping() {
+  const WireWriter w;  // Ping has no payload
+  Frame frame = round_trip(MsgType::Ping, w, MsgType::Pong);
+  WireReader r(frame.payload);
+  const PongMsg pong = PongMsg::decode(r);
+  last_replica_id_ = pong.replica_id;
+  if (pong.ring_epoch != 0) last_ring_epoch_ = pong.ring_epoch;
+  return pong;
+}
+
+GossipSegmentsAckMsg ControllerClient::gossip_segments(const GossipSegmentsMsg& msg) {
+  WireWriter w;
+  msg.encode(w);
+  Frame frame = round_trip(MsgType::GossipSegments, w, MsgType::GossipSegmentsAck);
+  WireReader r(frame.payload);
+  return GossipSegmentsAckMsg::decode(r);
 }
 
 std::string ControllerClient::get_trace(std::uint32_t max_bytes) {

@@ -92,6 +92,15 @@ class ControllerClient {
   /// when the dump exceeds `max_bytes`).
   [[nodiscard]] std::string get_flight_record(std::uint32_t max_bytes = 0);
 
+  /// Liveness probe (§6k): one Ping round trip; the Pong carries the
+  /// replica's identity.  Throws RpcError when the replica is unreachable.
+  [[nodiscard]] PongMsg ping();
+
+  /// Pushes a segment-estimate update to a peer replica (§6k); returns the
+  /// receiver's ack.  Used by the controller's gossip loop and the
+  /// in-process fleet harness, not by call clients.
+  [[nodiscard]] GossipSegmentsAckMsg gossip_segments(const GossipSegmentsMsg& msg);
+
   /// Politely ends the session (best-effort; never throws).
   void shutdown();
 
@@ -100,6 +109,12 @@ class ControllerClient {
   [[nodiscard]] std::int64_t retries() const noexcept { return retries_; }
   [[nodiscard]] std::int64_t reconnects() const noexcept { return reconnects_; }
   [[nodiscard]] std::int64_t fallback_decisions() const noexcept { return fallbacks_; }
+
+  /// Identity stamped on the most recent reply that carried one (§6k):
+  /// 0/0 until a federated controller has answered.  Lets a caller
+  /// attribute decisions/dumps and detect a stale ring config.
+  [[nodiscard]] std::uint32_t last_replica_id() const noexcept { return last_replica_id_; }
+  [[nodiscard]] std::uint64_t last_ring_epoch() const noexcept { return last_ring_epoch_; }
 
  private:
   /// Sends one frame and waits for the expected response type under the
@@ -119,6 +134,8 @@ class ControllerClient {
   std::int64_t retries_ = 0;
   std::int64_t reconnects_ = 0;
   std::int64_t fallbacks_ = 0;
+  std::uint32_t last_replica_id_ = 0;
+  std::uint64_t last_ring_epoch_ = 0;
   std::uint64_t backoff_draws_ = 0;
   obs::FlightRecorder* flight_ = nullptr;
 

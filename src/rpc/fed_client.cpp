@@ -1,0 +1,248 @@
+#include "rpc/fed_client.h"
+
+#include <utility>
+
+#include "common/relay_option.h"
+#include "common/types.h"
+
+namespace via {
+
+namespace {
+
+/// Inner clients must surface every error to the failover layer; the
+/// direct-fallback decision belongs to the FederatedClient.
+ClientConfig inner_config(ClientConfig rpc) {
+  rpc.fallback_direct = false;
+  return rpc;
+}
+
+}  // namespace
+
+FederatedClient::FederatedClient(fed::FederationConfig fed, FedClientConfig config)
+    : fed_(std::move(fed)),
+      config_(config),
+      ring_(fed_.replicas(), fed_.ring_seed, fed_.ring_vnodes) {
+  replicas_.resize(fed_.replicas());
+  for (std::uint32_t r = 0; r < fed_.replicas(); ++r) {
+    replicas_[r].client = std::make_unique<ControllerClient>(fed_.replica_ports[r],
+                                                             inner_config(config_.rpc));
+  }
+}
+
+FederatedClient::FederatedClient(fed::FederationConfig fed,
+                                 std::vector<ControllerClient::ConnectionFactory> factories,
+                                 FedClientConfig config)
+    : fed_(std::move(fed)),
+      config_(config),
+      ring_(fed_.replicas(), fed_.ring_seed, fed_.ring_vnodes) {
+  replicas_.resize(fed_.replicas());
+  for (std::uint32_t r = 0; r < fed_.replicas(); ++r) {
+    replicas_[r].client = std::make_unique<ControllerClient>(std::move(factories[r]),
+                                                             inner_config(config_.rpc));
+  }
+}
+
+void FederatedClient::attach_metrics(obs::MetricsRegistry* registry) {
+  for (Replica& rep : replicas_) rep.client->attach_metrics(registry);
+  if (registry == nullptr) {
+    tel_rehomed_ = nullptr;
+    tel_down_ = nullptr;
+    tel_recovered_ = nullptr;
+    tel_epoch_bumps_ = nullptr;
+    tel_fallback_ = nullptr;
+    tel_buffered_ = nullptr;
+    tel_flushed_ = nullptr;
+    tel_lost_ = nullptr;
+    tel_pending_ = nullptr;
+    return;
+  }
+  tel_rehomed_ = &registry->counter("fed.client.rehomed_requests");
+  tel_down_ = &registry->counter("fed.client.replica_down");
+  tel_recovered_ = &registry->counter("fed.client.replica_recovered");
+  tel_epoch_bumps_ = &registry->counter("fed.client.ring_epoch_bumps");
+  tel_fallback_ = &registry->counter("fed.client.fallback_direct");
+  tel_buffered_ = &registry->counter("fed.client.reports_buffered");
+  tel_flushed_ = &registry->counter("fed.client.reports_flushed");
+  tel_lost_ = &registry->counter("fed.client.reports_lost");
+  tel_pending_ = &registry->gauge("fed.client.pending_reports");
+}
+
+void FederatedClient::attach_flight(obs::FlightRecorder* flight) noexcept {
+  flight_ = flight;
+  for (Replica& rep : replicas_) rep.client->attach_flight(flight);
+}
+
+bool FederatedClient::admit(std::uint32_t replica) {
+  Replica& rep = replicas_[replica];
+  if (rep.state == ReplicaState::kUp) return true;
+  // Probation (§6k): a down replica gets no traffic until a Ping proves it
+  // back, and at most one probe per probe_period — a flapping replica
+  // cannot thrash traffic back and forth between probes.
+  const auto now = Clock::now();
+  if (now < rep.next_probe) return false;
+  try {
+    (void)rep.client->ping();
+  } catch (const RpcError&) {
+    rep.next_probe = Clock::now() + std::chrono::milliseconds(fed_.probe_period_ms);
+    return false;
+  }
+  rep.state = ReplicaState::kUp;
+  rep.consecutive_failures = 0;
+  ++recovered_;
+  if (tel_recovered_ != nullptr) tel_recovered_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(obs::FlightEventKind::ReplicaRecovered,
+                    "probation probe succeeded; replica back in rotation",
+                    static_cast<std::int64_t>(replica));
+  }
+  (void)flush_pending_reports();
+  return true;
+}
+
+void FederatedClient::note_success(std::uint32_t replica) {
+  replicas_[replica].consecutive_failures = 0;
+}
+
+void FederatedClient::note_failure(std::uint32_t replica) {
+  Replica& rep = replicas_[replica];
+  ++rep.consecutive_failures;
+  if (rep.state == ReplicaState::kUp && rep.consecutive_failures >= fed_.fail_threshold) {
+    rep.state = ReplicaState::kDown;
+    rep.next_probe = Clock::now() + std::chrono::milliseconds(fed_.probe_period_ms);
+    rep.rehome_logged = false;
+    ++marked_down_;
+    if (tel_down_ != nullptr) tel_down_->inc();
+    if (flight_ != nullptr) {
+      flight_->record(obs::FlightEventKind::ReplicaDown,
+                      "consecutive failures tripped health threshold",
+                      static_cast<std::int64_t>(replica), rep.consecutive_failures);
+    }
+  }
+}
+
+void FederatedClient::check_ring_epoch(std::uint32_t replica) {
+  const std::uint64_t theirs = replicas_[replica].client->last_ring_epoch();
+  if (theirs == 0 || theirs == fed_.ring_epoch) return;
+  ++epoch_bumps_;
+  if (tel_epoch_bumps_ != nullptr) tel_epoch_bumps_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(obs::FlightEventKind::RingEpochBump,
+                    "reply carried a different ring epoch; client config is stale",
+                    static_cast<std::int64_t>(fed_.ring_epoch),
+                    static_cast<std::int64_t>(theirs));
+  }
+  // Adopt the observed epoch so a steady-state mismatch records once per
+  // change instead of once per request.
+  fed_.ring_epoch = theirs;
+}
+
+OptionId FederatedClient::request_decision(const DecisionRequest& request) {
+  const std::vector<std::uint32_t> order =
+      ring_.route(as_pair_key(request.src_as, request.dst_as));
+  const std::uint32_t owner = order.front();
+  for (const std::uint32_t r : order) {
+    if (!admit(r)) continue;
+    try {
+      const OptionId option = replicas_[r].client->request_decision(request);
+      note_success(r);
+      check_ring_epoch(r);
+      if (r != owner && replicas_[owner].state == ReplicaState::kDown) {
+        ++rehomed_requests_;
+        if (tel_rehomed_ != nullptr) tel_rehomed_->inc();
+        if (!replicas_[owner].rehome_logged) {
+          replicas_[owner].rehome_logged = true;
+          if (flight_ != nullptr) {
+            flight_->record(obs::FlightEventKind::ReplicaRehomed,
+                            "shard traffic re-homed to ring successor",
+                            static_cast<std::int64_t>(owner), static_cast<std::int64_t>(r));
+          }
+        }
+      }
+      return option;
+    } catch (const RpcError& e) {
+      if (e.kind() == RpcErrorKind::Protocol) throw;  // a bug, not an outage
+      note_failure(r);
+    }
+  }
+  // Every replica refused or is down: the full-outage path.
+  if (!config_.fallback_direct) {
+    throw RpcError(RpcErrorKind::Timeout, "every controller replica unreachable");
+  }
+  ++fallbacks_;
+  if (tel_fallback_ != nullptr) tel_fallback_->inc();
+  if (flight_ != nullptr) {
+    flight_->record(obs::FlightEventKind::RpcFallback,
+                    "all replicas unreachable; call served direct", request.call_id);
+  }
+  return RelayOptionTable::direct_id();
+}
+
+bool FederatedClient::try_deliver(const Observation& obs) {
+  const std::vector<std::uint32_t> order = ring_.route(as_pair_key(obs.src_as, obs.dst_as));
+  for (const std::uint32_t r : order) {
+    if (!admit(r)) continue;
+    try {
+      replicas_[r].client->report(obs);
+      note_success(r);
+      return true;
+    } catch (const RpcError& e) {
+      if (e.kind() == RpcErrorKind::Protocol) throw;
+      note_failure(r);
+    }
+  }
+  return false;
+}
+
+void FederatedClient::report(const Observation& obs) {
+  // Oldest first: queued observations from the outage window land before
+  // this call's, preserving arrival order per client.
+  (void)flush_pending_reports();
+  if (try_deliver(obs)) return;
+  if (pending_.size() >= config_.max_pending_reports && !pending_.empty()) {
+    pending_.pop_front();
+    ++lost_;
+    if (tel_lost_ != nullptr) tel_lost_->inc();
+  }
+  pending_.push_back(obs);
+  ++buffered_;
+  if (tel_buffered_ != nullptr) tel_buffered_->inc();
+  if (tel_pending_ != nullptr) tel_pending_->set(static_cast<std::int64_t>(pending_.size()));
+}
+
+std::size_t FederatedClient::flush_pending_reports() {
+  if (flushing_ || pending_.empty()) return 0;
+  flushing_ = true;
+  std::size_t delivered = 0;
+  while (!pending_.empty()) {
+    if (!try_deliver(pending_.front())) break;
+    pending_.pop_front();
+    ++delivered;
+  }
+  flushing_ = false;
+  flushed_ += static_cast<std::int64_t>(delivered);
+  if (delivered > 0 && tel_flushed_ != nullptr) {
+    tel_flushed_->inc(static_cast<std::int64_t>(delivered));
+  }
+  if (tel_pending_ != nullptr) tel_pending_->set(static_cast<std::int64_t>(pending_.size()));
+  return delivered;
+}
+
+bool FederatedClient::probe_replica(std::uint32_t replica) {
+  if (replicas_[replica].state == ReplicaState::kUp) return true;
+  return admit(replica);
+}
+
+void FederatedClient::refresh(TimeSec now) {
+  for (std::uint32_t r = 0; r < replicas_.size(); ++r) {
+    if (replicas_[r].state != ReplicaState::kUp) continue;
+    try {
+      replicas_[r].client->refresh(now);
+      note_success(r);
+    } catch (const RpcError& e) {
+      if (e.kind() == RpcErrorKind::Protocol) throw;
+      note_failure(r);
+    }
+  }
+}
+
+}  // namespace via

@@ -1,0 +1,171 @@
+// Shard-aware controller client with replica failover (DESIGN.md §6k).
+//
+// A FederatedClient fronts one ControllerClient per controller replica and
+// routes every request by its AS-pair key through the consistent-hash ring:
+// the pair's shard home gets the traffic, the ring successors are the
+// failover order.  Per-replica health is a three-state machine:
+//
+//   Up ──(fail_threshold consecutive timeouts/resets)──> Down
+//   Down ──(probe_period elapsed)──> probation Ping
+//   probe ok ──> Up (recovered; buffered reports flush)
+//   probe fail ──> Down (next probe after another probe_period)
+//
+// While a pair's home is down its traffic re-homes to the ring successor
+// (flight-recorder narrative: replica_down → replica_rehomed → eventually
+// replica_recovered).  Probation means a flapping replica gets traffic
+// back only after a successful Ping, never mid-flap — one probe per
+// probe_period bounds the thrash.  When *every* replica is unreachable the
+// client falls back to the direct path (the paper's fail-safe story) and
+// parks its observation reports in a bounded queue, flushed on the first
+// recovery — a full-controller outage loses calls' relay gain, not their
+// measurements.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "fed/federation.h"
+#include "fed/shard_ring.h"
+#include "rpc/client.h"
+
+namespace via {
+
+struct FedClientConfig {
+  /// Per-replica transport policy (timeouts, per-attempt retries, backoff).
+  /// `fallback_direct` here is ignored — failover owns the fallback
+  /// decision; inner clients always surface their errors.
+  ClientConfig rpc;
+  /// With every replica down/unreachable, request_decision() answers the
+  /// direct path instead of throwing, and report() buffers.
+  bool fallback_direct = true;
+  /// Observations parked while no replica is reachable (oldest dropped —
+  /// and counted lost — past the cap; the chaos tests assert the cap is
+  /// never the binding constraint).
+  std::size_t max_pending_reports = 65536;
+};
+
+class FederatedClient {
+ public:
+  /// Connects to the fleet described by `fed` (loopback ports, index ==
+  /// replica id).  Lazy per-replica connections: a dead replica degrades
+  /// instead of failing construction.
+  explicit FederatedClient(fed::FederationConfig fed, FedClientConfig config = {});
+
+  /// Chaos-test hook: one transport factory per replica (index-aligned
+  /// with fed.replica_ports).
+  FederatedClient(fed::FederationConfig fed,
+                  std::vector<ControllerClient::ConnectionFactory> factories,
+                  FedClientConfig config = {});
+
+  FederatedClient(const FederatedClient&) = delete;
+  FederatedClient& operator=(const FederatedClient&) = delete;
+
+  /// fed.client.* counters plus the per-replica rpc.client.* instruments
+  /// (shared registry; caller-owned, must outlive the client).
+  void attach_metrics(obs::MetricsRegistry* registry);
+  void attach_flight(obs::FlightRecorder* flight) noexcept;
+
+  /// Shard-routed decision with failover; direct fallback once every
+  /// replica has failed this request (throws instead when
+  /// FedClientConfig::fallback_direct is false, and always on Protocol
+  /// errors — those are bugs, not outages).
+  [[nodiscard]] OptionId request_decision(const DecisionRequest& request);
+
+  /// Shard-routed measurement push.  Never throws on outage: undeliverable
+  /// observations queue (bounded) and flush on the next successful send or
+  /// probe recovery — the zero-lost-observations contract.
+  void report(const Observation& obs);
+
+  /// Drives the periodic refresh on every replica currently in rotation
+  /// (down replicas catch up via segment gossip once they return).
+  void refresh(TimeSec now);
+
+  /// Attempts to deliver queued reports (home shard first, failover like
+  /// any other send).  Returns the number delivered; called internally on
+  /// recovery, public so tests/harnesses can force a flush point.
+  std::size_t flush_pending_reports();
+
+  /// Forces one probation probe of `replica` if it is down and its probe
+  /// period has elapsed; true when the replica returned to rotation.
+  bool probe_replica(std::uint32_t replica);
+
+  enum class ReplicaState : std::uint8_t { kUp = 0, kDown = 1 };
+  [[nodiscard]] ReplicaState replica_state(std::uint32_t replica) const noexcept {
+    return replicas_[replica].state;
+  }
+  [[nodiscard]] const fed::ShardRing& ring() const noexcept { return ring_; }
+  [[nodiscard]] const fed::FederationConfig& federation() const noexcept { return fed_; }
+
+  /// Degradation accounting, readable without a metrics registry.
+  [[nodiscard]] std::int64_t rehomed_requests() const noexcept { return rehomed_requests_; }
+  [[nodiscard]] std::int64_t replicas_marked_down() const noexcept { return marked_down_; }
+  [[nodiscard]] std::int64_t replicas_recovered() const noexcept { return recovered_; }
+  [[nodiscard]] std::int64_t ring_epoch_bumps() const noexcept { return epoch_bumps_; }
+  [[nodiscard]] std::int64_t fallback_decisions() const noexcept { return fallbacks_; }
+  [[nodiscard]] std::size_t pending_reports() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::int64_t reports_buffered() const noexcept { return buffered_; }
+  [[nodiscard]] std::int64_t reports_flushed() const noexcept { return flushed_; }
+  /// Observations dropped because the pending queue overflowed (the chaos
+  /// suites assert this stays 0).
+  [[nodiscard]] std::int64_t reports_lost() const noexcept { return lost_; }
+
+  /// Direct access to one replica's client (tests/diagnostics).
+  [[nodiscard]] ControllerClient& client(std::uint32_t replica) noexcept {
+    return *replicas_[replica].client;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Replica {
+    std::unique_ptr<ControllerClient> client;
+    ReplicaState state = ReplicaState::kUp;
+    int consecutive_failures = 0;
+    Clock::time_point next_probe{};  ///< earliest next probation Ping while down
+    /// One replica_rehomed flight event per down episode (the per-request
+    /// rehome count stays in rehomed_requests_).
+    bool rehome_logged = false;
+  };
+
+  /// True when `replica` may carry traffic right now: Up, or Down with an
+  /// elapsed probe period *and* a probation Ping that just succeeded.
+  bool admit(std::uint32_t replica);
+  void note_success(std::uint32_t replica);
+  void note_failure(std::uint32_t replica);
+  void check_ring_epoch(std::uint32_t replica);
+  /// Delivery core shared by report() and the flush: tries the ring order,
+  /// returns true when some replica acked the observation.
+  bool try_deliver(const Observation& obs);
+
+  fed::FederationConfig fed_;
+  FedClientConfig config_;
+  fed::ShardRing ring_;
+  std::vector<Replica> replicas_;
+  std::deque<Observation> pending_;
+  bool flushing_ = false;  ///< re-entrancy guard: recovery inside a flush
+  obs::FlightRecorder* flight_ = nullptr;
+
+  std::int64_t rehomed_requests_ = 0;
+  std::int64_t marked_down_ = 0;
+  std::int64_t recovered_ = 0;
+  std::int64_t epoch_bumps_ = 0;
+  std::int64_t fallbacks_ = 0;
+  std::int64_t buffered_ = 0;
+  std::int64_t flushed_ = 0;
+  std::int64_t lost_ = 0;
+
+  obs::Counter* tel_rehomed_ = nullptr;
+  obs::Counter* tel_down_ = nullptr;
+  obs::Counter* tel_recovered_ = nullptr;
+  obs::Counter* tel_epoch_bumps_ = nullptr;
+  obs::Counter* tel_fallback_ = nullptr;
+  obs::Counter* tel_buffered_ = nullptr;
+  obs::Counter* tel_flushed_ = nullptr;
+  obs::Counter* tel_lost_ = nullptr;
+  obs::Gauge* tel_pending_ = nullptr;
+};
+
+}  // namespace via

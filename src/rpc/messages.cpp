@@ -35,12 +35,20 @@ DecisionRequest DecisionRequest::decode(WireReader& r) {
 void DecisionResponse::encode(WireWriter& w) const {
   w.i64(call_id);
   w.i32(option);
+  w.u32(replica_id);
+  w.u64(ring_epoch);
 }
 
 DecisionResponse DecisionResponse::decode(WireReader& r) {
   DecisionResponse m;
   m.call_id = r.i64();
   m.option = r.i32();
+  // Appended by the federation revision (§6k); frames from unfederated
+  // controllers end here and decode as replica 0 / epoch 0.
+  if (!r.exhausted()) {
+    m.replica_id = r.u32();
+    m.ring_epoch = r.u64();
+  }
   return m;
 }
 
@@ -86,11 +94,15 @@ StatsRequest StatsRequest::decode(WireReader& r) {
   return m;
 }
 
-void StatsResponse::encode(WireWriter& w) const { w.str(text); }
+void StatsResponse::encode(WireWriter& w) const {
+  w.str(text);
+  w.u32(replica_id);
+}
 
 StatsResponse StatsResponse::decode(WireReader& r) {
   StatsResponse m;
   m.text = r.str();
+  m.replica_id = r.exhausted() ? 0 : r.u32();
   return m;
 }
 
@@ -99,6 +111,67 @@ void DumpRequest::encode(WireWriter& w) const { w.u32(max_bytes); }
 DumpRequest DumpRequest::decode(WireReader& r) {
   DumpRequest m;
   m.max_bytes = r.u32();
+  return m;
+}
+
+void PongMsg::encode(WireWriter& w) const {
+  w.u32(replica_id);
+  w.u64(ring_epoch);
+}
+
+PongMsg PongMsg::decode(WireReader& r) {
+  PongMsg m;
+  m.replica_id = r.u32();
+  m.ring_epoch = r.u64();
+  return m;
+}
+
+void GossipSegmentsMsg::encode(WireWriter& w) const {
+  w.u32(replica_id);
+  w.u64(ring_epoch);
+  w.u32(static_cast<std::uint32_t>(segments.size()));
+  for (const PeerSegment& s : segments) {
+    w.u64(s.key);
+    for (std::size_t m = 0; m < kNumMetrics; ++m) w.f64(s.est.lin_mean[m]);
+    for (std::size_t m = 0; m < kNumMetrics; ++m) w.f64(s.est.lin_sem[m]);
+    w.i64(s.est.evidence);
+  }
+}
+
+GossipSegmentsMsg GossipSegmentsMsg::decode(WireReader& r) {
+  GossipSegmentsMsg m;
+  m.replica_id = r.u32();
+  m.ring_epoch = r.u64();
+  const std::uint32_t n = r.u32();
+  // 64 bytes per entry on the wire; a count the remaining payload cannot
+  // hold is a malformed frame, not an allocation request.
+  constexpr std::size_t kEntryBytes = 8 + 2 * kNumMetrics * 8 + 8;
+  if (static_cast<std::size_t>(n) * kEntryBytes > r.remaining()) {
+    throw ProtocolError("gossip segment count exceeds payload");
+  }
+  m.segments.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PeerSegment s;
+    s.key = r.u64();
+    for (std::size_t k = 0; k < kNumMetrics; ++k) s.est.lin_mean[k] = r.f64();
+    for (std::size_t k = 0; k < kNumMetrics; ++k) s.est.lin_sem[k] = r.f64();
+    s.est.evidence = r.i64();
+    m.segments.push_back(s);
+  }
+  return m;
+}
+
+void GossipSegmentsAckMsg::encode(WireWriter& w) const {
+  w.u32(replica_id);
+  w.u64(ring_epoch);
+  w.u32(accepted);
+}
+
+GossipSegmentsAckMsg GossipSegmentsAckMsg::decode(WireReader& r) {
+  GossipSegmentsAckMsg m;
+  m.replica_id = r.u32();
+  m.ring_epoch = r.u64();
+  m.accepted = r.u32();
   return m;
 }
 

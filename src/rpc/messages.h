@@ -11,6 +11,7 @@
 
 #include "common/types.h"
 #include "core/policy.h"
+#include "core/tomography.h"
 #include "rpc/framing.h"
 
 namespace via {
@@ -38,6 +39,16 @@ enum class MsgType : std::uint8_t {
   GetTraceResponse = 13,
   GetFlightRecord = 14,
   GetFlightRecordResponse = 15,
+  /// Federation plane (§6k).  Ping is the lightweight liveness probe (no
+  /// request payload; the Pong carries the replica's identity) used by
+  /// client health probes and `via_call_client ping`.  GossipSegments is
+  /// the replica-to-replica segment-estimate push.  Both are exempt from
+  /// shedding: probes and exchange must work exactly when the fleet is
+  /// under duress.
+  Ping = 16,
+  Pong = 17,
+  GossipSegments = 18,
+  GossipSegmentsAck = 19,
 };
 
 struct DecisionRequest {
@@ -59,6 +70,12 @@ struct DecisionRequest {
 struct DecisionResponse {
   CallId call_id = 0;
   OptionId option = 0;
+  /// Which replica answered, and under which ring configuration epoch —
+  /// appended after the original fields (absent decodes as 0/0, meaning an
+  /// unfederated controller), so a client can both attribute the decision
+  /// and detect that its own ring config has gone stale (§6k).
+  std::uint32_t replica_id = 0;
+  std::uint64_t ring_epoch = 0;
 
   void encode(WireWriter& w) const;
   [[nodiscard]] static DecisionResponse decode(WireReader& r);
@@ -90,6 +107,9 @@ struct StatsRequest {
 
 struct StatsResponse {
   std::string text;
+  /// Replica that rendered the dump (appended field; absent decodes as 0)
+  /// so multi-replica stats/trace/flightrecord dumps are attributable.
+  std::uint32_t replica_id = 0;
 
   void encode(WireWriter& w) const;
   [[nodiscard]] static StatsResponse decode(WireReader& r);
@@ -104,6 +124,38 @@ struct DumpRequest {
 
   void encode(WireWriter& w) const;
   [[nodiscard]] static DumpRequest decode(WireReader& r);
+};
+
+/// Pong payload: the replying replica's identity (§6k).  The Ping request
+/// itself carries no payload.
+struct PongMsg {
+  std::uint32_t replica_id = 0;
+  std::uint64_t ring_epoch = 0;
+
+  void encode(WireWriter& w) const;
+  [[nodiscard]] static PongMsg decode(WireReader& r);
+};
+
+/// Replica-to-replica segment push (§6k): the sender's identity plus its
+/// solver's current segment estimates.  64 bytes per entry on the wire, so
+/// the frame-size cap bounds a push to ~16k segments; senders truncate to
+/// FederationConfig::exchange_max_segments before encoding.
+struct GossipSegmentsMsg {
+  std::uint32_t replica_id = 0;
+  std::uint64_t ring_epoch = 0;
+  std::vector<PeerSegment> segments;
+
+  void encode(WireWriter& w) const;
+  [[nodiscard]] static GossipSegmentsMsg decode(WireReader& r);
+};
+
+struct GossipSegmentsAckMsg {
+  std::uint32_t replica_id = 0;  ///< receiver's identity
+  std::uint64_t ring_epoch = 0;
+  std::uint32_t accepted = 0;  ///< segment estimates stored by the receiver
+
+  void encode(WireWriter& w) const;
+  [[nodiscard]] static GossipSegmentsAckMsg decode(WireReader& r);
 };
 
 /// Payload of an MsgType::Error reply: the request frame type that failed

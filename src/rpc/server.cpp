@@ -21,10 +21,11 @@ namespace {
 /// Wire overhead per frame: u32 payload length + u8 message type.
 constexpr std::int64_t kFrameHeaderBytes = 5;
 
-/// Estimated wire size of one DecisionResponse (call_id + option payload
-/// plus the frame header, rounded up).  Used only to clamp batch runs to
-/// a write-capped connection's headroom, so an overestimate is safe.
-constexpr std::size_t kDecisionResponseEstimate = 24;
+/// Estimated wire size of one DecisionResponse (call_id + option +
+/// replica_id + ring_epoch payload plus the frame header, rounded up).
+/// Used only to clamp batch runs to a write-capped connection's headroom,
+/// so an overestimate is safe.
+constexpr std::size_t kDecisionResponseEstimate = 32;
 
 /// Admin dump size cap: the client's request, clamped so the response
 /// frame (string length prefix included) stays under kMaxPayload.
@@ -93,6 +94,8 @@ ControllerServer::ControllerServer(RoutingPolicy& policy, std::uint16_t port, Se
       tel_bp_pauses_(&telemetry_.registry.counter("rpc.server.backpressure.paused_total")),
       tel_bp_queued_(&telemetry_.registry.gauge("rpc.server.backpressure.bytes_queued")),
       tel_uring_fallbacks_(&telemetry_.registry.counter("rpc.server.uring_fallbacks")),
+      tel_pings_(&telemetry_.registry.counter("rpc.server.pings")),
+      tel_gossip_updates_(&telemetry_.registry.counter("rpc.server.gossip_updates")),
       tel_request_us_(
           &telemetry_.registry.histogram("rpc.server.request_us", obs::kLatencyBoundsUs)),
       tel_inflight_(&telemetry_.registry.gauge("rpc.server.inflight")),
@@ -522,6 +525,8 @@ bool ControllerServer::dispatch_frame(const Frame& frame, ReplySink& sink) {
       ctx.parent_span = srv_span.span_id();
       DecisionResponse resp;
       resp.call_id = req.call_id;
+      resp.replica_id = config_.replica_id;
+      resp.ring_epoch = config_.ring_epoch;
       {
         const PolicyLock lock(policy_mutex_, policy_concurrent_);
         resp.option = policy_->choose(ctx);
@@ -575,6 +580,7 @@ bool ControllerServer::dispatch_frame(const Frame& frame, ReplySink& sink) {
                               : obs::StatsFormat::Json;
       StatsResponse resp;
       resp.text = obs::render_stats(telemetry_.registry.snapshot(), format);
+      resp.replica_id = config_.replica_id;
       resp.encode(writer);
       reply(MsgType::GetStatsResponse);
       break;
@@ -583,6 +589,7 @@ bool ControllerServer::dispatch_frame(const Frame& frame, ReplySink& sink) {
       const DumpRequest req = DumpRequest::decode(reader);
       StatsResponse resp;
       resp.text = obs::chrome_trace_json(telemetry_.tracer.buffer(), dump_cap(req));
+      resp.replica_id = config_.replica_id;
       resp.encode(writer);
       reply(MsgType::GetTraceResponse);
       break;
@@ -600,8 +607,34 @@ bool ControllerServer::dispatch_frame(const Frame& frame, ReplySink& sink) {
         const std::size_t cut = resp.text.find('\n', resp.text.size() - cap);
         resp.text = cut == std::string::npos ? std::string{} : resp.text.substr(cut + 1);
       }
+      resp.replica_id = config_.replica_id;
       resp.encode(writer);
       reply(MsgType::GetFlightRecordResponse);
+      break;
+    }
+    case MsgType::Ping: {
+      // Liveness probe (§6k): no request payload, exempt from shedding
+      // like the other control-plane frames — probes must answer exactly
+      // when the data plane is overloaded or recovering.
+      PongMsg pong;
+      pong.replica_id = config_.replica_id;
+      pong.ring_epoch = config_.ring_epoch;
+      tel_pings_->inc();
+      pong.encode(writer);
+      reply(MsgType::Pong);
+      break;
+    }
+    case MsgType::GossipSegments: {
+      const GossipSegmentsMsg msg = GossipSegmentsMsg::decode(reader);
+      GossipSegmentsAckMsg ack;
+      ack.replica_id = config_.replica_id;
+      ack.ring_epoch = config_.ring_epoch;
+      if (gossip_handler_) {
+        ack.accepted = static_cast<std::uint32_t>(gossip_handler_(msg));
+      }
+      tel_gossip_updates_->inc();
+      ack.encode(writer);
+      reply(MsgType::GossipSegmentsAck);
       break;
     }
     case MsgType::Shutdown:
@@ -784,6 +817,8 @@ void ControllerServer::process_decision_batch(std::span<Frame> frames, ReplySink
     DecisionResponse resp;
     resp.call_id = reqs[i].call_id;
     resp.option = picks[i];
+    resp.replica_id = config_.replica_id;
+    resp.ring_epoch = config_.ring_epoch;
     resp.encode(writer);
     tel_bytes_out_->inc(static_cast<std::int64_t>(writer.bytes().size()) + kFrameHeaderBytes);
     sink.send(MsgType::DecisionResponse, writer.bytes());

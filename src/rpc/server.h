@@ -26,6 +26,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <list>
 #include <memory>
@@ -117,6 +118,13 @@ struct ServerConfig {
   /// Aggregate queued-reply cap per reactor worker (0 disables); bounds
   /// total reply RSS when many connections stall at once.
   std::size_t worker_write_cap = 64 * 1024 * 1024;
+
+  /// Federation identity (§6k): stamped into DecisionResponse, the
+  /// stats/trace/flightrecord dumps, and the Pong payload so replies are
+  /// attributable and a client can detect a stale ring.  0/0 (the
+  /// default) reads as an unfederated controller on the wire.
+  std::uint32_t replica_id = 0;
+  std::uint64_t ring_epoch = 0;
 };
 
 class ReactorBase;
@@ -176,6 +184,17 @@ class ControllerServer {
 
   /// The server's (and hosted policy's) telemetry.
   [[nodiscard]] obs::Telemetry& telemetry() noexcept { return telemetry_; }
+
+  /// Federation (§6k): invoked for every GossipSegments frame with the
+  /// decoded peer update; returns how many segment estimates were
+  /// accepted (echoed in the ack).  Set before start(); unset means
+  /// gossip frames are acked with accepted = 0.
+  using GossipHandler = std::function<std::size_t(const GossipSegmentsMsg&)>;
+  void set_gossip_handler(GossipHandler handler) { gossip_handler_ = std::move(handler); }
+  [[nodiscard]] std::int64_t gossip_updates() const noexcept {
+    return tel_gossip_updates_->value();
+  }
+  [[nodiscard]] std::int64_t pings_served() const noexcept { return tel_pings_->value(); }
 
   /// Copy of the windowed time series closed so far (empty unless
   /// ServerConfig::timeseries_window_ms is set).
@@ -249,6 +268,10 @@ class ControllerServer {
   obs::Gauge* tel_bp_queued_;
   /// kUring requested but unsupported: the start()-time epoll fallback.
   obs::Counter* tel_uring_fallbacks_;
+  /// Federation plane (§6k): liveness probes answered and gossip updates
+  /// received.
+  obs::Counter* tel_pings_;
+  obs::Counter* tel_gossip_updates_;
   obs::LatencyHistogram* tel_request_us_;
   obs::Gauge* tel_inflight_;
   /// Duration the policy lock is held *exclusively* per refresh — the span
@@ -260,6 +283,9 @@ class ControllerServer {
   /// disabled tracing/flight-recording cost one pointer test per site.
   obs::Tracer* tracer_;
   obs::FlightRecorder* flight_;
+
+  /// Federation gossip sink (§6k); immutable after start().
+  GossipHandler gossip_handler_;
 
   /// Reader-writer policy guard; `policy_concurrent_` (sampled once at
   /// construction) decides whether choose/observe may share it.

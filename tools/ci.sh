@@ -9,7 +9,8 @@
 # runner does not fail the pipeline — a real regression fails every try).
 # Set VIA_CI_TSAN=1 to additionally run the threaded tests (including the
 # reactor worker hammer in test_reactor) under ThreadSanitizer,
-# and VIA_CI_ASAN=1 to run the chaos/fault/RPC tests under ASan+UBSan;
+# and VIA_CI_ASAN=1 to run the chaos/fault/RPC/federation tests under
+# ASan+UBSan;
 # the ASan stage dumps flight-recorder + span-buffer JSONL into
 # $BUILD_DIR-asan/flight-dump/ when a test fails (uploaded as CI artifacts).
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
@@ -75,18 +76,19 @@ echo "BENCH_scale.json:"
 cat "$BUILD_DIR-release/BENCH_scale.json"
 
 if [[ "${VIA_CI_TSAN:-0}" == "1" ]]; then
-  echo "== tsan: test_parallel + test_concurrent_policy + test_reactor under ThreadSanitizer =="
+  echo "== tsan: test_parallel + test_concurrent_policy + test_reactor + test_federation under ThreadSanitizer =="
   cmake -B "$BUILD_DIR-tsan" -S . -DVIA_TSAN=ON
-  cmake --build "$BUILD_DIR-tsan" -j --target test_parallel test_concurrent_policy test_reactor
+  cmake --build "$BUILD_DIR-tsan" -j --target test_parallel test_concurrent_policy test_reactor test_federation
   "$BUILD_DIR-tsan/tests/test_parallel"
   "$BUILD_DIR-tsan/tests/test_concurrent_policy"
   "$BUILD_DIR-tsan/tests/test_reactor"
+  "$BUILD_DIR-tsan/tests/test_federation"
 fi
 
 if [[ "${VIA_CI_ASAN:-0}" == "1" ]]; then
-  echo "== asan: chaos + fault + rpc tests under ASan+UBSan =="
+  echo "== asan: chaos + fault + rpc + federation tests under ASan+UBSan =="
   cmake -B "$BUILD_DIR-asan" -S . -DVIA_ASAN=ON
-  cmake --build "$BUILD_DIR-asan" -j --target test_chaos test_faults test_rpc
+  cmake --build "$BUILD_DIR-asan" -j --target test_chaos test_faults test_rpc test_federation
   # On failure each binary dumps its process-wide flight recorder and span
   # buffer as JSONL into this directory (tests/flight_dump.h); the GitHub
   # workflow uploads it as an artifact so a red chaos run is debuggable.
@@ -94,6 +96,7 @@ if [[ "${VIA_CI_ASAN:-0}" == "1" ]]; then
   VIA_FLIGHT_DUMP="$BUILD_DIR-asan/flight-dump" "$BUILD_DIR-asan/tests/test_chaos"
   VIA_FLIGHT_DUMP="$BUILD_DIR-asan/flight-dump" "$BUILD_DIR-asan/tests/test_faults"
   VIA_FLIGHT_DUMP="$BUILD_DIR-asan/flight-dump" "$BUILD_DIR-asan/tests/test_rpc"
+  VIA_FLIGHT_DUMP="$BUILD_DIR-asan/flight-dump" "$BUILD_DIR-asan/tests/test_federation"
 fi
 
 echo "== ci.sh: all green =="
